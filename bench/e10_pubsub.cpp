@@ -1,0 +1,88 @@
+/// E10 — Pub/sub fan-out: broker throughput vs subscriber count and topic
+/// count (the "Publish/Subscribe" arrows of Fig. 1 under load).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "net/broker.hpp"
+
+namespace {
+
+using namespace stem;
+
+core::EventInstance make_instance(const std::string& topic, std::uint64_t seq) {
+  core::EventInstance inst;
+  inst.key = core::EventInstanceKey{core::ObserverId("PUB"), core::EventTypeId(topic), seq};
+  inst.layer = core::Layer::kCyberPhysical;
+  inst.est_time = time_model::OccurrenceTime(time_model::TimePoint(0));
+  inst.est_location = geom::Location(geom::Point{0, 0});
+  return inst;
+}
+
+/// Publishes `batch` instances and drains the simulator, measuring the
+/// full publish -> broker -> N subscribers pipeline.
+void BM_Fanout(benchmark::State& state) {
+  const auto subscribers = static_cast<std::size_t>(state.range(0));
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(5));
+  net::Broker broker(network, net::NodeId("BROKER"));
+  net::LinkSpec fast;
+  fast.base_latency = time_model::microseconds(10);
+  fast.jitter = time_model::Duration::zero();
+  fast.bytes_per_ms = 0.0;
+
+  network.register_node(net::NodeId("PUB"), [](const net::Message&) {});
+  network.connect(net::NodeId("PUB"), net::NodeId("BROKER"), fast);
+  std::uint64_t delivered = 0;
+  for (std::size_t s = 0; s < subscribers; ++s) {
+    const net::NodeId id("SUB" + std::to_string(s));
+    network.register_node(id, [&delivered](const net::Message&) { ++delivered; });
+    network.connect(id, net::NodeId("BROKER"), fast);
+    broker.subscribe("T", id);
+  }
+
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    broker.publish(net::NodeId("PUB"), core::Entity(make_instance("T", seq++)));
+    simulator.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.counters["deliveries_per_publish"] = static_cast<double>(subscribers);
+}
+
+/// Many topics, one subscriber each: routing-table scaling.
+void BM_TopicRouting(benchmark::State& state) {
+  const auto topics = static_cast<std::size_t>(state.range(0));
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(6));
+  net::Broker broker(network, net::NodeId("BROKER"));
+  net::LinkSpec fast;
+  fast.base_latency = time_model::microseconds(10);
+  fast.jitter = time_model::Duration::zero();
+  fast.bytes_per_ms = 0.0;
+
+  network.register_node(net::NodeId("PUB"), [](const net::Message&) {});
+  network.connect(net::NodeId("PUB"), net::NodeId("BROKER"), fast);
+  network.register_node(net::NodeId("SUB"), [](const net::Message&) {});
+  network.connect(net::NodeId("SUB"), net::NodeId("BROKER"), fast);
+  for (std::size_t t = 0; t < topics; ++t) {
+    broker.subscribe("T" + std::to_string(t), net::NodeId("SUB"));
+  }
+
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    broker.publish(net::NodeId("PUB"),
+                   core::Entity(make_instance("T" + std::to_string(seq % topics), seq)));
+    simulator.run();
+    ++seq;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fanout)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_TopicRouting)->Arg(4)->Arg(64)->Arg(1024);
+
+BENCHMARK_MAIN();

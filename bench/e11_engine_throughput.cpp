@@ -1,0 +1,149 @@
+/// E11 — Detection engine throughput ablation: entities/second through a
+/// DetectionEngine as a function of (a) number of registered definitions,
+/// (b) correlation window length, (c) per-slot buffer cap, and (d) join
+/// arity (slot count). This bounds what a single observer (mote / sink /
+/// CCU) can sustain and motivates the engine's buffer-cap and window
+/// pruning design.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace stem;
+using core::ConsumptionMode;
+using core::EventDefinition;
+using core::EventTypeId;
+using core::ObserverId;
+using core::SensorId;
+using core::SlotFilter;
+using time_model::seconds;
+using time_model::TimePoint;
+
+std::vector<core::Entity> make_entities(std::size_t n) {
+  sim::Rng rng(5);
+  std::vector<core::Entity> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::PhysicalObservation obs;
+    obs.mote = ObserverId("MT" + std::to_string(i % 8));
+    obs.sensor = SensorId("SR");
+    obs.seq = i;
+    obs.time = TimePoint(static_cast<time_model::Tick>(i) * 100'000);  // 10 Hz
+    obs.location = geom::Location(geom::Point{rng.uniform(0, 100), rng.uniform(0, 100)});
+    obs.attributes.set("value", rng.uniform(0, 100));
+    out.push_back(core::Entity(std::move(obs)));
+  }
+  return out;
+}
+
+EventDefinition threshold_def(const std::string& id, double threshold) {
+  return EventDefinition{EventTypeId(id),
+                         {{"x", SlotFilter::observation(SensorId("SR"))}},
+                         core::c_attr(core::ValueAggregate::kAverage, "value", {0},
+                                      core::RelationalOp::kGt, threshold),
+                         seconds(60),
+                         {},
+                         ConsumptionMode::kConsume};
+}
+
+EventDefinition join_def(std::size_t arity, time_model::Duration window) {
+  std::vector<core::SlotSpec> slots;
+  for (std::size_t i = 0; i < arity; ++i) {
+    slots.push_back({"s" + std::to_string(i), SlotFilter::observation(SensorId("SR"))});
+  }
+  std::vector<core::ConditionExpr> conds;
+  for (std::size_t i = 0; i + 1 < arity; ++i) {
+    conds.push_back(core::c_time(static_cast<core::SlotIndex>(i),
+                                 time_model::TemporalOp::kBefore,
+                                 static_cast<core::SlotIndex>(i + 1)));
+    conds.push_back(core::c_distance(static_cast<core::SlotIndex>(i),
+                                     static_cast<core::SlotIndex>(i + 1),
+                                     core::RelationalOp::kLt, 30.0));
+  }
+  return EventDefinition{EventTypeId("JOIN"), std::move(slots), core::c_and(std::move(conds)),
+                         window,             {},               ConsumptionMode::kConsume};
+}
+
+void BM_DefinitionCount(benchmark::State& state) {
+  const auto defs = static_cast<std::size_t>(state.range(0));
+  const auto entities = make_entities(4096);
+  core::DetectionEngine engine(ObserverId("X"), core::Layer::kSensor, {0, 0});
+  for (std::size_t i = 0; i < defs; ++i) {
+    engine.add_definition(threshold_def("D" + std::to_string(i),
+                                        90.0 + static_cast<double>(i)));  // rarely fires
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const core::Entity& e = entities[i & 4095];
+    benchmark::DoNotOptimize(engine.observe(e, e.occurrence_time().end()));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_JoinArity(benchmark::State& state) {
+  const auto arity = static_cast<std::size_t>(state.range(0));
+  const auto entities = make_entities(4096);
+  core::EngineOptions opts;
+  opts.max_buffer = 16;
+  core::DetectionEngine engine(ObserverId("X"), core::Layer::kSensor, {0, 0}, opts);
+  engine.add_definition(join_def(arity, seconds(2)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const core::Entity& e = entities[i & 4095];
+    benchmark::DoNotOptimize(engine.observe(e, e.occurrence_time().end()));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["bindings/op"] = benchmark::Counter(
+      static_cast<double>(engine.stats().bindings_tried) /
+          static_cast<double>(engine.stats().entities_in),
+      benchmark::Counter::kAvgThreads);
+}
+
+void BM_BufferCap(benchmark::State& state) {
+  const auto cap = static_cast<std::size_t>(state.range(0));
+  const auto entities = make_entities(4096);
+  core::EngineOptions opts;
+  opts.max_buffer = cap;
+  core::DetectionEngine engine(ObserverId("X"), core::Layer::kSensor, {0, 0}, opts);
+  engine.add_definition(join_def(2, seconds(3600)));  // window never prunes
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const core::Entity& e = entities[i & 4095];
+    benchmark::DoNotOptimize(engine.observe(e, e.occurrence_time().end()));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_WindowLength(benchmark::State& state) {
+  const auto window_s = state.range(0);
+  const auto entities = make_entities(4096);
+  core::EngineOptions opts;
+  opts.max_buffer = 256;
+  core::DetectionEngine engine(ObserverId("X"), core::Layer::kSensor, {0, 0}, opts);
+  engine.add_definition(join_def(2, seconds(window_s)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const core::Entity& e = entities[i & 4095];
+    benchmark::DoNotOptimize(engine.observe(e, e.occurrence_time().end()));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_DefinitionCount)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_JoinArity)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_BufferCap)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_WindowLength)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/// E1 — Temporal operator cost (paper Sec. 4.2 claims support for all
+/// three relation classes: punctual-punctual, punctual-interval,
+/// interval-interval). Measures eval_temporal and allen_relation over
+/// pre-generated random occurrence-time pairs.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "time/allen.hpp"
+#include "time/temporal_op.hpp"
+
+namespace {
+
+using namespace stem::time_model;
+
+enum class PairClass { kPointPoint, kPointInterval, kIntervalInterval };
+
+std::vector<std::pair<OccurrenceTime, OccurrenceTime>> make_pairs(PairClass cls, std::size_t n) {
+  stem::sim::Rng rng(42);
+  std::vector<std::pair<OccurrenceTime, OccurrenceTime>> pairs;
+  pairs.reserve(n);
+  const auto point = [&] { return OccurrenceTime(TimePoint(rng.uniform_int(0, 1'000'000))); };
+  const auto interval = [&] {
+    const Tick a = rng.uniform_int(0, 1'000'000);
+    const Tick len = rng.uniform_int(1, 10'000);
+    return OccurrenceTime(TimeInterval(TimePoint(a), TimePoint(a + len)));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (cls) {
+      case PairClass::kPointPoint: pairs.emplace_back(point(), point()); break;
+      case PairClass::kPointInterval: pairs.emplace_back(point(), interval()); break;
+      case PairClass::kIntervalInterval: pairs.emplace_back(interval(), interval()); break;
+    }
+  }
+  return pairs;
+}
+
+void BM_TemporalOp(benchmark::State& state, PairClass cls, TemporalOp op) {
+  const auto pairs = make_pairs(cls, 4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 4095];
+    benchmark::DoNotOptimize(eval_temporal(a, op, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_AllenClassify(benchmark::State& state) {
+  const auto pairs = make_pairs(PairClass::kIntervalInterval, 4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 4095];
+    benchmark::DoNotOptimize(allen_relation(a.as_interval(), b.as_interval()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TimeAggregate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stem::sim::Rng rng(7);
+  std::vector<OccurrenceTime> times;
+  for (std::size_t i = 0; i < n; ++i) {
+    times.push_back(OccurrenceTime(TimePoint(rng.uniform_int(0, 1'000'000))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregate_times(TimeAggregate::kSpan, times.data(), times.size()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_TemporalOp, before_pp, PairClass::kPointPoint, TemporalOp::kBefore);
+BENCHMARK_CAPTURE(BM_TemporalOp, before_pi, PairClass::kPointInterval, TemporalOp::kBefore);
+BENCHMARK_CAPTURE(BM_TemporalOp, before_ii, PairClass::kIntervalInterval, TemporalOp::kBefore);
+BENCHMARK_CAPTURE(BM_TemporalOp, during_pi, PairClass::kPointInterval, TemporalOp::kDuring);
+BENCHMARK_CAPTURE(BM_TemporalOp, during_ii, PairClass::kIntervalInterval, TemporalOp::kDuring);
+BENCHMARK_CAPTURE(BM_TemporalOp, overlaps_ii, PairClass::kIntervalInterval, TemporalOp::kOverlaps);
+BENCHMARK_CAPTURE(BM_TemporalOp, meets_ii, PairClass::kIntervalInterval, TemporalOp::kMeets);
+BENCHMARK_CAPTURE(BM_TemporalOp, equals_pp, PairClass::kPointPoint, TemporalOp::kEquals);
+BENCHMARK_CAPTURE(BM_TemporalOp, intersects_ii, PairClass::kIntervalInterval,
+                  TemporalOp::kIntersects);
+BENCHMARK(BM_AllenClassify);
+BENCHMARK(BM_TimeAggregate)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+BENCHMARK_MAIN();

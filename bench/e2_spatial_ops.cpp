@@ -1,0 +1,100 @@
+/// E2 — Spatial operator cost over point and field events (paper Sec. 4.2:
+/// point-point, point-field, field-field relation classes), with a
+/// polygon-size sweep showing predicate cost scaling in field complexity.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "geom/location.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace stem::geom;
+
+std::vector<Location> make_points(std::size_t n, double area) {
+  stem::sim::Rng rng(3);
+  std::vector<Location> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.emplace_back(Point{rng.uniform(0, area), rng.uniform(0, area)});
+  }
+  return out;
+}
+
+std::vector<Location> make_fields(std::size_t n, double area, int vertices) {
+  stem::sim::Rng rng(4);
+  std::vector<Location> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point c{rng.uniform(0, area), rng.uniform(0, area)};
+    out.emplace_back(Polygon::disk(c, rng.uniform(5, 30), vertices));
+  }
+  return out;
+}
+
+void BM_SpatialPointPoint(benchmark::State& state, SpatialOp op) {
+  const auto a = make_points(1024, 1000);
+  const auto b = make_points(1024, 1000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval_spatial(a[i & 1023], op, b[i & 1023]));
+    ++i;
+  }
+}
+
+void BM_SpatialPointField(benchmark::State& state, SpatialOp op) {
+  const int verts = static_cast<int>(state.range(0));
+  const auto a = make_points(1024, 1000);
+  const auto b = make_fields(1024, 1000, verts);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval_spatial(a[i & 1023], op, b[i & 1023]));
+    ++i;
+  }
+}
+
+void BM_SpatialFieldField(benchmark::State& state, SpatialOp op) {
+  const int verts = static_cast<int>(state.range(0));
+  const auto a = make_fields(1024, 1000, verts);
+  const auto b = make_fields(1024, 1000, verts);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval_spatial(a[i & 1023], op, b[i & 1023]));
+    ++i;
+  }
+}
+
+void BM_LocationDistance(benchmark::State& state) {
+  const int verts = static_cast<int>(state.range(0));
+  const auto a = make_fields(1024, 1000, verts);
+  const auto b = make_fields(1024, 1000, verts);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(location_distance(a[i & 1023], b[i & 1023]));
+    ++i;
+  }
+}
+
+void BM_HullAggregate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = make_points(n, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregate_locations(SpatialAggregate::kHull, pts.data(), n));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SpatialPointPoint, equal, SpatialOp::kEqual);
+BENCHMARK_CAPTURE(BM_SpatialPointPoint, joint, SpatialOp::kJoint);
+BENCHMARK_CAPTURE(BM_SpatialPointField, inside, SpatialOp::kInside)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_SpatialPointField, outside, SpatialOp::kOutside)->Arg(16)->Arg(64);
+BENCHMARK_CAPTURE(BM_SpatialFieldField, joint, SpatialOp::kJoint)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_SpatialFieldField, inside, SpatialOp::kInside)->Arg(16)->Arg(64);
+BENCHMARK_CAPTURE(BM_SpatialFieldField, equal, SpatialOp::kEqual)->Arg(16)->Arg(64);
+BENCHMARK(BM_LocationDistance)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_HullAggregate)->Arg(8)->Arg(64)->Arg(512);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+/// E3 — Composite condition evaluation (Eq. 4.5): throughput vs condition
+/// tree depth and width, and the short-circuit vs eager ablation called
+/// out in DESIGN.md. Trees mix attribute, temporal, spatial, and distance
+/// leaves over a two-entity binding.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/condition.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace stem;
+using core::ConditionExpr;
+
+core::Entity make_entity(double value, time_model::Tick t, geom::Point p) {
+  core::PhysicalObservation obs;
+  obs.mote = core::ObserverId("MT1");
+  obs.sensor = core::SensorId("SR");
+  obs.time = time_model::TimePoint(t);
+  obs.location = geom::Location(p);
+  obs.attributes.set("value", value);
+  return core::Entity(std::move(obs));
+}
+
+/// Random leaf over slots {0, 1}; ~50% of leaves are true for the fixture.
+ConditionExpr random_leaf(sim::Rng& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      return core::c_attr(core::ValueAggregate::kAverage, "value", {0, 1},
+                          rng.chance(0.5) ? core::RelationalOp::kGt : core::RelationalOp::kLt,
+                          25.0);
+    case 1:
+      return core::c_time(0,
+                          rng.chance(0.5) ? time_model::TemporalOp::kBefore
+                                          : time_model::TemporalOp::kAfter,
+                          1);
+    case 2:
+      return core::c_distance(0, 1, rng.chance(0.5) ? core::RelationalOp::kLt
+                                                    : core::RelationalOp::kGt,
+                              50.0);
+    default:
+      return core::c_space_const(0, geom::SpatialOp::kInside,
+                                 geom::Location(geom::Polygon::rectangle(
+                                     {0, 0}, {rng.chance(0.5) ? 100.0 : 1.0, 100.0})));
+  }
+}
+
+ConditionExpr build_tree(sim::Rng& rng, std::size_t depth, std::size_t width) {
+  if (depth <= 1) return random_leaf(rng);
+  std::vector<ConditionExpr> children;
+  children.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    children.push_back(build_tree(rng, depth - 1, width));
+  }
+  if (rng.chance(0.2)) return core::c_not(core::c_and(std::move(children)));
+  return rng.chance(0.5) ? core::c_and(std::move(children)) : core::c_or(std::move(children));
+}
+
+void BM_CompositeEval(benchmark::State& state, core::EvalMode mode) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const auto width = static_cast<std::size_t>(state.range(1));
+  sim::Rng rng(99);
+  const ConditionExpr tree = build_tree(rng, depth, width);
+
+  const core::Entity e0 = make_entity(20.0, 100, {10, 10});
+  const core::Entity e1 = make_entity(30.0, 200, {20, 20});
+  const core::Entity* slots[] = {&e0, &e1};
+  const core::EvalContext ctx(slots, 2);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval_condition(tree, ctx, mode));
+  }
+  state.counters["leaves"] = static_cast<double>(tree.leaf_count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_SingleLeaf(benchmark::State& state) {
+  const auto leaf = core::c_attr(core::ValueAggregate::kAverage, "value", {0, 1},
+                                 core::RelationalOp::kGt, 25.0);
+  const core::Entity e0 = make_entity(20.0, 100, {10, 10});
+  const core::Entity e1 = make_entity(30.0, 200, {20, 20});
+  const core::Entity* slots[] = {&e0, &e1};
+  const core::EvalContext ctx(slots, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval_condition(leaf, ctx));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SingleLeaf);
+BENCHMARK_CAPTURE(BM_CompositeEval, shortcircuit, stem::core::EvalMode::kShortCircuit)
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({5, 2})
+    ->Args({2, 4})
+    ->Args({3, 4})
+    ->Args({2, 8});
+BENCHMARK_CAPTURE(BM_CompositeEval, eager, stem::core::EvalMode::kEager)
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({5, 2})
+    ->Args({2, 4})
+    ->Args({3, 4})
+    ->Args({2, 8});
+
+BENCHMARK_MAIN();

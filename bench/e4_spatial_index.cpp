@@ -1,0 +1,110 @@
+/// E4 — Spatial index ablation: naive scan vs uniform grid vs R-tree for
+/// field-event Joint (box-intersection) queries, over 10^2..10^5 stored
+/// events. Shows where indexing starts paying for spatial condition
+/// evaluation at sinks and the database server.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "geom/grid_index.hpp"
+#include "geom/rtree.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace stem::geom;
+
+struct Workload {
+  std::vector<BoundingBox> boxes;
+  std::vector<BoundingBox> queries;
+};
+
+Workload make_workload(std::size_t n) {
+  stem::sim::Rng rng(1234);
+  Workload w;
+  const double area = 10'000.0;
+  w.boxes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point lo{rng.uniform(0, area), rng.uniform(0, area)};
+    w.boxes.emplace_back(lo, Point{lo.x + rng.uniform(1, 50), lo.y + rng.uniform(1, 50)});
+  }
+  for (int i = 0; i < 64; ++i) {
+    const Point lo{rng.uniform(0, area), rng.uniform(0, area)};
+    w.queries.emplace_back(lo, Point{lo.x + rng.uniform(10, 200), lo.y + rng.uniform(10, 200)});
+  }
+  return w;
+}
+
+void BM_NaiveScan(benchmark::State& state) {
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    const BoundingBox& q = w.queries[qi++ & 63];
+    std::size_t hits = 0;
+    for (const auto& b : w.boxes) {
+      if (b.intersects(q)) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+
+void BM_GridQuery(benchmark::State& state) {
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+  GridIndex<std::uint32_t> grid(100.0);
+  for (std::size_t i = 0; i < w.boxes.size(); ++i) {
+    grid.insert(w.boxes[i], static_cast<std::uint32_t>(i));
+  }
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.query(w.queries[qi++ & 63]));
+  }
+}
+
+void BM_RTreeQuery(benchmark::State& state) {
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+  RTree<std::uint32_t> tree;
+  for (std::size_t i = 0; i < w.boxes.size(); ++i) {
+    tree.insert(w.boxes[i], static_cast<std::uint32_t>(i));
+  }
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    tree.visit(w.queries[qi++ & 63], [&](const std::uint32_t&) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+
+void BM_GridInsert(benchmark::State& state) {
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    GridIndex<std::uint32_t> grid(100.0);
+    for (std::size_t i = 0; i < w.boxes.size(); ++i) {
+      grid.insert(w.boxes[i], static_cast<std::uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(grid.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    RTree<std::uint32_t> tree;
+    for (std::size_t i = 0; i < w.boxes.size(); ++i) {
+      tree.insert(w.boxes[i], static_cast<std::uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_NaiveScan)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GridQuery)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_RTreeQuery)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GridInsert)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+
+BENCHMARK_MAIN();

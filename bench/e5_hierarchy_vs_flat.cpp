@@ -1,0 +1,140 @@
+/// E5 — Hierarchical vs centralized evaluation.
+///
+/// The architectural premise of the paper's Sec. 3 hierarchy: evaluating
+/// event conditions *at the motes* condenses raw samples into sparse
+/// sensor events, unloading the network, versus a centralized design that
+/// ships every observation to one evaluator. Both configurations run the
+/// same fire workload with the same definitions; we report WSN messages,
+/// bytes, and detection counts as the mote population grows.
+
+#include <iomanip>
+#include <iostream>
+
+#include "eventlang/parser.hpp"
+#include "scenario/deployment.hpp"
+#include "sensing/phenomena.hpp"
+
+namespace {
+
+using namespace stem;
+
+struct RunResult {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t detections = 0;  // CP_FIRE at the sink
+  double mote_energy_mj = 0.0;   // summed battery drain across motes
+};
+
+struct Workload {
+  const char* name;
+  double threshold;     // HOT threshold
+  double spread_speed;  // m/s
+  int horizon_s;
+};
+
+RunResult run_config(std::size_t motes, bool centralized, const Workload& w,
+                     std::uint64_t seed) {
+  scenario::DeploymentConfig cfg;
+  cfg.topology.motes = motes;
+  cfg.topology.placement = wsn::TopologyConfig::Placement::kGrid;
+  cfg.topology.radio_range = 45.0;
+  cfg.topology.seed = seed;
+  cfg.seed = seed;
+  cfg.sampling_period = time_model::milliseconds(500);
+  cfg.forward_raw = centralized;
+  cfg.sink_cascade = centralized;  // HOT -> CP_FIRE resolves centrally
+
+  scenario::Deployment d(cfg);
+  const auto fire = std::make_shared<sensing::SpreadingFire>(
+      geom::Point{50, 50}, time_model::TimePoint::epoch() + time_model::seconds(5),
+      w.spread_speed);
+
+  const std::string thr = std::to_string(w.threshold);
+  const auto hot = eventlang::parse_event(
+      "event HOT { window: 2 s; slot x = obs(SRheat);\n"
+      "  when avg(value of x) > " + thr + ";\n"
+      "  emit { attr value = avg(value of x); } }");
+  const auto cp_fire = eventlang::parse_event(
+      "event CP_FIRE { window: 4 s;\n"
+      "  slot a = event(HOT); slot b = event(HOT); slot c = event(HOT);\n"
+      "  when min(value of a, b, c) > " + thr + "\n"
+      "   and distance(a, b) < 40 and distance(b, c) < 40 and distance(a, c) < 40\n"
+      "   and distance(a, b) > 0.5 and distance(b, c) > 0.5 and distance(a, c) > 0.5;\n"
+      "  emit { time: span; location: hull; attr value = avg(value of a, b, c); } }");
+
+  d.for_each_mote([&](wsn::SensorMote& mote) {
+    mote.add_sensor(std::make_shared<sensing::ScalarFieldSensor>(core::SensorId("SRheat"),
+                                                                 fire, 1.0));
+    if (!centralized) mote.add_definition(hot);
+  });
+  for (auto& sink : d.sinks()) {
+    if (centralized) {
+      // Central evaluation: raw observations arrive; the sink hosts both
+      // levels and cascades HOT -> CP_FIRE.
+      sink->engine().add_definition(hot);
+    }
+    sink->add_definition(cp_fire);
+  }
+
+  RunResult r;
+  for (auto& sink : d.sinks()) {
+    sink->on_instance([&r](const core::EventInstance& inst) {
+      if (inst.key.event == core::EventTypeId("CP_FIRE")) ++r.detections;
+    });
+  }
+  d.run_until(time_model::TimePoint::epoch() + time_model::seconds(w.horizon_s));
+  r.messages = d.network().stats().sent;
+  r.bytes = d.network().stats().bytes_sent;
+  d.for_each_mote(
+      [&r](wsn::SensorMote& m) { r.mote_energy_mj += m.energy().total_nj() / 1e6; });
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace stem;
+  std::cout << "=== E5: hierarchical (mote-side) vs centralized (raw shipping) ===\n";
+
+  // Two regimes: rare events (the hierarchy's home turf — most samples are
+  // uninteresting) and saturated events (every sample crosses the
+  // threshold, so condensation cannot drop anything).
+  const Workload workloads[] = {
+      {"rare (threshold 300, slow fire)", 300.0, 1.0, 30},
+      {"saturated (threshold 80, fast fire)", 80.0, 2.0, 60},
+  };
+
+  bool ok = true;
+  for (const Workload& w : workloads) {
+    std::cout << "\nworkload: " << w.name << "\n";
+    std::cout << std::setw(6) << "motes" << std::setw(12) << "h-msgs" << std::setw(12)
+              << "c-msgs" << std::setw(12) << "h-KB" << std::setw(12) << "c-KB"
+              << std::setw(9) << "h-det" << std::setw(9) << "c-det" << std::setw(10) << "h-mJ"
+              << std::setw(10) << "c-mJ" << std::setw(12) << "msg ratio" << "\n";
+    const bool rare = std::string_view(w.name).starts_with("rare");
+    for (const std::size_t motes : {16u, 36u, 64u, 121u}) {
+      const RunResult h = run_config(motes, /*centralized=*/false, w, motes);
+      const RunResult c = run_config(motes, /*centralized=*/true, w, motes);
+      const double ratio = h.messages == 0
+                               ? 0.0
+                               : static_cast<double>(c.messages) / static_cast<double>(h.messages);
+      std::cout << std::setw(6) << motes << std::setw(12) << h.messages << std::setw(12)
+                << c.messages << std::setw(12) << h.bytes / 1024 << std::setw(12)
+                << c.bytes / 1024 << std::setw(9) << h.detections << std::setw(9)
+                << c.detections << std::setw(10) << std::fixed << std::setprecision(1)
+                << h.mote_energy_mj << std::setw(10) << c.mote_energy_mj << std::setw(11)
+                << ratio << "x\n";
+      ok = ok && c.messages > h.messages;
+      if (rare) {
+        // In the rare regime the hierarchy must also win on mote energy.
+        ok = ok && c.mote_energy_mj > h.mote_energy_mj && h.detections > 0;
+      }
+    }
+  }
+
+  std::cout << "\n"
+            << (ok ? "E5 OK: hierarchy ships fewer messages everywhere and saves energy "
+                     "when events are rare\n"
+                   : "E5 FAILED: unexpected ordering\n");
+  return ok ? 0 : 1;
+}

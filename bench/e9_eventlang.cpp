@@ -1,0 +1,63 @@
+/// E9 — Event language compile cost: tokenize + parse + compile throughput
+/// for specifications of growing size (1..64 conditions per event).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "eventlang/lexer.hpp"
+#include "eventlang/parser.hpp"
+
+namespace {
+
+std::string make_spec(int conditions) {
+  std::string s = "event BIG {\n  window: 30 s;\n  slot x = obs(SR1);\n  slot y = obs(SR2);\n  when ";
+  for (int i = 0; i < conditions; ++i) {
+    if (i != 0) s += (i % 3 == 0) ? " or " : " and ";
+    switch (i % 4) {
+      case 0: s += "avg(value of x, y) > " + std::to_string(i); break;
+      case 1: s += "time(x) before time(y)"; break;
+      case 2: s += "distance(x, y) < " + std::to_string(10 + i); break;
+      default: s += "loc(x) inside rect(0, 0, 100, 100)"; break;
+    }
+  }
+  s += ";\n  emit { attr v = avg(value of x, y); }\n}\n";
+  return s;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string spec = make_spec(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stem::eventlang::tokenize(spec));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(spec.size()));
+}
+
+void BM_ParseEvent(benchmark::State& state) {
+  const std::string spec = make_spec(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stem::eventlang::parse_event(spec));
+  }
+  state.counters["conditions"] = static_cast<double>(state.range(0));
+}
+
+void BM_ParseManyEvents(benchmark::State& state) {
+  std::string spec;
+  for (int i = 0; i < state.range(0); ++i) {
+    spec += "event E" + std::to_string(i) +
+            " { slot x = any; when rho(x) >= 0.5 and time(x) after at(1 s); }\n";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stem::eventlang::parse_spec(spec));
+  }
+  state.counters["events"] = static_cast<double>(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Tokenize)->Arg(1)->Arg(16)->Arg(64);
+BENCHMARK(BM_ParseEvent)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_ParseManyEvents)->Arg(1)->Arg(16)->Arg(128);
+
+BENCHMARK_MAIN();

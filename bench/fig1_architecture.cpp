@@ -1,0 +1,82 @@
+/// F1 — Figure 1 as an executable artifact.
+///
+/// The paper's Figure 1 is the CPS architecture diagram: sensor motes ->
+/// sink nodes -> (publish) -> CPS control unit -> (commands) -> dispatch
+/// nodes -> actor motes, with database servers archiving instances. This
+/// binary runs the smart-building scenario and prints the component
+/// inventory and a per-component activity trace, demonstrating that every
+/// box and arrow of the figure is exercised.
+
+#include <iomanip>
+#include <iostream>
+
+#include "scenario/smart_building.hpp"
+
+int main() {
+  using namespace stem;
+
+  scenario::SmartBuildingConfig cfg;
+  cfg.deployment.topology.motes = 25;
+  cfg.deployment.topology.placement = wsn::TopologyConfig::Placement::kGrid;
+  cfg.deployment.topology.radio_range = 40.0;
+  cfg.deployment.sampling_period = time_model::milliseconds(500);
+  cfg.horizon = time_model::minutes(2);
+
+  scenario::SmartBuilding scenario(cfg);
+  auto& d = scenario.deployment();
+
+  std::cout << "=== F1: Figure 1 architecture, executable ===\n\n";
+  std::cout << "component inventory:\n";
+  std::cout << "  sensor motes (SR + MCU + transceiver) : " << d.motes().size() << "\n";
+  std::cout << "  sink nodes                            : " << d.sinks().size() << "\n";
+  std::cout << "  CPS control units                     : 1 (" << d.ccu().id().value() << ")\n";
+  std::cout << "  database servers                      : 1\n";
+  std::cout << "  dispatch nodes                        : 1\n";
+  std::cout << "  actor motes (window actuator)         : 1\n";
+  std::cout << "  pub/sub broker (CPS network)          : 1\n";
+  std::cout << "  routing tree depth                    : " << d.topology().max_depth()
+            << " hop(s)\n\n";
+
+  const auto result = scenario.run();
+
+  std::cout << "per-component activity (the arrows of Fig. 1):\n";
+  std::uint64_t samples = 0, sensor_events = 0, relayed = 0;
+  d.for_each_mote([&](wsn::SensorMote& m) {
+    samples += m.stats().samples;
+    sensor_events += m.stats().events_emitted;
+    relayed += m.stats().relayed;
+  });
+  std::cout << "  sampling (physical world -> motes)       : " << samples << " samples\n";
+  std::cout << "  sensor event conditions evaluated at motes: " << sensor_events
+            << " sensor events\n";
+  std::cout << "  WSN relay (mote -> mote -> sink)          : " << relayed << " relays\n";
+  std::uint64_t sink_in = 0, sink_out = 0, sink_pub = 0;
+  for (const auto& s : d.sinks()) {
+    sink_in += s->stats().entities_received;
+    sink_out += s->stats().instances_emitted;
+    sink_pub += s->stats().published;
+  }
+  std::cout << "  sink: entities in / CP events out / published: " << sink_in << " / "
+            << sink_out << " / " << sink_pub << "\n";
+  std::cout << "  broker: published / fanned out            : " << d.broker().published()
+            << " / " << d.broker().fanned_out() << "\n";
+  std::cout << "  CCU: entities in / cyber events / commands : "
+            << d.ccu().stats().entities_received << " / "
+            << d.ccu().stats().cyber_events_emitted << " / "
+            << d.ccu().stats().commands_issued << "\n";
+  std::cout << "  database server: instances archived        : "
+            << d.database().store().size() << "\n";
+  std::cout << "  actuation: window closed                   : "
+            << (result.window_closed.has_value() ? "yes" : "no") << "\n";
+  std::cout << "  network: messages / bytes                  : " << result.network.sent
+            << " / " << result.network.bytes_sent << "\n\n";
+
+  const bool all_exercised = samples > 0 && sensor_events > 0 && sink_out > 0 &&
+                             d.ccu().stats().cyber_events_emitted > 0 &&
+                             d.ccu().stats().commands_issued > 0 &&
+                             d.database().store().size() > 0 &&
+                             result.window_closed.has_value();
+  std::cout << (all_exercised ? "F1 OK: every component class of Figure 1 was exercised\n"
+                              : "F1 FAILED: some component saw no traffic\n");
+  return all_exercised ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+#include "analysis/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stem::analysis {
+
+AccuracyReport score_detections(const std::vector<const sensing::PhysicalEvent*>& truths,
+                                const std::vector<const core::EventInstance*>& detections,
+                                const MatchConfig& config) {
+  AccuracyReport report;
+  report.truths = truths.size();
+  report.detections = detections.size();
+
+  std::vector<bool> truth_used(truths.size(), false);
+  double time_err_sum = 0.0;
+  double space_err_sum = 0.0;
+
+  for (const core::EventInstance* det : detections) {
+    std::size_t best = truths.size();
+    double best_dt = 0.0;
+    for (std::size_t i = 0; i < truths.size(); ++i) {
+      if (truth_used[i]) continue;
+      const sensing::PhysicalEvent* truth = truths[i];
+      const auto dt_ticks =
+          std::abs((det->est_time.begin() - truth->time.begin()).ticks());
+      if (time_model::Duration(dt_ticks) > config.time_tolerance) continue;
+      if (config.space_tolerance > 0.0) {
+        const double d = geom::distance(det->est_location.representative(),
+                                        truth->location.representative());
+        if (d > config.space_tolerance) continue;
+      }
+      const auto dt = static_cast<double>(dt_ticks);
+      if (best == truths.size() || dt < best_dt) {
+        best = i;
+        best_dt = dt;
+      }
+    }
+    if (best == truths.size()) continue;
+    truth_used[best] = true;
+    ++report.matched;
+    time_err_sum += best_dt / 1000.0;
+    space_err_sum += geom::distance(det->est_location.representative(),
+                                    truths[best]->location.representative());
+  }
+
+  if (report.matched > 0) {
+    report.mean_time_error_ms = time_err_sum / static_cast<double>(report.matched);
+    report.mean_space_error_m = space_err_sum / static_cast<double>(report.matched);
+  }
+  return report;
+}
+
+}  // namespace stem::analysis

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "sensing/physical_event.hpp"
+
+namespace stem::analysis {
+
+/// Detection-accuracy scoring: matches detected event instances against
+/// ground-truth physical events and reports precision / recall / F1 plus
+/// spatial error. Matching is greedy one-to-one: a detection matches the
+/// nearest-in-time unmatched truth whose occurrence times fall within
+/// `time_tolerance` and (if both carry locations) whose locations are
+/// within `space_tolerance`.
+struct MatchConfig {
+  time_model::Duration time_tolerance = time_model::seconds(10);
+  double space_tolerance = 50.0;  ///< meters; <=0 disables the spatial gate
+};
+
+struct AccuracyReport {
+  std::size_t truths = 0;
+  std::size_t detections = 0;
+  std::size_t matched = 0;
+
+  [[nodiscard]] double precision() const {
+    return detections == 0 ? 0.0 : static_cast<double>(matched) / static_cast<double>(detections);
+  }
+  [[nodiscard]] double recall() const {
+    return truths == 0 ? 0.0 : static_cast<double>(matched) / static_cast<double>(truths);
+  }
+  [[nodiscard]] double f1() const {
+    const double p = precision(), r = recall();
+    return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+
+  /// Mean |t_detect_begin - t_truth_begin| over matches, in ms.
+  double mean_time_error_ms = 0.0;
+  /// Mean representative-point distance over matches, in meters.
+  double mean_space_error_m = 0.0;
+};
+
+/// Scores `detections` against `truths`.
+[[nodiscard]] AccuracyReport score_detections(
+    const std::vector<const sensing::PhysicalEvent*>& truths,
+    const std::vector<const core::EventInstance*>& detections, const MatchConfig& config = {});
+
+}  // namespace stem::analysis

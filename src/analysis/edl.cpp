@@ -1,0 +1,56 @@
+#include "analysis/edl.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace stem::analysis {
+
+void EdlTracker::record(const core::EventTypeId& event, time_model::TimePoint physical,
+                        time_model::TimePoint detected) {
+  const double ms = static_cast<double>((detected - physical).ticks()) / 1000.0;
+  samples_[event].add(ms);
+}
+
+std::size_t EdlTracker::count(const core::EventTypeId& event) const {
+  const auto it = samples_.find(event);
+  return it == samples_.end() ? 0 : it->second.count();
+}
+
+double EdlTracker::percentile_ms(const core::EventTypeId& event, double p) const {
+  const auto it = samples_.find(event);
+  return it == samples_.end() ? 0.0 : it->second.percentile(p);
+}
+
+double EdlTracker::mean_ms(const core::EventTypeId& event) const {
+  const auto it = samples_.find(event);
+  return it == samples_.end() ? 0.0 : it->second.mean();
+}
+
+time_model::Duration EdlModel::expected() const { return expected_at(core::Layer::kCyber); }
+
+time_model::Duration EdlModel::worst_case() const {
+  return expected_at(core::Layer::kCyber) + sampling_period / 2;
+}
+
+time_model::Duration EdlModel::expected_at(core::Layer layer) const {
+  using time_model::Duration;
+  Duration acc = sampling_period / 2;  // expected sampling phase
+  acc += mote_proc;
+  if (layer == core::Layer::kSensor || layer == core::Layer::kPhysicalObservation) return acc;
+  acc += hop_latency * hops;
+  acc += sink_proc;
+  if (layer == core::Layer::kCyberPhysical) return acc;
+  acc += net_latency * 2;  // src -> broker -> subscriber
+  acc += ccu_proc;
+  return acc;
+}
+
+std::ostream& operator<<(std::ostream& os, const EdlModel& model) {
+  return os << "EDL{P=" << model.sampling_period << " mote=" << model.mote_proc
+            << " hops=" << model.hops << "x" << model.hop_latency
+            << " sink=" << model.sink_proc << " net=2x" << model.net_latency
+            << " ccu=" << model.ccu_proc << " => E=" << model.expected()
+            << " W=" << model.worst_case() << "}";
+}
+
+}  // namespace stem::analysis

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "core/instance.hpp"
+#include "sim/stats.hpp"
+#include "time/time_point.hpp"
+
+namespace stem::analysis {
+
+/// Event Detection Latency instrumentation — the formal temporal analysis
+/// the paper defers to future work (Sec. 6): "a formal temporal analysis
+/// of Event Detection Latency (EDL) based on the proposed framework and
+/// building an end-to-end latency model for CPSs."
+///
+/// EDL of an instance is the delay from the ground-truth physical
+/// occurrence to the instance's generation at the observing layer:
+///   EDL = t^g(instance) - t^o(physical event).
+class EdlTracker {
+ public:
+  /// Records one detection of `event` whose physical occurrence (began) at
+  /// `physical` and was reflected in an instance generated at `detected`.
+  void record(const core::EventTypeId& event, time_model::TimePoint physical,
+              time_model::TimePoint detected);
+
+  /// Convenience overload reading t^g from the instance.
+  void record(const core::EventInstance& inst, time_model::TimePoint physical) {
+    record(inst.key.event, physical, inst.gen_time);
+  }
+
+  [[nodiscard]] std::size_t count(const core::EventTypeId& event) const;
+  /// EDL percentile in milliseconds.
+  [[nodiscard]] double percentile_ms(const core::EventTypeId& event, double p) const;
+  [[nodiscard]] double mean_ms(const core::EventTypeId& event) const;
+
+ private:
+  std::unordered_map<core::EventTypeId, sim::Percentiles> samples_;
+};
+
+/// Analytical end-to-end latency model, decomposed along the paper's
+/// architecture (Fig. 1/2 pipeline):
+///
+///   physical event --(sampling)--> observation --(mote MCU)--> sensor
+///   event --(WSN hops)--> sink --(sink proc)--> cyber-physical event
+///   --(CPS network: publish + fan-out)--> CCU --(CCU proc)--> cyber event
+///
+/// Expected EDL  = P/2 + d_mote + h*(d_hop) + d_sink + 2*d_net + d_ccu
+/// Worst-case    = P   + d_mote + h*(d_hop) + d_sink + 2*d_net + d_ccu
+/// where P is the sampling period (detection cannot precede the next
+/// sample: uniformly distributed phase gives P/2 expected, P worst), and
+/// d_net appears twice because publication crosses the broker (src ->
+/// broker -> subscriber).
+struct EdlModel {
+  time_model::Duration sampling_period = time_model::seconds(1);
+  time_model::Duration mote_proc = time_model::milliseconds(5);
+  time_model::Duration hop_latency = time_model::milliseconds(3);  ///< mean per-hop
+  int hops = 1;                                                    ///< mote -> sink hops
+  time_model::Duration sink_proc = time_model::milliseconds(10);
+  time_model::Duration net_latency = time_model::milliseconds(3);  ///< per broker leg, mean
+  time_model::Duration ccu_proc = time_model::milliseconds(20);
+
+  /// Expected EDL of a cyber event (CCU level).
+  [[nodiscard]] time_model::Duration expected() const;
+  /// Worst-case EDL given the same parameters (full sampling phase).
+  [[nodiscard]] time_model::Duration worst_case() const;
+  /// Expected EDL up to a given layer of the hierarchy: sensor events stop
+  /// after the mote, cyber-physical after the sink, cyber after the CCU.
+  [[nodiscard]] time_model::Duration expected_at(core::Layer layer) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const EdlModel& model);
+
+}  // namespace stem::analysis

@@ -1,0 +1,33 @@
+#include "baseline/flat.hpp"
+
+namespace stem::baseline {
+
+FlatCollector::FlatCollector(net::Network& network, Config config)
+    : network_(network),
+      config_(std::move(config)),
+      engine_(config_.id, core::Layer::kCyber, config_.position, config_.engine_options) {
+  network_.register_node(config_.id, [this](const net::Message& msg) { on_message(msg); });
+}
+
+void FlatCollector::on_message(const net::Message& msg) {
+  const auto* entity = std::get_if<core::Entity>(&msg.payload);
+  if (entity == nullptr) return;
+  ++received_;
+  network_.simulator().schedule_after(config_.proc_delay, [this, e = *entity] {
+    const time_model::TimePoint now = network_.simulator().now();
+    // Feed the entity, then cascade: detected instances are re-fed so
+    // multi-level definitions (sensor -> CP -> cyber) resolve centrally.
+    std::vector<core::EventInstance> frontier = engine_.observe(e, now);
+    while (!frontier.empty()) {
+      std::vector<core::EventInstance> next;
+      for (auto& inst : frontier) {
+        detected_.push_back(inst);
+        auto derived = engine_.observe(core::Entity(std::move(inst)), now);
+        for (auto& d : derived) next.push_back(std::move(d));
+      }
+      frontier = std::move(next);
+    }
+  });
+}
+
+}  // namespace stem::baseline

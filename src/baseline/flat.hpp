@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "net/network.hpp"
+
+namespace stem::baseline {
+
+/// The centralized baseline of experiment E5: a single node that receives
+/// *raw physical observations* from every mote (motes run with
+/// `forward_raw = true`) and evaluates all event definitions — sensor,
+/// cyber-physical, and cyber level — in one flat engine.
+///
+/// This is the architecture the paper's hierarchy argues against: it
+/// trades mote-side processing for network load, shipping every sample to
+/// the center. The benchmark compares messages, bytes, and detection
+/// latency against the layered deployment.
+class FlatCollector {
+ public:
+  struct Config {
+    net::NodeId id;
+    geom::Point position;
+    time_model::Duration proc_delay = time_model::milliseconds(20);
+    core::EngineOptions engine_options{};
+  };
+
+  FlatCollector(net::Network& network, Config config);
+  FlatCollector(const FlatCollector&) = delete;
+  FlatCollector& operator=(const FlatCollector&) = delete;
+
+  /// Registers a definition; the flat engine hosts all hierarchy levels.
+  void add_definition(core::EventDefinition def) { engine_.add_definition(std::move(def)); }
+
+  [[nodiscard]] const net::NodeId& id() const { return config_.id; }
+  [[nodiscard]] core::DetectionEngine& engine() { return engine_; }
+  /// Every instance detected centrally, in detection order.
+  [[nodiscard]] const std::vector<core::EventInstance>& detected() const { return detected_; }
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+ private:
+  void on_message(const net::Message& msg);
+
+  net::Network& network_;
+  Config config_;
+  core::DetectionEngine engine_;
+  std::vector<core::EventInstance> detected_;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace stem::baseline

@@ -1,0 +1,17 @@
+#include "baseline/point_only.hpp"
+
+namespace stem::baseline {
+
+core::Entity degrade_to_point(const core::Entity& entity) {
+  if (entity.is_observation()) {
+    core::PhysicalObservation obs = entity.observation();
+    obs.location = geom::Location(obs.location.representative());
+    return core::Entity(std::move(obs));
+  }
+  core::EventInstance inst = entity.instance();
+  inst.est_time = time_model::OccurrenceTime(inst.est_time.end());
+  inst.est_location = geom::Location(inst.est_location.representative());
+  return core::Entity(std::move(inst));
+}
+
+}  // namespace stem::baseline

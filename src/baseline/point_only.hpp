@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace stem::baseline {
+
+/// Degrades an entity to point-only semantics: the occurrence time becomes
+/// the single point at which the event was *completed* (interval end), and
+/// the occurrence location becomes the representative point (fields lose
+/// their extent). This is how an RTL-style, aspatial ECA system sees the
+/// world (paper Sec. 2: "since interval-based events are not supported in
+/// RTL-based event model, the interval-based temporal relationships such
+/// as 'During, Overlap' are not addressed").
+[[nodiscard]] core::Entity degrade_to_point(const core::Entity& entity);
+
+/// The ECA baseline of experiment E6: a detection engine whose inputs are
+/// forcibly degraded to punctual, point-located entities. Definitions are
+/// shared verbatim with the full model, so any recall gap is attributable
+/// to the event *model*, not the rule set.
+class PointOnlyEngine : public core::Observer {
+ public:
+  PointOnlyEngine(core::ObserverId id, core::Layer layer, geom::Point location,
+                  core::EngineOptions options = {})
+      : inner_(std::move(id), layer, location, options) {}
+
+  void add_definition(core::EventDefinition def) { inner_.add_definition(std::move(def)); }
+
+  [[nodiscard]] const core::ObserverId& id() const override { return inner_.id(); }
+  [[nodiscard]] const core::EngineStats& stats() const { return inner_.stats(); }
+
+  std::vector<core::EventInstance> observe(const core::Entity& entity,
+                                           time_model::TimePoint now) override {
+    return inner_.observe(degrade_to_point(entity), now);
+  }
+
+ private:
+  core::DetectionEngine inner_;
+};
+
+}  // namespace stem::baseline

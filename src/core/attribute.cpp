@@ -1,0 +1,140 @@
+#include "core/attribute.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace stem::core {
+
+std::optional<double> as_number(const AttributeValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? 1.0 : 0.0;
+  return std::nullopt;
+}
+
+std::ostream& operator<<(std::ostream& os, const AttributeValue& v) {
+  std::visit([&os](const auto& x) { os << x; }, v);
+  return os;
+}
+
+AttributeSet::AttributeSet(std::initializer_list<std::pair<std::string, AttributeValue>> init) {
+  for (auto& [name, value] : init) set(name, value);
+}
+
+void AttributeSet::set(std::string name, AttributeValue value) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  if (it != entries_.end() && it->first == name) {
+    it->second = std::move(value);
+  } else {
+    entries_.emplace(it, std::move(name), std::move(value));
+  }
+}
+
+const AttributeValue* AttributeSet::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it != entries_.end() && it->first == name) return &it->second;
+  return nullptr;
+}
+
+std::optional<double> AttributeSet::number(std::string_view name) const {
+  const AttributeValue* v = find(name);
+  if (v == nullptr) return std::nullopt;
+  return as_number(*v);
+}
+
+std::ostream& operator<<(std::ostream& os, const AttributeSet& attrs) {
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : attrs) {
+    if (!first) os << ", ";
+    first = false;
+    os << name << "=" << value;
+  }
+  return os << "}";
+}
+
+bool eval_relational(double lhs, RelationalOp op, double rhs) {
+  switch (op) {
+    case RelationalOp::kEq: return lhs == rhs;
+    case RelationalOp::kNe: return lhs != rhs;
+    case RelationalOp::kLt: return lhs < rhs;
+    case RelationalOp::kLe: return lhs <= rhs;
+    case RelationalOp::kGt: return lhs > rhs;
+    case RelationalOp::kGe: return lhs >= rhs;
+  }
+  return false;  // unreachable
+}
+
+std::string_view to_string(RelationalOp op) {
+  switch (op) {
+    case RelationalOp::kEq: return "==";
+    case RelationalOp::kNe: return "!=";
+    case RelationalOp::kLt: return "<";
+    case RelationalOp::kLe: return "<=";
+    case RelationalOp::kGt: return ">";
+    case RelationalOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::optional<RelationalOp> relational_op_from_string(std::string_view s) {
+  if (s == "==" || s == "=") return RelationalOp::kEq;
+  if (s == "!=") return RelationalOp::kNe;
+  if (s == "<") return RelationalOp::kLt;
+  if (s == "<=") return RelationalOp::kLe;
+  if (s == ">") return RelationalOp::kGt;
+  if (s == ">=") return RelationalOp::kGe;
+  return std::nullopt;
+}
+
+std::ostream& operator<<(std::ostream& os, RelationalOp op) { return os << to_string(op); }
+
+std::string_view to_string(ValueAggregate a) {
+  switch (a) {
+    case ValueAggregate::kAverage: return "avg";
+    case ValueAggregate::kMax: return "max";
+    case ValueAggregate::kMin: return "min";
+    case ValueAggregate::kSum: return "sum";
+    case ValueAggregate::kCount: return "count";
+  }
+  return "?";
+}
+
+std::optional<ValueAggregate> value_aggregate_from_string(std::string_view s) {
+  if (s == "avg" || s == "average") return ValueAggregate::kAverage;
+  if (s == "max") return ValueAggregate::kMax;
+  if (s == "min") return ValueAggregate::kMin;
+  if (s == "sum" || s == "add") return ValueAggregate::kSum;
+  if (s == "count") return ValueAggregate::kCount;
+  return std::nullopt;
+}
+
+double aggregate_values(ValueAggregate agg, const double* first, std::size_t count) {
+  if (agg == ValueAggregate::kCount) return static_cast<double>(count);
+  if (count == 0 || first == nullptr) {
+    throw std::invalid_argument("aggregate_values: empty input");
+  }
+  double acc = first[0];
+  switch (agg) {
+    case ValueAggregate::kAverage:
+    case ValueAggregate::kSum:
+      for (std::size_t i = 1; i < count; ++i) acc += first[i];
+      if (agg == ValueAggregate::kAverage) acc /= static_cast<double>(count);
+      return acc;
+    case ValueAggregate::kMax:
+      for (std::size_t i = 1; i < count; ++i) acc = std::max(acc, first[i]);
+      return acc;
+    case ValueAggregate::kMin:
+      for (std::size_t i = 1; i < count; ++i) acc = std::min(acc, first[i]);
+      return acc;
+    case ValueAggregate::kCount: break;  // handled above
+  }
+  throw std::logic_error("aggregate_values: bad aggregate");
+}
+
+}  // namespace stem::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace stem::core {
+
+/// Value of a single event-occurrence attribute (the V set of Def. 4.1).
+using AttributeValue = std::variant<std::int64_t, double, bool, std::string>;
+
+/// Numeric view of a value: ints, doubles, and bools coerce; strings don't.
+[[nodiscard]] std::optional<double> as_number(const AttributeValue& v);
+
+std::ostream& operator<<(std::ostream& os, const AttributeValue& v);
+
+/// A small ordered name->value map. Events carry a handful of attributes,
+/// so a sorted vector beats a node-based map in both space and speed.
+class AttributeSet {
+ public:
+  AttributeSet() = default;
+  AttributeSet(std::initializer_list<std::pair<std::string, AttributeValue>> init);
+
+  /// Inserts or replaces.
+  void set(std::string name, AttributeValue value);
+
+  [[nodiscard]] const AttributeValue* find(std::string_view name) const;
+  [[nodiscard]] bool has(std::string_view name) const { return find(name) != nullptr; }
+  /// Numeric value of `name`, if present and numeric.
+  [[nodiscard]] std::optional<double> number(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+
+  friend bool operator==(const AttributeSet&, const AttributeSet&) = default;
+
+ private:
+  std::vector<std::pair<std::string, AttributeValue>> entries_;  // sorted by name
+};
+
+std::ostream& operator<<(std::ostream& os, const AttributeSet& attrs);
+
+/// Relational operators OP_R of attribute-based event conditions (Eq. 4.2):
+/// "Greater, Equal, Less" plus the standard complements.
+enum class RelationalOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+[[nodiscard]] bool eval_relational(double lhs, RelationalOp op, double rhs);
+[[nodiscard]] std::string_view to_string(RelationalOp op);
+[[nodiscard]] std::optional<RelationalOp> relational_op_from_string(std::string_view s);
+std::ostream& operator<<(std::ostream& os, RelationalOp op);
+
+/// Aggregation functions g_v over entity attributes (Eq. 4.2): the paper
+/// names "Average, Max, Add"; Min/Count round out the usual set.
+enum class ValueAggregate { kAverage, kMax, kMin, kSum, kCount };
+
+[[nodiscard]] std::string_view to_string(ValueAggregate a);
+[[nodiscard]] std::optional<ValueAggregate> value_aggregate_from_string(std::string_view s);
+
+/// Applies an aggregation to a list of numeric samples.
+/// kCount tolerates an empty list; the others throw std::invalid_argument.
+[[nodiscard]] double aggregate_values(ValueAggregate agg, const double* first, std::size_t count);
+
+}  // namespace stem::core

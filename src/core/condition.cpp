@@ -1,0 +1,345 @@
+#include "core/condition.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace stem::core {
+
+namespace {
+
+/// Collects the numeric values of `attribute` from the listed slots.
+/// Returns false (condition cannot hold) if any slot lacks the attribute.
+bool collect_numbers(const EvalContext& ctx, const std::vector<SlotIndex>& slots,
+                     const std::string& attribute, std::vector<double>& out) {
+  out.clear();
+  out.reserve(slots.size());
+  for (const SlotIndex s : slots) {
+    const auto v = ctx.slot(s).attributes().number(attribute);
+    if (!v.has_value()) return false;
+    out.push_back(*v);
+  }
+  return true;
+}
+
+time_model::OccurrenceTime eval_time_expr(const TimeExpr& e, const EvalContext& ctx) {
+  std::vector<time_model::OccurrenceTime> times;
+  times.reserve(e.slots.size());
+  for (const SlotIndex s : e.slots) times.push_back(ctx.slot(s).occurrence_time());
+  const auto agg = time_model::aggregate_times(e.aggregate, times.data(), times.size());
+  return agg.shifted(e.offset);
+}
+
+geom::Location eval_location_expr(const LocationExpr& e, const EvalContext& ctx) {
+  // Aggregation over a single entity is the identity; in particular a
+  // non-convex field must not be convexified by kHull.
+  if (e.slots.size() == 1) return ctx.slot(e.slots.front()).location();
+  std::vector<geom::Location> locs;
+  locs.reserve(e.slots.size());
+  for (const SlotIndex s : e.slots) locs.push_back(ctx.slot(s).location());
+  return geom::aggregate_locations(e.aggregate, locs.data(), locs.size());
+}
+
+bool eval_leaf(const AttributeCondition& c, const EvalContext& ctx) {
+  std::vector<double> values;
+  if (!collect_numbers(ctx, c.slots, c.attribute, values)) return false;
+  const double lhs = aggregate_values(c.aggregate, values.data(), values.size());
+  return eval_relational(lhs, c.op, c.constant);
+}
+
+bool eval_leaf(const TemporalCondition& c, const EvalContext& ctx) {
+  const auto lhs = eval_time_expr(c.lhs, ctx);
+  const auto rhs = std::holds_alternative<time_model::OccurrenceTime>(c.rhs)
+                       ? std::get<time_model::OccurrenceTime>(c.rhs)
+                       : eval_time_expr(std::get<TimeExpr>(c.rhs), ctx);
+  return time_model::eval_temporal(lhs, c.op, rhs);
+}
+
+bool eval_leaf(const SpatialCondition& c, const EvalContext& ctx) {
+  const auto lhs = eval_location_expr(c.lhs, ctx);
+  if (std::holds_alternative<geom::Location>(c.rhs)) {
+    return geom::eval_spatial(lhs, c.op, std::get<geom::Location>(c.rhs));
+  }
+  return geom::eval_spatial(lhs, c.op, eval_location_expr(std::get<LocationExpr>(c.rhs), ctx));
+}
+
+bool eval_leaf(const DistanceCondition& c, const EvalContext& ctx) {
+  const auto lhs = eval_location_expr(c.lhs, ctx);
+  const auto rhs = std::holds_alternative<geom::Location>(c.to)
+                       ? std::get<geom::Location>(c.to)
+                       : eval_location_expr(std::get<LocationExpr>(c.to), ctx);
+  return eval_relational(geom::location_distance(lhs, rhs), c.op, c.constant);
+}
+
+bool eval_leaf(const ConfidenceCondition& c, const EvalContext& ctx) {
+  std::vector<double> values;
+  values.reserve(c.slots.size());
+  for (const SlotIndex s : c.slots) values.push_back(ctx.slot(s).confidence());
+  const double lhs = aggregate_values(c.aggregate, values.data(), values.size());
+  return eval_relational(lhs, c.op, c.constant);
+}
+
+}  // namespace
+
+bool eval_condition(const ConditionExpr& expr, const EvalContext& ctx, EvalMode mode) {
+  return std::visit(
+      [&](const auto& node) -> bool {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, AndNode>) {
+          if (mode == EvalMode::kShortCircuit) {
+            for (const auto& ch : node.children) {
+              if (!eval_condition(ch, ctx, mode)) return false;
+            }
+            return true;
+          }
+          bool all = true;
+          for (const auto& ch : node.children) all &= eval_condition(ch, ctx, mode);
+          return all;
+        } else if constexpr (std::is_same_v<T, OrNode>) {
+          if (mode == EvalMode::kShortCircuit) {
+            for (const auto& ch : node.children) {
+              if (eval_condition(ch, ctx, mode)) return true;
+            }
+            return false;
+          }
+          bool any = false;
+          for (const auto& ch : node.children) any |= eval_condition(ch, ctx, mode);
+          return any;
+        } else if constexpr (std::is_same_v<T, NotNode>) {
+          return !eval_condition(node.child.front(), ctx, mode);
+        } else {
+          return eval_leaf(node, ctx);
+        }
+      },
+      expr.rep());
+}
+
+std::size_t ConditionExpr::leaf_count() const {
+  return std::visit(
+      [](const auto& node) -> std::size_t {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, AndNode> || std::is_same_v<T, OrNode>) {
+          std::size_t n = 0;
+          for (const auto& ch : node.children) n += ch.leaf_count();
+          return n;
+        } else if constexpr (std::is_same_v<T, NotNode>) {
+          return node.child.front().leaf_count();
+        } else {
+          return 1;
+        }
+      },
+      rep_);
+}
+
+std::size_t ConditionExpr::depth() const {
+  return std::visit(
+      [](const auto& node) -> std::size_t {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, AndNode> || std::is_same_v<T, OrNode>) {
+          std::size_t d = 0;
+          for (const auto& ch : node.children) d = std::max(d, ch.depth());
+          return d + 1;
+        } else if constexpr (std::is_same_v<T, NotNode>) {
+          return node.child.front().depth() + 1;
+        } else {
+          return 1;
+        }
+      },
+      rep_);
+}
+
+namespace {
+void collect_slots(const ConditionExpr& expr, std::optional<SlotIndex>& best) {
+  const auto update = [&best](const std::vector<SlotIndex>& slots) {
+    for (const SlotIndex s : slots) {
+      if (!best.has_value() || s > *best) best = s;
+    }
+  };
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, AndNode> || std::is_same_v<T, OrNode>) {
+          for (const auto& ch : node.children) collect_slots(ch, best);
+        } else if constexpr (std::is_same_v<T, NotNode>) {
+          collect_slots(node.child.front(), best);
+        } else if constexpr (std::is_same_v<T, AttributeCondition> ||
+                             std::is_same_v<T, ConfidenceCondition>) {
+          update(node.slots);
+        } else if constexpr (std::is_same_v<T, TemporalCondition>) {
+          update(node.lhs.slots);
+          if (const auto* rhs = std::get_if<TimeExpr>(&node.rhs)) update(rhs->slots);
+        } else if constexpr (std::is_same_v<T, SpatialCondition>) {
+          update(node.lhs.slots);
+          if (const auto* rhs = std::get_if<LocationExpr>(&node.rhs)) update(rhs->slots);
+        } else if constexpr (std::is_same_v<T, DistanceCondition>) {
+          update(node.lhs.slots);
+          if (const auto* rhs = std::get_if<LocationExpr>(&node.to)) update(rhs->slots);
+        }
+      },
+      expr.rep());
+}
+}  // namespace
+
+std::optional<SlotIndex> ConditionExpr::max_slot() const {
+  std::optional<SlotIndex> best;
+  collect_slots(*this, best);
+  return best;
+}
+
+namespace {
+void print_slots(std::ostream& os, const std::vector<SlotIndex>& slots) {
+  os << "[";
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "$" << slots[i];
+  }
+  os << "]";
+}
+
+void print_expr(std::ostream& os, const ConditionExpr& expr) {
+  std::visit(
+      [&os](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, AndNode> || std::is_same_v<T, OrNode>) {
+          os << (std::is_same_v<T, AndNode> ? "(and" : "(or");
+          for (const auto& ch : node.children) {
+            os << " ";
+            print_expr(os, ch);
+          }
+          os << ")";
+        } else if constexpr (std::is_same_v<T, NotNode>) {
+          os << "(not ";
+          print_expr(os, node.child.front());
+          os << ")";
+        } else if constexpr (std::is_same_v<T, AttributeCondition>) {
+          os << "(" << to_string(node.aggregate) << "." << node.attribute;
+          print_slots(os, node.slots);
+          os << " " << node.op << " " << node.constant << ")";
+        } else if constexpr (std::is_same_v<T, TemporalCondition>) {
+          os << "(time:" << time_model::to_string(node.lhs.aggregate);
+          print_slots(os, node.lhs.slots);
+          if (node.lhs.offset != time_model::Duration::zero()) {
+            os << "+" << node.lhs.offset;
+          }
+          os << " " << node.op << " ";
+          if (const auto* t = std::get_if<time_model::OccurrenceTime>(&node.rhs)) {
+            os << *t;
+          } else {
+            const auto& rhs = std::get<TimeExpr>(node.rhs);
+            os << time_model::to_string(rhs.aggregate);
+            print_slots(os, rhs.slots);
+          }
+          os << ")";
+        } else if constexpr (std::is_same_v<T, SpatialCondition>) {
+          os << "(space:" << geom::to_string(node.lhs.aggregate);
+          print_slots(os, node.lhs.slots);
+          os << " " << node.op << " ";
+          if (const auto* l = std::get_if<geom::Location>(&node.rhs)) {
+            os << *l;
+          } else {
+            const auto& rhs = std::get<LocationExpr>(node.rhs);
+            os << geom::to_string(rhs.aggregate);
+            print_slots(os, rhs.slots);
+          }
+          os << ")";
+        } else if constexpr (std::is_same_v<T, DistanceCondition>) {
+          os << "(distance:";
+          print_slots(os, node.lhs.slots);
+          os << " to ";
+          if (const auto* l = std::get_if<geom::Location>(&node.to)) {
+            os << *l;
+          } else {
+            print_slots(os, std::get<LocationExpr>(node.to).slots);
+          }
+          os << " " << node.op << " " << node.constant << ")";
+        } else if constexpr (std::is_same_v<T, ConfidenceCondition>) {
+          os << "(rho:" << to_string(node.aggregate);
+          print_slots(os, node.slots);
+          os << " " << node.op << " " << node.constant << ")";
+        }
+      },
+      expr.rep());
+}
+}  // namespace
+
+std::ostream& operator<<(std::ostream& os, const ConditionExpr& expr) {
+  print_expr(os, expr);
+  return os;
+}
+
+ConditionExpr c_and(std::vector<ConditionExpr> children) {
+  return ConditionExpr(AndNode{std::move(children)});
+}
+
+ConditionExpr c_or(std::vector<ConditionExpr> children) {
+  return ConditionExpr(OrNode{std::move(children)});
+}
+
+ConditionExpr c_not(ConditionExpr child) {
+  NotNode n;
+  n.child.push_back(std::move(child));
+  return ConditionExpr(std::move(n));
+}
+
+ConditionExpr c_attr(ValueAggregate agg, std::string attribute, std::vector<SlotIndex> slots,
+                     RelationalOp op, double constant) {
+  return ConditionExpr(AttributeCondition{agg, std::move(attribute), std::move(slots), op, constant});
+}
+
+ConditionExpr c_time(SlotIndex lhs, time_model::TemporalOp op, SlotIndex rhs,
+                     time_model::Duration lhs_offset) {
+  TemporalCondition c;
+  c.lhs = TimeExpr{time_model::TimeAggregate::kSpan, {lhs}, lhs_offset};
+  c.op = op;
+  c.rhs = TimeExpr{time_model::TimeAggregate::kSpan, {rhs}, time_model::Duration::zero()};
+  return ConditionExpr(std::move(c));
+}
+
+ConditionExpr c_time_const(SlotIndex lhs, time_model::TemporalOp op,
+                           time_model::OccurrenceTime constant) {
+  TemporalCondition c;
+  c.lhs = TimeExpr{time_model::TimeAggregate::kSpan, {lhs}, time_model::Duration::zero()};
+  c.op = op;
+  c.rhs = constant;
+  return ConditionExpr(std::move(c));
+}
+
+ConditionExpr c_space(SlotIndex lhs, geom::SpatialOp op, SlotIndex rhs) {
+  SpatialCondition c;
+  c.lhs = LocationExpr{geom::SpatialAggregate::kHull, {lhs}};
+  c.op = op;
+  c.rhs = LocationExpr{geom::SpatialAggregate::kHull, {rhs}};
+  return ConditionExpr(std::move(c));
+}
+
+ConditionExpr c_space_const(SlotIndex lhs, geom::SpatialOp op, geom::Location constant) {
+  SpatialCondition c;
+  c.lhs = LocationExpr{geom::SpatialAggregate::kHull, {lhs}};
+  c.op = op;
+  c.rhs = std::move(constant);
+  return ConditionExpr(std::move(c));
+}
+
+ConditionExpr c_distance(SlotIndex a, SlotIndex b, RelationalOp op, double meters) {
+  DistanceCondition c;
+  c.lhs = LocationExpr{geom::SpatialAggregate::kHull, {a}};
+  c.to = LocationExpr{geom::SpatialAggregate::kHull, {b}};
+  c.op = op;
+  c.constant = meters;
+  return ConditionExpr(std::move(c));
+}
+
+ConditionExpr c_distance_const(SlotIndex a, geom::Location to, RelationalOp op, double meters) {
+  DistanceCondition c;
+  c.lhs = LocationExpr{geom::SpatialAggregate::kHull, {a}};
+  c.to = std::move(to);
+  c.op = op;
+  c.constant = meters;
+  return ConditionExpr(std::move(c));
+}
+
+ConditionExpr c_confidence(ValueAggregate agg, std::vector<SlotIndex> slots, RelationalOp op,
+                           double constant) {
+  return ConditionExpr(ConfidenceCondition{agg, std::move(slots), op, constant});
+}
+
+}  // namespace stem::core

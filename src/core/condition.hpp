@@ -1,0 +1,188 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/attribute.hpp"
+#include "core/entity.hpp"
+#include "geom/location.hpp"
+#include "time/temporal_op.hpp"
+
+/// Event conditions (paper Def. 4.2).
+///
+/// An event is defined over named entity *slots* ("x", "y", ...); a
+/// condition constrains the attributes (Eq. 4.2), times (Eq. 4.3), and
+/// locations (Eq. 4.4) of the entities bound to those slots, and composite
+/// conditions combine them with AND / OR / NOT (Eq. 4.5).
+namespace stem::core {
+
+/// Index of an entity slot within an event definition.
+using SlotIndex = std::uint32_t;
+
+/// Supplies the entities bound to slots during evaluation.
+class EvalContext {
+ public:
+  explicit EvalContext(const Entity* const* slots, std::size_t count)
+      : slots_(slots), count_(count) {}
+
+  [[nodiscard]] const Entity& slot(SlotIndex i) const { return *slots_[i]; }
+  [[nodiscard]] std::size_t slot_count() const { return count_; }
+
+ private:
+  const Entity* const* slots_;
+  std::size_t count_;
+};
+
+/// Attribute-based condition (Eq. 4.2): g_v[V_1..V_n] OP_R C.
+/// The aggregation reads attribute `attribute` from each listed slot;
+/// slots missing the attribute (or holding non-numeric values) make the
+/// condition evaluate to false (a measurement that is absent cannot
+/// satisfy a constraint on its value).
+struct AttributeCondition {
+  ValueAggregate aggregate = ValueAggregate::kAverage;
+  std::string attribute;
+  std::vector<SlotIndex> slots;
+  RelationalOp op = RelationalOp::kGt;
+  double constant = 0.0;
+};
+
+/// One side of a temporal comparison: an aggregation over slot times plus
+/// a constant offset, e.g. "earliest(t_x) + 5s".
+struct TimeExpr {
+  time_model::TimeAggregate aggregate = time_model::TimeAggregate::kSpan;
+  std::vector<SlotIndex> slots;
+  time_model::Duration offset = time_model::Duration::zero();
+};
+
+/// Temporal condition (Eq. 4.3): g_t[t_1..t_n] OP_T C_t, where the right-
+/// hand side is either a time constant (point or interval) or another
+/// aggregation over slot times ("every instance of x occurs Before y").
+struct TemporalCondition {
+  TimeExpr lhs;
+  time_model::TemporalOp op = time_model::TemporalOp::kBefore;
+  std::variant<TimeExpr, time_model::OccurrenceTime> rhs;
+};
+
+/// One side of a spatial predicate: an aggregation over slot locations.
+struct LocationExpr {
+  geom::SpatialAggregate aggregate = geom::SpatialAggregate::kHull;
+  std::vector<SlotIndex> slots;
+};
+
+/// Spatial predicate condition (Eq. 4.4): g_s[l_1..l_n] OP_S C_s, where
+/// the right-hand side is a location constant (point or field) or another
+/// aggregation over slot locations ("x occurs Inside y").
+struct SpatialCondition {
+  LocationExpr lhs;
+  geom::SpatialOp op = geom::SpatialOp::kInside;
+  std::variant<LocationExpr, geom::Location> rhs;
+};
+
+/// Spatial metric condition: g_distance(l_a, l_b) OP_R C — the paper's S1
+/// example constrains the *distance* between two locations with a
+/// relational operator rather than a topological one.
+struct DistanceCondition {
+  LocationExpr lhs;
+  /// Distance is measured to either a fixed location or another aggregate.
+  std::variant<LocationExpr, geom::Location> to;
+  RelationalOp op = RelationalOp::kLt;
+  double constant = 0.0;  ///< meters
+};
+
+/// Confidence condition (model extension): constrains the aggregated
+/// confidence rho of the bound entities, e.g. min(rho) >= 0.8. The paper
+/// attaches rho to every instance (Eq. 4.7) but leaves its use open; this
+/// makes it available to condition authors.
+struct ConfidenceCondition {
+  ValueAggregate aggregate = ValueAggregate::kMin;
+  std::vector<SlotIndex> slots;
+  RelationalOp op = RelationalOp::kGe;
+  double constant = 0.0;
+};
+
+class ConditionExpr;
+
+struct AndNode {
+  std::vector<ConditionExpr> children;
+};
+struct OrNode {
+  std::vector<ConditionExpr> children;
+};
+struct NotNode {
+  std::vector<ConditionExpr> child;  // exactly one; vector for incomplete-type storage
+};
+
+/// Composite event condition (Eq. 4.5): a tree of attribute / temporal /
+/// spatial / distance / confidence leaves combined with AND, OR, NOT.
+class ConditionExpr {
+ public:
+  using Rep = std::variant<AttributeCondition, TemporalCondition, SpatialCondition,
+                           DistanceCondition, ConfidenceCondition, AndNode, OrNode, NotNode>;
+
+  ConditionExpr(AttributeCondition c) : rep_(std::move(c)) {}   // NOLINT
+  ConditionExpr(TemporalCondition c) : rep_(std::move(c)) {}    // NOLINT
+  ConditionExpr(SpatialCondition c) : rep_(std::move(c)) {}     // NOLINT
+  ConditionExpr(DistanceCondition c) : rep_(std::move(c)) {}    // NOLINT
+  ConditionExpr(ConfidenceCondition c) : rep_(std::move(c)) {}  // NOLINT
+  ConditionExpr(AndNode n) : rep_(std::move(n)) {}              // NOLINT
+  ConditionExpr(OrNode n) : rep_(std::move(n)) {}               // NOLINT
+  ConditionExpr(NotNode n) : rep_(std::move(n)) {}              // NOLINT
+
+  [[nodiscard]] const Rep& rep() const { return rep_; }
+
+  /// Number of leaf conditions in the tree.
+  [[nodiscard]] std::size_t leaf_count() const;
+  /// Height of the tree (1 for a single leaf).
+  [[nodiscard]] std::size_t depth() const;
+  /// Largest slot index referenced anywhere in the tree, or nullopt if no
+  /// slots are referenced (constant-only conditions).
+  [[nodiscard]] std::optional<SlotIndex> max_slot() const;
+
+ private:
+  Rep rep_;
+};
+
+/// How composite conditions evaluate their children (ablation E3):
+/// short-circuit stops at the first decisive child, eager evaluates all.
+enum class EvalMode { kShortCircuit, kEager };
+
+/// Evaluates a condition tree against the bound slots.
+[[nodiscard]] bool eval_condition(const ConditionExpr& expr, const EvalContext& ctx,
+                                  EvalMode mode = EvalMode::kShortCircuit);
+
+/// Pretty-prints the condition tree (prefix form).
+std::ostream& operator<<(std::ostream& os, const ConditionExpr& expr);
+
+// --- Fluent construction helpers ------------------------------------------
+
+[[nodiscard]] ConditionExpr c_and(std::vector<ConditionExpr> children);
+[[nodiscard]] ConditionExpr c_or(std::vector<ConditionExpr> children);
+[[nodiscard]] ConditionExpr c_not(ConditionExpr child);
+
+/// attr(agg, name, slots) OP C
+[[nodiscard]] ConditionExpr c_attr(ValueAggregate agg, std::string attribute,
+                                   std::vector<SlotIndex> slots, RelationalOp op, double constant);
+/// time-of(slot) OP time-of(slot)
+[[nodiscard]] ConditionExpr c_time(SlotIndex lhs, time_model::TemporalOp op, SlotIndex rhs,
+                                   time_model::Duration lhs_offset = time_model::Duration::zero());
+/// time-of(slot) OP constant
+[[nodiscard]] ConditionExpr c_time_const(SlotIndex lhs, time_model::TemporalOp op,
+                                         time_model::OccurrenceTime constant);
+/// location-of(slot) OP location-of(slot)
+[[nodiscard]] ConditionExpr c_space(SlotIndex lhs, geom::SpatialOp op, SlotIndex rhs);
+/// location-of(slot) OP constant-location
+[[nodiscard]] ConditionExpr c_space_const(SlotIndex lhs, geom::SpatialOp op, geom::Location constant);
+/// distance(slot, slot) OP C
+[[nodiscard]] ConditionExpr c_distance(SlotIndex a, SlotIndex b, RelationalOp op, double meters);
+/// distance(slot, constant-location) OP C
+[[nodiscard]] ConditionExpr c_distance_const(SlotIndex a, geom::Location to, RelationalOp op,
+                                             double meters);
+/// confidence aggregate over slots OP C
+[[nodiscard]] ConditionExpr c_confidence(ValueAggregate agg, std::vector<SlotIndex> slots,
+                                         RelationalOp op, double constant);
+
+}  // namespace stem::core

@@ -1,0 +1,204 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace stem::core {
+
+DetectionEngine::DetectionEngine(ObserverId id, Layer layer, geom::Point location,
+                                 EngineOptions options)
+    : id_(std::move(id)), layer_(layer), location_(location), options_(options) {}
+
+void DetectionEngine::add_definition(EventDefinition def) {
+  if (def.slots.empty()) {
+    throw std::invalid_argument("DetectionEngine: definition '" + def.id.value() +
+                                "' declares no slots");
+  }
+  if (const auto max = def.condition.max_slot();
+      max.has_value() && *max >= def.slots.size()) {
+    throw std::invalid_argument("DetectionEngine: condition of '" + def.id.value() +
+                                "' references slot $" + std::to_string(*max) + " but only " +
+                                std::to_string(def.slots.size()) + " slots are declared");
+  }
+  DefState ds{std::move(def), {}};
+  ds.buffers.resize(ds.def.slots.size());
+  defs_.push_back(std::move(ds));
+}
+
+void DetectionEngine::prune(time_model::TimePoint now) {
+  for (DefState& ds : defs_) {
+    const time_model::TimePoint horizon =
+        now - ds.def.window;
+    for (auto& buf : ds.buffers) {
+      while (!buf.empty() && buf.front().entity->occurrence_time().end() < horizon) {
+        buf.pop_front();
+        ++stats_.evicted;
+      }
+    }
+  }
+}
+
+std::vector<EventInstance> DetectionEngine::observe(const Entity& entity,
+                                                    time_model::TimePoint now) {
+  ++stats_.entities_in;
+  prune(now);
+
+  std::vector<EventInstance> out;
+  const auto shared = std::make_shared<const Entity>(entity);
+  const std::uint64_t stamp = next_stamp_++;
+
+  for (DefState& ds : defs_) {
+    // Insert into every matching slot first, so a definition whose two
+    // slots both match can bind the entity against itself only through
+    // distinct buffer positions.
+    std::vector<std::size_t> matched;
+    for (std::size_t j = 0; j < ds.def.slots.size(); ++j) {
+      if (ds.def.slots[j].filter.matches(entity)) {
+        auto& buf = ds.buffers[j];
+        buf.push_back(Buffered{shared, stamp});
+        if (buf.size() > options_.max_buffer) {
+          buf.pop_front();
+          ++stats_.evicted;
+        }
+        matched.push_back(j);
+      }
+    }
+    for (const std::size_t j : matched) {
+      try_bindings(ds, j, Buffered{shared, stamp}, now, out);
+    }
+  }
+  stats_.instances_out += out.size();
+  return out;
+}
+
+void DetectionEngine::try_bindings(DefState& ds, std::size_t fixed_slot, const Buffered& fresh,
+                                   time_model::TimePoint now, std::vector<EventInstance>& out) {
+  const std::size_t n = ds.def.slots.size();
+  std::vector<const Buffered*> chosen(n, nullptr);
+  chosen[fixed_slot] = &fresh;
+
+  // Depth-first enumeration of candidate bindings over the other slots.
+  // Slots below `fixed_slot` must not pick the fresh entity: the binding
+  // with the fresh entity in that earlier slot is (or was) enumerated when
+  // that slot was the fixed one, so this rule prevents duplicate
+  // emissions when one entity matches several slots.
+  std::vector<const Entity*> binding(n, nullptr);
+  bool consumed = false;
+
+  const auto emit = [&] {
+    ++stats_.bindings_tried;
+    const EvalContext ctx(binding.data(), n);
+    if (!eval_condition(ds.def.condition, ctx, options_.eval_mode)) return;
+    ++stats_.bindings_matched;
+    out.push_back(synthesize(ds, binding, now));
+    if (ds.def.consumption == ConsumptionMode::kConsume) {
+      // Retire every participant from every slot buffer.
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::uint64_t dead = chosen[j]->stamp;
+        for (auto& buf : ds.buffers) {
+          std::erase_if(buf, [dead](const Buffered& b) { return b.stamp == dead; });
+        }
+      }
+      consumed = true;
+    }
+  };
+
+  const std::function<void(std::size_t)> recurse = [&](std::size_t slot) {
+    if (consumed) return;
+    if (slot == n) {
+      for (std::size_t j = 0; j < n; ++j) binding[j] = chosen[j]->entity.get();
+      emit();
+      return;
+    }
+    if (slot == fixed_slot) {
+      recurse(slot + 1);
+      return;
+    }
+    // Iterate a snapshot of candidates: consumption may mutate buffers.
+    std::vector<Buffered> candidates(ds.buffers[slot].begin(), ds.buffers[slot].end());
+    for (const Buffered& cand : candidates) {
+      if (consumed) return;
+      if (cand.stamp == fresh.stamp && slot < fixed_slot) continue;
+      chosen[slot] = &cand;
+      recurse(slot + 1);
+    }
+    chosen[slot] = nullptr;
+  };
+  recurse(0);
+}
+
+EventInstance DetectionEngine::synthesize(const DefState& ds,
+                                          const std::vector<const Entity*>& binding,
+                                          time_model::TimePoint now) {
+  const EventDefinition& def = ds.def;
+  const std::size_t n = binding.size();
+
+  EventInstance inst;
+  inst.key = EventInstanceKey{id_, def.id, seq_[def.id.value()]++};
+  inst.layer = layer_;
+  inst.gen_time = now;
+  inst.gen_location = location_;
+
+  // t^eo: aggregate constituent occurrence times.
+  std::vector<time_model::OccurrenceTime> times;
+  times.reserve(n);
+  for (const Entity* e : binding) times.push_back(e->occurrence_time());
+  inst.est_time = time_model::aggregate_times(def.synthesis.time, times.data(), times.size());
+
+  // l^eo: aggregate constituent locations (identity for a single slot).
+  if (n == 1) {
+    inst.est_location = binding[0]->location();
+  } else {
+    std::vector<geom::Location> locs;
+    locs.reserve(n);
+    for (const Entity* e : binding) locs.push_back(e->location());
+    inst.est_location =
+        geom::aggregate_locations(def.synthesis.location, locs.data(), locs.size());
+  }
+
+  // V: synthesized attributes.
+  for (const AttributeRule& rule : def.synthesis.attributes) {
+    std::vector<double> values;
+    values.reserve(rule.slots.size());
+    bool complete = true;
+    for (const SlotIndex s : rule.slots) {
+      const auto v = binding[s]->attributes().number(rule.input_attribute);
+      if (!v.has_value()) {
+        complete = false;
+        break;
+      }
+      values.push_back(*v);
+    }
+    if (complete) {
+      inst.attributes.set(rule.output_name,
+                          aggregate_values(rule.aggregate, values.data(), values.size()));
+    }
+  }
+
+  // rho: combine constituent confidences, then apply the observer's own.
+  double rho = 0.0;
+  switch (def.synthesis.confidence) {
+    case ConfidencePolicy::kMin: {
+      rho = 1.0;
+      for (const Entity* e : binding) rho = std::min(rho, e->confidence());
+      break;
+    }
+    case ConfidencePolicy::kProduct: {
+      rho = 1.0;
+      for (const Entity* e : binding) rho *= e->confidence();
+      break;
+    }
+    case ConfidencePolicy::kMean: {
+      for (const Entity* e : binding) rho += e->confidence();
+      rho /= static_cast<double>(n);
+      break;
+    }
+  }
+  inst.confidence = rho * def.synthesis.observer_confidence;
+
+  inst.provenance.reserve(n);
+  for (const Entity* e : binding) inst.provenance.push_back(e->provenance_key());
+  return inst;
+}
+
+}  // namespace stem::core

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event_def.hpp"
+#include "core/observer.hpp"
+
+namespace stem::core {
+
+/// Engine tuning knobs.
+struct EngineOptions {
+  /// Composite-condition evaluation strategy (ablation E3).
+  EvalMode eval_mode = EvalMode::kShortCircuit;
+  /// Per-slot buffer cap; oldest entities are evicted beyond this. Bounds
+  /// the join cost per arrival.
+  std::size_t max_buffer = 64;
+};
+
+/// Engine throughput/selectivity counters.
+struct EngineStats {
+  std::uint64_t entities_in = 0;     ///< entities fed to the engine
+  std::uint64_t bindings_tried = 0;  ///< candidate slot bindings formed
+  std::uint64_t bindings_matched = 0;
+  std::uint64_t instances_out = 0;
+  std::uint64_t evicted = 0;  ///< buffer-cap and window evictions
+};
+
+/// The detection engine: the concrete observer (Def. 4.3) used at every
+/// level of the hierarchy (mote, sink, CCU — Fig. 2).
+///
+/// For each registered event definition the engine buffers recently seen
+/// entities per slot. When an entity arrives it is placed into every slot
+/// whose filter matches, then the engine enumerates bindings that include
+/// the new entity, evaluates the composite condition (Eq. 4.5) on each,
+/// and synthesizes an event instance (Eq. 4.7) per match.
+class DetectionEngine : public Observer {
+ public:
+  /// `id` is the observer identity stamped into instances; `layer` the
+  /// hierarchy level of the *output* instances; `location` the observer's
+  /// own position (the l^g of generated instances).
+  DetectionEngine(ObserverId id, Layer layer, geom::Point location, EngineOptions options = {});
+
+  /// Registers a definition. Throws std::invalid_argument if the
+  /// condition references a slot index beyond the declared slots, or if
+  /// the definition has no slots.
+  void add_definition(EventDefinition def);
+
+  [[nodiscard]] const ObserverId& id() const override { return id_; }
+  [[nodiscard]] Layer layer() const { return layer_; }
+  [[nodiscard]] geom::Point location() const { return location_; }
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t definition_count() const { return defs_.size(); }
+
+  std::vector<EventInstance> observe(const Entity& entity, time_model::TimePoint now) override;
+
+  /// Drops buffered entities older than the definitions' windows at `now`.
+  /// Called internally on every observe(); exposed for idle-time cleanup.
+  void prune(time_model::TimePoint now);
+
+ private:
+  struct Buffered {
+    std::shared_ptr<const Entity> entity;
+    std::uint64_t stamp;  ///< global arrival stamp (dedup across slots)
+  };
+
+  struct DefState {
+    EventDefinition def;
+    std::vector<std::deque<Buffered>> buffers;  // one per slot
+  };
+
+  void try_bindings(DefState& ds, std::size_t fixed_slot, const Buffered& fresh,
+                    time_model::TimePoint now, std::vector<EventInstance>& out);
+  EventInstance synthesize(const DefState& ds, const std::vector<const Entity*>& binding,
+                           time_model::TimePoint now);
+
+  ObserverId id_;
+  Layer layer_;
+  geom::Point location_;
+  EngineOptions options_;
+  std::vector<DefState> defs_;
+  std::unordered_map<std::string, std::uint64_t> seq_;  // per event type
+  std::uint64_t next_stamp_ = 1;
+  EngineStats stats_;
+};
+
+}  // namespace stem::core

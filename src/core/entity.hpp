@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <variant>
+
+#include "core/instance.hpp"
+
+namespace stem::core {
+
+/// An evaluation entity (paper Sec. 4.1): "An entity in CPS can be a
+/// physical observation or an event instance." Event conditions are
+/// evaluated over entities, so both kinds expose a uniform view of their
+/// time, location, attributes, and confidence.
+class Entity {
+ public:
+  Entity(PhysicalObservation obs)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(obs)) {}
+  Entity(EventInstance inst)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(inst)) {}
+
+  [[nodiscard]] bool is_observation() const {
+    return std::holds_alternative<PhysicalObservation>(rep_);
+  }
+  [[nodiscard]] bool is_instance() const { return !is_observation(); }
+
+  [[nodiscard]] const PhysicalObservation& observation() const {
+    return std::get<PhysicalObservation>(rep_);
+  }
+  [[nodiscard]] const EventInstance& instance() const { return std::get<EventInstance>(rep_); }
+
+  /// (Estimated) occurrence time: t^o for observations, t^eo for instances.
+  [[nodiscard]] time_model::OccurrenceTime occurrence_time() const {
+    if (is_observation()) return time_model::OccurrenceTime(observation().time);
+    return instance().est_time;
+  }
+
+  /// (Estimated) occurrence location: l^o / l^eo.
+  [[nodiscard]] const geom::Location& location() const {
+    return is_observation() ? observation().location : instance().est_location;
+  }
+
+  [[nodiscard]] const AttributeSet& attributes() const {
+    return is_observation() ? observation().attributes : instance().attributes;
+  }
+
+  /// Observations are raw measurements: full confidence by convention.
+  [[nodiscard]] double confidence() const {
+    return is_observation() ? 1.0 : instance().confidence;
+  }
+
+  [[nodiscard]] Layer layer() const {
+    return is_observation() ? Layer::kPhysicalObservation : instance().layer;
+  }
+
+  /// Who produced this entity (the mote for observations, the observer
+  /// for instances).
+  [[nodiscard]] const ObserverId& producer() const {
+    return is_observation() ? observation().mote : instance().key.observer;
+  }
+
+  /// Key to record in derived instances' provenance. Observations are
+  /// identified by (mote, sensor-as-event-type, seq).
+  [[nodiscard]] EventInstanceKey provenance_key() const {
+    if (is_observation()) {
+      const auto& o = observation();
+      return EventInstanceKey{o.mote, EventTypeId("obs:" + o.sensor.value()), o.seq};
+    }
+    return instance().key;
+  }
+
+ private:
+  std::variant<PhysicalObservation, EventInstance> rep_;
+};
+
+}  // namespace stem::core

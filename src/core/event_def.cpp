@@ -1,0 +1,41 @@
+#include "core/event_def.hpp"
+
+#include <stdexcept>
+
+namespace stem::core {
+
+bool SlotFilter::matches(const Entity& e) const {
+  if (layer.has_value() && e.layer() != *layer) return false;
+  if (producer.has_value() && e.producer() != *producer) return false;
+  if (event_type.has_value()) {
+    if (!e.is_instance() || e.instance().key.event != *event_type) return false;
+  }
+  if (sensor.has_value()) {
+    if (!e.is_observation() || e.observation().sensor != *sensor) return false;
+  }
+  return true;
+}
+
+SlotFilter SlotFilter::observation(SensorId sensor_id) {
+  SlotFilter f;
+  f.sensor = std::move(sensor_id);
+  f.layer = Layer::kPhysicalObservation;
+  return f;
+}
+
+SlotFilter SlotFilter::instance_of(EventTypeId type) {
+  SlotFilter f;
+  f.event_type = std::move(type);
+  return f;
+}
+
+SlotFilter SlotFilter::any() { return SlotFilter{}; }
+
+SlotIndex EventDefinition::slot_index(std::string_view name) const {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].name == name) return static_cast<SlotIndex>(i);
+  }
+  throw std::out_of_range("EventDefinition: unknown slot '" + std::string(name) + "'");
+}
+
+}  // namespace stem::core

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/condition.hpp"
+#include "core/ids.hpp"
+#include "core/instance.hpp"
+
+namespace stem::core {
+
+/// Selects which entities may bind to a slot of an event definition.
+/// Every populated field must match; an empty filter matches everything.
+struct SlotFilter {
+  std::optional<EventTypeId> event_type;  ///< instance's event id
+  std::optional<SensorId> sensor;         ///< observation's sensor id
+  std::optional<ObserverId> producer;     ///< producing mote / observer
+  std::optional<Layer> layer;             ///< entity's layer
+
+  [[nodiscard]] bool matches(const Entity& e) const;
+
+  // -- Fluent factories --------------------------------------------------
+  /// Matches observations from a specific sensor type.
+  [[nodiscard]] static SlotFilter observation(SensorId sensor);
+  /// Matches event instances of a given type.
+  [[nodiscard]] static SlotFilter instance_of(EventTypeId type);
+  /// Matches anything.
+  [[nodiscard]] static SlotFilter any();
+
+  [[nodiscard]] SlotFilter& from(ObserverId producer_id) {
+    producer = std::move(producer_id);
+    return *this;
+  }
+  [[nodiscard]] SlotFilter& on_layer(Layer l) {
+    layer = l;
+    return *this;
+  }
+};
+
+/// A named entity slot (the x, y of the paper's condition examples).
+struct SlotSpec {
+  std::string name;
+  SlotFilter filter;
+};
+
+/// How the confidences rho of constituent entities combine into the
+/// derived instance's confidence.
+enum class ConfidencePolicy {
+  kMin,      ///< weakest-link
+  kProduct,  ///< independent-evidence
+  kMean,     ///< average
+};
+
+/// Rule synthesizing one output attribute from constituent entities.
+struct AttributeRule {
+  std::string output_name;
+  ValueAggregate aggregate = ValueAggregate::kAverage;
+  std::string input_attribute;
+  std::vector<SlotIndex> slots;
+};
+
+/// How a detected instance's 6-tuple (Eq. 4.7) is synthesized from the
+/// entities that satisfied the condition.
+struct SynthesisSpec {
+  /// t^eo: aggregation over constituent occurrence times.
+  time_model::TimeAggregate time = time_model::TimeAggregate::kSpan;
+  /// l^eo: aggregation over constituent locations.
+  geom::SpatialAggregate location = geom::SpatialAggregate::kHull;
+  ConfidencePolicy confidence = ConfidencePolicy::kProduct;
+  /// The observer's own confidence factor, multiplied into the result.
+  double observer_confidence = 1.0;
+  std::vector<AttributeRule> attributes;
+};
+
+/// How matched entities are retired from the engine's buffers.
+enum class ConsumptionMode {
+  kConsume,       ///< matched entities are removed (at most one use each)
+  kUnrestricted,  ///< matched entities stay until their window expires
+};
+
+/// A complete event definition: the event type it detects, the entity
+/// slots it binds, the composite condition (Eq. 4.5), the correlation
+/// window, and the instance synthesis policy.
+struct EventDefinition {
+  EventTypeId id;
+  std::vector<SlotSpec> slots;
+  ConditionExpr condition;
+  /// Maximum age (relative to the engine's current time) of an entity
+  /// still eligible to join a binding.
+  time_model::Duration window = time_model::seconds(60);
+  SynthesisSpec synthesis;
+  ConsumptionMode consumption = ConsumptionMode::kConsume;
+
+  /// Index of the named slot. Throws std::out_of_range if unknown.
+  [[nodiscard]] SlotIndex slot_index(std::string_view name) const;
+};
+
+}  // namespace stem::core

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace stem::core {
+
+namespace detail {
+/// CRTP string id base: comparable, hashable, printable, but never
+/// implicitly convertible between id kinds (an ObserverId is not an
+/// EventTypeId even though both are strings).
+template <typename Tag>
+class StringId {
+ public:
+  StringId() = default;
+  explicit StringId(std::string value) : value_(std::move(value)) {}
+  explicit StringId(std::string_view value) : value_(value) {}
+  explicit StringId(const char* value) : value_(value) {}
+
+  [[nodiscard]] const std::string& value() const { return value_; }
+  [[nodiscard]] bool empty() const { return value_.empty(); }
+
+  friend auto operator<=>(const StringId&, const StringId&) = default;
+
+ private:
+  std::string value_;
+};
+}  // namespace detail
+
+/// Identifies an event type (the paper's E / S / CP id symbols).
+struct EventTypeId : detail::StringId<EventTypeId> {
+  using StringId::StringId;
+};
+
+/// Identifies an observer: a sensor mote, sink node, CCU, or scripted
+/// human observer (the paper's OBid / MTid / CCUid symbols).
+struct ObserverId : detail::StringId<ObserverId> {
+  using StringId::StringId;
+};
+
+/// Identifies a physical sensor on a mote (the paper's SRid symbol).
+struct SensorId : detail::StringId<SensorId> {
+  using StringId::StringId;
+};
+
+template <typename Tag>
+std::ostream& print_id(std::ostream& os, const detail::StringId<Tag>& id);
+
+std::ostream& operator<<(std::ostream& os, const EventTypeId& id);
+std::ostream& operator<<(std::ostream& os, const ObserverId& id);
+std::ostream& operator<<(std::ostream& os, const SensorId& id);
+
+}  // namespace stem::core
+
+template <>
+struct std::hash<stem::core::EventTypeId> {
+  std::size_t operator()(const stem::core::EventTypeId& id) const noexcept {
+    return std::hash<std::string>{}(id.value());
+  }
+};
+template <>
+struct std::hash<stem::core::ObserverId> {
+  std::size_t operator()(const stem::core::ObserverId& id) const noexcept {
+    return std::hash<std::string>{}(id.value());
+  }
+};
+template <>
+struct std::hash<stem::core::SensorId> {
+  std::size_t operator()(const stem::core::SensorId& id) const noexcept {
+    return std::hash<std::string>{}(id.value());
+  }
+};

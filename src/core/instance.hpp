@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "core/attribute.hpp"
+#include "core/ids.hpp"
+#include "geom/location.hpp"
+#include "time/occurrence.hpp"
+
+namespace stem::core {
+
+/// The layer an entity lives on in the CPS event hierarchy (Fig. 2).
+enum class Layer {
+  kPhysical,             ///< ground-truth physical event (Eq. 5.1)
+  kPhysicalObservation,  ///< sensor sample (Eq. 5.2)
+  kSensor,               ///< sensor event, emitted by a mote (Eq. 5.3)
+  kCyberPhysical,        ///< cyber-physical event, emitted by a sink (Eq. 5.4)
+  kCyber,                ///< cyber event, emitted by a CCU (Eq. 5.5)
+};
+
+[[nodiscard]] std::string_view to_string(Layer layer);
+std::ostream& operator<<(std::ostream& os, Layer layer);
+
+/// A physical observation O(MTid, SRid, i) {to, lo, V} (Eq. 5.2): one
+/// sample of the target physical event, taken by sensor `sensor` on mote
+/// `mote` as its `seq`-th observation.
+struct PhysicalObservation {
+  ObserverId mote;
+  SensorId sensor;
+  std::uint64_t seq = 0;
+
+  time_model::TimePoint time;                   ///< t^o: sampling timestamp
+  geom::Location location{geom::Point{0, 0}};   ///< l^o: sampling spacestamp
+  AttributeSet attributes;                      ///< V: measured values
+};
+
+std::ostream& operator<<(std::ostream& os, const PhysicalObservation& obs);
+
+/// Identity of an event instance: E(OBid, Eid, i) (Eq. 4.6).
+struct EventInstanceKey {
+  ObserverId observer;
+  EventTypeId event;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const EventInstanceKey&, const EventInstanceKey&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const EventInstanceKey& key);
+
+/// An event instance with the 6-tuple property set of Eq. 4.7:
+/// {t^g, l^g, t^eo, l^eo, V, rho}. The instance additionally records the
+/// keys of the entities it was derived from (`provenance`), which keeps
+/// "the information regarding the original physical event intact"
+/// (paper Sec. 1, third requirement) and supports end-to-end latency
+/// attribution (experiment E7).
+struct EventInstance {
+  EventInstanceKey key;
+  Layer layer = Layer::kSensor;
+
+  time_model::TimePoint gen_time;  ///< t^g: when the observer generated it
+  geom::Point gen_location;        ///< l^g: where the observer is
+  /// t^eo: estimated occurrence time.
+  time_model::OccurrenceTime est_time{time_model::TimePoint::epoch()};
+  /// l^eo: estimated occurrence location.
+  geom::Location est_location{geom::Point{0, 0}};
+  AttributeSet attributes;                     ///< V: estimated attributes
+  double confidence = 1.0;                     ///< rho: observer's confidence
+
+  std::vector<EventInstanceKey> provenance;    ///< constituent entities
+
+  /// True iff the estimated occurrence time is a point (punctual event).
+  [[nodiscard]] bool is_punctual() const { return est_time.is_punctual(); }
+  /// True iff the estimated occurrence location is a point (point event).
+  [[nodiscard]] bool is_point_event() const { return est_location.is_point(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const EventInstance& inst);
+
+}  // namespace stem::core

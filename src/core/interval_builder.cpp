@@ -1,0 +1,68 @@
+#include "core/interval_builder.hpp"
+
+namespace stem::core {
+
+IntervalBuilder::IntervalBuilder(Config config, ObserverId self, geom::Point position)
+    : config_(std::move(config)), self_(std::move(self)), position_(position) {}
+
+void IntervalBuilder::extend(const EventInstance& inst) {
+  const time_model::TimePoint t = inst.est_time.end();
+  if (!state_.has_value()) {
+    state_ = OpenInterval{};
+    state_->first = inst.est_time.begin();
+    state_->last = t;
+  } else {
+    if (t > state_->last) state_->last = t;
+    if (inst.est_time.begin() < state_->first) state_->first = inst.est_time.begin();
+  }
+  state_->locations.push_back(inst.est_location);
+  state_->provenance.push_back(inst.key);
+  state_->confidence_sum += inst.confidence;
+  ++state_->count;
+}
+
+std::optional<EventInstance> IntervalBuilder::close(time_model::TimePoint now) {
+  if (!state_.has_value()) return std::nullopt;
+  OpenInterval open_interval = *std::move(state_);
+  state_.reset();
+  if (open_interval.last - open_interval.first < config_.min_length) return std::nullopt;
+
+  EventInstance inst;
+  inst.key = EventInstanceKey{self_, config_.output, next_seq_++};
+  inst.layer = Layer::kCyberPhysical;
+  inst.gen_time = now;
+  inst.gen_location = position_;
+  inst.est_time = open_interval.first == open_interval.last
+                      ? time_model::OccurrenceTime(open_interval.first)
+                      : time_model::OccurrenceTime(
+                            time_model::TimeInterval(open_interval.first, open_interval.last));
+  inst.est_location = geom::aggregate_locations(geom::SpatialAggregate::kHull,
+                                                open_interval.locations.data(),
+                                                open_interval.locations.size());
+  inst.attributes.set("confirmations", static_cast<std::int64_t>(open_interval.count));
+  inst.confidence = open_interval.confidence_sum / static_cast<double>(open_interval.count);
+  inst.provenance = std::move(open_interval.provenance);
+  return inst;
+}
+
+std::optional<EventInstance> IntervalBuilder::on_instance(const EventInstance& inst,
+                                                          time_model::TimePoint now) {
+  if (inst.key.event != config_.input) return std::nullopt;
+  std::optional<EventInstance> closed;
+  if (state_.has_value() && inst.est_time.begin() - state_->last > config_.gap) {
+    closed = close(now);
+  }
+  extend(inst);
+  return closed;
+}
+
+std::optional<EventInstance> IntervalBuilder::on_tick(time_model::TimePoint now) {
+  if (state_.has_value() && now - state_->last > config_.gap) return close(now);
+  return std::nullopt;
+}
+
+std::optional<EventInstance> IntervalBuilder::flush(time_model::TimePoint now) {
+  return close(now);
+}
+
+}  // namespace stem::core

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace stem::core {
+
+/// Builds *interval events* from streams of punctual detections — the
+/// paper's second temporal reading of its running example (Sec. 4.2):
+/// "event 'user A is nearby window B' can also be considered as an
+/// interval physical event, where the event starts once the user is
+/// detected entering into the area and ends once the user is detected
+/// leaving this area."
+///
+/// Punctual instances of a *state* event (e.g. NEARBY_WINDOW fires each
+/// time the condition holds at a sample) are coalesced: an interval opens
+/// at the first instance, is extended by each further instance within
+/// `gap`, and closes when no confirming instance arrives for `gap` (or
+/// when `flush` is called). On close, one interval event instance is
+/// emitted whose occurrence time is [first, last], whose location is the
+/// hull of the constituents, and whose confidence is their mean.
+class IntervalBuilder {
+ public:
+  struct Config {
+    /// Input punctual event type to coalesce.
+    EventTypeId input;
+    /// Emitted interval event type.
+    EventTypeId output;
+    /// Maximum silence between confirmations before the interval closes.
+    time_model::Duration gap = time_model::seconds(5);
+    /// Intervals shorter than this are discarded as glitches.
+    time_model::Duration min_length = time_model::Duration::zero();
+  };
+
+  /// `self` identifies the emitting observer; `position` is its l^g.
+  IntervalBuilder(Config config, ObserverId self, geom::Point position);
+
+  /// Feeds one instance; `now` is the observer's clock. If the instance's
+  /// arrival closes an *earlier* interval (gap exceeded), that interval is
+  /// returned. Non-matching event types are ignored (returns nullopt).
+  std::optional<EventInstance> on_instance(const EventInstance& inst, time_model::TimePoint now);
+
+  /// Advances time with no instance; closes the open interval if the gap
+  /// has elapsed by `now`.
+  std::optional<EventInstance> on_tick(time_model::TimePoint now);
+
+  /// Force-closes the open interval (end of run).
+  std::optional<EventInstance> flush(time_model::TimePoint now);
+
+  [[nodiscard]] bool open() const { return state_.has_value(); }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct OpenInterval {
+    time_model::TimePoint first;
+    time_model::TimePoint last;
+    std::vector<geom::Location> locations;
+    std::vector<EventInstanceKey> provenance;
+    double confidence_sum = 0.0;
+    std::size_t count = 0;
+  };
+
+  std::optional<EventInstance> close(time_model::TimePoint now);
+  void extend(const EventInstance& inst);
+
+  Config config_;
+  ObserverId self_;
+  geom::Point position_;
+  std::optional<OpenInterval> state_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace stem::core

@@ -1,0 +1,40 @@
+#include <ostream>
+
+#include "core/ids.hpp"
+#include "core/instance.hpp"
+
+namespace stem::core {
+
+std::ostream& operator<<(std::ostream& os, const EventTypeId& id) { return os << id.value(); }
+std::ostream& operator<<(std::ostream& os, const ObserverId& id) { return os << id.value(); }
+std::ostream& operator<<(std::ostream& os, const SensorId& id) { return os << id.value(); }
+
+std::string_view to_string(Layer layer) {
+  switch (layer) {
+    case Layer::kPhysical: return "physical";
+    case Layer::kPhysicalObservation: return "observation";
+    case Layer::kSensor: return "sensor";
+    case Layer::kCyberPhysical: return "cyber-physical";
+    case Layer::kCyber: return "cyber";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Layer layer) { return os << to_string(layer); }
+
+std::ostream& operator<<(std::ostream& os, const PhysicalObservation& obs) {
+  return os << "O(" << obs.mote << "," << obs.sensor << "," << obs.seq << "){" << obs.time << ", "
+            << obs.location << ", " << obs.attributes << "}";
+}
+
+std::ostream& operator<<(std::ostream& os, const EventInstanceKey& key) {
+  return os << "E(" << key.observer << "," << key.event << "," << key.seq << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const EventInstance& inst) {
+  return os << inst.key << "@" << to_string(inst.layer) << "{tg=" << inst.gen_time
+            << ", teo=" << inst.est_time << ", leo=" << inst.est_location
+            << ", V=" << inst.attributes << ", rho=" << inst.confidence << "}";
+}
+
+}  // namespace stem::core

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "core/entity.hpp"
+#include "core/instance.hpp"
+
+namespace stem::core {
+
+/// An observer (paper Def. 4.3): collects entities, evaluates them against
+/// event conditions, and outputs event instances when conditions are met.
+/// Sensor motes, sink nodes, CCUs, and scripted humans all implement this.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  [[nodiscard]] virtual const ObserverId& id() const = 0;
+
+  /// Feeds one entity; returns instances generated as a result.
+  /// `now` is the observer's current (local) time.
+  virtual std::vector<EventInstance> observe(const Entity& entity, time_model::TimePoint now) = 0;
+};
+
+}  // namespace stem::core

@@ -1,0 +1,52 @@
+#include "cps/ccu.hpp"
+
+namespace stem::cps {
+
+ControlUnit::ControlUnit(net::Network& network, net::Broker& broker, Config config)
+    : network_(network),
+      broker_(broker),
+      config_(std::move(config)),
+      engine_(config_.id, core::Layer::kCyber, config_.position, config_.engine_options) {
+  network_.register_node(config_.id, [this](const net::Message& msg) { on_message(msg); });
+}
+
+void ControlUnit::subscribe(const core::EventTypeId& event) {
+  broker_.subscribe(event.value(), config_.id);
+}
+
+void ControlUnit::on_message(const net::Message& msg) {
+  const auto* entity = std::get_if<core::Entity>(&msg.payload);
+  if (entity == nullptr) return;
+  ++stats_.entities_received;
+  network_.simulator().schedule_after(config_.proc_delay,
+                                      [this, e = *entity] { process_entity(e); });
+}
+
+void ControlUnit::process_entity(const core::Entity& entity) {
+  const time_model::TimePoint now = network_.simulator().now();
+  auto instances = engine_.observe(entity, now);
+  for (auto& inst : instances) emit(std::move(inst));
+}
+
+void ControlUnit::emit(core::EventInstance inst) {
+  ++stats_.cyber_events_emitted;
+  for (const auto& cb : callbacks_) cb(inst);
+
+  // Event-Action rules: decide actuation before the instance is moved out.
+  std::vector<net::Command> commands;
+  for (const ActionRule& rule : rules_) {
+    if (rule.trigger != inst.key.event) continue;
+    if (auto cmd = rule.make_command(inst)) commands.push_back(*std::move(cmd));
+  }
+
+  emitted_.push_back(inst);
+  if (network_.linked(config_.id, broker_.id())) {
+    broker_.publish(config_.id, core::Entity(std::move(inst)));
+    for (auto& cmd : commands) {
+      ++stats_.commands_issued;
+      broker_.publish(config_.id, std::move(cmd));
+    }
+  }
+}
+
+}  // namespace stem::cps

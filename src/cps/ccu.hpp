@@ -1,0 +1,79 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "net/broker.hpp"
+#include "net/network.hpp"
+
+namespace stem::cps {
+
+/// An Event-Action rule (paper Sec. 1: "any CPS task can be represented as
+/// an 'Event-Action' relation"). When the CCU emits a cyber event of type
+/// `trigger`, `make_command` decides the actuation (or returns nullopt for
+/// no-op); the command is published for the dispatch nodes.
+struct ActionRule {
+  core::EventTypeId trigger;
+  std::function<std::optional<net::Command>(const core::EventInstance&)> make_command;
+};
+
+/// Per-CCU counters.
+struct CcuStats {
+  std::uint64_t entities_received = 0;
+  std::uint64_t cyber_events_emitted = 0;
+  std::uint64_t commands_issued = 0;
+};
+
+/// A CPS control unit (paper Sec. 3): the highest-level observer. It
+/// subscribes to cyber-physical events from sinks and cyber events from
+/// other CCUs, evaluates cyber-event conditions, publishes new cyber-event
+/// instances, and issues actuator commands — Fig. 1's "Real-Time Context
+/// Aware Logic" box.
+class ControlUnit {
+ public:
+  struct Config {
+    net::NodeId id;
+    geom::Point position;
+    time_model::Duration proc_delay = time_model::milliseconds(20);
+    core::EngineOptions engine_options{};
+  };
+
+  ControlUnit(net::Network& network, net::Broker& broker, Config config);
+  ControlUnit(const ControlUnit&) = delete;
+  ControlUnit& operator=(const ControlUnit&) = delete;
+
+  /// Subscribes this CCU to an event topic on the broker.
+  void subscribe(const core::EventTypeId& event);
+  /// Registers a cyber-event definition.
+  void add_definition(core::EventDefinition def) { engine_.add_definition(std::move(def)); }
+  /// Registers an Event-Action rule.
+  void add_rule(ActionRule rule) { rules_.push_back(std::move(rule)); }
+
+  /// Callback invoked for every emitted cyber event.
+  void on_instance(std::function<void(const core::EventInstance&)> callback) {
+    callbacks_.push_back(std::move(callback));
+  }
+
+  [[nodiscard]] const net::NodeId& id() const { return config_.id; }
+  [[nodiscard]] const CcuStats& stats() const { return stats_; }
+  [[nodiscard]] core::DetectionEngine& engine() { return engine_; }
+  [[nodiscard]] const std::vector<core::EventInstance>& emitted() const { return emitted_; }
+
+ private:
+  void on_message(const net::Message& msg);
+  void process_entity(const core::Entity& entity);
+  void emit(core::EventInstance inst);
+
+  net::Network& network_;
+  net::Broker& broker_;
+  Config config_;
+  core::DetectionEngine engine_;
+  std::vector<ActionRule> rules_;
+  std::vector<std::function<void(const core::EventInstance&)>> callbacks_;
+  std::vector<core::EventInstance> emitted_;
+  CcuStats stats_;
+};
+
+}  // namespace stem::cps

@@ -1,0 +1,74 @@
+#include "db/event_store.hpp"
+
+#include <algorithm>
+
+namespace stem::db {
+
+void EventStore::insert(core::EventInstance inst) { instances_.push_back(std::move(inst)); }
+
+bool EventStore::matches(const core::EventInstance& inst, const Query& q) {
+  if (q.event.has_value() && inst.key.event != *q.event) return false;
+  if (q.observer.has_value() && inst.key.observer != *q.observer) return false;
+  if (q.layer.has_value() && inst.layer != *q.layer) return false;
+  if (q.min_confidence.has_value() && inst.confidence < *q.min_confidence) return false;
+  if (q.time_range.has_value() && !q.time_range->intersects(inst.est_time.as_interval())) {
+    return false;
+  }
+  if (q.region.has_value() && !q.region->intersects(inst.est_location.bbox())) return false;
+  return true;
+}
+
+std::vector<const core::EventInstance*> EventStore::query(const Query& q) const {
+  std::vector<const core::EventInstance*> out;
+  for (const auto& inst : instances_) {
+    if (matches(inst, q)) out.push_back(&inst);
+  }
+  return out;
+}
+
+std::size_t EventStore::prune_before(time_model::TimePoint horizon) {
+  const std::size_t before = instances_.size();
+  std::erase_if(instances_,
+                [horizon](const core::EventInstance& i) { return i.gen_time < horizon; });
+  return before - instances_.size();
+}
+
+const core::EventInstance* EventStore::find(const core::EventInstanceKey& key) const {
+  for (const auto& inst : instances_) {
+    if (inst.key == key) return &inst;
+  }
+  return nullptr;
+}
+
+std::vector<const core::EventInstance*> EventStore::lineage(
+    const core::EventInstanceKey& key) const {
+  std::vector<const core::EventInstance*> out;
+  std::vector<core::EventInstanceKey> frontier{key};
+  while (!frontier.empty()) {
+    const core::EventInstanceKey k = frontier.back();
+    frontier.pop_back();
+    const core::EventInstance* inst = find(k);
+    if (inst == nullptr) continue;
+    if (std::find(out.begin(), out.end(), inst) != out.end()) continue;
+    out.push_back(inst);
+    for (const auto& parent : inst->provenance) frontier.push_back(parent);
+  }
+  return out;
+}
+
+DatabaseServer::DatabaseServer(net::Network& network, net::Broker& broker, Config config)
+    : network_(network), broker_(broker), config_(std::move(config)) {
+  network_.register_node(config_.id, [this](const net::Message& msg) { on_message(msg); });
+}
+
+void DatabaseServer::archive_topic(const std::string& topic) {
+  broker_.subscribe(topic, config_.id);
+}
+
+void DatabaseServer::on_message(const net::Message& msg) {
+  const auto* entity = std::get_if<core::Entity>(&msg.payload);
+  if (entity == nullptr || !entity->is_instance()) return;
+  store_.insert(entity->instance());
+}
+
+}  // namespace stem::db

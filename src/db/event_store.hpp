@@ -1,0 +1,87 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "geom/bbox.hpp"
+#include "net/broker.hpp"
+#include "net/network.hpp"
+
+namespace stem::db {
+
+/// Filter for event-instance retrieval. Unset fields match everything.
+struct Query {
+  std::optional<core::EventTypeId> event;
+  std::optional<core::ObserverId> observer;
+  std::optional<core::Layer> layer;
+  /// Matches instances whose estimated occurrence intersects this range.
+  std::optional<time_model::TimeInterval> time_range;
+  /// Matches instances whose estimated location's bbox intersects this.
+  std::optional<geom::BoundingBox> region;
+  std::optional<double> min_confidence;
+};
+
+/// In-memory event-instance log with typed range queries — the storage
+/// engine behind the paper's database server ("a distributed data logging
+/// service for the event instances ... for later retrieval").
+class EventStore {
+ public:
+  void insert(core::EventInstance inst);
+
+  [[nodiscard]] std::size_t size() const { return instances_.size(); }
+
+  /// Instances matching `q`, in insertion order.
+  [[nodiscard]] std::vector<const core::EventInstance*> query(const Query& q) const;
+  [[nodiscard]] std::size_t count(const Query& q) const { return query(q).size(); }
+
+  /// Drops instances generated before `horizon` (retention policy).
+  /// Returns the number removed.
+  std::size_t prune_before(time_model::TimePoint horizon);
+
+  /// Follows provenance links downward from `key`, returning every stored
+  /// ancestor instance (the paper's "information regarding the original
+  /// physical event" kept intact). Missing ancestors are skipped.
+  [[nodiscard]] std::vector<const core::EventInstance*> lineage(
+      const core::EventInstanceKey& key) const;
+
+ private:
+  [[nodiscard]] const core::EventInstance* find(const core::EventInstanceKey& key) const;
+  static bool matches(const core::EventInstance& inst, const Query& q);
+
+  std::vector<core::EventInstance> instances_;
+};
+
+/// The network-attached database server of Fig. 1: subscribes to event
+/// topics on the broker and archives everything it receives. "The event
+/// instances that circulate inside the CPS network are automatically
+/// transferred to the database server."
+class DatabaseServer {
+ public:
+  struct Config {
+    net::NodeId id;
+  };
+
+  DatabaseServer(net::Network& network, net::Broker& broker, Config config);
+  DatabaseServer(const DatabaseServer&) = delete;
+  DatabaseServer& operator=(const DatabaseServer&) = delete;
+
+  /// Archives every instance published under `topic`.
+  void archive_topic(const std::string& topic);
+
+  [[nodiscard]] const net::NodeId& id() const { return config_.id; }
+  [[nodiscard]] EventStore& store() { return store_; }
+  [[nodiscard]] const EventStore& store() const { return store_; }
+
+ private:
+  void on_message(const net::Message& msg);
+
+  net::Network& network_;
+  net::Broker& broker_;
+  Config config_;
+  EventStore store_;
+};
+
+}  // namespace stem::db

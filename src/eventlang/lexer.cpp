@@ -1,0 +1,147 @@
+#include "eventlang/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace stem::eventlang {
+
+std::string_view to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1, column = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  const auto push = [&](TokenKind kind, std::string text, double number = 0.0) {
+    out.push_back(Token{kind, std::move(text), number, line, column});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++column;
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      const std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) != 0 || src[i] == '_')) {
+        ++i;
+      }
+      push(TokenKind::kIdent, std::string(src.substr(start, i - start)));
+      column += static_cast<int>(i - start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      const std::size_t start = i;
+      if (src[i] == '-') ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(src[i])) != 0 || src[i] == '.')) {
+        ++i;
+      }
+      const std::string text(src.substr(start, i - start));
+      double value = 0.0;
+      const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        throw ParseError("malformed number '" + text + "'", line, column);
+      }
+      push(TokenKind::kNumber, text, value);
+      column += static_cast<int>(i - start);
+      continue;
+    }
+
+    const auto two = [&](char second) {
+      return i + 1 < n && src[i + 1] == second;
+    };
+    switch (c) {
+      case '{': push(TokenKind::kLBrace, "{"); break;
+      case '}': push(TokenKind::kRBrace, "}"); break;
+      case '(': push(TokenKind::kLParen, "("); break;
+      case ')': push(TokenKind::kRParen, ")"); break;
+      case ',': push(TokenKind::kComma, ","); break;
+      case ';': push(TokenKind::kSemi, ";"); break;
+      case ':': push(TokenKind::kColon, ":"); break;
+      case '+': push(TokenKind::kPlus, "+"); break;
+      case '*': push(TokenKind::kStar, "*"); break;
+      case '<':
+        if (two('=')) {
+          push(TokenKind::kLe, "<=");
+          ++i;
+          ++column;
+        } else {
+          push(TokenKind::kLt, "<");
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::kGe, ">=");
+          ++i;
+          ++column;
+        } else {
+          push(TokenKind::kGt, ">");
+        }
+        break;
+      case '=':
+        if (two('=')) {
+          push(TokenKind::kEq, "==");
+          ++i;
+          ++column;
+        } else {
+          push(TokenKind::kAssign, "=");
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenKind::kNe, "!=");
+          ++i;
+          ++column;
+        } else {
+          throw ParseError("unexpected '!'", line, column);
+        }
+        break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", line, column);
+    }
+    ++i;
+    ++column;
+  }
+  out.push_back(Token{TokenKind::kEnd, "", 0.0, line, column});
+  return out;
+}
+
+}  // namespace stem::eventlang

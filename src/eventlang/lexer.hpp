@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stem::eventlang {
+
+/// Token kinds of the event specification language.
+enum class TokenKind {
+  kIdent,    ///< identifiers and keywords
+  kNumber,   ///< numeric literal (integer or decimal)
+  kLBrace,   ///< {
+  kRBrace,   ///< }
+  kLParen,   ///< (
+  kRParen,   ///< )
+  kComma,    ///< ,
+  kSemi,     ///< ;
+  kColon,    ///< :
+  kAssign,   ///< =
+  kPlus,     ///< +
+  kStar,     ///< *
+  kLt,       ///< <
+  kLe,       ///< <=
+  kGt,       ///< >
+  kGe,       ///< >=
+  kEq,       ///< ==
+  kNe,       ///< !=
+  kEnd,      ///< end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    ///< identifier text / operator spelling
+  double number = 0.0; ///< value for kNumber
+  int line = 1;
+  int column = 1;
+};
+
+/// Error with source position, thrown by lexer, parser, and compiler.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, int line, int column)
+      : std::runtime_error("line " + std::to_string(line) + ":" + std::to_string(column) + ": " +
+                           message),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Tokenizes a full specification. `#` starts a comment to end-of-line.
+/// Throws ParseError on unknown characters or malformed numbers.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+[[nodiscard]] std::string_view to_string(TokenKind kind);
+
+}  // namespace stem::eventlang

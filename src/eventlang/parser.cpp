@@ -1,0 +1,493 @@
+#include "eventlang/parser.hpp"
+
+#include <optional>
+#include <unordered_map>
+
+#include "eventlang/lexer.hpp"
+
+namespace stem::eventlang {
+
+namespace {
+
+using core::ConditionExpr;
+using core::EventDefinition;
+using core::SlotIndex;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+  std::vector<EventDefinition> parse() {
+    std::vector<EventDefinition> out;
+    while (!at(TokenKind::kEnd)) {
+      out.push_back(parse_event());
+    }
+    return out;
+  }
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenKind k) const { return peek().kind == k; }
+  [[nodiscard]] bool at_ident(std::string_view word) const {
+    return peek().kind == TokenKind::kIdent && peek().text == word;
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  const Token& expect(TokenKind k, std::string_view what) {
+    if (!at(k)) {
+      throw ParseError("expected " + std::string(what) + ", got '" + peek().text + "'",
+                       peek().line, peek().column);
+    }
+    return advance();
+  }
+
+  bool accept_ident(std::string_view word) {
+    if (at_ident(word)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_ident(std::string_view word) {
+    if (!accept_ident(word)) {
+      throw ParseError("expected '" + std::string(word) + "', got '" + peek().text + "'",
+                       peek().line, peek().column);
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, peek().line, peek().column);
+  }
+
+  // --- helpers --------------------------------------------------------------
+  double parse_number() { return expect(TokenKind::kNumber, "number").number; }
+
+  time_model::Duration parse_duration() {
+    const Token& num = expect(TokenKind::kNumber, "duration value");
+    const Token& unit = expect(TokenKind::kIdent, "duration unit (us/ms/s/m)");
+    const auto ticks = [&](double scale) {
+      return time_model::Duration(static_cast<time_model::Tick>(num.number * scale));
+    };
+    if (unit.text == "us") return ticks(1);
+    if (unit.text == "ms") return ticks(1e3);
+    if (unit.text == "s") return ticks(1e6);
+    if (unit.text == "m") return ticks(6e7);
+    throw ParseError("unknown duration unit '" + unit.text + "'", unit.line, unit.column);
+  }
+
+  core::RelationalOp parse_relop() {
+    switch (peek().kind) {
+      case TokenKind::kLt: advance(); return core::RelationalOp::kLt;
+      case TokenKind::kLe: advance(); return core::RelationalOp::kLe;
+      case TokenKind::kGt: advance(); return core::RelationalOp::kGt;
+      case TokenKind::kGe: advance(); return core::RelationalOp::kGe;
+      case TokenKind::kEq: advance(); return core::RelationalOp::kEq;
+      case TokenKind::kNe: advance(); return core::RelationalOp::kNe;
+      default: fail("expected relational operator");
+    }
+  }
+
+  SlotIndex slot_of(const Token& tok) const {
+    const auto it = slot_names_.find(tok.text);
+    if (it == slot_names_.end()) {
+      throw ParseError("unknown slot '" + tok.text + "'", tok.line, tok.column);
+    }
+    return it->second;
+  }
+
+  std::vector<SlotIndex> parse_slots() {
+    std::vector<SlotIndex> out;
+    out.push_back(slot_of(expect(TokenKind::kIdent, "slot name")));
+    while (at(TokenKind::kComma)) {
+      advance();
+      out.push_back(slot_of(expect(TokenKind::kIdent, "slot name")));
+    }
+    return out;
+  }
+
+  /// Optional "<agg>:" prefix inside a call; `lookup` maps names.
+  template <typename Agg, typename Lookup>
+  std::optional<Agg> try_agg_prefix(Lookup lookup) {
+    if (peek().kind == TokenKind::kIdent && tokens_[pos_ + 1].kind == TokenKind::kColon) {
+      const auto agg = lookup(peek().text);
+      if (!agg.has_value()) {
+        fail("unknown aggregate '" + peek().text + "'");
+      }
+      advance();  // agg
+      advance();  // colon
+      return agg;
+    }
+    return std::nullopt;
+  }
+
+  // --- event ---------------------------------------------------------------
+  EventDefinition parse_event() {
+    expect_ident("event");
+    const Token& name = expect(TokenKind::kIdent, "event name");
+    expect(TokenKind::kLBrace, "'{'");
+
+    slot_names_.clear();
+    std::vector<core::SlotSpec> slots;
+    std::optional<ConditionExpr> condition;
+    time_model::Duration window = time_model::seconds(60);
+    core::SynthesisSpec synthesis;
+    core::ConsumptionMode consumption = core::ConsumptionMode::kConsume;
+
+    while (!at(TokenKind::kRBrace)) {
+      if (accept_ident("window")) {
+        expect(TokenKind::kColon, "':'");
+        window = parse_duration();
+        expect(TokenKind::kSemi, "';'");
+      } else if (accept_ident("slot")) {
+        const Token& slot_name = expect(TokenKind::kIdent, "slot name");
+        if (slot_names_.contains(slot_name.text)) {
+          throw ParseError("duplicate slot '" + slot_name.text + "'", slot_name.line,
+                           slot_name.column);
+        }
+        expect(TokenKind::kAssign, "'='");
+        core::SlotFilter filter = parse_source();
+        if (accept_ident("from")) {
+          filter.producer = core::ObserverId(expect(TokenKind::kIdent, "producer id").text);
+        }
+        expect(TokenKind::kSemi, "';'");
+        slot_names_.emplace(slot_name.text, static_cast<SlotIndex>(slots.size()));
+        slots.push_back(core::SlotSpec{slot_name.text, std::move(filter)});
+      } else if (accept_ident("when")) {
+        condition = parse_expr();
+        expect(TokenKind::kSemi, "';'");
+      } else if (accept_ident("emit")) {
+        parse_emit(synthesis);
+      } else if (accept_ident("consume")) {
+        consumption = core::ConsumptionMode::kConsume;
+        expect(TokenKind::kSemi, "';'");
+      } else if (accept_ident("reuse")) {
+        consumption = core::ConsumptionMode::kUnrestricted;
+        expect(TokenKind::kSemi, "';'");
+      } else {
+        fail("expected clause (window/slot/when/emit/consume/reuse), got '" + peek().text + "'");
+      }
+    }
+    expect(TokenKind::kRBrace, "'}'");
+
+    if (slots.empty()) {
+      throw ParseError("event '" + name.text + "' declares no slots", name.line, name.column);
+    }
+    if (!condition.has_value()) {
+      throw ParseError("event '" + name.text + "' has no when-clause", name.line, name.column);
+    }
+    return EventDefinition{core::EventTypeId(name.text), std::move(slots),
+                           *std::move(condition),      window,
+                           std::move(synthesis),       consumption};
+  }
+
+  core::SlotFilter parse_source() {
+    if (accept_ident("obs")) {
+      expect(TokenKind::kLParen, "'('");
+      core::SlotFilter f =
+          core::SlotFilter::observation(core::SensorId(expect(TokenKind::kIdent, "sensor id").text));
+      expect(TokenKind::kRParen, "')'");
+      return f;
+    }
+    if (accept_ident("event")) {
+      expect(TokenKind::kLParen, "'('");
+      core::SlotFilter f = core::SlotFilter::instance_of(
+          core::EventTypeId(expect(TokenKind::kIdent, "event type").text));
+      expect(TokenKind::kRParen, "')'");
+      return f;
+    }
+    if (accept_ident("any")) return core::SlotFilter::any();
+    fail("expected slot source (obs/event/any)");
+  }
+
+  // --- condition expression --------------------------------------------------
+  ConditionExpr parse_expr() {
+    ConditionExpr lhs = parse_and();
+    if (!at_ident("or")) return lhs;
+    std::vector<ConditionExpr> children;
+    children.push_back(std::move(lhs));
+    while (accept_ident("or")) children.push_back(parse_and());
+    return core::c_or(std::move(children));
+  }
+
+  ConditionExpr parse_and() {
+    ConditionExpr lhs = parse_unary();
+    if (!at_ident("and")) return lhs;
+    std::vector<ConditionExpr> children;
+    children.push_back(std::move(lhs));
+    while (accept_ident("and")) children.push_back(parse_unary());
+    return core::c_and(std::move(children));
+  }
+
+  ConditionExpr parse_unary() {
+    if (accept_ident("not")) return core::c_not(parse_unary());
+    if (at(TokenKind::kLParen)) {
+      advance();
+      ConditionExpr inner = parse_expr();
+      expect(TokenKind::kRParen, "')'");
+      return inner;
+    }
+    return parse_predicate();
+  }
+
+  ConditionExpr parse_predicate() {
+    if (at_ident("time")) return parse_time_pred();
+    if (at_ident("loc")) return parse_loc_pred();
+    if (at_ident("distance")) return parse_dist_pred();
+    if (at_ident("rho")) return parse_rho_pred();
+    if (peek().kind == TokenKind::kIdent &&
+        core::value_aggregate_from_string(peek().text).has_value()) {
+      return parse_attr_pred();
+    }
+    fail("expected predicate (time/loc/distance/rho/<aggregate>), got '" + peek().text + "'");
+  }
+
+  core::TimeExpr parse_time_expr() {
+    expect_ident("time");
+    expect(TokenKind::kLParen, "'('");
+    core::TimeExpr e;
+    if (const auto agg = try_agg_prefix<time_model::TimeAggregate>(
+            [](std::string_view s) { return time_model::time_aggregate_from_string(s); })) {
+      e.aggregate = *agg;
+    }
+    e.slots = parse_slots();
+    expect(TokenKind::kRParen, "')'");
+    if (at(TokenKind::kPlus)) {
+      advance();
+      e.offset = parse_duration();
+    }
+    return e;
+  }
+
+  ConditionExpr parse_time_pred() {
+    core::TemporalCondition cond;
+    cond.lhs = parse_time_expr();
+    const Token& op_tok = expect(TokenKind::kIdent, "temporal operator");
+    const auto op = time_model::temporal_op_from_string(op_tok.text);
+    if (!op.has_value()) {
+      throw ParseError("unknown temporal operator '" + op_tok.text + "'", op_tok.line,
+                       op_tok.column);
+    }
+    cond.op = *op;
+    if (at_ident("time")) {
+      cond.rhs = parse_time_expr();
+    } else if (accept_ident("at")) {
+      expect(TokenKind::kLParen, "'('");
+      const time_model::Duration d = parse_duration();
+      expect(TokenKind::kRParen, "')'");
+      cond.rhs = time_model::OccurrenceTime(time_model::TimePoint::epoch() + d);
+    } else if (accept_ident("interval")) {
+      expect(TokenKind::kLParen, "'('");
+      const time_model::Duration a = parse_duration();
+      expect(TokenKind::kComma, "','");
+      const time_model::Duration b = parse_duration();
+      expect(TokenKind::kRParen, "')'");
+      cond.rhs = time_model::OccurrenceTime(time_model::TimeInterval(
+          time_model::TimePoint::epoch() + a, time_model::TimePoint::epoch() + b));
+    } else {
+      fail("expected time(...) / at(...) / interval(...)");
+    }
+    return ConditionExpr(std::move(cond));
+  }
+
+  core::LocationExpr parse_loc_expr() {
+    expect_ident("loc");
+    expect(TokenKind::kLParen, "'('");
+    core::LocationExpr e;
+    if (const auto agg = try_agg_prefix<geom::SpatialAggregate>(
+            [](std::string_view s) { return geom::spatial_aggregate_from_string(s); })) {
+      e.aggregate = *agg;
+    }
+    e.slots = parse_slots();
+    expect(TokenKind::kRParen, "')'");
+    return e;
+  }
+
+  geom::Location parse_loc_const() {
+    if (accept_ident("rect")) {
+      expect(TokenKind::kLParen, "'('");
+      const double x0 = parse_number();
+      expect(TokenKind::kComma, "','");
+      const double y0 = parse_number();
+      expect(TokenKind::kComma, "','");
+      const double x1 = parse_number();
+      expect(TokenKind::kComma, "','");
+      const double y1 = parse_number();
+      expect(TokenKind::kRParen, "')'");
+      return geom::Location(geom::Polygon::rectangle({x0, y0}, {x1, y1}));
+    }
+    if (accept_ident("point")) {
+      expect(TokenKind::kLParen, "'('");
+      const double x = parse_number();
+      expect(TokenKind::kComma, "','");
+      const double y = parse_number();
+      expect(TokenKind::kRParen, "')'");
+      return geom::Location(geom::Point{x, y});
+    }
+    if (accept_ident("circle")) {
+      expect(TokenKind::kLParen, "'('");
+      const double x = parse_number();
+      expect(TokenKind::kComma, "','");
+      const double y = parse_number();
+      expect(TokenKind::kComma, "','");
+      const double r = parse_number();
+      expect(TokenKind::kRParen, "')'");
+      return geom::Location(geom::Polygon::disk({x, y}, r, 24));
+    }
+    fail("expected location constant (rect/point/circle)");
+  }
+
+  ConditionExpr parse_loc_pred() {
+    core::SpatialCondition cond;
+    cond.lhs = parse_loc_expr();
+    const Token& op_tok = expect(TokenKind::kIdent, "spatial operator");
+    const auto op = geom::spatial_op_from_string(op_tok.text);
+    if (!op.has_value()) {
+      throw ParseError("unknown spatial operator '" + op_tok.text + "'", op_tok.line,
+                       op_tok.column);
+    }
+    cond.op = *op;
+    if (at_ident("loc")) {
+      cond.rhs = parse_loc_expr();
+    } else {
+      cond.rhs = parse_loc_const();
+    }
+    return ConditionExpr(std::move(cond));
+  }
+
+  ConditionExpr parse_dist_pred() {
+    expect_ident("distance");
+    expect(TokenKind::kLParen, "'('");
+    core::DistanceCondition cond;
+    cond.lhs = core::LocationExpr{geom::SpatialAggregate::kHull,
+                                  {slot_of(expect(TokenKind::kIdent, "slot name"))}};
+    expect(TokenKind::kComma, "','");
+    if (peek().kind == TokenKind::kIdent && slot_names_.contains(peek().text)) {
+      cond.to = core::LocationExpr{geom::SpatialAggregate::kHull, {slot_of(advance())}};
+    } else {
+      cond.to = parse_loc_const();
+    }
+    expect(TokenKind::kRParen, "')'");
+    cond.op = parse_relop();
+    cond.constant = parse_number();
+    return ConditionExpr(std::move(cond));
+  }
+
+  ConditionExpr parse_attr_pred() {
+    const Token& agg_tok = advance();
+    const auto agg = core::value_aggregate_from_string(agg_tok.text);
+    expect(TokenKind::kLParen, "'('");
+    core::AttributeCondition cond;
+    cond.aggregate = *agg;
+    cond.attribute = expect(TokenKind::kIdent, "attribute name").text;
+    expect_ident("of");
+    cond.slots = parse_slots();
+    expect(TokenKind::kRParen, "')'");
+    cond.op = parse_relop();
+    cond.constant = parse_number();
+    return ConditionExpr(std::move(cond));
+  }
+
+  ConditionExpr parse_rho_pred() {
+    expect_ident("rho");
+    expect(TokenKind::kLParen, "'('");
+    core::ConfidenceCondition cond;
+    if (const auto agg = try_agg_prefix<core::ValueAggregate>(
+            [](std::string_view s) { return core::value_aggregate_from_string(s); })) {
+      cond.aggregate = *agg;
+    }
+    cond.slots = parse_slots();
+    expect(TokenKind::kRParen, "')'");
+    cond.op = parse_relop();
+    cond.constant = parse_number();
+    return ConditionExpr(std::move(cond));
+  }
+
+  // --- emit clause -------------------------------------------------------------
+  void parse_emit(core::SynthesisSpec& synthesis) {
+    expect(TokenKind::kLBrace, "'{'");
+    while (!at(TokenKind::kRBrace)) {
+      if (accept_ident("time")) {
+        expect(TokenKind::kColon, "':'");
+        const Token& agg = expect(TokenKind::kIdent, "time aggregate");
+        const auto parsed = time_model::time_aggregate_from_string(agg.text);
+        if (!parsed.has_value()) {
+          throw ParseError("unknown time aggregate '" + agg.text + "'", agg.line, agg.column);
+        }
+        synthesis.time = *parsed;
+        expect(TokenKind::kSemi, "';'");
+      } else if (accept_ident("location")) {
+        expect(TokenKind::kColon, "':'");
+        const Token& agg = expect(TokenKind::kIdent, "location aggregate");
+        const auto parsed = geom::spatial_aggregate_from_string(agg.text);
+        if (!parsed.has_value()) {
+          throw ParseError("unknown location aggregate '" + agg.text + "'", agg.line, agg.column);
+        }
+        synthesis.location = *parsed;
+        expect(TokenKind::kSemi, "';'");
+      } else if (accept_ident("confidence")) {
+        expect(TokenKind::kColon, "':'");
+        const Token& policy = expect(TokenKind::kIdent, "confidence policy");
+        if (policy.text == "min") {
+          synthesis.confidence = core::ConfidencePolicy::kMin;
+        } else if (policy.text == "product") {
+          synthesis.confidence = core::ConfidencePolicy::kProduct;
+        } else if (policy.text == "mean") {
+          synthesis.confidence = core::ConfidencePolicy::kMean;
+        } else {
+          throw ParseError("unknown confidence policy '" + policy.text + "'", policy.line,
+                           policy.column);
+        }
+        if (at(TokenKind::kStar)) {
+          advance();
+          synthesis.observer_confidence = parse_number();
+        }
+        expect(TokenKind::kSemi, "';'");
+      } else if (accept_ident("attr")) {
+        core::AttributeRule rule;
+        rule.output_name = expect(TokenKind::kIdent, "output attribute").text;
+        expect(TokenKind::kAssign, "'='");
+        const Token& agg_tok = expect(TokenKind::kIdent, "aggregate");
+        const auto agg = core::value_aggregate_from_string(agg_tok.text);
+        if (!agg.has_value()) {
+          throw ParseError("unknown aggregate '" + agg_tok.text + "'", agg_tok.line,
+                           agg_tok.column);
+        }
+        rule.aggregate = *agg;
+        expect(TokenKind::kLParen, "'('");
+        rule.input_attribute = expect(TokenKind::kIdent, "input attribute").text;
+        expect_ident("of");
+        rule.slots = parse_slots();
+        expect(TokenKind::kRParen, "')'");
+        expect(TokenKind::kSemi, "';'");
+        synthesis.attributes.push_back(std::move(rule));
+      } else {
+        fail("expected emit item (time/location/confidence/attr), got '" + peek().text + "'");
+      }
+    }
+    expect(TokenKind::kRBrace, "'}'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::unordered_map<std::string, SlotIndex> slot_names_;
+};
+
+}  // namespace
+
+std::vector<core::EventDefinition> parse_spec(std::string_view source) {
+  return Parser(source).parse();
+}
+
+core::EventDefinition parse_event(std::string_view source) {
+  auto defs = parse_spec(source);
+  if (defs.size() != 1) {
+    throw ParseError("expected exactly one event definition, found " +
+                         std::to_string(defs.size()),
+                     1, 1);
+  }
+  return std::move(defs.front());
+}
+
+}  // namespace stem::eventlang

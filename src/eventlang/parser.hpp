@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/event_def.hpp"
+
+namespace stem::eventlang {
+
+/// Compiles an event specification into event definitions ready to be
+/// registered on a DetectionEngine. Throws ParseError (with line/column)
+/// on lexical, syntactic, or semantic errors (unknown slot, bad operator,
+/// missing when-clause...).
+///
+/// Grammar (EBNF, '#' comments allowed):
+///
+///   spec        = { event } ;
+///   event       = "event" IDENT "{" { clause } "}" ;
+///   clause      = "window" ":" duration ";"
+///               | "slot" IDENT "=" source [ "from" IDENT ] ";"
+///               | "when" expr ";"
+///               | "emit" "{" { emit-item } "}"
+///               | ( "consume" | "reuse" ) ";" ;
+///   source      = "obs" "(" IDENT ")" | "event" "(" IDENT ")" | "any" ;
+///   expr        = and-expr { "or" and-expr } ;
+///   and-expr    = unary { "and" unary } ;
+///   unary       = "not" unary | "(" expr ")" | predicate ;
+///   predicate   = time-pred | loc-pred | dist-pred | attr-pred | rho-pred ;
+///   time-pred   = time-expr TIMEOP ( time-expr | "at" "(" duration ")"
+///               | "interval" "(" duration "," duration ")" ) ;
+///   time-expr   = "time" "(" [ TIMEAGG ":" ] slots ")" [ "+" duration ] ;
+///   loc-pred    = loc-expr SPACEOP ( loc-expr | loc-const ) ;
+///   loc-expr    = "loc" "(" [ SPACEAGG ":" ] slots ")" ;
+///   loc-const   = "rect" "(" num "," num "," num "," num ")"
+///               | "point" "(" num "," num ")"
+///               | "circle" "(" num "," num "," num ")" ;
+///   dist-pred   = "distance" "(" IDENT "," ( IDENT | loc-const ) ")" RELOP num ;
+///   attr-pred   = VALAGG "(" IDENT "of" slots ")" RELOP num ;
+///   rho-pred    = "rho" "(" [ VALAGG ":" ] slots ")" RELOP num ;
+///   emit-item   = "time" ":" TIMEAGG ";"
+///               | "location" ":" SPACEAGG ";"
+///               | "confidence" ":" ("min"|"product"|"mean") [ "*" num ] ";"
+///               | "attr" IDENT "=" VALAGG "(" IDENT "of" slots ")" ";" ;
+///   slots       = IDENT { "," IDENT } ;
+///   duration    = num ( "us" | "ms" | "s" | "m" ) ;
+///
+///   TIMEOP  = before|after|meets|metby|overlaps|overlappedby|during|
+///             contains|starts|begin|finishes|end|equals|intersects|within
+///   SPACEOP = equal|inside|outside|contains|joint|disjoint
+///   RELOP   = < | <= | > | >= | == | !=
+///   TIMEAGG = earliest|latest|span|mean ; SPACEAGG = centroid|hull|unionbox
+///   VALAGG  = avg|average|max|min|sum|add|count
+[[nodiscard]] std::vector<core::EventDefinition> parse_spec(std::string_view source);
+
+/// Parses a specification expected to define exactly one event.
+/// Throws ParseError if it defines zero or several.
+[[nodiscard]] core::EventDefinition parse_event(std::string_view source);
+
+}  // namespace stem::eventlang

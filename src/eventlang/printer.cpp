@@ -1,0 +1,195 @@
+#include "eventlang/printer.hpp"
+
+#include <sstream>
+
+namespace stem::eventlang {
+
+namespace {
+
+using core::ConditionExpr;
+using core::EventDefinition;
+
+std::string fmt_number(double v) {
+  std::ostringstream ss;
+  ss << v;
+  return ss.str();
+}
+
+/// Durations print in the largest unit that divides them exactly.
+std::string fmt_duration(time_model::Duration d) {
+  const auto t = d.ticks();
+  if (t % 60'000'000 == 0) return std::to_string(t / 60'000'000) + " m";
+  if (t % 1'000'000 == 0) return std::to_string(t / 1'000'000) + " s";
+  if (t % 1'000 == 0) return std::to_string(t / 1'000) + " ms";
+  return std::to_string(t) + " us";
+}
+
+std::string slot_name(const EventDefinition& def, core::SlotIndex i) {
+  return i < def.slots.size() ? def.slots[i].name : ("$" + std::to_string(i));
+}
+
+std::string fmt_slots(const EventDefinition& def, const std::vector<core::SlotIndex>& slots) {
+  std::string out;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += slot_name(def, slots[i]);
+  }
+  return out;
+}
+
+std::string fmt_time_expr(const EventDefinition& def, const core::TimeExpr& e) {
+  std::string out = "time(";
+  if (e.aggregate != time_model::TimeAggregate::kSpan) {
+    out += std::string(time_model::to_string(e.aggregate)) + ": ";
+  }
+  out += fmt_slots(def, e.slots) + ")";
+  if (e.offset != time_model::Duration::zero()) out += " + " + fmt_duration(e.offset);
+  return out;
+}
+
+std::string fmt_loc_expr(const EventDefinition& def, const core::LocationExpr& e) {
+  std::string out = "loc(";
+  if (e.aggregate != geom::SpatialAggregate::kHull) {
+    out += std::string(geom::to_string(e.aggregate)) + ": ";
+  }
+  return out + fmt_slots(def, e.slots) + ")";
+}
+
+std::string fmt_loc_const(const geom::Location& loc) {
+  if (loc.is_point()) {
+    return "point(" + fmt_number(loc.as_point().x) + ", " + fmt_number(loc.as_point().y) + ")";
+  }
+  // Fields print as their bounding rect (exact for rect-shaped fields).
+  const geom::BoundingBox box = loc.bbox();
+  return "rect(" + fmt_number(box.lo().x) + ", " + fmt_number(box.lo().y) + ", " +
+         fmt_number(box.hi().x) + ", " + fmt_number(box.hi().y) + ")";
+}
+
+std::string fmt_occurrence_const(const time_model::OccurrenceTime& t) {
+  if (t.is_punctual()) {
+    return "at(" + std::to_string(t.as_point().ticks()) + " us)";
+  }
+  return "interval(" + std::to_string(t.begin().ticks()) + " us, " +
+         std::to_string(t.end().ticks()) + " us)";
+}
+
+void print_expr(std::ostream& os, const ConditionExpr& expr, const EventDefinition& def,
+                bool parenthesize) {
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, core::AndNode> || std::is_same_v<T, core::OrNode>) {
+          const char* joiner = std::is_same_v<T, core::AndNode> ? " and " : " or ";
+          if (parenthesize) os << "(";
+          for (std::size_t i = 0; i < node.children.size(); ++i) {
+            if (i != 0) os << joiner;
+            print_expr(os, node.children[i], def, true);
+          }
+          if (parenthesize) os << ")";
+        } else if constexpr (std::is_same_v<T, core::NotNode>) {
+          os << "not ";
+          print_expr(os, node.child.front(), def, true);
+        } else if constexpr (std::is_same_v<T, core::AttributeCondition>) {
+          os << to_string(node.aggregate) << "(" << node.attribute << " of "
+             << fmt_slots(def, node.slots) << ") " << node.op << " " << fmt_number(node.constant);
+        } else if constexpr (std::is_same_v<T, core::TemporalCondition>) {
+          os << fmt_time_expr(def, node.lhs) << " " << time_model::to_string(node.op) << " ";
+          if (const auto* c = std::get_if<time_model::OccurrenceTime>(&node.rhs)) {
+            os << fmt_occurrence_const(*c);
+          } else {
+            os << fmt_time_expr(def, std::get<core::TimeExpr>(node.rhs));
+          }
+        } else if constexpr (std::is_same_v<T, core::SpatialCondition>) {
+          os << fmt_loc_expr(def, node.lhs) << " " << geom::to_string(node.op) << " ";
+          if (const auto* c = std::get_if<geom::Location>(&node.rhs)) {
+            os << fmt_loc_const(*c);
+          } else {
+            os << fmt_loc_expr(def, std::get<core::LocationExpr>(node.rhs));
+          }
+        } else if constexpr (std::is_same_v<T, core::DistanceCondition>) {
+          os << "distance(" << fmt_slots(def, node.lhs.slots) << ", ";
+          if (const auto* c = std::get_if<geom::Location>(&node.to)) {
+            os << fmt_loc_const(*c);
+          } else {
+            os << fmt_slots(def, std::get<core::LocationExpr>(node.to).slots);
+          }
+          os << ") " << node.op << " " << fmt_number(node.constant);
+        } else if constexpr (std::is_same_v<T, core::ConfidenceCondition>) {
+          os << "rho(";
+          if (node.aggregate != core::ValueAggregate::kMin) {
+            os << to_string(node.aggregate) << ": ";
+          }
+          os << fmt_slots(def, node.slots) << ") " << node.op << " "
+             << fmt_number(node.constant);
+        }
+      },
+      expr.rep());
+}
+
+std::string fmt_filter(const core::SlotFilter& filter) {
+  std::string out;
+  if (filter.sensor.has_value()) {
+    out = "obs(" + filter.sensor->value() + ")";
+  } else if (filter.event_type.has_value()) {
+    out = "event(" + filter.event_type->value() + ")";
+  } else {
+    out = "any";
+  }
+  if (filter.producer.has_value()) out += " from " + filter.producer->value();
+  return out;
+}
+
+}  // namespace
+
+std::string print_condition(const ConditionExpr& expr, const EventDefinition& def) {
+  std::ostringstream os;
+  print_expr(os, expr, def, false);
+  return os.str();
+}
+
+std::string print_event(const EventDefinition& def) {
+  std::ostringstream os;
+  os << "event " << def.id.value() << " {\n";
+  os << "  window: " << fmt_duration(def.window) << ";\n";
+  for (const core::SlotSpec& slot : def.slots) {
+    os << "  slot " << slot.name << " = " << fmt_filter(slot.filter) << ";\n";
+  }
+  os << "  when " << print_condition(def.condition, def) << ";\n";
+
+  const core::SynthesisSpec& syn = def.synthesis;
+  const core::SynthesisSpec defaults;
+  const bool custom_emit = syn.time != defaults.time || syn.location != defaults.location ||
+                           syn.confidence != defaults.confidence ||
+                           syn.observer_confidence != defaults.observer_confidence ||
+                           !syn.attributes.empty();
+  if (custom_emit) {
+    os << "  emit {\n";
+    if (syn.time != defaults.time) {
+      os << "    time: " << time_model::to_string(syn.time) << ";\n";
+    }
+    if (syn.location != defaults.location) {
+      os << "    location: " << geom::to_string(syn.location) << ";\n";
+    }
+    if (syn.confidence != defaults.confidence ||
+        syn.observer_confidence != defaults.observer_confidence) {
+      os << "    confidence: ";
+      switch (syn.confidence) {
+        case core::ConfidencePolicy::kMin: os << "min"; break;
+        case core::ConfidencePolicy::kProduct: os << "product"; break;
+        case core::ConfidencePolicy::kMean: os << "mean"; break;
+      }
+      if (syn.observer_confidence != 1.0) os << " * " << fmt_number(syn.observer_confidence);
+      os << ";\n";
+    }
+    for (const core::AttributeRule& rule : syn.attributes) {
+      os << "    attr " << rule.output_name << " = " << to_string(rule.aggregate) << "("
+         << rule.input_attribute << " of " << fmt_slots(def, rule.slots) << ");\n";
+    }
+    os << "  }\n";
+  }
+  os << "  " << (def.consumption == core::ConsumptionMode::kConsume ? "consume" : "reuse")
+     << ";\n}\n";
+  return os.str();
+}
+
+}  // namespace stem::eventlang

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "core/event_def.hpp"
+
+namespace stem::eventlang {
+
+/// Renders an event definition back into the specification language.
+///
+/// The output is re-parseable: for any definition `d` produced by the
+/// parser, `parse_event(print_event(d))` yields a definition with the same
+/// printed form (full round trip). This is used to persist definitions and
+/// to display compiled rules in tooling.
+///
+/// Limitation: temporal/spatial *constants* print in canonical form
+/// (`at(... us)`, `interval(... us, ... us)`, vertex-list fields print as
+/// the bounding `rect` when axis-aligned, otherwise they cannot be exactly
+/// represented and a best-effort `rect` of the bbox is emitted).
+[[nodiscard]] std::string print_event(const core::EventDefinition& def);
+
+/// Renders just a condition expression (the `when` clause body).
+[[nodiscard]] std::string print_condition(const core::ConditionExpr& expr,
+                                          const core::EventDefinition& def);
+
+}  // namespace stem::eventlang

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <algorithm>
+#include <iosfwd>
+#include <limits>
+
+#include "geom/point.hpp"
+
+namespace stem::geom {
+
+/// Axis-aligned bounding box. Empty boxes (default-constructed) behave as
+/// the identity for `expand` and intersect nothing.
+class BoundingBox {
+ public:
+  constexpr BoundingBox() = default;
+  constexpr BoundingBox(Point lo, Point hi) : lo_(lo), hi_(hi) {}
+  constexpr explicit BoundingBox(Point p) : lo_(p), hi_(p) {}
+
+  [[nodiscard]] constexpr bool empty() const { return hi_.x < lo_.x || hi_.y < lo_.y; }
+  [[nodiscard]] constexpr Point lo() const { return lo_; }
+  [[nodiscard]] constexpr Point hi() const { return hi_; }
+  [[nodiscard]] constexpr Point center() const { return {(lo_.x + hi_.x) / 2, (lo_.y + hi_.y) / 2}; }
+  [[nodiscard]] constexpr double width() const { return empty() ? 0.0 : hi_.x - lo_.x; }
+  [[nodiscard]] constexpr double height() const { return empty() ? 0.0 : hi_.y - lo_.y; }
+  [[nodiscard]] constexpr double area() const { return width() * height(); }
+  /// Half-perimeter; the R-tree split heuristic minimizes this.
+  [[nodiscard]] constexpr double margin() const { return width() + height(); }
+
+  [[nodiscard]] constexpr bool contains(Point p) const {
+    return lo_.x <= p.x && p.x <= hi_.x && lo_.y <= p.y && p.y <= hi_.y;
+  }
+  [[nodiscard]] constexpr bool contains(const BoundingBox& b) const {
+    return !b.empty() && lo_.x <= b.lo_.x && b.hi_.x <= hi_.x && lo_.y <= b.lo_.y && b.hi_.y <= hi_.y;
+  }
+  [[nodiscard]] constexpr bool intersects(const BoundingBox& b) const {
+    if (empty() || b.empty()) return false;
+    return lo_.x <= b.hi_.x && b.lo_.x <= hi_.x && lo_.y <= b.hi_.y && b.lo_.y <= hi_.y;
+  }
+
+  constexpr void expand(Point p) {
+    if (empty()) {
+      lo_ = hi_ = p;
+      return;
+    }
+    lo_.x = std::min(lo_.x, p.x);
+    lo_.y = std::min(lo_.y, p.y);
+    hi_.x = std::max(hi_.x, p.x);
+    hi_.y = std::max(hi_.y, p.y);
+  }
+  constexpr void expand(const BoundingBox& b) {
+    if (b.empty()) return;
+    expand(b.lo_);
+    expand(b.hi_);
+  }
+
+  [[nodiscard]] constexpr BoundingBox united(const BoundingBox& b) const {
+    BoundingBox r = *this;
+    r.expand(b);
+    return r;
+  }
+
+  /// Area increase needed to also cover `b` (the R-tree insertion cost).
+  [[nodiscard]] constexpr double enlargement(const BoundingBox& b) const {
+    return united(b).area() - area();
+  }
+
+  [[nodiscard]] constexpr BoundingBox inflated(double r) const {
+    if (empty()) return *this;
+    return BoundingBox({lo_.x - r, lo_.y - r}, {hi_.x + r, hi_.y + r});
+  }
+
+  friend constexpr bool operator==(const BoundingBox&, const BoundingBox&) = default;
+
+ private:
+  Point lo_{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()};
+  Point hi_{std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest()};
+};
+
+std::ostream& operator<<(std::ostream& os, const BoundingBox& b);
+
+}  // namespace stem::geom

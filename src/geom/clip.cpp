@@ -1,0 +1,95 @@
+#include "geom/clip.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace stem::geom {
+
+bool is_convex(const Polygon& poly) {
+  const auto& vs = poly.vertices();
+  const std::size_t n = vs.size();
+  int sign = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double o = orientation(vs[i], vs[(i + 1) % n], vs[(i + 2) % n]);
+    if (std::abs(o) <= kEpsilon) continue;  // collinear triple
+    const int s = o > 0 ? 1 : -1;
+    if (sign == 0) {
+      sign = s;
+    } else if (s != sign) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Signed distance of p from the (CCW) clip edge a->b: >=0 means inside.
+double edge_side(Point p, Point a, Point b) { return orientation(a, b, p); }
+
+Point line_intersection(Point p1, Point p2, Point a, Point b) {
+  const double d1 = edge_side(p1, a, b);
+  const double d2 = edge_side(p2, a, b);
+  const double t = d1 / (d1 - d2);
+  return p1 + (p2 - p1) * t;
+}
+
+}  // namespace
+
+std::optional<Polygon> clip_convex(const Polygon& subject, const Polygon& convex_clip) {
+  if (!subject.bbox().intersects(convex_clip.bbox())) return std::nullopt;
+
+  // Ensure CCW clip winding so "inside" is consistently the left side.
+  std::vector<Point> clip = convex_clip.vertices();
+  if (convex_clip.signed_area() < 0) {
+    std::vector<Point> reversed(clip.rbegin(), clip.rend());
+    clip = std::move(reversed);
+  }
+
+  std::vector<Point> output = subject.vertices();
+  const std::size_t m = clip.size();
+  for (std::size_t e = 0; e < m && !output.empty(); ++e) {
+    const Point a = clip[e];
+    const Point b = clip[(e + 1) % m];
+    std::vector<Point> input = std::move(output);
+    output.clear();
+    const std::size_t n = input.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point cur = input[i];
+      const Point next = input[(i + 1) % n];
+      const bool cur_in = edge_side(cur, a, b) >= -kEpsilon;
+      const bool next_in = edge_side(next, a, b) >= -kEpsilon;
+      if (cur_in) {
+        output.push_back(cur);
+        if (!next_in) output.push_back(line_intersection(cur, next, a, b));
+      } else if (next_in) {
+        output.push_back(line_intersection(cur, next, a, b));
+      }
+    }
+  }
+  if (output.size() < 3) return std::nullopt;
+  const Polygon result(std::move(output));
+  if (result.area() <= kEpsilon) return std::nullopt;
+  return result;
+}
+
+double intersection_area(const Polygon& a, const Polygon& b) {
+  const Polygon* subject = &a;
+  const Polygon* clip = &b;
+  if (!is_convex(*clip)) {
+    std::swap(subject, clip);
+    if (!is_convex(*clip)) {
+      throw std::invalid_argument("intersection_area: neither polygon is convex");
+    }
+  }
+  const auto clipped = clip_convex(*subject, *clip);
+  return clipped.has_value() ? clipped->area() : 0.0;
+}
+
+double iou(const Polygon& a, const Polygon& b) {
+  const double inter = intersection_area(a, b);
+  const double uni = a.area() + b.area() - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+}  // namespace stem::geom

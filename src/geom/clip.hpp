@@ -1,0 +1,31 @@
+#pragma once
+
+#include <optional>
+
+#include "geom/polygon.hpp"
+
+namespace stem::geom {
+
+/// Clips `subject` against a *convex* clip polygon (Sutherland–Hodgman).
+/// Returns the clipped polygon, or nullopt if the intersection is empty or
+/// degenerate (area ~ 0).
+///
+/// The clip polygon must be convex; the subject may be any simple polygon.
+/// Field events in this system are produced as disks, rectangles, and
+/// convex hulls — all convex — so pairwise field intersection is exact.
+[[nodiscard]] std::optional<Polygon> clip_convex(const Polygon& subject, const Polygon& convex_clip);
+
+/// Area of the intersection of two polygons, at least one of which must be
+/// convex (the other is clipped against it). Returns 0 for disjoint
+/// regions. Throws std::invalid_argument if neither polygon is convex.
+[[nodiscard]] double intersection_area(const Polygon& a, const Polygon& b);
+
+/// True iff the polygon is convex (tolerating collinear vertices).
+[[nodiscard]] bool is_convex(const Polygon& poly);
+
+/// Intersection-over-union of two fields (one must be convex): the
+/// standard footprint-accuracy score used to compare an estimated field
+/// event against ground truth (forest-fire scenario).
+[[nodiscard]] double iou(const Polygon& a, const Polygon& b);
+
+}  // namespace stem::geom

@@ -1,0 +1,32 @@
+#include "geom/convex_hull.hpp"
+
+#include <algorithm>
+
+namespace stem::geom {
+
+std::optional<Polygon> convex_hull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](Point a, Point b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](Point a, Point b) { return almost_equal(a, b); }),
+               points.end());
+  const std::size_t n = points.size();
+  if (n < 3) return std::nullopt;
+
+  std::vector<Point> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower hull
+    while (k >= 2 && orientation(hull[k - 2], hull[k - 1], points[i]) <= kEpsilon) --k;
+    hull[k++] = points[i];
+  }
+  for (std::size_t i = n - 1, t = k + 1; i-- > 0;) {  // upper hull
+    while (k >= t && orientation(hull[k - 2], hull[k - 1], points[i]) <= kEpsilon) --k;
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);
+  if (hull.size() < 3) return std::nullopt;
+  return Polygon(std::move(hull));
+}
+
+}  // namespace stem::geom

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/polygon.hpp"
+
+namespace stem::geom {
+
+/// Convex hull of a point set (Andrew's monotone chain, O(n log n)).
+/// Returns the hull vertices in counter-clockwise order with no
+/// collinear interior points. Returns nullopt when fewer than 3
+/// non-collinear points exist (no polygon can be formed).
+///
+/// Used by sink nodes to estimate a *field event* footprint from the point
+/// locations of contributing sensor events (paper Sec. 4.2: "a field
+/// occurrence location is made of at least 2 or more point events").
+[[nodiscard]] std::optional<Polygon> convex_hull(std::vector<Point> points);
+
+}  // namespace stem::geom

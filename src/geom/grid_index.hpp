@@ -1,0 +1,97 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/bbox.hpp"
+
+namespace stem::geom {
+
+/// Uniform-grid spatial index over bounding boxes.
+///
+/// Entries are bucketed into fixed-size cells; a query visits only cells
+/// the query box touches. Best when entry footprints are small relative to
+/// the cell size (sensor events, mote positions). `T` must be copyable and
+/// equality-comparable (typically an id).
+template <typename T>
+class GridIndex {
+ public:
+  /// `cell` is the side length of a grid cell in world units.
+  explicit GridIndex(double cell) : cell_(cell) {
+    if (!(cell > 0.0)) throw std::invalid_argument("GridIndex: cell must be positive");
+  }
+
+  void insert(const BoundingBox& box, T value) {
+    if (box.empty()) throw std::invalid_argument("GridIndex::insert: empty box");
+    entries_.push_back({box, value});
+    const std::size_t idx = entries_.size() - 1;
+    for_each_cell(box, [&](std::int64_t key) { cells_[key].push_back(idx); });
+  }
+
+  /// Collects values whose stored box intersects `query` (candidates are
+  /// exact at the box level; callers refine with precise geometry).
+  [[nodiscard]] std::vector<T> query(const BoundingBox& query) const {
+    std::vector<T> out;
+    if (query.empty() || entries_.empty()) return out;
+    ++generation_;
+    for_each_cell(query, [&](std::int64_t key) {
+      auto it = cells_.find(key);
+      if (it == cells_.end()) return;
+      for (std::size_t idx : it->second) {
+        if (seen_.size() <= idx) seen_.resize(entries_.size(), 0);
+        if (seen_[idx] == generation_) continue;
+        seen_[idx] = generation_;
+        if (entries_[idx].box.intersects(query)) out.push_back(entries_[idx].value);
+      }
+    });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] double cell_size() const { return cell_; }
+
+  void clear() {
+    entries_.clear();
+    cells_.clear();
+    seen_.clear();
+    generation_ = 0;
+  }
+
+ private:
+  struct Entry {
+    BoundingBox box;
+    T value;
+  };
+
+  [[nodiscard]] std::int64_t cell_key(std::int64_t cx, std::int64_t cy) const {
+    // Pack two 32-bit cell coordinates into one key.
+    return (cx << 32) ^ (cy & 0xffffffff);
+  }
+
+  template <typename Fn>
+  void for_each_cell(const BoundingBox& box, Fn&& fn) const {
+    const auto cx0 = static_cast<std::int64_t>(std::floor(box.lo().x / cell_));
+    const auto cy0 = static_cast<std::int64_t>(std::floor(box.lo().y / cell_));
+    const auto cx1 = static_cast<std::int64_t>(std::floor(box.hi().x / cell_));
+    const auto cy1 = static_cast<std::int64_t>(std::floor(box.hi().y / cell_));
+    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+      for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+        fn(cell_key(cx, cy));
+      }
+    }
+  }
+
+  double cell_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> cells_;
+  // Query-time dedup scratch (an entry can live in many cells).
+  mutable std::vector<std::uint32_t> seen_;
+  mutable std::uint32_t generation_ = 0;
+};
+
+}  // namespace stem::geom

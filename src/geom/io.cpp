@@ -1,0 +1,17 @@
+#include <ostream>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+
+namespace stem::geom {
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << "(" << p.x << "," << p.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const BoundingBox& b) {
+  if (b.empty()) return os << "bbox{empty}";
+  return os << "bbox{" << b.lo() << ".." << b.hi() << "}";
+}
+
+}  // namespace stem::geom

@@ -1,0 +1,136 @@
+#include "geom/location.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "geom/convex_hull.hpp"
+
+namespace stem::geom {
+
+namespace {
+
+bool locations_joint(const Location& a, const Location& b) {
+  if (a.is_point() && b.is_point()) return almost_equal(a.as_point(), b.as_point());
+  if (a.is_point()) return b.as_field().contains(a.as_point());
+  if (b.is_point()) return a.as_field().contains(b.as_point());
+  return a.as_field().intersects(b.as_field());
+}
+
+bool location_inside(const Location& a, const Location& b) {
+  if (b.is_point()) {
+    // Only a coincident point can be inside a point location.
+    return a.is_point() && almost_equal(a.as_point(), b.as_point());
+  }
+  if (a.is_point()) return b.as_field().contains(a.as_point());
+  return b.as_field().contains(a.as_field());
+}
+
+}  // namespace
+
+bool eval_spatial(const Location& a, SpatialOp op, const Location& b) {
+  switch (op) {
+    case SpatialOp::kEqual:
+      if (a.is_point() != b.is_point()) return false;
+      if (a.is_point()) return almost_equal(a.as_point(), b.as_point());
+      return a.as_field().contains(b.as_field()) && b.as_field().contains(a.as_field());
+    case SpatialOp::kInside: return location_inside(a, b);
+    case SpatialOp::kContains: return location_inside(b, a);
+    case SpatialOp::kOutside:
+    case SpatialOp::kDisjoint: return !locations_joint(a, b);
+    case SpatialOp::kJoint: return locations_joint(a, b);
+  }
+  return false;  // unreachable
+}
+
+double location_distance(const Location& a, const Location& b) {
+  if (a.is_point() && b.is_point()) return distance(a.as_point(), b.as_point());
+  if (a.is_point()) return b.as_field().distance_to(a.as_point());
+  if (b.is_point()) return a.as_field().distance_to(b.as_point());
+  const Polygon& pa = a.as_field();
+  const Polygon& pb = b.as_field();
+  if (pa.intersects(pb)) return 0.0;
+  double best = std::numeric_limits<double>::max();
+  for (const Point& v : pa.vertices()) best = std::min(best, pb.distance_to(v));
+  for (const Point& v : pb.vertices()) best = std::min(best, pa.distance_to(v));
+  return best;
+}
+
+std::string_view to_string(SpatialOp op) {
+  switch (op) {
+    case SpatialOp::kEqual: return "equal";
+    case SpatialOp::kInside: return "inside";
+    case SpatialOp::kOutside: return "outside";
+    case SpatialOp::kContains: return "contains";
+    case SpatialOp::kJoint: return "joint";
+    case SpatialOp::kDisjoint: return "disjoint";
+  }
+  return "?";
+}
+
+std::optional<SpatialOp> spatial_op_from_string(std::string_view s) {
+  if (s == "equal") return SpatialOp::kEqual;
+  if (s == "inside") return SpatialOp::kInside;
+  if (s == "outside") return SpatialOp::kOutside;
+  if (s == "contains") return SpatialOp::kContains;
+  if (s == "joint") return SpatialOp::kJoint;
+  if (s == "disjoint") return SpatialOp::kDisjoint;
+  return std::nullopt;
+}
+
+std::ostream& operator<<(std::ostream& os, SpatialOp op) { return os << to_string(op); }
+
+std::ostream& operator<<(std::ostream& os, const Location& loc) {
+  if (loc.is_point()) return os << loc.as_point();
+  return os << loc.as_field();
+}
+
+std::string_view to_string(SpatialAggregate a) {
+  switch (a) {
+    case SpatialAggregate::kCentroid: return "centroid";
+    case SpatialAggregate::kHull: return "hull";
+    case SpatialAggregate::kUnionBox: return "unionbox";
+  }
+  return "?";
+}
+
+std::optional<SpatialAggregate> spatial_aggregate_from_string(std::string_view s) {
+  if (s == "centroid") return SpatialAggregate::kCentroid;
+  if (s == "hull") return SpatialAggregate::kHull;
+  if (s == "unionbox") return SpatialAggregate::kUnionBox;
+  return std::nullopt;
+}
+
+Location aggregate_locations(SpatialAggregate agg, const Location* first, std::size_t count) {
+  if (count == 0 || first == nullptr) {
+    throw std::invalid_argument("aggregate_locations: empty input");
+  }
+  switch (agg) {
+    case SpatialAggregate::kCentroid: {
+      Point mean{0, 0};
+      for (std::size_t i = 0; i < count; ++i) mean = mean + first[i].representative();
+      return Location(mean / static_cast<double>(count));
+    }
+    case SpatialAggregate::kHull: {
+      std::vector<Point> pts;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (first[i].is_point()) {
+          pts.push_back(first[i].as_point());
+        } else {
+          const auto& vs = first[i].as_field().vertices();
+          pts.insert(pts.end(), vs.begin(), vs.end());
+        }
+      }
+      if (auto hull = convex_hull(pts)) return Location(*std::move(hull));
+      return aggregate_locations(SpatialAggregate::kCentroid, first, count);
+    }
+    case SpatialAggregate::kUnionBox: {
+      BoundingBox box;
+      for (std::size_t i = 0; i < count; ++i) box.expand(first[i].bbox());
+      return Location(Polygon::rectangle(box.lo(), box.hi()));
+    }
+  }
+  throw std::logic_error("aggregate_locations: bad aggregate");
+}
+
+}  // namespace stem::geom

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+#include <variant>
+
+#include "geom/point.hpp"
+#include "geom/polygon.hpp"
+
+namespace stem::geom {
+
+/// Occurrence location of an event (paper Def. 4.1 / Sec. 4.2):
+/// a *point event* occurs at a location point, a *field event* occupies a
+/// polytope (polygon).
+class Location {
+ public:
+  Location(Point p) : rep_(p) {}            // NOLINT(google-explicit-constructor)
+  Location(Polygon poly) : rep_(std::move(poly)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_point() const { return std::holds_alternative<Point>(rep_); }
+  [[nodiscard]] bool is_field() const { return !is_point(); }
+
+  /// The point; throws std::bad_variant_access for field locations.
+  [[nodiscard]] Point as_point() const { return std::get<Point>(rep_); }
+  /// The field polygon; throws std::bad_variant_access for point locations.
+  [[nodiscard]] const Polygon& as_field() const { return std::get<Polygon>(rep_); }
+
+  /// Representative point: the point itself, or the field centroid.
+  [[nodiscard]] Point representative() const {
+    return is_point() ? as_point() : as_field().centroid();
+  }
+
+  [[nodiscard]] BoundingBox bbox() const {
+    return is_point() ? BoundingBox(as_point()) : as_field().bbox();
+  }
+
+  /// Closed-region membership: a point location covers only itself.
+  [[nodiscard]] bool covers(Point p) const {
+    return is_point() ? almost_equal(as_point(), p) : as_field().contains(p);
+  }
+
+  friend bool operator==(const Location&, const Location&) = default;
+
+ private:
+  std::variant<Point, Polygon> rep_;
+};
+
+/// Spatial operators OP_S of the paper's spatial event conditions
+/// (Eq. 4.4): "Inside, Outside, Joint" plus the natural complements, so
+/// that all three relation classes of Sec. 4.2 (point-point, point-field,
+/// field-field) are expressible.
+enum class SpatialOp {
+  kEqual,     ///< same point, or same region footprint (mutual containment)
+  kInside,    ///< a lies entirely within b (point in field, field in field)
+  kOutside,   ///< a and b share no point
+  kContains,  ///< b lies entirely within a
+  kJoint,     ///< the closed regions share at least one point
+  kDisjoint,  ///< alias of kOutside (paper uses "Outside"; CEP literature "Disjoint")
+};
+
+/// Evaluates `a OP b`. Total over the four point/field combinations.
+[[nodiscard]] bool eval_spatial(const Location& a, SpatialOp op, const Location& b);
+
+/// Minimum Euclidean distance between two locations (0 when joint).
+[[nodiscard]] double location_distance(const Location& a, const Location& b);
+
+[[nodiscard]] std::string_view to_string(SpatialOp op);
+[[nodiscard]] std::optional<SpatialOp> spatial_op_from_string(std::string_view s);
+
+std::ostream& operator<<(std::ostream& os, SpatialOp op);
+std::ostream& operator<<(std::ostream& os, const Location& loc);
+
+/// Aggregation functions g_s over entity locations (Eq. 4.4).
+enum class SpatialAggregate {
+  kCentroid,  ///< mean of representative points (a point location)
+  kHull,      ///< convex hull of representative points (a field location)
+  kUnionBox,  ///< bounding box of all locations (a field location)
+};
+
+[[nodiscard]] std::string_view to_string(SpatialAggregate a);
+[[nodiscard]] std::optional<SpatialAggregate> spatial_aggregate_from_string(std::string_view s);
+
+/// Applies an aggregation to one or more locations. Hull of fewer than 3
+/// distinct points degrades to kCentroid. Throws std::invalid_argument on
+/// an empty range.
+[[nodiscard]] Location aggregate_locations(SpatialAggregate agg, const Location* first,
+                                           std::size_t count);
+
+}  // namespace stem::geom

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+
+/// 2-D spatial model (paper Section 4, "Spatial Model"): a standard
+/// 2-dimensional Cartesian coordinate system in which an ordered pair
+/// (x, y) is a location point and a polytope is a location field.
+namespace stem::geom {
+
+/// Geometric comparison tolerance. Coordinates are in meters by system
+/// convention; 1e-9 m is far below any sensor's resolution.
+inline constexpr double kEpsilon = 1e-9;
+
+/// A location point (x, y) in the global Cartesian frame.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Point operator*(Point a, double k) { return {a.x * k, a.y * k}; }
+  friend constexpr Point operator*(double k, Point a) { return {a.x * k, a.y * k}; }
+  friend constexpr Point operator/(Point a, double k) { return {a.x / k, a.y / k}; }
+
+  friend constexpr bool operator==(Point a, Point b) = default;
+};
+
+/// Exact-tolerance equality: component-wise within kEpsilon.
+[[nodiscard]] constexpr bool almost_equal(Point a, Point b, double eps = kEpsilon) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return (dx < 0 ? -dx : dx) <= eps && (dy < 0 ? -dy : dy) <= eps;
+}
+
+[[nodiscard]] inline double dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+/// z-component of the 3-D cross product; >0 means b is CCW of a.
+[[nodiscard]] inline double cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+[[nodiscard]] inline double norm2(Point a) { return dot(a, a); }
+[[nodiscard]] inline double norm(Point a) { return std::sqrt(norm2(a)); }
+[[nodiscard]] inline double distance(Point a, Point b) { return norm(a - b); }
+[[nodiscard]] inline double distance2(Point a, Point b) { return norm2(a - b); }
+
+/// Orientation of the ordered triple (a, b, c):
+/// >0 counter-clockwise, <0 clockwise, 0 collinear (within tolerance).
+[[nodiscard]] inline double orientation(Point a, Point b, Point c) {
+  return cross(b - a, c - a);
+}
+
+std::ostream& operator<<(std::ostream& os, Point p);
+
+}  // namespace stem::geom

@@ -1,0 +1,202 @@
+#include "geom/polygon.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace stem::geom {
+
+Polygon::Polygon(std::vector<Point> vertices) : vertices_(std::move(vertices)) {
+  if (vertices_.size() < 3) {
+    throw std::invalid_argument("Polygon: needs at least 3 vertices");
+  }
+  for (const Point& v : vertices_) bbox_.expand(v);
+}
+
+Polygon::Polygon(std::initializer_list<Point> vertices)
+    : Polygon(std::vector<Point>(vertices)) {}
+
+double Polygon::signed_area() const {
+  double acc = 0.0;
+  for (std::size_t i = 0, n = vertices_.size(); i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    acc += cross(a, b);
+  }
+  return acc / 2.0;
+}
+
+double Polygon::area() const { return std::abs(signed_area()); }
+
+Point Polygon::centroid() const {
+  // Standard area-weighted centroid; falls back to the vertex mean for
+  // (numerically) zero-area polygons.
+  const double a = signed_area();
+  if (std::abs(a) < kEpsilon) {
+    Point mean{0, 0};
+    for (const Point& v : vertices_) mean = mean + v;
+    return mean / static_cast<double>(vertices_.size());
+  }
+  Point c{0, 0};
+  for (std::size_t i = 0, n = vertices_.size(); i < n; ++i) {
+    const Point& p = vertices_[i];
+    const Point& q = vertices_[(i + 1) % n];
+    const double w = cross(p, q);
+    c.x += (p.x + q.x) * w;
+    c.y += (p.y + q.y) * w;
+  }
+  return c / (6.0 * a);
+}
+
+double Polygon::perimeter() const {
+  double acc = 0.0;
+  for (std::size_t i = 0, n = vertices_.size(); i < n; ++i) {
+    acc += distance(vertices_[i], vertices_[(i + 1) % n]);
+  }
+  return acc;
+}
+
+bool Polygon::contains(Point p) const {
+  if (!bbox_.contains(p)) return false;
+  if (on_boundary(p)) return true;
+  // Ray cast toward +x, counting proper edge crossings.
+  bool inside = false;
+  for (std::size_t i = 0, n = vertices_.size(); i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    const bool a_above = a.y > p.y;
+    const bool b_above = b.y > p.y;
+    if (a_above != b_above) {
+      const double x_cross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (x_cross > p.x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool Polygon::on_boundary(Point p, double eps) const {
+  for (std::size_t i = 0, n = vertices_.size(); i < n; ++i) {
+    if (point_segment_distance(p, vertices_[i], vertices_[(i + 1) % n]) <= eps) return true;
+  }
+  return false;
+}
+
+bool Polygon::contains(const Polygon& other) const {
+  if (!bbox_.contains(other.bbox())) return false;
+  for (const Point& v : other.vertices_) {
+    if (!contains(v)) return false;
+  }
+  // All vertices inside; reject if any edges cross (possible for
+  // non-convex containers).
+  for (std::size_t i = 0, n = vertices_.size(); i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    for (std::size_t j = 0, m = other.vertices_.size(); j < m; ++j) {
+      const Point& c = other.vertices_[j];
+      const Point& d = other.vertices_[(j + 1) % m];
+      // Shared boundary points are fine under closed-region semantics; a
+      // proper crossing is not. Detect proper crossings only.
+      const double o1 = orientation(a, b, c);
+      const double o2 = orientation(a, b, d);
+      const double o3 = orientation(c, d, a);
+      const double o4 = orientation(c, d, b);
+      if (((o1 > kEpsilon && o2 < -kEpsilon) || (o1 < -kEpsilon && o2 > kEpsilon)) &&
+          ((o3 > kEpsilon && o4 < -kEpsilon) || (o3 < -kEpsilon && o4 > kEpsilon))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Polygon::intersects(const Polygon& other) const {
+  if (!bbox_.intersects(other.bbox())) return false;
+  // Any edge pair intersecting => joint.
+  for (std::size_t i = 0, n = vertices_.size(); i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    for (std::size_t j = 0, m = other.vertices_.size(); j < m; ++j) {
+      if (segments_intersect(a, b, other.vertices_[j], other.vertices_[(j + 1) % m])) return true;
+    }
+  }
+  // No edge crossings: one may contain the other entirely.
+  return contains(other.vertices_.front()) || other.contains(vertices_.front());
+}
+
+double Polygon::distance_to(Point p) const {
+  if (contains(p)) return 0.0;
+  double best = std::numeric_limits<double>::max();
+  for (std::size_t i = 0, n = vertices_.size(); i < n; ++i) {
+    best = std::min(best, point_segment_distance(p, vertices_[i], vertices_[(i + 1) % n]));
+  }
+  return best;
+}
+
+Polygon Polygon::translated(Point d) const {
+  std::vector<Point> vs;
+  vs.reserve(vertices_.size());
+  for (const Point& v : vertices_) vs.push_back(v + d);
+  return Polygon(std::move(vs));
+}
+
+Polygon Polygon::rectangle(Point lo, Point hi) {
+  return Polygon({{lo.x, lo.y}, {hi.x, lo.y}, {hi.x, hi.y}, {lo.x, hi.y}});
+}
+
+Polygon Polygon::disk(Point c, double r, int n) {
+  if (r <= 0.0) throw std::invalid_argument("Polygon::disk: radius must be positive");
+  if (n < 3) throw std::invalid_argument("Polygon::disk: need at least 3 vertices");
+  std::vector<Point> vs;
+  vs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(n);
+    vs.push_back({c.x + r * std::cos(a), c.y + r * std::sin(a)});
+  }
+  return Polygon(std::move(vs));
+}
+
+namespace {
+bool on_segment_collinear(Point p, Point a, Point b) {
+  return std::min(a.x, b.x) - kEpsilon <= p.x && p.x <= std::max(a.x, b.x) + kEpsilon &&
+         std::min(a.y, b.y) - kEpsilon <= p.y && p.y <= std::max(a.y, b.y) + kEpsilon;
+}
+}  // namespace
+
+bool segments_intersect(Point a, Point b, Point c, Point d) {
+  const double o1 = orientation(a, b, c);
+  const double o2 = orientation(a, b, d);
+  const double o3 = orientation(c, d, a);
+  const double o4 = orientation(c, d, b);
+
+  if (((o1 > kEpsilon && o2 < -kEpsilon) || (o1 < -kEpsilon && o2 > kEpsilon)) &&
+      ((o3 > kEpsilon && o4 < -kEpsilon) || (o3 < -kEpsilon && o4 > kEpsilon))) {
+    return true;
+  }
+  if (std::abs(o1) <= kEpsilon && on_segment_collinear(c, a, b)) return true;
+  if (std::abs(o2) <= kEpsilon && on_segment_collinear(d, a, b)) return true;
+  if (std::abs(o3) <= kEpsilon && on_segment_collinear(a, c, d)) return true;
+  if (std::abs(o4) <= kEpsilon && on_segment_collinear(b, c, d)) return true;
+  return false;
+}
+
+double point_segment_distance(Point p, Point a, Point b) {
+  const Point ab = b - a;
+  const double len2 = norm2(ab);
+  if (len2 <= kEpsilon * kEpsilon) return distance(p, a);
+  double t = dot(p - a, ab) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return distance(p, a + ab * t);
+}
+
+std::ostream& operator<<(std::ostream& os, const Polygon& poly) {
+  os << "poly{";
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << poly.vertices()[i];
+  }
+  return os << "}";
+}
+
+}  // namespace stem::geom

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+
+namespace stem::geom {
+
+/// A location field (paper: "polytope") represented as a simple polygon.
+///
+/// Vertices are stored in order (either winding); the closing edge from the
+/// last vertex back to the first is implicit. Degenerate polygons with
+/// fewer than 3 vertices are rejected at construction.
+class Polygon {
+ public:
+  /// Throws std::invalid_argument if fewer than 3 vertices are given.
+  explicit Polygon(std::vector<Point> vertices);
+  Polygon(std::initializer_list<Point> vertices);
+
+  [[nodiscard]] const std::vector<Point>& vertices() const { return vertices_; }
+  [[nodiscard]] std::size_t size() const { return vertices_.size(); }
+
+  /// Signed area: positive for counter-clockwise winding.
+  [[nodiscard]] double signed_area() const;
+  [[nodiscard]] double area() const;
+  [[nodiscard]] Point centroid() const;
+  [[nodiscard]] const BoundingBox& bbox() const { return bbox_; }
+  [[nodiscard]] double perimeter() const;
+
+  /// Point-in-polygon by ray casting; points on the boundary count as
+  /// inside (closed region semantics, matching the closed time intervals).
+  [[nodiscard]] bool contains(Point p) const;
+
+  /// True iff `p` lies on the boundary within tolerance.
+  [[nodiscard]] bool on_boundary(Point p, double eps = kEpsilon) const;
+
+  /// True iff `other` lies entirely within this polygon (all vertices
+  /// inside and no edge crossings).
+  [[nodiscard]] bool contains(const Polygon& other) const;
+
+  /// True iff the two closed regions share at least one point — the
+  /// paper's "Joint" spatial relation for field events.
+  [[nodiscard]] bool intersects(const Polygon& other) const;
+
+  /// Euclidean distance from `p` to the closed region (0 if inside).
+  [[nodiscard]] double distance_to(Point p) const;
+
+  /// Polygon translated by the vector `d`.
+  [[nodiscard]] Polygon translated(Point d) const;
+
+  /// Axis-aligned rectangle convenience factory.
+  [[nodiscard]] static Polygon rectangle(Point lo, Point hi);
+  /// Regular n-gon approximation of a disk centered at `c` with radius `r`.
+  /// Throws std::invalid_argument if r <= 0 or n < 3.
+  [[nodiscard]] static Polygon disk(Point c, double r, int n = 16);
+
+  friend bool operator==(const Polygon& a, const Polygon& b) { return a.vertices_ == b.vertices_; }
+
+ private:
+  std::vector<Point> vertices_;
+  BoundingBox bbox_;
+};
+
+/// True iff segments [a,b] and [c,d] share at least one point.
+[[nodiscard]] bool segments_intersect(Point a, Point b, Point c, Point d);
+
+/// Distance from point p to segment [a,b].
+[[nodiscard]] double point_segment_distance(Point p, Point a, Point b);
+
+std::ostream& operator<<(std::ostream& os, const Polygon& poly);
+
+}  // namespace stem::geom

@@ -1,0 +1,232 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "geom/bbox.hpp"
+
+namespace stem::geom {
+
+/// R-tree with quadratic split (Guttman 1984).
+///
+/// Supports insertion and box-intersection queries; sufficient for the
+/// field-event join workloads of experiment E4. `T` is the payload
+/// (typically an instance id) and must be copyable.
+template <typename T, std::size_t MaxEntries = 8>
+class RTree {
+  static_assert(MaxEntries >= 4, "RTree: MaxEntries must be at least 4");
+  static constexpr std::size_t kMinEntries = MaxEntries / 2;
+
+ public:
+  RTree() : root_(std::make_unique<Node>(/*leaf=*/true)) {}
+
+  void insert(const BoundingBox& box, T value) {
+    if (box.empty()) throw std::invalid_argument("RTree::insert: empty box");
+    Leaf leaf{box, std::move(value)};
+    Node* target = choose_leaf(root_.get(), box);
+    target->leaves.push_back(std::move(leaf));
+    target->box.expand(box);
+    adjust_upward(target);
+    ++size_;
+  }
+
+  /// Collects payloads whose box intersects `query`.
+  [[nodiscard]] std::vector<T> query(const BoundingBox& query) const {
+    std::vector<T> out;
+    if (!query.empty()) search(root_.get(), query, out);
+    return out;
+  }
+
+  /// Visits payloads whose box intersects `query`; `fn(const T&)`.
+  template <typename Fn>
+  void visit(const BoundingBox& query, Fn&& fn) const {
+    if (!query.empty()) visit_impl(root_.get(), query, fn);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Height of the tree (1 for a single leaf node); exposed for tests.
+  [[nodiscard]] std::size_t height() const {
+    std::size_t h = 1;
+    for (const Node* n = root_.get(); !n->leaf; n = n->children.front().get()) ++h;
+    return h;
+  }
+
+  void clear() {
+    root_ = std::make_unique<Node>(/*leaf=*/true);
+    size_ = 0;
+  }
+
+ private:
+  struct Leaf {
+    BoundingBox box;
+    T value;
+  };
+
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    BoundingBox box;
+    Node* parent = nullptr;
+    std::vector<Leaf> leaves;                    // if leaf
+    std::vector<std::unique_ptr<Node>> children;  // if internal
+
+    [[nodiscard]] std::size_t fill() const { return leaf ? leaves.size() : children.size(); }
+  };
+
+  static void search(const Node* n, const BoundingBox& q, std::vector<T>& out) {
+    if (!n->box.intersects(q)) return;
+    if (n->leaf) {
+      for (const Leaf& l : n->leaves) {
+        if (l.box.intersects(q)) out.push_back(l.value);
+      }
+      return;
+    }
+    for (const auto& c : n->children) search(c.get(), q, out);
+  }
+
+  template <typename Fn>
+  static void visit_impl(const Node* n, const BoundingBox& q, Fn& fn) {
+    if (!n->box.intersects(q)) return;
+    if (n->leaf) {
+      for (const Leaf& l : n->leaves) {
+        if (l.box.intersects(q)) fn(l.value);
+      }
+      return;
+    }
+    for (const auto& c : n->children) visit_impl(c.get(), q, fn);
+  }
+
+  static Node* choose_leaf(Node* n, const BoundingBox& box) {
+    while (!n->leaf) {
+      Node* best = nullptr;
+      double best_enlarge = 0.0, best_area = 0.0;
+      for (const auto& c : n->children) {
+        const double enlarge = c->box.enlargement(box);
+        const double area = c->box.area();
+        if (best == nullptr || enlarge < best_enlarge ||
+            (enlarge == best_enlarge && area < best_area)) {
+          best = c.get();
+          best_enlarge = enlarge;
+          best_area = area;
+        }
+      }
+      n = best;
+    }
+    return n;
+  }
+
+  void adjust_upward(Node* n) {
+    while (n != nullptr) {
+      if (n->fill() > MaxEntries) {
+        split(n);
+        // split() may replace the root; restart box fixes from parent.
+      }
+      recompute_box(n);
+      n = n->parent;
+    }
+  }
+
+  static void recompute_box(Node* n) {
+    n->box = BoundingBox();
+    if (n->leaf) {
+      for (const Leaf& l : n->leaves) n->box.expand(l.box);
+    } else {
+      for (const auto& c : n->children) n->box.expand(c->box);
+    }
+  }
+
+  // Quadratic split: pick the pair of entries that wastes the most area as
+  // seeds, then assign remaining entries to the group needing least
+  // enlargement, respecting the minimum fill.
+  void split(Node* n) {
+    auto sibling = std::make_unique<Node>(n->leaf);
+    Node* sib = sibling.get();
+
+    if (n->leaf) {
+      split_entries(n->leaves, sib->leaves, [](const Leaf& l) { return l.box; });
+    } else {
+      split_entries(n->children, sib->children,
+                    [](const std::unique_ptr<Node>& c) { return c->box; });
+      for (auto& c : sib->children) c->parent = sib;
+    }
+    recompute_box(n);
+    recompute_box(sib);
+
+    if (n->parent == nullptr) {
+      // Grow a new root.
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      Node* nr = new_root.get();
+      sibling->parent = nr;
+      std::unique_ptr<Node> old_root = std::move(root_);
+      old_root->parent = nr;
+      nr->children.push_back(std::move(old_root));
+      nr->children.push_back(std::move(sibling));
+      recompute_box(nr);
+      root_ = std::move(new_root);
+    } else {
+      sibling->parent = n->parent;
+      n->parent->children.push_back(std::move(sibling));
+    }
+  }
+
+  template <typename Entry, typename BoxOf>
+  static void split_entries(std::vector<Entry>& a, std::vector<Entry>& b, BoxOf box_of) {
+    std::vector<Entry> all = std::move(a);
+    a.clear();
+
+    // Seed selection: most wasteful pair.
+    std::size_t s1 = 0, s2 = 1;
+    double worst = -1.0;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      for (std::size_t j = i + 1; j < all.size(); ++j) {
+        const double waste =
+            box_of(all[i]).united(box_of(all[j])).area() - box_of(all[i]).area() - box_of(all[j]).area();
+        if (waste > worst) {
+          worst = waste;
+          s1 = i;
+          s2 = j;
+        }
+      }
+    }
+
+    BoundingBox box_a = box_of(all[s1]);
+    BoundingBox box_b = box_of(all[s2]);
+    a.push_back(std::move(all[s1]));
+    b.push_back(std::move(all[s2]));
+
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (i == s1 || i == s2) continue;
+      Entry& e = all[i];
+      const std::size_t remaining = all.size() - i;
+      // Force assignment if one group must take all the rest to reach min fill.
+      if (a.size() + remaining <= kMinEntries + (i < s2 ? 1u : 0u) || b.size() >= MaxEntries) {
+        box_a.expand(box_of(e));
+        a.push_back(std::move(e));
+        continue;
+      }
+      if (b.size() + remaining <= kMinEntries + (i < s2 ? 1u : 0u) || a.size() >= MaxEntries) {
+        box_b.expand(box_of(e));
+        b.push_back(std::move(e));
+        continue;
+      }
+      const double grow_a = box_a.enlargement(box_of(e));
+      const double grow_b = box_b.enlargement(box_of(e));
+      if (grow_a < grow_b || (grow_a == grow_b && a.size() <= b.size())) {
+        box_a.expand(box_of(e));
+        a.push_back(std::move(e));
+      } else {
+        box_b.expand(box_of(e));
+        b.push_back(std::move(e));
+      }
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace stem::geom

@@ -1,0 +1,82 @@
+#include "net/broker.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace stem::net {
+
+std::ostream& operator<<(std::ostream& os, const Command& cmd) {
+  return os << "cmd{" << cmd.target << " " << cmd.verb << " " << cmd.args << " caused-by "
+            << cmd.cause << "}";
+}
+
+Broker::Broker(Network& network, NodeId id) : network_(network), id_(std::move(id)) {
+  network_.register_node(id_, [this](const Message& msg) { on_message(msg); });
+}
+
+void Broker::subscribe(const std::string& topic, const NodeId& subscriber) {
+  auto& subs = subscribers_[topic];
+  if (std::find(subs.begin(), subs.end(), subscriber) == subs.end()) {
+    subs.push_back(subscriber);
+  }
+}
+
+std::string Broker::topic_of(const core::Entity& entity) {
+  if (entity.is_observation()) return "obs:" + entity.observation().sensor.value();
+  return entity.instance().key.event.value();
+}
+
+std::string Broker::command_topic(const NodeId& actor) { return "cmd:" + actor.value(); }
+
+std::string Broker::report_topic(const NodeId& actor) { return "report:" + actor.value(); }
+
+void Broker::publish(const NodeId& src, Payload payload) {
+  Message msg;
+  msg.src = src;
+  msg.dst = id_;
+  msg.payload = std::move(payload);
+  network_.send(std::move(msg));
+}
+
+void Broker::on_message(const Message& msg) {
+  if (const auto* sub = std::get_if<Subscribe>(&msg.payload)) {
+    subscribe(sub->topic, sub->subscriber);
+    return;
+  }
+  ++published_;
+  fan_out(msg);
+}
+
+void Broker::fan_out(const Message& msg) {
+  std::string topic;
+  if (std::holds_alternative<EntityBatch>(msg.payload)) {
+    // Batches are WSN-internal framing; brokers route individual
+    // instances, so a stray batch is dropped rather than misrouted.
+    return;
+  }
+  if (const auto* cmd = std::get_if<Command>(&msg.payload)) {
+    topic = cmd->kind == Command::Kind::kReport ? report_topic(cmd->target)
+                                                : command_topic(cmd->target);
+  } else {
+    topic = topic_of(std::get<core::Entity>(msg.payload));
+  }
+  const auto it = subscribers_.find(topic);
+  if (it == subscribers_.end()) return;
+  for (const NodeId& sub : it->second) {
+    if (sub == msg.src) continue;  // don't echo to the publisher
+    Message out;
+    out.src = id_;
+    out.dst = sub;
+    out.payload = msg.payload;
+    out.hops = msg.hops + 1;
+    network_.send(std::move(out));
+    ++fanned_out_;
+  }
+}
+
+std::size_t Broker::subscriber_count(const std::string& topic) const {
+  const auto it = subscribers_.find(topic);
+  return it == subscribers_.end() ? 0 : it->second.size();
+}
+
+}  // namespace stem::net

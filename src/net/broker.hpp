@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace stem::net {
+
+/// Topic-based publish/subscribe broker — the "Publish Cyber-Physical
+/// Event Instances / Subscribe Interested Cyber-Physical Events and Cyber
+/// Events" arrows of Fig. 1.
+///
+/// The broker is itself a network node: publishers send messages to it,
+/// and it re-sends them to every subscriber over the network, so broker
+/// hops are accounted in the traffic statistics. Topics are event type
+/// ids for entities and "cmd:<actor>" for commands.
+class Broker {
+ public:
+  /// Registers the broker as node `id` on `network`. Every node that will
+  /// publish or subscribe must later be linked to the broker.
+  Broker(Network& network, NodeId id);
+
+  [[nodiscard]] const NodeId& id() const { return id_; }
+
+  /// Subscribes a node to a topic (local call; the Subscribe payload also
+  /// arrives via the network when remote nodes send it).
+  void subscribe(const std::string& topic, const NodeId& subscriber);
+
+  /// Topic of an entity: its event type (observations use "obs:<sensor>").
+  [[nodiscard]] static std::string topic_of(const core::Entity& entity);
+  /// Topic of a command addressed to an actor mote.
+  [[nodiscard]] static std::string command_topic(const NodeId& actor);
+  /// Topic of executed-command reports published by an actor mote.
+  [[nodiscard]] static std::string report_topic(const NodeId& actor);
+
+  /// Publishes a payload from `src`: the payload travels src -> broker ->
+  /// each subscriber. `src` must be linked to the broker.
+  void publish(const NodeId& src, Payload payload);
+
+  [[nodiscard]] std::size_t subscriber_count(const std::string& topic) const;
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+  [[nodiscard]] std::uint64_t fanned_out() const { return fanned_out_; }
+
+ private:
+  void on_message(const Message& msg);
+  void fan_out(const Message& msg);
+
+  Network& network_;
+  NodeId id_;
+  std::unordered_map<std::string, std::vector<NodeId>> subscribers_;
+  std::uint64_t published_ = 0;
+  std::uint64_t fanned_out_ = 0;
+};
+
+}  // namespace stem::net

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/attribute.hpp"
+#include "core/entity.hpp"
+#include "core/ids.hpp"
+
+namespace stem::net {
+
+/// Network node identity. Nodes are observers (motes, sinks, CCUs,
+/// database servers), so the observer id doubles as the address.
+using NodeId = core::ObserverId;
+
+/// A command traveling down the actuation path of Fig. 1 (CCU -> dispatch
+/// node -> actor mote). `verb` names the actuation ("close_window",
+/// "suppress"), `args` parameterizes it, and `cause` records the event
+/// instance that triggered it, preserving the Event-Action relation.
+/// Executed-command reports flowing back up ("Publish Executed Actuator
+/// Commands", Fig. 1) reuse the struct with kind == kReport; they route on
+/// a separate topic so they can never re-trigger actuation.
+struct Command {
+  enum class Kind { kActuate, kReport };
+
+  NodeId target;  ///< final actor mote (kActuate) / reporting actor (kReport)
+  std::string verb;
+  core::AttributeSet args;
+  core::EventInstanceKey cause;
+  Kind kind = Kind::kActuate;
+};
+
+std::ostream& operator<<(std::ostream& os, const Command& cmd);
+
+/// Wire payload: an entity moving up the sensing path, a command moving
+/// down the actuation path, or a broker subscription request.
+struct Subscribe {
+  std::string topic;
+  NodeId subscriber;
+};
+
+/// Several entities aggregated into one packet. The paper's motes "serve
+/// as repeaters to relay and aggregate packets from other motes"; batching
+/// amortizes the per-message header at the cost of added latency
+/// (experiment E12 quantifies the trade-off).
+struct EntityBatch {
+  std::vector<core::Entity> entities;
+};
+
+using Payload = std::variant<Subscribe, Command, core::Entity, EntityBatch>;
+
+/// A network message. `bytes` is the estimated wire size used for the
+/// traffic accounting of experiment E5.
+struct Message {
+  NodeId src;
+  NodeId dst;
+  Payload payload;
+  std::size_t bytes = 0;
+  std::uint32_t hops = 0;  ///< incremented per relay
+};
+
+/// Estimated wire size of a payload: a fixed header plus per-attribute and
+/// per-vertex costs. The absolute constants matter less than the relative
+/// cost of shipping raw observations vs. condensed event instances.
+[[nodiscard]] std::size_t estimate_size(const Payload& payload);
+
+}  // namespace stem::net

@@ -1,0 +1,117 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace stem::net {
+
+namespace {
+std::size_t attrs_size(const core::AttributeSet& attrs) {
+  std::size_t n = 0;
+  for (const auto& [name, value] : attrs) {
+    n += 4 + name.size();
+    if (const auto* s = std::get_if<std::string>(&value)) {
+      n += s->size();
+    } else {
+      n += 8;
+    }
+  }
+  return n;
+}
+
+std::size_t location_size(const geom::Location& loc) {
+  if (loc.is_point()) return 16;
+  return 16 * loc.as_field().size();
+}
+}  // namespace
+
+namespace {
+constexpr std::size_t kHeader = 24;  // ids, seq, layer, hops
+
+std::size_t entity_body_size(const core::Entity& entity) {
+  if (entity.is_observation()) {
+    const auto& o = entity.observation();
+    return 8 /*time*/ + location_size(o.location) + attrs_size(o.attributes) + 12 /*ids*/;
+  }
+  const auto& i = entity.instance();
+  return 8 /*gen time*/ + 16 /*gen loc*/ + 16 /*est time*/ + location_size(i.est_location) +
+         attrs_size(i.attributes) + 8 /*rho*/ + 8 * i.provenance.size() + 12 /*ids*/;
+}
+}  // namespace
+
+std::size_t estimate_size(const Payload& payload) {
+  if (const auto* sub = std::get_if<Subscribe>(&payload)) {
+    return kHeader + sub->topic.size() + sub->subscriber.value().size();
+  }
+  if (const auto* cmd = std::get_if<Command>(&payload)) {
+    return kHeader + cmd->verb.size() + attrs_size(cmd->args) + 16;
+  }
+  if (const auto* batch = std::get_if<EntityBatch>(&payload)) {
+    // One shared header; each entity pays only its body.
+    std::size_t n = kHeader;
+    for (const auto& e : batch->entities) n += entity_body_size(e);
+    return n;
+  }
+  return kHeader + entity_body_size(std::get<core::Entity>(payload));
+}
+
+void Network::register_node(NodeId id, Handler handler) {
+  if (handlers_.contains(id)) {
+    throw std::invalid_argument("Network: node '" + id.value() + "' already registered");
+  }
+  handlers_.emplace(std::move(id), std::move(handler));
+}
+
+void Network::connect(const NodeId& a, const NodeId& b, LinkSpec spec) {
+  connect_directed(a, b, spec);
+  connect_directed(b, a, spec);
+}
+
+void Network::connect_directed(const NodeId& a, const NodeId& b, LinkSpec spec) {
+  if (!handlers_.contains(a) || !handlers_.contains(b)) {
+    throw std::invalid_argument("Network: connect requires registered endpoints");
+  }
+  links_[LinkKey{a.value(), b.value()}] = spec;
+}
+
+bool Network::linked(const NodeId& a, const NodeId& b) const {
+  return links_.contains(LinkKey{a.value(), b.value()});
+}
+
+bool Network::send(Message msg) {
+  const auto link_it = links_.find(LinkKey{msg.src.value(), msg.dst.value()});
+  if (link_it == links_.end()) {
+    throw std::invalid_argument("Network: no link " + msg.src.value() + " -> " +
+                                msg.dst.value());
+  }
+  if (msg.bytes == 0) msg.bytes = estimate_size(msg.payload);
+
+  const LinkSpec& link = link_it->second;
+  ++stats_.sent;
+  stats_.bytes_sent += msg.bytes;
+
+  if (link.loss_prob > 0.0 && rng_.chance(link.loss_prob)) {
+    ++stats_.dropped;
+    return false;
+  }
+
+  time_model::Duration delay = link.base_latency;
+  if (link.jitter > time_model::Duration::zero()) {
+    delay += time_model::Duration(static_cast<time_model::Tick>(
+        rng_.uniform(0.0, static_cast<double>(link.jitter.ticks()))));
+  }
+  if (link.bytes_per_ms > 0.0) {
+    delay += time_model::Duration(static_cast<time_model::Tick>(
+        static_cast<double>(msg.bytes) / link.bytes_per_ms * 1000.0));
+  }
+
+  // Handler lookup is deferred to delivery time; the node must still exist.
+  sim_.schedule_after(delay, [this, m = std::move(msg)]() mutable {
+    const auto it = handlers_.find(m.dst);
+    if (it == handlers_.end()) return;
+    ++stats_.delivered;
+    it->second(m);
+  });
+  return true;
+}
+
+}  // namespace stem::net

@@ -1,0 +1,94 @@
+#include "scenario/deployment.hpp"
+
+namespace stem::scenario {
+
+Deployment::Deployment(DeploymentConfig config)
+    : config_(std::move(config)),
+      network_(simulator_, sim::Rng(config_.seed).fork("network")),
+      broker_(network_, broker_id()),
+      topology_(wsn::build_topology(config_.topology)) {
+  const sim::Rng root(config_.seed);
+
+  // Sinks first: motes link to them.
+  for (std::size_t s = 0; s < topology_.sink_positions.size(); ++s) {
+    wsn::SinkNode::Config scfg;
+    scfg.id = sink_id(s);
+    scfg.position = topology_.sink_positions[s];
+    scfg.proc_delay = config_.sink_proc;
+    scfg.cascade = config_.sink_cascade;
+    sinks_.push_back(std::make_unique<wsn::SinkNode>(network_, &broker_, scfg));
+    network_.connect(scfg.id, broker_id(), config_.cps_link);
+  }
+
+  // Motes and the routing tree.
+  for (std::size_t i = 0; i < topology_.mote_positions.size(); ++i) {
+    wsn::SensorMote::Config mcfg;
+    mcfg.id = mote_id(i);
+    mcfg.position = topology_.mote_positions[i];
+    mcfg.sampling_period = config_.sampling_period;
+    mcfg.proc_delay = config_.mote_proc;
+    mcfg.forward_raw = config_.forward_raw;
+    mcfg.aggregate_window = config_.aggregate_window;
+    motes_.push_back(std::make_unique<wsn::SensorMote>(
+        network_, mcfg, root.fork("mote" + std::to_string(i))));
+  }
+  for (std::size_t i = 0; i < topology_.mote_positions.size(); ++i) {
+    if (topology_.parent_sink[i].has_value()) {
+      const net::NodeId parent = sink_id(*topology_.parent_sink[i]);
+      network_.connect(mote_id(i), parent, config_.wsn_link);
+      motes_[i]->set_parent(parent);
+    } else if (topology_.parent_mote[i].has_value()) {
+      const net::NodeId parent = mote_id(*topology_.parent_mote[i]);
+      network_.connect(mote_id(i), parent, config_.wsn_link);
+      motes_[i]->set_parent(parent);
+    }
+    // Disconnected motes keep sampling but cannot report.
+  }
+
+  // CCU.
+  cps::ControlUnit::Config ccfg;
+  ccfg.id = ccu_id();
+  ccfg.position = {config_.topology.width / 2, config_.topology.height / 2};
+  ccfg.proc_delay = config_.ccu_proc;
+  ccu_ = std::make_unique<cps::ControlUnit>(network_, broker_, ccfg);
+  network_.connect(ccu_id(), broker_id(), config_.cps_link);
+
+  // Database server.
+  database_ = std::make_unique<db::DatabaseServer>(network_, broker_,
+                                                   db::DatabaseServer::Config{db_id()});
+  network_.connect(db_id(), broker_id(), config_.cps_link);
+
+  // Dispatch node for the actuation path.
+  wsn::DispatchNode::Config dcfg;
+  dcfg.id = dispatch_id();
+  dcfg.position = {config_.topology.width / 2, config_.topology.height / 2};
+  dispatch_ = std::make_unique<wsn::DispatchNode>(network_, broker_, dcfg);
+  network_.connect(dispatch_id(), broker_id(), config_.cps_link);
+}
+
+wsn::ActorMote& Deployment::add_actor(
+    net::NodeId id, geom::Point position,
+    std::function<void(const net::Command&, time_model::TimePoint)> actuate) {
+  wsn::ActorMote::Config acfg;
+  acfg.id = id;
+  acfg.position = position;
+  actors_.push_back(
+      std::make_unique<wsn::ActorMote>(network_, &broker_, acfg, std::move(actuate)));
+  network_.connect(dispatch_id(), id, config_.wsn_link);
+  network_.connect(id, broker_id(), config_.cps_link);
+  dispatch_->serve(id);
+  return *actors_.back();
+}
+
+void Deployment::for_each_mote(const std::function<void(wsn::SensorMote&)>& fn) {
+  for (std::size_t i = 0; i < motes_.size(); ++i) {
+    if (topology_.connected(i)) fn(*motes_[i]);
+  }
+}
+
+void Deployment::run_until(time_model::TimePoint until) {
+  for (auto& mote : motes_) mote->start(until);
+  simulator_.run_until(until);
+}
+
+}  // namespace stem::scenario

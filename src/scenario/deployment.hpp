@@ -1,0 +1,100 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cps/ccu.hpp"
+#include "db/event_store.hpp"
+#include "net/broker.hpp"
+#include "net/network.hpp"
+#include "wsn/actor.hpp"
+#include "wsn/mote.hpp"
+#include "wsn/sink.hpp"
+#include "wsn/topology.hpp"
+
+namespace stem::scenario {
+
+/// Parameters of a full Fig.-1 deployment.
+struct DeploymentConfig {
+  wsn::TopologyConfig topology{};
+  /// Radio link between motes / mote->sink.
+  net::LinkSpec wsn_link{time_model::milliseconds(3), time_model::milliseconds(2), 0.0, 250.0};
+  /// Backbone link sink/CCU/db/dispatch <-> broker.
+  net::LinkSpec cps_link{time_model::milliseconds(2), time_model::milliseconds(1), 0.0, 2000.0};
+  time_model::Duration sampling_period = time_model::seconds(1);
+  time_model::Duration mote_proc = time_model::milliseconds(5);
+  time_model::Duration sink_proc = time_model::milliseconds(10);
+  time_model::Duration ccu_proc = time_model::milliseconds(20);
+  /// Centralized-baseline mode: motes ship raw observations (E5).
+  bool forward_raw = false;
+  /// Sinks re-feed their own instances (multi-level central evaluation).
+  bool sink_cascade = false;
+  /// Per-mote upstream aggregation window (0 = send per event). See
+  /// SensorMote::Config::aggregate_window and experiment E12.
+  time_model::Duration aggregate_window = time_model::Duration::zero();
+  std::uint64_t seed = 1;
+};
+
+/// Builds and owns a complete CPS deployment per the paper's architecture
+/// (Fig. 1): sensor motes wired into a routing tree toward sink nodes, a
+/// pub/sub broker backbone, one CPS control unit, one database server, and
+/// optional actor motes behind a dispatch node.
+///
+/// The deployment performs only the *wiring*; scenario code registers
+/// event definitions on motes/sinks/CCU and phenomena on the sensors.
+class Deployment {
+ public:
+  explicit Deployment(DeploymentConfig config);
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] net::Broker& broker() { return broker_; }
+  [[nodiscard]] const wsn::Topology& topology() const { return topology_; }
+  [[nodiscard]] std::vector<std::unique_ptr<wsn::SensorMote>>& motes() { return motes_; }
+  [[nodiscard]] std::vector<std::unique_ptr<wsn::SinkNode>>& sinks() { return sinks_; }
+  [[nodiscard]] cps::ControlUnit& ccu() { return *ccu_; }
+  [[nodiscard]] db::DatabaseServer& database() { return *database_; }
+  [[nodiscard]] const DeploymentConfig& config() const { return config_; }
+
+  /// Adds an actor mote (with its actuation callback) behind the shared
+  /// dispatch node. Returns the actor for inspection.
+  wsn::ActorMote& add_actor(
+      net::NodeId id, geom::Point position,
+      std::function<void(const net::Command&, time_model::TimePoint)> actuate = {});
+
+  /// Applies `fn` to every connected mote.
+  void for_each_mote(const std::function<void(wsn::SensorMote&)>& fn);
+
+  /// Starts mote sampling loops and runs the simulation to `until`.
+  void run_until(time_model::TimePoint until);
+
+  /// Convenience ids.
+  [[nodiscard]] static net::NodeId broker_id() { return net::NodeId("BROKER"); }
+  [[nodiscard]] static net::NodeId ccu_id() { return net::NodeId("CCU1"); }
+  [[nodiscard]] static net::NodeId db_id() { return net::NodeId("DB1"); }
+  [[nodiscard]] static net::NodeId dispatch_id() { return net::NodeId("DISPATCH1"); }
+  [[nodiscard]] static net::NodeId mote_id(std::size_t i) {
+    return net::NodeId("MT" + std::to_string(i));
+  }
+  [[nodiscard]] static net::NodeId sink_id(std::size_t i) {
+    return net::NodeId("SINK" + std::to_string(i));
+  }
+
+ private:
+  DeploymentConfig config_;
+  sim::Simulator simulator_;
+  net::Network network_;
+  net::Broker broker_;
+  wsn::Topology topology_;
+  std::vector<std::unique_ptr<wsn::SensorMote>> motes_;
+  std::vector<std::unique_ptr<wsn::SinkNode>> sinks_;
+  std::unique_ptr<cps::ControlUnit> ccu_;
+  std::unique_ptr<db::DatabaseServer> database_;
+  std::unique_ptr<wsn::DispatchNode> dispatch_;
+  std::vector<std::unique_ptr<wsn::ActorMote>> actors_;
+};
+
+}  // namespace stem::scenario

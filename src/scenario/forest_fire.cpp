@@ -1,0 +1,126 @@
+#include "scenario/forest_fire.hpp"
+
+#include "eventlang/parser.hpp"
+#include "geom/clip.hpp"
+
+namespace stem::scenario {
+
+namespace {
+
+std::string hot_spec(double threshold) {
+  return "event HOT {\n"
+         "  window: 2 s;\n"
+         "  slot x = obs(SRheat);\n"
+         "  when avg(value of x) > " +
+         std::to_string(threshold) +
+         ";\n"
+         "  emit { attr value = avg(value of x); }\n"
+         "}\n";
+}
+
+/// Three distinct HOT events within 40 m pairwise form a fire field; the
+/// hull of their mote positions estimates the footprint. The distance > 0.5
+/// terms force three *different* motes.
+std::string cp_fire_spec(double threshold) {
+  return "event CP_FIRE {\n"
+         "  window: 4 s;\n"
+         "  slot a = event(HOT);\n"
+         "  slot b = event(HOT);\n"
+         "  slot c = event(HOT);\n"
+         "  when min(value of a, b, c) > " +
+         std::to_string(threshold) +
+         "\n"
+         "   and distance(a, b) < 40 and distance(b, c) < 40 and distance(a, c) < 40\n"
+         "   and distance(a, b) > 0.5 and distance(b, c) > 0.5 and distance(a, c) > 0.5;\n"
+         "  emit {\n"
+         "    time: span;\n"
+         "    location: hull;\n"
+         "    confidence: mean * 0.9;\n"
+         "    attr value = avg(value of a, b, c);\n"
+         "  }\n"
+         "}\n";
+}
+
+constexpr const char* kAlarmSpec = R"(
+event FIRE_ALARM {
+  window: 10 s;
+  slot f = event(CP_FIRE);
+  when rho(f) >= 0.3 and avg(value of f) > 100;
+  emit { confidence: mean; attr value = avg(value of f); }
+}
+)";
+
+}  // namespace
+
+ForestFire::ForestFire(ForestFireConfig config) : config_(std::move(config)) {
+  deployment_ = std::make_unique<Deployment>(config_.deployment);
+  result_.ignition_time = time_model::TimePoint::epoch() + config_.ignition_after;
+  fire_ = std::make_shared<sensing::SpreadingFire>(config_.ignition, result_.ignition_time,
+                                                   config_.spread_speed);
+
+  const auto hot_def = eventlang::parse_event(hot_spec(config_.hot_threshold));
+  deployment_->for_each_mote([&](wsn::SensorMote& mote) {
+    mote.add_sensor(std::make_shared<sensing::ScalarFieldSensor>(
+        core::SensorId("SRheat"), fire_, config_.sensor_noise_sigma));
+    mote.add_definition(hot_def);
+  });
+
+  for (auto& sink : deployment_->sinks()) {
+    sink->add_definition(eventlang::parse_event(cp_fire_spec(config_.hot_threshold)));
+    sink->on_instance([this](const core::EventInstance& inst) {
+      if (inst.key.event == core::EventTypeId("CP_FIRE")) {
+        ++result_.cp_fire_events;
+        if (!result_.first_cp_fire.has_value()) {
+          result_.first_cp_fire = inst.gen_time;
+          if (inst.est_location.is_field()) {
+            const double est_area = inst.est_location.as_field().area();
+            const auto truth = fire_->footprint(inst.est_time.end(), 64);
+            if (truth.has_value() && truth->area() > 0.0) {
+              result_.footprint_ratio = est_area / truth->area();
+              result_.footprint_iou = geom::iou(inst.est_location.as_field(), *truth);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  deployment_->ccu().subscribe(core::EventTypeId("CP_FIRE"));
+  deployment_->ccu().add_definition(eventlang::parse_event(kAlarmSpec));
+  deployment_->ccu().add_rule(cps::ActionRule{
+      core::EventTypeId("FIRE_ALARM"),
+      [](const core::EventInstance& inst) -> std::optional<net::Command> {
+        net::Command cmd;
+        cmd.target = net::NodeId("AR_sprinkler");
+        cmd.verb = "suppress";
+        cmd.cause = inst.key;
+        return cmd;
+      }});
+  deployment_->ccu().on_instance([this](const core::EventInstance& inst) {
+    if (inst.key.event == core::EventTypeId("FIRE_ALARM")) {
+      ++result_.alarms;
+      if (!result_.first_alarm.has_value()) result_.first_alarm = inst.gen_time;
+    }
+  });
+
+  deployment_->database().archive_topic("CP_FIRE");
+  deployment_->database().archive_topic("FIRE_ALARM");
+
+  deployment_->add_actor(net::NodeId("AR_sprinkler"), config_.ignition,
+                         [this](const net::Command& cmd, time_model::TimePoint now) {
+                           if (cmd.verb == "suppress" && !result_.suppression.has_value()) {
+                             result_.suppression = now;
+                           }
+                         });
+}
+
+ForestFireResult ForestFire::run() {
+  // Count HOT sensor events via mote stats after the run.
+  deployment_->run_until(time_model::TimePoint::epoch() + config_.horizon);
+  deployment_->for_each_mote(
+      [this](wsn::SensorMote& mote) { result_.hot_events += mote.stats().events_emitted; });
+  result_.network = deployment_->network().stats();
+  return result_;
+}
+
+}  // namespace stem::scenario

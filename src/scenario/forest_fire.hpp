@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "scenario/deployment.hpp"
+#include "sensing/phenomena.hpp"
+
+namespace stem::scenario {
+
+/// Field-event scenario: a fire ignites and spreads radially; heat-sensing
+/// motes detect HOT sensor events; the sink joins three spatially close
+/// HOT events into a CP_FIRE *field event* whose estimated footprint is
+/// the convex hull of the contributing motes (paper Sec. 4.2: "a field
+/// occurrence location is made of at least 2 or more point events"); the
+/// CCU raises FIRE_ALARM and commands the sprinkler actor.
+struct ForestFireConfig {
+  DeploymentConfig deployment{};
+  geom::Point ignition{50, 50};
+  time_model::Duration ignition_after = time_model::seconds(10);
+  double spread_speed = 1.5;  // m/s
+  double hot_threshold = 80.0;
+  double sensor_noise_sigma = 1.0;
+  time_model::Duration horizon = time_model::minutes(2);
+};
+
+struct ForestFireResult {
+  time_model::TimePoint ignition_time;
+  std::optional<time_model::TimePoint> first_cp_fire;   ///< sink detection
+  std::optional<time_model::TimePoint> first_alarm;     ///< CCU cyber event
+  std::optional<time_model::TimePoint> suppression;     ///< actuation
+  std::size_t hot_events = 0;
+  std::size_t cp_fire_events = 0;
+  std::size_t alarms = 0;
+  /// Footprint accuracy at first detection: estimated hull area / true
+  /// burning-disk area (1.0 = exact; < 1 means under-estimate).
+  std::optional<double> footprint_ratio;
+  /// Intersection-over-union of the estimated hull vs the true burning
+  /// disk at first detection (1.0 = perfect footprint).
+  std::optional<double> footprint_iou;
+  net::NetworkStats network;
+
+  [[nodiscard]] std::optional<double> detection_latency_ms() const {
+    if (!first_cp_fire.has_value()) return std::nullopt;
+    return static_cast<double>((*first_cp_fire - ignition_time).ticks()) / 1000.0;
+  }
+};
+
+class ForestFire {
+ public:
+  explicit ForestFire(ForestFireConfig config);
+
+  ForestFireResult run();
+
+  [[nodiscard]] Deployment& deployment() { return *deployment_; }
+  [[nodiscard]] const sensing::SpreadingFire& fire() const { return *fire_; }
+
+ private:
+  ForestFireConfig config_;
+  std::unique_ptr<Deployment> deployment_;
+  std::shared_ptr<sensing::SpreadingFire> fire_;
+  ForestFireResult result_;
+};
+
+}  // namespace stem::scenario

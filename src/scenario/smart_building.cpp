@@ -1,0 +1,138 @@
+#include "scenario/smart_building.hpp"
+
+#include <cmath>
+
+#include "eventlang/parser.hpp"
+
+namespace stem::scenario {
+
+namespace {
+
+/// Mote-level sensor event: each fresh range observation becomes a
+/// RANGE_userA sensor event carrying the measured range.
+constexpr const char* kRangeEventSpec = R"(
+event RANGE_userA {
+  window: 2 s;
+  slot r = obs(SRrange);
+  when min(range of r) >= 0.0;
+  emit { attr range = avg(range of r); }
+}
+)";
+
+/// Sink-level cyber-physical event: the fused user location lies inside
+/// the window zone. The zone rectangle is formatted in at runtime.
+std::string nearby_spec(geom::Point lo, geom::Point hi) {
+  return "event NEARBY_WINDOW {\n"
+         "  window: 5 s;\n"
+         "  slot l = event(LOC_userA);\n"
+         "  when loc(l) inside rect(" +
+         std::to_string(lo.x) + ", " + std::to_string(lo.y) + ", " + std::to_string(hi.x) +
+         ", " + std::to_string(hi.y) +
+         ") and rho(l) >= 0.2;\n"
+         "  emit { time: latest; location: centroid; confidence: mean; }\n"
+         "}\n";
+}
+
+/// CCU-level cyber event.
+constexpr const char* kUserAtWindowSpec = R"(
+event USER_AT_WINDOW {
+  window: 10 s;
+  slot n = event(NEARBY_WINDOW);
+  when rho(n) >= 0.1;
+  emit { confidence: mean * 0.95; }
+}
+)";
+
+}  // namespace
+
+std::optional<double> SmartBuildingResult::edl_ms() const {
+  if (!true_entry.has_value() || !first_detection.has_value()) return std::nullopt;
+  return static_cast<double>((*first_detection - *true_entry).ticks()) / 1000.0;
+}
+
+SmartBuilding::SmartBuilding(SmartBuildingConfig config) : config_(std::move(config)) {
+  deployment_ = std::make_unique<Deployment>(config_.deployment);
+  user_ = std::make_shared<sensing::MovingObject>(
+      "userA", config_.waypoints, time_model::TimePoint::epoch(), config_.user_speed);
+
+  // Motes: range sensor + the RANGE_userA definition.
+  const auto range_def = eventlang::parse_event(kRangeEventSpec);
+  deployment_->for_each_mote([&](wsn::SensorMote& mote) {
+    mote.add_sensor(std::make_shared<sensing::RangeSensor>(
+        core::SensorId("SRrange"), user_, config_.sensor_max_range,
+        config_.range_noise_sigma));
+    mote.add_definition(range_def);
+  });
+
+  // Sinks: localization plus the NEARBY_WINDOW definition.
+  for (auto& sink : deployment_->sinks()) {
+    wsn::Localizer::Config lcfg;
+    lcfg.range_event = core::EventTypeId("RANGE_userA");
+    lcfg.output_event = core::EventTypeId("LOC_userA");
+    lcfg.window = time_model::seconds(3);
+    lcfg.min_anchors = 3;
+    lcfg.max_residual = 8.0;
+    sink->enable_localization(lcfg);
+    sink->add_definition(eventlang::parse_event(nearby_spec(config_.window_lo, config_.window_hi)));
+
+    sink->on_instance([this](const core::EventInstance& inst) {
+      const time_model::TimePoint now = inst.gen_time;
+      if (inst.key.event == core::EventTypeId("LOC_userA")) {
+        ++result_.location_estimates;
+        // Score the estimate against the user's true position.
+        const geom::Point truth = user_->position(inst.est_time.end());
+        const double err = geom::distance(inst.est_location.representative(), truth);
+        result_.mean_location_error_m +=
+            (err - result_.mean_location_error_m) /
+            static_cast<double>(result_.location_estimates);
+      } else if (inst.key.event == core::EventTypeId("NEARBY_WINDOW")) {
+        ++result_.nearby_detections;
+        if (!result_.first_detection.has_value()) result_.first_detection = now;
+      }
+    });
+  }
+
+  // CCU: cyber event + Event-Action rule closing the window.
+  deployment_->ccu().subscribe(core::EventTypeId("NEARBY_WINDOW"));
+  deployment_->ccu().add_definition(eventlang::parse_event(kUserAtWindowSpec));
+  deployment_->ccu().add_rule(cps::ActionRule{
+      core::EventTypeId("USER_AT_WINDOW"),
+      [](const core::EventInstance& inst) -> std::optional<net::Command> {
+        net::Command cmd;
+        cmd.target = net::NodeId("AR_window");
+        cmd.verb = "close_window";
+        cmd.cause = inst.key;
+        return cmd;
+      }});
+  deployment_->ccu().on_instance([this](const core::EventInstance&) { ++result_.cyber_events; });
+
+  // Database archives the interesting topics.
+  deployment_->database().archive_topic("NEARBY_WINDOW");
+  deployment_->database().archive_topic("USER_AT_WINDOW");
+
+  // The window actor.
+  const geom::Point window_center{(config_.window_lo.x + config_.window_hi.x) / 2,
+                                  (config_.window_lo.y + config_.window_hi.y) / 2};
+  deployment_->add_actor(net::NodeId("AR_window"), window_center,
+                         [this](const net::Command& cmd, time_model::TimePoint now) {
+                           ++result_.commands;
+                           if (cmd.verb == "close_window" &&
+                               !result_.window_closed.has_value()) {
+                             result_.window_closed = now;
+                           }
+                         });
+}
+
+SmartBuildingResult SmartBuilding::run() {
+  const geom::Polygon zone = geom::Polygon::rectangle(config_.window_lo, config_.window_hi);
+  result_.true_entry =
+      user_->first_entry(zone, time_model::TimePoint::epoch(),
+                         time_model::TimePoint::epoch() + config_.horizon,
+                         time_model::milliseconds(100));
+
+  deployment_->run_until(time_model::TimePoint::epoch() + config_.horizon);
+  result_.network = deployment_->network().stats();
+  return result_;
+}
+
+}  // namespace stem::scenario

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "analysis/edl.hpp"
+#include "scenario/deployment.hpp"
+#include "sensing/phenomena.hpp"
+#include "sensing/physical_event.hpp"
+
+namespace stem::scenario {
+
+/// The paper's running example (Sec. 1): "user A is nearby window B".
+///
+/// A user walks through a building instrumented with range-sensing motes.
+/// Each mote abstracts the user as a *range measurement* (sensor event);
+/// the sink fuses >= 3 ranges into the user's *location* (cyber-physical
+/// event) and raises NEARBY_WINDOW when the estimated position is inside
+/// the window zone; the CCU turns that into the USER_AT_WINDOW cyber event
+/// and commands the window actor to close. Every event definition is
+/// written in the event language (see definitions in smart_building.cpp).
+struct SmartBuildingConfig {
+  DeploymentConfig deployment{};
+  /// The window zone (window B plus its "nearby" margin).
+  geom::Point window_lo{70, 70};
+  geom::Point window_hi{90, 90};
+  /// User path and speed.
+  std::vector<geom::Point> waypoints{{5, 5}, {80, 80}, {95, 20}};
+  double user_speed = 2.0;  // m/s
+  double sensor_max_range = 60.0;
+  double range_noise_sigma = 0.3;
+  time_model::Duration horizon = time_model::minutes(2);
+};
+
+struct SmartBuildingResult {
+  /// Ground truth: when the user actually entered the window zone.
+  std::optional<time_model::TimePoint> true_entry;
+  /// First NEARBY_WINDOW cyber-physical detection at the sink.
+  std::optional<time_model::TimePoint> first_detection;
+  /// First close_window actuation.
+  std::optional<time_model::TimePoint> window_closed;
+  std::size_t location_estimates = 0;
+  std::size_t nearby_detections = 0;
+  std::size_t cyber_events = 0;
+  std::size_t commands = 0;
+  double mean_location_error_m = 0.0;
+  net::NetworkStats network;
+  /// End-to-end EDL in ms (entry -> cyber event), if both occurred.
+  [[nodiscard]] std::optional<double> edl_ms() const;
+};
+
+/// Builds, runs, and scores the smart-building scenario.
+class SmartBuilding {
+ public:
+  explicit SmartBuilding(SmartBuildingConfig config);
+
+  /// Runs to the horizon and returns the scored result.
+  SmartBuildingResult run();
+
+  [[nodiscard]] Deployment& deployment() { return *deployment_; }
+  [[nodiscard]] const sensing::MovingObject& user() const { return *user_; }
+
+ private:
+  SmartBuildingConfig config_;
+  std::unique_ptr<Deployment> deployment_;
+  std::shared_ptr<sensing::MovingObject> user_;
+  SmartBuildingResult result_;
+};
+
+}  // namespace stem::scenario

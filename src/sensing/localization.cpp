@@ -1,0 +1,45 @@
+#include "sensing/localization.hpp"
+
+#include <cmath>
+
+namespace stem::sensing {
+
+std::optional<LocalizationResult> trilaterate(const std::vector<RangeMeasurement>& ms) {
+  const std::size_t n = ms.size();
+  if (n < 3) return std::nullopt;
+
+  // Linearize against the last anchor: for each i < n-1,
+  //   2(x_n - x_i) x + 2(y_n - y_i) y = r_i^2 - r_n^2 - |p_i|^2 + |p_n|^2.
+  // Solve the (n-1) x 2 system by normal equations.
+  const geom::Point pn = ms.back().anchor;
+  const double rn = ms.back().range;
+
+  double a11 = 0, a12 = 0, a22 = 0, b1 = 0, b2 = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const geom::Point pi = ms[i].anchor;
+    const double ri = ms[i].range;
+    const double ax = 2.0 * (pn.x - pi.x);
+    const double ay = 2.0 * (pn.y - pi.y);
+    const double rhs = ri * ri - rn * rn - geom::norm2(pi) + geom::norm2(pn);
+    a11 += ax * ax;
+    a12 += ax * ay;
+    a22 += ay * ay;
+    b1 += ax * rhs;
+    b2 += ay * rhs;
+  }
+  const double det = a11 * a22 - a12 * a12;
+  if (std::abs(det) < 1e-9) return std::nullopt;  // collinear anchors
+
+  LocalizationResult result;
+  result.position = {(b1 * a22 - b2 * a12) / det, (a11 * b2 - a12 * b1) / det};
+
+  double ss = 0.0;
+  for (const RangeMeasurement& m : ms) {
+    const double resid = geom::distance(result.position, m.anchor) - m.range;
+    ss += resid * resid;
+  }
+  result.rms_residual = std::sqrt(ss / static_cast<double>(n));
+  return result;
+}
+
+}  // namespace stem::sensing

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace stem::sensing {
+
+/// One range measurement: a known anchor position (the mote) and the
+/// measured distance to the target.
+struct RangeMeasurement {
+  geom::Point anchor;
+  double range = 0.0;
+};
+
+/// Result of a localization solve.
+struct LocalizationResult {
+  geom::Point position;
+  /// Root-mean-square range residual; small values mean the ranges are
+  /// geometrically consistent. Used to derive instance confidence rho.
+  double rms_residual = 0.0;
+};
+
+/// Trilateration by linearized least squares.
+///
+/// This is how the sink node turns several motes' range measurements of
+/// "user A" into a *location* — the paper's motivating example of the same
+/// physical event being abstracted differently at different levels (a mote
+/// sees a range; the sink sees a position). Requires >= 3 measurements
+/// with non-collinear anchors; returns nullopt otherwise.
+[[nodiscard]] std::optional<LocalizationResult> trilaterate(
+    const std::vector<RangeMeasurement>& measurements);
+
+}  // namespace stem::sensing

@@ -1,0 +1,142 @@
+#include "sensing/phenomena.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stem::sensing {
+
+double HotspotField::value(geom::Point p, time_model::TimePoint) const {
+  const double d2 = geom::distance2(p, center_);
+  return ambient_ + peak_ * std::exp(-d2 / (2.0 * sigma_ * sigma_));
+}
+
+SpreadingFire::SpreadingFire(geom::Point ignition_point, time_model::TimePoint ignition_time,
+                             double speed_m_per_s, double ambient, double burn_level)
+    : ignition_(ignition_point),
+      ignition_time_(ignition_time),
+      speed_(speed_m_per_s),
+      ambient_(ambient),
+      burn_level_(burn_level) {
+  if (speed_ <= 0.0) throw std::invalid_argument("SpreadingFire: speed must be positive");
+}
+
+double SpreadingFire::radius_at(time_model::TimePoint t) const {
+  if (t < ignition_time_) return 0.0;
+  const double elapsed_s =
+      static_cast<double>((t - ignition_time_).ticks()) / 1e6;  // ticks are microseconds
+  return speed_ * elapsed_s;
+}
+
+double SpreadingFire::value(geom::Point p, time_model::TimePoint t) const {
+  const double r = radius_at(t);
+  if (r <= 0.0) return ambient_;
+  const double d = geom::distance(p, ignition_);
+  if (d <= r) return burn_level_;
+  // Heat decays exponentially with distance beyond the front (10 m scale).
+  return ambient_ + (burn_level_ - ambient_) * std::exp(-(d - r) / 10.0);
+}
+
+std::optional<geom::Polygon> SpreadingFire::footprint(time_model::TimePoint t,
+                                                      int vertices) const {
+  const double r = radius_at(t);
+  if (r <= 0.0) return std::nullopt;
+  return geom::Polygon::disk(ignition_, r, vertices);
+}
+
+MovingObject::MovingObject(std::string name, std::vector<geom::Point> waypoints,
+                           time_model::TimePoint start, double speed_m_per_s)
+    : name_(std::move(name)), waypoints_(std::move(waypoints)), start_(start),
+      speed_(speed_m_per_s) {
+  if (waypoints_.empty()) throw std::invalid_argument("MovingObject: needs waypoints");
+  if (speed_ <= 0.0) throw std::invalid_argument("MovingObject: speed must be positive");
+  cumulative_.resize(waypoints_.size(), 0.0);
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    cumulative_[i] = cumulative_[i - 1] + geom::distance(waypoints_[i - 1], waypoints_[i]);
+  }
+}
+
+geom::Point MovingObject::position(time_model::TimePoint t) const {
+  if (t <= start_ || waypoints_.size() == 1) return waypoints_.front();
+  const double elapsed_s = static_cast<double>((t - start_).ticks()) / 1e6;
+  const double traveled = speed_ * elapsed_s;
+  if (traveled >= cumulative_.back()) return waypoints_.back();
+  // Find the segment containing `traveled`.
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), traveled);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  const geom::Point a = waypoints_[idx - 1];
+  const geom::Point b = waypoints_[idx];
+  const double seg_len = cumulative_[idx] - cumulative_[idx - 1];
+  const double frac = seg_len > 0.0 ? (traveled - cumulative_[idx - 1]) / seg_len : 0.0;
+  return a + (b - a) * frac;
+}
+
+std::optional<time_model::TimePoint> MovingObject::first_entry(const geom::Polygon& zone,
+                                                               time_model::TimePoint from,
+                                                               time_model::TimePoint to,
+                                                               time_model::Duration step) const {
+  if (step <= time_model::Duration::zero()) {
+    throw std::invalid_argument("MovingObject::first_entry: step must be positive");
+  }
+  for (time_model::TimePoint t = from; t <= to; t += step) {
+    if (zone.contains(position(t))) return t;
+  }
+  return std::nullopt;
+}
+
+SwitchSchedule::SwitchSchedule(std::vector<time_model::TimePoint> toggles)
+    : toggles_(std::move(toggles)) {
+  std::sort(toggles_.begin(), toggles_.end());
+}
+
+bool SwitchSchedule::state(time_model::TimePoint t) const {
+  const auto it = std::upper_bound(toggles_.begin(), toggles_.end(), t);
+  const auto flips = static_cast<std::size_t>(it - toggles_.begin());
+  return flips % 2 == 1;
+}
+
+std::vector<time_model::TimeInterval> SwitchSchedule::on_intervals(
+    time_model::TimePoint horizon) const {
+  std::vector<time_model::TimeInterval> out;
+  for (std::size_t i = 0; i < toggles_.size(); i += 2) {
+    const time_model::TimePoint on = toggles_[i];
+    if (on > horizon) break;
+    const time_model::TimePoint off = i + 1 < toggles_.size()
+                                          ? std::min(toggles_[i + 1], horizon)
+                                          : horizon;
+    out.emplace_back(on, off);
+  }
+  return out;
+}
+
+void GroundTruth::record(PhysicalEvent event) {
+  by_type_[event.id].push_back(events_.size());
+  events_.push_back(std::move(event));
+}
+
+std::vector<const PhysicalEvent*> GroundTruth::of_type(const core::EventTypeId& id) const {
+  std::vector<const PhysicalEvent*> out;
+  const auto it = by_type_.find(id);
+  if (it == by_type_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t idx : it->second) out.push_back(&events_[idx]);
+  return out;
+}
+
+std::size_t GroundTruth::count(const core::EventTypeId& id) const {
+  const auto it = by_type_.find(id);
+  return it == by_type_.end() ? 0 : it->second.size();
+}
+
+const PhysicalEvent* GroundTruth::latest_before(const core::EventTypeId& id,
+                                                time_model::TimePoint t) const {
+  const PhysicalEvent* best = nullptr;
+  for (const PhysicalEvent* e : of_type(id)) {
+    if (e->time.begin() <= t && (best == nullptr || e->time.begin() > best->time.begin())) {
+      best = e;
+    }
+  }
+  return best;
+}
+
+}  // namespace stem::sensing

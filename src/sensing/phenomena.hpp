@@ -1,0 +1,124 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/polygon.hpp"
+#include "sensing/physical_event.hpp"
+#include "time/time_point.hpp"
+
+namespace stem::sensing {
+
+/// A scalar physical phenomenon sampled in space-time (temperature, light,
+/// smoke density...). Implementations must be deterministic functions of
+/// (position, time) so simulation runs are reproducible.
+class ScalarField {
+ public:
+  virtual ~ScalarField() = default;
+  /// Field value at `p` at time `t`.
+  [[nodiscard]] virtual double value(geom::Point p, time_model::TimePoint t) const = 0;
+};
+
+/// Spatially and temporally constant field (ambient temperature).
+class UniformField final : public ScalarField {
+ public:
+  explicit UniformField(double level) : level_(level) {}
+  [[nodiscard]] double value(geom::Point, time_model::TimePoint) const override { return level_; }
+
+ private:
+  double level_;
+};
+
+/// A Gaussian hotspot superimposed on an ambient level:
+///   v(p) = ambient + peak * exp(-|p - c|^2 / (2 sigma^2)).
+class HotspotField final : public ScalarField {
+ public:
+  HotspotField(double ambient, double peak, geom::Point center, double sigma)
+      : ambient_(ambient), peak_(peak), center_(center), sigma_(sigma) {}
+
+  [[nodiscard]] double value(geom::Point p, time_model::TimePoint) const override;
+
+  void move_to(geom::Point c) { center_ = c; }
+  [[nodiscard]] geom::Point center() const { return center_; }
+
+ private:
+  double ambient_;
+  double peak_;
+  geom::Point center_;
+  double sigma_;
+};
+
+/// A fire front spreading radially from an ignition point at a constant
+/// speed, starting at `ignition_time`. Inside the burning disk the field
+/// reads `burn_level`; outside it decays with distance to the front. The
+/// burning footprint at time t is the paper's canonical *field event*.
+class SpreadingFire final : public ScalarField {
+ public:
+  SpreadingFire(geom::Point ignition_point, time_model::TimePoint ignition_time,
+                double speed_m_per_s, double ambient = 20.0, double burn_level = 400.0);
+
+  [[nodiscard]] double value(geom::Point p, time_model::TimePoint t) const override;
+
+  /// Radius of the burning disk at `t` (0 before ignition).
+  [[nodiscard]] double radius_at(time_model::TimePoint t) const;
+  /// Polygonal footprint of the fire at `t`, or nullopt before ignition.
+  [[nodiscard]] std::optional<geom::Polygon> footprint(time_model::TimePoint t,
+                                                       int vertices = 24) const;
+  [[nodiscard]] geom::Point ignition_point() const { return ignition_; }
+  [[nodiscard]] time_model::TimePoint ignition_time() const { return ignition_time_; }
+
+ private:
+  geom::Point ignition_;
+  time_model::TimePoint ignition_time_;
+  double speed_;  // meters per second
+  double ambient_;
+  double burn_level_;
+};
+
+/// An object (the paper's "user A") moving along waypoints at constant
+/// speed, with position interpolated at any simulated time.
+class MovingObject {
+ public:
+  /// `waypoints` are visited in order starting at `start`; movement speed
+  /// is constant. Throws std::invalid_argument on empty waypoints or
+  /// non-positive speed.
+  MovingObject(std::string name, std::vector<geom::Point> waypoints,
+               time_model::TimePoint start, double speed_m_per_s);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Position at time `t` (clamped to the path endpoints).
+  [[nodiscard]] geom::Point position(time_model::TimePoint t) const;
+  /// Time at which the object first enters `zone`, scanning [from, to] at
+  /// `step` resolution; nullopt if it never does.
+  [[nodiscard]] std::optional<time_model::TimePoint> first_entry(
+      const geom::Polygon& zone, time_model::TimePoint from, time_model::TimePoint to,
+      time_model::Duration step) const;
+
+ private:
+  std::string name_;
+  std::vector<geom::Point> waypoints_;
+  time_model::TimePoint start_;
+  double speed_;  // meters per second
+  std::vector<double> cumulative_;  // path length up to waypoint i
+};
+
+/// A two-state device (light, door) toggled on a fixed schedule; each
+/// toggle is a punctual physical event.
+class SwitchSchedule {
+ public:
+  /// `toggles` are the times at which the state flips; initial state off.
+  explicit SwitchSchedule(std::vector<time_model::TimePoint> toggles);
+
+  [[nodiscard]] bool state(time_model::TimePoint t) const;
+  [[nodiscard]] const std::vector<time_model::TimePoint>& toggles() const { return toggles_; }
+  /// Maximal intervals during which the switch is on, up to `horizon`.
+  [[nodiscard]] std::vector<time_model::TimeInterval> on_intervals(
+      time_model::TimePoint horizon) const;
+
+ private:
+  std::vector<time_model::TimePoint> toggles_;  // sorted
+};
+
+}  // namespace stem::sensing

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/attribute.hpp"
+#include "core/ids.hpp"
+#include "geom/location.hpp"
+#include "time/occurrence.hpp"
+
+namespace stem::sensing {
+
+/// A ground-truth physical event Pid {to, lo, V} (paper Eq. 5.1): a real
+/// occurrence in the physical world, before any sensing. The simulation
+/// records these so experiments can score detections against truth
+/// (detection recall in E6, latency in E7).
+struct PhysicalEvent {
+  core::EventTypeId id;
+  time_model::OccurrenceTime time{time_model::TimePoint::epoch()};
+  geom::Location location{geom::Point{0, 0}};
+  core::AttributeSet attributes;
+};
+
+/// Registry of ground-truth physical events, indexed by event type.
+class GroundTruth {
+ public:
+  void record(PhysicalEvent event);
+
+  [[nodiscard]] const std::vector<PhysicalEvent>& all() const { return events_; }
+  [[nodiscard]] std::vector<const PhysicalEvent*> of_type(const core::EventTypeId& id) const;
+  [[nodiscard]] std::size_t count(const core::EventTypeId& id) const;
+
+  /// The ground-truth event of `id` whose occurrence time is closest to
+  /// (and not after) `t`; nullptr if none.
+  [[nodiscard]] const PhysicalEvent* latest_before(const core::EventTypeId& id,
+                                                   time_model::TimePoint t) const;
+
+ private:
+  std::vector<PhysicalEvent> events_;
+  std::unordered_map<core::EventTypeId, std::vector<std::size_t>> by_type_;
+};
+
+}  // namespace stem::sensing

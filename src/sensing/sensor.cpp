@@ -1,0 +1,44 @@
+#include "sensing/sensor.hpp"
+
+namespace stem::sensing {
+
+std::optional<core::AttributeSet> ScalarFieldSensor::sample(geom::Point mote_position,
+                                                            time_model::TimePoint t,
+                                                            sim::Rng& rng) const {
+  const double truth = field_->value(mote_position, t);
+  core::AttributeSet attrs;
+  attrs.set("value", truth + (noise_sigma_ > 0.0 ? rng.normal(0.0, noise_sigma_) : 0.0));
+  return attrs;
+}
+
+std::optional<core::AttributeSet> RangeSensor::sample(geom::Point mote_position,
+                                                      time_model::TimePoint t,
+                                                      sim::Rng& rng) const {
+  const double d = geom::distance(mote_position, target_->position(t));
+  if (d > max_range_) return std::nullopt;
+  core::AttributeSet attrs;
+  const double measured = d + (noise_sigma_ > 0.0 ? rng.normal(0.0, noise_sigma_) : 0.0);
+  attrs.set("range", std::max(0.0, measured));
+  return attrs;
+}
+
+std::optional<core::AttributeSet> PresenceSensor::sample(geom::Point mote_position,
+                                                         time_model::TimePoint t,
+                                                         sim::Rng& rng) const {
+  const bool truly_present = geom::distance(mote_position, target_->position(t)) <= radius_;
+  bool reported = truly_present;
+  if (truly_present && false_negative_ > 0.0 && rng.chance(false_negative_)) reported = false;
+  if (!truly_present && false_positive_ > 0.0 && rng.chance(false_positive_)) reported = true;
+  core::AttributeSet attrs;
+  attrs.set("present", reported);
+  return attrs;
+}
+
+std::optional<core::AttributeSet> SwitchSensor::sample(geom::Point, time_model::TimePoint t,
+                                                       sim::Rng&) const {
+  core::AttributeSet attrs;
+  attrs.set("on", schedule_->state(t));
+  return attrs;
+}
+
+}  // namespace stem::sensing

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/instance.hpp"
+#include "sensing/phenomena.hpp"
+#include "sim/random.hpp"
+
+namespace stem::sensing {
+
+/// A sensor (paper Sec. 3): measures one physical phenomenon and converts
+/// it to information carrying attributes, a sampling timestamp, and a
+/// spacestamp. A sensor is *not* an observer (Def. 4.3) — it cannot
+/// evaluate conditions; the mote hosting it is.
+class Sensor {
+ public:
+  explicit Sensor(core::SensorId id) : id_(std::move(id)) {}
+  virtual ~Sensor() = default;
+
+  [[nodiscard]] const core::SensorId& id() const { return id_; }
+
+  /// Takes one measurement at the mote's position. Returns nullopt when
+  /// the target is not observable (e.g. out of range). Noise is drawn from
+  /// `rng`, which belongs to the hosting mote.
+  [[nodiscard]] virtual std::optional<core::AttributeSet> sample(geom::Point mote_position,
+                                                                 time_model::TimePoint t,
+                                                                 sim::Rng& rng) const = 0;
+
+ private:
+  core::SensorId id_;
+};
+
+/// Reads a scalar field (temperature, smoke...) with additive Gaussian
+/// noise. Attribute: "value".
+class ScalarFieldSensor final : public Sensor {
+ public:
+  ScalarFieldSensor(core::SensorId id, std::shared_ptr<const ScalarField> field,
+                    double noise_sigma)
+      : Sensor(std::move(id)), field_(std::move(field)), noise_sigma_(noise_sigma) {}
+
+  [[nodiscard]] std::optional<core::AttributeSet> sample(geom::Point mote_position,
+                                                         time_model::TimePoint t,
+                                                         sim::Rng& rng) const override;
+
+ private:
+  std::shared_ptr<const ScalarField> field_;
+  double noise_sigma_;
+};
+
+/// Measures the distance to a moving object, as the paper's window example
+/// does ("the range measurement of the user A"). Attribute: "range".
+/// Out-of-range targets yield no sample.
+class RangeSensor final : public Sensor {
+ public:
+  RangeSensor(core::SensorId id, std::shared_ptr<const MovingObject> target, double max_range,
+              double noise_sigma)
+      : Sensor(std::move(id)),
+        target_(std::move(target)),
+        max_range_(max_range),
+        noise_sigma_(noise_sigma) {}
+
+  [[nodiscard]] std::optional<core::AttributeSet> sample(geom::Point mote_position,
+                                                         time_model::TimePoint t,
+                                                         sim::Rng& rng) const override;
+
+ private:
+  std::shared_ptr<const MovingObject> target_;
+  double max_range_;
+  double noise_sigma_;
+};
+
+/// Detects presence of a moving object within a radius, with false
+/// negative/positive probabilities. Attribute: "present" (bool).
+class PresenceSensor final : public Sensor {
+ public:
+  PresenceSensor(core::SensorId id, std::shared_ptr<const MovingObject> target, double radius,
+                 double false_negative = 0.0, double false_positive = 0.0)
+      : Sensor(std::move(id)),
+        target_(std::move(target)),
+        radius_(radius),
+        false_negative_(false_negative),
+        false_positive_(false_positive) {}
+
+  [[nodiscard]] std::optional<core::AttributeSet> sample(geom::Point mote_position,
+                                                         time_model::TimePoint t,
+                                                         sim::Rng& rng) const override;
+
+ private:
+  std::shared_ptr<const MovingObject> target_;
+  double radius_;
+  double false_negative_;
+  double false_positive_;
+};
+
+/// Reads a two-state device. Attribute: "on" (bool).
+class SwitchSensor final : public Sensor {
+ public:
+  SwitchSensor(core::SensorId id, std::shared_ptr<const SwitchSchedule> schedule)
+      : Sensor(std::move(id)), schedule_(std::move(schedule)) {}
+
+  [[nodiscard]] std::optional<core::AttributeSet> sample(geom::Point mote_position,
+                                                         time_model::TimePoint t,
+                                                         sim::Rng& rng) const override;
+
+ private:
+  std::shared_ptr<const SwitchSchedule> schedule_;
+};
+
+}  // namespace stem::sensing

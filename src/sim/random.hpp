@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <string_view>
+
+namespace stem::sim {
+
+/// Deterministic, platform-independent random number generator
+/// (xoshiro256** with a splitmix64 seeder).
+///
+/// std::mt19937 + std::*_distribution is avoided deliberately: the
+/// distributions are implementation-defined, which would break
+/// reproducibility of simulation results across standard libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    return lo + static_cast<std::int64_t>(next_u64() % range);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (deterministic across platforms).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+    have_spare_ = true;
+    return mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given mean (for Poisson arrivals).
+  double exponential(double mean) {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  /// Derives an independent child stream from this one and a label, so
+  /// subsystems ("radio", "noise", "mobility") never share a sequence.
+  [[nodiscard]] Rng fork(std::string_view label) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the label
+    for (const char c : label) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    return Rng(h ^ state_[0] ^ rotl(state_[2], 13));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace stem::sim

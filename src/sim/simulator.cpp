@@ -1,0 +1,67 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace stem::sim {
+
+TaskId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  const TaskId id = next_id_++;
+  queue_.push({when, id});
+  tasks_.emplace(id, std::move(fn));
+  return id;
+}
+
+TaskId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(TaskId id) { return tasks_.erase(id) > 0; }
+
+void Simulator::run_top() {
+  const Scheduled top = queue_.top();
+  queue_.pop();
+  auto it = tasks_.find(top.id);
+  now_ = top.when;
+  std::function<void()> fn = std::move(it->second);
+  tasks_.erase(it);
+  ++executed_;
+  fn();
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    if (tasks_.find(queue_.top().id) == tasks_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    run_top();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(TimePoint deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    if (tasks_.find(queue_.top().id) == tasks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    run_top();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+}  // namespace stem::sim

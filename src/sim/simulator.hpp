@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "time/time_point.hpp"
+
+namespace stem::sim {
+
+using time_model::Duration;
+using time_model::TimePoint;
+
+/// Handle to a scheduled callback; used for cancellation.
+using TaskId = std::uint64_t;
+
+/// Deterministic discrete-event simulation kernel.
+///
+/// All CPS components (motes, links, sinks, CCUs) run on one Simulator:
+/// the simulated clock only advances when the next scheduled callback
+/// fires, and ties are broken by schedule order, so runs are exactly
+/// reproducible. This is the executable substitute for the paper's
+/// physical testbed (see DESIGN.md, "Substitutions").
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`.
+  /// Throws std::invalid_argument if `when` is in the past.
+  TaskId schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (clamped to be non-negative).
+  TaskId schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending task. Returns false if it already ran / was
+  /// cancelled / never existed.
+  bool cancel(TaskId id);
+
+  /// Runs the next pending callback, advancing the clock. Returns false
+  /// if the queue is empty.
+  bool step();
+
+  /// Runs callbacks with time <= deadline; leaves the clock at `deadline`
+  /// if the queue drained early. Returns number of callbacks executed.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Runs until the queue is empty. Returns number of callbacks executed.
+  std::size_t run();
+
+  /// Number of live (not yet run, not cancelled) tasks.
+  [[nodiscard]] std::size_t pending() const { return tasks_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Scheduled {
+    TimePoint when;
+    TaskId id;
+    // Ordered by (when, id): FIFO among same-time events.
+    friend bool operator>(const Scheduled& a, const Scheduled& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  /// Pops and runs one task known to be pending. Precondition: !queue_.empty().
+  void run_top();
+
+  TimePoint now_ = TimePoint::epoch();
+  TaskId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
+  std::unordered_map<TaskId, std::function<void()>> tasks_;
+};
+
+}  // namespace stem::sim

@@ -1,0 +1,48 @@
+#include "sim/stats.hpp"
+
+#include <ostream>
+
+namespace stem::sim {
+
+void Summary::merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Percentiles::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+double Percentiles::mean() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double x : samples_) acc += x;
+  return acc / static_cast<double>(samples_.size());
+}
+
+std::ostream& operator<<(std::ostream& os, const Summary& s) {
+  return os << "n=" << s.count() << " mean=" << s.mean() << " sd=" << s.stddev()
+            << " min=" << s.min() << " max=" << s.max();
+}
+
+}  // namespace stem::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <iosfwd>
+#include <limits>
+#include <vector>
+
+namespace stem::sim {
+
+/// Streaming summary statistics (Welford's algorithm): count, mean,
+/// variance, min, max. O(1) memory; used by every benchmark harness.
+class Summary {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+
+  void merge(const Summary& other);
+  void reset() { *this = Summary(); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::max();
+  double max_ = std::numeric_limits<double>::lowest();
+};
+
+/// Full-sample collector with exact percentiles. Memory is proportional to
+/// the sample count, which is fine at simulation scales (<=10^7 samples).
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// Exact p-th percentile (p in [0,100]) by nearest-rank.
+  /// Returns 0 for an empty collector.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double mean() const;
+
+  void reset() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+std::ostream& operator<<(std::ostream& os, const Summary& s);
+
+}  // namespace stem::sim

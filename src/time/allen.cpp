@@ -1,0 +1,99 @@
+#include "time/allen.hpp"
+
+#include <ostream>
+
+namespace stem::time_model {
+
+AllenRelation allen_relation(const TimeInterval& a, const TimeInterval& b) {
+  const TimePoint ab = a.begin(), ae = a.end();
+  const TimePoint bb = b.begin(), be = b.end();
+
+  if (ab == bb && ae == be) return AllenRelation::kEquals;
+  if (ae < bb) return AllenRelation::kBefore;
+  if (be < ab) return AllenRelation::kAfter;
+  if (ae == bb) return AllenRelation::kMeets;
+  if (be == ab) return AllenRelation::kMetBy;
+  if (ab == bb) return ae < be ? AllenRelation::kStarts : AllenRelation::kStartedBy;
+  if (ae == be) return ab < bb ? AllenRelation::kFinishedBy : AllenRelation::kFinishes;
+  if (bb < ab && ae < be) return AllenRelation::kDuring;
+  if (ab < bb && be < ae) return AllenRelation::kContains;
+  return ab < bb ? AllenRelation::kOverlaps : AllenRelation::kOverlappedBy;
+}
+
+PointRelation point_relation(TimePoint a, TimePoint b) {
+  if (a < b) return PointRelation::kBefore;
+  if (b < a) return PointRelation::kAfter;
+  return PointRelation::kSame;
+}
+
+PointIntervalRelation point_interval_relation(TimePoint t, const TimeInterval& iv) {
+  if (t < iv.begin()) return PointIntervalRelation::kBefore;
+  if (t == iv.begin()) return PointIntervalRelation::kStarts;
+  if (t < iv.end()) return PointIntervalRelation::kDuring;
+  if (t == iv.end()) return PointIntervalRelation::kFinishes;
+  return PointIntervalRelation::kAfter;
+}
+
+AllenRelation inverse(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore: return AllenRelation::kAfter;
+    case AllenRelation::kMeets: return AllenRelation::kMetBy;
+    case AllenRelation::kOverlaps: return AllenRelation::kOverlappedBy;
+    case AllenRelation::kStarts: return AllenRelation::kStartedBy;
+    case AllenRelation::kDuring: return AllenRelation::kContains;
+    case AllenRelation::kFinishes: return AllenRelation::kFinishedBy;
+    case AllenRelation::kEquals: return AllenRelation::kEquals;
+    case AllenRelation::kFinishedBy: return AllenRelation::kFinishes;
+    case AllenRelation::kContains: return AllenRelation::kDuring;
+    case AllenRelation::kStartedBy: return AllenRelation::kStarts;
+    case AllenRelation::kOverlappedBy: return AllenRelation::kOverlaps;
+    case AllenRelation::kMetBy: return AllenRelation::kMeets;
+    case AllenRelation::kAfter: return AllenRelation::kBefore;
+  }
+  return AllenRelation::kEquals;  // unreachable
+}
+
+std::string_view to_string(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore: return "Before";
+    case AllenRelation::kMeets: return "Meets";
+    case AllenRelation::kOverlaps: return "Overlaps";
+    case AllenRelation::kStarts: return "Starts";
+    case AllenRelation::kDuring: return "During";
+    case AllenRelation::kFinishes: return "Finishes";
+    case AllenRelation::kEquals: return "Equals";
+    case AllenRelation::kFinishedBy: return "FinishedBy";
+    case AllenRelation::kContains: return "Contains";
+    case AllenRelation::kStartedBy: return "StartedBy";
+    case AllenRelation::kOverlappedBy: return "OverlappedBy";
+    case AllenRelation::kMetBy: return "MetBy";
+    case AllenRelation::kAfter: return "After";
+  }
+  return "?";
+}
+
+std::string_view to_string(PointRelation r) {
+  switch (r) {
+    case PointRelation::kBefore: return "Before";
+    case PointRelation::kSame: return "Same";
+    case PointRelation::kAfter: return "After";
+  }
+  return "?";
+}
+
+std::string_view to_string(PointIntervalRelation r) {
+  switch (r) {
+    case PointIntervalRelation::kBefore: return "Before";
+    case PointIntervalRelation::kStarts: return "Starts";
+    case PointIntervalRelation::kDuring: return "During";
+    case PointIntervalRelation::kFinishes: return "Finishes";
+    case PointIntervalRelation::kAfter: return "After";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, AllenRelation r) { return os << to_string(r); }
+std::ostream& operator<<(std::ostream& os, PointRelation r) { return os << to_string(r); }
+std::ostream& operator<<(std::ostream& os, PointIntervalRelation r) { return os << to_string(r); }
+
+}  // namespace stem::time_model

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "time/interval.hpp"
+#include "time/time_point.hpp"
+
+namespace stem::time_model {
+
+/// The 13 Allen interval relations. Exactly one holds between any two
+/// non-degenerate intervals; we extend the definitions to degenerate
+/// (point-like) intervals so that the classification stays total, which is
+/// what the paper's three relation classes (point-point, point-interval,
+/// interval-interval; Sec. 4.2) require.
+enum class AllenRelation {
+  kBefore,        ///< a.end  <  b.begin
+  kMeets,         ///< a.end  == b.begin (and a, b not both points)
+  kOverlaps,      ///< a.begin < b.begin < a.end < b.end
+  kStarts,        ///< a.begin == b.begin, a.end < b.end
+  kDuring,        ///< b.begin < a.begin, a.end < b.end
+  kFinishes,      ///< a.end == b.end, b.begin < a.begin
+  kEquals,        ///< identical endpoints
+  kFinishedBy,    ///< inverse of kFinishes
+  kContains,      ///< inverse of kDuring
+  kStartedBy,     ///< inverse of kStarts
+  kOverlappedBy,  ///< inverse of kOverlaps
+  kMetBy,         ///< inverse of kMeets
+  kAfter,         ///< inverse of kBefore
+};
+
+/// Relation between two time points (point-point class, Sec. 4.2).
+enum class PointRelation { kBefore, kSame, kAfter };
+
+/// Relation of a point relative to a closed interval (point-interval class).
+enum class PointIntervalRelation { kBefore, kStarts, kDuring, kFinishes, kAfter };
+
+/// Classifies the Allen relation of `a` relative to `b`.
+/// Total over all closed intervals, including degenerate ones.
+[[nodiscard]] AllenRelation allen_relation(const TimeInterval& a, const TimeInterval& b);
+
+/// Classifies two time points.
+[[nodiscard]] PointRelation point_relation(TimePoint a, TimePoint b);
+
+/// Classifies point `t` relative to interval `iv`.
+[[nodiscard]] PointIntervalRelation point_interval_relation(TimePoint t, const TimeInterval& iv);
+
+/// The inverse relation: allen_relation(b, a) == inverse(allen_relation(a, b)).
+[[nodiscard]] AllenRelation inverse(AllenRelation r);
+
+[[nodiscard]] std::string_view to_string(AllenRelation r);
+[[nodiscard]] std::string_view to_string(PointRelation r);
+[[nodiscard]] std::string_view to_string(PointIntervalRelation r);
+
+std::ostream& operator<<(std::ostream& os, AllenRelation r);
+std::ostream& operator<<(std::ostream& os, PointRelation r);
+std::ostream& operator<<(std::ostream& os, PointIntervalRelation r);
+
+}  // namespace stem::time_model

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+
+#include "time/time_point.hpp"
+
+namespace stem::time_model {
+
+/// A closed time interval [begin, end] with begin <= end, marking the
+/// starting and ending time points of an interval event (paper Sec. 4.2).
+///
+/// A degenerate interval with begin == end is permitted and is semantically
+/// the punctual time `begin`; `OccurrenceTime` normalizes it.
+class TimeInterval {
+ public:
+  /// Constructs [begin, end]. Throws std::invalid_argument if end < begin.
+  constexpr TimeInterval(TimePoint begin, TimePoint end) : begin_(begin), end_(end) {
+    if (end < begin) throw std::invalid_argument("TimeInterval: end < begin");
+  }
+
+  [[nodiscard]] constexpr TimePoint begin() const { return begin_; }
+  [[nodiscard]] constexpr TimePoint end() const { return end_; }
+  [[nodiscard]] constexpr Duration length() const { return end_ - begin_; }
+  [[nodiscard]] constexpr bool degenerate() const { return begin_ == end_; }
+
+  /// True iff t lies within [begin, end] (closed on both sides).
+  [[nodiscard]] constexpr bool contains(TimePoint t) const { return begin_ <= t && t <= end_; }
+  /// True iff `other` lies entirely within this interval.
+  [[nodiscard]] constexpr bool contains(const TimeInterval& other) const {
+    return begin_ <= other.begin_ && other.end_ <= end_;
+  }
+  /// True iff the closed intervals share at least one time point.
+  [[nodiscard]] constexpr bool intersects(const TimeInterval& other) const {
+    return begin_ <= other.end_ && other.begin_ <= end_;
+  }
+
+  /// The common sub-interval, if any.
+  [[nodiscard]] constexpr std::optional<TimeInterval> intersection(const TimeInterval& other) const {
+    const TimePoint b = begin_ > other.begin_ ? begin_ : other.begin_;
+    const TimePoint e = end_ < other.end_ ? end_ : other.end_;
+    if (e < b) return std::nullopt;
+    return TimeInterval(b, e);
+  }
+
+  /// Smallest interval covering both operands.
+  [[nodiscard]] constexpr TimeInterval hull(const TimeInterval& other) const {
+    const TimePoint b = begin_ < other.begin_ ? begin_ : other.begin_;
+    const TimePoint e = end_ > other.end_ ? end_ : other.end_;
+    return TimeInterval(b, e);
+  }
+
+  /// Interval translated by d.
+  [[nodiscard]] constexpr TimeInterval shifted(Duration d) const {
+    return TimeInterval(begin_ + d, end_ + d);
+  }
+
+  /// Midpoint (rounds toward begin on odd lengths).
+  [[nodiscard]] constexpr TimePoint midpoint() const {
+    return begin_ + Duration((end_ - begin_).ticks() / 2);
+  }
+
+  friend constexpr bool operator==(const TimeInterval&, const TimeInterval&) = default;
+
+ private:
+  TimePoint begin_;
+  TimePoint end_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TimeInterval& iv);
+
+}  // namespace stem::time_model

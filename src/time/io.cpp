@@ -1,0 +1,22 @@
+#include <ostream>
+
+#include "time/interval.hpp"
+#include "time/occurrence.hpp"
+#include "time/time_point.hpp"
+
+namespace stem::time_model {
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.ticks() << "us"; }
+
+std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << "@" << t.ticks(); }
+
+std::ostream& operator<<(std::ostream& os, const TimeInterval& iv) {
+  return os << "[" << iv.begin().ticks() << "," << iv.end().ticks() << "]";
+}
+
+std::ostream& operator<<(std::ostream& os, const OccurrenceTime& ot) {
+  if (ot.is_punctual()) return os << ot.as_point();
+  return os << ot.as_interval();
+}
+
+}  // namespace stem::time_model

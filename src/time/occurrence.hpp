@@ -1,0 +1,60 @@
+#pragma once
+
+#include <iosfwd>
+#include <variant>
+
+#include "time/interval.hpp"
+#include "time/time_point.hpp"
+
+namespace stem::time_model {
+
+/// Occurrence time of an event (paper Def. 4.1 / Sec. 4.2).
+///
+/// A *punctual event* occurs at a single time point; an *interval event*
+/// occupies a closed time interval marked by starting and ending points.
+/// Degenerate intervals are normalized to punctual times, so the
+/// punctual/interval distinction is canonical.
+class OccurrenceTime {
+ public:
+  /// Punctual occurrence at `t`.
+  constexpr OccurrenceTime(TimePoint t) : rep_(t) {}  // NOLINT(google-explicit-constructor)
+  /// Interval occurrence. A degenerate interval becomes punctual.
+  constexpr OccurrenceTime(TimeInterval iv)  // NOLINT(google-explicit-constructor)
+      : rep_(iv.degenerate() ? Rep(iv.begin()) : Rep(iv)) {}
+
+  [[nodiscard]] constexpr bool is_punctual() const { return std::holds_alternative<TimePoint>(rep_); }
+  [[nodiscard]] constexpr bool is_interval() const { return !is_punctual(); }
+
+  /// Start of the occurrence (the point itself if punctual).
+  [[nodiscard]] constexpr TimePoint begin() const {
+    return is_punctual() ? std::get<TimePoint>(rep_) : std::get<TimeInterval>(rep_).begin();
+  }
+  /// End of the occurrence (the point itself if punctual).
+  [[nodiscard]] constexpr TimePoint end() const {
+    return is_punctual() ? std::get<TimePoint>(rep_) : std::get<TimeInterval>(rep_).end();
+  }
+  [[nodiscard]] constexpr Duration length() const { return end() - begin(); }
+
+  /// The occurrence viewed as a (possibly degenerate) closed interval.
+  [[nodiscard]] constexpr TimeInterval as_interval() const { return TimeInterval(begin(), end()); }
+
+  /// The punctual time; throws std::bad_variant_access if interval.
+  [[nodiscard]] constexpr TimePoint as_point() const { return std::get<TimePoint>(rep_); }
+
+  [[nodiscard]] constexpr bool covers(TimePoint t) const { return begin() <= t && t <= end(); }
+
+  [[nodiscard]] constexpr OccurrenceTime shifted(Duration d) const {
+    if (is_punctual()) return OccurrenceTime(as_point() + d);
+    return OccurrenceTime(std::get<TimeInterval>(rep_).shifted(d));
+  }
+
+  friend constexpr bool operator==(const OccurrenceTime&, const OccurrenceTime&) = default;
+
+ private:
+  using Rep = std::variant<TimePoint, TimeInterval>;
+  Rep rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const OccurrenceTime& ot);
+
+}  // namespace stem::time_model

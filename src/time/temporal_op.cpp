@@ -1,0 +1,113 @@
+#include "time/temporal_op.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace stem::time_model {
+
+bool eval_temporal(const OccurrenceTime& a, TemporalOp op, const OccurrenceTime& b) {
+  const TimePoint ab = a.begin(), ae = a.end();
+  const TimePoint bb = b.begin(), be = b.end();
+  switch (op) {
+    case TemporalOp::kBefore: return ae < bb;
+    case TemporalOp::kAfter: return be < ab;
+    case TemporalOp::kMeets: return ae == bb;
+    case TemporalOp::kMetBy: return ab == be;
+    case TemporalOp::kOverlaps: return ab < bb && bb <= ae && ae < be;
+    case TemporalOp::kOverlappedBy: return bb < ab && ab <= be && be < ae;
+    case TemporalOp::kDuring: return bb <= ab && ae <= be && !(ab == bb && ae == be);
+    case TemporalOp::kContains: return ab <= bb && be <= ae && !(ab == bb && ae == be);
+    case TemporalOp::kStarts: return ab == bb;
+    case TemporalOp::kFinishes: return ae == be;
+    case TemporalOp::kEquals: return ab == bb && ae == be;
+    case TemporalOp::kIntersects: return ab <= be && bb <= ae;
+    case TemporalOp::kWithin: return bb <= ab && ae <= be;
+  }
+  return false;  // unreachable
+}
+
+bool eval_temporal(const OccurrenceTime& a, Duration offset, TemporalOp op,
+                   const OccurrenceTime& b) {
+  return eval_temporal(a.shifted(offset), op, b);
+}
+
+std::string_view to_string(TemporalOp op) {
+  switch (op) {
+    case TemporalOp::kBefore: return "before";
+    case TemporalOp::kAfter: return "after";
+    case TemporalOp::kMeets: return "meets";
+    case TemporalOp::kMetBy: return "metby";
+    case TemporalOp::kOverlaps: return "overlaps";
+    case TemporalOp::kOverlappedBy: return "overlappedby";
+    case TemporalOp::kDuring: return "during";
+    case TemporalOp::kContains: return "contains";
+    case TemporalOp::kStarts: return "starts";
+    case TemporalOp::kFinishes: return "finishes";
+    case TemporalOp::kEquals: return "equals";
+    case TemporalOp::kIntersects: return "intersects";
+    case TemporalOp::kWithin: return "within";
+  }
+  return "?";
+}
+
+std::optional<TemporalOp> temporal_op_from_string(std::string_view s) {
+  if (s == "before") return TemporalOp::kBefore;
+  if (s == "after") return TemporalOp::kAfter;
+  if (s == "meets") return TemporalOp::kMeets;
+  if (s == "metby") return TemporalOp::kMetBy;
+  if (s == "overlaps") return TemporalOp::kOverlaps;
+  if (s == "overlappedby") return TemporalOp::kOverlappedBy;
+  if (s == "during") return TemporalOp::kDuring;
+  if (s == "contains") return TemporalOp::kContains;
+  if (s == "starts" || s == "begin") return TemporalOp::kStarts;
+  if (s == "finishes" || s == "end") return TemporalOp::kFinishes;
+  if (s == "equals") return TemporalOp::kEquals;
+  if (s == "intersects") return TemporalOp::kIntersects;
+  if (s == "within") return TemporalOp::kWithin;
+  return std::nullopt;
+}
+
+std::ostream& operator<<(std::ostream& os, TemporalOp op) { return os << to_string(op); }
+
+std::string_view to_string(TimeAggregate a) {
+  switch (a) {
+    case TimeAggregate::kEarliest: return "earliest";
+    case TimeAggregate::kLatest: return "latest";
+    case TimeAggregate::kSpan: return "span";
+    case TimeAggregate::kMean: return "mean";
+  }
+  return "?";
+}
+
+std::optional<TimeAggregate> time_aggregate_from_string(std::string_view s) {
+  if (s == "earliest") return TimeAggregate::kEarliest;
+  if (s == "latest") return TimeAggregate::kLatest;
+  if (s == "span") return TimeAggregate::kSpan;
+  if (s == "mean") return TimeAggregate::kMean;
+  return std::nullopt;
+}
+
+OccurrenceTime aggregate_times(TimeAggregate agg, const OccurrenceTime* first, std::size_t count) {
+  if (count == 0 || first == nullptr) {
+    throw std::invalid_argument("aggregate_times: empty input");
+  }
+  TimePoint earliest = first->begin();
+  TimePoint latest = first->end();
+  Tick mid_sum = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const OccurrenceTime& ot = first[i];
+    if (ot.begin() < earliest) earliest = ot.begin();
+    if (latest < ot.end()) latest = ot.end();
+    mid_sum += ot.as_interval().midpoint().ticks();
+  }
+  switch (agg) {
+    case TimeAggregate::kEarliest: return OccurrenceTime(earliest);
+    case TimeAggregate::kLatest: return OccurrenceTime(latest);
+    case TimeAggregate::kSpan: return OccurrenceTime(TimeInterval(earliest, latest));
+    case TimeAggregate::kMean:
+      return OccurrenceTime(TimePoint(mid_sum / static_cast<Tick>(count)));
+  }
+  throw std::logic_error("aggregate_times: bad aggregate");
+}
+
+}  // namespace stem::time_model

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+
+#include "time/occurrence.hpp"
+
+namespace stem::time_model {
+
+/// Temporal operators OP_T of the paper's temporal event conditions
+/// (Eq. 4.3): "Before, After, During, Begin, End" plus the full Allen set,
+/// so that all three relation classes of Sec. 4.2 (punctual-punctual,
+/// punctual-interval, interval-interval) are expressible.
+///
+/// Semantics are defined over generalized occurrences: a punctual
+/// occurrence behaves as the degenerate closed interval [t, t].
+enum class TemporalOp {
+  kBefore,        ///< a ends strictly before b begins
+  kAfter,         ///< a begins strictly after b ends
+  kMeets,         ///< a.end == b.begin
+  kMetBy,         ///< a.begin == b.end
+  kOverlaps,      ///< a.begin < b.begin, b.begin <= a.end < b.end
+  kOverlappedBy,  ///< mirror of kOverlaps
+  kDuring,        ///< a lies within b (not equal): b.begin <= a.begin, a.end <= b.end
+  kContains,      ///< b lies within a (not equal)
+  kStarts,        ///< a.begin == b.begin ("Begin" in the paper)
+  kFinishes,      ///< a.end == b.end ("End" in the paper)
+  kEquals,        ///< same begin and end
+  kIntersects,    ///< the closed occurrences share at least one time point
+  kWithin,        ///< a lies within b, equality allowed
+};
+
+/// Evaluates `a OP b` under the generalized-interval semantics above.
+///
+/// Every operator is total over the four combinations punctual/interval x
+/// punctual/interval; this is the completeness requirement the paper's
+/// related-work section levels against RTL-style models (Sec. 2).
+[[nodiscard]] bool eval_temporal(const OccurrenceTime& a, TemporalOp op, const OccurrenceTime& b);
+
+/// Evaluates `a OP b` where `a` is additionally shifted by `offset` first,
+/// supporting conditions like "t_x + 5 Before t_y" (paper Sec. 4.1 example).
+[[nodiscard]] bool eval_temporal(const OccurrenceTime& a, Duration offset, TemporalOp op,
+                                 const OccurrenceTime& b);
+
+[[nodiscard]] std::string_view to_string(TemporalOp op);
+/// Parses an operator name as written in the event language ("before",
+/// "during", ...). Case-sensitive, lowercase. Returns nullopt if unknown.
+[[nodiscard]] std::optional<TemporalOp> temporal_op_from_string(std::string_view s);
+
+std::ostream& operator<<(std::ostream& os, TemporalOp op);
+
+/// Aggregation functions g_t over entity times (Eq. 4.3).
+enum class TimeAggregate {
+  kEarliest,  ///< earliest begin, as a punctual time
+  kLatest,    ///< latest end, as a punctual time
+  kSpan,      ///< hull [earliest begin, latest end]
+  kMean,      ///< mean of midpoints, as a punctual time
+};
+
+[[nodiscard]] std::string_view to_string(TimeAggregate a);
+[[nodiscard]] std::optional<TimeAggregate> time_aggregate_from_string(std::string_view s);
+
+/// Applies an aggregation function to one or more occurrence times.
+/// Throws std::invalid_argument on an empty range.
+[[nodiscard]] OccurrenceTime aggregate_times(TimeAggregate agg, const OccurrenceTime* first,
+                                             std::size_t count);
+
+}  // namespace stem::time_model

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+/// Discrete time model (paper Section 4, "Time Model").
+///
+/// Following Snoop's time model, time is a discrete, totally ordered
+/// collection of time points with limited precision. One `Tick` is the
+/// smallest representable unit of time in the system (the simulation uses
+/// 1 tick = 1 microsecond, but nothing in this module depends on that).
+namespace stem::time_model {
+
+/// Raw signed tick count. Signed so that durations and differences are
+/// closed under subtraction.
+using Tick = std::int64_t;
+
+/// A length of time, in ticks. Strong type: cannot be mixed with TimePoint
+/// without explicit intent.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(Tick ticks) : ticks_(ticks) {}
+
+  [[nodiscard]] constexpr Tick ticks() const { return ticks_; }
+
+  constexpr Duration& operator+=(Duration d) {
+    ticks_ += d.ticks_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration d) {
+    ticks_ -= d.ticks_;
+    return *this;
+  }
+  constexpr Duration& operator*=(Tick k) {
+    ticks_ *= k;
+    return *this;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.ticks_ + b.ticks_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.ticks_ - b.ticks_); }
+  friend constexpr Duration operator*(Duration a, Tick k) { return Duration(a.ticks_ * k); }
+  friend constexpr Duration operator*(Tick k, Duration a) { return Duration(a.ticks_ * k); }
+  friend constexpr Duration operator/(Duration a, Tick k) { return Duration(a.ticks_ / k); }
+  friend constexpr Duration operator-(Duration a) { return Duration(-a.ticks_); }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0); }
+
+ private:
+  Tick ticks_ = 0;
+};
+
+/// A point on the discrete global timeline.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(Tick ticks) : ticks_(ticks) {}
+
+  [[nodiscard]] constexpr Tick ticks() const { return ticks_; }
+
+  constexpr TimePoint& operator+=(Duration d) {
+    ticks_ += d.ticks();
+    return *this;
+  }
+  constexpr TimePoint& operator-=(Duration d) {
+    ticks_ -= d.ticks();
+    return *this;
+  }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint(t.ticks_ + d.ticks()); }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return TimePoint(t.ticks_ + d.ticks()); }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) { return TimePoint(t.ticks_ - d.ticks()); }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return Duration(a.ticks_ - b.ticks_); }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  /// Smallest representable time point ("minus infinity" sentinel).
+  [[nodiscard]] static constexpr TimePoint min() { return TimePoint(std::numeric_limits<Tick>::min()); }
+  /// Largest representable time point ("plus infinity" sentinel).
+  [[nodiscard]] static constexpr TimePoint max() { return TimePoint(std::numeric_limits<Tick>::max()); }
+  /// The origin of the timeline.
+  [[nodiscard]] static constexpr TimePoint epoch() { return TimePoint(0); }
+
+ private:
+  Tick ticks_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+/// Convenience literal-style factories (1 tick == 1 microsecond by system
+/// convention; the simulation layers adopt this convention throughout).
+constexpr Duration microseconds(Tick n) { return Duration(n); }
+constexpr Duration milliseconds(Tick n) { return Duration(n * 1000); }
+constexpr Duration seconds(Tick n) { return Duration(n * 1'000'000); }
+constexpr Duration minutes(Tick n) { return Duration(n * 60'000'000); }
+
+}  // namespace stem::time_model

@@ -1,0 +1,57 @@
+#include "wsn/actor.hpp"
+
+namespace stem::wsn {
+
+ActorMote::ActorMote(net::Network& network, net::Broker* broker, Config config,
+                     std::function<void(const net::Command&, time_model::TimePoint)> actuate)
+    : network_(network),
+      broker_(broker),
+      config_(std::move(config)),
+      actuate_(std::move(actuate)) {
+  network_.register_node(config_.id, [this](const net::Message& msg) { on_message(msg); });
+}
+
+void ActorMote::on_message(const net::Message& msg) {
+  const auto* cmd = std::get_if<net::Command>(&msg.payload);
+  if (cmd == nullptr || cmd->target != config_.id) return;
+  if (cmd->kind != net::Command::Kind::kActuate) return;  // never act on reports
+  const time_model::TimePoint received = network_.simulator().now();
+  network_.simulator().schedule_after(config_.actuation_delay, [this, c = *cmd, received] {
+    const time_model::TimePoint now = network_.simulator().now();
+    if (actuate_) actuate_(c, now);
+    executed_.push_back(ExecutedCommand{c, received, now});
+    if (broker_ != nullptr && network_.linked(config_.id, broker_->id())) {
+      // Report execution on the report topic.
+      net::Command report = c;
+      report.kind = net::Command::Kind::kReport;
+      report.target = config_.id;
+      broker_->publish(config_.id, std::move(report));
+    }
+  });
+}
+
+DispatchNode::DispatchNode(net::Network& network, net::Broker& broker, Config config)
+    : network_(network), broker_(broker), config_(std::move(config)) {
+  network_.register_node(config_.id, [this](const net::Message& msg) { on_message(msg); });
+}
+
+void DispatchNode::serve(const net::NodeId& actor) {
+  broker_.subscribe(net::Broker::command_topic(actor), config_.id);
+}
+
+void DispatchNode::on_message(const net::Message& msg) {
+  const auto* cmd = std::get_if<net::Command>(&msg.payload);
+  if (cmd == nullptr) return;
+  // Disseminate to the target actor after a small processing delay.
+  network_.simulator().schedule_after(config_.proc_delay, [this, m = msg]() mutable {
+    net::Message out;
+    out.src = config_.id;
+    out.dst = std::get<net::Command>(m.payload).target;
+    out.payload = std::move(m.payload);
+    out.hops = m.hops + 1;
+    network_.send(std::move(out));
+    ++dispatched_;
+  });
+}
+
+}  // namespace stem::wsn

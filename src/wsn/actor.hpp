@@ -1,0 +1,84 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/broker.hpp"
+#include "net/network.hpp"
+
+namespace stem::wsn {
+
+/// Record of an executed actuation.
+struct ExecutedCommand {
+  net::Command command;
+  time_model::TimePoint received;
+  time_model::TimePoint executed;
+};
+
+/// An actor mote (paper Sec. 3): evaluates action commands sent by the CPS
+/// and drives its actuators, changing the physical world through the
+/// `actuate` callback. Executed commands are reported back through the
+/// broker ("Publish Executed Actuator Commands", Fig. 1).
+class ActorMote {
+ public:
+  struct Config {
+    net::NodeId id;
+    geom::Point position;
+    /// Mechanical/processing delay before the actuation takes effect.
+    time_model::Duration actuation_delay = time_model::milliseconds(50);
+  };
+
+  /// `actuate` is invoked when a command takes effect; it is the hook into
+  /// the physical-world simulation (e.g. close a window, start a pump).
+  /// `broker` may be null; execution reports are then skipped.
+  ActorMote(net::Network& network, net::Broker* broker, Config config,
+            std::function<void(const net::Command&, time_model::TimePoint)> actuate = {});
+  ActorMote(const ActorMote&) = delete;
+  ActorMote& operator=(const ActorMote&) = delete;
+
+  [[nodiscard]] const net::NodeId& id() const { return config_.id; }
+  [[nodiscard]] geom::Point position() const { return config_.position; }
+  [[nodiscard]] const std::vector<ExecutedCommand>& executed() const { return executed_; }
+
+ private:
+  void on_message(const net::Message& msg);
+
+  net::Network& network_;
+  net::Broker* broker_;
+  Config config_;
+  std::function<void(const net::Command&, time_model::TimePoint)> actuate_;
+  std::vector<ExecutedCommand> executed_;
+};
+
+/// A dispatch node (paper Sec. 3): the actuation-side gateway. It
+/// subscribes to command topics on the broker and disseminates commands to
+/// the actor motes it serves.
+class DispatchNode {
+ public:
+  struct Config {
+    net::NodeId id;
+    geom::Point position;
+    time_model::Duration proc_delay = time_model::milliseconds(5);
+  };
+
+  DispatchNode(net::Network& network, net::Broker& broker, Config config);
+  DispatchNode(const DispatchNode&) = delete;
+  DispatchNode& operator=(const DispatchNode&) = delete;
+
+  /// Declares that this dispatch node serves `actor`: subscribes to the
+  /// actor's command topic. The network link dispatch->actor must exist.
+  void serve(const net::NodeId& actor);
+
+  [[nodiscard]] const net::NodeId& id() const { return config_.id; }
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  void on_message(const net::Message& msg);
+
+  net::Network& network_;
+  net::Broker& broker_;
+  Config config_;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace stem::wsn

@@ -1,0 +1,13 @@
+#include "wsn/energy.hpp"
+
+#include <ostream>
+
+namespace stem::wsn {
+
+std::ostream& operator<<(std::ostream& os, const EnergyAccount& account) {
+  return os << "energy{tx=" << account.tx_nj() << "nJ rx=" << account.rx_nj()
+            << "nJ sample=" << account.sample_nj() << "nJ eval=" << account.eval_nj()
+            << "nJ total=" << account.total_nj() << "nJ}";
+}
+
+}  // namespace stem::wsn

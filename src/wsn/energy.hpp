@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace stem::wsn {
+
+/// First-order mote energy model (Heinzelman-style radio constants scaled
+/// to integers). Motes are battery-powered; the architectural argument for
+/// mote-side condition evaluation (paper Sec. 3, experiment E5) is as much
+/// about *energy* as messages: radio transmission dominates MCU work by
+/// orders of magnitude, so shipping raw samples drains the network.
+struct EnergyModel {
+  /// nJ per byte transmitted / received over the radio.
+  double tx_nj_per_byte = 800.0;
+  double rx_nj_per_byte = 400.0;
+  /// nJ per sensor sample (ADC + sensor excitation).
+  double sample_nj = 2'000.0;
+  /// nJ per condition-tree evaluation on the MCU.
+  double eval_nj = 50.0;
+};
+
+/// Per-mote energy account, charged by the owner as activity happens.
+class EnergyAccount {
+ public:
+  explicit EnergyAccount(EnergyModel model = {}) : model_(model) {}
+
+  void charge_tx(std::size_t bytes) { tx_nj_ += model_.tx_nj_per_byte * static_cast<double>(bytes); }
+  void charge_rx(std::size_t bytes) { rx_nj_ += model_.rx_nj_per_byte * static_cast<double>(bytes); }
+  void charge_sample() { sample_nj_ += model_.sample_nj; }
+  void charge_eval(std::size_t evaluations = 1) {
+    eval_nj_ += model_.eval_nj * static_cast<double>(evaluations);
+  }
+
+  [[nodiscard]] double tx_nj() const { return tx_nj_; }
+  [[nodiscard]] double rx_nj() const { return rx_nj_; }
+  [[nodiscard]] double sample_nj() const { return sample_nj_; }
+  [[nodiscard]] double eval_nj() const { return eval_nj_; }
+  [[nodiscard]] double total_nj() const { return tx_nj_ + rx_nj_ + sample_nj_ + eval_nj_; }
+  /// Radio share of total consumption, in [0, 1].
+  [[nodiscard]] double radio_fraction() const {
+    const double t = total_nj();
+    return t > 0.0 ? (tx_nj_ + rx_nj_) / t : 0.0;
+  }
+
+  void reset() { *this = EnergyAccount(model_); }
+
+ private:
+  EnergyModel model_;
+  double tx_nj_ = 0.0;
+  double rx_nj_ = 0.0;
+  double sample_nj_ = 0.0;
+  double eval_nj_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, const EnergyAccount& account);
+
+}  // namespace stem::wsn

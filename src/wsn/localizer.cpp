@@ -1,0 +1,62 @@
+#include "wsn/localizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace stem::wsn {
+
+std::optional<core::EventInstance> Localizer::on_event(const core::EventInstance& event,
+                                                       time_model::TimePoint now,
+                                                       const core::ObserverId& self,
+                                                       geom::Point self_position) {
+  if (event.key.event != config_.range_event) return std::nullopt;
+  const auto range = event.attributes.number("range");
+  if (!range.has_value()) return std::nullopt;
+
+  // Expire stale anchors, then insert/refresh this mote's measurement.
+  const time_model::TimePoint horizon = now - config_.window;
+  while (!anchors_.empty() && anchors_.front().when < horizon) anchors_.pop_front();
+  std::erase_if(anchors_, [&](const Anchor& a) { return a.mote == event.key.observer; });
+  anchors_.push_back(Anchor{event.key.observer,
+                            event.gen_location,
+                            *range,
+                            event.est_time.end(),
+                            event.key});
+
+  if (anchors_.size() < config_.min_anchors) return std::nullopt;
+
+  std::vector<sensing::RangeMeasurement> ms;
+  ms.reserve(anchors_.size());
+  for (const Anchor& a : anchors_) ms.push_back({a.position, a.range});
+  const auto solved = sensing::trilaterate(ms);
+  if (!solved.has_value() || solved->rms_residual > config_.max_residual) return std::nullopt;
+
+  core::EventInstance inst;
+  inst.key = core::EventInstanceKey{self, config_.output_event, next_seq_++};
+  inst.layer = core::Layer::kCyberPhysical;
+  inst.gen_time = now;
+  inst.gen_location = self_position;
+  // The estimated occurrence spans the contributing measurements.
+  time_model::TimePoint earliest = anchors_.front().when;
+  time_model::TimePoint latest = anchors_.front().when;
+  for (const Anchor& a : anchors_) {
+    earliest = std::min(earliest, a.when);
+    latest = std::max(latest, a.when);
+  }
+  inst.est_time = earliest == latest
+                      ? time_model::OccurrenceTime(earliest)
+                      : time_model::OccurrenceTime(time_model::TimeInterval(earliest, latest));
+  inst.est_location = geom::Location(solved->position);
+  inst.attributes.set("rms_residual", solved->rms_residual);
+  inst.attributes.set("anchors", static_cast<std::int64_t>(anchors_.size()));
+  // Confidence decays with geometric inconsistency.
+  inst.confidence = std::exp(-solved->rms_residual / config_.max_residual);
+  for (const Anchor& a : anchors_) inst.provenance.push_back(a.source);
+
+  // Consume the anchors so the next estimate uses fresh measurements.
+  anchors_.clear();
+  return inst;
+}
+
+}  // namespace stem::wsn

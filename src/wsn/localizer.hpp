@@ -1,0 +1,57 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "core/instance.hpp"
+#include "sensing/localization.hpp"
+
+namespace stem::wsn {
+
+/// Turns per-mote range sensor events into position estimates.
+///
+/// This implements the paper's motivating heterogeneity example (Sec. 1):
+/// a mote abstracts "user A is nearby window B" as a *range measurement*,
+/// while the sink — having several motes' ranges — abstracts the same
+/// physical event as the user's *location*. The localizer collects range
+/// events (attribute "range", anchored at the producing mote's location)
+/// and trilaterates when enough distinct anchors are available.
+class Localizer {
+ public:
+  struct Config {
+    core::EventTypeId range_event;   ///< sensor event type carrying "range"
+    core::EventTypeId output_event;  ///< emitted cyber-physical event type
+    time_model::Duration window = time_model::seconds(5);
+    std::size_t min_anchors = 3;
+    /// Estimates with RMS residual above this are rejected.
+    double max_residual = 5.0;
+  };
+
+  explicit Localizer(Config config) : config_(std::move(config)) {}
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Feeds one sensor event. If it is a range event and enough fresh
+  /// anchors exist, returns a location instance attributed to `self`.
+  [[nodiscard]] std::optional<core::EventInstance> on_event(const core::EventInstance& event,
+                                                            time_model::TimePoint now,
+                                                            const core::ObserverId& self,
+                                                            geom::Point self_position);
+
+  [[nodiscard]] std::size_t pending_anchors() const { return anchors_.size(); }
+
+ private:
+  struct Anchor {
+    core::ObserverId mote;
+    geom::Point position;
+    double range;
+    time_model::TimePoint when;
+    core::EventInstanceKey source;
+  };
+
+  Config config_;
+  std::deque<Anchor> anchors_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace stem::wsn

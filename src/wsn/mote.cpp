@@ -1,0 +1,141 @@
+#include "wsn/mote.hpp"
+
+#include <cmath>
+
+namespace stem::wsn {
+
+SensorMote::SensorMote(net::Network& network, Config config, sim::Rng rng)
+    : network_(network),
+      config_(std::move(config)),
+      rng_(std::move(rng)),
+      engine_(config_.id, core::Layer::kSensor, config_.position, config_.engine_options),
+      energy_(config_.energy_model) {
+  network_.register_node(config_.id, [this](const Message& msg) { on_message(msg); });
+}
+
+void SensorMote::add_sensor(std::shared_ptr<const sensing::Sensor> sensor) {
+  sensors_.push_back(std::move(sensor));
+  next_seq_.push_back(0);
+}
+
+void SensorMote::start(time_model::TimePoint until) {
+  network_.simulator().schedule_after(config_.sampling_period,
+                                      [this, until] { sample_tick(until); });
+}
+
+time_model::TimePoint SensorMote::local_time(time_model::TimePoint t) const {
+  const auto elapsed = static_cast<double>((t - time_model::TimePoint::epoch()).ticks());
+  const auto drift =
+      static_cast<time_model::Tick>(std::llround(config_.clock_drift_ppm * 1e-6 * elapsed));
+  return t + config_.clock_offset + time_model::Duration(drift);
+}
+
+void SensorMote::fail_at(time_model::TimePoint when) {
+  network_.simulator().schedule_at(when, [this] { failed_ = true; });
+}
+
+void SensorMote::sample_tick(time_model::TimePoint until) {
+  if (failed_) return;
+  sim::Simulator& sim = network_.simulator();
+  const time_model::TimePoint now = sim.now();
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    ++stats_.samples;
+    energy_.charge_sample();
+    const auto attrs = sensors_[i]->sample(config_.position, now, rng_);
+    if (!attrs.has_value()) continue;
+    ++stats_.observations;
+    core::PhysicalObservation obs;
+    obs.mote = config_.id;
+    obs.sensor = sensors_[i]->id();
+    obs.seq = next_seq_[i]++;
+    obs.time = local_time(now);
+    obs.location = geom::Location(config_.position);
+    obs.attributes = *attrs;
+    // MCU processing happens after proc_delay.
+    sim.schedule_after(config_.proc_delay,
+                       [this, o = std::move(obs)]() mutable { process_observation(std::move(o)); });
+  }
+  if (now + config_.sampling_period <= until) {
+    sim.schedule_after(config_.sampling_period, [this, until] { sample_tick(until); });
+  }
+}
+
+void SensorMote::process_observation(core::PhysicalObservation obs) {
+  if (failed_) return;
+  const time_model::TimePoint now = network_.simulator().now();
+  const core::Entity entity(std::move(obs));
+  if (config_.forward_raw) {
+    send_up(entity, 0);
+    return;
+  }
+  energy_.charge_eval(engine_.definition_count());
+  auto instances = engine_.observe(entity, local_time(now));
+  for (auto& inst : instances) {
+    ++stats_.events_emitted;
+    send_up(core::Entity(std::move(inst)), 0);
+  }
+}
+
+void SensorMote::enqueue(core::Entity entity) {
+  pending_batch_.push_back(std::move(entity));
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    network_.simulator().schedule_after(config_.aggregate_window, [this] { flush_batch(); });
+  }
+}
+
+void SensorMote::flush_batch() {
+  flush_scheduled_ = false;
+  if (failed_ || pending_batch_.empty() || !parent_.has_value()) {
+    pending_batch_.clear();
+    return;
+  }
+  Message msg;
+  msg.src = config_.id;
+  msg.dst = *parent_;
+  msg.payload = net::EntityBatch{std::move(pending_batch_)};
+  pending_batch_.clear();
+  msg.bytes = net::estimate_size(msg.payload);
+  msg.hops = 1;
+  ++stats_.sent_up;
+  energy_.charge_tx(msg.bytes);
+  network_.send(std::move(msg));
+}
+
+void SensorMote::send_up(net::Payload payload, std::uint32_t hops) {
+  if (!parent_.has_value()) return;  // disconnected mote
+  if (config_.aggregate_window > time_model::Duration::zero()) {
+    if (auto* entity = std::get_if<core::Entity>(&payload)) {
+      enqueue(std::move(*entity));
+      return;
+    }
+    if (auto* batch = std::get_if<net::EntityBatch>(&payload)) {
+      for (auto& e : batch->entities) enqueue(std::move(e));
+      return;
+    }
+  }
+  Message msg;
+  msg.src = config_.id;
+  msg.dst = *parent_;
+  msg.payload = std::move(payload);
+  msg.bytes = net::estimate_size(msg.payload);
+  msg.hops = hops + 1;
+  ++stats_.sent_up;
+  energy_.charge_tx(msg.bytes);
+  network_.send(std::move(msg));
+}
+
+void SensorMote::on_message(const Message& msg) {
+  if (failed_) return;  // a dead repeater drops traffic
+  energy_.charge_rx(msg.bytes);
+  // Repeater role: entities from child motes continue toward the sink.
+  if (std::holds_alternative<core::Entity>(msg.payload)) {
+    ++stats_.relayed;
+    send_up(msg.payload, msg.hops);
+  } else if (const auto* batch = std::get_if<net::EntityBatch>(&msg.payload)) {
+    stats_.relayed += batch->entities.size();
+    send_up(msg.payload, msg.hops);
+  }
+}
+
+}  // namespace stem::wsn

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "net/network.hpp"
+#include "sensing/sensor.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "wsn/energy.hpp"
+
+namespace stem::wsn {
+
+using net::Message;
+using net::NodeId;
+
+/// Per-mote counters.
+struct MoteStats {
+  std::uint64_t samples = 0;        ///< sensor samples taken
+  std::uint64_t observations = 0;   ///< non-empty observations produced
+  std::uint64_t events_emitted = 0; ///< sensor event instances emitted
+  std::uint64_t sent_up = 0;        ///< messages sent toward the sink
+  std::uint64_t relayed = 0;        ///< messages relayed for other motes
+};
+
+/// A sensor mote (paper Sec. 3): hosts sensors and an MCU running the
+/// first-level detection engine (Fig. 2's sensor event layer), plus a
+/// transceiver. Motes also "serve as repeaters to relay and aggregate
+/// packets from other motes" — any entity message a mote receives is
+/// forwarded toward its routing parent.
+class SensorMote {
+ public:
+  struct Config {
+    NodeId id;
+    geom::Point position;
+    time_model::Duration sampling_period = time_model::seconds(1);
+    /// MCU processing delay between sampling and transmission.
+    time_model::Duration proc_delay = time_model::milliseconds(5);
+    /// If true, raw observations are forwarded upstream instead of (and in
+    /// addition to nothing) local sensor-event detection — the centralized
+    /// baseline of experiment E5.
+    bool forward_raw = false;
+    /// Packet aggregation (the paper's "relay and aggregate packets"):
+    /// when positive, entities heading upstream are buffered and sent as
+    /// one EntityBatch at most every `aggregate_window`. Zero disables.
+    time_model::Duration aggregate_window = time_model::Duration::zero();
+    core::EngineOptions engine_options{};
+    EnergyModel energy_model{};
+    /// Clock-skew model: observations and sensor events are stamped with
+    /// the mote's *local* clock = true time + offset + drift. In a
+    /// distributed CPS only partial ordering is available (paper Sec. 2's
+    /// middleware discussion); these knobs let experiments quantify how
+    /// skew corrupts cross-mote temporal conditions.
+    time_model::Duration clock_offset = time_model::Duration::zero();
+    double clock_drift_ppm = 0.0;
+  };
+
+  /// The mote's local clock reading at true time `t`.
+  [[nodiscard]] time_model::TimePoint local_time(time_model::TimePoint t) const;
+
+  SensorMote(net::Network& network, Config config, sim::Rng rng);
+  SensorMote(const SensorMote&) = delete;
+  SensorMote& operator=(const SensorMote&) = delete;
+
+  void add_sensor(std::shared_ptr<const sensing::Sensor> sensor);
+  /// Registers a sensor-event definition on the mote's engine.
+  void add_definition(core::EventDefinition def) { engine_.add_definition(std::move(def)); }
+
+  /// Sets the next hop toward the sink.
+  void set_parent(NodeId parent) { parent_ = std::move(parent); }
+  [[nodiscard]] const std::optional<NodeId>& parent() const { return parent_; }
+
+  /// Starts the periodic sampling loop, running until `until`.
+  void start(time_model::TimePoint until);
+
+  /// Failure injection: the mote dies at `when` — it stops sampling,
+  /// emitting, and relaying (messages routed through it are lost, as with
+  /// a real dead repeater).
+  void fail_at(time_model::TimePoint when);
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  [[nodiscard]] const NodeId& id() const { return config_.id; }
+  [[nodiscard]] geom::Point position() const { return config_.position; }
+  [[nodiscard]] const MoteStats& stats() const { return stats_; }
+  [[nodiscard]] core::DetectionEngine& engine() { return engine_; }
+  /// Battery drain so far (see EnergyModel).
+  [[nodiscard]] const EnergyAccount& energy() const { return energy_; }
+
+ private:
+  void sample_tick(time_model::TimePoint until);
+  void process_observation(core::PhysicalObservation obs);
+  void send_up(net::Payload payload, std::uint32_t hops);
+  void enqueue(core::Entity entity);
+  void flush_batch();
+  void on_message(const Message& msg);
+
+  net::Network& network_;
+  Config config_;
+  sim::Rng rng_;
+  core::DetectionEngine engine_;
+  std::vector<std::shared_ptr<const sensing::Sensor>> sensors_;
+  std::vector<std::uint64_t> next_seq_;  // per sensor
+  std::optional<NodeId> parent_;
+  std::vector<core::Entity> pending_batch_;
+  bool flush_scheduled_ = false;
+  bool failed_ = false;
+  MoteStats stats_;
+  EnergyAccount energy_;
+};
+
+}  // namespace stem::wsn

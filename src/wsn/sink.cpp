@@ -1,0 +1,71 @@
+#include "wsn/sink.hpp"
+
+namespace stem::wsn {
+
+SinkNode::SinkNode(net::Network& network, net::Broker* broker, Config config)
+    : network_(network),
+      broker_(broker),
+      config_(std::move(config)),
+      engine_(config_.id, core::Layer::kCyberPhysical, config_.position,
+              config_.engine_options) {
+  network_.register_node(config_.id, [this](const net::Message& msg) { on_message(msg); });
+}
+
+void SinkNode::enable_localization(Localizer::Config lconfig) {
+  localizer_ = std::make_unique<Localizer>(std::move(lconfig));
+}
+
+void SinkNode::on_message(const net::Message& msg) {
+  if (const auto* batch = std::get_if<net::EntityBatch>(&msg.payload)) {
+    stats_.entities_received += batch->entities.size();
+    network_.simulator().schedule_after(config_.proc_delay, [this, b = *batch] {
+      for (const auto& e : b.entities) process_entity(e);
+    });
+    return;
+  }
+  const auto* entity = std::get_if<core::Entity>(&msg.payload);
+  if (entity == nullptr) return;
+  ++stats_.entities_received;
+  network_.simulator().schedule_after(
+      config_.proc_delay, [this, e = *entity] { process_entity(e); });
+}
+
+void SinkNode::process_entity(const core::Entity& entity) {
+  const time_model::TimePoint now = network_.simulator().now();
+
+  if (localizer_ != nullptr && entity.is_instance()) {
+    if (auto located = localizer_->on_event(entity.instance(), now, config_.id,
+                                            config_.position)) {
+      // The location estimate is itself an entity for the sink's engine
+      // (e.g. zone-entry conditions over the estimated position).
+      auto derived = engine_.observe(core::Entity(*located), now);
+      emit(*std::move(located));
+      for (auto& inst : derived) emit(std::move(inst));
+    }
+  }
+
+  std::vector<core::EventInstance> frontier = engine_.observe(entity, now);
+  while (!frontier.empty()) {
+    std::vector<core::EventInstance> next;
+    if (config_.cascade) {
+      for (const auto& inst : frontier) {
+        auto derived = engine_.observe(core::Entity(inst), now);
+        for (auto& d : derived) next.push_back(std::move(d));
+      }
+    }
+    for (auto& inst : frontier) emit(std::move(inst));
+    frontier = std::move(next);
+  }
+}
+
+void SinkNode::emit(core::EventInstance inst) {
+  ++stats_.instances_emitted;
+  for (const auto& cb : callbacks_) cb(inst);
+  emitted_.push_back(inst);
+  if (broker_ != nullptr && network_.linked(config_.id, broker_->id())) {
+    ++stats_.published;
+    broker_->publish(config_.id, core::Entity(std::move(inst)));
+  }
+}
+
+}  // namespace stem::wsn

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "net/broker.hpp"
+#include "net/network.hpp"
+#include "wsn/localizer.hpp"
+
+namespace stem::wsn {
+
+/// Per-sink counters.
+struct SinkStats {
+  std::uint64_t entities_received = 0;
+  std::uint64_t instances_emitted = 0;
+  std::uint64_t published = 0;
+};
+
+/// A WSN sink node (paper Sec. 3): a special mote that aggregates sensor
+/// events from its sensor network and serves as the second-level observer
+/// (Fig. 2's cyber-physical event layer). Detected cyber-physical event
+/// instances are published on the CPS network's broker.
+class SinkNode {
+ public:
+  struct Config {
+    net::NodeId id;
+    geom::Point position;
+    /// Processing delay between receiving an entity and evaluating it.
+    time_model::Duration proc_delay = time_model::milliseconds(10);
+    /// If true, instances the sink emits are re-fed to its own engine so
+    /// multi-level definitions resolve in one place (the centralized
+    /// configuration of experiments E5/E8).
+    bool cascade = false;
+    core::EngineOptions engine_options{};
+  };
+
+  /// `broker` may be null for closed-world tests; instances are then only
+  /// recorded locally.
+  SinkNode(net::Network& network, net::Broker* broker, Config config);
+  SinkNode(const SinkNode&) = delete;
+  SinkNode& operator=(const SinkNode&) = delete;
+
+  /// Registers a cyber-physical event definition.
+  void add_definition(core::EventDefinition def) { engine_.add_definition(std::move(def)); }
+  /// Enables range-event localization (see Localizer).
+  void enable_localization(Localizer::Config config);
+
+  /// Callback invoked for every emitted instance (besides publication).
+  void on_instance(std::function<void(const core::EventInstance&)> callback) {
+    callbacks_.push_back(std::move(callback));
+  }
+
+  [[nodiscard]] const net::NodeId& id() const { return config_.id; }
+  [[nodiscard]] geom::Point position() const { return config_.position; }
+  [[nodiscard]] const SinkStats& stats() const { return stats_; }
+  [[nodiscard]] core::DetectionEngine& engine() { return engine_; }
+  /// Every instance this sink has emitted (engine + localizer).
+  [[nodiscard]] const std::vector<core::EventInstance>& emitted() const { return emitted_; }
+
+ private:
+  void on_message(const net::Message& msg);
+  void process_entity(const core::Entity& entity);
+  void emit(core::EventInstance inst);
+
+  net::Network& network_;
+  net::Broker* broker_;
+  Config config_;
+  core::DetectionEngine engine_;
+  std::unique_ptr<Localizer> localizer_;
+  std::vector<std::function<void(const core::EventInstance&)>> callbacks_;
+  std::vector<core::EventInstance> emitted_;
+  SinkStats stats_;
+};
+
+}  // namespace stem::wsn

@@ -1,0 +1,86 @@
+#include "wsn/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "sim/random.hpp"
+
+namespace stem::wsn {
+
+std::size_t Topology::connected_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(depth.begin(), depth.end(), [](int d) { return d >= 0; }));
+}
+
+int Topology::max_depth() const {
+  int best = -1;
+  for (const int d : depth) best = std::max(best, d);
+  return best;
+}
+
+Topology build_topology(const TopologyConfig& config) {
+  Topology topo;
+  sim::Rng rng(config.seed);
+
+  // Sinks on an even diagonal-ish grid across the area.
+  for (std::size_t s = 0; s < config.sinks; ++s) {
+    const double frac = (static_cast<double>(s) + 0.5) / static_cast<double>(config.sinks);
+    topo.sink_positions.push_back({config.width * frac, config.height * frac});
+  }
+
+  // Motes.
+  if (config.placement == TopologyConfig::Placement::kGrid) {
+    const auto side = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(config.motes))));
+    for (std::size_t i = 0; i < config.motes; ++i) {
+      const double gx = static_cast<double>(i % side) + 0.5;
+      const double gy = static_cast<double>(i / side) + 0.5;
+      topo.mote_positions.push_back(
+          {config.width * gx / static_cast<double>(side),
+           config.height * gy / static_cast<double>(side)});
+    }
+  } else {
+    for (std::size_t i = 0; i < config.motes; ++i) {
+      topo.mote_positions.push_back(
+          {rng.uniform(0.0, config.width), rng.uniform(0.0, config.height)});
+    }
+  }
+
+  const std::size_t n = config.motes;
+  topo.parent_mote.assign(n, std::nullopt);
+  topo.parent_sink.assign(n, std::nullopt);
+  topo.depth.assign(n, -1);
+
+  const double range2 = config.radio_range * config.radio_range;
+  const auto in_range = [&](geom::Point a, geom::Point b) {
+    return geom::distance2(a, b) <= range2;
+  };
+
+  // Multi-source BFS from the sinks.
+  std::queue<std::size_t> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s = 0; s < topo.sink_positions.size(); ++s) {
+      if (in_range(topo.mote_positions[i], topo.sink_positions[s])) {
+        topo.parent_sink[i] = s;
+        topo.depth[i] = 1;
+        frontier.push(i);
+        break;
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (topo.depth[v] >= 0) continue;
+      if (!in_range(topo.mote_positions[u], topo.mote_positions[v])) continue;
+      topo.parent_mote[v] = u;
+      topo.depth[v] = topo.depth[u] + 1;
+      frontier.push(v);
+    }
+  }
+  return topo;
+}
+
+}  // namespace stem::wsn

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "net/network.hpp"
+
+namespace stem::wsn {
+
+/// Parameters for generating a sensor-network deployment.
+struct TopologyConfig {
+  double width = 100.0;   ///< deployment area (meters)
+  double height = 100.0;
+  std::size_t motes = 16;
+  std::size_t sinks = 1;
+  double radio_range = 30.0;  ///< single-hop radio reach (meters)
+  std::uint64_t seed = 1;
+  enum class Placement { kUniform, kGrid } placement = Placement::kUniform;
+};
+
+/// A generated deployment: mote/sink positions and the routing tree.
+/// Parents are encoded as: parent_mote[i] is the index of mote i's parent
+/// mote, or nullopt if mote i's parent is a sink (see parent_sink) or the
+/// mote is disconnected.
+struct Topology {
+  std::vector<geom::Point> mote_positions;
+  std::vector<geom::Point> sink_positions;
+  std::vector<std::optional<std::size_t>> parent_mote;
+  std::vector<std::optional<std::size_t>> parent_sink;
+  std::vector<int> depth;  ///< hops to the owning sink; -1 if disconnected
+
+  [[nodiscard]] bool connected(std::size_t mote) const {
+    return depth[mote] >= 0;
+  }
+  [[nodiscard]] std::size_t connected_count() const;
+  [[nodiscard]] int max_depth() const;
+};
+
+/// Places motes and sinks and builds a shortest-hop routing forest (BFS
+/// from the sinks over the radio-range connectivity graph). Sinks are
+/// placed on an even grid; motes per `placement`.
+[[nodiscard]] Topology build_topology(const TopologyConfig& config);
+
+}  // namespace stem::wsn

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/accuracy.hpp"
+#include "sensing/phenomena.hpp"
+#include "sensing/sensor.hpp"
+#include "wsn/mote.hpp"
+
+namespace stem {
+namespace {
+
+using core::EventInstance;
+using core::EventInstanceKey;
+using core::EventTypeId;
+using core::ObserverId;
+using geom::Location;
+using geom::Point;
+using time_model::milliseconds;
+using time_model::seconds;
+using time_model::TimePoint;
+
+sensing::PhysicalEvent truth_at(TimePoint t, Point p) {
+  sensing::PhysicalEvent e;
+  e.id = EventTypeId("P");
+  e.time = time_model::OccurrenceTime(t);
+  e.location = Location(p);
+  return e;
+}
+
+EventInstance detection_at(TimePoint t, Point p, std::uint64_t seq) {
+  EventInstance inst;
+  inst.key = EventInstanceKey{ObserverId("S"), EventTypeId("D"), seq};
+  inst.layer = core::Layer::kCyberPhysical;
+  inst.gen_time = t;
+  inst.est_time = time_model::OccurrenceTime(t);
+  inst.est_location = Location(p);
+  return inst;
+}
+
+TEST(AccuracyTest, PerfectDetection) {
+  const auto t1 = truth_at(TimePoint(1'000'000), {10, 10});
+  const auto t2 = truth_at(TimePoint(5'000'000), {20, 20});
+  const auto d1 = detection_at(TimePoint(1'200'000), {11, 10}, 0);
+  const auto d2 = detection_at(TimePoint(5'100'000), {20, 21}, 1);
+
+  const auto report = analysis::score_detections({&t1, &t2}, {&d1, &d2});
+  EXPECT_EQ(report.matched, 2u);
+  EXPECT_DOUBLE_EQ(report.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(report.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(report.f1(), 1.0);
+  EXPECT_NEAR(report.mean_time_error_ms, 150.0, 1e-9);  // (200 + 100) / 2
+  EXPECT_NEAR(report.mean_space_error_m, 1.0, 1e-9);
+}
+
+TEST(AccuracyTest, MissesAndFalsePositives) {
+  const auto t1 = truth_at(TimePoint(1'000'000), {10, 10});
+  const auto t2 = truth_at(TimePoint(60'000'000), {20, 20});  // never detected
+  const auto d1 = detection_at(TimePoint(1'100'000), {10, 10}, 0);
+  const auto fp = detection_at(TimePoint(30'000'000), {90, 90}, 1);  // matches nothing
+
+  const auto report = analysis::score_detections({&t1, &t2}, {&d1, &fp});
+  EXPECT_EQ(report.matched, 1u);
+  EXPECT_DOUBLE_EQ(report.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(report.recall(), 0.5);
+  EXPECT_NEAR(report.f1(), 0.5, 1e-12);
+}
+
+TEST(AccuracyTest, OneToOneMatching) {
+  // Two detections of the same truth: only one may match.
+  const auto t1 = truth_at(TimePoint(1'000'000), {10, 10});
+  const auto d1 = detection_at(TimePoint(1'100'000), {10, 10}, 0);
+  const auto d2 = detection_at(TimePoint(1'200'000), {10, 10}, 1);
+  const auto report = analysis::score_detections({&t1}, {&d1, &d2});
+  EXPECT_EQ(report.matched, 1u);
+  EXPECT_DOUBLE_EQ(report.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(report.recall(), 1.0);
+}
+
+TEST(AccuracyTest, TolerancesGateMatching) {
+  const auto t1 = truth_at(TimePoint(0), {0, 0});
+  const auto late = detection_at(TimePoint(0) + seconds(30), {0, 0}, 0);
+  analysis::MatchConfig strict;
+  strict.time_tolerance = seconds(10);
+  EXPECT_EQ(analysis::score_detections({&t1}, {&late}, strict).matched, 0u);
+
+  const auto displaced = detection_at(TimePoint(1000), {100, 0}, 1);
+  analysis::MatchConfig tight_space;
+  tight_space.space_tolerance = 10.0;
+  EXPECT_EQ(analysis::score_detections({&t1}, {&displaced}, tight_space).matched, 0u);
+  analysis::MatchConfig no_space;
+  no_space.space_tolerance = 0.0;  // disabled
+  EXPECT_EQ(analysis::score_detections({&t1}, {&displaced}, no_space).matched, 1u);
+}
+
+TEST(AccuracyTest, EmptyInputsAreSafe) {
+  const auto report = analysis::score_detections({}, {});
+  EXPECT_DOUBLE_EQ(report.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(report.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(report.f1(), 0.0);
+}
+
+// --- Clock skew --------------------------------------------------------------
+
+TEST(ClockSkewTest, LocalTimeAppliesOffsetAndDrift) {
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(1));
+  wsn::SensorMote::Config cfg;
+  cfg.id = net::NodeId("MT1");
+  cfg.position = {0, 0};
+  cfg.clock_offset = seconds(2);
+  cfg.clock_drift_ppm = 100.0;  // 100 us per second
+  wsn::SensorMote mote(network, cfg, sim::Rng(2));
+
+  const TimePoint t = TimePoint::epoch() + seconds(1000);
+  // offset 2 s + drift 1000 s * 100 ppm = 0.1 s.
+  EXPECT_EQ(mote.local_time(t), t + seconds(2) + milliseconds(100));
+  EXPECT_EQ(mote.local_time(TimePoint::epoch()), TimePoint::epoch() + seconds(2));
+}
+
+TEST(ClockSkewTest, SkewCorruptsCrossMoteOrdering) {
+  // Mote A samples a rising edge *before* mote B, but A's clock runs 3 s
+  // ahead — so at the sink, A's timestamps appear AFTER B's, and the
+  // "a before b" condition inverts. This is the partial-ordering hazard
+  // the paper's Sec. 2 middleware discussion warns about.
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(3));
+
+  const auto make_obs_entity = [](const char* mote, TimePoint stamped) {
+    core::PhysicalObservation o;
+    o.mote = ObserverId(mote);
+    o.sensor = core::SensorId("SR");
+    o.time = stamped;
+    o.location = Location(Point{0, 0});
+    o.attributes.set("value", 1.0);
+    return core::Entity(std::move(o));
+  };
+
+  core::EventDefinition seq_def{
+      EventTypeId("SEQ"),
+      {{"a", core::SlotFilter::observation(core::SensorId("SR")).from(ObserverId("A"))},
+       {"b", core::SlotFilter::observation(core::SensorId("SR")).from(ObserverId("B"))}},
+      core::c_time(0, time_model::TemporalOp::kBefore, 1),
+      seconds(60),
+      {},
+      core::ConsumptionMode::kConsume};
+
+  // True order: A at t=1s, B at t=2s. Perfect clocks detect the sequence.
+  core::DetectionEngine honest(ObserverId("SINK"), core::Layer::kCyberPhysical, {0, 0});
+  honest.add_definition(seq_def);
+  honest.observe(make_obs_entity("A", TimePoint::epoch() + seconds(1)),
+                 TimePoint::epoch() + seconds(1));
+  EXPECT_EQ(honest
+                .observe(make_obs_entity("B", TimePoint::epoch() + seconds(2)),
+                         TimePoint::epoch() + seconds(2))
+                .size(),
+            1u);
+
+  // A's clock +3 s: stamped times invert the order; detection is lost.
+  core::DetectionEngine skewed(ObserverId("SINK"), core::Layer::kCyberPhysical, {0, 0});
+  skewed.add_definition(seq_def);
+  skewed.observe(make_obs_entity("A", TimePoint::epoch() + seconds(4)),  // 1s + 3s skew
+                 TimePoint::epoch() + seconds(1));
+  EXPECT_TRUE(skewed
+                  .observe(make_obs_entity("B", TimePoint::epoch() + seconds(2)),
+                           TimePoint::epoch() + seconds(2))
+                  .empty());
+}
+
+}  // namespace
+}  // namespace stem

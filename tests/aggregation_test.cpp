@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sensing/phenomena.hpp"
+#include "sensing/sensor.hpp"
+#include "wsn/mote.hpp"
+#include "wsn/sink.hpp"
+
+namespace stem::wsn {
+namespace {
+
+using core::EventTypeId;
+using core::ObserverId;
+using core::SensorId;
+using time_model::milliseconds;
+using time_model::seconds;
+using time_model::TimePoint;
+
+core::EventDefinition always_def() {
+  core::EventDefinition def{
+      EventTypeId("E"),
+      {{"x", core::SlotFilter::observation(SensorId("SR"))}},
+      core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt, 0.0),
+      seconds(60),
+      {},
+      core::ConsumptionMode::kConsume};
+  def.synthesis.attributes.push_back(
+      core::AttributeRule{"value", core::ValueAggregate::kAverage, "value", {0}});
+  return def;
+}
+
+struct AggFixture : ::testing::Test {
+  AggFixture() : network(simulator, sim::Rng(8)) {}
+
+  SensorMote& make_mote(const char* id, time_model::Duration aggregate_window) {
+    SensorMote::Config cfg;
+    cfg.id = ObserverId(id);
+    cfg.position = {0, 0};
+    cfg.sampling_period = milliseconds(250);
+    cfg.aggregate_window = aggregate_window;
+    motes.push_back(std::make_unique<SensorMote>(network, cfg, sim::Rng(1)));
+    auto& mote = *motes.back();
+    mote.add_sensor(std::make_shared<sensing::ScalarFieldSensor>(
+        SensorId("SR"), std::make_shared<sensing::UniformField>(50.0), 0.0));
+    mote.add_definition(always_def());
+    return mote;
+  }
+
+  SinkNode& make_sink() {
+    SinkNode::Config cfg;
+    cfg.id = ObserverId("SINK");
+    cfg.position = {10, 0};
+    sink = std::make_unique<SinkNode>(network, nullptr, cfg);
+    sink->add_definition(core::EventDefinition{
+        EventTypeId("CP"),
+        {{"e", core::SlotFilter::instance_of(EventTypeId("E"))}},
+        core::c_confidence(core::ValueAggregate::kMin, {0}, core::RelationalOp::kGe, 0.0),
+        seconds(60),
+        {},
+        core::ConsumptionMode::kConsume});
+    return *sink;
+  }
+
+  static net::LinkSpec quiet() {
+    net::LinkSpec l;
+    l.jitter = time_model::Duration::zero();
+    l.bytes_per_ms = 0.0;
+    return l;
+  }
+
+  sim::Simulator simulator;
+  net::Network network;
+  std::vector<std::unique_ptr<SensorMote>> motes;
+  std::unique_ptr<SinkNode> sink;
+};
+
+TEST_F(AggFixture, BatchingReducesMessagesNotDetections) {
+  auto& mote = make_mote("MT1", seconds(1));  // 4 samples per batch window
+  auto& s = make_sink();
+  network.connect(ObserverId("MT1"), ObserverId("SINK"), quiet());
+  mote.set_parent(ObserverId("SINK"));
+  mote.start(TimePoint::epoch() + seconds(4));
+  simulator.run();
+
+  // 16 sensor events in 4 s but only ~4 batch messages.
+  EXPECT_EQ(mote.stats().events_emitted, 16u);
+  EXPECT_LE(mote.stats().sent_up, 5u);
+  EXPECT_EQ(s.stats().entities_received, 16u);   // nothing lost
+  EXPECT_EQ(s.stats().instances_emitted, 16u);   // same detections
+}
+
+TEST_F(AggFixture, UnbatchedBaselineSendsPerEvent) {
+  auto& mote = make_mote("MT1", time_model::Duration::zero());
+  auto& s = make_sink();
+  network.connect(ObserverId("MT1"), ObserverId("SINK"), quiet());
+  mote.set_parent(ObserverId("SINK"));
+  mote.start(TimePoint::epoch() + seconds(4));
+  simulator.run();
+  EXPECT_EQ(mote.stats().sent_up, 16u);
+  EXPECT_EQ(s.stats().instances_emitted, 16u);
+}
+
+TEST_F(AggFixture, BatchBytesBeatPerMessageBytes) {
+  // Same workload, measure network bytes with and without batching.
+  auto& batched = make_mote("MT_b", seconds(1));
+  auto& s = make_sink();
+  network.connect(ObserverId("MT_b"), ObserverId("SINK"), quiet());
+  batched.set_parent(ObserverId("SINK"));
+  batched.start(TimePoint::epoch() + seconds(4));
+  simulator.run();
+  const std::uint64_t batched_bytes = network.stats().bytes_sent;
+  EXPECT_EQ(s.stats().entities_received, 16u);
+
+  // Fresh network for the unbatched run.
+  sim::Simulator sim2;
+  net::Network net2(sim2, sim::Rng(8));
+  SensorMote::Config cfg;
+  cfg.id = ObserverId("MT_u");
+  cfg.position = {0, 0};
+  cfg.sampling_period = milliseconds(250);
+  SensorMote unbatched(net2, cfg, sim::Rng(1));
+  unbatched.add_sensor(std::make_shared<sensing::ScalarFieldSensor>(
+      SensorId("SR"), std::make_shared<sensing::UniformField>(50.0), 0.0));
+  unbatched.add_definition(always_def());
+  net2.register_node(ObserverId("SINK"), [](const net::Message&) {});
+  net2.connect(ObserverId("MT_u"), ObserverId("SINK"), quiet());
+  unbatched.set_parent(ObserverId("SINK"));
+  unbatched.start(TimePoint::epoch() + seconds(4));
+  sim2.run();
+
+  EXPECT_LT(batched_bytes, net2.stats().bytes_sent);  // shared headers pay off
+}
+
+TEST_F(AggFixture, RelayMergesChildBatches) {
+  auto& leaf = make_mote("LEAF", seconds(1));
+  auto& relay = make_mote("RELAY", seconds(1));
+  auto& s = make_sink();
+  network.connect(ObserverId("LEAF"), ObserverId("RELAY"), quiet());
+  network.connect(ObserverId("RELAY"), ObserverId("SINK"), quiet());
+  leaf.set_parent(ObserverId("RELAY"));
+  relay.set_parent(ObserverId("SINK"));
+  leaf.start(TimePoint::epoch() + seconds(3));
+  relay.start(TimePoint::epoch() + seconds(3));
+  simulator.run();
+
+  // All events from both motes arrive despite double batching.
+  EXPECT_EQ(s.stats().entities_received,
+            leaf.stats().events_emitted + relay.stats().events_emitted);
+  EXPECT_GT(relay.stats().relayed, 0u);
+}
+
+TEST_F(AggFixture, BatchingAddsBoundedLatency) {
+  auto& mote = make_mote("MT1", seconds(1));
+  auto& s = make_sink();
+  network.connect(ObserverId("MT1"), ObserverId("SINK"), quiet());
+  mote.set_parent(ObserverId("SINK"));
+
+  time_model::TimePoint first_arrival = TimePoint::max();
+  s.on_instance([&](const core::EventInstance& inst) {
+    if (inst.gen_time < first_arrival) first_arrival = inst.gen_time;
+  });
+  mote.start(TimePoint::epoch() + seconds(4));
+  simulator.run();
+
+  // First sample at 250 ms; batch flushes one aggregate_window later, so
+  // the first CP instance appears within ~1.3 s (batching delay bounded by
+  // the window), not immediately.
+  EXPECT_GT(first_arrival, TimePoint::epoch() + seconds(1));
+  EXPECT_LT(first_arrival, TimePoint::epoch() + milliseconds(1500));
+}
+
+TEST(EntityBatchSizeTest, SharedHeaderSmallerThanSumOfMessages) {
+  core::PhysicalObservation obs;
+  obs.mote = ObserverId("MT1");
+  obs.sensor = SensorId("SR");
+  obs.location = geom::Location(geom::Point{0, 0});
+  obs.attributes.set("value", 1.0);
+
+  net::EntityBatch batch;
+  for (int i = 0; i < 8; ++i) batch.entities.push_back(core::Entity(obs));
+  const std::size_t batch_size = net::estimate_size(net::Payload(batch));
+  const std::size_t single = net::estimate_size(net::Payload(core::Entity(obs)));
+  EXPECT_LT(batch_size, 8 * single);
+  EXPECT_GT(batch_size, single);  // still carries all eight bodies
+}
+
+}  // namespace
+}  // namespace stem::wsn

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "analysis/edl.hpp"
+#include "baseline/flat.hpp"
+#include "baseline/point_only.hpp"
+
+namespace stem {
+namespace {
+
+using core::EventInstance;
+using core::EventInstanceKey;
+using core::EventTypeId;
+using core::Layer;
+using core::ObserverId;
+using core::SensorId;
+using geom::Location;
+using geom::Point;
+using geom::Polygon;
+using time_model::milliseconds;
+using time_model::OccurrenceTime;
+using time_model::seconds;
+using time_model::TimeInterval;
+using time_model::TimePoint;
+
+EventInstance interval_instance(const char* event, TimePoint b, TimePoint e, Location loc) {
+  EventInstance inst;
+  inst.key = EventInstanceKey{ObserverId("MT1"), EventTypeId(event), 0};
+  inst.layer = Layer::kSensor;
+  inst.gen_time = e;
+  inst.est_time = OccurrenceTime(TimeInterval(b, e));
+  inst.est_location = std::move(loc);
+  return inst;
+}
+
+TEST(DegradeToPointTest, CollapsesTimeAndSpace) {
+  const core::Entity full(interval_instance(
+      "E", TimePoint(100), TimePoint(200), Location(Polygon::rectangle({0, 0}, {10, 10}))));
+  const core::Entity degraded = baseline::degrade_to_point(full);
+  EXPECT_TRUE(degraded.instance().est_time.is_punctual());
+  EXPECT_EQ(degraded.instance().est_time.as_point(), TimePoint(200));  // interval end
+  EXPECT_TRUE(degraded.instance().est_location.is_point());
+  EXPECT_TRUE(geom::almost_equal(degraded.instance().est_location.as_point(), {5, 5}));
+}
+
+TEST(DegradeToPointTest, ObservationLocationCollapses) {
+  core::PhysicalObservation obs;
+  obs.mote = ObserverId("MT1");
+  obs.sensor = SensorId("SR");
+  obs.time = TimePoint(50);
+  obs.location = Location(Polygon::rectangle({0, 0}, {4, 4}));
+  const core::Entity degraded = baseline::degrade_to_point(core::Entity(obs));
+  EXPECT_TRUE(degraded.observation().location.is_point());
+}
+
+TEST(PointOnlyEngineTest, MissesIntervalOverlapScenario) {
+  // Scenario: two interval events that OVERLAP. The full model detects the
+  // overlap; the point-only model sees two points (the interval ends) and
+  // cannot.
+  core::EventDefinition def{
+      EventTypeId("OVERLAP"),
+      {{"a", core::SlotFilter::instance_of(EventTypeId("A"))},
+       {"b", core::SlotFilter::instance_of(EventTypeId("B"))}},
+      core::c_time(0, time_model::TemporalOp::kOverlaps, 1),
+      seconds(60),
+      {},
+      core::ConsumptionMode::kConsume};
+
+  const auto a = core::Entity(interval_instance("A", TimePoint(0), TimePoint(100),
+                                                Location(Point{0, 0})));
+  auto b_inst = interval_instance("B", TimePoint(50), TimePoint(150), Location(Point{0, 0}));
+  b_inst.key.event = EventTypeId("B");
+  const auto b = core::Entity(b_inst);
+
+  core::DetectionEngine full(ObserverId("FULL"), Layer::kCyber, {0, 0});
+  full.add_definition(def);
+  full.observe(a, TimePoint(100));
+  EXPECT_EQ(full.observe(b, TimePoint(150)).size(), 1u);  // full model detects
+
+  baseline::PointOnlyEngine degraded(ObserverId("ECA"), Layer::kCyber, {0, 0});
+  degraded.add_definition(def);
+  degraded.observe(a, TimePoint(100));
+  EXPECT_TRUE(degraded.observe(b, TimePoint(150)).empty());  // baseline misses
+}
+
+TEST(PointOnlyEngineTest, MissesFieldContainmentScenario) {
+  // Scenario: point event inside a field event. The point-only model
+  // collapses the field to its centroid, so Inside can no longer hold
+  // (a point is only inside a point if coincident).
+  core::EventDefinition def{
+      EventTypeId("IN_ZONE"),
+      {{"p", core::SlotFilter::instance_of(EventTypeId("P"))},
+       {"f", core::SlotFilter::instance_of(EventTypeId("F"))}},
+      core::c_space(0, geom::SpatialOp::kInside, 1),
+      seconds(60),
+      {},
+      core::ConsumptionMode::kConsume};
+
+  auto p_inst = interval_instance("P", TimePoint(10), TimePoint(10), Location(Point{2, 2}));
+  auto f_inst = interval_instance("F", TimePoint(20), TimePoint(20),
+                                  Location(Polygon::rectangle({0, 0}, {10, 10})));
+  f_inst.key.event = EventTypeId("F");
+
+  core::DetectionEngine full(ObserverId("FULL"), Layer::kCyber, {0, 0});
+  full.add_definition(def);
+  full.observe(core::Entity(p_inst), TimePoint(10));
+  EXPECT_EQ(full.observe(core::Entity(f_inst), TimePoint(20)).size(), 1u);
+
+  baseline::PointOnlyEngine degraded(ObserverId("ECA"), Layer::kCyber, {0, 0});
+  degraded.add_definition(def);
+  degraded.observe(core::Entity(p_inst), TimePoint(10));
+  EXPECT_TRUE(degraded.observe(core::Entity(f_inst), TimePoint(20)).empty());
+}
+
+TEST(PointOnlyEngineTest, AgreesOnPurePointScenarios) {
+  // Sanity: where only point semantics are involved, the baseline matches.
+  core::EventDefinition def{
+      EventTypeId("SEQ"),
+      {{"a", core::SlotFilter::instance_of(EventTypeId("A"))},
+       {"b", core::SlotFilter::instance_of(EventTypeId("B"))}},
+      core::c_time(0, time_model::TemporalOp::kBefore, 1),
+      seconds(60),
+      {},
+      core::ConsumptionMode::kConsume};
+
+  auto a_inst = interval_instance("A", TimePoint(10), TimePoint(10), Location(Point{0, 0}));
+  auto b_inst = interval_instance("B", TimePoint(30), TimePoint(30), Location(Point{0, 0}));
+  b_inst.key.event = EventTypeId("B");
+
+  baseline::PointOnlyEngine degraded(ObserverId("ECA"), Layer::kCyber, {0, 0});
+  degraded.add_definition(def);
+  degraded.observe(core::Entity(a_inst), TimePoint(10));
+  EXPECT_EQ(degraded.observe(core::Entity(b_inst), TimePoint(30)).size(), 1u);
+}
+
+TEST(FlatCollectorTest, CascadesMultiLevelDefinitions) {
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(2));
+  baseline::FlatCollector flat(network, {ObserverId("CENTER"), {0, 0}, milliseconds(1), {}});
+  network.register_node(ObserverId("MT1"), [](const net::Message&) {});
+  network.connect(ObserverId("MT1"), ObserverId("CENTER"), net::LinkSpec{});
+
+  // Level 1: observation value > 50 -> HOT. Level 2: HOT -> ALARM.
+  core::EventDefinition hot{
+      EventTypeId("HOT"),
+      {{"x", core::SlotFilter::observation(SensorId("SRtemp"))}},
+      core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt, 50.0),
+      seconds(60),
+      {},
+      core::ConsumptionMode::kConsume};
+  core::EventDefinition alarm{
+      EventTypeId("ALARM"),
+      {{"h", core::SlotFilter::instance_of(EventTypeId("HOT"))}},
+      core::c_confidence(core::ValueAggregate::kMin, {0}, core::RelationalOp::kGe, 0.0),
+      seconds(60),
+      {},
+      core::ConsumptionMode::kConsume};
+  flat.add_definition(hot);
+  flat.add_definition(alarm);
+
+  core::PhysicalObservation obs;
+  obs.mote = ObserverId("MT1");
+  obs.sensor = SensorId("SRtemp");
+  obs.time = TimePoint(0);
+  obs.location = Location(Point{5, 5});
+  obs.attributes.set("value", 90.0);
+
+  net::Message msg;
+  msg.src = ObserverId("MT1");
+  msg.dst = ObserverId("CENTER");
+  msg.payload = core::Entity(obs);
+  network.send(std::move(msg));
+  simulator.run();
+
+  EXPECT_EQ(flat.received(), 1u);
+  ASSERT_EQ(flat.detected().size(), 2u);
+  EXPECT_EQ(flat.detected()[0].key.event, EventTypeId("HOT"));
+  EXPECT_EQ(flat.detected()[1].key.event, EventTypeId("ALARM"));
+}
+
+// --- EDL -----------------------------------------------------------------------
+
+TEST(EdlModelTest, DecompositionAddsUp) {
+  analysis::EdlModel m;
+  m.sampling_period = seconds(2);
+  m.mote_proc = milliseconds(5);
+  m.hop_latency = milliseconds(3);
+  m.hops = 4;
+  m.sink_proc = milliseconds(10);
+  m.net_latency = milliseconds(3);
+  m.ccu_proc = milliseconds(20);
+
+  // E = 1000 + 5 + 12 + 10 + 6 + 20 = 1053 ms.
+  EXPECT_EQ(m.expected(), milliseconds(1053));
+  EXPECT_EQ(m.worst_case(), milliseconds(1053) + seconds(1));
+  // Per-layer cuts.
+  EXPECT_EQ(m.expected_at(core::Layer::kSensor), milliseconds(1005));
+  EXPECT_EQ(m.expected_at(core::Layer::kCyberPhysical), milliseconds(1027));
+  EXPECT_EQ(m.expected_at(core::Layer::kCyber), milliseconds(1053));
+}
+
+TEST(EdlModelTest, MonotoneInHops) {
+  analysis::EdlModel m;
+  for (int h = 1; h < 8; ++h) {
+    analysis::EdlModel more = m;
+    m.hops = h;
+    more.hops = h + 1;
+    EXPECT_LT(m.expected(), more.expected());
+  }
+}
+
+TEST(EdlTrackerTest, RecordsPerEventType) {
+  analysis::EdlTracker tracker;
+  for (int i = 1; i <= 100; ++i) {
+    tracker.record(EventTypeId("A"), TimePoint(0), TimePoint(0) + milliseconds(i));
+  }
+  tracker.record(EventTypeId("B"), TimePoint(0), TimePoint(0) + milliseconds(500));
+
+  EXPECT_EQ(tracker.count(EventTypeId("A")), 100u);
+  EXPECT_EQ(tracker.count(EventTypeId("B")), 1u);
+  EXPECT_EQ(tracker.count(EventTypeId("C")), 0u);
+  EXPECT_DOUBLE_EQ(tracker.percentile_ms(EventTypeId("A"), 50), 50.0);
+  EXPECT_DOUBLE_EQ(tracker.percentile_ms(EventTypeId("A"), 99), 99.0);
+  EXPECT_DOUBLE_EQ(tracker.mean_ms(EventTypeId("A")), 50.5);
+  EXPECT_DOUBLE_EQ(tracker.mean_ms(EventTypeId("B")), 500.0);
+}
+
+TEST(EdlTrackerTest, InstanceOverloadUsesGenTime) {
+  analysis::EdlTracker tracker;
+  EventInstance inst = interval_instance("X", TimePoint(0), TimePoint(0), Location(Point{0, 0}));
+  inst.gen_time = TimePoint(0) + milliseconds(42);
+  tracker.record(inst, TimePoint(0));
+  EXPECT_DOUBLE_EQ(tracker.mean_ms(EventTypeId("X")), 42.0);
+}
+
+}  // namespace
+}  // namespace stem

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "geom/clip.hpp"
+#include "sim/random.hpp"
+
+namespace stem::geom {
+namespace {
+
+TEST(ConvexityTest, ClassifiesShapes) {
+  EXPECT_TRUE(is_convex(Polygon::rectangle({0, 0}, {4, 4})));
+  EXPECT_TRUE(is_convex(Polygon::disk({0, 0}, 5, 16)));
+  EXPECT_TRUE(is_convex(Polygon({{0, 0}, {4, 0}, {2, 3}})));
+  // A "U" shape is not convex.
+  EXPECT_FALSE(is_convex(
+      Polygon({{0, 0}, {6, 0}, {6, 5}, {4, 5}, {4, 2}, {2, 2}, {2, 5}, {0, 5}})));
+  // Collinear vertices don't break convexity.
+  EXPECT_TRUE(is_convex(Polygon({{0, 0}, {2, 0}, {4, 0}, {4, 4}, {0, 4}})));
+}
+
+TEST(ClipTest, RectangleOverlap) {
+  const Polygon a = Polygon::rectangle({0, 0}, {4, 4});
+  const Polygon b = Polygon::rectangle({2, 2}, {6, 6});
+  const auto clipped = clip_convex(a, b);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_NEAR(clipped->area(), 4.0, 1e-9);  // 2x2 overlap
+  EXPECT_NEAR(intersection_area(a, b), 4.0, 1e-9);
+  EXPECT_NEAR(intersection_area(b, a), 4.0, 1e-9);  // symmetric
+}
+
+TEST(ClipTest, DisjointAndContained) {
+  const Polygon a = Polygon::rectangle({0, 0}, {4, 4});
+  const Polygon far = Polygon::rectangle({10, 10}, {12, 12});
+  EXPECT_FALSE(clip_convex(a, far).has_value());
+  EXPECT_DOUBLE_EQ(intersection_area(a, far), 0.0);
+
+  const Polygon inner = Polygon::rectangle({1, 1}, {2, 2});
+  EXPECT_NEAR(intersection_area(a, inner), inner.area(), 1e-9);
+  EXPECT_NEAR(intersection_area(inner, a), inner.area(), 1e-9);
+}
+
+TEST(ClipTest, ClipWindingDoesNotMatter) {
+  const Polygon subject = Polygon::rectangle({0, 0}, {4, 4});
+  const Polygon ccw({{2, 2}, {6, 2}, {6, 6}, {2, 6}});
+  const Polygon cw({{2, 2}, {2, 6}, {6, 6}, {6, 2}});
+  EXPECT_NEAR(intersection_area(subject, ccw), intersection_area(subject, cw), 1e-9);
+}
+
+TEST(ClipTest, NonConvexSubjectAgainstConvexClip) {
+  // U-shape clipped by a rect covering one prong.
+  const Polygon u({{0, 0}, {6, 0}, {6, 5}, {4, 5}, {4, 2}, {2, 2}, {2, 5}, {0, 5}});
+  const Polygon clip = Polygon::rectangle({0, 3}, {2, 5});
+  EXPECT_NEAR(intersection_area(u, clip), 4.0, 1e-9);  // left prong part
+}
+
+TEST(ClipTest, NeitherConvexThrows) {
+  const Polygon u({{0, 0}, {6, 0}, {6, 5}, {4, 5}, {4, 2}, {2, 2}, {2, 5}, {0, 5}});
+  EXPECT_THROW((void)intersection_area(u, u.translated({1, 0})), std::invalid_argument);
+}
+
+TEST(ClipTest, IouProperties) {
+  const Polygon a = Polygon::rectangle({0, 0}, {4, 4});
+  EXPECT_NEAR(iou(a, a), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(iou(a, Polygon::rectangle({10, 10}, {11, 11})), 0.0);
+  const double half = iou(a, Polygon::rectangle({2, 0}, {6, 4}));
+  EXPECT_NEAR(half, 8.0 / 24.0, 1e-9);  // overlap 8, union 24
+}
+
+TEST(ClipTest, RandomizedInclusionExclusionOnDisks) {
+  // Property sweep: for random convex pairs, intersection area is
+  // symmetric, bounded by min(area), and IoU is in [0, 1].
+  sim::Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Polygon a = Polygon::disk({rng.uniform(0, 50), rng.uniform(0, 50)},
+                                    rng.uniform(3, 15), 20);
+    const Polygon b = Polygon::disk({rng.uniform(0, 50), rng.uniform(0, 50)},
+                                    rng.uniform(3, 15), 20);
+    const double ab = intersection_area(a, b);
+    const double ba = intersection_area(b, a);
+    EXPECT_NEAR(ab, ba, 1e-6);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, std::min(a.area(), b.area()) + 1e-9);
+    const double j = iou(a, b);
+    EXPECT_GE(j, 0.0);
+    EXPECT_LE(j, 1.0 + 1e-12);
+    // Consistency with the boolean predicate.
+    if (ab > 1e-9) EXPECT_TRUE(a.intersects(b));
+  }
+}
+
+TEST(ClipTest, IdenticalDisksFullOverlap) {
+  const Polygon d = Polygon::disk({5, 5}, 4, 24);
+  EXPECT_NEAR(intersection_area(d, d), d.area(), 1e-9);
+}
+
+}  // namespace
+}  // namespace stem::geom

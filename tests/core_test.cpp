@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/attribute.hpp"
+#include "core/condition.hpp"
+#include "core/entity.hpp"
+#include "core/event_def.hpp"
+#include "core/ids.hpp"
+#include "core/instance.hpp"
+
+namespace stem::core {
+namespace {
+
+using geom::Location;
+using geom::Point;
+using geom::Polygon;
+using time_model::Duration;
+using time_model::OccurrenceTime;
+using time_model::TimeInterval;
+using time_model::TimePoint;
+
+// --- AttributeSet ----------------------------------------------------------
+
+TEST(AttributeSetTest, SetFindReplace) {
+  AttributeSet a;
+  EXPECT_TRUE(a.empty());
+  a.set("temp", 21.5);
+  a.set("zone", std::string("lobby"));
+  a.set("armed", true);
+  a.set("count", std::int64_t{3});
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_TRUE(a.has("temp"));
+  EXPECT_FALSE(a.has("humidity"));
+  a.set("temp", 22.0);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_DOUBLE_EQ(*a.number("temp"), 22.0);
+}
+
+TEST(AttributeSetTest, NumericCoercion) {
+  AttributeSet a{{"i", std::int64_t{4}}, {"d", 2.5}, {"b", true}, {"s", std::string("x")}};
+  EXPECT_DOUBLE_EQ(*a.number("i"), 4.0);
+  EXPECT_DOUBLE_EQ(*a.number("d"), 2.5);
+  EXPECT_DOUBLE_EQ(*a.number("b"), 1.0);
+  EXPECT_FALSE(a.number("s").has_value());
+  EXPECT_FALSE(a.number("missing").has_value());
+}
+
+TEST(AttributeSetTest, KeysStaySorted) {
+  AttributeSet a{{"zeta", 1.0}, {"alpha", 2.0}, {"mid", 3.0}};
+  std::string prev;
+  for (const auto& [name, value] : a) {
+    EXPECT_LT(prev, name);
+    prev = name;
+  }
+}
+
+TEST(RelationalOpTest, AllSix) {
+  EXPECT_TRUE(eval_relational(1, RelationalOp::kLt, 2));
+  EXPECT_TRUE(eval_relational(2, RelationalOp::kLe, 2));
+  EXPECT_TRUE(eval_relational(3, RelationalOp::kGt, 2));
+  EXPECT_TRUE(eval_relational(2, RelationalOp::kGe, 2));
+  EXPECT_TRUE(eval_relational(2, RelationalOp::kEq, 2));
+  EXPECT_TRUE(eval_relational(2, RelationalOp::kNe, 3));
+  EXPECT_FALSE(eval_relational(2, RelationalOp::kLt, 2));
+}
+
+TEST(ValueAggregateTest, AllFive) {
+  const double xs[] = {4.0, 1.0, 7.0};
+  EXPECT_DOUBLE_EQ(aggregate_values(ValueAggregate::kAverage, xs, 3), 4.0);
+  EXPECT_DOUBLE_EQ(aggregate_values(ValueAggregate::kMax, xs, 3), 7.0);
+  EXPECT_DOUBLE_EQ(aggregate_values(ValueAggregate::kMin, xs, 3), 1.0);
+  EXPECT_DOUBLE_EQ(aggregate_values(ValueAggregate::kSum, xs, 3), 12.0);
+  EXPECT_DOUBLE_EQ(aggregate_values(ValueAggregate::kCount, xs, 3), 3.0);
+  EXPECT_DOUBLE_EQ(aggregate_values(ValueAggregate::kCount, nullptr, 0), 0.0);
+  EXPECT_THROW((void)aggregate_values(ValueAggregate::kSum, nullptr, 0), std::invalid_argument);
+}
+
+TEST(ValueAggregateTest, PaperAliasAdd) {
+  // The paper names the aggregation "Add"; we parse it as kSum.
+  EXPECT_EQ(value_aggregate_from_string("add"), ValueAggregate::kSum);
+  EXPECT_EQ(value_aggregate_from_string("average"), ValueAggregate::kAverage);
+}
+
+// --- Ids -------------------------------------------------------------------
+
+TEST(IdsTest, StrongTyping) {
+  const EventTypeId e("S1");
+  const ObserverId o("MT1");
+  EXPECT_EQ(e.value(), "S1");
+  EXPECT_EQ(o.value(), "MT1");
+  EXPECT_EQ(e, EventTypeId("S1"));
+  EXPECT_NE(e, EventTypeId("S2"));
+  EXPECT_LT(EventTypeId("A"), EventTypeId("B"));
+  // Must be hashable for engine maps.
+  EXPECT_EQ(std::hash<EventTypeId>{}(e), std::hash<EventTypeId>{}(EventTypeId("S1")));
+}
+
+// --- Entity ----------------------------------------------------------------
+
+PhysicalObservation make_obs(double value, TimePoint t, Point where) {
+  PhysicalObservation o;
+  o.mote = ObserverId("MT1");
+  o.sensor = SensorId("SRtemp");
+  o.seq = 1;
+  o.time = t;
+  o.location = Location(where);
+  o.attributes.set("value", value);
+  return o;
+}
+
+EventInstance make_inst(const char* event, OccurrenceTime teo, Location leo, double rho) {
+  EventInstance i;
+  i.key = EventInstanceKey{ObserverId("MT2"), EventTypeId(event), 0};
+  i.layer = Layer::kSensor;
+  i.gen_time = teo.end();
+  i.gen_location = Point{0, 0};
+  i.est_time = teo;
+  i.est_location = std::move(leo);
+  i.confidence = rho;
+  return i;
+}
+
+TEST(EntityTest, ObservationView) {
+  const Entity e(make_obs(20.0, TimePoint(100), {1, 2}));
+  EXPECT_TRUE(e.is_observation());
+  EXPECT_EQ(e.occurrence_time(), OccurrenceTime(TimePoint(100)));
+  EXPECT_TRUE(e.location().is_point());
+  EXPECT_DOUBLE_EQ(e.confidence(), 1.0);
+  EXPECT_EQ(e.layer(), Layer::kPhysicalObservation);
+  EXPECT_EQ(e.producer(), ObserverId("MT1"));
+  EXPECT_EQ(e.provenance_key().event, EventTypeId("obs:SRtemp"));
+}
+
+TEST(EntityTest, InstanceView) {
+  const Entity e(make_inst("S1", OccurrenceTime(TimeInterval(TimePoint(5), TimePoint(9))),
+                           Location(Point{3, 4}), 0.8));
+  EXPECT_TRUE(e.is_instance());
+  EXPECT_TRUE(e.occurrence_time().is_interval());
+  EXPECT_DOUBLE_EQ(e.confidence(), 0.8);
+  EXPECT_EQ(e.producer(), ObserverId("MT2"));
+  EXPECT_EQ(e.provenance_key().event, EventTypeId("S1"));
+}
+
+// --- Conditions -------------------------------------------------------------
+
+class ConditionFixture : public ::testing::Test {
+ protected:
+  // Slot 0: observation value=20 at t=100, (0,0).
+  // Slot 1: observation value=30 at t=200, (3,4).
+  // Slot 2: interval instance [150,250], field event around (10,10), rho=0.5.
+  ConditionFixture()
+      : e0_(make_obs(20.0, TimePoint(100), {0, 0})),
+        e1_(make_obs(30.0, TimePoint(200), {3, 4})),
+        e2_(make_inst("F1", OccurrenceTime(TimeInterval(TimePoint(150), TimePoint(250))),
+                      Location(Polygon::rectangle({8, 8}, {12, 12})), 0.5)) {
+    slots_[0] = &e0_;
+    slots_[1] = &e1_;
+    slots_[2] = &e2_;
+  }
+
+  [[nodiscard]] EvalContext ctx() const { return EvalContext(slots_, 3); }
+
+  Entity e0_, e1_, e2_;
+  const Entity* slots_[3];
+};
+
+TEST_F(ConditionFixture, AttributeConditionAggregates) {
+  // Average(V0, V1) > 24  =>  25 > 24.
+  EXPECT_TRUE(eval_condition(
+      c_attr(ValueAggregate::kAverage, "value", {0, 1}, RelationalOp::kGt, 24.0), ctx()));
+  EXPECT_FALSE(eval_condition(
+      c_attr(ValueAggregate::kAverage, "value", {0, 1}, RelationalOp::kGt, 26.0), ctx()));
+  // Missing attribute => false.
+  EXPECT_FALSE(eval_condition(
+      c_attr(ValueAggregate::kMax, "humidity", {0, 1}, RelationalOp::kGt, 0.0), ctx()));
+  // Slot 2 has no "value": aggregate over {0,2} is false.
+  EXPECT_FALSE(eval_condition(
+      c_attr(ValueAggregate::kSum, "value", {0, 2}, RelationalOp::kGt, 0.0), ctx()));
+}
+
+TEST_F(ConditionFixture, TemporalConditionEntityVsEntity) {
+  // t0 (100) before t1 (200).
+  EXPECT_TRUE(eval_condition(c_time(0, time_model::TemporalOp::kBefore, 1), ctx()));
+  EXPECT_FALSE(eval_condition(c_time(1, time_model::TemporalOp::kBefore, 0), ctx()));
+  // Paper's offset form: t0 + 50 before t1 => 150 < 200.
+  EXPECT_TRUE(eval_condition(
+      c_time(0, time_model::TemporalOp::kBefore, 1, Duration(50)), ctx()));
+  EXPECT_FALSE(eval_condition(
+      c_time(0, time_model::TemporalOp::kBefore, 1, Duration(150)), ctx()));
+  // Point during interval: t1=200 during [150,250].
+  EXPECT_TRUE(eval_condition(c_time(1, time_model::TemporalOp::kDuring, 2), ctx()));
+}
+
+TEST_F(ConditionFixture, TemporalConditionVsConstant) {
+  EXPECT_TRUE(eval_condition(
+      c_time_const(0, time_model::TemporalOp::kBefore, OccurrenceTime(TimePoint(150))), ctx()));
+  EXPECT_TRUE(eval_condition(
+      c_time_const(2, time_model::TemporalOp::kWithin,
+                   OccurrenceTime(TimeInterval(TimePoint(100), TimePoint(300)))),
+      ctx()));
+}
+
+TEST_F(ConditionFixture, TemporalAggregationOverManySlots) {
+  // span(t0, t1) = [100,200]; must be within [50, 250].
+  TemporalCondition c;
+  c.lhs = TimeExpr{time_model::TimeAggregate::kSpan, {0, 1}, Duration::zero()};
+  c.op = time_model::TemporalOp::kWithin;
+  c.rhs = OccurrenceTime(TimeInterval(TimePoint(50), TimePoint(250)));
+  EXPECT_TRUE(eval_condition(ConditionExpr(c), ctx()));
+}
+
+TEST_F(ConditionFixture, SpatialConditionEntityVsEntity) {
+  // Point (3,4) inside field [8..12]^2? No. Centroid of field (10,10) inside itself? Yes.
+  EXPECT_FALSE(eval_condition(c_space(1, geom::SpatialOp::kInside, 2), ctx()));
+  EXPECT_TRUE(eval_condition(c_space(2, geom::SpatialOp::kJoint, 2), ctx()));
+  EXPECT_TRUE(eval_condition(c_space(0, geom::SpatialOp::kOutside, 2), ctx()));
+}
+
+TEST_F(ConditionFixture, SpatialConditionVsConstant) {
+  const Location zone(Polygon::rectangle({-1, -1}, {5, 5}));
+  EXPECT_TRUE(eval_condition(c_space_const(0, geom::SpatialOp::kInside, zone), ctx()));
+  EXPECT_TRUE(eval_condition(c_space_const(1, geom::SpatialOp::kInside, zone), ctx()));
+  EXPECT_FALSE(eval_condition(c_space_const(2, geom::SpatialOp::kInside, zone), ctx()));
+}
+
+TEST_F(ConditionFixture, DistanceConditionMatchesPaperExampleS1) {
+  // Paper S1: "x occurs before y AND distance(l_x, l_y) < 5".
+  const auto s1 = c_and({c_time(0, time_model::TemporalOp::kBefore, 1),
+                         c_distance(0, 1, RelationalOp::kLt, 5.0)});
+  // distance((0,0),(3,4)) = 5, not < 5.
+  EXPECT_FALSE(eval_condition(s1, ctx()));
+  const auto s1_loose = c_and({c_time(0, time_model::TemporalOp::kBefore, 1),
+                               c_distance(0, 1, RelationalOp::kLe, 5.0)});
+  EXPECT_TRUE(eval_condition(s1_loose, ctx()));
+}
+
+TEST_F(ConditionFixture, DistanceToConstant) {
+  EXPECT_TRUE(eval_condition(
+      c_distance_const(1, Location(Point{3, 0}), RelationalOp::kEq, 4.0), ctx()));
+}
+
+TEST_F(ConditionFixture, ConfidenceCondition) {
+  EXPECT_TRUE(eval_condition(
+      c_confidence(ValueAggregate::kMin, {0, 1}, RelationalOp::kGe, 0.9), ctx()));
+  EXPECT_FALSE(eval_condition(
+      c_confidence(ValueAggregate::kMin, {0, 2}, RelationalOp::kGe, 0.9), ctx()));
+  EXPECT_TRUE(eval_condition(
+      c_confidence(ValueAggregate::kAverage, {0, 2}, RelationalOp::kGe, 0.7), ctx()));
+}
+
+TEST_F(ConditionFixture, LogicalComposition) {
+  const auto t = c_attr(ValueAggregate::kMin, "value", {0}, RelationalOp::kGt, 0.0);   // true
+  const auto f = c_attr(ValueAggregate::kMin, "value", {0}, RelationalOp::kLt, 0.0);   // false
+  EXPECT_TRUE(eval_condition(c_and({t, t}), ctx()));
+  EXPECT_FALSE(eval_condition(c_and({t, f}), ctx()));
+  EXPECT_TRUE(eval_condition(c_or({f, t}), ctx()));
+  EXPECT_FALSE(eval_condition(c_or({f, f}), ctx()));
+  EXPECT_TRUE(eval_condition(c_not(f), ctx()));
+  EXPECT_FALSE(eval_condition(c_not(t), ctx()));
+  // Nested: (t AND NOT(f)) OR f.
+  EXPECT_TRUE(eval_condition(c_or({c_and({t, c_not(f)}), f}), ctx()));
+}
+
+TEST_F(ConditionFixture, DeMorganHoldsOnRandomizedLeaves) {
+  // NOT(a AND b) == NOT(a) OR NOT(b) for all 4 leaf truth combinations.
+  const auto leaf = [&](bool v) {
+    return c_attr(ValueAggregate::kMin, "value", {0},
+                  v ? RelationalOp::kGt : RelationalOp::kLt, 0.0);
+  };
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      const bool lhs = eval_condition(c_not(c_and({leaf(a), leaf(b)})), ctx());
+      const bool rhs = eval_condition(c_or({c_not(leaf(a)), c_not(leaf(b))}), ctx());
+      EXPECT_EQ(lhs, rhs) << a << "," << b;
+    }
+  }
+}
+
+TEST_F(ConditionFixture, EagerAndShortCircuitAgree) {
+  const auto t = c_attr(ValueAggregate::kMin, "value", {0}, RelationalOp::kGt, 0.0);
+  const auto f = c_attr(ValueAggregate::kMin, "value", {0}, RelationalOp::kLt, 0.0);
+  const std::vector<ConditionExpr> exprs = {
+      c_and({t, f, t}), c_or({f, f, t}), c_not(c_or({t, f})),
+      c_and({c_or({f, t}), c_not(f), c_distance(0, 1, RelationalOp::kLe, 5.0)})};
+  for (const auto& e : exprs) {
+    EXPECT_EQ(eval_condition(e, ctx(), EvalMode::kShortCircuit),
+              eval_condition(e, ctx(), EvalMode::kEager));
+  }
+}
+
+TEST_F(ConditionFixture, TreeIntrospection) {
+  const auto t = c_attr(ValueAggregate::kMin, "value", {0}, RelationalOp::kGt, 0.0);
+  const auto tree = c_and({t, c_or({t, c_not(t)}), c_distance(0, 2, RelationalOp::kLt, 1.0)});
+  EXPECT_EQ(tree.leaf_count(), 4u);
+  EXPECT_EQ(tree.depth(), 4u);  // and -> or -> not -> leaf
+  ASSERT_TRUE(tree.max_slot().has_value());
+  EXPECT_EQ(*tree.max_slot(), 2u);
+  EXPECT_EQ(t.depth(), 1u);
+  EXPECT_EQ(t.leaf_count(), 1u);
+}
+
+TEST_F(ConditionFixture, PrintedFormMentionsStructure) {
+  const auto tree =
+      c_and({c_time(0, time_model::TemporalOp::kBefore, 1),
+             c_distance(0, 1, RelationalOp::kLt, 5.0)});
+  std::ostringstream os;
+  os << tree;
+  const std::string s = os.str();
+  EXPECT_NE(s.find("(and"), std::string::npos);
+  EXPECT_NE(s.find("before"), std::string::npos);
+  EXPECT_NE(s.find("distance"), std::string::npos);
+}
+
+// --- SlotFilter --------------------------------------------------------------
+
+TEST(SlotFilterTest, MatchesByKind) {
+  const Entity obs(make_obs(1.0, TimePoint(0), {0, 0}));
+  const Entity inst(make_inst("S1", OccurrenceTime(TimePoint(0)), Location(Point{0, 0}), 1.0));
+
+  EXPECT_TRUE(SlotFilter::any().matches(obs));
+  EXPECT_TRUE(SlotFilter::any().matches(inst));
+
+  EXPECT_TRUE(SlotFilter::observation(SensorId("SRtemp")).matches(obs));
+  EXPECT_FALSE(SlotFilter::observation(SensorId("SRlight")).matches(obs));
+  EXPECT_FALSE(SlotFilter::observation(SensorId("SRtemp")).matches(inst));
+
+  EXPECT_TRUE(SlotFilter::instance_of(EventTypeId("S1")).matches(inst));
+  EXPECT_FALSE(SlotFilter::instance_of(EventTypeId("S2")).matches(inst));
+  EXPECT_FALSE(SlotFilter::instance_of(EventTypeId("S1")).matches(obs));
+}
+
+TEST(SlotFilterTest, ProducerAndLayerConstraints) {
+  const Entity obs(make_obs(1.0, TimePoint(0), {0, 0}));
+  EXPECT_TRUE(SlotFilter::observation(SensorId("SRtemp")).from(ObserverId("MT1")).matches(obs));
+  EXPECT_FALSE(SlotFilter::observation(SensorId("SRtemp")).from(ObserverId("MT9")).matches(obs));
+  EXPECT_TRUE(SlotFilter::any().on_layer(Layer::kPhysicalObservation).matches(obs));
+  EXPECT_FALSE(SlotFilter::any().on_layer(Layer::kCyber).matches(obs));
+}
+
+TEST(EventDefinitionTest, SlotIndexLookup) {
+  EventDefinition def{EventTypeId("S1"),
+                      {{"x", SlotFilter::any()}, {"y", SlotFilter::any()}},
+                      c_time(0, time_model::TemporalOp::kBefore, 1),
+                      time_model::seconds(10),
+                      {},
+                      ConsumptionMode::kConsume};
+  EXPECT_EQ(def.slot_index("x"), 0u);
+  EXPECT_EQ(def.slot_index("y"), 1u);
+  EXPECT_THROW((void)def.slot_index("z"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace stem::core

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cps/ccu.hpp"
+#include "db/event_store.hpp"
+
+namespace stem {
+namespace {
+
+using core::EventInstance;
+using core::EventInstanceKey;
+using core::EventTypeId;
+using core::Layer;
+using core::ObserverId;
+using geom::Location;
+using geom::Point;
+using time_model::milliseconds;
+using time_model::seconds;
+using time_model::TimeInterval;
+using time_model::TimePoint;
+
+EventInstance cp_instance(const char* event, std::uint64_t seq, TimePoint t, Point where,
+                          double rho = 1.0) {
+  EventInstance inst;
+  inst.key = EventInstanceKey{ObserverId("SINK1"), EventTypeId(event), seq};
+  inst.layer = Layer::kCyberPhysical;
+  inst.gen_time = t;
+  inst.gen_location = {50, 50};
+  inst.est_time = time_model::OccurrenceTime(t);
+  inst.est_location = Location(where);
+  inst.confidence = rho;
+  return inst;
+}
+
+struct CcuFixture : ::testing::Test {
+  CcuFixture()
+      : network(simulator, sim::Rng(5)), broker(network, ObserverId("BROKER")) {
+    network.register_node(ObserverId("SINK1"), [](const net::Message&) {});
+    network.connect(ObserverId("SINK1"), ObserverId("BROKER"), net::LinkSpec{});
+  }
+
+  cps::ControlUnit& make_ccu(const char* name) {
+    cps::ControlUnit::Config cfg;
+    cfg.id = ObserverId(name);
+    cfg.position = {200, 200};
+    ccus.push_back(std::make_unique<cps::ControlUnit>(network, broker, cfg));
+    network.connect(ObserverId(name), ObserverId("BROKER"), net::LinkSpec{});
+    return *ccus.back();
+  }
+
+  /// Cyber definition: a CP_HOT instance with rho >= 0.5 becomes ALARM.
+  static core::EventDefinition alarm_def() {
+    return core::EventDefinition{
+        EventTypeId("ALARM"),
+        {{"h", core::SlotFilter::instance_of(EventTypeId("CP_HOT"))}},
+        core::c_confidence(core::ValueAggregate::kMin, {0}, core::RelationalOp::kGe, 0.5),
+        seconds(60),
+        {},
+        core::ConsumptionMode::kConsume};
+  }
+
+  sim::Simulator simulator;
+  net::Network network;
+  net::Broker broker;
+  std::vector<std::unique_ptr<cps::ControlUnit>> ccus;
+};
+
+TEST_F(CcuFixture, SubscribedEventsProduceCyberEvents) {
+  auto& ccu = make_ccu("CCU1");
+  ccu.subscribe(EventTypeId("CP_HOT"));
+  ccu.add_definition(alarm_def());
+
+  broker.publish(ObserverId("SINK1"),
+                 core::Entity(cp_instance("CP_HOT", 0, TimePoint(1000), {10, 10}, 0.9)));
+  simulator.run();
+
+  EXPECT_EQ(ccu.stats().entities_received, 1u);
+  ASSERT_EQ(ccu.emitted().size(), 1u);
+  EXPECT_EQ(ccu.emitted().front().key.event, EventTypeId("ALARM"));
+  EXPECT_EQ(ccu.emitted().front().layer, Layer::kCyber);
+}
+
+TEST_F(CcuFixture, LowConfidenceIsFiltered) {
+  auto& ccu = make_ccu("CCU1");
+  ccu.subscribe(EventTypeId("CP_HOT"));
+  ccu.add_definition(alarm_def());
+  broker.publish(ObserverId("SINK1"),
+                 core::Entity(cp_instance("CP_HOT", 0, TimePoint(1000), {10, 10}, 0.2)));
+  simulator.run();
+  EXPECT_EQ(ccu.stats().entities_received, 1u);
+  EXPECT_TRUE(ccu.emitted().empty());
+}
+
+TEST_F(CcuFixture, ActionRuleIssuesCommand) {
+  auto& ccu = make_ccu("CCU1");
+  ccu.subscribe(EventTypeId("CP_HOT"));
+  ccu.add_definition(alarm_def());
+  ccu.add_rule(cps::ActionRule{
+      EventTypeId("ALARM"), [](const EventInstance& inst) -> std::optional<net::Command> {
+        net::Command cmd;
+        cmd.target = ObserverId("AR1");
+        cmd.verb = "suppress";
+        cmd.cause = inst.key;
+        return cmd;
+      }});
+
+  std::vector<net::Command> dispatched;
+  network.register_node(ObserverId("DISPATCH"), [&](const net::Message& m) {
+    if (const auto* c = std::get_if<net::Command>(&m.payload)) dispatched.push_back(*c);
+  });
+  network.connect(ObserverId("DISPATCH"), ObserverId("BROKER"), net::LinkSpec{});
+  broker.subscribe(net::Broker::command_topic(ObserverId("AR1")), ObserverId("DISPATCH"));
+
+  broker.publish(ObserverId("SINK1"),
+                 core::Entity(cp_instance("CP_HOT", 0, TimePoint(1000), {10, 10}, 0.9)));
+  simulator.run();
+
+  EXPECT_EQ(ccu.stats().commands_issued, 1u);
+  ASSERT_EQ(dispatched.size(), 1u);
+  EXPECT_EQ(dispatched[0].verb, "suppress");
+  EXPECT_EQ(dispatched[0].cause.event, EventTypeId("ALARM"));
+}
+
+TEST_F(CcuFixture, RuleCanDeclineToAct) {
+  auto& ccu = make_ccu("CCU1");
+  ccu.subscribe(EventTypeId("CP_HOT"));
+  ccu.add_definition(alarm_def());
+  ccu.add_rule(cps::ActionRule{EventTypeId("ALARM"),
+                               [](const EventInstance&) { return std::nullopt; }});
+  broker.publish(ObserverId("SINK1"),
+                 core::Entity(cp_instance("CP_HOT", 0, TimePoint(1000), {10, 10}, 0.9)));
+  simulator.run();
+  EXPECT_EQ(ccu.stats().commands_issued, 0u);
+  EXPECT_EQ(ccu.emitted().size(), 1u);
+}
+
+TEST_F(CcuFixture, CcuToCcuCyberEvents) {
+  // CCU1 turns CP_HOT into ALARM; CCU2 subscribes to ALARM and escalates.
+  auto& ccu1 = make_ccu("CCU1");
+  ccu1.subscribe(EventTypeId("CP_HOT"));
+  ccu1.add_definition(alarm_def());
+
+  auto& ccu2 = make_ccu("CCU2");
+  ccu2.subscribe(EventTypeId("ALARM"));
+  ccu2.add_definition(core::EventDefinition{
+      EventTypeId("ESCALATION"),
+      {{"a", core::SlotFilter::instance_of(EventTypeId("ALARM"))}},
+      core::c_confidence(core::ValueAggregate::kMin, {0}, core::RelationalOp::kGe, 0.0),
+      seconds(60),
+      {},
+      core::ConsumptionMode::kConsume});
+
+  broker.publish(ObserverId("SINK1"),
+                 core::Entity(cp_instance("CP_HOT", 0, TimePoint(1000), {10, 10}, 0.9)));
+  simulator.run();
+
+  ASSERT_EQ(ccu2.emitted().size(), 1u);
+  const EventInstance& esc = ccu2.emitted().front();
+  EXPECT_EQ(esc.key.event, EventTypeId("ESCALATION"));
+  // Provenance chains back to CCU1's alarm.
+  ASSERT_EQ(esc.provenance.size(), 1u);
+  EXPECT_EQ(esc.provenance.front().observer, ObserverId("CCU1"));
+}
+
+// --- EventStore ------------------------------------------------------------
+
+struct StoreFixture : ::testing::Test {
+  StoreFixture() {
+    store.insert(cp_instance("CP_HOT", 0, TimePoint(100), {10, 10}, 0.9));
+    store.insert(cp_instance("CP_HOT", 1, TimePoint(200), {90, 90}, 0.4));
+    store.insert(cp_instance("CP_COLD", 0, TimePoint(300), {10, 90}, 0.8));
+  }
+  db::EventStore store;
+};
+
+TEST_F(StoreFixture, QueryByType) {
+  db::Query q;
+  q.event = EventTypeId("CP_HOT");
+  EXPECT_EQ(store.count(q), 2u);
+  q.event = EventTypeId("CP_COLD");
+  EXPECT_EQ(store.count(q), 1u);
+  q.event = EventTypeId("NOPE");
+  EXPECT_EQ(store.count(q), 0u);
+}
+
+TEST_F(StoreFixture, QueryByTimeRange) {
+  db::Query q;
+  q.time_range = TimeInterval(TimePoint(150), TimePoint(250));
+  ASSERT_EQ(store.count(q), 1u);
+  EXPECT_EQ(store.query(q)[0]->key.seq, 1u);
+}
+
+TEST_F(StoreFixture, QueryByRegionAndConfidence) {
+  db::Query q;
+  q.region = geom::BoundingBox({0, 0}, {50, 50});
+  EXPECT_EQ(store.count(q), 1u);
+
+  db::Query qc;
+  qc.min_confidence = 0.5;
+  EXPECT_EQ(store.count(qc), 2u);
+
+  db::Query all;
+  EXPECT_EQ(store.count(all), 3u);
+}
+
+TEST_F(StoreFixture, PruneRetention) {
+  EXPECT_EQ(store.prune_before(TimePoint(250)), 2u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(EventStoreLineageTest, FollowsProvenanceChain) {
+  db::EventStore store;
+  EventInstance leaf = cp_instance("S_HOT", 0, TimePoint(10), {0, 0});
+  leaf.key.observer = ObserverId("MT1");
+  leaf.layer = Layer::kSensor;
+  EventInstance mid = cp_instance("CP_HOT", 0, TimePoint(20), {0, 0});
+  mid.provenance.push_back(leaf.key);
+  EventInstance top = cp_instance("ALARM", 0, TimePoint(30), {0, 0});
+  top.key.observer = ObserverId("CCU1");
+  top.layer = Layer::kCyber;
+  top.provenance.push_back(mid.key);
+
+  store.insert(leaf);
+  store.insert(mid);
+  store.insert(top);
+
+  const auto chain = store.lineage(top.key);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0]->key.event, EventTypeId("ALARM"));
+  // Full hierarchy reachable: cyber -> cyber-physical -> sensor.
+  EXPECT_EQ(chain[1]->key.event, EventTypeId("CP_HOT"));
+  EXPECT_EQ(chain[2]->key.event, EventTypeId("S_HOT"));
+}
+
+TEST_F(CcuFixture, DatabaseServerArchivesPublishedInstances) {
+  db::DatabaseServer dbs(network, broker, {ObserverId("DB1")});
+  network.connect(ObserverId("DB1"), ObserverId("BROKER"), net::LinkSpec{});
+  dbs.archive_topic("CP_HOT");
+
+  broker.publish(ObserverId("SINK1"),
+                 core::Entity(cp_instance("CP_HOT", 0, TimePoint(100), {1, 1})));
+  broker.publish(ObserverId("SINK1"),
+                 core::Entity(cp_instance("CP_COLD", 0, TimePoint(100), {1, 1})));
+  simulator.run();
+
+  EXPECT_EQ(dbs.store().size(), 1u);  // only the archived topic
+  db::Query q;
+  q.event = EventTypeId("CP_HOT");
+  EXPECT_EQ(dbs.store().count(q), 1u);
+}
+
+}  // namespace
+}  // namespace stem

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sensing/phenomena.hpp"
+#include "sensing/sensor.hpp"
+#include "wsn/energy.hpp"
+#include "wsn/mote.hpp"
+
+namespace stem::wsn {
+namespace {
+
+using time_model::seconds;
+using time_model::TimePoint;
+
+TEST(EnergyAccountTest, ChargesPerActivity) {
+  EnergyModel model;
+  model.tx_nj_per_byte = 800;
+  model.rx_nj_per_byte = 400;
+  model.sample_nj = 2000;
+  model.eval_nj = 50;
+  EnergyAccount account(model);
+
+  account.charge_tx(100);
+  account.charge_rx(50);
+  account.charge_sample();
+  account.charge_eval(3);
+
+  EXPECT_DOUBLE_EQ(account.tx_nj(), 80'000.0);
+  EXPECT_DOUBLE_EQ(account.rx_nj(), 20'000.0);
+  EXPECT_DOUBLE_EQ(account.sample_nj(), 2'000.0);
+  EXPECT_DOUBLE_EQ(account.eval_nj(), 150.0);
+  EXPECT_DOUBLE_EQ(account.total_nj(), 102'150.0);
+  EXPECT_NEAR(account.radio_fraction(), 100'000.0 / 102'150.0, 1e-12);
+
+  account.reset();
+  EXPECT_DOUBLE_EQ(account.total_nj(), 0.0);
+  EXPECT_DOUBLE_EQ(account.radio_fraction(), 0.0);
+}
+
+TEST(EnergyAccountTest, MoteChargesAllPaths) {
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(4));
+
+  SensorMote::Config cfg;
+  cfg.id = net::NodeId("MT1");
+  cfg.position = {0, 0};
+  cfg.sampling_period = seconds(1);
+  SensorMote mote(network, cfg, sim::Rng(1));
+  mote.add_sensor(std::make_shared<sensing::ScalarFieldSensor>(
+      core::SensorId("SR"), std::make_shared<sensing::UniformField>(90.0), 0.0));
+  mote.add_definition(core::EventDefinition{
+      core::EventTypeId("E"),
+      {{"x", core::SlotFilter::observation(core::SensorId("SR"))}},
+      core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt, 0.0),
+      seconds(60),
+      {},
+      core::ConsumptionMode::kConsume});
+
+  network.register_node(net::NodeId("SINK"), [](const net::Message&) {});
+  network.connect(net::NodeId("MT1"), net::NodeId("SINK"), net::LinkSpec{});
+  mote.set_parent(net::NodeId("SINK"));
+  mote.start(TimePoint::epoch() + seconds(5));
+  simulator.run();
+
+  const EnergyAccount& e = mote.energy();
+  EXPECT_GT(e.sample_nj(), 0.0);  // 5 samples
+  EXPECT_GT(e.eval_nj(), 0.0);    // 5 evaluations
+  EXPECT_GT(e.tx_nj(), 0.0);      // 5 transmissions
+  EXPECT_DOUBLE_EQ(e.rx_nj(), 0.0);  // leaf mote: receives nothing
+  // Radio dominates (the architectural argument).
+  EXPECT_GT(e.radio_fraction(), 0.5);
+}
+
+TEST(EnergyAccountTest, RelayPaysRxAndTx) {
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(4));
+
+  SensorMote::Config src_cfg;
+  src_cfg.id = net::NodeId("SRC");
+  src_cfg.position = {0, 0};
+  SensorMote src(network, src_cfg, sim::Rng(1));
+  src.add_sensor(std::make_shared<sensing::ScalarFieldSensor>(
+      core::SensorId("SR"), std::make_shared<sensing::UniformField>(90.0), 0.0));
+  src.add_definition(core::EventDefinition{
+      core::EventTypeId("E"),
+      {{"x", core::SlotFilter::observation(core::SensorId("SR"))}},
+      core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt, 0.0),
+      seconds(60),
+      {},
+      core::ConsumptionMode::kConsume});
+
+  SensorMote::Config relay_cfg;
+  relay_cfg.id = net::NodeId("RELAY");
+  relay_cfg.position = {10, 0};
+  SensorMote relay(network, relay_cfg, sim::Rng(2));
+
+  network.register_node(net::NodeId("SINK"), [](const net::Message&) {});
+  network.connect(net::NodeId("SRC"), net::NodeId("RELAY"), net::LinkSpec{});
+  network.connect(net::NodeId("RELAY"), net::NodeId("SINK"), net::LinkSpec{});
+  src.set_parent(net::NodeId("RELAY"));
+  relay.set_parent(net::NodeId("SINK"));
+  src.start(TimePoint::epoch() + seconds(4));
+  simulator.run();
+
+  EXPECT_GT(relay.energy().rx_nj(), 0.0);
+  EXPECT_GT(relay.energy().tx_nj(), 0.0);
+  EXPECT_DOUBLE_EQ(relay.energy().sample_nj(), 0.0);  // no sensors
+  // Relay tx bytes == rx bytes (same payload forwarded): with the default
+  // 2:1 tx/rx cost, tx energy is exactly double.
+  EXPECT_NEAR(relay.energy().tx_nj(), 2.0 * relay.energy().rx_nj(), 1e-9);
+}
+
+}  // namespace
+}  // namespace stem::wsn

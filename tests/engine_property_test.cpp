@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim/random.hpp"
+
+namespace stem::core {
+namespace {
+
+using geom::Location;
+using geom::Point;
+using time_model::Duration;
+using time_model::seconds;
+using time_model::TimePoint;
+
+/// Randomized workloads checked against a brute-force oracle. These pin
+/// down the engine's join semantics: in kUnrestricted mode, the set of
+/// emitted bindings must equal the set of entity combinations that (a)
+/// satisfy the condition, (b) are window-compatible, and (c) were
+/// evaluated in arrival order (the newest entity completes the binding).
+
+PhysicalObservation obs(int mote, const char* sensor, std::uint64_t seq, TimePoint t, Point p,
+                        double value) {
+  PhysicalObservation o;
+  o.mote = ObserverId("MT" + std::to_string(mote));
+  o.sensor = SensorId(sensor);
+  o.seq = seq;
+  o.time = t;
+  o.location = Location(p);
+  o.attributes.set("value", value);
+  return o;
+}
+
+struct RandomStream {
+  std::vector<Entity> xs;  // arrive interleaved: xs[i] then ys[i]
+  std::vector<Entity> ys;
+};
+
+RandomStream make_stream(sim::Rng& rng, int n, Duration spacing) {
+  RandomStream s;
+  TimePoint t = TimePoint::epoch();
+  for (int i = 0; i < n; ++i) {
+    t += spacing;
+    s.xs.push_back(Entity(obs(1, "SRx", static_cast<std::uint64_t>(i), t,
+                              {rng.uniform(0, 20), rng.uniform(0, 20)}, rng.uniform(0, 100))));
+    t += spacing;
+    s.ys.push_back(Entity(obs(2, "SRy", static_cast<std::uint64_t>(i), t,
+                              {rng.uniform(0, 20), rng.uniform(0, 20)}, rng.uniform(0, 100))));
+  }
+  return s;
+}
+
+class JoinOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JoinOracleTest, UnrestrictedJoinMatchesBruteForce) {
+  sim::Rng rng(GetParam());
+  const Duration window = seconds(5);
+  const Duration spacing = seconds(1);
+  const double max_dist = 10.0;
+  const RandomStream stream = make_stream(rng, 12, spacing);
+
+  EventDefinition def{EventTypeId("J"),
+                      {{"x", SlotFilter::observation(SensorId("SRx"))},
+                       {"y", SlotFilter::observation(SensorId("SRy"))}},
+                      c_and({c_time(0, time_model::TemporalOp::kBefore, 1),
+                             c_distance(0, 1, RelationalOp::kLt, max_dist)}),
+                      window,
+                      {},
+                      ConsumptionMode::kUnrestricted};
+  DetectionEngine engine(ObserverId("SINK"), Layer::kCyberPhysical, {0, 0});
+  engine.add_definition(def);
+
+  // Feed interleaved x0 y0 x1 y1 ... and collect matched provenance pairs.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> engine_pairs;  // (x seq, y seq)
+  for (std::size_t i = 0; i < stream.xs.size(); ++i) {
+    for (const Entity* e : {&stream.xs[i], &stream.ys[i]}) {
+      const TimePoint now = e->occurrence_time().end();
+      for (const EventInstance& inst : engine.observe(*e, now)) {
+        ASSERT_EQ(inst.provenance.size(), 2u);
+        engine_pairs.emplace_back(inst.provenance[0].seq, inst.provenance[1].seq);
+      }
+    }
+  }
+
+  // Oracle: all (x, y) pairs satisfying the condition whose partner was
+  // still inside the window when the later entity arrived. Buffer caps
+  // never bind here (12 < 64).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> oracle_pairs;
+  for (std::size_t i = 0; i < stream.xs.size(); ++i) {
+    for (std::size_t j = 0; j < stream.ys.size(); ++j) {
+      const Entity& x = stream.xs[i];
+      const Entity& y = stream.ys[j];
+      const TimePoint tx = x.occurrence_time().end();
+      const TimePoint ty = y.occurrence_time().end();
+      if (!(tx < ty)) continue;  // "x before y" (x always precedes same-index y)
+      if (geom::distance(x.location().as_point(), y.location().as_point()) >= max_dist) continue;
+      // Window compatibility at join time (the later of the two arrivals):
+      const TimePoint later = tx > ty ? tx : ty;
+      if (tx < later - def.window || ty < later - def.window) continue;
+      oracle_pairs.emplace_back(x.observation().seq, y.observation().seq);
+    }
+  }
+
+  std::sort(engine_pairs.begin(), engine_pairs.end());
+  std::sort(oracle_pairs.begin(), oracle_pairs.end());
+  EXPECT_EQ(engine_pairs, oracle_pairs) << "seed " << GetParam();
+}
+
+TEST_P(JoinOracleTest, ConsumeModeEmitsDisjointParticipants) {
+  // Property: in kConsume mode every entity participates in at most one
+  // emitted instance.
+  sim::Rng rng(GetParam() ^ 0xabcdULL);
+  const RandomStream stream = make_stream(rng, 16, seconds(1));
+
+  EventDefinition def{EventTypeId("C"),
+                      {{"x", SlotFilter::observation(SensorId("SRx"))},
+                       {"y", SlotFilter::observation(SensorId("SRy"))}},
+                      c_distance(0, 1, RelationalOp::kLt, 12.0),
+                      seconds(6),
+                      {},
+                      ConsumptionMode::kConsume};
+  DetectionEngine engine(ObserverId("SINK"), Layer::kCyberPhysical, {0, 0});
+  engine.add_definition(def);
+
+  std::vector<EventInstanceKey> used;
+  for (std::size_t i = 0; i < stream.xs.size(); ++i) {
+    for (const Entity* e : {&stream.xs[i], &stream.ys[i]}) {
+      for (const EventInstance& inst : engine.observe(*e, e->occurrence_time().end())) {
+        for (const auto& p : inst.provenance) used.push_back(p);
+      }
+    }
+  }
+  auto sorted = used;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.observer, a.event, a.seq) < std::tie(b.observer, b.event, b.seq);
+  });
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+      << "an entity was consumed twice (seed " << GetParam() << ")";
+}
+
+TEST_P(JoinOracleTest, SingleSlotThresholdMatchesDirectEvaluation) {
+  sim::Rng rng(GetParam() ^ 0x7777ULL);
+  EventDefinition def{EventTypeId("T"),
+                      {{"x", SlotFilter::observation(SensorId("SRx"))}},
+                      c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 50.0),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kConsume};
+  DetectionEngine engine(ObserverId("MT1"), Layer::kSensor, {0, 0});
+  engine.add_definition(def);
+
+  TimePoint t = TimePoint::epoch();
+  int expected = 0, detected = 0;
+  for (int i = 0; i < 100; ++i) {
+    t += seconds(1);
+    const double v = rng.uniform(0, 100);
+    if (v > 50.0) ++expected;
+    const Entity e(obs(1, "SRx", static_cast<std::uint64_t>(i), t, {0, 0}, v));
+    detected += static_cast<int>(engine.observe(e, t).size());
+  }
+  EXPECT_EQ(detected, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinOracleTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+}  // namespace
+}  // namespace stem::core

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+
+namespace stem::core {
+namespace {
+
+using geom::Location;
+using geom::Point;
+using geom::Polygon;
+using time_model::Duration;
+using time_model::OccurrenceTime;
+using time_model::seconds;
+using time_model::TimePoint;
+
+PhysicalObservation obs(const char* mote, const char* sensor, std::uint64_t seq, TimePoint t,
+                        Point where, double value) {
+  PhysicalObservation o;
+  o.mote = ObserverId(mote);
+  o.sensor = SensorId(sensor);
+  o.seq = seq;
+  o.time = t;
+  o.location = Location(where);
+  o.attributes.set("value", value);
+  return o;
+}
+
+/// Threshold definition: one slot, value > 25.
+EventDefinition threshold_def(const char* id = "HOT") {
+  EventDefinition def{EventTypeId(id),
+                      {{"x", SlotFilter::observation(SensorId("SRtemp"))}},
+                      c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 25.0),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kConsume};
+  def.synthesis.attributes.push_back(AttributeRule{"value", ValueAggregate::kAverage, "value", {0}});
+  return def;
+}
+
+/// Two-slot spatio-temporal definition matching the paper's S1:
+/// x before y AND distance(x, y) <= 5.
+EventDefinition s1_def() {
+  EventDefinition def{EventTypeId("S1"),
+                      {{"x", SlotFilter::observation(SensorId("SRx")).from(ObserverId("MT1"))},
+                       {"y", SlotFilter::observation(SensorId("SRy")).from(ObserverId("MT2"))}},
+                      c_and({c_time(0, time_model::TemporalOp::kBefore, 1),
+                             c_distance(0, 1, RelationalOp::kLe, 5.0)}),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kConsume};
+  return def;
+}
+
+TEST(DetectionEngineTest, RejectsBadDefinitions) {
+  DetectionEngine eng(ObserverId("MT1"), Layer::kSensor, {0, 0});
+  EventDefinition no_slots{EventTypeId("X"),
+                           {},
+                           c_attr(ValueAggregate::kCount, "v", {}, RelationalOp::kGe, 0.0),
+                           seconds(1),
+                           {},
+                           ConsumptionMode::kConsume};
+  EXPECT_THROW(eng.add_definition(no_slots), std::invalid_argument);
+
+  EventDefinition bad_ref{EventTypeId("Y"),
+                          {{"x", SlotFilter::any()}},
+                          c_time(0, time_model::TemporalOp::kBefore, 3),  // slot 3 undeclared
+                          seconds(1),
+                          {},
+                          ConsumptionMode::kConsume};
+  EXPECT_THROW(eng.add_definition(bad_ref), std::invalid_argument);
+}
+
+TEST(DetectionEngineTest, ThresholdFiresOnlyAboveThreshold) {
+  DetectionEngine eng(ObserverId("MT1"), Layer::kSensor, {1, 1});
+  eng.add_definition(threshold_def());
+
+  auto none = eng.observe(Entity(obs("MT1", "SRtemp", 0, TimePoint(10), {0, 0}, 20.0)),
+                          TimePoint(10));
+  EXPECT_TRUE(none.empty());
+
+  auto fired = eng.observe(Entity(obs("MT1", "SRtemp", 1, TimePoint(20), {0, 0}, 30.0)),
+                           TimePoint(20));
+  ASSERT_EQ(fired.size(), 1u);
+  const EventInstance& inst = fired.front();
+  EXPECT_EQ(inst.key.observer, ObserverId("MT1"));
+  EXPECT_EQ(inst.key.event, EventTypeId("HOT"));
+  EXPECT_EQ(inst.key.seq, 0u);
+  EXPECT_EQ(inst.layer, Layer::kSensor);
+  EXPECT_EQ(inst.gen_time, TimePoint(20));
+  EXPECT_EQ(inst.gen_location, (Point{1, 1}));
+  EXPECT_EQ(inst.est_time, OccurrenceTime(TimePoint(20)));
+  EXPECT_DOUBLE_EQ(*inst.attributes.number("value"), 30.0);
+  EXPECT_DOUBLE_EQ(inst.confidence, 1.0);
+  ASSERT_EQ(inst.provenance.size(), 1u);
+  EXPECT_EQ(inst.provenance.front().event, EventTypeId("obs:SRtemp"));
+}
+
+TEST(DetectionEngineTest, SequenceNumbersIncrementPerEventType) {
+  DetectionEngine eng(ObserverId("MT1"), Layer::kSensor, {0, 0});
+  eng.add_definition(threshold_def());
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    auto fired = eng.observe(
+        Entity(obs("MT1", "SRtemp", i, TimePoint(static_cast<time_model::Tick>(10 * (i + 1))),
+                   {0, 0}, 30.0)),
+        TimePoint(static_cast<time_model::Tick>(10 * (i + 1))));
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired.front().key.seq, i);
+  }
+}
+
+TEST(DetectionEngineTest, TwoSlotJoinDetectsPaperS1) {
+  DetectionEngine eng(ObserverId("SINK"), Layer::kCyberPhysical, {50, 50});
+  eng.add_definition(s1_def());
+
+  // x at t=100 (0,0); y at t=200 (3,4): distance 5 <= 5 and x before y.
+  EXPECT_TRUE(eng.observe(Entity(obs("MT1", "SRx", 0, TimePoint(100), {0, 0}, 1.0)),
+                          TimePoint(100))
+                  .empty());
+  auto fired = eng.observe(Entity(obs("MT2", "SRy", 0, TimePoint(200), {3, 4}, 1.0)),
+                           TimePoint(200));
+  ASSERT_EQ(fired.size(), 1u);
+  const EventInstance& inst = fired.front();
+  EXPECT_EQ(inst.key.event, EventTypeId("S1"));
+  // Synthesized occurrence spans both constituents.
+  EXPECT_EQ(inst.est_time, OccurrenceTime(time_model::TimeInterval(TimePoint(100), TimePoint(200))));
+  EXPECT_EQ(inst.provenance.size(), 2u);
+}
+
+TEST(DetectionEngineTest, JoinRespectsOrderCondition) {
+  DetectionEngine eng(ObserverId("SINK"), Layer::kCyberPhysical, {0, 0});
+  eng.add_definition(s1_def());
+  // y arrives first in *occurrence* time order reversed: y at 200 first,
+  // then x at 300 — "x before y" must NOT fire.
+  EXPECT_TRUE(eng.observe(Entity(obs("MT2", "SRy", 0, TimePoint(200), {3, 4}, 1.0)),
+                          TimePoint(200))
+                  .empty());
+  EXPECT_TRUE(eng.observe(Entity(obs("MT1", "SRx", 0, TimePoint(300), {0, 0}, 1.0)),
+                          TimePoint(300))
+                  .empty());
+}
+
+TEST(DetectionEngineTest, JoinRespectsDistanceCondition) {
+  DetectionEngine eng(ObserverId("SINK"), Layer::kCyberPhysical, {0, 0});
+  eng.add_definition(s1_def());
+  EXPECT_TRUE(eng.observe(Entity(obs("MT1", "SRx", 0, TimePoint(100), {0, 0}, 1.0)),
+                          TimePoint(100))
+                  .empty());
+  // Distance 10 > 5: no fire.
+  EXPECT_TRUE(eng.observe(Entity(obs("MT2", "SRy", 0, TimePoint(200), {6, 8}, 1.0)),
+                          TimePoint(200))
+                  .empty());
+}
+
+TEST(DetectionEngineTest, WindowExpiryPreventsStaleJoins) {
+  DetectionEngine eng(ObserverId("SINK"), Layer::kCyberPhysical, {0, 0});
+  auto def = s1_def();
+  def.window = Duration(50);
+  eng.add_definition(def);
+
+  EXPECT_TRUE(eng.observe(Entity(obs("MT1", "SRx", 0, TimePoint(100), {0, 0}, 1.0)),
+                          TimePoint(100))
+                  .empty());
+  // y arrives at t=200; x (occurred at 100) is beyond the 50-tick window.
+  EXPECT_TRUE(eng.observe(Entity(obs("MT2", "SRy", 0, TimePoint(200), {3, 4}, 1.0)),
+                          TimePoint(200))
+                  .empty());
+  EXPECT_GT(eng.stats().evicted, 0u);
+}
+
+TEST(DetectionEngineTest, ConsumptionPreventsReuse) {
+  DetectionEngine eng(ObserverId("SINK"), Layer::kCyberPhysical, {0, 0});
+  eng.add_definition(s1_def());  // kConsume
+
+  eng.observe(Entity(obs("MT1", "SRx", 0, TimePoint(100), {0, 0}, 1.0)), TimePoint(100));
+  auto first = eng.observe(Entity(obs("MT2", "SRy", 0, TimePoint(200), {3, 4}, 1.0)),
+                           TimePoint(200));
+  ASSERT_EQ(first.size(), 1u);
+  // A second y should find no x left to pair with.
+  auto second = eng.observe(Entity(obs("MT2", "SRy", 1, TimePoint(210), {3, 4}, 1.0)),
+                            TimePoint(210));
+  EXPECT_TRUE(second.empty());
+}
+
+TEST(DetectionEngineTest, UnrestrictedModeAllowsReuse) {
+  DetectionEngine eng(ObserverId("SINK"), Layer::kCyberPhysical, {0, 0});
+  auto def = s1_def();
+  def.consumption = ConsumptionMode::kUnrestricted;
+  eng.add_definition(def);
+
+  eng.observe(Entity(obs("MT1", "SRx", 0, TimePoint(100), {0, 0}, 1.0)), TimePoint(100));
+  EXPECT_EQ(eng.observe(Entity(obs("MT2", "SRy", 0, TimePoint(200), {3, 4}, 1.0)), TimePoint(200))
+                .size(),
+            1u);
+  // Same x pairs again with a later y.
+  EXPECT_EQ(eng.observe(Entity(obs("MT2", "SRy", 1, TimePoint(210), {3, 4}, 1.0)), TimePoint(210))
+                .size(),
+            1u);
+}
+
+TEST(DetectionEngineTest, ConfidencePolicies) {
+  // Feed two sensor-event instances with rho 0.8 and 0.5 into a CCU-level
+  // conjunction and check each combination policy.
+  const auto make_def = [](ConfidencePolicy policy, const char* id) {
+    EventDefinition def{EventTypeId(id),
+                        {{"a", SlotFilter::instance_of(EventTypeId("SA"))},
+                         {"b", SlotFilter::instance_of(EventTypeId("SB"))}},
+                        c_confidence(ValueAggregate::kCount, {0, 1}, RelationalOp::kGe, 0.0),
+                        seconds(60),
+                        {},
+                        ConsumptionMode::kConsume};
+    def.synthesis.confidence = policy;
+    def.synthesis.observer_confidence = 0.9;
+    return def;
+  };
+
+  const auto inst_entity = [](const char* type, double rho, TimePoint t) {
+    EventInstance i;
+    i.key = EventInstanceKey{ObserverId("MT1"), EventTypeId(type), 0};
+    i.layer = Layer::kSensor;
+    i.gen_time = t;
+    i.est_time = OccurrenceTime(t);
+    i.est_location = Location(Point{0, 0});
+    i.confidence = rho;
+    return Entity(std::move(i));
+  };
+
+  const struct {
+    ConfidencePolicy policy;
+    const char* id;
+    double expected;
+  } cases[] = {
+      {ConfidencePolicy::kMin, "CMIN", 0.5 * 0.9},
+      {ConfidencePolicy::kProduct, "CPROD", 0.8 * 0.5 * 0.9},
+      {ConfidencePolicy::kMean, "CMEAN", 0.65 * 0.9},
+  };
+  for (const auto& c : cases) {
+    DetectionEngine eng(ObserverId("CCU1"), Layer::kCyber, {0, 0});
+    eng.add_definition(make_def(c.policy, c.id));
+    eng.observe(inst_entity("SA", 0.8, TimePoint(10)), TimePoint(10));
+    auto fired = eng.observe(inst_entity("SB", 0.5, TimePoint(20)), TimePoint(20));
+    ASSERT_EQ(fired.size(), 1u) << c.id;
+    EXPECT_NEAR(fired.front().confidence, c.expected, 1e-12) << c.id;
+  }
+}
+
+TEST(DetectionEngineTest, FieldSynthesisFromPointEvents) {
+  // Sink builds a field event (convex hull) from three point observations
+  // (paper Sec. 4.2: a field is made of >= 2 point events).
+  EventDefinition def{EventTypeId("FIRE"),
+                      {{"a", SlotFilter::observation(SensorId("SRheat")).from(ObserverId("M1"))},
+                       {"b", SlotFilter::observation(SensorId("SRheat")).from(ObserverId("M2"))},
+                       {"c", SlotFilter::observation(SensorId("SRheat")).from(ObserverId("M3"))}},
+                      c_attr(ValueAggregate::kMin, "value", {0, 1, 2}, RelationalOp::kGt, 50.0),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kConsume};
+  def.synthesis.location = geom::SpatialAggregate::kHull;
+
+  DetectionEngine eng(ObserverId("SINK"), Layer::kCyberPhysical, {0, 0});
+  eng.add_definition(def);
+
+  eng.observe(Entity(obs("M1", "SRheat", 0, TimePoint(10), {0, 0}, 80.0)), TimePoint(10));
+  eng.observe(Entity(obs("M2", "SRheat", 0, TimePoint(11), {10, 0}, 80.0)), TimePoint(11));
+  auto fired = eng.observe(Entity(obs("M3", "SRheat", 0, TimePoint(12), {0, 10}, 80.0)),
+                           TimePoint(12));
+  ASSERT_EQ(fired.size(), 1u);
+  const EventInstance& inst = fired.front();
+  ASSERT_TRUE(inst.est_location.is_field());
+  EXPECT_DOUBLE_EQ(inst.est_location.as_field().area(), 50.0);
+  EXPECT_TRUE(inst.est_location.covers({2, 2}));
+}
+
+TEST(DetectionEngineTest, SelfPairingDoesNotDuplicate) {
+  // A definition whose two slots both match the same entity kind must not
+  // emit the (e, e) self-binding twice for one arrival.
+  EventDefinition def{EventTypeId("PAIR"),
+                      {{"x", SlotFilter::observation(SensorId("SR"))},
+                       {"y", SlotFilter::observation(SensorId("SR"))}},
+                      c_time(0, time_model::TemporalOp::kBefore, 1),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kUnrestricted};
+  DetectionEngine eng(ObserverId("SINK"), Layer::kCyberPhysical, {0, 0});
+  eng.add_definition(def);
+
+  EXPECT_TRUE(eng.observe(Entity(obs("M1", "SR", 0, TimePoint(10), {0, 0}, 1.0)), TimePoint(10))
+                  .empty());  // e before e is false; no self-match
+  auto fired = eng.observe(Entity(obs("M1", "SR", 1, TimePoint(20), {0, 0}, 1.0)), TimePoint(20));
+  // Exactly one binding (first@x, second@y) satisfies "x before y".
+  ASSERT_EQ(fired.size(), 1u);
+}
+
+TEST(DetectionEngineTest, BufferCapEvictsOldest) {
+  EngineOptions opts;
+  opts.max_buffer = 4;
+  DetectionEngine eng(ObserverId("MT1"), Layer::kSensor, {0, 0}, opts);
+  auto def = threshold_def();
+  def.condition = c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 1e9);
+  eng.add_definition(def);  // never fires; buffer only grows
+
+  for (int i = 0; i < 20; ++i) {
+    eng.observe(Entity(obs("MT1", "SRtemp", static_cast<std::uint64_t>(i),
+                           TimePoint(static_cast<time_model::Tick>(i)), {0, 0}, 2.0)),
+                TimePoint(static_cast<time_model::Tick>(i)));
+  }
+  EXPECT_GE(eng.stats().evicted, 16u);
+}
+
+TEST(DetectionEngineTest, StatsCountersAdvance) {
+  DetectionEngine eng(ObserverId("MT1"), Layer::kSensor, {0, 0});
+  eng.add_definition(threshold_def());
+  eng.observe(Entity(obs("MT1", "SRtemp", 0, TimePoint(10), {0, 0}, 30.0)), TimePoint(10));
+  eng.observe(Entity(obs("MT1", "SRtemp", 1, TimePoint(20), {0, 0}, 10.0)), TimePoint(20));
+  const EngineStats& s = eng.stats();
+  EXPECT_EQ(s.entities_in, 2u);
+  EXPECT_EQ(s.bindings_tried, 2u);
+  EXPECT_EQ(s.bindings_matched, 1u);
+  EXPECT_EQ(s.instances_out, 1u);
+}
+
+TEST(DetectionEngineTest, MultipleDefinitionsShareEngine) {
+  DetectionEngine eng(ObserverId("MT1"), Layer::kSensor, {0, 0});
+  eng.add_definition(threshold_def("HOT"));
+  EventDefinition cold{EventTypeId("COLD"),
+                       {{"x", SlotFilter::observation(SensorId("SRtemp"))}},
+                       c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kLt, 5.0),
+                       seconds(60),
+                       {},
+                       ConsumptionMode::kConsume};
+  eng.add_definition(cold);
+  EXPECT_EQ(eng.definition_count(), 2u);
+
+  auto hot = eng.observe(Entity(obs("MT1", "SRtemp", 0, TimePoint(10), {0, 0}, 30.0)),
+                         TimePoint(10));
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot.front().key.event, EventTypeId("HOT"));
+
+  auto coldout = eng.observe(Entity(obs("MT1", "SRtemp", 1, TimePoint(20), {0, 0}, 1.0)),
+                             TimePoint(20));
+  ASSERT_EQ(coldout.size(), 1u);
+  EXPECT_EQ(coldout.front().key.event, EventTypeId("COLD"));
+}
+
+TEST(DetectionEngineTest, InstanceChainAcrossLayers) {
+  // Fig. 2 in miniature: observation -> sensor event -> cyber-physical
+  // event, with provenance linking back down the hierarchy.
+  DetectionEngine mote(ObserverId("MT1"), Layer::kSensor, {0, 0});
+  mote.add_definition(threshold_def("HOT"));
+
+  EventDefinition cp{EventTypeId("CP_HOT"),
+                     {{"h", SlotFilter::instance_of(EventTypeId("HOT"))}},
+                     c_confidence(ValueAggregate::kMin, {0}, RelationalOp::kGe, 0.5),
+                     seconds(60),
+                     {},
+                     ConsumptionMode::kConsume};
+  DetectionEngine sink(ObserverId("SINK"), Layer::kCyberPhysical, {100, 100});
+  sink.add_definition(cp);
+
+  auto sensor_events = mote.observe(
+      Entity(obs("MT1", "SRtemp", 0, TimePoint(10), {0, 0}, 30.0)), TimePoint(10));
+  ASSERT_EQ(sensor_events.size(), 1u);
+
+  auto cp_events = sink.observe(Entity(sensor_events.front()), TimePoint(15));
+  ASSERT_EQ(cp_events.size(), 1u);
+  const EventInstance& top = cp_events.front();
+  EXPECT_EQ(top.layer, Layer::kCyberPhysical);
+  ASSERT_EQ(top.provenance.size(), 1u);
+  EXPECT_EQ(top.provenance.front().event, EventTypeId("HOT"));
+  EXPECT_EQ(top.provenance.front().observer, ObserverId("MT1"));
+  // Estimated occurrence time survives the hierarchy unchanged.
+  EXPECT_EQ(top.est_time, OccurrenceTime(TimePoint(10)));
+}
+
+}  // namespace
+}  // namespace stem::core

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "eventlang/lexer.hpp"
+#include "eventlang/parser.hpp"
+
+namespace stem::eventlang {
+namespace {
+
+using core::EventTypeId;
+using core::ObserverId;
+using core::SensorId;
+using geom::Location;
+using geom::Point;
+using time_model::seconds;
+using time_model::TimePoint;
+
+// --- Lexer -------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesAllKinds) {
+  const auto tokens = tokenize("event E1 { when avg(v of x) >= 2.5; } # comment\n<= != ==");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "event");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLBrace);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersIncludingNegativeAndDecimal) {
+  const auto tokens = tokenize("3 -4.5 0.25");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 3.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, -4.5);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 0.25);
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  const auto tokens = tokenize("a\nb\n  c");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_THROW(tokenize("event @"), ParseError);
+  EXPECT_THROW(tokenize("a ! b"), ParseError);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  const auto tokens = tokenize("# full line\nx # trailing\ny");
+  ASSERT_EQ(tokens.size(), 3u);  // x, y, end
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].text, "y");
+}
+
+// --- Parser: structure ---------------------------------------------------------
+
+constexpr const char* kS1Source = R"(
+# The paper's S1 example: x before y and within 5 meters.
+event S1 {
+  window: 60 s;
+  slot x = obs(SRx) from MT1;
+  slot y = obs(SRy) from MT2;
+  when time(x) before time(y) and distance(x, y) < 5.0;
+}
+)";
+
+TEST(ParserTest, ParsesPaperS1Example) {
+  const auto def = parse_event(kS1Source);
+  EXPECT_EQ(def.id, EventTypeId("S1"));
+  ASSERT_EQ(def.slots.size(), 2u);
+  EXPECT_EQ(def.slots[0].name, "x");
+  EXPECT_EQ(def.slots[0].filter.sensor, SensorId("SRx"));
+  EXPECT_EQ(def.slots[0].filter.producer, ObserverId("MT1"));
+  EXPECT_EQ(def.window, seconds(60));
+  EXPECT_EQ(def.condition.leaf_count(), 2u);
+}
+
+TEST(ParserTest, CompiledS1DetectsLikeHandBuilt) {
+  auto def = parse_event(kS1Source);
+  core::DetectionEngine eng(ObserverId("SINK"), core::Layer::kCyberPhysical, {0, 0});
+  eng.add_definition(std::move(def));
+
+  core::PhysicalObservation ox;
+  ox.mote = ObserverId("MT1");
+  ox.sensor = SensorId("SRx");
+  ox.time = TimePoint(100);
+  ox.location = Location(Point{0, 0});
+  core::PhysicalObservation oy;
+  oy.mote = ObserverId("MT2");
+  oy.sensor = SensorId("SRy");
+  oy.time = TimePoint(200);
+  oy.location = Location(Point{3, 0});  // distance 3 < 5
+
+  EXPECT_TRUE(eng.observe(core::Entity(ox), TimePoint(100)).empty());
+  const auto fired = eng.observe(core::Entity(oy), TimePoint(200));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired.front().key.event, EventTypeId("S1"));
+}
+
+TEST(ParserTest, ParsesAllClauseKinds) {
+  const auto def = parse_event(R"(
+event FULL {
+  window: 500 ms;
+  slot a = obs(SRtemp);
+  slot b = event(HOT) from MT7;
+  slot c = any;
+  when (avg(value of a, b) > 20 or not rho(min: a) < 0.5)
+   and time(span: a, b) + 10 ms within time(c)
+   and loc(centroid: a, b) inside rect(0, 0, 100, 100)
+   and loc(a) joint circle(50, 50, 10)
+   and distance(a, point(1, 2)) <= 3;
+  emit {
+    time: latest;
+    location: centroid;
+    confidence: mean * 0.8;
+    attr heat = max(value of a, b);
+  }
+  reuse;
+}
+)");
+  EXPECT_EQ(def.id, EventTypeId("FULL"));
+  EXPECT_EQ(def.slots.size(), 3u);
+  EXPECT_EQ(def.window, time_model::milliseconds(500));
+  EXPECT_EQ(def.consumption, core::ConsumptionMode::kUnrestricted);
+  EXPECT_EQ(def.synthesis.time, time_model::TimeAggregate::kLatest);
+  EXPECT_EQ(def.synthesis.location, geom::SpatialAggregate::kCentroid);
+  EXPECT_EQ(def.synthesis.confidence, core::ConfidencePolicy::kMean);
+  EXPECT_DOUBLE_EQ(def.synthesis.observer_confidence, 0.8);
+  ASSERT_EQ(def.synthesis.attributes.size(), 1u);
+  EXPECT_EQ(def.synthesis.attributes[0].output_name, "heat");
+  EXPECT_GE(def.condition.leaf_count(), 5u);
+}
+
+TEST(ParserTest, ParsesTimeConstants) {
+  const auto def = parse_event(R"(
+event T {
+  slot x = any;
+  when time(x) after at(5 s) and time(x) within interval(1 s, 10 s);
+}
+)");
+  EXPECT_EQ(def.condition.leaf_count(), 2u);
+}
+
+TEST(ParserTest, MultipleEventsInOneSpec) {
+  const auto defs = parse_spec(R"(
+event A { slot x = any; when rho(x) >= 0.0; }
+event B { slot y = any; when rho(y) >= 0.5; }
+)");
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(defs[0].id, EventTypeId("A"));
+  EXPECT_EQ(defs[1].id, EventTypeId("B"));
+}
+
+// --- Parser: diagnostics --------------------------------------------------------
+
+struct BadCase {
+  const char* source;
+  const char* reason;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ParserErrorTest, Rejects) {
+  EXPECT_THROW((void)parse_spec(GetParam().source), ParseError) << GetParam().reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, ParserErrorTest,
+    ::testing::Values(
+        BadCase{"event { }", "missing event name"},
+        BadCase{"event E when x;", "missing braces"},
+        BadCase{"event E { slot x = any; }", "missing when clause"},
+        BadCase{"event E { when rho(x) >= 0.0; }", "no slots declared"},
+        BadCase{"event E { slot x = any; slot x = any; when rho(x) >= 0.0; }",
+                "duplicate slot"},
+        BadCase{"event E { slot x = any; when rho(y) >= 0.0; }", "unknown slot"},
+        BadCase{"event E { slot x = any; when time(x) sideways time(x); }",
+                "unknown temporal operator"},
+        BadCase{"event E { slot x = any; when loc(x) near loc(x); }",
+                "unknown spatial operator"},
+        BadCase{"event E { slot x = any; when median(v of x) > 1; }",
+                "unknown aggregate"},
+        BadCase{"event E { slot x = any; window: 5 lightyears; when rho(x) >= 0.0; }",
+                "unknown duration unit"},
+        BadCase{"event E { slot x = bogus(Q); when rho(x) >= 0.0; }",
+                "unknown slot source"},
+        BadCase{"event E { slot x = any; when rho(x) >= 0.0; } trailing",
+                "trailing garbage"}));
+
+TEST(ParserErrorReportingTest, IncludesPosition) {
+  try {
+    (void)parse_spec("event E {\n  slot x = any;\n  when rho(zz) >= 0.0;\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("zz"), std::string::npos);
+  }
+}
+
+TEST(ParseEventTest, RequiresExactlyOne) {
+  EXPECT_THROW((void)parse_event(""), ParseError);
+  EXPECT_THROW((void)parse_event(R"(
+event A { slot x = any; when rho(x) >= 0.0; }
+event B { slot y = any; when rho(y) >= 0.0; }
+)"),
+               ParseError);
+}
+
+TEST(ParserSemanticsTest, RegisteredDefinitionValidates) {
+  // A definition straight from the parser must pass engine validation.
+  core::DetectionEngine eng(ObserverId("X"), core::Layer::kSensor, {0, 0});
+  EXPECT_NO_THROW(eng.add_definition(parse_event(
+      "event OK { slot x = any; slot y = any; when time(x) before time(y); }")));
+}
+
+TEST(ParserDurationTest, AllUnits) {
+  const auto def = parse_event("event D { window: 2 m; slot x = any; when rho(x) >= 0.0; }");
+  EXPECT_EQ(def.window, time_model::minutes(2));
+  const auto def2 = parse_event("event D { window: 250 us; slot x = any; when rho(x) >= 0.0; }");
+  EXPECT_EQ(def2.window, time_model::microseconds(250));
+}
+
+}  // namespace
+}  // namespace stem::eventlang

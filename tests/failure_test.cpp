@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "scenario/forest_fire.hpp"
+#include "scenario/smart_building.hpp"
+
+namespace stem::scenario {
+namespace {
+
+/// Failure-injection and degraded-operation tests: the paper's
+/// architecture must keep detecting under lossy radios and dead repeaters
+/// (graceful degradation, not silent wrong answers).
+
+DeploymentConfig dense(std::uint64_t seed) {
+  DeploymentConfig cfg;
+  cfg.topology.motes = 25;
+  cfg.topology.placement = wsn::TopologyConfig::Placement::kGrid;
+  cfg.topology.radio_range = 40.0;
+  cfg.topology.seed = seed;
+  cfg.seed = seed;
+  cfg.sampling_period = time_model::milliseconds(500);
+  return cfg;
+}
+
+TEST(FailureInjectionTest, LossyRadioStillDetects) {
+  SmartBuildingConfig cfg;
+  cfg.deployment = dense(41);
+  cfg.deployment.wsn_link.loss_prob = 0.2;  // 20% of WSN messages lost
+  SmartBuilding scenario(cfg);
+  const auto result = scenario.run();
+
+  EXPECT_GT(result.network.dropped, 0u);  // loss actually happened
+  // Redundant sensing rides out the loss: the chain still completes.
+  EXPECT_TRUE(result.first_detection.has_value());
+  EXPECT_TRUE(result.window_closed.has_value());
+}
+
+TEST(FailureInjectionTest, HeavyLossDegradesButNeverFabricates) {
+  SmartBuildingConfig cfg;
+  cfg.deployment = dense(42);
+  cfg.deployment.wsn_link.loss_prob = 0.85;
+  SmartBuilding scenario(cfg);
+  const auto result = scenario.run();
+
+  // Fewer location estimates than the clean run...
+  SmartBuildingConfig clean_cfg;
+  clean_cfg.deployment = dense(42);
+  const auto clean = SmartBuilding(clean_cfg).run();
+  EXPECT_LT(result.location_estimates, clean.location_estimates);
+  // ...and any detection that did happen still postdates the truth.
+  if (result.first_detection.has_value()) {
+    ASSERT_TRUE(result.true_entry.has_value());
+    EXPECT_GT(*result.first_detection, *result.true_entry);
+  }
+}
+
+TEST(FailureInjectionTest, DeadMotesReduceCoverage) {
+  ForestFireConfig cfg;
+  cfg.deployment = dense(43);
+  ForestFire healthy(cfg);
+  const auto healthy_result = healthy.run();
+  ASSERT_TRUE(healthy_result.first_cp_fire.has_value());
+
+  ForestFireConfig cfg2;
+  cfg2.deployment = dense(43);
+  ForestFire degraded(cfg2);
+  // Kill half the motes just before ignition.
+  std::size_t killed = 0;
+  degraded.deployment().for_each_mote([&](wsn::SensorMote& m) {
+    if (killed++ % 2 == 0) m.fail_at(time_model::TimePoint::epoch() + time_model::seconds(9));
+  });
+  const auto degraded_result = degraded.run();
+
+  std::size_t failed = 0;
+  degraded.deployment().for_each_mote(
+      [&](wsn::SensorMote& m) { failed += m.failed() ? 1 : 0; });
+  EXPECT_GT(failed, 0u);
+  // Fewer HOT events than the healthy run.
+  EXPECT_LT(degraded_result.hot_events, healthy_result.hot_events);
+  // Detection may be later (or missing); if present it must follow truth.
+  if (degraded_result.first_cp_fire.has_value()) {
+    EXPECT_GE(*degraded_result.first_cp_fire, *healthy_result.first_cp_fire);
+  }
+}
+
+TEST(FailureInjectionTest, FailedMoteStopsRelaying) {
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(9));
+
+  wsn::SensorMote::Config a_cfg;
+  a_cfg.id = net::NodeId("A");
+  a_cfg.position = {0, 0};
+  wsn::SensorMote a(network, a_cfg, sim::Rng(1));
+  a.add_sensor(std::make_shared<sensing::ScalarFieldSensor>(
+      core::SensorId("SR"), std::make_shared<sensing::UniformField>(99.0), 0.0));
+  a.add_definition(core::EventDefinition{
+      core::EventTypeId("E"),
+      {{"x", core::SlotFilter::observation(core::SensorId("SR"))}},
+      core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt, 0.0),
+      time_model::seconds(60),
+      {},
+      core::ConsumptionMode::kConsume});
+
+  wsn::SensorMote::Config relay_cfg;
+  relay_cfg.id = net::NodeId("R");
+  relay_cfg.position = {10, 0};
+  wsn::SensorMote relay(network, relay_cfg, sim::Rng(2));
+
+  std::size_t received = 0;
+  network.register_node(net::NodeId("SINK"), [&](const net::Message&) { ++received; });
+  net::LinkSpec link;
+  link.jitter = time_model::Duration::zero();
+  network.connect(net::NodeId("A"), net::NodeId("R"), link);
+  network.connect(net::NodeId("R"), net::NodeId("SINK"), link);
+  a.set_parent(net::NodeId("R"));
+  relay.set_parent(net::NodeId("SINK"));
+
+  // The relay dies halfway through a 10-sample run.
+  relay.fail_at(time_model::TimePoint::epoch() + time_model::milliseconds(5'500));
+  a.start(time_model::TimePoint::epoch() + time_model::seconds(10));
+  simulator.run();
+
+  EXPECT_EQ(a.stats().events_emitted, 10u);  // the source kept detecting
+  EXPECT_EQ(received, 5u);                   // only pre-failure events arrived
+}
+
+}  // namespace
+}  // namespace stem::scenario

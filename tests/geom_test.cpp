@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/convex_hull.hpp"
+#include "geom/grid_index.hpp"
+#include "geom/location.hpp"
+#include "geom/point.hpp"
+#include "geom/polygon.hpp"
+#include "geom/rtree.hpp"
+#include "sim/random.hpp"
+
+namespace stem::geom {
+namespace {
+
+TEST(PointTest, VectorOps) {
+  const Point a{1, 2}, b{4, 6};
+  EXPECT_EQ(a + b, (Point{5, 8}));
+  EXPECT_EQ(b - a, (Point{3, 4}));
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), 16.0);
+  EXPECT_DOUBLE_EQ(cross(a, b), -2.0);
+  EXPECT_GT(orientation({0, 0}, {1, 0}, {1, 1}), 0.0);  // CCW
+  EXPECT_LT(orientation({0, 0}, {1, 0}, {1, -1}), 0.0);  // CW
+  EXPECT_DOUBLE_EQ(orientation({0, 0}, {1, 1}, {2, 2}), 0.0);  // collinear
+}
+
+TEST(BBoxTest, EmptyAndExpand) {
+  BoundingBox b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.intersects(b));
+  b.expand(Point{1, 1});
+  EXPECT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.area(), 0.0);
+  b.expand(Point{3, 5});
+  EXPECT_DOUBLE_EQ(b.area(), 8.0);
+  EXPECT_TRUE(b.contains(Point{2, 3}));
+  EXPECT_FALSE(b.contains(Point{0, 0}));
+}
+
+TEST(BBoxTest, IntersectContainEnlarge) {
+  const BoundingBox a({0, 0}, {4, 4});
+  const BoundingBox b({2, 2}, {6, 6});
+  const BoundingBox c({5, 5}, {7, 7});
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(a.contains(BoundingBox({1, 1}, {2, 2})));
+  EXPECT_FALSE(a.contains(b));
+  EXPECT_DOUBLE_EQ(a.enlargement(b), 36.0 - 16.0);
+  EXPECT_EQ(a.united(c), BoundingBox({0, 0}, {7, 7}));
+}
+
+TEST(PolygonTest, RejectsDegenerate) {
+  EXPECT_THROW(Polygon(std::vector<Point>{{0, 0}, {1, 1}}), std::invalid_argument);
+}
+
+TEST(PolygonTest, AreaCentroidPerimeter) {
+  const Polygon sq = Polygon::rectangle({0, 0}, {4, 2});
+  EXPECT_DOUBLE_EQ(sq.area(), 8.0);
+  EXPECT_DOUBLE_EQ(sq.perimeter(), 12.0);
+  const Point c = sq.centroid();
+  EXPECT_NEAR(c.x, 2.0, 1e-12);
+  EXPECT_NEAR(c.y, 1.0, 1e-12);
+
+  // Winding direction must not change the absolute area.
+  const Polygon cw({{0, 0}, {0, 2}, {4, 2}, {4, 0}});
+  EXPECT_DOUBLE_EQ(cw.area(), 8.0);
+  EXPECT_LT(cw.signed_area() * sq.signed_area(), 0.0);
+}
+
+TEST(PolygonTest, ContainsPointIncludingBoundary) {
+  const Polygon tri({{0, 0}, {10, 0}, {0, 10}});
+  EXPECT_TRUE(tri.contains({1, 1}));
+  EXPECT_TRUE(tri.contains({0, 0}));       // vertex
+  EXPECT_TRUE(tri.contains({5, 0}));       // edge
+  EXPECT_TRUE(tri.contains({5, 5}));       // hypotenuse
+  EXPECT_FALSE(tri.contains({6, 6}));
+  EXPECT_FALSE(tri.contains({-1, 0}));
+}
+
+TEST(PolygonTest, ContainsPointNonConvex) {
+  // A "U" shape: region between the prongs is outside.
+  const Polygon u({{0, 0}, {6, 0}, {6, 5}, {4, 5}, {4, 2}, {2, 2}, {2, 5}, {0, 5}});
+  EXPECT_TRUE(u.contains({1, 4}));   // left prong
+  EXPECT_TRUE(u.contains({5, 4}));   // right prong
+  EXPECT_TRUE(u.contains({3, 1}));   // base
+  EXPECT_FALSE(u.contains({3, 4}));  // notch
+}
+
+TEST(PolygonTest, PolygonContainsPolygon) {
+  const Polygon outer = Polygon::rectangle({0, 0}, {10, 10});
+  const Polygon inner = Polygon::rectangle({2, 2}, {4, 4});
+  const Polygon cross = Polygon::rectangle({8, 8}, {12, 12});
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_FALSE(outer.contains(cross));
+}
+
+TEST(PolygonTest, IntersectsCoversAllRegimes) {
+  const Polygon a = Polygon::rectangle({0, 0}, {4, 4});
+  EXPECT_TRUE(a.intersects(Polygon::rectangle({2, 2}, {6, 6})));   // overlap
+  EXPECT_TRUE(a.intersects(Polygon::rectangle({4, 0}, {8, 4})));   // shared edge
+  EXPECT_TRUE(a.intersects(Polygon::rectangle({1, 1}, {2, 2})));   // containment
+  EXPECT_TRUE(Polygon::rectangle({1, 1}, {2, 2}).intersects(a));   // containment, flipped
+  EXPECT_FALSE(a.intersects(Polygon::rectangle({5, 5}, {6, 6})));  // disjoint
+}
+
+TEST(PolygonTest, DistanceToPoint) {
+  const Polygon sq = Polygon::rectangle({0, 0}, {4, 4});
+  EXPECT_DOUBLE_EQ(sq.distance_to({2, 2}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(sq.distance_to({6, 2}), 2.0);   // right of edge
+  EXPECT_DOUBLE_EQ(sq.distance_to({7, 8}), 5.0);   // 3-4-5 to corner (4,4)
+}
+
+TEST(PolygonTest, DiskApproximation) {
+  const Polygon d = Polygon::disk({0, 0}, 10.0, 64);
+  EXPECT_NEAR(d.area(), 100.0 * std::numbers::pi, 2.0);
+  EXPECT_TRUE(d.contains({0, 0}));
+  EXPECT_TRUE(d.contains({9.5, 0}));
+  EXPECT_FALSE(d.contains({10.5, 0}));
+  EXPECT_THROW(Polygon::disk({0, 0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(Polygon::disk({0, 0}, 1.0, 2), std::invalid_argument);
+}
+
+TEST(PolygonTest, TranslatedPreservesShape) {
+  const Polygon tri({{0, 0}, {3, 0}, {0, 3}});
+  const Polygon moved = tri.translated({10, 20});
+  EXPECT_DOUBLE_EQ(moved.area(), tri.area());
+  EXPECT_TRUE(moved.contains({10.5, 20.5}));
+  EXPECT_FALSE(moved.contains({0.5, 0.5}));
+}
+
+TEST(SegmentTest, IntersectionCases) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {4, 4}, {0, 4}, {4, 0}));   // proper cross
+  EXPECT_TRUE(segments_intersect({0, 0}, {4, 0}, {4, 0}, {4, 4}));   // shared endpoint
+  EXPECT_TRUE(segments_intersect({0, 0}, {4, 0}, {2, 0}, {6, 0}));   // collinear overlap
+  EXPECT_FALSE(segments_intersect({0, 0}, {4, 0}, {5, 0}, {6, 0}));  // collinear disjoint
+  EXPECT_FALSE(segments_intersect({0, 0}, {4, 0}, {0, 1}, {4, 1}));  // parallel
+}
+
+TEST(SegmentTest, PointSegmentDistance) {
+  EXPECT_DOUBLE_EQ(point_segment_distance({0, 5}, {-2, 0}, {2, 0}), 5.0);  // projects inside
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 4}, {-2, 0}, {2, 0}), 5.0);  // clamps to endpoint
+  EXPECT_DOUBLE_EQ(point_segment_distance({1, 1}, {1, 1}, {1, 1}), 0.0);   // degenerate segment
+}
+
+TEST(ConvexHullTest, BasicHull) {
+  const auto hull = convex_hull({{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 1}});
+  ASSERT_TRUE(hull.has_value());
+  EXPECT_EQ(hull->size(), 4u);
+  EXPECT_DOUBLE_EQ(hull->area(), 16.0);
+  EXPECT_GT(hull->signed_area(), 0.0);  // CCW
+}
+
+TEST(ConvexHullTest, CollinearAndTooFewPoints) {
+  EXPECT_FALSE(convex_hull({{0, 0}, {1, 1}}).has_value());
+  EXPECT_FALSE(convex_hull({{0, 0}, {1, 1}, {2, 2}, {3, 3}}).has_value());
+  EXPECT_FALSE(convex_hull({{1, 1}, {1, 1}, {1, 1}}).has_value());
+}
+
+TEST(ConvexHullTest, HullContainsAllInputs) {
+  sim::Rng rng(42);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  const auto hull = convex_hull(pts);
+  ASSERT_TRUE(hull.has_value());
+  for (const Point& p : pts) EXPECT_TRUE(hull->contains(p)) << p.x << "," << p.y;
+}
+
+// --- Location & spatial operators ----------------------------------------
+
+TEST(LocationTest, PointFieldBasics) {
+  const Location p(Point{1, 2});
+  const Location f(Polygon::rectangle({0, 0}, {4, 4}));
+  EXPECT_TRUE(p.is_point());
+  EXPECT_TRUE(f.is_field());
+  EXPECT_EQ(p.representative(), (Point{1, 2}));
+  EXPECT_TRUE(almost_equal(f.representative(), {2, 2}));
+  EXPECT_TRUE(f.covers({1, 1}));
+  EXPECT_FALSE(f.covers({5, 5}));
+  EXPECT_TRUE(p.covers({1, 2}));
+}
+
+TEST(SpatialOpTest, PointPoint) {
+  const Location a(Point{1, 1}), b(Point{1, 1}), c(Point{2, 2});
+  EXPECT_TRUE(eval_spatial(a, SpatialOp::kEqual, b));
+  EXPECT_FALSE(eval_spatial(a, SpatialOp::kEqual, c));
+  EXPECT_TRUE(eval_spatial(a, SpatialOp::kJoint, b));
+  EXPECT_TRUE(eval_spatial(a, SpatialOp::kOutside, c));
+  EXPECT_TRUE(eval_spatial(a, SpatialOp::kInside, b));  // coincident point
+  EXPECT_FALSE(eval_spatial(a, SpatialOp::kInside, c));
+}
+
+TEST(SpatialOpTest, PointField) {
+  const Location p(Point{2, 2});
+  const Location out(Point{9, 9});
+  const Location f(Polygon::rectangle({0, 0}, {4, 4}));
+  EXPECT_TRUE(eval_spatial(p, SpatialOp::kInside, f));
+  EXPECT_TRUE(eval_spatial(f, SpatialOp::kContains, p));
+  EXPECT_TRUE(eval_spatial(out, SpatialOp::kOutside, f));
+  EXPECT_FALSE(eval_spatial(p, SpatialOp::kOutside, f));
+  EXPECT_FALSE(eval_spatial(p, SpatialOp::kEqual, f));  // mixed kinds never equal
+}
+
+TEST(SpatialOpTest, FieldField) {
+  const Location a(Polygon::rectangle({0, 0}, {4, 4}));
+  const Location b(Polygon::rectangle({2, 2}, {6, 6}));
+  const Location inner(Polygon::rectangle({1, 1}, {2, 2}));
+  const Location far(Polygon::rectangle({10, 10}, {12, 12}));
+  EXPECT_TRUE(eval_spatial(a, SpatialOp::kJoint, b));
+  EXPECT_TRUE(eval_spatial(inner, SpatialOp::kInside, a));
+  EXPECT_TRUE(eval_spatial(a, SpatialOp::kContains, inner));
+  EXPECT_TRUE(eval_spatial(a, SpatialOp::kOutside, far));
+  EXPECT_TRUE(eval_spatial(a, SpatialOp::kDisjoint, far));
+  EXPECT_TRUE(eval_spatial(a, SpatialOp::kEqual, a));
+  EXPECT_FALSE(eval_spatial(a, SpatialOp::kEqual, b));
+}
+
+TEST(SpatialOpTest, DistanceBetweenLocations) {
+  const Location p(Point{0, 0});
+  const Location q(Point{3, 4});
+  const Location f(Polygon::rectangle({10, 0}, {12, 2}));
+  EXPECT_DOUBLE_EQ(location_distance(p, q), 5.0);
+  EXPECT_DOUBLE_EQ(location_distance(p, f), 10.0);
+  EXPECT_DOUBLE_EQ(location_distance(f, p), 10.0);
+  const Location g(Polygon::rectangle({11, 1}, {13, 3}));
+  EXPECT_DOUBLE_EQ(location_distance(f, g), 0.0);  // joint
+  const Location h(Polygon::rectangle({15, 0}, {16, 2}));
+  EXPECT_DOUBLE_EQ(location_distance(f, h), 3.0);
+}
+
+TEST(SpatialOpTest, StringRoundTrip) {
+  for (const SpatialOp op : {SpatialOp::kEqual, SpatialOp::kInside, SpatialOp::kOutside,
+                             SpatialOp::kContains, SpatialOp::kJoint, SpatialOp::kDisjoint}) {
+    EXPECT_EQ(spatial_op_from_string(to_string(op)), op);
+  }
+  EXPECT_FALSE(spatial_op_from_string("around").has_value());
+}
+
+TEST(SpatialAggregateTest, CentroidHullUnionBox) {
+  const std::vector<Location> locs = {Location(Point{0, 0}), Location(Point{4, 0}),
+                                      Location(Point{4, 4}), Location(Point{0, 4})};
+  const Location c = aggregate_locations(SpatialAggregate::kCentroid, locs.data(), locs.size());
+  ASSERT_TRUE(c.is_point());
+  EXPECT_TRUE(almost_equal(c.as_point(), {2, 2}));
+
+  const Location h = aggregate_locations(SpatialAggregate::kHull, locs.data(), locs.size());
+  ASSERT_TRUE(h.is_field());
+  EXPECT_DOUBLE_EQ(h.as_field().area(), 16.0);
+
+  const Location u = aggregate_locations(SpatialAggregate::kUnionBox, locs.data(), locs.size());
+  ASSERT_TRUE(u.is_field());
+  EXPECT_DOUBLE_EQ(u.as_field().area(), 16.0);
+}
+
+TEST(SpatialAggregateTest, HullDegradesToCentroidForCollinear) {
+  const std::vector<Location> locs = {Location(Point{0, 0}), Location(Point{2, 2})};
+  const Location h = aggregate_locations(SpatialAggregate::kHull, locs.data(), locs.size());
+  ASSERT_TRUE(h.is_point());
+  EXPECT_TRUE(almost_equal(h.as_point(), {1, 1}));
+}
+
+TEST(SpatialAggregateTest, EmptyThrows) {
+  EXPECT_THROW(aggregate_locations(SpatialAggregate::kCentroid, nullptr, 0),
+               std::invalid_argument);
+}
+
+// --- Spatial indexes: results must match brute force. ---------------------
+
+struct IndexFixture : public ::testing::Test {
+  void SetUp() override {
+    sim::Rng rng(1234);
+    for (int i = 0; i < 500; ++i) {
+      const Point lo{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+      const Point hi{lo.x + rng.uniform(0.1, 20), lo.y + rng.uniform(0.1, 20)};
+      boxes.emplace_back(lo, hi);
+    }
+    for (int i = 0; i < 50; ++i) {
+      const Point lo{rng.uniform(-50, 1000), rng.uniform(-50, 1000)};
+      const Point hi{lo.x + rng.uniform(1, 120), lo.y + rng.uniform(1, 120)};
+      queries.emplace_back(lo, hi);
+    }
+  }
+
+  [[nodiscard]] std::vector<int> brute(const BoundingBox& q) const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].intersects(q)) out.push_back(static_cast<int>(i));
+    }
+    return out;
+  }
+
+  std::vector<BoundingBox> boxes;
+  std::vector<BoundingBox> queries;
+};
+
+TEST_F(IndexFixture, GridMatchesBruteForce) {
+  GridIndex<int> grid(25.0);
+  for (std::size_t i = 0; i < boxes.size(); ++i) grid.insert(boxes[i], static_cast<int>(i));
+  EXPECT_EQ(grid.size(), boxes.size());
+  for (const auto& q : queries) {
+    auto got = grid.query(q);
+    auto want = brute(q);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_F(IndexFixture, RTreeMatchesBruteForce) {
+  RTree<int> tree;
+  for (std::size_t i = 0; i < boxes.size(); ++i) tree.insert(boxes[i], static_cast<int>(i));
+  EXPECT_EQ(tree.size(), boxes.size());
+  EXPECT_GT(tree.height(), 1u);  // 500 entries must have split
+  for (const auto& q : queries) {
+    auto got = tree.query(q);
+    auto want = brute(q);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_F(IndexFixture, RTreeVisitMatchesQuery) {
+  RTree<int> tree;
+  for (std::size_t i = 0; i < boxes.size(); ++i) tree.insert(boxes[i], static_cast<int>(i));
+  for (const auto& q : queries) {
+    std::vector<int> visited;
+    tree.visit(q, [&](const int& v) { visited.push_back(v); });
+    auto direct = tree.query(q);
+    std::sort(visited.begin(), visited.end());
+    std::sort(direct.begin(), direct.end());
+    EXPECT_EQ(visited, direct);
+  }
+}
+
+TEST(GridIndexTest, RejectsBadInput) {
+  EXPECT_THROW(GridIndex<int>(0.0), std::invalid_argument);
+  GridIndex<int> g(10.0);
+  EXPECT_THROW(g.insert(BoundingBox(), 1), std::invalid_argument);
+  EXPECT_TRUE(g.query(BoundingBox({0, 0}, {1, 1})).empty());
+}
+
+TEST(RTreeTest, EmptyAndClear) {
+  RTree<int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.query(BoundingBox({0, 0}, {1, 1})).empty());
+  t.insert(BoundingBox({0, 0}, {1, 1}), 7);
+  EXPECT_EQ(t.size(), 1u);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_THROW(t.insert(BoundingBox(), 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stem::geom

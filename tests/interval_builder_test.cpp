@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/interval_builder.hpp"
+
+namespace stem::core {
+namespace {
+
+using geom::Location;
+using geom::Point;
+using time_model::Duration;
+using time_model::seconds;
+using time_model::TimeInterval;
+using time_model::TimePoint;
+
+EventInstance punctual(const char* type, TimePoint t, Point p, double rho = 1.0,
+                       std::uint64_t seq = 0) {
+  EventInstance inst;
+  inst.key = EventInstanceKey{ObserverId("SINK"), EventTypeId(type), seq};
+  inst.layer = Layer::kCyberPhysical;
+  inst.gen_time = t;
+  inst.est_time = time_model::OccurrenceTime(t);
+  inst.est_location = Location(p);
+  inst.confidence = rho;
+  return inst;
+}
+
+IntervalBuilder make_builder(Duration gap = seconds(5), Duration min_length = Duration::zero()) {
+  IntervalBuilder::Config cfg;
+  cfg.input = EventTypeId("NEARBY");
+  cfg.output = EventTypeId("NEARBY_INTERVAL");
+  cfg.gap = gap;
+  cfg.min_length = min_length;
+  return IntervalBuilder(cfg, ObserverId("SINK"), {50, 50});
+}
+
+TEST(IntervalBuilderTest, CoalescesConfirmationsIntoOneInterval) {
+  auto builder = make_builder();
+  const TimePoint t0 = TimePoint::epoch();
+  // Confirmations every 2 s for 10 s (well within the 5 s gap).
+  for (int i = 0; i <= 5; ++i) {
+    const auto closed = builder.on_instance(
+        punctual("NEARBY", t0 + seconds(2 * i), {10, 10}, 1.0, static_cast<std::uint64_t>(i)),
+        t0 + seconds(2 * i));
+    EXPECT_FALSE(closed.has_value());
+  }
+  EXPECT_TRUE(builder.open());
+
+  // Silence for > gap: the tick closes it.
+  const auto closed = builder.on_tick(t0 + seconds(16));
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_FALSE(builder.open());
+  EXPECT_EQ(closed->key.event, EventTypeId("NEARBY_INTERVAL"));
+  EXPECT_TRUE(closed->est_time.is_interval());
+  EXPECT_EQ(closed->est_time, time_model::OccurrenceTime(TimeInterval(t0, t0 + seconds(10))));
+  EXPECT_EQ(*closed->attributes.number("confirmations"), 6.0);
+  EXPECT_EQ(closed->provenance.size(), 6u);
+}
+
+TEST(IntervalBuilderTest, GapSplitsIntoTwoIntervals) {
+  auto builder = make_builder(seconds(3));
+  const TimePoint t0 = TimePoint::epoch();
+  builder.on_instance(punctual("NEARBY", t0, {0, 0}), t0);
+  builder.on_instance(punctual("NEARBY", t0 + seconds(1), {0, 0}, 1.0, 1), t0 + seconds(1));
+  // A confirmation 10 s later closes the first interval and opens another.
+  const auto first = builder.on_instance(punctual("NEARBY", t0 + seconds(11), {0, 0}, 1.0, 2),
+                                         t0 + seconds(11));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->est_time,
+            time_model::OccurrenceTime(TimeInterval(t0, t0 + seconds(1))));
+  EXPECT_TRUE(builder.open());
+
+  const auto second = builder.flush(t0 + seconds(12));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->est_time.is_punctual());  // single confirmation
+  EXPECT_EQ(second->key.seq, 1u);               // sequence advanced
+}
+
+TEST(IntervalBuilderTest, MinLengthDiscardsGlitches) {
+  auto builder = make_builder(seconds(3), seconds(5));
+  const TimePoint t0 = TimePoint::epoch();
+  builder.on_instance(punctual("NEARBY", t0, {0, 0}), t0);
+  builder.on_instance(punctual("NEARBY", t0 + seconds(2), {0, 0}, 1.0, 1), t0 + seconds(2));
+  // Only 2 s long: below min_length, discarded on close.
+  EXPECT_FALSE(builder.flush(t0 + seconds(10)).has_value());
+  EXPECT_FALSE(builder.open());
+}
+
+TEST(IntervalBuilderTest, IgnoresOtherEventTypes) {
+  auto builder = make_builder();
+  EXPECT_FALSE(builder
+                   .on_instance(punctual("OTHER", TimePoint::epoch(), {0, 0}),
+                                TimePoint::epoch())
+                   .has_value());
+  EXPECT_FALSE(builder.open());
+}
+
+TEST(IntervalBuilderTest, LocationIsHullOfConfirmations) {
+  auto builder = make_builder();
+  const TimePoint t0 = TimePoint::epoch();
+  builder.on_instance(punctual("NEARBY", t0, {0, 0}), t0);
+  builder.on_instance(punctual("NEARBY", t0 + seconds(1), {10, 0}, 1.0, 1), t0 + seconds(1));
+  builder.on_instance(punctual("NEARBY", t0 + seconds(2), {0, 10}, 1.0, 2), t0 + seconds(2));
+  const auto closed = builder.flush(t0 + seconds(3));
+  ASSERT_TRUE(closed.has_value());
+  ASSERT_TRUE(closed->est_location.is_field());
+  EXPECT_DOUBLE_EQ(closed->est_location.as_field().area(), 50.0);
+}
+
+TEST(IntervalBuilderTest, ConfidenceIsMeanOfConfirmations) {
+  auto builder = make_builder();
+  const TimePoint t0 = TimePoint::epoch();
+  builder.on_instance(punctual("NEARBY", t0, {0, 0}, 0.9), t0);
+  builder.on_instance(punctual("NEARBY", t0 + seconds(1), {0, 0}, 0.5, 1), t0 + seconds(1));
+  const auto closed = builder.flush(t0 + seconds(2));
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_NEAR(closed->confidence, 0.7, 1e-12);
+}
+
+TEST(IntervalBuilderTest, PaperThirtyMinuteExample) {
+  // "user A is nearby window B for the last 30 minutes": coalesce minute-
+  // by-minute confirmations, then check the emitted interval's length.
+  auto builder = make_builder(time_model::minutes(2), time_model::minutes(30));
+  const TimePoint t0 = TimePoint::epoch();
+  for (int minute = 0; minute <= 35; ++minute) {
+    builder.on_instance(punctual("NEARBY", t0 + time_model::minutes(minute), {10, 10}, 1.0,
+                                 static_cast<std::uint64_t>(minute)),
+                        t0 + time_model::minutes(minute));
+  }
+  const auto closed = builder.flush(t0 + time_model::minutes(36));
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_GE(closed->est_time.length(), time_model::minutes(30));
+
+  // A 20-minute presence does NOT qualify.
+  auto short_builder = make_builder(time_model::minutes(2), time_model::minutes(30));
+  for (int minute = 0; minute <= 20; ++minute) {
+    short_builder.on_instance(punctual("NEARBY", t0 + time_model::minutes(minute), {10, 10},
+                                       1.0, static_cast<std::uint64_t>(minute)),
+                              t0 + time_model::minutes(minute));
+  }
+  EXPECT_FALSE(short_builder.flush(t0 + time_model::minutes(21)).has_value());
+}
+
+TEST(IntervalBuilderTest, TickBeforeGapKeepsIntervalOpen) {
+  auto builder = make_builder(seconds(5));
+  builder.on_instance(punctual("NEARBY", TimePoint::epoch(), {0, 0}), TimePoint::epoch());
+  EXPECT_FALSE(builder.on_tick(TimePoint::epoch() + seconds(4)).has_value());
+  EXPECT_TRUE(builder.open());
+}
+
+}  // namespace
+}  // namespace stem::core

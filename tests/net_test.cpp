@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "net/broker.hpp"
+#include "net/network.hpp"
+
+namespace stem::net {
+namespace {
+
+using core::Entity;
+using core::EventInstance;
+using core::EventInstanceKey;
+using core::EventTypeId;
+using core::ObserverId;
+using time_model::milliseconds;
+using time_model::TimePoint;
+
+EventInstance make_instance(const char* event, std::uint64_t seq = 0) {
+  EventInstance inst;
+  inst.key = EventInstanceKey{ObserverId("SINK1"), EventTypeId(event), seq};
+  inst.layer = core::Layer::kCyberPhysical;
+  inst.gen_time = TimePoint(0);
+  inst.est_time = time_model::OccurrenceTime(TimePoint(0));
+  inst.est_location = geom::Location(geom::Point{1, 1});
+  inst.attributes.set("value", 3.0);
+  return inst;
+}
+
+struct NetFixture : ::testing::Test {
+  NetFixture() : network(simulator, sim::Rng(7)) {}
+
+  void add_node(const char* name) {
+    network.register_node(NodeId(name), [this, n = std::string(name)](const Message& msg) {
+      received.emplace_back(n, msg);
+    });
+  }
+
+  sim::Simulator simulator;
+  Network network;
+  std::vector<std::pair<std::string, Message>> received;
+};
+
+TEST_F(NetFixture, DeliversOverLink) {
+  add_node("a");
+  add_node("b");
+  network.connect(NodeId("a"), NodeId("b"), LinkSpec{});
+
+  Message msg;
+  msg.src = NodeId("a");
+  msg.dst = NodeId("b");
+  msg.payload = Entity(make_instance("X"));
+  EXPECT_TRUE(network.send(std::move(msg)));
+  EXPECT_TRUE(received.empty());  // not yet delivered
+  simulator.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, "b");
+  EXPECT_GE(simulator.now(), TimePoint(0) + milliseconds(2));  // base latency elapsed
+  EXPECT_EQ(network.stats().sent, 1u);
+  EXPECT_EQ(network.stats().delivered, 1u);
+  EXPECT_GT(network.stats().bytes_sent, 0u);
+}
+
+TEST_F(NetFixture, RejectsUnknownRoutes) {
+  add_node("a");
+  add_node("b");
+  Message msg;
+  msg.src = NodeId("a");
+  msg.dst = NodeId("b");
+  msg.payload = Entity(make_instance("X"));
+  EXPECT_THROW(network.send(std::move(msg)), std::invalid_argument);
+  EXPECT_THROW(network.connect(NodeId("a"), NodeId("ghost"), LinkSpec{}), std::invalid_argument);
+  EXPECT_THROW(network.register_node(NodeId("a"), [](const Message&) {}),
+               std::invalid_argument);
+}
+
+TEST_F(NetFixture, DirectedLinkIsOneWay) {
+  add_node("a");
+  add_node("b");
+  network.connect_directed(NodeId("a"), NodeId("b"), LinkSpec{});
+  EXPECT_TRUE(network.linked(NodeId("a"), NodeId("b")));
+  EXPECT_FALSE(network.linked(NodeId("b"), NodeId("a")));
+}
+
+TEST_F(NetFixture, LossyLinkDropsStatistically) {
+  add_node("a");
+  add_node("b");
+  LinkSpec lossy;
+  lossy.loss_prob = 0.5;
+  network.connect(NodeId("a"), NodeId("b"), lossy);
+
+  for (int i = 0; i < 1000; ++i) {
+    Message msg;
+    msg.src = NodeId("a");
+    msg.dst = NodeId("b");
+    msg.payload = Entity(make_instance("X", static_cast<std::uint64_t>(i)));
+    network.send(std::move(msg));
+  }
+  simulator.run();
+  EXPECT_EQ(network.stats().sent, 1000u);
+  EXPECT_NEAR(static_cast<double>(network.stats().dropped), 500.0, 60.0);
+  EXPECT_EQ(network.stats().delivered + network.stats().dropped, 1000u);
+}
+
+TEST_F(NetFixture, LatencyScalesWithSize) {
+  add_node("a");
+  add_node("b");
+  LinkSpec slow;
+  slow.base_latency = milliseconds(1);
+  slow.jitter = time_model::Duration::zero();
+  slow.bytes_per_ms = 10.0;  // very slow serialization
+  network.connect(NodeId("a"), NodeId("b"), slow);
+
+  Message big;
+  big.src = NodeId("a");
+  big.dst = NodeId("b");
+  big.payload = Entity(make_instance("X"));
+  big.bytes = 1000;
+  network.send(std::move(big));
+  simulator.run();
+  // 1ms base + 1000/10 = 100ms serialization.
+  EXPECT_EQ(simulator.now(), TimePoint(0) + milliseconds(101));
+}
+
+TEST(EstimateSizeTest, OrdersPayloadsSensibly) {
+  EventInstance small = make_instance("X");
+  EventInstance with_field = make_instance("F");
+  with_field.est_location = geom::Location(geom::Polygon::disk({0, 0}, 5.0, 32));
+
+  const std::size_t s1 = estimate_size(Payload(Entity(small)));
+  const std::size_t s2 = estimate_size(Payload(Entity(with_field)));
+  EXPECT_GT(s2, s1);  // field events carry their polygon
+
+  Command cmd;
+  cmd.target = NodeId("AR1");
+  cmd.verb = "close";
+  EXPECT_GT(estimate_size(Payload(cmd)), 0u);
+  EXPECT_GT(estimate_size(Payload(Subscribe{"topic", NodeId("n")})), 0u);
+}
+
+struct BrokerFixture : NetFixture {
+  BrokerFixture() : broker(network, NodeId("broker")) {
+    add_node("pub");
+    add_node("sub1");
+    add_node("sub2");
+    network.connect(NodeId("pub"), NodeId("broker"), LinkSpec{});
+    network.connect(NodeId("sub1"), NodeId("broker"), LinkSpec{});
+    network.connect(NodeId("sub2"), NodeId("broker"), LinkSpec{});
+  }
+  Broker broker;
+};
+
+TEST_F(BrokerFixture, FansOutToSubscribers) {
+  broker.subscribe("CP1", NodeId("sub1"));
+  broker.subscribe("CP1", NodeId("sub2"));
+  broker.subscribe("CP1", NodeId("sub2"));  // duplicate ignored
+  EXPECT_EQ(broker.subscriber_count("CP1"), 2u);
+
+  broker.publish(NodeId("pub"), Entity(make_instance("CP1")));
+  simulator.run();
+  EXPECT_EQ(broker.published(), 1u);
+  EXPECT_EQ(broker.fanned_out(), 2u);
+  ASSERT_EQ(received.size(), 2u);
+}
+
+TEST_F(BrokerFixture, TopicIsolation) {
+  broker.subscribe("CP1", NodeId("sub1"));
+  broker.subscribe("CP2", NodeId("sub2"));
+  broker.publish(NodeId("pub"), Entity(make_instance("CP2")));
+  simulator.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, "sub2");
+}
+
+TEST_F(BrokerFixture, DoesNotEchoToPublisher) {
+  broker.subscribe("CP1", NodeId("pub"));
+  broker.subscribe("CP1", NodeId("sub1"));
+  broker.publish(NodeId("pub"), Entity(make_instance("CP1")));
+  simulator.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, "sub1");
+}
+
+TEST_F(BrokerFixture, CommandsRouteByTargetTopic) {
+  broker.subscribe(Broker::command_topic(NodeId("AR1")), NodeId("sub1"));
+  Command cmd;
+  cmd.target = NodeId("AR1");
+  cmd.verb = "close_window";
+  broker.publish(NodeId("pub"), cmd);
+  simulator.run();
+  ASSERT_EQ(received.size(), 1u);
+  const auto* delivered = std::get_if<Command>(&received[0].second.payload);
+  ASSERT_NE(delivered, nullptr);
+  EXPECT_EQ(delivered->verb, "close_window");
+}
+
+TEST_F(BrokerFixture, RemoteSubscribeViaNetwork) {
+  // A node can subscribe by sending a Subscribe payload to the broker.
+  Message msg;
+  msg.src = NodeId("sub1");
+  msg.dst = NodeId("broker");
+  msg.payload = Subscribe{"CP9", NodeId("sub1")};
+  network.send(std::move(msg));
+  simulator.run();
+  EXPECT_EQ(broker.subscriber_count("CP9"), 1u);
+}
+
+TEST_F(BrokerFixture, ObservationTopicUsesSensorName) {
+  core::PhysicalObservation obs;
+  obs.mote = ObserverId("MT1");
+  obs.sensor = core::SensorId("SRtemp");
+  EXPECT_EQ(Broker::topic_of(Entity(obs)), "obs:SRtemp");
+  EXPECT_EQ(Broker::topic_of(Entity(make_instance("CP1"))), "CP1");
+  EXPECT_EQ(Broker::command_topic(NodeId("AR2")), "cmd:AR2");
+}
+
+}  // namespace
+}  // namespace stem::net

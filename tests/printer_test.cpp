@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "eventlang/parser.hpp"
+#include "eventlang/printer.hpp"
+
+namespace stem::eventlang {
+namespace {
+
+/// Round-trip property: print -> parse -> print must be a fixed point.
+void expect_round_trip(const char* source) {
+  const core::EventDefinition first = parse_event(source);
+  const std::string printed = print_event(first);
+  const core::EventDefinition second = parse_event(printed);
+  EXPECT_EQ(printed, print_event(second)) << "not a fixed point:\n" << printed;
+  // Structure preserved.
+  EXPECT_EQ(first.id, second.id);
+  EXPECT_EQ(first.slots.size(), second.slots.size());
+  EXPECT_EQ(first.window, second.window);
+  EXPECT_EQ(first.condition.leaf_count(), second.condition.leaf_count());
+  EXPECT_EQ(first.consumption, second.consumption);
+}
+
+TEST(PrinterTest, PaperS1RoundTrips) {
+  expect_round_trip(R"(
+    event S1 {
+      window: 60 s;
+      slot x = obs(SRx) from MT1;
+      slot y = obs(SRy) from MT2;
+      when time(x) before time(y) and distance(x, y) < 5.0;
+    }
+  )");
+}
+
+TEST(PrinterTest, AllPredicateKindsRoundTrip) {
+  expect_round_trip(R"(
+    event FULL {
+      window: 500 ms;
+      slot a = obs(SRtemp);
+      slot b = event(HOT) from MT7;
+      slot c = any;
+      when (avg(value of a, b) > 20 or not rho(min: a) < 0.5)
+       and time(span: a, b) + 10 ms within time(c)
+       and loc(centroid: a, b) inside rect(0, 0, 100, 100)
+       and distance(a, point(1, 2)) <= 3;
+      emit {
+        time: latest;
+        location: centroid;
+        confidence: mean * 0.8;
+        attr heat = max(value of a, b);
+      }
+      reuse;
+    }
+  )");
+}
+
+TEST(PrinterTest, TimeConstantsRoundTrip) {
+  expect_round_trip(R"(
+    event T {
+      slot x = any;
+      when time(x) after at(5 s) and time(x) within interval(1 s, 10 s);
+    }
+  )");
+}
+
+TEST(PrinterTest, NestedLogicRoundTrips) {
+  expect_round_trip(R"(
+    event N {
+      slot x = any;
+      slot y = any;
+      when not (rho(x) >= 0.5 or (rho(y) < 0.2 and time(x) before time(y)));
+    }
+  )");
+}
+
+TEST(PrinterTest, DurationUnitsCanonicalize) {
+  // 120 s prints as "2 m"; 1500 ms stays "1500 ms".
+  const auto def = parse_event("event D { window: 120 s; slot x = any; when rho(x) >= 0.0; }");
+  EXPECT_NE(print_event(def).find("window: 2 m;"), std::string::npos);
+  const auto def2 =
+      parse_event("event D { window: 1500 ms; slot x = any; when rho(x) >= 0.0; }");
+  EXPECT_NE(print_event(def2).find("window: 1500 ms;"), std::string::npos);
+}
+
+TEST(PrinterTest, PrintedDefinitionIsRegistrable) {
+  const auto def = parse_event(R"(
+    event OK { slot x = any; slot y = any; when time(x) before time(y); }
+  )");
+  core::DetectionEngine engine(core::ObserverId("X"), core::Layer::kSensor, {0, 0});
+  EXPECT_NO_THROW(engine.add_definition(parse_event(print_event(def))));
+}
+
+TEST(PrinterTest, ConditionOnlyPrinter) {
+  const auto def = parse_event(R"(
+    event C { slot x = any; when rho(x) >= 0.5 and time(x) before at(1 s); }
+  )");
+  const std::string cond = print_condition(def.condition, def);
+  EXPECT_NE(cond.find("rho(x) >= 0.5"), std::string::npos);
+  EXPECT_NE(cond.find("before"), std::string::npos);
+  EXPECT_EQ(cond.find("event C"), std::string::npos);  // just the clause
+}
+
+}  // namespace
+}  // namespace stem::eventlang

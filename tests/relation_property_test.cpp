@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "geom/location.hpp"
+#include "sim/random.hpp"
+#include "time/temporal_op.hpp"
+
+namespace stem {
+namespace {
+
+using geom::Location;
+using geom::Point;
+using geom::Polygon;
+using geom::SpatialOp;
+using time_model::OccurrenceTime;
+using time_model::TemporalOp;
+using time_model::TimeInterval;
+using time_model::TimePoint;
+
+/// Algebraic properties of the temporal and spatial operators, swept over
+/// randomized occurrence times and locations. These laws are what make the
+/// paper's "formal temporal and spatial analysis" (Sec. 1) sound: if any
+/// failed, composite condition rewriting would be unsafe.
+
+class RelationPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+OccurrenceTime random_time(sim::Rng& rng) {
+  const auto a = rng.uniform_int(0, 1000);
+  if (rng.chance(0.4)) return OccurrenceTime(TimePoint(a));
+  return OccurrenceTime(TimeInterval(TimePoint(a), TimePoint(a + rng.uniform_int(0, 200))));
+}
+
+Location random_location(sim::Rng& rng) {
+  const Point c{rng.uniform(0, 100), rng.uniform(0, 100)};
+  if (rng.chance(0.4)) return Location(c);
+  if (rng.chance(0.5)) return Location(Polygon::disk(c, rng.uniform(2, 20), 12));
+  return Location(Polygon::rectangle(c, {c.x + rng.uniform(2, 25), c.y + rng.uniform(2, 25)}));
+}
+
+TEST_P(RelationPropertyTest, TemporalDuality) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const OccurrenceTime a = random_time(rng);
+    const OccurrenceTime b = random_time(rng);
+    // before/after and during/contains are converses.
+    EXPECT_EQ(eval_temporal(a, TemporalOp::kBefore, b), eval_temporal(b, TemporalOp::kAfter, a));
+    EXPECT_EQ(eval_temporal(a, TemporalOp::kDuring, b),
+              eval_temporal(b, TemporalOp::kContains, a));
+    EXPECT_EQ(eval_temporal(a, TemporalOp::kMeets, b), eval_temporal(b, TemporalOp::kMetBy, a));
+    EXPECT_EQ(eval_temporal(a, TemporalOp::kOverlaps, b),
+              eval_temporal(b, TemporalOp::kOverlappedBy, a));
+    // equals and intersects are symmetric.
+    EXPECT_EQ(eval_temporal(a, TemporalOp::kEquals, b), eval_temporal(b, TemporalOp::kEquals, a));
+    EXPECT_EQ(eval_temporal(a, TemporalOp::kIntersects, b),
+              eval_temporal(b, TemporalOp::kIntersects, a));
+    // during implies within implies intersects.
+    if (eval_temporal(a, TemporalOp::kDuring, b)) {
+      EXPECT_TRUE(eval_temporal(a, TemporalOp::kWithin, b));
+    }
+    if (eval_temporal(a, TemporalOp::kWithin, b)) {
+      EXPECT_TRUE(eval_temporal(a, TemporalOp::kIntersects, b));
+    }
+    // before excludes intersects.
+    if (eval_temporal(a, TemporalOp::kBefore, b)) {
+      EXPECT_FALSE(eval_temporal(a, TemporalOp::kIntersects, b));
+    }
+  }
+}
+
+TEST_P(RelationPropertyTest, TemporalTransitivity) {
+  sim::Rng rng(GetParam() ^ 0x1111ULL);
+  for (int i = 0; i < 300; ++i) {
+    const OccurrenceTime a = random_time(rng);
+    const OccurrenceTime b = random_time(rng);
+    const OccurrenceTime c = random_time(rng);
+    if (eval_temporal(a, TemporalOp::kBefore, b) && eval_temporal(b, TemporalOp::kBefore, c)) {
+      EXPECT_TRUE(eval_temporal(a, TemporalOp::kBefore, c));
+    }
+    if (eval_temporal(a, TemporalOp::kWithin, b) && eval_temporal(b, TemporalOp::kWithin, c)) {
+      EXPECT_TRUE(eval_temporal(a, TemporalOp::kWithin, c));
+    }
+  }
+}
+
+TEST_P(RelationPropertyTest, SpatialDuality) {
+  sim::Rng rng(GetParam() ^ 0x2222ULL);
+  for (int i = 0; i < 300; ++i) {
+    const Location a = random_location(rng);
+    const Location b = random_location(rng);
+    // joint symmetric; outside is its negation.
+    EXPECT_EQ(eval_spatial(a, SpatialOp::kJoint, b), eval_spatial(b, SpatialOp::kJoint, a));
+    EXPECT_NE(eval_spatial(a, SpatialOp::kJoint, b), eval_spatial(a, SpatialOp::kOutside, b));
+    EXPECT_EQ(eval_spatial(a, SpatialOp::kOutside, b),
+              eval_spatial(a, SpatialOp::kDisjoint, b));
+    // inside/contains are converses.
+    EXPECT_EQ(eval_spatial(a, SpatialOp::kInside, b), eval_spatial(b, SpatialOp::kContains, a));
+    // inside implies joint.
+    if (eval_spatial(a, SpatialOp::kInside, b)) {
+      EXPECT_TRUE(eval_spatial(a, SpatialOp::kJoint, b));
+    }
+    // equal implies mutual inside.
+    if (eval_spatial(a, SpatialOp::kEqual, b)) {
+      EXPECT_TRUE(eval_spatial(a, SpatialOp::kInside, b));
+      EXPECT_TRUE(eval_spatial(b, SpatialOp::kInside, a));
+    }
+    // distance consistency: joint iff distance 0 (within tolerance).
+    const double d = location_distance(a, b);
+    if (eval_spatial(a, SpatialOp::kJoint, b)) {
+      EXPECT_LE(d, 1e-9);
+    } else {
+      EXPECT_GT(d, 0.0);
+    }
+  }
+}
+
+TEST_P(RelationPropertyTest, SpatialReflexivity) {
+  sim::Rng rng(GetParam() ^ 0x3333ULL);
+  for (int i = 0; i < 200; ++i) {
+    const Location a = random_location(rng);
+    EXPECT_TRUE(eval_spatial(a, SpatialOp::kEqual, a));
+    EXPECT_TRUE(eval_spatial(a, SpatialOp::kInside, a));
+    EXPECT_TRUE(eval_spatial(a, SpatialOp::kJoint, a));
+    EXPECT_FALSE(eval_spatial(a, SpatialOp::kOutside, a));
+    EXPECT_DOUBLE_EQ(location_distance(a, a), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationPropertyTest, ::testing::Values(101u, 202u, 303u, 404u));
+
+}  // namespace
+}  // namespace stem

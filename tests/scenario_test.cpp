@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "scenario/forest_fire.hpp"
+#include "scenario/smart_building.hpp"
+
+namespace stem::scenario {
+namespace {
+
+/// Dense, well-connected deployment used by both scenarios.
+DeploymentConfig dense_deployment(std::uint64_t seed) {
+  DeploymentConfig cfg;
+  cfg.topology.motes = 25;
+  cfg.topology.placement = wsn::TopologyConfig::Placement::kGrid;
+  cfg.topology.radio_range = 40.0;
+  cfg.topology.seed = seed;
+  cfg.seed = seed;
+  cfg.sampling_period = time_model::milliseconds(500);
+  return cfg;
+}
+
+TEST(DeploymentTest, WiresAllComponents) {
+  Deployment d(dense_deployment(1));
+  EXPECT_EQ(d.motes().size(), 25u);
+  EXPECT_EQ(d.sinks().size(), 1u);
+  EXPECT_EQ(d.topology().connected_count(), 25u);
+  EXPECT_TRUE(d.network().has_node(Deployment::ccu_id()));
+  EXPECT_TRUE(d.network().has_node(Deployment::db_id()));
+  EXPECT_TRUE(d.network().has_node(Deployment::dispatch_id()));
+  EXPECT_TRUE(d.network().linked(Deployment::ccu_id(), Deployment::broker_id()));
+  // Every connected mote has a parent.
+  d.for_each_mote([](wsn::SensorMote& m) { EXPECT_TRUE(m.parent().has_value()); });
+}
+
+TEST(DeploymentTest, ActorRegistrationWiresDispatch) {
+  Deployment d(dense_deployment(2));
+  auto& actor = d.add_actor(net::NodeId("AR_test"), {10, 10});
+  EXPECT_TRUE(d.network().linked(Deployment::dispatch_id(), net::NodeId("AR_test")));
+  EXPECT_EQ(actor.executed().size(), 0u);
+}
+
+TEST(SmartBuildingScenarioTest, DetectsUserAtWindowEndToEnd) {
+  SmartBuildingConfig cfg;
+  cfg.deployment = dense_deployment(7);
+  SmartBuilding scenario(cfg);
+  const SmartBuildingResult result = scenario.run();
+
+  // The user's path passes through the window zone.
+  ASSERT_TRUE(result.true_entry.has_value());
+  // The hierarchy localized the user repeatedly...
+  EXPECT_GT(result.location_estimates, 10u);
+  EXPECT_LT(result.mean_location_error_m, 5.0);
+  // ...detected the zone entry at the sink...
+  ASSERT_TRUE(result.first_detection.has_value());
+  EXPECT_GT(result.nearby_detections, 0u);
+  // ...raised the cyber event and closed the window.
+  EXPECT_GT(result.cyber_events, 0u);
+  ASSERT_TRUE(result.window_closed.has_value());
+  EXPECT_GT(result.commands, 0u);
+
+  // Detection must follow the physical event, not precede it, and EDL
+  // should be bounded by a few sampling periods + network delays.
+  const auto edl = result.edl_ms();
+  ASSERT_TRUE(edl.has_value());
+  EXPECT_GT(*edl, 0.0);
+  EXPECT_LT(*edl, 10'000.0);
+
+  // Causality: the window closed after the first detection.
+  EXPECT_GT(*result.window_closed, *result.first_detection);
+  EXPECT_GT(result.network.delivered, 0u);
+}
+
+TEST(SmartBuildingScenarioTest, DatabaseArchivesDetections) {
+  SmartBuildingConfig cfg;
+  cfg.deployment = dense_deployment(8);
+  SmartBuilding scenario(cfg);
+  scenario.run();
+  db::Query q;
+  q.event = core::EventTypeId("NEARBY_WINDOW");
+  EXPECT_GT(scenario.deployment().database().store().count(q), 0u);
+}
+
+TEST(SmartBuildingScenarioTest, DeterministicAcrossRuns) {
+  SmartBuildingConfig cfg;
+  cfg.deployment = dense_deployment(9);
+  const auto r1 = SmartBuilding(cfg).run();
+  const auto r2 = SmartBuilding(cfg).run();
+  EXPECT_EQ(r1.location_estimates, r2.location_estimates);
+  EXPECT_EQ(r1.nearby_detections, r2.nearby_detections);
+  EXPECT_EQ(r1.first_detection, r2.first_detection);
+  EXPECT_EQ(r1.network.sent, r2.network.sent);
+}
+
+TEST(ForestFireScenarioTest, DetectsAndSuppressesFire) {
+  ForestFireConfig cfg;
+  cfg.deployment = dense_deployment(11);
+  ForestFire scenario(cfg);
+  const ForestFireResult result = scenario.run();
+
+  EXPECT_GT(result.hot_events, 0u);
+  ASSERT_TRUE(result.first_cp_fire.has_value());
+  EXPECT_GT(*result.first_cp_fire, result.ignition_time);
+  EXPECT_GT(result.alarms, 0u);
+  ASSERT_TRUE(result.suppression.has_value());
+  EXPECT_GT(*result.suppression, *result.first_alarm);
+
+  const auto latency = result.detection_latency_ms();
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_GT(*latency, 0.0);
+
+  // The estimated footprint is a real field event with sane area.
+  ASSERT_TRUE(result.footprint_ratio.has_value());
+  EXPECT_GT(*result.footprint_ratio, 0.05);
+  EXPECT_LT(*result.footprint_ratio, 50.0);
+  // ...and it genuinely overlaps the true burning disk.
+  ASSERT_TRUE(result.footprint_iou.has_value());
+  EXPECT_GT(*result.footprint_iou, 0.0);
+  EXPECT_LE(*result.footprint_iou, 1.0);
+}
+
+TEST(ForestFireScenarioTest, NoFireNoAlarm) {
+  ForestFireConfig cfg;
+  cfg.deployment = dense_deployment(12);
+  cfg.ignition_after = time_model::minutes(30);  // beyond the horizon
+  ForestFire scenario(cfg);
+  const ForestFireResult result = scenario.run();
+  EXPECT_EQ(result.hot_events, 0u);
+  EXPECT_EQ(result.cp_fire_events, 0u);
+  EXPECT_EQ(result.alarms, 0u);
+  EXPECT_FALSE(result.suppression.has_value());
+}
+
+}  // namespace
+}  // namespace stem::scenario

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sensing/localization.hpp"
+#include "sensing/phenomena.hpp"
+#include "sensing/physical_event.hpp"
+#include "sensing/sensor.hpp"
+#include "sim/stats.hpp"
+
+namespace stem::sensing {
+namespace {
+
+using geom::Point;
+using time_model::seconds;
+using time_model::TimePoint;
+
+TEST(FieldTest, UniformAndHotspot) {
+  const UniformField uniform(21.0);
+  EXPECT_DOUBLE_EQ(uniform.value({0, 0}, TimePoint(0)), 21.0);
+  EXPECT_DOUBLE_EQ(uniform.value({100, -50}, TimePoint(999)), 21.0);
+
+  const HotspotField hot(20.0, 80.0, {50, 50}, 10.0);
+  EXPECT_NEAR(hot.value({50, 50}, TimePoint(0)), 100.0, 1e-9);  // peak at center
+  EXPECT_LT(hot.value({80, 50}, TimePoint(0)), 30.0);           // decays
+  EXPECT_GT(hot.value({55, 50}, TimePoint(0)), hot.value({70, 50}, TimePoint(0)));
+}
+
+TEST(SpreadingFireTest, GrowsAtConfiguredSpeed) {
+  const SpreadingFire fire({0, 0}, TimePoint::epoch() + seconds(10), 2.0 /* m/s */);
+  EXPECT_DOUBLE_EQ(fire.radius_at(TimePoint::epoch()), 0.0);
+  EXPECT_DOUBLE_EQ(fire.radius_at(TimePoint::epoch() + seconds(10)), 0.0);
+  EXPECT_DOUBLE_EQ(fire.radius_at(TimePoint::epoch() + seconds(15)), 10.0);
+  EXPECT_DOUBLE_EQ(fire.radius_at(TimePoint::epoch() + seconds(20)), 20.0);
+
+  // Inside the front: burning; far outside: near ambient.
+  const TimePoint t = TimePoint::epoch() + seconds(15);
+  EXPECT_DOUBLE_EQ(fire.value({5, 0}, t), 400.0);
+  EXPECT_LT(fire.value({100, 0}, t), 25.0);
+  EXPECT_FALSE(fire.footprint(TimePoint::epoch()).has_value());
+  const auto fp = fire.footprint(t);
+  ASSERT_TRUE(fp.has_value());
+  EXPECT_TRUE(fp->contains({9, 0}));
+  EXPECT_FALSE(fp->contains({11, 0}));
+  EXPECT_THROW(SpreadingFire({0, 0}, TimePoint(0), -1.0), std::invalid_argument);
+}
+
+TEST(MovingObjectTest, InterpolatesAlongWaypoints) {
+  // 10 m/s along a 100 m straight line starting at t=0.
+  const MovingObject user("userA", {{0, 0}, {100, 0}}, TimePoint::epoch(), 10.0);
+  EXPECT_TRUE(geom::almost_equal(user.position(TimePoint::epoch()), {0, 0}));
+  EXPECT_TRUE(geom::almost_equal(user.position(TimePoint::epoch() + seconds(5)), {50, 0}));
+  // Clamps at the final waypoint.
+  EXPECT_TRUE(geom::almost_equal(user.position(TimePoint::epoch() + seconds(100)), {100, 0}));
+}
+
+TEST(MovingObjectTest, MultiSegmentPath) {
+  const MovingObject user("u", {{0, 0}, {10, 0}, {10, 10}}, TimePoint::epoch(), 1.0);
+  EXPECT_TRUE(geom::almost_equal(user.position(TimePoint::epoch() + seconds(10)), {10, 0}));
+  EXPECT_TRUE(geom::almost_equal(user.position(TimePoint::epoch() + seconds(15)), {10, 5}));
+  EXPECT_THROW(MovingObject("x", {}, TimePoint(0), 1.0), std::invalid_argument);
+  EXPECT_THROW(MovingObject("x", {{0, 0}}, TimePoint(0), 0.0), std::invalid_argument);
+}
+
+TEST(MovingObjectTest, FirstEntryFindsZoneCrossing) {
+  const MovingObject user("u", {{0, 0}, {100, 0}}, TimePoint::epoch(), 10.0);
+  const geom::Polygon zone = geom::Polygon::rectangle({40, -5}, {60, 5});
+  const auto entry = user.first_entry(zone, TimePoint::epoch(),
+                                      TimePoint::epoch() + seconds(20), seconds(1));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(*entry, TimePoint::epoch() + seconds(4));  // x=40 at t=4s
+
+  const geom::Polygon far = geom::Polygon::rectangle({0, 50}, {10, 60});
+  EXPECT_FALSE(user.first_entry(far, TimePoint::epoch(), TimePoint::epoch() + seconds(20),
+                                seconds(1))
+                   .has_value());
+}
+
+TEST(SwitchScheduleTest, StateAndIntervals) {
+  const TimePoint t0 = TimePoint::epoch();
+  const SwitchSchedule sched({t0 + seconds(10), t0 + seconds(40), t0 + seconds(60)});
+  EXPECT_FALSE(sched.state(t0));
+  EXPECT_TRUE(sched.state(t0 + seconds(10)));
+  EXPECT_TRUE(sched.state(t0 + seconds(39)));
+  EXPECT_FALSE(sched.state(t0 + seconds(40)));
+  EXPECT_TRUE(sched.state(t0 + seconds(61)));  // stays on past last toggle
+
+  const auto ivs = sched.on_intervals(t0 + seconds(100));
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0], time_model::TimeInterval(t0 + seconds(10), t0 + seconds(40)));
+  EXPECT_EQ(ivs[1], time_model::TimeInterval(t0 + seconds(60), t0 + seconds(100)));
+}
+
+TEST(SensorTest, ScalarFieldSensorAddsBoundedNoise) {
+  const auto field = std::make_shared<UniformField>(25.0);
+  const ScalarFieldSensor sensor(core::SensorId("SRtemp"), field, 0.5);
+  sim::Rng rng(3);
+  sim::Summary s;
+  for (int i = 0; i < 5000; ++i) {
+    const auto attrs = sensor.sample({0, 0}, TimePoint(0), rng);
+    ASSERT_TRUE(attrs.has_value());
+    s.add(*attrs->number("value"));
+  }
+  EXPECT_NEAR(s.mean(), 25.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 0.5, 0.05);
+}
+
+TEST(SensorTest, RangeSensorRespectsMaxRange) {
+  const auto user = std::make_shared<MovingObject>(
+      "u", std::vector<Point>{{0, 0}, {100, 0}}, TimePoint::epoch(), 10.0);
+  const RangeSensor sensor(core::SensorId("SRrange"), user, 20.0, 0.0);
+  sim::Rng rng(1);
+  // At t=0 the user is at (0,0); a mote at (5,0) sees range 5.
+  const auto near = sensor.sample({5, 0}, TimePoint::epoch(), rng);
+  ASSERT_TRUE(near.has_value());
+  EXPECT_DOUBLE_EQ(*near->number("range"), 5.0);
+  // At t=10s the user is at (100,0): out of range for that mote.
+  EXPECT_FALSE(sensor.sample({5, 0}, TimePoint::epoch() + seconds(10), rng).has_value());
+}
+
+TEST(SensorTest, PresenceSensorErrorRates) {
+  const auto user = std::make_shared<MovingObject>(
+      "u", std::vector<Point>{{0, 0}}, TimePoint::epoch(), 1.0);
+  const PresenceSensor sensor(core::SensorId("SRpres"), user, 10.0, 0.1, 0.05);
+  sim::Rng rng(5);
+  int in_hits = 0, out_hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    in_hits += *sensor.sample({5, 0}, TimePoint(0), rng)->number("present") > 0.5 ? 1 : 0;
+    out_hits += *sensor.sample({50, 0}, TimePoint(0), rng)->number("present") > 0.5 ? 1 : 0;
+  }
+  EXPECT_NEAR(in_hits / 10000.0, 0.9, 0.02);   // 10% false negatives
+  EXPECT_NEAR(out_hits / 10000.0, 0.05, 0.02); // 5% false positives
+}
+
+TEST(SensorTest, SwitchSensorReadsSchedule) {
+  const auto sched = std::make_shared<SwitchSchedule>(
+      std::vector<TimePoint>{TimePoint::epoch() + seconds(5)});
+  const SwitchSensor sensor(core::SensorId("SRlight"), sched);
+  sim::Rng rng(1);
+  EXPECT_DOUBLE_EQ(*sensor.sample({0, 0}, TimePoint::epoch(), rng)->number("on"), 0.0);
+  EXPECT_DOUBLE_EQ(*sensor.sample({0, 0}, TimePoint::epoch() + seconds(6), rng)->number("on"),
+                   1.0);
+}
+
+TEST(TrilaterationTest, ExactRangesRecoverPosition) {
+  const Point truth{30, 40};
+  std::vector<RangeMeasurement> ms;
+  for (const Point anchor : {Point{0, 0}, Point{100, 0}, Point{0, 100}, Point{100, 100}}) {
+    ms.push_back({anchor, geom::distance(anchor, truth)});
+  }
+  const auto result = trilaterate(ms);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->position.x, truth.x, 1e-6);
+  EXPECT_NEAR(result->position.y, truth.y, 1e-6);
+  EXPECT_NEAR(result->rms_residual, 0.0, 1e-6);
+}
+
+TEST(TrilaterationTest, NoisyRangesStayClose) {
+  const Point truth{55, 20};
+  sim::Rng rng(9);
+  std::vector<RangeMeasurement> ms;
+  for (const Point anchor :
+       {Point{0, 0}, Point{100, 0}, Point{0, 100}, Point{100, 100}, Point{50, 50}}) {
+    ms.push_back({anchor, geom::distance(anchor, truth) + rng.normal(0.0, 0.5)});
+  }
+  const auto result = trilaterate(ms);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->position.x, truth.x, 2.0);
+  EXPECT_NEAR(result->position.y, truth.y, 2.0);
+  EXPECT_GT(result->rms_residual, 0.0);
+}
+
+TEST(TrilaterationTest, RejectsDegenerateGeometry) {
+  EXPECT_FALSE(trilaterate({}).has_value());
+  EXPECT_FALSE(trilaterate({{{0, 0}, 5}, {{1, 1}, 5}}).has_value());
+  // Collinear anchors: ambiguous solution.
+  EXPECT_FALSE(
+      trilaterate({{{0, 0}, 5}, {{10, 0}, 5}, {{20, 0}, 5}}).has_value());
+}
+
+TEST(GroundTruthTest, RecordAndQuery) {
+  GroundTruth truth;
+  PhysicalEvent fire;
+  fire.id = core::EventTypeId("P_FIRE");
+  fire.time = time_model::OccurrenceTime(TimePoint(100));
+  truth.record(fire);
+  PhysicalEvent fire2 = fire;
+  fire2.time = time_model::OccurrenceTime(TimePoint(500));
+  truth.record(fire2);
+
+  EXPECT_EQ(truth.count(core::EventTypeId("P_FIRE")), 2u);
+  EXPECT_EQ(truth.count(core::EventTypeId("P_NONE")), 0u);
+  EXPECT_EQ(truth.of_type(core::EventTypeId("P_FIRE")).size(), 2u);
+
+  const auto* latest = truth.latest_before(core::EventTypeId("P_FIRE"), TimePoint(300));
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->time.begin(), TimePoint(100));
+  EXPECT_EQ(truth.latest_before(core::EventTypeId("P_FIRE"), TimePoint(50)), nullptr);
+}
+
+}  // namespace
+}  // namespace stem::sensing

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "core/serialize.hpp"
+#include "sim/random.hpp"
+
+namespace stem::core {
+namespace {
+
+using geom::Location;
+using geom::Point;
+using geom::Polygon;
+using time_model::OccurrenceTime;
+using time_model::TimeInterval;
+using time_model::TimePoint;
+
+EventInstance sample_instance() {
+  EventInstance inst;
+  inst.key = EventInstanceKey{ObserverId("SINK1"), EventTypeId("CP_FIRE"), 42};
+  inst.layer = Layer::kCyberPhysical;
+  inst.gen_time = TimePoint(12'000'000);
+  inst.gen_location = {50.5, -3.25};
+  inst.est_time = OccurrenceTime(TimeInterval(TimePoint(11'000'000), TimePoint(11'500'000)));
+  inst.est_location = Location(Polygon({{0, 0}, {10, 0}, {10, 10}, {0, 10}}));
+  inst.attributes.set("value", 93.5);
+  inst.attributes.set("zone", std::string("north"));
+  inst.attributes.set("armed", true);
+  inst.attributes.set("n", std::int64_t{4});
+  inst.confidence = 0.8125;
+  inst.provenance.push_back(EventInstanceKey{ObserverId("MT1"), EventTypeId("HOT"), 9});
+  inst.provenance.push_back(EventInstanceKey{ObserverId("MT2"), EventTypeId("HOT"), 11});
+  return inst;
+}
+
+TEST(SerializeTest, InstanceRoundTrip) {
+  const EventInstance original = sample_instance();
+  const std::string json = encode(original);
+  const auto decoded = decode_instance(json);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, original.key);
+  EXPECT_EQ(decoded->layer, original.layer);
+  EXPECT_EQ(decoded->gen_time, original.gen_time);
+  EXPECT_EQ(decoded->gen_location, original.gen_location);
+  EXPECT_EQ(decoded->est_time, original.est_time);
+  EXPECT_EQ(decoded->est_location, original.est_location);
+  EXPECT_EQ(decoded->attributes, original.attributes);
+  EXPECT_DOUBLE_EQ(decoded->confidence, original.confidence);
+  ASSERT_EQ(decoded->provenance.size(), 2u);
+  EXPECT_EQ(decoded->provenance[0], original.provenance[0]);
+  EXPECT_EQ(decoded->provenance[1], original.provenance[1]);
+}
+
+TEST(SerializeTest, PunctualPointInstanceRoundTrip) {
+  EventInstance inst = sample_instance();
+  inst.est_time = OccurrenceTime(TimePoint(7));
+  inst.est_location = Location(Point{1.5, 2.5});
+  inst.provenance.clear();
+  const auto decoded = decode_instance(encode(inst));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->est_time.is_punctual());
+  EXPECT_TRUE(decoded->est_location.is_point());
+  EXPECT_EQ(decoded->est_time, inst.est_time);
+  EXPECT_TRUE(decoded->provenance.empty());
+}
+
+TEST(SerializeTest, ObservationRoundTrip) {
+  PhysicalObservation obs;
+  obs.mote = ObserverId("MT3");
+  obs.sensor = SensorId("SRtemp");
+  obs.seq = 99;
+  obs.time = TimePoint(1'234'567);
+  obs.location = Location(Point{-4.5, 8.0});
+  obs.attributes.set("value", 21.75);
+  const auto decoded = decode_observation(encode(obs));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->mote, obs.mote);
+  EXPECT_EQ(decoded->sensor, obs.sensor);
+  EXPECT_EQ(decoded->seq, obs.seq);
+  EXPECT_EQ(decoded->time, obs.time);
+  EXPECT_EQ(decoded->location, obs.location);
+  EXPECT_EQ(decoded->attributes, obs.attributes);
+}
+
+TEST(SerializeTest, StringEscaping) {
+  EventInstance inst = sample_instance();
+  inst.attributes.set("note", std::string("line1\nline2\t\"quoted\" \\slash"));
+  const auto decoded = decode_instance(encode(inst));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->attributes, inst.attributes);
+}
+
+TEST(SerializeTest, WhitespaceTolerant) {
+  const std::string json = encode(sample_instance());
+  std::string spaced;
+  for (const char c : json) {
+    spaced += c;
+    if (c == ',' || c == ':' || c == '{') spaced += "\n  ";
+  }
+  const auto decoded = decode_instance(spaced);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, sample_instance().key);
+}
+
+TEST(SerializeTest, RejectsMalformedInput) {
+  EXPECT_FALSE(decode_instance("").has_value());
+  EXPECT_FALSE(decode_instance("{").has_value());
+  EXPECT_FALSE(decode_instance("not json at all").has_value());
+  EXPECT_FALSE(decode_instance(R"({"unknown_field": 3})").has_value());
+  EXPECT_FALSE(decode_instance(R"({"observer": "A", "layer": "bogus-layer"})").has_value());
+  // Trailing garbage is an error.
+  const std::string good = encode(sample_instance());
+  EXPECT_FALSE(decode_instance(good + "garbage").has_value());
+  EXPECT_FALSE(decode_observation("{\"mote\": }").has_value());
+}
+
+TEST(SerializeTest, AttributeTypesPreserved) {
+  EventInstance inst = sample_instance();
+  const auto decoded = decode_instance(encode(inst));
+  ASSERT_TRUE(decoded.has_value());
+  // Integers decode as int64, not double; bools stay bool.
+  EXPECT_TRUE(std::holds_alternative<std::int64_t>(*decoded->attributes.find("n")));
+  EXPECT_TRUE(std::holds_alternative<bool>(*decoded->attributes.find("armed")));
+  EXPECT_TRUE(std::holds_alternative<double>(*decoded->attributes.find("value")));
+  EXPECT_TRUE(std::holds_alternative<std::string>(*decoded->attributes.find("zone")));
+}
+
+TEST(SerializeTest, RandomizedRoundTripSweep) {
+  sim::Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    EventInstance inst;
+    inst.key = EventInstanceKey{ObserverId("OB" + std::to_string(rng.uniform_int(0, 9))),
+                                EventTypeId("E" + std::to_string(rng.uniform_int(0, 9))),
+                                static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20))};
+    inst.layer = static_cast<Layer>(rng.uniform_int(0, 4));
+    inst.gen_time = TimePoint(rng.uniform_int(-1'000'000, 1'000'000));
+    inst.gen_location = {rng.uniform(-100, 100), rng.uniform(-100, 100)};
+    if (rng.chance(0.5)) {
+      inst.est_time = OccurrenceTime(TimePoint(rng.uniform_int(0, 1'000'000)));
+    } else {
+      const auto b = rng.uniform_int(0, 500'000);
+      inst.est_time = OccurrenceTime(
+          TimeInterval(TimePoint(b), TimePoint(b + rng.uniform_int(1, 500'000))));
+    }
+    if (rng.chance(0.5)) {
+      inst.est_location = Location(Point{rng.uniform(-10, 10), rng.uniform(-10, 10)});
+    } else {
+      inst.est_location = Location(
+          Polygon::disk({rng.uniform(-10, 10), rng.uniform(-10, 10)}, rng.uniform(1, 5), 8));
+    }
+    inst.confidence = rng.uniform();
+    for (int a = 0; a < static_cast<int>(rng.uniform_int(0, 4)); ++a) {
+      inst.attributes.set("a" + std::to_string(a), rng.uniform(-1e6, 1e6));
+    }
+    const auto decoded = decode_instance(encode(inst));
+    ASSERT_TRUE(decoded.has_value()) << encode(inst);
+    EXPECT_EQ(decoded->key, inst.key);
+    EXPECT_EQ(decoded->est_time, inst.est_time);
+    EXPECT_EQ(decoded->est_location, inst.est_location);
+    EXPECT_EQ(decoded->attributes, inst.attributes);
+  }
+}
+
+}  // namespace
+}  // namespace stem::core

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace stem::sim {
+namespace {
+
+using time_model::Duration;
+using time_model::TimePoint;
+
+TEST(SimulatorTest, RunsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(TimePoint(30), [&] { order.push_back(3); });
+  s.schedule_at(TimePoint(10), [&] { order.push_back(1); });
+  s.schedule_at(TimePoint(20), [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), TimePoint(30));
+}
+
+TEST(SimulatorTest, FifoAmongSimultaneousEvents) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(TimePoint(10), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  TimePoint seen_at = TimePoint::epoch();
+  s.schedule_at(TimePoint(100), [&] {
+    s.schedule_after(Duration(50), [&] { seen_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen_at, TimePoint(150));
+}
+
+TEST(SimulatorTest, RejectsPastSchedule) {
+  Simulator s;
+  s.schedule_at(TimePoint(100), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(TimePoint(50), [] {}), std::invalid_argument);
+  // Negative delay clamps to "now" instead of throwing.
+  bool ran = false;
+  s.schedule_after(Duration(-5), [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  const TaskId id = s.schedule_at(TimePoint(10), [&] { ran = true; });
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // double-cancel reports failure
+  EXPECT_EQ(s.pending(), 0u);
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(TimePoint(i * 10), [&] { ++count; });
+  }
+  EXPECT_EQ(s.run_until(TimePoint(55)), 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), TimePoint(55));
+  EXPECT_EQ(s.run_until(TimePoint(1000)), 5u);
+  EXPECT_EQ(s.now(), TimePoint(1000));  // clock advances to deadline
+}
+
+TEST(SimulatorTest, CallbackCanScheduleAndCancel) {
+  Simulator s;
+  bool victim_ran = false;
+  const TaskId victim = s.schedule_at(TimePoint(20), [&] { victim_ran = true; });
+  s.schedule_at(TimePoint(10), [&] { s.cancel(victim); });
+  s.run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, ForkIndependentOfParentConsumption) {
+  // fork() must depend only on (state, label), so two identically-seeded
+  // parents produce identical children.
+  Rng a(7), b(7);
+  Rng ca = a.fork("radio"), cb = b.fork("radio");
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+  Rng other = a.fork("noise");
+  // Different labels should diverge immediately (overwhelmingly likely).
+  EXPECT_NE(a.fork("radio").next_u64(), other.next_u64());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto k = rng.uniform_int(-3, 3);
+    EXPECT_GE(k, -3);
+    EXPECT_LE(k, 3);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(5);
+  Summary s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanAndChance) {
+  Rng rng(6);
+  Summary s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.25, 0.01);
+}
+
+TEST(SummaryTest, WelfordMatchesClosedForm) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, MergeEqualsCombinedStream) {
+  Rng rng(11);
+  Summary whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    whole.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(SummaryTest, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  Summary t;
+  t.merge(s);
+  EXPECT_EQ(t.count(), 0u);
+}
+
+TEST(PercentilesTest, ExactNearestRank) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(p.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(p.median(), 50.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 50.5);
+}
+
+TEST(PercentilesTest, EmptyReturnsZero) {
+  const Percentiles p;
+  EXPECT_DOUBLE_EQ(p.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 0.0);
+}
+
+TEST(PercentilesTest, AddAfterQueryResorts) {
+  Percentiles p;
+  p.add(10);
+  EXPECT_DOUBLE_EQ(p.median(), 10.0);
+  p.add(0);
+  p.add(1);
+  EXPECT_DOUBLE_EQ(p.median(), 1.0);
+}
+
+}  // namespace
+}  // namespace stem::sim

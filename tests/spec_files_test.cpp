@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "eventlang/parser.hpp"
+#include "eventlang/printer.hpp"
+
+namespace stem::eventlang {
+namespace {
+
+/// The .stem files shipped under examples/specs/ must stay parseable,
+/// registrable, and round-trippable — they are the public face of the
+/// language.
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ADD_FAILURE() << "cannot open " << path << " (run tests from the repo root or build dir)";
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string spec_path(const std::string& name) {
+  // CTest runs from build/tests or build; probe a few relative roots.
+  for (const char* prefix : {"../../examples/specs/", "../examples/specs/",
+                             "examples/specs/", "/root/repo/examples/specs/"}) {
+    std::ifstream probe(prefix + name);
+    if (probe) return prefix + name;
+  }
+  return "examples/specs/" + name;
+}
+
+class SpecFileTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SpecFileTest, ParsesAndRegisters) {
+  const std::string source = read_file(spec_path(GetParam()));
+  ASSERT_FALSE(source.empty());
+  const auto defs = parse_spec(source);
+  EXPECT_FALSE(defs.empty());
+
+  core::DetectionEngine engine(core::ObserverId("X"), core::Layer::kCyber, {0, 0});
+  for (const auto& def : defs) {
+    EXPECT_NO_THROW(engine.add_definition(def)) << def.id.value();
+  }
+}
+
+TEST_P(SpecFileTest, RoundTripsThroughPrinter) {
+  const std::string source = read_file(spec_path(GetParam()));
+  ASSERT_FALSE(source.empty());
+  for (const auto& def : parse_spec(source)) {
+    const std::string printed = print_event(def);
+    const auto reparsed = parse_event(printed);
+    EXPECT_EQ(printed, print_event(reparsed)) << def.id.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShippedSpecs, SpecFileTest,
+                         ::testing::Values("smart_building.stem", "forest_fire.stem",
+                                           "showcase.stem"));
+
+}  // namespace
+}  // namespace stem::eventlang

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "time/allen.hpp"
+#include "time/interval.hpp"
+#include "time/occurrence.hpp"
+#include "time/temporal_op.hpp"
+#include "time/time_point.hpp"
+
+namespace stem::time_model {
+namespace {
+
+TEST(TimePointTest, ArithmeticAndComparison) {
+  const TimePoint t0 = TimePoint::epoch();
+  const TimePoint t1 = t0 + seconds(3);
+  EXPECT_EQ(t1.ticks(), 3'000'000);
+  EXPECT_EQ((t1 - t0).ticks(), 3'000'000);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(t1 - seconds(3), t0);
+}
+
+TEST(TimePointTest, DurationFactoriesComposeConsistently) {
+  EXPECT_EQ(minutes(1), seconds(60));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+}
+
+TEST(TimePointTest, DurationArithmetic) {
+  Duration d = seconds(2);
+  d += seconds(1);
+  EXPECT_EQ(d, seconds(3));
+  d -= seconds(4);
+  EXPECT_EQ(d, seconds(-1));
+  EXPECT_EQ(-d, seconds(1));
+  EXPECT_EQ(d * 3, seconds(-3));
+  EXPECT_EQ(seconds(10) / 2, seconds(5));
+}
+
+TEST(TimePointTest, Sentinels) {
+  EXPECT_LT(TimePoint::min(), TimePoint::epoch());
+  EXPECT_LT(TimePoint::epoch(), TimePoint::max());
+}
+
+TEST(TimeIntervalTest, InvariantEnforced) {
+  EXPECT_NO_THROW(TimeInterval(TimePoint(5), TimePoint(5)));
+  EXPECT_THROW(TimeInterval(TimePoint(5), TimePoint(4)), std::invalid_argument);
+}
+
+TEST(TimeIntervalTest, ContainmentAndIntersection) {
+  const TimeInterval a(TimePoint(0), TimePoint(10));
+  const TimeInterval b(TimePoint(3), TimePoint(7));
+  const TimeInterval c(TimePoint(10), TimePoint(20));
+  const TimeInterval d(TimePoint(11), TimePoint(12));
+
+  EXPECT_TRUE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+  EXPECT_TRUE(a.contains(TimePoint(0)));
+  EXPECT_TRUE(a.contains(TimePoint(10)));
+  EXPECT_FALSE(a.contains(TimePoint(11)));
+
+  EXPECT_TRUE(a.intersects(c));  // closed intervals share t=10
+  EXPECT_FALSE(a.intersects(d));
+
+  const auto inter = a.intersection(c);
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_TRUE(inter->degenerate());
+  EXPECT_EQ(inter->begin(), TimePoint(10));
+  EXPECT_FALSE(a.intersection(d).has_value());
+}
+
+TEST(TimeIntervalTest, HullShiftMidpoint) {
+  const TimeInterval a(TimePoint(0), TimePoint(4));
+  const TimeInterval b(TimePoint(10), TimePoint(12));
+  const TimeInterval h = a.hull(b);
+  EXPECT_EQ(h.begin(), TimePoint(0));
+  EXPECT_EQ(h.end(), TimePoint(12));
+  EXPECT_EQ(a.shifted(Duration(5)), TimeInterval(TimePoint(5), TimePoint(9)));
+  EXPECT_EQ(a.midpoint(), TimePoint(2));
+  EXPECT_EQ(TimeInterval(TimePoint(0), TimePoint(5)).midpoint(), TimePoint(2));
+}
+
+TEST(OccurrenceTimeTest, DegenerateIntervalNormalizesToPunctual) {
+  const OccurrenceTime p{TimeInterval(TimePoint(7), TimePoint(7))};
+  EXPECT_TRUE(p.is_punctual());
+  EXPECT_EQ(p.as_point(), TimePoint(7));
+  EXPECT_EQ(p, OccurrenceTime(TimePoint(7)));
+}
+
+TEST(OccurrenceTimeTest, IntervalAccessors) {
+  const OccurrenceTime iv{TimeInterval(TimePoint(2), TimePoint(9))};
+  EXPECT_TRUE(iv.is_interval());
+  EXPECT_EQ(iv.begin(), TimePoint(2));
+  EXPECT_EQ(iv.end(), TimePoint(9));
+  EXPECT_EQ(iv.length(), Duration(7));
+  EXPECT_TRUE(iv.covers(TimePoint(2)));
+  EXPECT_TRUE(iv.covers(TimePoint(9)));
+  EXPECT_FALSE(iv.covers(TimePoint(10)));
+  EXPECT_THROW((void)iv.as_point(), std::bad_variant_access);
+}
+
+// --- Allen relations: all 13 cases, plus inverse involution. -------------
+
+struct AllenCase {
+  TimeInterval a;
+  TimeInterval b;
+  AllenRelation expected;
+};
+
+class AllenRelationTest : public ::testing::TestWithParam<AllenCase> {};
+
+TEST_P(AllenRelationTest, ClassifiesAndInverts) {
+  const auto& c = GetParam();
+  EXPECT_EQ(allen_relation(c.a, c.b), c.expected) << to_string(c.expected);
+  EXPECT_EQ(allen_relation(c.b, c.a), inverse(c.expected));
+  EXPECT_EQ(inverse(inverse(c.expected)), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllThirteen, AllenRelationTest,
+    ::testing::Values(
+        AllenCase{{TimePoint(0), TimePoint(2)}, {TimePoint(5), TimePoint(9)}, AllenRelation::kBefore},
+        AllenCase{{TimePoint(0), TimePoint(5)}, {TimePoint(5), TimePoint(9)}, AllenRelation::kMeets},
+        AllenCase{{TimePoint(0), TimePoint(6)}, {TimePoint(4), TimePoint(9)}, AllenRelation::kOverlaps},
+        AllenCase{{TimePoint(4), TimePoint(6)}, {TimePoint(4), TimePoint(9)}, AllenRelation::kStarts},
+        AllenCase{{TimePoint(5), TimePoint(6)}, {TimePoint(4), TimePoint(9)}, AllenRelation::kDuring},
+        AllenCase{{TimePoint(5), TimePoint(9)}, {TimePoint(4), TimePoint(9)}, AllenRelation::kFinishes},
+        AllenCase{{TimePoint(4), TimePoint(9)}, {TimePoint(4), TimePoint(9)}, AllenRelation::kEquals},
+        AllenCase{{TimePoint(4), TimePoint(9)}, {TimePoint(5), TimePoint(9)}, AllenRelation::kFinishedBy},
+        AllenCase{{TimePoint(4), TimePoint(9)}, {TimePoint(5), TimePoint(6)}, AllenRelation::kContains},
+        AllenCase{{TimePoint(4), TimePoint(9)}, {TimePoint(4), TimePoint(6)}, AllenRelation::kStartedBy},
+        AllenCase{{TimePoint(4), TimePoint(9)}, {TimePoint(0), TimePoint(6)}, AllenRelation::kOverlappedBy},
+        AllenCase{{TimePoint(5), TimePoint(9)}, {TimePoint(0), TimePoint(5)}, AllenRelation::kMetBy},
+        AllenCase{{TimePoint(5), TimePoint(9)}, {TimePoint(0), TimePoint(2)}, AllenRelation::kAfter}));
+
+TEST(AllenRelationExhaustiveTest, ExactlyOneRelationPerPair) {
+  // Property: for every pair of small intervals, classification is total
+  // and consistent with its inverse.
+  for (Tick ab = 0; ab <= 4; ++ab) {
+    for (Tick ae = ab; ae <= 4; ++ae) {
+      for (Tick bb = 0; bb <= 4; ++bb) {
+        for (Tick be = bb; be <= 4; ++be) {
+          const TimeInterval a{TimePoint(ab), TimePoint(ae)};
+          const TimeInterval b{TimePoint(bb), TimePoint(be)};
+          const AllenRelation fwd = allen_relation(a, b);
+          const AllenRelation rev = allen_relation(b, a);
+          EXPECT_EQ(rev, inverse(fwd)) << a << " vs " << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(PointRelationTest, AllThree) {
+  EXPECT_EQ(point_relation(TimePoint(1), TimePoint(2)), PointRelation::kBefore);
+  EXPECT_EQ(point_relation(TimePoint(2), TimePoint(2)), PointRelation::kSame);
+  EXPECT_EQ(point_relation(TimePoint(3), TimePoint(2)), PointRelation::kAfter);
+}
+
+TEST(PointIntervalRelationTest, AllFive) {
+  const TimeInterval iv(TimePoint(2), TimePoint(6));
+  EXPECT_EQ(point_interval_relation(TimePoint(0), iv), PointIntervalRelation::kBefore);
+  EXPECT_EQ(point_interval_relation(TimePoint(2), iv), PointIntervalRelation::kStarts);
+  EXPECT_EQ(point_interval_relation(TimePoint(4), iv), PointIntervalRelation::kDuring);
+  EXPECT_EQ(point_interval_relation(TimePoint(6), iv), PointIntervalRelation::kFinishes);
+  EXPECT_EQ(point_interval_relation(TimePoint(9), iv), PointIntervalRelation::kAfter);
+}
+
+// --- Temporal operators across all punctual/interval combinations. -------
+
+TEST(TemporalOpTest, PointPoint) {
+  const OccurrenceTime a(TimePoint(3));
+  const OccurrenceTime b(TimePoint(8));
+  EXPECT_TRUE(eval_temporal(a, TemporalOp::kBefore, b));
+  EXPECT_FALSE(eval_temporal(b, TemporalOp::kBefore, a));
+  EXPECT_TRUE(eval_temporal(b, TemporalOp::kAfter, a));
+  EXPECT_TRUE(eval_temporal(a, TemporalOp::kEquals, a));
+  EXPECT_FALSE(eval_temporal(a, TemporalOp::kEquals, b));
+  EXPECT_TRUE(eval_temporal(a, TemporalOp::kIntersects, a));
+  EXPECT_FALSE(eval_temporal(a, TemporalOp::kIntersects, b));
+}
+
+TEST(TemporalOpTest, PointIntervalDuring) {
+  const OccurrenceTime p(TimePoint(5));
+  const OccurrenceTime iv{TimeInterval(TimePoint(2), TimePoint(9))};
+  EXPECT_TRUE(eval_temporal(p, TemporalOp::kDuring, iv));
+  EXPECT_TRUE(eval_temporal(p, TemporalOp::kWithin, iv));
+  EXPECT_TRUE(eval_temporal(iv, TemporalOp::kContains, p));
+  EXPECT_FALSE(eval_temporal(iv, TemporalOp::kDuring, p));
+  // Paper's "Begin"/"End" for points on interval endpoints:
+  EXPECT_TRUE(eval_temporal(OccurrenceTime(TimePoint(2)), TemporalOp::kStarts, iv));
+  EXPECT_TRUE(eval_temporal(OccurrenceTime(TimePoint(9)), TemporalOp::kFinishes, iv));
+}
+
+TEST(TemporalOpTest, IntervalIntervalOverlap) {
+  const OccurrenceTime a{TimeInterval(TimePoint(0), TimePoint(6))};
+  const OccurrenceTime b{TimeInterval(TimePoint(4), TimePoint(9))};
+  EXPECT_TRUE(eval_temporal(a, TemporalOp::kOverlaps, b));
+  EXPECT_TRUE(eval_temporal(b, TemporalOp::kOverlappedBy, a));
+  EXPECT_FALSE(eval_temporal(a, TemporalOp::kBefore, b));
+  EXPECT_TRUE(eval_temporal(a, TemporalOp::kIntersects, b));
+}
+
+TEST(TemporalOpTest, MeetsIsSharedEndpoint) {
+  const OccurrenceTime a{TimeInterval(TimePoint(0), TimePoint(5))};
+  const OccurrenceTime b{TimeInterval(TimePoint(5), TimePoint(9))};
+  EXPECT_TRUE(eval_temporal(a, TemporalOp::kMeets, b));
+  EXPECT_TRUE(eval_temporal(b, TemporalOp::kMetBy, a));
+}
+
+TEST(TemporalOpTest, OffsetFormSupportsPaperExample) {
+  // "t_x + 5 Before t_y" (paper Sec. 4.1): x at 0, y at 10 => 0+5 < 10.
+  const OccurrenceTime x(TimePoint(0));
+  const OccurrenceTime y(TimePoint(10));
+  EXPECT_TRUE(eval_temporal(x, Duration(5), TemporalOp::kBefore, y));
+  EXPECT_FALSE(eval_temporal(x, Duration(15), TemporalOp::kBefore, y));
+}
+
+TEST(TemporalOpTest, BeforeAfterAreMutuallyExclusive) {
+  // Property sweep over small intervals.
+  for (Tick ab = 0; ab <= 3; ++ab) {
+    for (Tick ae = ab; ae <= 3; ++ae) {
+      for (Tick bb = 0; bb <= 3; ++bb) {
+        for (Tick be = bb; be <= 3; ++be) {
+          const OccurrenceTime a{TimeInterval(TimePoint(ab), TimePoint(ae))};
+          const OccurrenceTime b{TimeInterval(TimePoint(bb), TimePoint(be))};
+          const bool before = eval_temporal(a, TemporalOp::kBefore, b);
+          const bool after = eval_temporal(a, TemporalOp::kAfter, b);
+          const bool intersects = eval_temporal(a, TemporalOp::kIntersects, b);
+          EXPECT_FALSE(before && after);
+          // Exactly one of {before, after, intersects} holds.
+          EXPECT_EQ(1, static_cast<int>(before) + static_cast<int>(after) +
+                           static_cast<int>(intersects));
+        }
+      }
+    }
+  }
+}
+
+TEST(TemporalOpTest, StringRoundTrip) {
+  for (const TemporalOp op :
+       {TemporalOp::kBefore, TemporalOp::kAfter, TemporalOp::kMeets, TemporalOp::kMetBy,
+        TemporalOp::kOverlaps, TemporalOp::kOverlappedBy, TemporalOp::kDuring,
+        TemporalOp::kContains, TemporalOp::kStarts, TemporalOp::kFinishes, TemporalOp::kEquals,
+        TemporalOp::kIntersects, TemporalOp::kWithin}) {
+    const auto parsed = temporal_op_from_string(to_string(op));
+    ASSERT_TRUE(parsed.has_value()) << to_string(op);
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_FALSE(temporal_op_from_string("sideways").has_value());
+  // Paper aliases.
+  EXPECT_EQ(temporal_op_from_string("begin"), TemporalOp::kStarts);
+  EXPECT_EQ(temporal_op_from_string("end"), TemporalOp::kFinishes);
+}
+
+TEST(TimeAggregateTest, EarliestLatestSpanMean) {
+  const std::array<OccurrenceTime, 3> ts = {
+      OccurrenceTime(TimePoint(10)),
+      OccurrenceTime(TimeInterval(TimePoint(0), TimePoint(4))),
+      OccurrenceTime(TimeInterval(TimePoint(6), TimePoint(20))),
+  };
+  EXPECT_EQ(aggregate_times(TimeAggregate::kEarliest, ts.data(), ts.size()),
+            OccurrenceTime(TimePoint(0)));
+  EXPECT_EQ(aggregate_times(TimeAggregate::kLatest, ts.data(), ts.size()),
+            OccurrenceTime(TimePoint(20)));
+  EXPECT_EQ(aggregate_times(TimeAggregate::kSpan, ts.data(), ts.size()),
+            OccurrenceTime(TimeInterval(TimePoint(0), TimePoint(20))));
+  // midpoints: 10, 2, 13 -> mean 8 (integer division 25/3).
+  EXPECT_EQ(aggregate_times(TimeAggregate::kMean, ts.data(), ts.size()),
+            OccurrenceTime(TimePoint(8)));
+}
+
+TEST(TimeAggregateTest, EmptyInputThrows) {
+  EXPECT_THROW((void)aggregate_times(TimeAggregate::kEarliest, nullptr, 0),
+               std::invalid_argument);
+}
+
+TEST(TimeAggregateTest, StringRoundTrip) {
+  for (const TimeAggregate a : {TimeAggregate::kEarliest, TimeAggregate::kLatest,
+                                TimeAggregate::kSpan, TimeAggregate::kMean}) {
+    EXPECT_EQ(time_aggregate_from_string(to_string(a)), a);
+  }
+  EXPECT_FALSE(time_aggregate_from_string("median").has_value());
+}
+
+}  // namespace
+}  // namespace stem::time_model

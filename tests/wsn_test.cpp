@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "wsn/actor.hpp"
+#include "wsn/mote.hpp"
+#include "wsn/sink.hpp"
+#include "wsn/topology.hpp"
+
+namespace stem::wsn {
+namespace {
+
+using core::EventTypeId;
+using core::ObserverId;
+using core::SensorId;
+using geom::Point;
+using time_model::milliseconds;
+using time_model::seconds;
+using time_model::TimePoint;
+
+TEST(TopologyTest, GridPlacementCoversArea) {
+  TopologyConfig cfg;
+  cfg.motes = 16;
+  cfg.placement = TopologyConfig::Placement::kGrid;
+  cfg.radio_range = 40.0;
+  const Topology topo = build_topology(cfg);
+  ASSERT_EQ(topo.mote_positions.size(), 16u);
+  ASSERT_EQ(topo.sink_positions.size(), 1u);
+  for (const Point& p : topo.mote_positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, cfg.width);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, cfg.height);
+  }
+  EXPECT_EQ(topo.connected_count(), 16u);  // 40 m range on 100 m area: all reach
+}
+
+TEST(TopologyTest, RoutingTreeDepthsAreConsistent) {
+  TopologyConfig cfg;
+  cfg.motes = 64;
+  cfg.radio_range = 25.0;
+  cfg.seed = 11;
+  const Topology topo = build_topology(cfg);
+  for (std::size_t i = 0; i < cfg.motes; ++i) {
+    if (!topo.connected(i)) continue;
+    if (topo.parent_sink[i].has_value()) {
+      EXPECT_EQ(topo.depth[i], 1);
+    } else {
+      ASSERT_TRUE(topo.parent_mote[i].has_value());
+      EXPECT_EQ(topo.depth[i], topo.depth[*topo.parent_mote[i]] + 1);
+      // Parent must be within radio range.
+      EXPECT_LE(geom::distance(topo.mote_positions[i],
+                               topo.mote_positions[*topo.parent_mote[i]]),
+                cfg.radio_range + 1e-9);
+    }
+  }
+  EXPECT_GT(topo.max_depth(), 1);  // 25 m range forces multi-hop
+}
+
+TEST(TopologyTest, ShortRangeDisconnectsSomeMotes) {
+  TopologyConfig cfg;
+  cfg.motes = 20;
+  cfg.radio_range = 5.0;  // far too short for 100x100
+  cfg.seed = 3;
+  const Topology topo = build_topology(cfg);
+  EXPECT_LT(topo.connected_count(), 20u);
+}
+
+TEST(TopologyTest, DeterministicForSameSeed) {
+  TopologyConfig cfg;
+  cfg.seed = 42;
+  const Topology a = build_topology(cfg);
+  const Topology b = build_topology(cfg);
+  ASSERT_EQ(a.mote_positions.size(), b.mote_positions.size());
+  for (std::size_t i = 0; i < a.mote_positions.size(); ++i) {
+    EXPECT_EQ(a.mote_positions[i], b.mote_positions[i]);
+    EXPECT_EQ(a.depth[i], b.depth[i]);
+  }
+}
+
+// --- Mote -> Sink pipeline -------------------------------------------------
+
+struct PipelineFixture : ::testing::Test {
+  PipelineFixture() : network(simulator, sim::Rng(21)) {}
+
+  /// Quiet link: deterministic latency for exact assertions.
+  static net::LinkSpec quiet_link() {
+    net::LinkSpec link;
+    link.base_latency = milliseconds(2);
+    link.jitter = time_model::Duration::zero();
+    link.loss_prob = 0.0;
+    link.bytes_per_ms = 0.0;
+    return link;
+  }
+
+  core::EventDefinition hot_def() {
+    core::EventDefinition def{
+        EventTypeId("HOT"),
+        {{"x", core::SlotFilter::observation(SensorId("SRtemp"))}},
+        core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt,
+                     50.0),
+        seconds(60),
+        {},
+        core::ConsumptionMode::kConsume};
+    def.synthesis.attributes.push_back(
+        core::AttributeRule{"value", core::ValueAggregate::kAverage, "value", {0}});
+    return def;
+  }
+
+  sim::Simulator simulator;
+  net::Network network;
+};
+
+TEST_F(PipelineFixture, MoteDetectsAndShipsSensorEvents) {
+  SensorMote::Config mcfg;
+  mcfg.id = ObserverId("MT1");
+  mcfg.position = {10, 10};
+  mcfg.sampling_period = seconds(1);
+  SensorMote mote(network, mcfg, sim::Rng(1));
+  mote.add_sensor(std::make_shared<sensing::ScalarFieldSensor>(
+      SensorId("SRtemp"), std::make_shared<sensing::UniformField>(80.0), 0.0));
+  mote.add_definition(hot_def());
+
+  SinkNode::Config scfg;
+  scfg.id = ObserverId("SINK");
+  scfg.position = {50, 50};
+  SinkNode sink(network, nullptr, scfg);
+  // CP definition: any HOT sensor event becomes a CP_HOT instance.
+  core::EventDefinition cp{EventTypeId("CP_HOT"),
+                           {{"h", core::SlotFilter::instance_of(EventTypeId("HOT"))}},
+                           core::c_confidence(core::ValueAggregate::kMin, {0},
+                                              core::RelationalOp::kGe, 0.0),
+                           seconds(60),
+                           {},
+                           core::ConsumptionMode::kConsume};
+  sink.add_definition(cp);
+
+  network.connect(ObserverId("MT1"), ObserverId("SINK"), quiet_link());
+  mote.set_parent(ObserverId("SINK"));
+  mote.start(TimePoint::epoch() + seconds(5));
+  simulator.run();
+
+  EXPECT_EQ(mote.stats().samples, 5u);
+  EXPECT_EQ(mote.stats().events_emitted, 5u);
+  EXPECT_EQ(sink.stats().entities_received, 5u);
+  ASSERT_EQ(sink.emitted().size(), 5u);
+  const core::EventInstance& cp0 = sink.emitted().front();
+  EXPECT_EQ(cp0.key.event, EventTypeId("CP_HOT"));
+  EXPECT_EQ(cp0.layer, core::Layer::kCyberPhysical);
+  // Estimated occurrence is the mote's sampling time (1s), generation is
+  // later: + mote proc (5ms) + link (2ms) + sink proc (10ms).
+  EXPECT_EQ(cp0.est_time, time_model::OccurrenceTime(TimePoint::epoch() + seconds(1)));
+  EXPECT_EQ(cp0.gen_time, TimePoint::epoch() + seconds(1) + milliseconds(17));
+}
+
+TEST_F(PipelineFixture, MultiHopRelayReachesSink) {
+  // Chain: MT_far -> MT_mid -> SINK.
+  SensorMote::Config far_cfg;
+  far_cfg.id = ObserverId("MT_far");
+  far_cfg.position = {0, 0};
+  SensorMote far(network, far_cfg, sim::Rng(2));
+  far.add_sensor(std::make_shared<sensing::ScalarFieldSensor>(
+      SensorId("SRtemp"), std::make_shared<sensing::UniformField>(80.0), 0.0));
+  far.add_definition(hot_def());
+
+  SensorMote::Config mid_cfg;
+  mid_cfg.id = ObserverId("MT_mid");
+  mid_cfg.position = {20, 0};
+  SensorMote mid(network, mid_cfg, sim::Rng(3));  // no sensors: pure repeater
+
+  SinkNode::Config scfg;
+  scfg.id = ObserverId("SINK");
+  scfg.position = {40, 0};
+  SinkNode sink(network, nullptr, scfg);
+  core::EventDefinition cp{EventTypeId("CP_HOT"),
+                           {{"h", core::SlotFilter::instance_of(EventTypeId("HOT"))}},
+                           core::c_confidence(core::ValueAggregate::kMin, {0},
+                                              core::RelationalOp::kGe, 0.0),
+                           seconds(60),
+                           {},
+                           core::ConsumptionMode::kConsume};
+  sink.add_definition(cp);
+
+  network.connect(ObserverId("MT_far"), ObserverId("MT_mid"), quiet_link());
+  network.connect(ObserverId("MT_mid"), ObserverId("SINK"), quiet_link());
+  far.set_parent(ObserverId("MT_mid"));
+  mid.set_parent(ObserverId("SINK"));
+  far.start(TimePoint::epoch() + seconds(2));
+  simulator.run();
+
+  EXPECT_EQ(mid.stats().relayed, 2u);
+  EXPECT_EQ(sink.emitted().size(), 2u);
+}
+
+TEST_F(PipelineFixture, ForwardRawShipsObservations) {
+  SensorMote::Config mcfg;
+  mcfg.id = ObserverId("MT1");
+  mcfg.position = {10, 10};
+  mcfg.forward_raw = true;
+  SensorMote mote(network, mcfg, sim::Rng(1));
+  mote.add_sensor(std::make_shared<sensing::ScalarFieldSensor>(
+      SensorId("SRtemp"), std::make_shared<sensing::UniformField>(80.0), 0.0));
+  mote.add_definition(hot_def());  // must be bypassed in raw mode
+
+  std::vector<net::Message> received;
+  network.register_node(ObserverId("C"), [&](const net::Message& m) { received.push_back(m); });
+  network.connect(ObserverId("MT1"), ObserverId("C"), quiet_link());
+  mote.set_parent(ObserverId("C"));
+  mote.start(TimePoint::epoch() + seconds(3));
+  simulator.run();
+
+  EXPECT_EQ(mote.stats().events_emitted, 0u);
+  ASSERT_EQ(received.size(), 3u);
+  const auto* entity = std::get_if<core::Entity>(&received[0].payload);
+  ASSERT_NE(entity, nullptr);
+  EXPECT_TRUE(entity->is_observation());
+}
+
+TEST_F(PipelineFixture, SinkLocalizesUserFromRangeEvents) {
+  // Three motes range the (stationary) user at (30, 40); the sink fuses
+  // them into a location estimate — the paper's Sec. 1 example.
+  const auto user = std::make_shared<sensing::MovingObject>(
+      "userA", std::vector<Point>{{30, 40}}, TimePoint::epoch(), 1.0);
+
+  core::EventDefinition range_def{
+      EventTypeId("RANGE_userA"),
+      {{"r", core::SlotFilter::observation(SensorId("SRrange"))}},
+      core::c_attr(core::ValueAggregate::kMin, "range", {0}, core::RelationalOp::kGe, 0.0),
+      seconds(60),
+      {},
+      core::ConsumptionMode::kConsume};
+  range_def.synthesis.attributes.push_back(
+      core::AttributeRule{"range", core::ValueAggregate::kAverage, "range", {0}});
+
+  std::vector<std::unique_ptr<SensorMote>> motes;
+  const Point anchors[] = {{0, 0}, {100, 0}, {0, 100}};
+  SinkNode::Config scfg;
+  scfg.id = ObserverId("SINK");
+  scfg.position = {50, 50};
+  SinkNode sink(network, nullptr, scfg);
+
+  Localizer::Config lcfg;
+  lcfg.range_event = EventTypeId("RANGE_userA");
+  lcfg.output_event = EventTypeId("LOC_userA");
+  lcfg.window = seconds(5);
+  sink.enable_localization(lcfg);
+
+  for (int i = 0; i < 3; ++i) {
+    SensorMote::Config mcfg;
+    mcfg.id = ObserverId("MT" + std::to_string(i));
+    mcfg.position = anchors[i];
+    auto mote = std::make_unique<SensorMote>(network, mcfg, sim::Rng(100 + i));
+    mote->add_sensor(std::make_shared<sensing::RangeSensor>(SensorId("SRrange"), user, 200.0,
+                                                            0.0 /* noiseless */));
+    mote->add_definition(range_def);
+    network.connect(mcfg.id, ObserverId("SINK"), quiet_link());
+    mote->set_parent(ObserverId("SINK"));
+    mote->start(TimePoint::epoch() + seconds(2));
+    motes.push_back(std::move(mote));
+  }
+  simulator.run();
+
+  bool located = false;
+  for (const auto& inst : sink.emitted()) {
+    if (inst.key.event == EventTypeId("LOC_userA")) {
+      located = true;
+      ASSERT_TRUE(inst.est_location.is_point());
+      EXPECT_NEAR(inst.est_location.as_point().x, 30.0, 1e-6);
+      EXPECT_NEAR(inst.est_location.as_point().y, 40.0, 1e-6);
+      EXPECT_GT(inst.confidence, 0.9);
+      EXPECT_EQ(inst.provenance.size(), 3u);
+    }
+  }
+  EXPECT_TRUE(located);
+}
+
+TEST_F(PipelineFixture, ActorExecutesDispatchedCommand) {
+  net::Broker broker(network, ObserverId("BROKER"));
+
+  ActorMote::Config acfg;
+  acfg.id = ObserverId("AR1");
+  acfg.position = {5, 5};
+  acfg.actuation_delay = milliseconds(50);
+  std::vector<std::string> actuated;
+  ActorMote actor(network, &broker, acfg,
+                  [&](const net::Command& c, TimePoint) { actuated.push_back(c.verb); });
+
+  DispatchNode::Config dcfg;
+  dcfg.id = ObserverId("DISPATCH");
+  dcfg.position = {10, 10};
+  DispatchNode dispatch(network, broker, dcfg);
+
+  network.register_node(ObserverId("CCU"), [](const net::Message&) {});
+  network.connect(ObserverId("CCU"), ObserverId("BROKER"), quiet_link());
+  network.connect(ObserverId("DISPATCH"), ObserverId("BROKER"), quiet_link());
+  network.connect(ObserverId("DISPATCH"), ObserverId("AR1"), quiet_link());
+  network.connect(ObserverId("AR1"), ObserverId("BROKER"), quiet_link());
+  dispatch.serve(ObserverId("AR1"));
+
+  net::Command cmd;
+  cmd.target = ObserverId("AR1");
+  cmd.verb = "close_window";
+  broker.publish(ObserverId("CCU"), cmd);
+  simulator.run();
+
+  ASSERT_EQ(actuated.size(), 1u);
+  EXPECT_EQ(actuated[0], "close_window");
+  EXPECT_EQ(dispatch.dispatched(), 1u);
+  ASSERT_EQ(actor.executed().size(), 1u);
+  EXPECT_EQ(actor.executed()[0].executed - actor.executed()[0].received, milliseconds(50));
+}
+
+}  // namespace
+}  // namespace stem::wsn

@@ -1,0 +1,84 @@
+/// stemc — event specification compiler / validator / pretty-printer.
+///
+/// Usage:
+///   stemc check  <file.stem>     validate a specification (exit 0/1)
+///   stemc format <file.stem>     parse and re-emit in canonical form
+///   stemc dump   <file.stem>     show compiled structure per event
+///   stemc -                      read from stdin (any mode)
+///
+/// A .stem file contains one or more `event NAME { ... }` definitions in
+/// the grammar documented in src/eventlang/parser.hpp.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "eventlang/lexer.hpp"
+#include "eventlang/parser.hpp"
+#include "eventlang/printer.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: stemc {check|format|dump} <file.stem | ->\n";
+  return 2;
+}
+
+std::string read_all(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void dump(const stem::core::EventDefinition& def) {
+  std::cout << "event " << def.id.value() << "\n";
+  std::cout << "  slots (" << def.slots.size() << "):";
+  for (const auto& slot : def.slots) std::cout << " " << slot.name;
+  std::cout << "\n  window: " << def.window.ticks() << " us\n";
+  std::cout << "  condition: depth=" << def.condition.depth()
+            << " leaves=" << def.condition.leaf_count() << "\n";
+  std::cout << "    " << stem::eventlang::print_condition(def.condition, def) << "\n";
+  std::cout << "  consumption: "
+            << (def.consumption == stem::core::ConsumptionMode::kConsume ? "consume" : "reuse")
+            << "\n";
+  std::cout << "  synthesis: time=" << stem::time_model::to_string(def.synthesis.time)
+            << " location=" << stem::geom::to_string(def.synthesis.location)
+            << " attrs=" << def.synthesis.attributes.size() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const std::string mode = argv[1];
+  if (mode != "check" && mode != "format" && mode != "dump") return usage();
+
+  try {
+    const std::string source = read_all(argv[2]);
+    const auto defs = stem::eventlang::parse_spec(source);
+    if (mode == "check") {
+      std::cerr << "OK: " << defs.size() << " event definition(s)\n";
+    } else if (mode == "format") {
+      for (const auto& def : defs) std::cout << stem::eventlang::print_event(def);
+    } else {
+      for (const auto& def : defs) dump(def);
+    }
+    return 0;
+  } catch (const stem::eventlang::ParseError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
