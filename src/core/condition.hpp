@@ -48,6 +48,8 @@ struct AttributeCondition {
   std::vector<SlotIndex> slots;
   RelationalOp op = RelationalOp::kGt;
   double constant = 0.0;
+
+  friend bool operator==(const AttributeCondition&, const AttributeCondition&) = default;
 };
 
 /// One side of a temporal comparison: an aggregation over slot times plus
@@ -56,6 +58,8 @@ struct TimeExpr {
   time_model::TimeAggregate aggregate = time_model::TimeAggregate::kSpan;
   std::vector<SlotIndex> slots;
   time_model::Duration offset = time_model::Duration::zero();
+
+  friend bool operator==(const TimeExpr&, const TimeExpr&) = default;
 };
 
 /// Temporal condition (Eq. 4.3): g_t[t_1..t_n] OP_T C_t, where the right-
@@ -65,12 +69,16 @@ struct TemporalCondition {
   TimeExpr lhs;
   time_model::TemporalOp op = time_model::TemporalOp::kBefore;
   std::variant<TimeExpr, time_model::OccurrenceTime> rhs;
+
+  friend bool operator==(const TemporalCondition&, const TemporalCondition&) = default;
 };
 
 /// One side of a spatial predicate: an aggregation over slot locations.
 struct LocationExpr {
   geom::SpatialAggregate aggregate = geom::SpatialAggregate::kHull;
   std::vector<SlotIndex> slots;
+
+  friend bool operator==(const LocationExpr&, const LocationExpr&) = default;
 };
 
 /// Spatial predicate condition (Eq. 4.4): g_s[l_1..l_n] OP_S C_s, where
@@ -80,6 +88,8 @@ struct SpatialCondition {
   LocationExpr lhs;
   geom::SpatialOp op = geom::SpatialOp::kInside;
   std::variant<LocationExpr, geom::Location> rhs;
+
+  friend bool operator==(const SpatialCondition&, const SpatialCondition&) = default;
 };
 
 /// Spatial metric condition: g_distance(l_a, l_b) OP_R C — the paper's S1
@@ -91,6 +101,8 @@ struct DistanceCondition {
   std::variant<LocationExpr, geom::Location> to;
   RelationalOp op = RelationalOp::kLt;
   double constant = 0.0;  ///< meters
+
+  friend bool operator==(const DistanceCondition&, const DistanceCondition&) = default;
 };
 
 /// Confidence condition (model extension): constrains the aggregated
@@ -102,18 +114,26 @@ struct ConfidenceCondition {
   std::vector<SlotIndex> slots;
   RelationalOp op = RelationalOp::kGe;
   double constant = 0.0;
+
+  friend bool operator==(const ConfidenceCondition&, const ConfidenceCondition&) = default;
 };
 
 class ConditionExpr;
 
 struct AndNode {
   std::vector<ConditionExpr> children;
+
+  friend bool operator==(const AndNode&, const AndNode&) = default;
 };
 struct OrNode {
   std::vector<ConditionExpr> children;
+
+  friend bool operator==(const OrNode&, const OrNode&) = default;
 };
 struct NotNode {
   std::vector<ConditionExpr> child;  // exactly one; vector for incomplete-type storage
+
+  friend bool operator==(const NotNode&, const NotNode&) = default;
 };
 
 /// Composite event condition (Eq. 4.5): a tree of attribute / temporal /
@@ -141,6 +161,9 @@ class ConditionExpr {
   /// Largest slot index referenced anywhere in the tree, or nullopt if no
   /// slots are referenced (constant-only conditions).
   [[nodiscard]] std::optional<SlotIndex> max_slot() const;
+
+  /// Structural equality (same tree shape, operators, slots, constants).
+  friend bool operator==(const ConditionExpr&, const ConditionExpr&) = default;
 
  private:
   Rep rep_;

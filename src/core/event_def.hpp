@@ -36,12 +36,16 @@ struct SlotFilter {
     layer = l;
     return *this;
   }
+
+  friend bool operator==(const SlotFilter&, const SlotFilter&) = default;
 };
 
 /// A named entity slot (the x, y of the paper's condition examples).
 struct SlotSpec {
   std::string name;
   SlotFilter filter;
+
+  friend bool operator==(const SlotSpec&, const SlotSpec&) = default;
 };
 
 /// How the confidences rho of constituent entities combine into the
@@ -58,6 +62,8 @@ struct AttributeRule {
   ValueAggregate aggregate = ValueAggregate::kAverage;
   std::string input_attribute;
   std::vector<SlotIndex> slots;
+
+  friend bool operator==(const AttributeRule&, const AttributeRule&) = default;
 };
 
 /// How a detected instance's 6-tuple (Eq. 4.7) is synthesized from the
@@ -71,6 +77,8 @@ struct SynthesisSpec {
   /// The observer's own confidence factor, multiplied into the result.
   double observer_confidence = 1.0;
   std::vector<AttributeRule> attributes;
+
+  friend bool operator==(const SynthesisSpec&, const SynthesisSpec&) = default;
 };
 
 /// How matched entities are retired from the engine's buffers.
@@ -94,6 +102,11 @@ struct EventDefinition {
 
   /// Index of the named slot. Throws std::out_of_range if unknown.
   [[nodiscard]] SlotIndex slot_index(std::string_view name) const;
+
+  /// Structural equality over the whole definition (id, slots, condition,
+  /// window, synthesis, consumption). Lets tests and dedup logic compare
+  /// parsed specifications directly.
+  friend bool operator==(const EventDefinition&, const EventDefinition&) = default;
 };
 
 }  // namespace stem::core

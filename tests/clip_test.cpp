@@ -83,7 +83,9 @@ TEST(ClipTest, RandomizedInclusionExclusionOnDisks) {
     EXPECT_GE(j, 0.0);
     EXPECT_LE(j, 1.0 + 1e-12);
     // Consistency with the boolean predicate.
-    if (ab > 1e-9) EXPECT_TRUE(a.intersects(b));
+    if (ab > 1e-9) {
+      EXPECT_TRUE(a.intersects(b));
+    }
   }
 }
 

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "eventlang/parser.hpp"
+#include "eventlang/printer.hpp"
+
+namespace stem::eventlang {
+namespace {
+
+/// parse -> print -> re-parse must reproduce the AST exactly: the printer's
+/// canonical form is the language's interchange format, so any drift between
+/// the two (lost clause, re-ordered slot, renamed operator) is a bug.
+
+core::EventDefinition roundtrip(const core::EventDefinition& def) {
+  return parse_event(print_event(def));
+}
+
+TEST(EventlangRoundTripTest, ThresholdDefinition) {
+  const auto def = parse_event(R"(
+event HOT {
+  window: 2 s;
+  slot x = obs(SRheat);
+  when avg(value of x) > 80;
+  emit { attr value = avg(value of x); }
+}
+)");
+  EXPECT_EQ(roundtrip(def), def);
+}
+
+TEST(EventlangRoundTripTest, CompositeDefinition) {
+  const auto def = parse_event(R"(
+event CP_FIRE {
+  window: 4 s;
+  slot a = event(HOT);
+  slot b = event(HOT) from MT3;
+  slot c = any;
+  when (min(value of a, b) > 80 or not rho(min: c) < 0.5)
+   and time(a) before time(b)
+   and time(span: a, b) + 250 ms within time(c)
+   and distance(a, b) < 40;
+  emit {
+    time: span;
+    location: hull;
+    confidence: mean * 0.9;
+    attr value = avg(value of a, b, c);
+  }
+  reuse;
+}
+)");
+  EXPECT_EQ(roundtrip(def), def);
+}
+
+TEST(EventlangRoundTripTest, SpatialPredicateDefinition) {
+  const auto def = parse_event(R"(
+event NEARBY_WINDOW {
+  window: 5 s;
+  slot l = event(LOC_userA);
+  when loc(l) inside rect(4, 0, 6, 2)
+   and loc(centroid: l) joint rect(3, 0, 7, 2)
+   and distance(l, point(5, 1)) <= 3;
+  emit { time: latest; location: centroid; confidence: mean; }
+}
+)");
+  EXPECT_EQ(roundtrip(def), def);
+}
+
+TEST(EventlangRoundTripTest, CircleNormalizesToBoundingRectOnce) {
+  // circle(...) is sugar: the printer emits the disk's bounding rect, which
+  // is stable (equal AST) from the first reprint onward.
+  const auto def = parse_event(R"(
+event RING {
+  window: 5 s;
+  slot l = obs(SRloc);
+  when loc(l) joint circle(5, 1, 2);
+}
+)");
+  const auto normalized = roundtrip(def);
+  EXPECT_NE(normalized, def);
+  EXPECT_EQ(roundtrip(normalized), normalized);
+}
+
+TEST(EventlangRoundTripTest, TemporalConstantsDefinition) {
+  const auto def = parse_event(R"(
+event CALIBRATION_WINDOW {
+  window: 1 m;
+  slot s = obs(SRclock);
+  when time(s) during interval(1 s, 120 s)
+    or time(earliest: s) after at(500 ms);
+}
+)");
+  EXPECT_EQ(roundtrip(def), def);
+}
+
+TEST(EventlangRoundTripTest, RoundTripIsIdempotent) {
+  const auto def = parse_event(R"(
+event QUORUM {
+  window: 30 s;
+  slot x = obs(SRvote);
+  slot y = obs(SRvote);
+  when count(value of x, y) >= 2 and distance(x, y) > 0.5;
+  emit { time: mean; location: unionbox; confidence: product; }
+  reuse;
+}
+)");
+  const auto once = roundtrip(def);
+  EXPECT_EQ(once, def);
+  EXPECT_EQ(roundtrip(once), once);
+  EXPECT_EQ(print_event(once), print_event(def));
+}
+
+TEST(EventlangRoundTripTest, InequalAstsCompareUnequal) {
+  const auto a = parse_event("event E { slot x = obs(SR); when avg(v of x) > 1; }");
+  const auto b = parse_event("event E { slot x = obs(SR); when avg(v of x) > 2; }");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, parse_event("event E { slot x = obs(SR); when avg(v of x) > 1; }"));
+}
+
+}  // namespace
+}  // namespace stem::eventlang

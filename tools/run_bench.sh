@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Runs the Google-Benchmark microbenchmarks and records one BENCH_<name>.json
+# baseline per executable. Future optimization PRs diff their numbers against
+# these files.
+#
+# Usage: tools/run_bench.sh [build-dir] [out-dir]
+#   build-dir  CMake build tree (default: build; configured+built if missing)
+#   out-dir    where BENCH_*.json land (default: bench/baselines)
+#
+# Env:
+#   STEM_BENCH_MIN_TIME  per-benchmark min running time in seconds (default 0.05)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-bench/baselines}
+MIN_TIME=${STEM_BENCH_MIN_TIME:-0.05}
+
+# The e1-e4, e9-e11 microbenchmarks use BENCHMARK_MAIN and understand
+# --benchmark_format=json; e5-e8, e12, and fig* are self-driving studies
+# with their own output format, so they are not part of the JSON baseline.
+GBENCH_TARGETS=(
+  e1_temporal_ops
+  e2_spatial_ops
+  e3_composite_eval
+  e4_spatial_index
+  e9_eventlang
+  e10_pubsub
+  e11_engine_throughput
+)
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j"$(nproc)"
+fi
+
+mkdir -p "$OUT_DIR"
+
+ran=0
+for target in "${GBENCH_TARGETS[@]}"; do
+  exe="$BUILD_DIR/bench/$target"
+  if [[ ! -x "$exe" ]]; then
+    echo "skip: $target (not built; is Google Benchmark installed?)" >&2
+    continue
+  fi
+  out="$OUT_DIR/BENCH_${target}.json"
+  echo "bench: $target -> $out" >&2
+  "$exe" --benchmark_min_time="$MIN_TIME" --benchmark_format=json >"$out"
+  ran=$((ran + 1))
+done
+
+if [[ "$ran" -eq 0 ]]; then
+  echo "error: no benchmark executables found under $BUILD_DIR/bench -- nothing was measured" >&2
+  exit 1
+fi
+
+# Headline figures for CHANGES.md / PR summaries.
+python3 - "$OUT_DIR" <<'EOF'
+import json, os, sys
+
+out_dir = sys.argv[1]
+
+def rate(path, name):
+    try:
+        with open(os.path.join(out_dir, path)) as f:
+            data = json.load(f)
+    except OSError:
+        return None
+    for b in data.get("benchmarks", []):
+        if b["name"] == name:
+            return b.get("items_per_second")
+    return None
+
+def ns_per_op(path, name):
+    # e2 reports plain ns/op without an items_per_second counter.
+    try:
+        with open(os.path.join(out_dir, path)) as f:
+            data = json.load(f)
+    except OSError:
+        return None
+    for b in data.get("benchmarks", []):
+        if b["name"] == name and b.get("time_unit") == "ns":
+            return b.get("cpu_time")
+    return None
+
+def fmt(v):
+    return "n/a" if v is None else f"{v / 1e6:.2f}M/s"
+
+spatial_ns = ns_per_op("BENCH_e2_spatial_ops.json", "BM_SpatialPointField/inside/64")
+spatial = None if spatial_ns is None else 1e9 / spatial_ns
+
+print("-- baseline headline figures --")
+print(f"engine throughput (1 def):   {fmt(rate('BENCH_e11_engine_throughput.json', 'BM_DefinitionCount/1'))} entities/s")
+print(f"engine throughput (64 defs): {fmt(rate('BENCH_e11_engine_throughput.json', 'BM_DefinitionCount/64'))} entities/s")
+print(f"temporal op (before, i-i):   {fmt(rate('BENCH_e1_temporal_ops.json', 'BM_TemporalOp/before_ii'))} ops/s")
+print(f"allen classify:              {fmt(rate('BENCH_e1_temporal_ops.json', 'BM_AllenClassify'))} ops/s")
+print(f"spatial point-in-field (64): {fmt(spatial)} ops/s")
+EOF
