@@ -7,26 +7,56 @@ namespace stem::core {
 
 namespace {
 
-/// Collects the numeric values of `attribute` from the listed slots.
-/// Returns false (condition cannot hold) if any slot lacks the attribute.
-bool collect_numbers(const EvalContext& ctx, const std::vector<SlotIndex>& slots,
-                     const std::string& attribute, std::vector<double>& out) {
-  out.clear();
-  out.reserve(slots.size());
-  for (const SlotIndex s : slots) {
-    const auto v = ctx.slot(s).attributes().number(attribute);
-    if (!v.has_value()) return false;
-    out.push_back(*v);
-  }
-  return true;
-}
+/// Leaf evaluation runs once per candidate binding in the engine's inner
+/// loop; aggregations over up to this many slots use stack storage instead
+/// of a heap-allocated vector.
+constexpr std::size_t kInlineSlots = 8;
 
 time_model::OccurrenceTime eval_time_expr(const TimeExpr& e, const EvalContext& ctx) {
+  const std::size_t n = e.slots.size();
+  if (n == 1) {
+    // Still aggregated: kEarliest/kLatest/kMean collapse an interval-
+    // valued slot to a punctual time, so this is not the identity.
+    time_model::OccurrenceTime t = ctx.slot(e.slots.front()).occurrence_time();
+    return time_model::aggregate_times(e.aggregate, &t, 1).shifted(e.offset);
+  }
+  if (n <= kInlineSlots) {
+    const time_model::OccurrenceTime zero(time_model::TimePoint::epoch());
+    time_model::OccurrenceTime times[kInlineSlots] = {zero, zero, zero, zero,
+                                                      zero, zero, zero, zero};
+    for (std::size_t i = 0; i < n; ++i) times[i] = ctx.slot(e.slots[i]).occurrence_time();
+    return time_model::aggregate_times(e.aggregate, times, n).shifted(e.offset);
+  }
   std::vector<time_model::OccurrenceTime> times;
-  times.reserve(e.slots.size());
+  times.reserve(n);
   for (const SlotIndex s : e.slots) times.push_back(ctx.slot(s).occurrence_time());
   const auto agg = time_model::aggregate_times(e.aggregate, times.data(), times.size());
   return agg.shifted(e.offset);
+}
+
+/// Aggregates `attribute` (or confidence, via `Read`) over slots and
+/// compares; a slot missing the attribute fails the condition.
+template <typename Read>
+bool eval_value_aggregate(const EvalContext& ctx, const std::vector<SlotIndex>& slots,
+                          ValueAggregate agg, RelationalOp op, double constant, Read read) {
+  const std::size_t n = slots.size();
+  if (n <= kInlineSlots) {
+    double buf[kInlineSlots];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::optional<double> v = read(ctx.slot(slots[i]));
+      if (!v.has_value()) return false;
+      buf[i] = *v;
+    }
+    return eval_relational(aggregate_values(agg, buf, n), op, constant);
+  }
+  std::vector<double> values;
+  values.reserve(n);
+  for (const SlotIndex s : slots) {
+    const std::optional<double> v = read(ctx.slot(s));
+    if (!v.has_value()) return false;
+    values.push_back(*v);
+  }
+  return eval_relational(aggregate_values(agg, values.data(), values.size()), op, constant);
 }
 
 geom::Location eval_location_expr(const LocationExpr& e, const EvalContext& ctx) {
@@ -40,10 +70,8 @@ geom::Location eval_location_expr(const LocationExpr& e, const EvalContext& ctx)
 }
 
 bool eval_leaf(const AttributeCondition& c, const EvalContext& ctx) {
-  std::vector<double> values;
-  if (!collect_numbers(ctx, c.slots, c.attribute, values)) return false;
-  const double lhs = aggregate_values(c.aggregate, values.data(), values.size());
-  return eval_relational(lhs, c.op, c.constant);
+  return eval_value_aggregate(ctx, c.slots, c.aggregate, c.op, c.constant,
+                              [&c](const Entity& e) { return e.attributes().number(c.attribute); });
 }
 
 bool eval_leaf(const TemporalCondition& c, const EvalContext& ctx) {
@@ -71,11 +99,8 @@ bool eval_leaf(const DistanceCondition& c, const EvalContext& ctx) {
 }
 
 bool eval_leaf(const ConfidenceCondition& c, const EvalContext& ctx) {
-  std::vector<double> values;
-  values.reserve(c.slots.size());
-  for (const SlotIndex s : c.slots) values.push_back(ctx.slot(s).confidence());
-  const double lhs = aggregate_values(c.aggregate, values.data(), values.size());
-  return eval_relational(lhs, c.op, c.constant);
+  return eval_value_aggregate(ctx, c.slots, c.aggregate, c.op, c.constant,
+                              [](const Entity& e) { return std::optional<double>(e.confidence()); });
 }
 
 }  // namespace
@@ -183,6 +208,102 @@ std::optional<SlotIndex> ConditionExpr::max_slot() const {
   std::optional<SlotIndex> best;
   collect_slots(*this, best);
   return best;
+}
+
+namespace {
+
+/// `loc OP loc'` implies the two bounding boxes touch for these operators
+/// (equality, containment either way, or sharing a point all do).
+bool implies_bbox_overlap(geom::SpatialOp op) {
+  switch (op) {
+    case geom::SpatialOp::kEqual:
+    case geom::SpatialOp::kInside:
+    case geom::SpatialOp::kContains:
+    case geom::SpatialOp::kJoint:
+      return true;
+    case geom::SpatialOp::kOutside:
+    case geom::SpatialOp::kDisjoint:
+      return false;
+  }
+  return false;
+}
+
+/// The single slot of a location expression, or nullopt when the
+/// expression aggregates several slots (no per-slot bound derivable).
+std::optional<SlotIndex> single_slot(const LocationExpr& e) {
+  if (e.slots.size() != 1) return std::nullopt;
+  return e.slots.front();
+}
+
+void emit_guard(std::vector<SpatialGuard>& out, SlotIndex a,
+                const std::variant<LocationExpr, geom::Location>& rhs, double radius) {
+  if (const auto* loc = std::get_if<geom::Location>(&rhs)) {
+    out.push_back(SpatialGuard{a, std::nullopt, *loc, radius});
+    return;
+  }
+  if (const auto b = single_slot(std::get<LocationExpr>(rhs)); b.has_value() && *b != a) {
+    // Distance and bbox overlap are symmetric: guard both directions.
+    out.push_back(SpatialGuard{a, *b, std::nullopt, radius});
+    out.push_back(SpatialGuard{*b, a, std::nullopt, radius});
+  }
+}
+
+void collect_guards(const ConditionExpr& expr, std::vector<SpatialGuard>& out) {
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, AndNode>) {
+          for (const auto& ch : node.children) collect_guards(ch, out);
+        } else if constexpr (std::is_same_v<T, SpatialCondition>) {
+          if (!implies_bbox_overlap(node.op)) return;
+          if (const auto a = single_slot(node.lhs)) emit_guard(out, *a, node.rhs, 0.0);
+        } else if constexpr (std::is_same_v<T, DistanceCondition>) {
+          if (node.op != RelationalOp::kLt && node.op != RelationalOp::kLe) return;
+          if (const auto a = single_slot(node.lhs)) {
+            emit_guard(out, *a, node.to, std::max(node.constant, 0.0));
+          }
+        }
+        // OR / NOT subtrees and other leaves imply nothing conjunctively.
+      },
+      expr.rep());
+}
+
+}  // namespace
+
+std::vector<SpatialGuard> extract_spatial_guards(const ConditionExpr& expr) {
+  std::vector<SpatialGuard> out;
+  collect_guards(expr, out);
+  return out;
+}
+
+std::optional<ThresholdSignature> extract_threshold_signature(const ConditionExpr& expr) {
+  const ConditionExpr* node = &expr;
+  // A single-child AND/OR is equivalent to its child.
+  while (true) {
+    if (const auto* a = std::get_if<AndNode>(&node->rep()); a && a->children.size() == 1) {
+      node = &a->children.front();
+    } else if (const auto* o = std::get_if<OrNode>(&node->rep()); o && o->children.size() == 1) {
+      node = &o->children.front();
+    } else {
+      break;
+    }
+  }
+  const auto* c = std::get_if<AttributeCondition>(&node->rep());
+  if (c == nullptr || c->slots.size() != 1) return std::nullopt;
+  // Any aggregate of one value is the value itself — except kCount, which
+  // ignores the value entirely.
+  if (c->aggregate == ValueAggregate::kCount) return std::nullopt;
+  switch (c->op) {
+    case RelationalOp::kGt:
+    case RelationalOp::kGe:
+    case RelationalOp::kLt:
+    case RelationalOp::kLe:
+      return ThresholdSignature{c->attribute, c->op, c->constant};
+    case RelationalOp::kEq:
+    case RelationalOp::kNe:
+      return std::nullopt;
+  }
+  return std::nullopt;
 }
 
 namespace {

@@ -173,6 +173,49 @@ class ConditionExpr {
 /// short-circuit stops at the first decisive child, eager evaluates all.
 enum class EvalMode { kShortCircuit, kEager };
 
+/// A spatial constraint *implied* by a condition: every binding satisfying
+/// the condition places the entity bound to `slot` within `radius` meters
+/// of the entity bound to `partner` (or of the constant `region` when
+/// partner is empty; radius 0 means the bounding boxes must touch).
+///
+/// Guards are extracted only from AND-reachable leaves — never from under
+/// an OR or NOT — so they are conjunctively implied and an engine may use
+/// them as conservative candidate pre-filters (a spatial index query)
+/// without changing which bindings match.
+struct SpatialGuard {
+  SlotIndex slot = 0;
+  std::optional<SlotIndex> partner;     ///< the other slot, for pairwise guards
+  std::optional<geom::Location> region; ///< the constant, for region guards
+  double radius = 0.0;                  ///< meters; 0 for topological guards
+
+  friend bool operator==(const SpatialGuard&, const SpatialGuard&) = default;
+};
+
+/// Extracts the spatial guards implied by `expr`. Pairwise guards are
+/// emitted in both directions (slot↔partner). Only single-slot location
+/// expressions yield guards; aggregates over several slots are skipped
+/// (a bound on the aggregate does not bound the individual slots).
+[[nodiscard]] std::vector<SpatialGuard> extract_spatial_guards(const ConditionExpr& expr);
+
+/// A condition that is exactly `attribute OP constant` over one slot's
+/// value, with an order comparison: the shape an engine can dispatch with
+/// a sorted per-attribute threshold index instead of per-definition
+/// evaluation (selection becomes output-sensitive in the rule count).
+struct ThresholdSignature {
+  std::string attribute;
+  RelationalOp op = RelationalOp::kGt;  ///< one of kGt, kGe, kLt, kLe
+  double constant = 0.0;
+
+  friend bool operator==(const ThresholdSignature&, const ThresholdSignature&) = default;
+};
+
+/// Returns the threshold signature of `expr`, or nullopt if the condition
+/// is not a pure single-slot order threshold (single-child AND/OR wrappers
+/// are looked through; kCount aggregates and kEq/kNe comparisons are not
+/// value thresholds and yield nullopt).
+[[nodiscard]] std::optional<ThresholdSignature> extract_threshold_signature(
+    const ConditionExpr& expr);
+
 /// Evaluates a condition tree against the bound slots.
 [[nodiscard]] bool eval_condition(const ConditionExpr& expr, const EvalContext& ctx,
                                   EvalMode mode = EvalMode::kShortCircuit);

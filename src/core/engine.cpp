@@ -1,5 +1,8 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -20,121 +23,478 @@ void DetectionEngine::add_definition(EventDefinition def) {
                                 "' references slot $" + std::to_string(*max) + " but only " +
                                 std::to_string(def.slots.size()) + " slots are declared");
   }
-  DefState ds{std::move(def), {}};
-  ds.buffers.resize(ds.def.slots.size());
-  defs_.push_back(std::move(ds));
-}
 
-void DetectionEngine::prune(time_model::TimePoint now) {
-  for (DefState& ds : defs_) {
-    const time_model::TimePoint horizon =
-        now - ds.def.window;
-    for (auto& buf : ds.buffers) {
-      while (!buf.empty() && buf.front().entity->occurrence_time().end() < horizon) {
-        buf.pop_front();
-        ++stats_.evicted;
+  const auto d = static_cast<std::uint32_t>(defs_.size());
+  DefState ds{std::move(def)};
+  const std::size_t n = ds.def.slots.size();
+  const auto [seq_it, new_type] =
+      seq_index_.try_emplace(ds.def.id.value(), static_cast<std::uint32_t>(seq_counters_.size()));
+  if (new_type) seq_counters_.push_back(0);
+  ds.seq_idx = seq_it->second;
+  ds.buffered = n > 1;
+  if (ds.buffered) ds.buffers.resize(n);
+  ds.guards.resize(n);
+  ds.spatial.resize(n);
+  ds.spatial_active.assign(n, 0);
+  ds.chosen.resize(n);
+  ds.binding.resize(n);
+  ds.order.reserve(n);
+  ds.cursor.resize(n);
+  ds.cand.resize(n);
+  ds.source.assign(n, 0);
+  ds.qbox.resize(n);
+  ds.prep_epoch.assign(n, 0);
+
+  if (ds.buffered) {
+    for (const SpatialGuard& g : extract_spatial_guards(ds.def.condition)) {
+      if (g.slot >= n) continue;  // condition slots were validated above
+      Guard guard;
+      guard.radius = g.radius;
+      if (g.partner.has_value()) {
+        if (*g.partner >= n) continue;
+        guard.partner = *g.partner;
+      } else if (g.region.has_value()) {
+        guard.region = g.region->bbox().inflated(g.radius);
+      } else {
+        continue;
+      }
+      ds.guards[g.slot].push_back(guard);
+    }
+    // Only retain-mode definitions back guarded slots with a spatial
+    // index: they enumerate the full candidate set, so querying the index
+    // beats scanning once the buffer is large. Consume-mode definitions
+    // stop at the first match; for them the enumerator prechecks the
+    // guard box inline, which is cheaper than eager index queries.
+    if (ds.def.consumption == ConsumptionMode::kUnrestricted) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (ds.guards[j].empty()) continue;
+        // A metric guard's radius is the natural grid cell size; purely
+        // topological guards have no length scale, so use the R-tree.
+        double cell = 0.0;
+        for (const Guard& g : ds.guards[j]) {
+          if (g.radius > 0.0 && (cell == 0.0 || g.radius < cell)) cell = g.radius;
+        }
+        ds.spatial[j] =
+            cell > 0.0 ? std::make_unique<SlotSpatial>(cell) : std::make_unique<SlotSpatial>();
       }
     }
   }
+
+  for (std::uint32_t j = 0; j < n; ++j) {
+    const FilterSignature sig = ds.def.slots[j].filter.signature();
+    switch (sig.kind) {
+      case FilterSignature::Kind::kSensor:
+        register_keyed(routes_by_sensor_[sig.key], ds.def, SlotRoute{d, j});
+        break;
+      case FilterSignature::Kind::kEventType:
+        register_keyed(routes_by_type_[sig.key], ds.def, SlotRoute{d, j});
+        break;
+      case FilterSignature::Kind::kAny:
+        routes_any_.push_back(SlotRoute{d, j});
+        break;
+      case FilterSignature::Kind::kNever:
+        break;  // matches nothing: route nowhere
+    }
+  }
+  defs_.push_back(std::move(ds));
+}
+
+void DetectionEngine::register_keyed(RouteBucket& bucket, const EventDefinition& def,
+                                     SlotRoute r) {
+  // Single-slot order thresholds go to the sorted per-attribute sub-index
+  // so arrivals pay only for the rules their value satisfies; everything
+  // else is probed generically.
+  std::optional<ThresholdSignature> sig;
+  if (def.slots.size() == 1) sig = extract_threshold_signature(def.condition);
+  if (!sig.has_value()) {
+    bucket.generic.push_back(r);
+    return;
+  }
+  ThresholdGroup* group = nullptr;
+  for (ThresholdGroup& g : bucket.thresholds) {
+    if (g.attribute == sig->attribute) {
+      group = &g;
+      break;
+    }
+  }
+  if (group == nullptr) {
+    bucket.thresholds.push_back(ThresholdGroup{sig->attribute, {}, {}, {}, {}});
+    group = &bucket.thresholds.back();
+  }
+  const bool upper = sig->op == RelationalOp::kGt || sig->op == RelationalOp::kGe;
+  auto& entries = upper ? group->above : group->below;
+  auto& inclusive = upper ? group->above_ge : group->below_le;
+  const auto cmp = [upper](const std::pair<double, SlotRoute>& a, double c) {
+    return upper ? a.first < c : a.first > c;  // above ascending, below descending
+  };
+  const auto pos = std::lower_bound(entries.begin(), entries.end(), sig->constant, cmp);
+  const auto at = static_cast<std::size_t>(pos - entries.begin());
+  entries.insert(pos, {sig->constant, r});
+  inclusive.insert(inclusive.begin() + static_cast<std::ptrdiff_t>(at),
+                   sig->op == RelationalOp::kGe || sig->op == RelationalOp::kLe ? 1 : 0);
+}
+
+void DetectionEngine::evict_front(DefState& ds, std::size_t slot) {
+  auto& buf = ds.buffers[slot];
+  const Buffered& front = buf.front();
+  if (ds.spatial_active[slot] != 0) {
+    ds.spatial[slot]->erase(front.box, front.stamp);
+    if (buf.size() - 1 <= kIndexDeactivate) {
+      ds.spatial[slot]->clear();
+      ds.spatial_active[slot] = 0;
+    }
+  }
+  buf.pop_front();
+  ++stats_.evicted;
+}
+
+void DetectionEngine::rebuild_spatial(DefState& ds, std::size_t slot) {
+  ds.spatial[slot]->clear();
+  for (const Buffered& b : ds.buffers[slot]) ds.spatial[slot]->insert(b.box, b.stamp);
+  ds.spatial_active[slot] = 1;
+}
+
+void DetectionEngine::prune_def(DefState& ds, time_model::TimePoint now) {
+  const time_model::TimePoint horizon = now - ds.def.window;
+  time_model::TimePoint next = time_model::TimePoint::max();
+  for (std::size_t s = 0; s < ds.buffers.size(); ++s) {
+    auto& buf = ds.buffers[s];
+    while (!buf.empty() && buf.front().entity->occurrence_time().end() < horizon) {
+      evict_front(ds, s);
+    }
+    if (!buf.empty()) {
+      const time_model::TimePoint at = buf.front().entity->occurrence_time().end() + ds.def.window;
+      if (at < next) next = at;
+    }
+  }
+  ds.next_prune_at = next;
+}
+
+void DetectionEngine::maybe_prune(time_model::TimePoint now) {
+  // An entity is evictable once now > its occurrence end + window, so
+  // nothing can expire while now has not passed the global watermark.
+  if (global_prune_at_ >= now) return;
+  time_model::TimePoint global = time_model::TimePoint::max();
+  for (DefState& ds : defs_) {
+    if (ds.next_prune_at < now) prune_def(ds, now);
+    if (ds.next_prune_at < global) global = ds.next_prune_at;
+  }
+  global_prune_at_ = global;
+}
+
+void DetectionEngine::prune(time_model::TimePoint now) {
+  time_model::TimePoint global = time_model::TimePoint::max();
+  for (DefState& ds : defs_) {
+    prune_def(ds, now);
+    if (ds.next_prune_at < global) global = ds.next_prune_at;
+  }
+  global_prune_at_ = global;
+}
+
+void DetectionEngine::route(const Entity& entity) {
+  matched_routes_.clear();
+  const RouteBucket* bucket = nullptr;
+  if (entity.is_observation()) {
+    if (const auto it = routes_by_sensor_.find(entity.observation().sensor.value());
+        it != routes_by_sensor_.end()) {
+      bucket = &it->second;
+    }
+  } else {
+    if (const auto it = routes_by_type_.find(entity.instance().key.event.value());
+        it != routes_by_type_.end()) {
+      bucket = &it->second;
+    }
+  }
+  // Merge the keyed bucket's generic routes with the unkeyed remainder
+  // (both are sorted by construction), verifying the residual filter
+  // fields on each hit.
+  const auto accept = [&](const SlotRoute r) {
+    if (defs_[r.def_idx].def.slots[r.slot_idx].filter.matches(entity)) {
+      matched_routes_.push_back(r);
+    }
+  };
+  std::size_t a = 0;
+  std::size_t b = 0;
+  const std::size_t an = bucket != nullptr ? bucket->generic.size() : 0;
+  const std::size_t bn = routes_any_.size();
+  while (a < an && b < bn) {
+    const SlotRoute ra = bucket->generic[a];
+    const SlotRoute rb = routes_any_[b];
+    if (ra.def_idx < rb.def_idx || (ra.def_idx == rb.def_idx && ra.slot_idx < rb.slot_idx)) {
+      accept(ra);
+      ++a;
+    } else {
+      accept(rb);
+      ++b;
+    }
+  }
+  for (; a < an; ++a) accept(bucket->generic[a]);
+  for (; b < bn; ++b) accept(routes_any_[b]);
+
+  // Threshold sub-index: walk only the rules the arriving value
+  // satisfies. Entries are sorted by constant, so the walk stops at the
+  // first rule the value cannot fire (output-sensitive selection). The
+  // selected definitions still evaluate their condition in fire_single;
+  // this is purely a routing pre-filter.
+  if (bucket == nullptr || bucket->thresholds.empty()) return;
+  const std::size_t generic_end = matched_routes_.size();
+  for (const ThresholdGroup& g : bucket->thresholds) {
+    const std::optional<double> value = entity.attributes().number(g.attribute);
+    // A missing (or non-numeric) attribute fails every threshold; NaN
+    // fails every order comparison.
+    if (!value.has_value() || std::isnan(*value)) continue;
+    const double v = *value;
+    for (std::size_t k = 0; k < g.above.size(); ++k) {
+      if (g.above[k].first < v || (g.above[k].first == v && g.above_ge[k] != 0)) {
+        accept(g.above[k].second);
+      } else if (g.above[k].first > v) {
+        break;
+      }
+    }
+    for (std::size_t k = 0; k < g.below.size(); ++k) {
+      if (g.below[k].first > v || (g.below[k].first == v && g.below_le[k] != 0)) {
+        accept(g.below[k].second);
+      } else if (g.below[k].first < v) {
+        break;
+      }
+    }
+  }
+  if (matched_routes_.size() > generic_end) {
+    // Restore global (definition, slot) registration order across the
+    // generic and threshold-selected routes.
+    std::sort(matched_routes_.begin(), matched_routes_.end(),
+              [](const SlotRoute& x, const SlotRoute& y) {
+                return x.def_idx < y.def_idx ||
+                       (x.def_idx == y.def_idx && x.slot_idx < y.slot_idx);
+              });
+  }
+}
+
+void DetectionEngine::insert_buffered(DefState& ds, std::size_t slot, const Buffered& fresh) {
+  auto& buf = ds.buffers[slot];
+  buf.push_back(fresh);
+  if (ds.spatial[slot] != nullptr) {
+    if (ds.spatial_active[slot] != 0) {
+      ds.spatial[slot]->insert(fresh.box, fresh.stamp);
+    } else if (buf.size() >= kIndexActivate) {
+      rebuild_spatial(ds, slot);
+    }
+  }
+  if (buf.size() > options_.max_buffer) evict_front(ds, slot);
+  // Lower (never raise) the prune watermarks: stale-low only costs a
+  // spurious check, stale-high would let expired entities join bindings.
+  const time_model::TimePoint at = fresh.entity->occurrence_time().end() + ds.def.window;
+  if (at < ds.next_prune_at) ds.next_prune_at = at;
+  if (at < global_prune_at_) global_prune_at_ = at;
 }
 
 std::vector<EventInstance> DetectionEngine::observe(const Entity& entity,
                                                     time_model::TimePoint now) {
   ++stats_.entities_in;
-  prune(now);
+  maybe_prune(now);
 
   std::vector<EventInstance> out;
-  const auto shared = std::make_shared<const Entity>(entity);
+  route(entity);
+  if (matched_routes_.empty()) return out;
+
+  // The entity is copied into shared ownership only if some multi-slot
+  // definition actually buffers it; pure threshold workloads bind the
+  // caller's entity in place.
+  std::shared_ptr<const Entity> shared;
   const std::uint64_t stamp = next_stamp_++;
 
-  for (DefState& ds : defs_) {
+  std::size_t i = 0;
+  while (i < matched_routes_.size()) {
+    const std::uint32_t d = matched_routes_[i].def_idx;
+    DefState& ds = defs_[d];
+    if (!ds.buffered) {  // single-slot: exactly one route, binding is {fresh}
+      fire_single(ds, entity, now, out);
+      ++i;
+      continue;
+    }
+    if (shared == nullptr) shared = std::make_shared<const Entity>(entity);
+    const Buffered fresh{shared, stamp, shared->location().bbox()};
     // Insert into every matching slot first, so a definition whose two
     // slots both match can bind the entity against itself only through
     // distinct buffer positions.
-    std::vector<std::size_t> matched;
-    for (std::size_t j = 0; j < ds.def.slots.size(); ++j) {
-      if (ds.def.slots[j].filter.matches(entity)) {
-        auto& buf = ds.buffers[j];
-        buf.push_back(Buffered{shared, stamp});
-        if (buf.size() > options_.max_buffer) {
-          buf.pop_front();
-          ++stats_.evicted;
-        }
-        matched.push_back(j);
-      }
+    const std::size_t run_begin = i;
+    for (; i < matched_routes_.size() && matched_routes_[i].def_idx == d; ++i) {
+      insert_buffered(ds, matched_routes_[i].slot_idx, fresh);
     }
-    for (const std::size_t j : matched) {
-      try_bindings(ds, j, Buffered{shared, stamp}, now, out);
+    for (std::size_t r = run_begin; r < i; ++r) {
+      try_bindings(ds, matched_routes_[r].slot_idx, fresh, now, out);
     }
   }
   stats_.instances_out += out.size();
   return out;
 }
 
+void DetectionEngine::fire_single(DefState& ds, const Entity& entity, time_model::TimePoint now,
+                                  std::vector<EventInstance>& out) {
+  ds.binding[0] = &entity;
+  ++stats_.bindings_tried;
+  const EvalContext ctx(ds.binding.data(), 1);
+  if (!eval_condition(ds.def.condition, ctx, options_.eval_mode)) return;
+  ++stats_.bindings_matched;
+  out.push_back(synthesize(ds, ds.binding, now));
+}
+
+void DetectionEngine::prepare_candidates(DefState& ds, std::uint32_t slot) {
+  if (ds.guards[slot].empty()) {
+    ds.source[slot] = 0;
+    return;
+  }
+  // Pick the applicable guard with the smallest query footprint. Guards
+  // whose partner slot is not yet bound at this depth cannot be used.
+  bool have = false;
+  bool partner_bound = false;
+  geom::BoundingBox query;
+  double best_area = 0.0;
+  for (const Guard& g : ds.guards[slot]) {
+    geom::BoundingBox q;
+    if (g.partner == Guard::kNoPartner) {
+      q = g.region;
+    } else if (ds.chosen[g.partner] != nullptr) {
+      q = ds.chosen[g.partner]->box.inflated(g.radius);
+      partner_bound = true;
+    } else {
+      continue;
+    }
+    if (!have || q.area() < best_area) {
+      have = true;
+      query = q;
+      best_area = q.area();
+    }
+  }
+  if (!partner_bound) {
+    // Constant-region-only (or nothing applicable): identical on every
+    // re-descent within this try_bindings call — prepare only once.
+    if (ds.prep_epoch[slot] == ds.cur_epoch) return;
+    ds.prep_epoch[slot] = ds.cur_epoch;
+  }
+  ds.source[slot] = 0;
+  if (!have) return;
+  if (ds.spatial_active[slot] == 0) {
+    // Scan the buffer, prechecking each candidate against the guard box.
+    ds.qbox[slot] = query;
+    ds.source[slot] = 1;
+    return;
+  }
+  auto& stamps = ds.stamp_scratch;
+  stamps.clear();
+  ds.spatial[slot]->query(query, stamps);
+  std::sort(stamps.begin(), stamps.end());  // restore arrival order
+  auto& cand = ds.cand[slot];
+  cand.clear();
+  auto& buf = ds.buffers[slot];
+  for (const std::uint64_t stamp : stamps) {
+    // Buffers are deques in ascending stamp order; map each hit back to
+    // its buffered entry (stale index hits simply miss and are skipped).
+    const auto it =
+        std::lower_bound(buf.begin(), buf.end(), stamp,
+                         [](const Buffered& b, std::uint64_t s) { return b.stamp < s; });
+    if (it != buf.end() && it->stamp == stamp) cand.push_back(&*it);
+  }
+  ds.source[slot] = 2;
+}
+
 void DetectionEngine::try_bindings(DefState& ds, std::size_t fixed_slot, const Buffered& fresh,
                                    time_model::TimePoint now, std::vector<EventInstance>& out) {
   const std::size_t n = ds.def.slots.size();
-  std::vector<const Buffered*> chosen(n, nullptr);
+  auto& chosen = ds.chosen;
+  chosen.assign(n, nullptr);
   chosen[fixed_slot] = &fresh;
+  ++ds.cur_epoch;  // invalidates cached constant-region preparations
 
-  // Depth-first enumeration of candidate bindings over the other slots.
-  // Slots below `fixed_slot` must not pick the fresh entity: the binding
-  // with the fresh entity in that earlier slot is (or was) enumerated when
-  // that slot was the fixed one, so this rule prevents duplicate
-  // emissions when one entity matches several slots.
-  std::vector<const Entity*> binding(n, nullptr);
-  bool consumed = false;
+  auto& order = ds.order;
+  order.clear();
+  for (std::uint32_t j = 0; j < n; ++j) {
+    if (j != fixed_slot) order.push_back(j);
+  }
+  const std::size_t m = order.size();
 
-  const auto emit = [&] {
-    ++stats_.bindings_tried;
-    const EvalContext ctx(binding.data(), n);
-    if (!eval_condition(ds.def.condition, ctx, options_.eval_mode)) return;
-    ++stats_.bindings_matched;
-    out.push_back(synthesize(ds, binding, now));
-    if (ds.def.consumption == ConsumptionMode::kConsume) {
-      // Retire every participant from every slot buffer.
-      for (std::size_t j = 0; j < n; ++j) {
-        const std::uint64_t dead = chosen[j]->stamp;
-        for (auto& buf : ds.buffers) {
-          std::erase_if(buf, [dead](const Buffered& b) { return b.stamp == dead; });
-        }
-      }
-      consumed = true;
+  // Iterative depth-first enumeration over the non-fixed slots. All state
+  // lives in preallocated DefState scratch; nothing allocates here.
+  std::size_t depth = 0;
+  ds.cursor[0] = 0;
+  prepare_candidates(ds, order[0]);
+  while (true) {
+    const std::uint32_t slot = order[depth];
+    const Buffered* cand = nullptr;
+    if (ds.source[slot] == 2) {
+      if (ds.cursor[depth] < ds.cand[slot].size()) cand = ds.cand[slot][ds.cursor[depth]++];
+    } else {
+      const auto& buf = ds.buffers[slot];
+      if (ds.cursor[depth] < buf.size()) cand = &buf[ds.cursor[depth]++];
     }
-  };
-
-  const std::function<void(std::size_t)> recurse = [&](std::size_t slot) {
-    if (consumed) return;
-    if (slot == n) {
-      for (std::size_t j = 0; j < n; ++j) binding[j] = chosen[j]->entity.get();
-      emit();
-      return;
+    if (cand == nullptr) {  // exhausted: backtrack
+      chosen[slot] = nullptr;
+      if (depth == 0) return;
+      --depth;
+      continue;
     }
-    if (slot == fixed_slot) {
-      recurse(slot + 1);
-      return;
+    // Guard precheck: a candidate outside the guard box cannot satisfy
+    // the (conjunctively implied) spatial constraint — skip it without
+    // evaluating or descending.
+    if (ds.source[slot] == 1 && !cand->box.intersects(ds.qbox[slot])) continue;
+    // Slots below `fixed_slot` must not pick the fresh entity: the binding
+    // with the fresh entity in that earlier slot is (or was) enumerated
+    // when that slot was the fixed one, so this rule prevents duplicate
+    // emissions when one entity matches several slots.
+    if (cand->stamp == fresh.stamp && slot < fixed_slot) continue;
+    chosen[slot] = cand;
+    if (depth + 1 == m) {
+      if (emit_binding(ds, now, out)) return;  // participants were consumed
+    } else {
+      ++depth;
+      ds.cursor[depth] = 0;
+      prepare_candidates(ds, order[depth]);
     }
-    // Iterate a snapshot of candidates: consumption may mutate buffers.
-    std::vector<Buffered> candidates(ds.buffers[slot].begin(), ds.buffers[slot].end());
-    for (const Buffered& cand : candidates) {
-      if (consumed) return;
-      if (cand.stamp == fresh.stamp && slot < fixed_slot) continue;
-      chosen[slot] = &cand;
-      recurse(slot + 1);
-    }
-    chosen[slot] = nullptr;
-  };
-  recurse(0);
+  }
 }
 
-EventInstance DetectionEngine::synthesize(const DefState& ds,
+bool DetectionEngine::emit_binding(DefState& ds, time_model::TimePoint now,
+                                   std::vector<EventInstance>& out) {
+  const std::size_t n = ds.def.slots.size();
+  for (std::size_t j = 0; j < n; ++j) ds.binding[j] = ds.chosen[j]->entity.get();
+  ++stats_.bindings_tried;
+  const EvalContext ctx(ds.binding.data(), n);
+  if (!eval_condition(ds.def.condition, ctx, options_.eval_mode)) return false;
+  ++stats_.bindings_matched;
+  out.push_back(synthesize(ds, ds.binding, now));
+  if (ds.def.consumption != ConsumptionMode::kConsume) return false;
+  consume_participants(ds);
+  return true;
+}
+
+void DetectionEngine::consume_participants(DefState& ds) {
+  // Retire every participant from every slot buffer (and spatial index).
+  const std::size_t n = ds.def.slots.size();
+  auto& stamps = ds.stamp_scratch;  // enumeration stopped; scratch is free
+  stamps.clear();
+  for (std::size_t j = 0; j < n; ++j) stamps.push_back(ds.chosen[j]->stamp);
+  const auto dead = [&stamps](const std::uint64_t s) {
+    return std::find(stamps.begin(), stamps.end(), s) != stamps.end();
+  };
+  for (std::size_t s = 0; s < ds.buffers.size(); ++s) {
+    auto& buf = ds.buffers[s];
+    if (ds.spatial_active[s] != 0) {  // only retain-mode slots index; kept for safety
+      for (const Buffered& b : buf) {
+        if (dead(b.stamp)) ds.spatial[s]->erase(b.box, b.stamp);
+      }
+    }
+    std::erase_if(buf, [&dead](const Buffered& b) { return dead(b.stamp); });
+  }
+}
+
+EventInstance DetectionEngine::synthesize(DefState& ds,
                                           const std::vector<const Entity*>& binding,
                                           time_model::TimePoint now) {
   const EventDefinition& def = ds.def;
   const std::size_t n = binding.size();
 
   EventInstance inst;
-  inst.key = EventInstanceKey{id_, def.id, seq_[def.id.value()]++};
+  inst.key = EventInstanceKey{id_, def.id, seq_counters_[ds.seq_idx]++};
   inst.layer = layer_;
   inst.gen_time = now;
   inst.gen_location = location_;

@@ -3,11 +3,16 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "core/event_def.hpp"
 #include "core/observer.hpp"
+#include "geom/grid_index.hpp"
+#include "geom/rtree.hpp"
 
 namespace stem::core {
 
@@ -37,6 +42,18 @@ struct EngineStats {
 /// whose filter matches, then the engine enumerates bindings that include
 /// the new entity, evaluates the composite condition (Eq. 4.5) on each,
 /// and synthesizes an event instance (Eq. 4.7) per match.
+///
+/// Candidate selection is indexed (see docs/architecture.md, "Candidate
+/// selection & indexing"):
+///  - a *routing index* built at add_definition() time maps an arrival's
+///    sensor / event-type to the (definition, slot) pairs whose filters
+///    can possibly match, so unrelated definitions cost nothing;
+///  - slots constrained by conjunctive spatial predicates back their
+///    buffers with a `geom::GridIndex` / `geom::RTree`, so the binding
+///    enumerator visits only spatially plausible candidates;
+///  - the enumerator itself is iterative and allocation-free in steady
+///    state, and window pruning is amortized behind per-definition
+///    horizon watermarks.
 class DetectionEngine : public Observer {
  public:
   /// `id` is the observer identity stamped into instances; `layer` the
@@ -44,9 +61,9 @@ class DetectionEngine : public Observer {
   /// own position (the l^g of generated instances).
   DetectionEngine(ObserverId id, Layer layer, geom::Point location, EngineOptions options = {});
 
-  /// Registers a definition. Throws std::invalid_argument if the
-  /// condition references a slot index beyond the declared slots, or if
-  /// the definition has no slots.
+  /// Registers a definition and builds its routing/spatial index entries.
+  /// Throws std::invalid_argument if the condition references a slot index
+  /// beyond the declared slots, or if the definition has no slots.
   void add_definition(EventDefinition def);
 
   [[nodiscard]] const ObserverId& id() const override { return id_; }
@@ -58,23 +75,156 @@ class DetectionEngine : public Observer {
   std::vector<EventInstance> observe(const Entity& entity, time_model::TimePoint now) override;
 
   /// Drops buffered entities older than the definitions' windows at `now`.
-  /// Called internally on every observe(); exposed for idle-time cleanup.
+  /// observe() performs this lazily (per-definition watermarks make it a
+  /// no-op until some buffered entity can actually expire); exposed for
+  /// idle-time cleanup.
   void prune(time_model::TimePoint now);
 
  private:
   struct Buffered {
     std::shared_ptr<const Entity> entity;
-    std::uint64_t stamp;  ///< global arrival stamp (dedup across slots)
+    std::uint64_t stamp;      ///< global arrival stamp (dedup across slots)
+    geom::BoundingBox box;    ///< entity location bounds (guard prechecks)
+  };
+
+  /// Spatial backing for one guarded slot buffer: a uniform grid when the
+  /// slot has a metric (distance-radius) guard — the radius is the natural
+  /// cell size — and an R-tree when its guards are purely topological.
+  class SlotSpatial {
+   public:
+    explicit SlotSpatial(double cell) : rep_(std::in_place_type<geom::GridIndex<std::uint64_t>>, cell) {}
+    SlotSpatial() : rep_(std::in_place_type<geom::RTree<std::uint64_t>>) {}
+
+    void insert(const geom::BoundingBox& box, std::uint64_t stamp) {
+      std::visit([&](auto& index) { index.insert(box, stamp); }, rep_);
+    }
+    void erase(const geom::BoundingBox& box, std::uint64_t stamp) {
+      std::visit([&](auto& index) { index.erase(box, stamp); }, rep_);
+    }
+    void query(const geom::BoundingBox& box, std::vector<std::uint64_t>& out) const {
+      std::visit([&](const auto& index) {
+        index.visit(box, [&out](const std::uint64_t stamp) { out.push_back(stamp); });
+      }, rep_);
+    }
+    void clear() {
+      std::visit([](auto& index) { index.clear(); }, rep_);
+    }
+
+   private:
+    std::variant<geom::GridIndex<std::uint64_t>, geom::RTree<std::uint64_t>> rep_;
+  };
+
+  /// One spatial guard usable while enumerating candidates for a slot:
+  /// candidates must lie within `radius` of the already-bound `partner`
+  /// slot, or inside the precomputed constant `region` box.
+  struct Guard {
+    static constexpr std::uint32_t kNoPartner = 0xffffffffu;
+    std::uint32_t partner = kNoPartner;  ///< kNoPartner => constant region
+    geom::BoundingBox region;            ///< pre-inflated by radius
+    double radius = 0.0;
   };
 
   struct DefState {
+    explicit DefState(EventDefinition d) : def(std::move(d)) {}
+
     EventDefinition def;
-    std::vector<std::deque<Buffered>> buffers;  // one per slot
+    std::vector<std::deque<Buffered>> buffers;  // one per slot; ascending stamp
+    /// Single-slot definitions never read their buffer (bindings only ever
+    /// contain the fresh arrival), so they skip buffering entirely.
+    bool buffered = false;
+    /// Index into seq_counters_, resolved at add_definition() time.
+    /// Definitions sharing an event type share a counter, keeping
+    /// EventInstanceKey unique without per-instance string hashing.
+    std::uint32_t seq_idx = 0;
+    /// Earliest instant any buffered entity may fall out of the window;
+    /// may be stale-low (spurious check) but never stale-high.
+    time_model::TimePoint next_prune_at = time_model::TimePoint::max();
+
+    std::vector<std::vector<Guard>> guards;             // per slot
+    /// Spatial index backing a guarded slot's buffer. Only retain-mode
+    /// (kUnrestricted) definitions get one: they enumerate every
+    /// candidate, so an index query pays off; consume-mode stops at the
+    /// first match and uses the inline guard precheck instead.
+    std::vector<std::unique_ptr<SlotSpatial>> spatial;  // per slot; null = none
+    /// Whether the slot's index is live. Maintenance activates (with a
+    /// rebuild) once the buffer outgrows kIndexActivate and deactivates
+    /// below kIndexDeactivate, so small buffers pay nothing.
+    std::vector<std::uint8_t> spatial_active;
+
+    // Enumeration scratch, preallocated at add_definition() so the hot
+    // path performs no steady-state allocations.
+    std::vector<const Buffered*> chosen;
+    std::vector<const Entity*> binding;
+    std::vector<std::uint32_t> order;                // slots except the fixed one
+    std::vector<std::size_t> cursor;                 // per depth
+    std::vector<std::vector<const Buffered*>> cand;  // per slot: index-query results
+    /// Candidate source per slot: 0 = plain buffer scan, 1 = buffer scan
+    /// with guard-box precheck (qbox), 2 = spatial-index result (cand).
+    std::vector<std::uint8_t> source;
+    std::vector<geom::BoundingBox> qbox;  // per slot: active guard query box
+    std::vector<std::uint64_t> stamp_scratch;
+    /// Backtracking re-descends into a depth once per outer candidate;
+    /// when a slot's applicable guards are all constant-region (no bound
+    /// partner), its prepared candidates are identical each time, so
+    /// preparation is skipped while prep_epoch matches cur_epoch (bumped
+    /// per try_bindings call).
+    std::vector<std::uint64_t> prep_epoch;  // 64-bit: may never wrap
+    std::uint64_t cur_epoch = 0;
   };
 
+  /// Buffer occupancy at which a retain-mode guarded slot starts (stops)
+  /// maintaining its spatial index; hysteresis avoids thrash at the edge.
+  static constexpr std::size_t kIndexActivate = 32;
+  static constexpr std::size_t kIndexDeactivate = 8;
+
+  /// Routing index entry: one (definition, slot) pair.
+  struct SlotRoute {
+    std::uint32_t def_idx;
+    std::uint32_t slot_idx;
+  };
+
+  /// Single-slot `attr OP C` definitions, grouped per attribute with the
+  /// entries sorted by constant, so selection walks only the rules the
+  /// arriving value actually satisfies (output-sensitive in rule count).
+  struct ThresholdGroup {
+    std::string attribute;
+    /// kGt/kGe entries, ascending by constant: every entry with
+    /// constant < value fires; at equality only kGe does.
+    std::vector<std::pair<double, SlotRoute>> above;
+    std::vector<std::uint8_t> above_ge;  // parallel: 1 = kGe
+    /// kLt/kLe entries, descending by constant (mirror logic).
+    std::vector<std::pair<double, SlotRoute>> below;
+    std::vector<std::uint8_t> below_le;  // parallel: 1 = kLe
+  };
+
+  /// One routing bucket (per sensor / event type / the unkeyed rest):
+  /// generic (definition, slot) routes plus the threshold sub-index.
+  struct RouteBucket {
+    std::vector<SlotRoute> generic;  // sorted by (def_idx, slot_idx)
+    std::vector<ThresholdGroup> thresholds;
+  };
+
+  void maybe_prune(time_model::TimePoint now);
+  void prune_def(DefState& ds, time_model::TimePoint now);
+  void evict_front(DefState& ds, std::size_t slot);
+  void insert_buffered(DefState& ds, std::size_t slot, const Buffered& fresh);
+  /// (Re)indexes every buffered entry of `slot` (index activation).
+  void rebuild_spatial(DefState& ds, std::size_t slot);
+  /// Fills matched_routes_ with (def, slot) pairs whose filter accepts
+  /// `entity`, ordered by (definition, slot) registration order.
+  void route(const Entity& entity);
+  void fire_single(DefState& ds, const Entity& entity, time_model::TimePoint now,
+                   std::vector<EventInstance>& out);
   void try_bindings(DefState& ds, std::size_t fixed_slot, const Buffered& fresh,
                     time_model::TimePoint now, std::vector<EventInstance>& out);
-  EventInstance synthesize(const DefState& ds, const std::vector<const Entity*>& binding,
+  /// Prepares the candidate source for `slot`: a spatial-index query when
+  /// an applicable guard exists, otherwise a direct buffer scan.
+  void prepare_candidates(DefState& ds, std::uint32_t slot);
+  /// Evaluates the completed binding in ds.chosen; returns true when the
+  /// participants were consumed (enumeration must stop).
+  bool emit_binding(DefState& ds, time_model::TimePoint now, std::vector<EventInstance>& out);
+  void consume_participants(DefState& ds);
+  EventInstance synthesize(DefState& ds, const std::vector<const Entity*>& binding,
                            time_model::TimePoint now);
 
   ObserverId id_;
@@ -82,7 +232,28 @@ class DetectionEngine : public Observer {
   geom::Point location_;
   EngineOptions options_;
   std::vector<DefState> defs_;
-  std::unordered_map<std::string, std::uint64_t> seq_;  // per event type
+
+  /// Registers a keyed route, diverting eligible single-slot threshold
+  /// definitions into the bucket's threshold sub-index.
+  void register_keyed(RouteBucket& bucket, const EventDefinition& def, SlotRoute r);
+
+  // Routing index: keyed buckets plus the unkeyed remainder, generic
+  // routes sorted by (def_idx, slot_idx) construction order.
+  std::unordered_map<std::string, RouteBucket> routes_by_sensor_;
+  std::unordered_map<std::string, RouteBucket> routes_by_type_;
+  std::vector<SlotRoute> routes_any_;
+  std::vector<SlotRoute> matched_routes_;  // per-observe scratch
+
+  /// min over defs_ of next_prune_at; observe() skips pruning entirely
+  /// while `now` has not reached it.
+  time_model::TimePoint global_prune_at_ = time_model::TimePoint::max();
+
+  /// Instance sequence counters, one per distinct event type; definitions
+  /// reach theirs via DefState::seq_idx. seq_index_ is registration-time
+  /// only (event type -> counter slot).
+  std::vector<std::uint64_t> seq_counters_;
+  std::unordered_map<std::string, std::uint32_t> seq_index_;
+
   std::uint64_t next_stamp_ = 1;
   EngineStats stats_;
 };

@@ -16,6 +16,23 @@ bool SlotFilter::matches(const Entity& e) const {
   return true;
 }
 
+FilterSignature SlotFilter::signature() const {
+  if (sensor.has_value() && event_type.has_value()) {
+    // A sensor field only matches observations, an event type only
+    // instances: both at once can never match.
+    return {FilterSignature::Kind::kNever, {}};
+  }
+  if (sensor.has_value()) {
+    // Observations always carry Layer::kPhysicalObservation.
+    if (layer.has_value() && *layer != Layer::kPhysicalObservation) {
+      return {FilterSignature::Kind::kNever, {}};
+    }
+    return {FilterSignature::Kind::kSensor, sensor->value()};
+  }
+  if (event_type.has_value()) return {FilterSignature::Kind::kEventType, event_type->value()};
+  return {FilterSignature::Kind::kAny, {}};
+}
+
 SlotFilter SlotFilter::observation(SensorId sensor_id) {
   SlotFilter f;
   f.sensor = std::move(sensor_id);

@@ -10,6 +10,19 @@
 
 namespace stem::core {
 
+/// How an engine routing index can bucket a slot filter. `kSensor` /
+/// `kEventType` filters are reached through a hash lookup on `key`; `kAny`
+/// filters must be probed for every arrival; `kNever` filters are
+/// internally contradictory (they demand observation-only and
+/// instance-only fields at once) and match no entity.
+struct FilterSignature {
+  enum class Kind { kSensor, kEventType, kAny, kNever };
+  Kind kind = Kind::kAny;
+  std::string key;  ///< the sensor / event-type value for keyed kinds
+
+  friend bool operator==(const FilterSignature&, const FilterSignature&) = default;
+};
+
 /// Selects which entities may bind to a slot of an event definition.
 /// Every populated field must match; an empty filter matches everything.
 struct SlotFilter {
@@ -19,6 +32,11 @@ struct SlotFilter {
   std::optional<Layer> layer;             ///< entity's layer
 
   [[nodiscard]] bool matches(const Entity& e) const;
+
+  /// Routing signature: the most selective discriminant an index can key
+  /// this filter by. `matches()` must still be checked for the residual
+  /// fields (producer, layer).
+  [[nodiscard]] FilterSignature signature() const;
 
   // -- Fluent factories --------------------------------------------------
   /// Matches observations from a specific sensor type.

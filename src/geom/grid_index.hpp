@@ -17,6 +17,11 @@ namespace stem::geom {
 /// the query box touches. Best when entry footprints are small relative to
 /// the cell size (sensor events, mote positions). `T` must be copyable and
 /// equality-comparable (typically an id).
+///
+/// Supports incremental `erase` so the index can back a mutating buffer
+/// (the detection engine's slot buffers insert on arrival and erase on
+/// eviction/consumption): erased entry records go on a free list and are
+/// reused by later insertions, so long-lived churn does not grow storage.
 template <typename T>
 class GridIndex {
  public:
@@ -27,16 +32,63 @@ class GridIndex {
 
   void insert(const BoundingBox& box, T value) {
     if (box.empty()) throw std::invalid_argument("GridIndex::insert: empty box");
-    entries_.push_back({box, value});
-    const std::size_t idx = entries_.size() - 1;
+    std::size_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+      entries_[idx] = Entry{box, std::move(value)};
+    } else {
+      entries_.push_back(Entry{box, std::move(value)});
+      idx = entries_.size() - 1;
+    }
     for_each_cell(box, [&](std::int64_t key) { cells_[key].push_back(idx); });
+    ++size_;
+  }
+
+  /// Removes the entry previously inserted with exactly this (box, value)
+  /// pair. Returns false if no such entry is indexed.
+  bool erase(const BoundingBox& box, const T& value) {
+    if (box.empty() || size_ == 0) return false;
+    // Every cell the box touches holds the entry; locate it via the first.
+    const auto first = cells_.find(first_cell_key(box));
+    if (first == cells_.end()) return false;
+    std::size_t idx = kNotFound;
+    for (const std::size_t i : first->second) {
+      if (entries_[i].box == box && entries_[i].value == value) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == kNotFound) return false;
+    for_each_cell(box, [&](std::int64_t key) {
+      const auto it = cells_.find(key);
+      if (it == cells_.end()) return;
+      auto& v = it->second;
+      const auto pos = std::find(v.begin(), v.end(), idx);
+      if (pos != v.end()) {
+        *pos = v.back();
+        v.pop_back();
+      }
+      if (v.empty()) cells_.erase(it);
+    });
+    free_.push_back(idx);
+    --size_;
+    return true;
   }
 
   /// Collects values whose stored box intersects `query` (candidates are
   /// exact at the box level; callers refine with precise geometry).
   [[nodiscard]] std::vector<T> query(const BoundingBox& query) const {
     std::vector<T> out;
-    if (query.empty() || entries_.empty()) return out;
+    visit(query, [&out](const T& v) { out.push_back(v); });
+    return out;
+  }
+
+  /// Visits values whose stored box intersects `query`; `fn(const T&)`.
+  /// Allocation-free apart from the lazily grown dedup scratch.
+  template <typename Fn>
+  void visit(const BoundingBox& query, Fn&& fn) const {
+    if (query.empty() || size_ == 0) return;
     ++generation_;
     for_each_cell(query, [&](std::int64_t key) {
       auto it = cells_.find(key);
@@ -45,24 +97,27 @@ class GridIndex {
         if (seen_.size() <= idx) seen_.resize(entries_.size(), 0);
         if (seen_[idx] == generation_) continue;
         seen_[idx] = generation_;
-        if (entries_[idx].box.intersects(query)) out.push_back(entries_[idx].value);
+        if (entries_[idx].box.intersects(query)) fn(entries_[idx].value);
       }
     });
-    return out;
   }
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] double cell_size() const { return cell_; }
 
   void clear() {
     entries_.clear();
     cells_.clear();
+    free_.clear();
     seen_.clear();
     generation_ = 0;
+    size_ = 0;
   }
 
  private:
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
   struct Entry {
     BoundingBox box;
     T value;
@@ -71,6 +126,11 @@ class GridIndex {
   [[nodiscard]] std::int64_t cell_key(std::int64_t cx, std::int64_t cy) const {
     // Pack two 32-bit cell coordinates into one key.
     return (cx << 32) ^ (cy & 0xffffffff);
+  }
+
+  [[nodiscard]] std::int64_t first_cell_key(const BoundingBox& box) const {
+    return cell_key(static_cast<std::int64_t>(std::floor(box.lo().x / cell_)),
+                    static_cast<std::int64_t>(std::floor(box.lo().y / cell_)));
   }
 
   template <typename Fn>
@@ -88,7 +148,9 @@ class GridIndex {
 
   double cell_;
   std::vector<Entry> entries_;
+  std::vector<std::size_t> free_;  // erased entry records, reused on insert
   std::unordered_map<std::int64_t, std::vector<std::size_t>> cells_;
+  std::size_t size_ = 0;  // live entries (entries_ may hold freed records)
   // Query-time dedup scratch (an entry can live in many cells).
   mutable std::vector<std::uint32_t> seen_;
   mutable std::uint32_t generation_ = 0;

@@ -12,9 +12,11 @@ namespace stem::geom {
 
 /// R-tree with quadratic split (Guttman 1984).
 ///
-/// Supports insertion and box-intersection queries; sufficient for the
-/// field-event join workloads of experiment E4. `T` is the payload
-/// (typically an instance id) and must be copyable.
+/// Supports insertion, incremental erasure, and box-intersection queries;
+/// sufficient for the field-event join workloads of experiment E4 and for
+/// backing the detection engine's mutating slot buffers. `T` is the
+/// payload (typically an instance id) and must be copyable and
+/// equality-comparable.
 template <typename T, std::size_t MaxEntries = 8>
 class RTree {
   static_assert(MaxEntries >= 4, "RTree: MaxEntries must be at least 4");
@@ -31,6 +33,22 @@ class RTree {
     target->box.expand(box);
     adjust_upward(target);
     ++size_;
+  }
+
+  /// Removes the entry previously inserted with exactly this (box, value)
+  /// pair. Returns false if no such entry is present. Empty nodes are
+  /// pruned and ancestor boxes tightened; underfull nodes are kept as-is
+  /// (no reinsertion pass), which is the right trade-off for buffer-backed
+  /// churn where erasures are soon followed by fresh insertions.
+  bool erase(const BoundingBox& box, const T& value) {
+    Node* leaf = nullptr;
+    std::size_t pos = 0;
+    find_entry(root_.get(), box, value, leaf, pos);
+    if (leaf == nullptr) return false;
+    leaf->leaves.erase(leaf->leaves.begin() + static_cast<std::ptrdiff_t>(pos));
+    condense(leaf);
+    --size_;
+    return true;
   }
 
   /// Collects payloads whose box intersects `query`.
@@ -98,6 +116,53 @@ class RTree {
       return;
     }
     for (const auto& c : n->children) visit_impl(c.get(), q, fn);
+  }
+
+  static void find_entry(Node* n, const BoundingBox& box, const T& value, Node*& out,
+                         std::size_t& pos) {
+    if (out != nullptr || !n->box.intersects(box)) return;
+    if (n->leaf) {
+      for (std::size_t i = 0; i < n->leaves.size(); ++i) {
+        if (n->leaves[i].box == box && n->leaves[i].value == value) {
+          out = n;
+          pos = i;
+          return;
+        }
+      }
+      return;
+    }
+    for (const auto& c : n->children) {
+      find_entry(c.get(), box, value, out, pos);
+      if (out != nullptr) return;
+    }
+  }
+
+  /// After an erase: drop nodes that became empty and tighten the boxes of
+  /// every surviving ancestor, then collapse single-child root chains.
+  void condense(Node* n) {
+    while (n != nullptr) {
+      Node* parent = n->parent;
+      if (parent != nullptr && n->fill() == 0) {
+        auto& siblings = parent->children;
+        for (auto it = siblings.begin(); it != siblings.end(); ++it) {
+          if (it->get() == n) {
+            siblings.erase(it);
+            break;
+          }
+        }
+      } else {
+        recompute_box(n);
+      }
+      n = parent;
+    }
+    while (!root_->leaf && root_->children.size() == 1) {
+      std::unique_ptr<Node> child = std::move(root_->children.front());
+      child->parent = nullptr;
+      root_ = std::move(child);
+    }
+    if (!root_->leaf && root_->children.empty()) {
+      root_ = std::make_unique<Node>(/*leaf=*/true);
+    }
   }
 
   static Node* choose_leaf(Node* n, const BoundingBox& box) {

@@ -291,19 +291,27 @@ TEST(DetectionEngineTest, SelfPairingDoesNotDuplicate) {
 }
 
 TEST(DetectionEngineTest, BufferCapEvictsOldest) {
+  // Buffering (and hence the cap) applies to multi-slot definitions;
+  // single-slot definitions never re-read their buffer and skip it.
   EngineOptions opts;
   opts.max_buffer = 4;
   DetectionEngine eng(ObserverId("MT1"), Layer::kSensor, {0, 0}, opts);
-  auto def = threshold_def();
-  def.condition = c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 1e9);
-  eng.add_definition(def);  // never fires; buffer only grows
+  EventDefinition def{EventTypeId("NEVER"),
+                      {{"x", SlotFilter::observation(SensorId("SRtemp"))},
+                       {"y", SlotFilter::observation(SensorId("SRtemp"))}},
+                      c_attr(ValueAggregate::kAverage, "value", {0, 1}, RelationalOp::kGt, 1e9),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kConsume};
+  eng.add_definition(def);  // never fires; buffers only grow
 
   for (int i = 0; i < 20; ++i) {
     eng.observe(Entity(obs("MT1", "SRtemp", static_cast<std::uint64_t>(i),
                            TimePoint(static_cast<time_model::Tick>(i)), {0, 0}, 2.0)),
                 TimePoint(static_cast<time_model::Tick>(i)));
   }
-  EXPECT_GE(eng.stats().evicted, 16u);
+  // Each arrival lands in both slot buffers (cap 4): 2 * (20 - 4) evictions.
+  EXPECT_GE(eng.stats().evicted, 32u);
 }
 
 TEST(DetectionEngineTest, StatsCountersAdvance) {
@@ -313,7 +321,9 @@ TEST(DetectionEngineTest, StatsCountersAdvance) {
   eng.observe(Entity(obs("MT1", "SRtemp", 1, TimePoint(20), {0, 0}, 10.0)), TimePoint(20));
   const EngineStats& s = eng.stats();
   EXPECT_EQ(s.entities_in, 2u);
-  EXPECT_EQ(s.bindings_tried, 2u);
+  // The second arrival (value 10 < 25) is rejected by the threshold
+  // routing index before any binding is formed, so only one was tried.
+  EXPECT_EQ(s.bindings_tried, 1u);
   EXPECT_EQ(s.bindings_matched, 1u);
   EXPECT_EQ(s.instances_out, 1u);
 }
@@ -339,6 +349,53 @@ TEST(DetectionEngineTest, MultipleDefinitionsShareEngine) {
                              TimePoint(20));
   ASSERT_EQ(coldout.size(), 1u);
   EXPECT_EQ(coldout.front().key.event, EventTypeId("COLD"));
+}
+
+TEST(DetectionEngineTest, SharedEventTypeSequencesStayUnique) {
+  // Two definitions emitting the same event type must share a sequence
+  // counter, or their EventInstanceKeys would collide.
+  DetectionEngine eng(ObserverId("MT1"), Layer::kSensor, {0, 0});
+  eng.add_definition(threshold_def("HOT"));
+  EventDefinition other{EventTypeId("HOT"),
+                        {{"x", SlotFilter::observation(SensorId("SRtemp"))}},
+                        c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 50.0),
+                        seconds(60),
+                        {},
+                        ConsumptionMode::kConsume};
+  eng.add_definition(other);
+
+  // value 60 fires both definitions: same type, distinct sequence numbers.
+  auto fired = eng.observe(Entity(obs("MT1", "SRtemp", 0, TimePoint(10), {0, 0}, 60.0)),
+                           TimePoint(10));
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].key.event, fired[1].key.event);
+  EXPECT_NE(fired[0].key.seq, fired[1].key.seq);
+}
+
+TEST(DetectionEngineTest, SingleSlotTimeAggregateCollapsesInterval) {
+  // kEarliest over one interval-valued slot is not the identity: it
+  // collapses the interval to its start. est_time [100,200] is entirely
+  // before 150 only under that collapse.
+  TemporalCondition cond;
+  cond.lhs = TimeExpr{time_model::TimeAggregate::kEarliest, {0}, Duration::zero()};
+  cond.op = time_model::TemporalOp::kBefore;
+  cond.rhs = OccurrenceTime(TimePoint(150));
+  EventDefinition def{EventTypeId("EARLY"),
+                      {{"x", SlotFilter::instance_of(EventTypeId("SPAN"))}},
+                      ConditionExpr(cond),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kUnrestricted};
+  DetectionEngine eng(ObserverId("CCU"), Layer::kCyber, {0, 0});
+  eng.add_definition(def);
+
+  EventInstance span;
+  span.key = EventInstanceKey{ObserverId("MT1"), EventTypeId("SPAN"), 0};
+  span.layer = Layer::kSensor;
+  span.gen_time = TimePoint(200);
+  span.est_time = OccurrenceTime(time_model::TimeInterval(TimePoint(100), TimePoint(200)));
+  span.est_location = Location(Point{0, 0});
+  EXPECT_EQ(eng.observe(Entity(span), TimePoint(200)).size(), 1u);
 }
 
 TEST(DetectionEngineTest, InstanceChainAcrossLayers) {

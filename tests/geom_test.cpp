@@ -334,6 +334,71 @@ TEST_F(IndexFixture, RTreeVisitMatchesQuery) {
   }
 }
 
+TEST_F(IndexFixture, GridEraseMatchesBruteForce) {
+  // Erase every third entry (plus churn via reinsertion) and check the
+  // index still answers exactly like a brute-force scan of the survivors.
+  GridIndex<int> grid(25.0);
+  for (std::size_t i = 0; i < boxes.size(); ++i) grid.insert(boxes[i], static_cast<int>(i));
+  std::vector<bool> alive(boxes.size(), true);
+  for (std::size_t i = 0; i < boxes.size(); i += 3) {
+    EXPECT_TRUE(grid.erase(boxes[i], static_cast<int>(i)));
+    alive[i] = false;
+  }
+  EXPECT_FALSE(grid.erase(boxes[0], static_cast<int>(0)));  // already gone
+  // Freed entry records are reused by later insertions.
+  for (std::size_t i = 0; i < boxes.size(); i += 6) {
+    grid.insert(boxes[i], static_cast<int>(i));
+    alive[i] = true;
+  }
+  for (const auto& q : queries) {
+    auto got = grid.query(q);
+    std::vector<int> want;
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      if (alive[i] && boxes[i].intersects(q)) want.push_back(static_cast<int>(i));
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_F(IndexFixture, RTreeEraseMatchesBruteForce) {
+  RTree<int> tree;
+  for (std::size_t i = 0; i < boxes.size(); ++i) tree.insert(boxes[i], static_cast<int>(i));
+  std::vector<bool> alive(boxes.size(), true);
+  for (std::size_t i = 0; i < boxes.size(); i += 3) {
+    EXPECT_TRUE(tree.erase(boxes[i], static_cast<int>(i)));
+    alive[i] = false;
+  }
+  EXPECT_FALSE(tree.erase(boxes[0], static_cast<int>(0)));
+  for (std::size_t i = 0; i < boxes.size(); i += 6) {
+    tree.insert(boxes[i], static_cast<int>(i));
+    alive[i] = true;
+  }
+  for (const auto& q : queries) {
+    auto got = tree.query(q);
+    std::vector<int> want;
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      if (alive[i] && boxes[i].intersects(q)) want.push_back(static_cast<int>(i));
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(RTreeTest, EraseToEmptyAndRefill) {
+  RTree<int> t;
+  for (int i = 0; i < 40; ++i) {
+    t.insert(BoundingBox({double(i), 0.0}, {double(i) + 1.0, 1.0}), i);
+  }
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(t.erase(BoundingBox({double(i), 0.0}, {double(i) + 1.0, 1.0}), i));
+  }
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 1u);  // single-child root chains collapsed
+  t.insert(BoundingBox({0, 0}, {1, 1}), 99);
+  EXPECT_EQ(t.query(BoundingBox({0, 0}, {2, 2})), std::vector<int>{99});
+}
+
 TEST(GridIndexTest, RejectsBadInput) {
   EXPECT_THROW(GridIndex<int>(0.0), std::invalid_argument);
   GridIndex<int> g(10.0);

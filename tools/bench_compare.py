@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Diffs fresh Google-Benchmark JSON results against recorded baselines.
+
+Usage:
+  tools/bench_compare.py FRESH BASELINE [--tolerance PCT]
+
+FRESH and BASELINE are either two BENCH_*.json files or two directories
+holding them (matched by file name). For every benchmark name present in
+both files, the tracked counter (items_per_second when reported, else
+inverse cpu_time) is compared; the script exits nonzero when any
+benchmark regresses by more than --tolerance percent (default 10).
+
+Benchmarks present on only one side are reported but never fail the
+comparison, so adding or retiring benchmarks does not break the gate.
+Meant for same-machine runs (tools/run_bench.sh before/after a change);
+cross-machine numbers are not comparable.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rates(path):
+    """benchmark name -> (rate, unit); higher is always better. The unit
+    encodes the metric kind (items/s, or inverse cpu time in a specific
+    time unit) so mismatched kinds are never compared numerically."""
+    with open(path) as f:
+        data = json.load(f)
+    rates = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if "items_per_second" in b:
+            rates[name] = (float(b["items_per_second"]), "items/s")
+        elif b.get("cpu_time"):
+            unit = "1/cpu_time[%s]" % b.get("time_unit", "ns")
+            rates[name] = (1.0 / float(b["cpu_time"]), unit)
+    return rates
+
+
+def compare_file(fresh_path, base_path, tolerance):
+    fresh = load_rates(fresh_path)
+    base = load_rates(base_path)
+    failures = []
+    for name in sorted(base):
+        if name not in fresh:
+            print(f"  only in baseline (skipped): {name}")
+            continue
+        new, unit = fresh[name]
+        old, old_unit = base[name]
+        if unit != old_unit:
+            print(f"  metric changed ({old_unit} -> {unit}); skipped: {name}")
+            continue
+        if old <= 0:
+            continue
+        delta = (new - old) / old * 100.0
+        marker = ""
+        if delta < -tolerance:
+            marker = "  <-- REGRESSION"
+            failures.append((name, delta))
+        print(f"  {name:<40} {old:>14.4g} -> {new:>14.4g} {unit:<10} {delta:+7.1f}%{marker}")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"  new benchmark (no baseline): {name}")
+    return failures
+
+
+def matching_pairs(fresh, baseline):
+    if os.path.isfile(fresh):
+        return [(fresh, baseline)]
+    pairs = []
+    for entry in sorted(os.listdir(fresh)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        base_path = os.path.join(baseline, entry)
+        if os.path.isfile(base_path):
+            pairs.append((os.path.join(fresh, entry), base_path))
+        else:
+            print(f"no baseline for {entry}; skipped")
+    return pairs
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="fresh BENCH_*.json file or directory")
+    parser.add_argument("baseline", help="baseline BENCH_*.json file or directory")
+    parser.add_argument("--tolerance", type=float, default=10.0,
+                        help="allowed regression in percent (default 10)")
+    args = parser.parse_args()
+
+    if os.path.isfile(args.fresh) != os.path.isfile(args.baseline):
+        parser.error("fresh and baseline must both be files or both be directories")
+
+    pairs = matching_pairs(args.fresh, args.baseline)
+    if not pairs:
+        print("error: nothing to compare", file=sys.stderr)
+        return 2
+
+    failures = []
+    for fresh_path, base_path in pairs:
+        print(f"{os.path.basename(fresh_path)}:")
+        failures += compare_file(fresh_path, base_path, args.tolerance)
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.tolerance:.0f}%:", file=sys.stderr)
+        for name, delta in failures:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs the Google-Benchmark microbenchmarks and records one BENCH_<name>.json
 # baseline per executable. Future optimization PRs diff their numbers against
-# these files.
+# these files:
+#   tools/run_bench.sh build /tmp/fresh
+#   tools/bench_compare.py /tmp/fresh bench/baselines   # fails on >10% regression
 #
 # Usage: tools/run_bench.sh [build-dir] [out-dir]
 #   build-dir  CMake build tree (default: build; configured+built if missing)
