@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "runtime/sharded_runtime.hpp"
 #include "sim/random.hpp"
 
 namespace {
@@ -201,6 +202,92 @@ void BM_SpatialJoin(benchmark::State& state) {
       benchmark::Counter::kAvgThreads);
 }
 
+/// The 64-definition shard-scaling workload: 8 sensors x 8 thresholds
+/// spread over the value range, so arrivals regularly fire and the
+/// per-arrival work (routing + evaluation + instance synthesis) is large
+/// enough to parallelize. Entities rotate through the 8 sensors.
+std::vector<EventDefinition> scaling_defs() {
+  std::vector<EventDefinition> defs;
+  for (std::size_t i = 0; i < 64; ++i) {
+    defs.push_back(threshold_def(numbered("D", i), 30.0 + 8.0 * static_cast<double>(i / 8),
+                                 numbered("SR", i % 8)));
+  }
+  return defs;
+}
+
+/// Shard scaling on the 64-definition workload, batched ingest (256).
+/// Arg(0) is the reference: the same workload through one sequential
+/// DetectionEngine's observe_batch. Arg(N>0) runs a ShardedEngineRuntime
+/// with N worker shards; wall-clock (UseRealTime) captures the end-to-end
+/// ingest -> workers -> ordered-merge pipeline. Shard speedup requires
+/// cores: on a single-CPU host the runtime adds queue/merge overhead and
+/// cannot beat Arg(0).
+void BM_ShardScaling(benchmark::State& state) {
+  constexpr std::size_t kBatch = 256;
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const auto entities = make_entities(4096, "SR", 8);
+  std::vector<time_model::TimePoint> nows;
+  nows.reserve(entities.size());
+  for (const auto& e : entities) nows.push_back(e.occurrence_time().end());
+
+  std::uint64_t produced = 0;
+  if (shards == 0) {
+    core::DetectionEngine engine(ObserverId("X"), core::Layer::kSensor, {0, 0});
+    for (EventDefinition& def : scaling_defs()) engine.add_definition(std::move(def));
+    std::size_t i = 0;
+    for (auto _ : state) {
+      const std::size_t at = (i * kBatch) & 4095;
+      auto out = engine.observe_batch(std::span(entities).subspan(at, kBatch),
+                                      std::span(nows).subspan(at, kBatch));
+      produced += out.size();
+      benchmark::DoNotOptimize(out);
+      ++i;
+    }
+  } else {
+    runtime::RuntimeOptions options;
+    options.shards = shards;
+    runtime::ShardedEngineRuntime rt(ObserverId("X"), core::Layer::kSensor, {0, 0}, options);
+    for (EventDefinition& def : scaling_defs()) rt.add_definition(std::move(def));
+    std::size_t i = 0;
+    // flush() inside the timed region: every iteration fully processes its
+    // batch, so no backlog drains untimed and the comparison with Arg(0)
+    // is symmetric. Within-batch shard parallelism is still exercised.
+    for (auto _ : state) {
+      const std::size_t at = (i * kBatch) & 4095;
+      rt.ingest_batch(std::span(entities).subspan(at, kBatch),
+                      std::span(nows).subspan(at, kBatch));
+      auto out = rt.flush();
+      produced += out.size();
+      benchmark::DoNotOptimize(out);
+      ++i;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBatch));
+  state.counters["instances/op"] = benchmark::Counter(
+      static_cast<double>(produced) / static_cast<double>(state.iterations()),
+      benchmark::Counter::kAvgThreads);
+}
+
+/// Batched ingest amortization on a single engine: observe_batch over the
+/// 64-definition workload at batch sizes 1 / 16 / 256. items == entities.
+void BM_BatchSize(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto entities = make_entities(4096, "SR", 8);
+  std::vector<time_model::TimePoint> nows;
+  nows.reserve(entities.size());
+  for (const auto& e : entities) nows.push_back(e.occurrence_time().end());
+  core::DetectionEngine engine(ObserverId("X"), core::Layer::kSensor, {0, 0});
+  for (EventDefinition& def : scaling_defs()) engine.add_definition(std::move(def));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t at = (i * batch) & 4095;
+    benchmark::DoNotOptimize(engine.observe_batch(std::span(entities).subspan(at, batch),
+                                                  std::span(nows).subspan(at, batch)));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * batch));
+}
+
 }  // namespace
 
 BENCHMARK(BM_DefinitionCount)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
@@ -209,5 +296,8 @@ BENCHMARK(BM_BufferCap)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_WindowLength)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
 BENCHMARK(BM_RoutingFanout)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_SpatialJoin)->Arg(64)->Arg(256)->Arg(1024);
+// Arg(0) = sequential reference engine; Arg(N) = N-shard runtime.
+BENCHMARK(BM_ShardScaling)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+BENCHMARK(BM_BatchSize)->Arg(1)->Arg(16)->Arg(256);
 
 BENCHMARK_MAIN();

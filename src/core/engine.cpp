@@ -80,58 +80,8 @@ void DetectionEngine::add_definition(EventDefinition def) {
     }
   }
 
-  for (std::uint32_t j = 0; j < n; ++j) {
-    const FilterSignature sig = ds.def.slots[j].filter.signature();
-    switch (sig.kind) {
-      case FilterSignature::Kind::kSensor:
-        register_keyed(routes_by_sensor_[sig.key], ds.def, SlotRoute{d, j});
-        break;
-      case FilterSignature::Kind::kEventType:
-        register_keyed(routes_by_type_[sig.key], ds.def, SlotRoute{d, j});
-        break;
-      case FilterSignature::Kind::kAny:
-        routes_any_.push_back(SlotRoute{d, j});
-        break;
-      case FilterSignature::Kind::kNever:
-        break;  // matches nothing: route nowhere
-    }
-  }
+  routing_.add(ds.def, d);
   defs_.push_back(std::move(ds));
-}
-
-void DetectionEngine::register_keyed(RouteBucket& bucket, const EventDefinition& def,
-                                     SlotRoute r) {
-  // Single-slot order thresholds go to the sorted per-attribute sub-index
-  // so arrivals pay only for the rules their value satisfies; everything
-  // else is probed generically.
-  std::optional<ThresholdSignature> sig;
-  if (def.slots.size() == 1) sig = extract_threshold_signature(def.condition);
-  if (!sig.has_value()) {
-    bucket.generic.push_back(r);
-    return;
-  }
-  ThresholdGroup* group = nullptr;
-  for (ThresholdGroup& g : bucket.thresholds) {
-    if (g.attribute == sig->attribute) {
-      group = &g;
-      break;
-    }
-  }
-  if (group == nullptr) {
-    bucket.thresholds.push_back(ThresholdGroup{sig->attribute, {}, {}, {}, {}});
-    group = &bucket.thresholds.back();
-  }
-  const bool upper = sig->op == RelationalOp::kGt || sig->op == RelationalOp::kGe;
-  auto& entries = upper ? group->above : group->below;
-  auto& inclusive = upper ? group->above_ge : group->below_le;
-  const auto cmp = [upper](const std::pair<double, SlotRoute>& a, double c) {
-    return upper ? a.first < c : a.first > c;  // above ascending, below descending
-  };
-  const auto pos = std::lower_bound(entries.begin(), entries.end(), sig->constant, cmp);
-  const auto at = static_cast<std::size_t>(pos - entries.begin());
-  entries.insert(pos, {sig->constant, r});
-  inclusive.insert(inclusive.begin() + static_cast<std::ptrdiff_t>(at),
-                   sig->op == RelationalOp::kGe || sig->op == RelationalOp::kLe ? 1 : 0);
 }
 
 void DetectionEngine::evict_front(DefState& ds, std::size_t slot) {
@@ -193,81 +143,11 @@ void DetectionEngine::prune(time_model::TimePoint now) {
 
 void DetectionEngine::route(const Entity& entity) {
   matched_routes_.clear();
-  const RouteBucket* bucket = nullptr;
-  if (entity.is_observation()) {
-    if (const auto it = routes_by_sensor_.find(entity.observation().sensor.value());
-        it != routes_by_sensor_.end()) {
-      bucket = &it->second;
-    }
-  } else {
-    if (const auto it = routes_by_type_.find(entity.instance().key.event.value());
-        it != routes_by_type_.end()) {
-      bucket = &it->second;
-    }
-  }
-  // Merge the keyed bucket's generic routes with the unkeyed remainder
-  // (both are sorted by construction), verifying the residual filter
-  // fields on each hit.
-  const auto accept = [&](const SlotRoute r) {
-    if (defs_[r.def_idx].def.slots[r.slot_idx].filter.matches(entity)) {
-      matched_routes_.push_back(r);
-    }
-  };
-  std::size_t a = 0;
-  std::size_t b = 0;
-  const std::size_t an = bucket != nullptr ? bucket->generic.size() : 0;
-  const std::size_t bn = routes_any_.size();
-  while (a < an && b < bn) {
-    const SlotRoute ra = bucket->generic[a];
-    const SlotRoute rb = routes_any_[b];
-    if (ra.def_idx < rb.def_idx || (ra.def_idx == rb.def_idx && ra.slot_idx < rb.slot_idx)) {
-      accept(ra);
-      ++a;
-    } else {
-      accept(rb);
-      ++b;
-    }
-  }
-  for (; a < an; ++a) accept(bucket->generic[a]);
-  for (; b < bn; ++b) accept(routes_any_[b]);
-
-  // Threshold sub-index: walk only the rules the arriving value
-  // satisfies. Entries are sorted by constant, so the walk stops at the
-  // first rule the value cannot fire (output-sensitive selection). The
-  // selected definitions still evaluate their condition in fire_single;
-  // this is purely a routing pre-filter.
-  if (bucket == nullptr || bucket->thresholds.empty()) return;
-  const std::size_t generic_end = matched_routes_.size();
-  for (const ThresholdGroup& g : bucket->thresholds) {
-    const std::optional<double> value = entity.attributes().number(g.attribute);
-    // A missing (or non-numeric) attribute fails every threshold; NaN
-    // fails every order comparison.
-    if (!value.has_value() || std::isnan(*value)) continue;
-    const double v = *value;
-    for (std::size_t k = 0; k < g.above.size(); ++k) {
-      if (g.above[k].first < v || (g.above[k].first == v && g.above_ge[k] != 0)) {
-        accept(g.above[k].second);
-      } else if (g.above[k].first > v) {
-        break;
-      }
-    }
-    for (std::size_t k = 0; k < g.below.size(); ++k) {
-      if (g.below[k].first > v || (g.below[k].first == v && g.below_le[k] != 0)) {
-        accept(g.below[k].second);
-      } else if (g.below[k].first < v) {
-        break;
-      }
-    }
-  }
-  if (matched_routes_.size() > generic_end) {
-    // Restore global (definition, slot) registration order across the
-    // generic and threshold-selected routes.
-    std::sort(matched_routes_.begin(), matched_routes_.end(),
-              [](const SlotRoute& x, const SlotRoute& y) {
-                return x.def_idx < y.def_idx ||
-                       (x.def_idx == y.def_idx && x.slot_idx < y.slot_idx);
-              });
-  }
+  // The index dispatches on the discriminant key (and threshold constant);
+  // the residual filter fields are verified on each hit.
+  routing_.collect(entity, matched_routes_, [&](const SlotRoute r) {
+    return defs_[r.def_idx].def.slots[r.slot_idx].filter.matches(entity);
+  });
 }
 
 void DetectionEngine::insert_buffered(DefState& ds, std::size_t slot, const Buffered& fresh) {
@@ -290,12 +170,57 @@ void DetectionEngine::insert_buffered(DefState& ds, std::size_t slot, const Buff
 
 std::vector<EventInstance> DetectionEngine::observe(const Entity& entity,
                                                     time_model::TimePoint now) {
+  std::vector<EventInstance> out;
+  EmitSink sink{&out, nullptr};
+  observe_impl(entity, now, sink);
+  return out;
+}
+
+void DetectionEngine::observe(const Entity& entity, time_model::TimePoint now,
+                              std::vector<Emission>& out) {
+  EmitSink sink{nullptr, &out};
+  observe_impl(entity, now, sink);
+}
+
+std::vector<EventInstance> DetectionEngine::observe_batch(
+    std::span<const Entity> batch, std::span<const time_model::TimePoint> nows) {
+  if (batch.size() != nows.size()) {
+    throw std::invalid_argument("DetectionEngine::observe_batch: " + std::to_string(batch.size()) +
+                                " entities but " + std::to_string(nows.size()) + " time points");
+  }
+  std::vector<EventInstance> out;
+  EmitSink sink{&out, nullptr};
+  for (std::size_t i = 0; i < batch.size(); ++i) observe_impl(batch[i], nows[i], sink);
+  return out;
+}
+
+std::vector<EventInstance> DetectionEngine::observe_batch(std::span<const Entity> batch,
+                                                          time_model::TimePoint now) {
+  std::vector<EventInstance> out;
+  EmitSink sink{&out, nullptr};
+  for (const Entity& e : batch) observe_impl(e, now, sink);
+  return out;
+}
+
+void DetectionEngine::observe_batch(std::span<const Entity> batch,
+                                    std::span<const time_model::TimePoint> nows,
+                                    std::vector<Emission>& out) {
+  if (batch.size() != nows.size()) {
+    throw std::invalid_argument("DetectionEngine::observe_batch: " + std::to_string(batch.size()) +
+                                " entities but " + std::to_string(nows.size()) + " time points");
+  }
+  EmitSink sink{nullptr, &out};
+  for (std::size_t i = 0; i < batch.size(); ++i) observe_impl(batch[i], nows[i], sink);
+}
+
+void DetectionEngine::observe_impl(const Entity& entity, time_model::TimePoint now,
+                                   EmitSink& sink) {
   ++stats_.entities_in;
   maybe_prune(now);
 
-  std::vector<EventInstance> out;
   route(entity);
-  if (matched_routes_.empty()) return out;
+  if (matched_routes_.empty()) return;
+  const std::size_t out_begin = sink.size();
 
   // The entity is copied into shared ownership only if some multi-slot
   // definition actually buffers it; pure threshold workloads bind the
@@ -308,7 +233,7 @@ std::vector<EventInstance> DetectionEngine::observe(const Entity& entity,
     const std::uint32_t d = matched_routes_[i].def_idx;
     DefState& ds = defs_[d];
     if (!ds.buffered) {  // single-slot: exactly one route, binding is {fresh}
-      fire_single(ds, entity, now, out);
+      fire_single(ds, entity, now, sink);
       ++i;
       continue;
     }
@@ -322,21 +247,21 @@ std::vector<EventInstance> DetectionEngine::observe(const Entity& entity,
       insert_buffered(ds, matched_routes_[i].slot_idx, fresh);
     }
     for (std::size_t r = run_begin; r < i; ++r) {
-      try_bindings(ds, matched_routes_[r].slot_idx, fresh, now, out);
+      try_bindings(ds, matched_routes_[r].slot_idx, fresh, now, sink);
     }
   }
-  stats_.instances_out += out.size();
-  return out;
+  stats_.instances_out += sink.size() - out_begin;
 }
 
 void DetectionEngine::fire_single(DefState& ds, const Entity& entity, time_model::TimePoint now,
-                                  std::vector<EventInstance>& out) {
+                                  EmitSink& sink) {
   ds.binding[0] = &entity;
   ++stats_.bindings_tried;
   const EvalContext ctx(ds.binding.data(), 1);
   if (!eval_condition(ds.def.condition, ctx, options_.eval_mode)) return;
   ++stats_.bindings_matched;
-  out.push_back(synthesize(ds, ds.binding, now));
+  const auto d = static_cast<std::uint32_t>(&ds - defs_.data());
+  sink.emit(d, synthesize(ds, ds.binding, now));
 }
 
 void DetectionEngine::prepare_candidates(DefState& ds, std::uint32_t slot) {
@@ -399,7 +324,7 @@ void DetectionEngine::prepare_candidates(DefState& ds, std::uint32_t slot) {
 }
 
 void DetectionEngine::try_bindings(DefState& ds, std::size_t fixed_slot, const Buffered& fresh,
-                                   time_model::TimePoint now, std::vector<EventInstance>& out) {
+                                   time_model::TimePoint now, EmitSink& sink) {
   const std::size_t n = ds.def.slots.size();
   auto& chosen = ds.chosen;
   chosen.assign(n, nullptr);
@@ -444,7 +369,7 @@ void DetectionEngine::try_bindings(DefState& ds, std::size_t fixed_slot, const B
     if (cand->stamp == fresh.stamp && slot < fixed_slot) continue;
     chosen[slot] = cand;
     if (depth + 1 == m) {
-      if (emit_binding(ds, now, out)) return;  // participants were consumed
+      if (emit_binding(ds, now, sink)) return;  // participants were consumed
     } else {
       ++depth;
       ds.cursor[depth] = 0;
@@ -453,15 +378,15 @@ void DetectionEngine::try_bindings(DefState& ds, std::size_t fixed_slot, const B
   }
 }
 
-bool DetectionEngine::emit_binding(DefState& ds, time_model::TimePoint now,
-                                   std::vector<EventInstance>& out) {
+bool DetectionEngine::emit_binding(DefState& ds, time_model::TimePoint now, EmitSink& sink) {
   const std::size_t n = ds.def.slots.size();
   for (std::size_t j = 0; j < n; ++j) ds.binding[j] = ds.chosen[j]->entity.get();
   ++stats_.bindings_tried;
   const EvalContext ctx(ds.binding.data(), n);
   if (!eval_condition(ds.def.condition, ctx, options_.eval_mode)) return false;
   ++stats_.bindings_matched;
-  out.push_back(synthesize(ds, ds.binding, now));
+  const auto d = static_cast<std::uint32_t>(&ds - defs_.data());
+  sink.emit(d, synthesize(ds, ds.binding, now));
   if (ds.def.consumption != ConsumptionMode::kConsume) return false;
   consume_participants(ds);
   return true;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -11,6 +12,7 @@
 
 #include "core/event_def.hpp"
 #include "core/observer.hpp"
+#include "core/routing.hpp"
 #include "geom/grid_index.hpp"
 #include "geom/rtree.hpp"
 
@@ -25,13 +27,36 @@ struct EngineOptions {
   std::size_t max_buffer = 64;
 };
 
-/// Engine throughput/selectivity counters.
+/// Engine throughput/selectivity counters. Each engine owns its counters
+/// and is single-threaded; the sharded runtime keeps one engine (and thus
+/// one counter set) per shard and sums them on read, so counters are never
+/// written concurrently.
 struct EngineStats {
   std::uint64_t entities_in = 0;     ///< entities fed to the engine
   std::uint64_t bindings_tried = 0;  ///< candidate slot bindings formed
   std::uint64_t bindings_matched = 0;
   std::uint64_t instances_out = 0;
   std::uint64_t evicted = 0;  ///< buffer-cap and window evictions
+
+  EngineStats& operator+=(const EngineStats& o) {
+    entities_in += o.entities_in;
+    bindings_tried += o.bindings_tried;
+    bindings_matched += o.bindings_matched;
+    instances_out += o.instances_out;
+    evicted += o.evicted;
+    return *this;
+  }
+
+  friend bool operator==(const EngineStats&, const EngineStats&) = default;
+};
+
+/// One emitted instance tagged with the index (registration order) of the
+/// definition that produced it. The sharded runtime merges per-shard
+/// streams back into global definition order using the tag; plain callers
+/// use the untagged observe() overloads.
+struct Emission {
+  std::uint32_t def = 0;
+  EventInstance instance;
 };
 
 /// The detection engine: the concrete observer (Def. 4.3) used at every
@@ -74,6 +99,24 @@ class DetectionEngine : public Observer {
 
   std::vector<EventInstance> observe(const Entity& entity, time_model::TimePoint now) override;
 
+  /// Core observation path: appends definition-tagged emissions to `out`
+  /// (not cleared). Exactly the same instances, in the same order, as the
+  /// untagged overload.
+  void observe(const Entity& entity, time_model::TimePoint now, std::vector<Emission>& out);
+
+  /// Batched ingest: exactly equivalent to calling
+  /// `observe(batch[i], nows[i])` for i in order and concatenating the
+  /// results — same instances, same order, same stats. Throws
+  /// std::invalid_argument when the spans differ in length.
+  std::vector<EventInstance> observe_batch(std::span<const Entity> batch,
+                                           std::span<const time_model::TimePoint> nows);
+  /// Batched ingest where every arrival shares one observation time.
+  std::vector<EventInstance> observe_batch(std::span<const Entity> batch,
+                                           time_model::TimePoint now);
+  /// Definition-tagged batch path (the sharded runtime's entry point).
+  void observe_batch(std::span<const Entity> batch, std::span<const time_model::TimePoint> nows,
+                     std::vector<Emission>& out);
+
   /// Drops buffered entities older than the definitions' windows at `now`.
   /// observe() performs this lazily (per-definition watermarks make it a
   /// no-op until some buffered entity can actually expire); exposed for
@@ -85,6 +128,27 @@ class DetectionEngine : public Observer {
     std::shared_ptr<const Entity> entity;
     std::uint64_t stamp;      ///< global arrival stamp (dedup across slots)
     geom::BoundingBox box;    ///< entity location bounds (guard prechecks)
+  };
+
+  /// Emission target: the untagged API writes instances straight into the
+  /// caller's vector (no intermediate buffering on the hot path); the
+  /// tagged API captures the producing definition per instance. Exactly
+  /// one target is set; the branch costs one predictable test per
+  /// *emission*, not per arrival.
+  struct EmitSink {
+    std::vector<EventInstance>* plain = nullptr;
+    std::vector<Emission>* tagged = nullptr;
+
+    void emit(std::uint32_t def, EventInstance&& inst) {
+      if (tagged != nullptr) {
+        tagged->push_back(Emission{def, std::move(inst)});
+      } else {
+        plain->push_back(std::move(inst));
+      }
+    }
+    [[nodiscard]] std::size_t size() const {
+      return tagged != nullptr ? tagged->size() : plain->size();
+    }
   };
 
   /// Spatial backing for one guarded slot buffer: a uniform grid when the
@@ -177,33 +241,6 @@ class DetectionEngine : public Observer {
   static constexpr std::size_t kIndexActivate = 32;
   static constexpr std::size_t kIndexDeactivate = 8;
 
-  /// Routing index entry: one (definition, slot) pair.
-  struct SlotRoute {
-    std::uint32_t def_idx;
-    std::uint32_t slot_idx;
-  };
-
-  /// Single-slot `attr OP C` definitions, grouped per attribute with the
-  /// entries sorted by constant, so selection walks only the rules the
-  /// arriving value actually satisfies (output-sensitive in rule count).
-  struct ThresholdGroup {
-    std::string attribute;
-    /// kGt/kGe entries, ascending by constant: every entry with
-    /// constant < value fires; at equality only kGe does.
-    std::vector<std::pair<double, SlotRoute>> above;
-    std::vector<std::uint8_t> above_ge;  // parallel: 1 = kGe
-    /// kLt/kLe entries, descending by constant (mirror logic).
-    std::vector<std::pair<double, SlotRoute>> below;
-    std::vector<std::uint8_t> below_le;  // parallel: 1 = kLe
-  };
-
-  /// One routing bucket (per sensor / event type / the unkeyed rest):
-  /// generic (definition, slot) routes plus the threshold sub-index.
-  struct RouteBucket {
-    std::vector<SlotRoute> generic;  // sorted by (def_idx, slot_idx)
-    std::vector<ThresholdGroup> thresholds;
-  };
-
   void maybe_prune(time_model::TimePoint now);
   void prune_def(DefState& ds, time_model::TimePoint now);
   void evict_front(DefState& ds, std::size_t slot);
@@ -213,16 +250,16 @@ class DetectionEngine : public Observer {
   /// Fills matched_routes_ with (def, slot) pairs whose filter accepts
   /// `entity`, ordered by (definition, slot) registration order.
   void route(const Entity& entity);
-  void fire_single(DefState& ds, const Entity& entity, time_model::TimePoint now,
-                   std::vector<EventInstance>& out);
+  void observe_impl(const Entity& entity, time_model::TimePoint now, EmitSink& sink);
+  void fire_single(DefState& ds, const Entity& entity, time_model::TimePoint now, EmitSink& sink);
   void try_bindings(DefState& ds, std::size_t fixed_slot, const Buffered& fresh,
-                    time_model::TimePoint now, std::vector<EventInstance>& out);
+                    time_model::TimePoint now, EmitSink& sink);
   /// Prepares the candidate source for `slot`: a spatial-index query when
   /// an applicable guard exists, otherwise a direct buffer scan.
   void prepare_candidates(DefState& ds, std::uint32_t slot);
   /// Evaluates the completed binding in ds.chosen; returns true when the
   /// participants were consumed (enumeration must stop).
-  bool emit_binding(DefState& ds, time_model::TimePoint now, std::vector<EventInstance>& out);
+  bool emit_binding(DefState& ds, time_model::TimePoint now, EmitSink& sink);
   void consume_participants(DefState& ds);
   EventInstance synthesize(DefState& ds, const std::vector<const Entity*>& binding,
                            time_model::TimePoint now);
@@ -233,15 +270,10 @@ class DetectionEngine : public Observer {
   EngineOptions options_;
   std::vector<DefState> defs_;
 
-  /// Registers a keyed route, diverting eligible single-slot threshold
-  /// definitions into the bucket's threshold sub-index.
-  void register_keyed(RouteBucket& bucket, const EventDefinition& def, SlotRoute r);
-
-  // Routing index: keyed buckets plus the unkeyed remainder, generic
-  // routes sorted by (def_idx, slot_idx) construction order.
-  std::unordered_map<std::string, RouteBucket> routes_by_sensor_;
-  std::unordered_map<std::string, RouteBucket> routes_by_type_;
-  std::vector<SlotRoute> routes_any_;
+  /// Routing index over this engine's definitions (see core/routing.hpp;
+  /// shared with the sharded runtime, which keys the same structure by
+  /// shard index for placement).
+  RoutingIndex routing_;
   std::vector<SlotRoute> matched_routes_;  // per-observe scratch
 
   /// min over defs_ of next_prune_at; observe() skips pruning entirely

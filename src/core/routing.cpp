@@ -1,0 +1,85 @@
+#include "core/routing.hpp"
+
+#include "core/condition.hpp"
+
+namespace stem::core {
+
+void RoutingIndex::insert_sorted(std::vector<SlotRoute>& routes, SlotRoute r) {
+  const auto pos = std::lower_bound(routes.begin(), routes.end(), r,
+                                    [](const SlotRoute& a, const SlotRoute& b) {
+                                      return a.def_idx < b.def_idx ||
+                                             (a.def_idx == b.def_idx && a.slot_idx < b.slot_idx);
+                                    });
+  if (pos != routes.end() && *pos == r) return;  // collapsed duplicate
+  routes.insert(pos, r);
+}
+
+void RoutingIndex::add(const EventDefinition& def, std::uint32_t def_idx) {
+  add_impl(def, def_idx, /*collapse=*/false);
+}
+
+void RoutingIndex::add_collapsed(const EventDefinition& def, std::uint32_t def_idx) {
+  add_impl(def, def_idx, /*collapse=*/true);
+}
+
+void RoutingIndex::add_impl(const EventDefinition& def, std::uint32_t def_idx, bool collapse) {
+  for (std::uint32_t j = 0; j < def.slots.size(); ++j) {
+    const SlotRoute r{def_idx, collapse ? 0 : j};
+    const FilterSignature sig = def.slots[j].filter.signature();
+    switch (sig.kind) {
+      case FilterSignature::Kind::kSensor:
+        register_keyed(by_sensor_[sig.key], def, r);
+        break;
+      case FilterSignature::Kind::kEventType:
+        register_keyed(by_type_[sig.key], def, r);
+        break;
+      case FilterSignature::Kind::kAny:
+        insert_sorted(any_, r);
+        break;
+      case FilterSignature::Kind::kNever:
+        break;  // matches nothing: route nowhere
+    }
+  }
+}
+
+void RoutingIndex::register_keyed(Bucket& bucket, const EventDefinition& def, SlotRoute r) {
+  // Single-slot order thresholds go to the sorted per-attribute sub-index
+  // so arrivals pay only for the rules their value satisfies; everything
+  // else is probed generically.
+  std::optional<ThresholdSignature> sig;
+  if (def.slots.size() == 1) sig = extract_threshold_signature(def.condition);
+  if (!sig.has_value()) {
+    insert_sorted(bucket.generic, r);
+    return;
+  }
+  ThresholdGroup* group = nullptr;
+  for (ThresholdGroup& g : bucket.thresholds) {
+    if (g.attribute == sig->attribute) {
+      group = &g;
+      break;
+    }
+  }
+  if (group == nullptr) {
+    bucket.thresholds.push_back(ThresholdGroup{sig->attribute, {}, {}, {}, {}});
+    group = &bucket.thresholds.back();
+  }
+  const bool upper = sig->op == RelationalOp::kGt || sig->op == RelationalOp::kGe;
+  auto& entries = upper ? group->above : group->below;
+  auto& inclusive = upper ? group->above_ge : group->below_le;
+  const auto cmp = [upper](const std::pair<double, SlotRoute>& a, double c) {
+    return upper ? a.first < c : a.first > c;  // above ascending, below descending
+  };
+  const auto pos = std::lower_bound(entries.begin(), entries.end(), sig->constant, cmp);
+  const auto at = static_cast<std::size_t>(pos - entries.begin());
+  const std::uint8_t want =
+      sig->op == RelationalOp::kGe || sig->op == RelationalOp::kLe ? 1 : 0;
+  // Drop exact duplicates (same constant, route, inclusiveness) — only
+  // collapsed (shard-level) registration can produce them.
+  for (std::size_t k = at; k < entries.size() && entries[k].first == sig->constant; ++k) {
+    if (entries[k].second == r && inclusive[k] == want) return;
+  }
+  entries.insert(pos, {sig->constant, r});
+  inclusive.insert(inclusive.begin() + static_cast<std::ptrdiff_t>(at), want);
+}
+
+}  // namespace stem::core

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/event_def.hpp"
+
+namespace stem::core {
+
+/// Routing index entry: one (definition, slot) pair. The meaning of
+/// `def_idx` is the registrar's: the DetectionEngine registers definition
+/// indexes, the sharded runtime registers *shard* indexes so one lookup
+/// yields the set of shards an arrival must be replicated to.
+struct SlotRoute {
+  std::uint32_t def_idx;
+  std::uint32_t slot_idx;
+
+  friend bool operator==(const SlotRoute&, const SlotRoute&) = default;
+};
+
+/// Maps an arriving entity to the (definition, slot) pairs whose filters
+/// can possibly match it, so unrelated definitions cost nothing.
+///
+/// Extracted from DetectionEngine (where it powers `observe()` candidate
+/// selection) so the sharded runtime (`runtime::ShardedEngineRuntime`) can
+/// maintain the same structure keyed by shard index and consult it for
+/// arrival placement. Structure:
+///  - keyed buckets per sensor id and per event type id, reached by one
+///    hash lookup on the arrival's discriminant;
+///  - a wildcard list for filters with no usable discriminant, merged into
+///    every lookup;
+///  - inside a bucket, single-slot `attr OP C` definitions live in
+///    per-attribute constant-sorted lists, so an arriving value walks only
+///    the rules it can actually fire (output-sensitive in rule count).
+class RoutingIndex {
+ public:
+  /// Registers every slot of `def` under index `def_idx`. Routes are kept
+  /// sorted by (def_idx, slot_idx), so registration order and index order
+  /// need not coincide (the runtime registers shard indexes out of order).
+  void add(const EventDefinition& def, std::uint32_t def_idx);
+
+  /// Shard-level registration: like add(), but collapses every slot to
+  /// slot 0 and drops exact-duplicate routes, so a bucket holds at most
+  /// one generic route per def_idx no matter how many co-located
+  /// definitions share the key. For registrars (the sharded runtime) that
+  /// only consume the def_idx of collected routes, this keeps the
+  /// per-arrival collect() walk O(distinct indexes), not O(definitions).
+  void add_collapsed(const EventDefinition& def, std::uint32_t def_idx);
+
+  /// Collects the routes that can possibly match `entity` into `out` (not
+  /// cleared), in ascending (def_idx, slot_idx) order, keeping a route
+  /// only when `accept(route)` returns true. `accept` must verify the
+  /// residual filter fields (producer, layer) — the index only dispatches
+  /// on the discriminant key and, for threshold rules, the constant.
+  template <typename Accept>
+  void collect(const Entity& entity, std::vector<SlotRoute>& out, Accept&& accept) const {
+    const Bucket* bucket = nullptr;
+    if (entity.is_observation()) {
+      if (const auto it = by_sensor_.find(entity.observation().sensor.value());
+          it != by_sensor_.end()) {
+        bucket = &it->second;
+      }
+    } else {
+      if (const auto it = by_type_.find(entity.instance().key.event.value());
+          it != by_type_.end()) {
+        bucket = &it->second;
+      }
+    }
+    const auto push = [&](const SlotRoute r) {
+      if (accept(r)) out.push_back(r);
+    };
+    // Merge the keyed bucket's generic routes with the wildcard list
+    // (both sorted by construction).
+    std::size_t a = 0;
+    std::size_t b = 0;
+    const std::size_t an = bucket != nullptr ? bucket->generic.size() : 0;
+    const std::size_t bn = any_.size();
+    while (a < an && b < bn) {
+      const SlotRoute ra = bucket->generic[a];
+      const SlotRoute rb = any_[b];
+      if (ra.def_idx < rb.def_idx || (ra.def_idx == rb.def_idx && ra.slot_idx < rb.slot_idx)) {
+        push(ra);
+        ++a;
+      } else {
+        push(rb);
+        ++b;
+      }
+    }
+    for (; a < an; ++a) push(bucket->generic[a]);
+    for (; b < bn; ++b) push(any_[b]);
+
+    // Threshold sub-index: walk only the rules the arriving value
+    // satisfies. Entries are sorted by constant, so the walk stops at the
+    // first rule the value cannot fire (output-sensitive selection). The
+    // selected definitions still evaluate their full condition downstream;
+    // this is purely a routing pre-filter.
+    if (bucket == nullptr || bucket->thresholds.empty()) return;
+    const std::size_t generic_end = out.size();
+    for (const ThresholdGroup& g : bucket->thresholds) {
+      const std::optional<double> value = entity.attributes().number(g.attribute);
+      // A missing (or non-numeric) attribute fails every threshold; NaN
+      // fails every order comparison.
+      if (!value.has_value() || std::isnan(*value)) continue;
+      const double v = *value;
+      for (std::size_t k = 0; k < g.above.size(); ++k) {
+        if (g.above[k].first < v || (g.above[k].first == v && g.above_ge[k] != 0)) {
+          push(g.above[k].second);
+        } else if (g.above[k].first > v) {
+          break;
+        }
+      }
+      for (std::size_t k = 0; k < g.below.size(); ++k) {
+        if (g.below[k].first > v || (g.below[k].first == v && g.below_le[k] != 0)) {
+          push(g.below[k].second);
+        } else if (g.below[k].first < v) {
+          break;
+        }
+      }
+    }
+    if (out.size() > generic_end) {
+      // Restore global (def_idx, slot_idx) order across the generic and
+      // threshold-selected routes.
+      std::sort(out.begin(), out.end(), [](const SlotRoute& x, const SlotRoute& y) {
+        return x.def_idx < y.def_idx || (x.def_idx == y.def_idx && x.slot_idx < y.slot_idx);
+      });
+    }
+  }
+
+ private:
+  /// Single-slot `attr OP C` definitions, grouped per attribute with the
+  /// entries sorted by constant, so selection walks only the rules the
+  /// arriving value actually satisfies (output-sensitive in rule count).
+  struct ThresholdGroup {
+    std::string attribute;
+    /// kGt/kGe entries, ascending by constant: every entry with
+    /// constant < value fires; at equality only kGe does.
+    std::vector<std::pair<double, SlotRoute>> above;
+    std::vector<std::uint8_t> above_ge;  // parallel: 1 = kGe
+    /// kLt/kLe entries, descending by constant (mirror logic).
+    std::vector<std::pair<double, SlotRoute>> below;
+    std::vector<std::uint8_t> below_le;  // parallel: 1 = kLe
+  };
+
+  /// One routing bucket (per sensor / event type): generic (def, slot)
+  /// routes plus the threshold sub-index.
+  struct Bucket {
+    std::vector<SlotRoute> generic;  // sorted by (def_idx, slot_idx)
+    std::vector<ThresholdGroup> thresholds;
+  };
+
+  void add_impl(const EventDefinition& def, std::uint32_t def_idx, bool collapse);
+
+  /// Registers a keyed route, diverting eligible single-slot threshold
+  /// definitions into the bucket's threshold sub-index.
+  void register_keyed(Bucket& bucket, const EventDefinition& def, SlotRoute r);
+
+  /// Inserts `r` in (def_idx, slot_idx) order; exact duplicates (which
+  /// only collapsed registration can produce) are dropped.
+  static void insert_sorted(std::vector<SlotRoute>& routes, SlotRoute r);
+
+  std::unordered_map<std::string, Bucket> by_sensor_;
+  std::unordered_map<std::string, Bucket> by_type_;
+  std::vector<SlotRoute> any_;  // sorted by (def_idx, slot_idx)
+};
+
+}  // namespace stem::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <ostream>
 
+#include "runtime/sharded_runtime.hpp"
+
 namespace stem::net {
 
 std::ostream& operator<<(std::ostream& os, const Command& cmd) {
@@ -44,6 +46,17 @@ void Broker::on_message(const Message& msg) {
     return;
   }
   ++published_;
+  if (runtime_ != nullptr) {
+    // Route entities into the attached sharded runtime. Observation time
+    // is the broker's receipt time — the same `now` a subscribing
+    // observer would use when the network hands it the message.
+    const time_model::TimePoint now = network_.simulator().now();
+    if (const auto* entity = std::get_if<core::Entity>(&msg.payload)) {
+      runtime_->ingest(*entity, now);
+    } else if (const auto* batch = std::get_if<EntityBatch>(&msg.payload)) {
+      runtime_->ingest_batch(batch->entities, now);
+    }
+  }
   fan_out(msg);
 }
 

@@ -6,6 +6,10 @@
 
 #include "net/network.hpp"
 
+namespace stem::runtime {
+class ShardedEngineRuntime;
+}
+
 namespace stem::net {
 
 /// Topic-based publish/subscribe broker — the "Publish Cyber-Physical
@@ -39,6 +43,15 @@ class Broker {
   /// each subscriber. `src` must be linked to the broker.
   void publish(const NodeId& src, Payload payload);
 
+  /// Attaches a sharded detection runtime: every entity that reaches the
+  /// broker is ingested into it (stamped with the simulator's current
+  /// time) instead of requiring a single subscribing engine to keep up.
+  /// EntityBatch payloads — WSN-internal framing that topic fan-out
+  /// drops — are forwarded through the runtime's batched ingest, so relay
+  /// aggregation feeds detection without unbatching. The runtime must
+  /// outlive the broker; collect detections with poll()/flush() on it.
+  void attach_runtime(runtime::ShardedEngineRuntime& rt) { runtime_ = &rt; }
+
   [[nodiscard]] std::size_t subscriber_count(const std::string& topic) const;
   [[nodiscard]] std::uint64_t published() const { return published_; }
   [[nodiscard]] std::uint64_t fanned_out() const { return fanned_out_; }
@@ -49,6 +62,7 @@ class Broker {
 
   Network& network_;
   NodeId id_;
+  runtime::ShardedEngineRuntime* runtime_ = nullptr;
   std::unordered_map<std::string, std::vector<NodeId>> subscribers_;
   std::uint64_t published_ = 0;
   std::uint64_t fanned_out_ = 0;

@@ -1,0 +1,328 @@
+#include "runtime/sharded_runtime.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace stem::runtime {
+
+namespace {
+
+/// Kind-prefixed routing key of a keyed slot signature, or empty.
+std::string routing_key(const core::FilterSignature& sig) {
+  switch (sig.kind) {
+    case core::FilterSignature::Kind::kSensor:
+      return "s:" + sig.key;
+    case core::FilterSignature::Kind::kEventType:
+      return "t:" + sig.key;
+    case core::FilterSignature::Kind::kAny:
+    case core::FilterSignature::Kind::kNever:
+      return {};
+  }
+  return {};
+}
+
+}  // namespace
+
+ShardedEngineRuntime::ShardedEngineRuntime(core::ObserverId id, core::Layer layer,
+                                           geom::Point location, RuntimeOptions options)
+    : id_(std::move(id)), layer_(layer), location_(location), options_(options) {
+  options_.shards = std::clamp<std::size_t>(options_.shards, 1, 64);
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  shards_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(id_, layer_, location_, options_.engine));
+  }
+  shard_keys_.resize(options_.shards);
+  shard_def_count_.assign(options_.shards, 0);
+  dispatch_scratch_.resize(options_.shards);
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    shard->worker = std::thread([this, s] { worker_loop(*s); });
+  }
+}
+
+ShardedEngineRuntime::~ShardedEngineRuntime() {
+  for (auto& shard : shards_) {
+    {
+      const std::lock_guard lk(shard->in_mutex);
+      shard->stop = true;
+    }
+    shard->work_cv.notify_all();
+    shard->space_cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedEngineRuntime::add_definition(core::EventDefinition def) {
+  const std::lock_guard lk(ingest_mutex_);
+  if (started_) {
+    throw std::logic_error(
+        "ShardedEngineRuntime: add_definition after ingestion started (placement is static)");
+  }
+
+  // Placement. Same event type => same shard: definitions sharing a type
+  // share an instance sequence counter, and splitting them would renumber
+  // the merged stream relative to a sequential engine.
+  std::uint32_t shard = 0;
+  if (const auto it = type_shard_.find(def.id.value()); it != type_shard_.end()) {
+    shard = it->second;
+  } else {
+    std::vector<std::string> keys;
+    for (const core::SlotSpec& slot : def.slots) {
+      if (std::string key = routing_key(slot.filter.signature()); !key.empty()) {
+        keys.push_back(std::move(key));
+      }
+    }
+    const auto affine = [&](const std::size_t s) {
+      return std::any_of(keys.begin(), keys.end(),
+                         [&](const std::string& k) { return shard_keys_[s].contains(k); });
+    };
+    // Least-loaded shard; among equals prefer one already hosting one of
+    // the definition's routing keys (bounds fan-out at equal balance).
+    bool best_affine = affine(0);
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      if (shard_def_count_[s] > shard_def_count_[shard]) continue;
+      const bool a = affine(s);
+      if (shard_def_count_[s] < shard_def_count_[shard] || (a && !best_affine)) {
+        shard = static_cast<std::uint32_t>(s);
+        best_affine = a;
+      }
+    }
+  }
+
+  // Register with the shard engine first: it validates and may throw, and
+  // must not leave any placement state (type_shard_ included) half-updated.
+  Shard& host = *shards_[shard];
+  host.engine.add_definition(def);
+
+  type_shard_.try_emplace(def.id.value(), shard);
+  const auto global = static_cast<std::uint32_t>(def_shard_.size());
+  host.global_def.push_back(global);
+  def_shard_.push_back(shard);
+  ++shard_def_count_[shard];
+  for (const core::SlotSpec& slot : def.slots) {
+    if (std::string key = routing_key(slot.filter.signature()); !key.empty()) {
+      shard_keys_[shard].insert(std::move(key));
+    }
+  }
+  // Collapsed: the per-arrival collect() walk stays O(shards) per key,
+  // however many co-located definitions share it.
+  shard_routes_.add_collapsed(def, shard);
+}
+
+void ShardedEngineRuntime::ingest(const core::Entity& entity, time_model::TimePoint now) {
+  ingest_batch(std::span<const core::Entity>(&entity, 1),
+               std::span<const time_model::TimePoint>(&now, 1));
+}
+
+void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
+                                        time_model::TimePoint now) {
+  const std::vector<time_model::TimePoint> nows(batch.size(), now);
+  ingest_batch(batch, nows);
+}
+
+void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
+                                        std::span<const time_model::TimePoint> nows) {
+  if (batch.size() != nows.size()) {
+    throw std::invalid_argument("ShardedEngineRuntime::ingest_batch: " +
+                                std::to_string(batch.size()) + " entities but " +
+                                std::to_string(nows.size()) + " time points");
+  }
+  if (batch.empty()) return;
+
+  auto block = std::make_shared<Batch>();
+  block->entities.assign(batch.begin(), batch.end());
+  block->nows.assign(nows.begin(), nows.end());
+  block->stamps.assign(batch.size(), 0);
+
+  const std::lock_guard ingest_lk(ingest_mutex_);
+  started_ = true;
+
+  // Route + stamp the whole batch into ingest-local scratch; merge_mutex_
+  // is taken only for the bulk pending_/counter append below, so a large
+  // batch's routing pass never stalls a concurrent poll() or stats().
+  for (auto& indices : dispatch_scratch_) indices.clear();
+  pending_scratch_.clear();
+  std::uint64_t dropped = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t replicated = 0;
+  for (std::size_t i = 0; i < block->entities.size(); ++i) {
+    route_scratch_.clear();
+    shard_routes_.collect(block->entities[i], route_scratch_,
+                          [](const core::SlotRoute&) { return true; });
+    std::uint64_t mask = 0;
+    for (const core::SlotRoute r : route_scratch_) mask |= std::uint64_t{1} << r.def_idx;
+    if (mask == 0) {
+      ++dropped;
+      continue;  // no shard hosts a possibly-matching definition
+    }
+    const std::uint64_t stamp = next_stamp_++;
+    block->stamps[i] = stamp;
+    pending_scratch_.push_back(Pending{stamp, mask});
+    bool first = true;
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+      const auto s = static_cast<std::size_t>(std::countr_zero(m));
+      dispatch_scratch_[s].push_back(static_cast<std::uint32_t>(i));
+      shards_[s]->last_routed = stamp;
+      ++deliveries;
+      if (!first) ++replicated;
+      first = false;
+    }
+  }
+  {
+    const std::lock_guard merge_lk(merge_mutex_);
+    pending_.insert(pending_.end(), pending_scratch_.begin(), pending_scratch_.end());
+    arrivals_ += pending_scratch_.size();
+    deliveries_ += deliveries;
+    replicated_ += replicated;
+    dropped_ += dropped;
+  }
+
+  const std::shared_ptr<const Batch> frozen = std::move(block);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (dispatch_scratch_[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    const std::size_t count = dispatch_scratch_[s].size();
+    {
+      std::unique_lock lk(shard.in_mutex);
+      // Backpressure: wait for inbox space. Oversized batches are admitted
+      // into an empty inbox so they cannot block forever.
+      shard.space_cv.wait(lk, [&] {
+        return shard.stop || shard.queued_arrivals == 0 ||
+               shard.queued_arrivals + count <= options_.queue_capacity;
+      });
+      if (shard.stop) continue;
+      shard.inbox.push_back(WorkItem{frozen, std::move(dispatch_scratch_[s])});
+      dispatch_scratch_[s] = {};
+      shard.queued_arrivals += count;
+    }
+    shard.work_cv.notify_one();
+  }
+}
+
+void ShardedEngineRuntime::worker_loop(Shard& shard) {
+  std::vector<core::Emission> emissions;
+  std::vector<OutChunk> chunks;
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock lk(shard.in_mutex);
+      shard.work_cv.wait(lk, [&] { return shard.stop || !shard.inbox.empty(); });
+      if (shard.inbox.empty()) return;  // stop requested and drained
+      item = std::move(shard.inbox.front());
+      shard.inbox.pop_front();
+    }
+
+    chunks.clear();
+    for (const std::uint32_t i : item.indices) {
+      emissions.clear();
+      shard.engine.observe(item.batch->entities[i], item.batch->nows[i], emissions);
+      if (emissions.empty()) continue;
+      for (core::Emission& em : emissions) em.def = shard.global_def[em.def];
+      chunks.push_back(OutChunk{item.batch->stamps[i], std::move(emissions)});
+      emissions = {};
+    }
+    const std::uint64_t last = item.batch->stamps[item.indices.back()];
+    {
+      const std::lock_guard lk(shard.out_mutex);
+      for (OutChunk& chunk : chunks) shard.outbox.push_back(std::move(chunk));
+      shard.published_stats = shard.engine.stats();
+      // Publish completion only after the emissions are visible in the
+      // outbox; poll() pairs this release store with an acquire load.
+      shard.watermark.store(last, std::memory_order_release);
+    }
+    shard.done_cv.notify_all();
+    {
+      const std::lock_guard lk(shard.in_mutex);
+      shard.queued_arrivals -= item.indices.size();
+    }
+    shard.space_cv.notify_all();
+  }
+}
+
+void ShardedEngineRuntime::drain_ready_locked(std::vector<core::EventInstance>& out) {
+  while (!pending_.empty()) {
+    const Pending p = pending_.front();
+    bool ready = true;
+    for (std::uint64_t m = p.mask; m != 0; m &= m - 1) {
+      const auto s = static_cast<std::size_t>(std::countr_zero(m));
+      if (shards_[s]->watermark.load(std::memory_order_acquire) < p.stamp) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) return;  // stream order: nothing later may overtake
+
+    gather_scratch_.clear();
+    int sources = 0;
+    for (std::uint64_t m = p.mask; m != 0; m &= m - 1) {
+      const auto s = static_cast<std::size_t>(std::countr_zero(m));
+      Shard& shard = *shards_[s];
+      const std::lock_guard lk(shard.out_mutex);
+      if (!shard.outbox.empty() && shard.outbox.front().stamp == p.stamp) {
+        OutChunk chunk = std::move(shard.outbox.front());
+        shard.outbox.pop_front();
+        ++sources;
+        for (core::Emission& em : chunk.emissions) gather_scratch_.push_back(std::move(em));
+      }
+    }
+    // Each shard's chunk is already ascending in global definition index
+    // (per-shard registration order is a subsequence of global order), so
+    // the cross-shard merge restores exactly the sequential engine's
+    // within-arrival order.
+    if (sources > 1) {
+      std::stable_sort(gather_scratch_.begin(), gather_scratch_.end(),
+                       [](const core::Emission& a, const core::Emission& b) {
+                         return a.def < b.def;
+                       });
+    }
+    for (core::Emission& em : gather_scratch_) {
+      out.push_back(std::move(em.instance));
+      ++instances_;
+    }
+    pending_.pop_front();
+  }
+}
+
+std::vector<core::EventInstance> ShardedEngineRuntime::poll() {
+  std::vector<core::EventInstance> out;
+  const std::lock_guard lk(merge_mutex_);
+  drain_ready_locked(out);
+  return out;
+}
+
+std::vector<core::EventInstance> ShardedEngineRuntime::flush() {
+  std::vector<std::uint64_t> targets(shards_.size(), 0);
+  {
+    const std::lock_guard lk(ingest_mutex_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) targets[s] = shards_[s]->last_routed;
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::unique_lock lk(shard.out_mutex);
+    shard.done_cv.wait(lk, [&] {
+      return shard.watermark.load(std::memory_order_acquire) >= targets[s];
+    });
+  }
+  return poll();
+}
+
+RuntimeStats ShardedEngineRuntime::stats() const {
+  RuntimeStats s;
+  for (const auto& shard : shards_) {
+    const std::lock_guard lk(shard->out_mutex);
+    s.engine += shard->published_stats;
+  }
+  const std::lock_guard lk(merge_mutex_);
+  s.arrivals = arrivals_;
+  s.deliveries = deliveries_;
+  s.replicated = replicated_;
+  s.dropped = dropped_;
+  s.instances = instances_;
+  return s;
+}
+
+}  // namespace stem::runtime

@@ -1,0 +1,219 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/routing.hpp"
+
+namespace stem::runtime {
+
+/// Sharded-runtime tuning knobs.
+struct RuntimeOptions {
+  /// Worker shard count; clamped to [1, 64] (recipient sets are bitmasks).
+  std::size_t shards = 4;
+  /// Per-shard inbox capacity in arrivals. Ingestion blocks (backpressure)
+  /// while a recipient shard's inbox is full, so an overwhelmed consumer
+  /// throttles producers instead of growing queues without bound.
+  std::size_t queue_capacity = 4096;
+  /// Options forwarded to every shard's DetectionEngine.
+  core::EngineOptions engine;
+};
+
+/// Aggregate runtime counters. Engine counters are owned per shard (each
+/// shard engine is single-threaded) and summed on read from per-shard
+/// snapshots — they are never written concurrently, and reading while
+/// ingestion is in flight is safe but trails the unprocessed work. Totals
+/// are exact after flush().
+struct RuntimeStats {
+  core::EngineStats engine;       ///< summed over shard engines
+  std::uint64_t arrivals = 0;     ///< entities accepted for processing
+  std::uint64_t deliveries = 0;   ///< shard deliveries (>= arrivals)
+  std::uint64_t replicated = 0;   ///< deliveries beyond the first per arrival
+  std::uint64_t dropped = 0;      ///< arrivals no shard was interested in
+  std::uint64_t instances = 0;    ///< instances merged out so far
+};
+
+/// Multi-core detection runtime: partitions registered definitions across
+/// N worker shards, each running its own single-threaded DetectionEngine,
+/// and merges per-shard emissions back into one deterministic stream.
+///
+/// **Placement** (add_definition): definitions sharing an event type id
+/// are co-located (their instance sequence numbers share one counter, so
+/// splitting them would renumber the stream); everything else goes to the
+/// least-loaded shard, preferring — among equally loaded shards — one that
+/// already hosts the definition's routing key (sensor / event-type
+/// bucket), which caps arrival fan-out without unbalancing the shards.
+///
+/// **Routing** (ingest): a shard-level core::RoutingIndex (the same
+/// structure the engine uses for candidate selection, keyed by shard
+/// index) maps each arrival to the set of shards hosting a definition
+/// whose filter can match it. The arrival is replicated to every such
+/// shard — in particular, a shard hosting a wildcard definition receives
+/// the full stream. Each definition lives on exactly one shard, so every
+/// instance is produced exactly once.
+///
+/// **Ordering** (poll/flush): arrivals are stamped on ingest; each shard
+/// processes its arrivals in stamp order and reports a processed-stamp
+/// watermark. The merge releases an arrival's emissions only once every
+/// recipient shard's watermark has passed its stamp, ordering instances by
+/// (arrival stamp, definition registration index) — exactly the order a
+/// single sequential DetectionEngine fed the same stream would emit
+/// (tests/runtime_shard_test.cpp proves equality differentially).
+class ShardedEngineRuntime {
+ public:
+  ShardedEngineRuntime(core::ObserverId id, core::Layer layer, geom::Point location,
+                       RuntimeOptions options = {});
+  ~ShardedEngineRuntime();
+  ShardedEngineRuntime(const ShardedEngineRuntime&) = delete;
+  ShardedEngineRuntime& operator=(const ShardedEngineRuntime&) = delete;
+
+  /// Registers a definition on its shard (see placement rules above).
+  /// Registration is only allowed before the first ingest — placement is
+  /// static; throws std::logic_error afterwards. Filter/condition
+  /// validation errors propagate from DetectionEngine::add_definition.
+  void add_definition(core::EventDefinition def);
+
+  /// Ingests one arrival: stamps it, replicates it to every interested
+  /// shard's inbox, and returns. Detection runs on the shard workers;
+  /// collect results with poll() or flush(). Blocks while a recipient
+  /// inbox is full (backpressure). Thread-safe.
+  void ingest(const core::Entity& entity, time_model::TimePoint now);
+  /// Batched ingest: one routing pass and at most one inbox operation per
+  /// shard for the whole batch, and the batch storage is shared between
+  /// recipient shards (each arrival is copied once, regardless of
+  /// replication). Equivalent to ingest(batch[i], nows[i]) for i in order.
+  void ingest_batch(std::span<const core::Entity> batch,
+                    std::span<const time_model::TimePoint> nows);
+  /// Batched ingest where every arrival shares one observation time.
+  void ingest_batch(std::span<const core::Entity> batch, time_model::TimePoint now);
+
+  /// Returns the merged instances whose arrivals have been fully processed
+  /// by every recipient shard, in stream order. Non-blocking; call
+  /// periodically between ingests to keep per-shard output buffers short.
+  [[nodiscard]] std::vector<core::EventInstance> poll();
+  /// Waits until every ingested arrival has been processed, then returns
+  /// the remainder of the merged stream.
+  [[nodiscard]] std::vector<core::EventInstance> flush();
+
+  /// Summed counters; exact only at quiescence (see RuntimeStats).
+  [[nodiscard]] RuntimeStats stats() const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t definition_count() const { return def_shard_.size(); }
+  /// Shard hosting the `def_index`-th registered definition (placement
+  /// introspection for tests and load inspection).
+  [[nodiscard]] std::size_t shard_of(std::size_t def_index) const {
+    return def_shard_.at(def_index);
+  }
+
+ private:
+  /// A refcounted block of stamped arrivals, shared by all recipient
+  /// shards (entities are copied into it once per ingest_batch call).
+  struct Batch {
+    std::vector<core::Entity> entities;
+    std::vector<time_model::TimePoint> nows;
+    std::vector<std::uint64_t> stamps;  ///< 0 = dropped (routed nowhere)
+  };
+
+  /// One inbox entry: the indices of `batch` routed to this shard.
+  struct WorkItem {
+    std::shared_ptr<const Batch> batch;
+    std::vector<std::uint32_t> indices;  // ascending (stamp order)
+  };
+
+  /// One processed arrival's emissions (tagged with *global* definition
+  /// indices), in a shard's outbox. Only emitting arrivals enqueue a
+  /// chunk; completion of silent arrivals is conveyed by the watermark.
+  struct OutChunk {
+    std::uint64_t stamp = 0;
+    std::vector<core::Emission> emissions;
+  };
+
+  struct Shard {
+    Shard(const core::ObserverId& id, core::Layer layer, geom::Point location,
+          const core::EngineOptions& options)
+        : engine(id, layer, location, options) {}
+
+    core::DetectionEngine engine;             ///< touched only by the worker
+    std::vector<std::uint32_t> global_def;    ///< local def index -> global
+
+    std::mutex in_mutex;                      ///< guards inbox/queued/stop
+    std::condition_variable work_cv;          ///< worker waits for work
+    std::condition_variable space_cv;         ///< producers wait for space
+    std::deque<WorkItem> inbox;
+    std::size_t queued_arrivals = 0;          ///< inbox + in-flight arrivals
+    bool stop = false;
+
+    std::mutex out_mutex;                     ///< guards outbox/watermark pub
+    std::condition_variable done_cv;          ///< flush waits for watermark
+    std::deque<OutChunk> outbox;              ///< ascending stamp
+    /// Snapshot of engine.stats() published by the worker after each work
+    /// item. stats() reads this (not the live engine counters, which only
+    /// the worker may touch), so concurrent stats() is race-free — merely
+    /// trailing the in-flight work until flush().
+    core::EngineStats published_stats;        ///< guarded by out_mutex
+    /// Highest stamp this shard has fully processed (its arrivals are
+    /// stamp-ordered, so everything routed to it up to the watermark is
+    /// done). Written under out_mutex *after* the matching outbox push;
+    /// poll() reads it lock-free with acquire ordering.
+    std::atomic<std::uint64_t> watermark{0};
+    std::uint64_t last_routed = 0;            ///< guarded by ingest_mutex_
+
+    std::thread worker;
+  };
+
+  /// One not-yet-merged arrival: its stamp and recipient-shard bitmask.
+  struct Pending {
+    std::uint64_t stamp = 0;
+    std::uint64_t mask = 0;
+  };
+
+  void worker_loop(Shard& shard);
+  /// Appends merged instances that are ready; merge_mutex_ must be held.
+  void drain_ready_locked(std::vector<core::EventInstance>& out);
+
+  core::ObserverId id_;
+  core::Layer layer_;
+  geom::Point location_;
+  RuntimeOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Shard-level routing: def_idx in these routes is a *shard* index.
+  core::RoutingIndex shard_routes_;
+  std::unordered_map<std::string, std::uint32_t> type_shard_;  ///< co-location
+  std::vector<std::unordered_set<std::string>> shard_keys_;    ///< hosted routing keys
+  std::vector<std::size_t> shard_def_count_;
+  std::vector<std::uint32_t> def_shard_;  ///< global def index -> shard
+
+  /// Serializes stamp assignment + inbox dispatch so every shard's inbox
+  /// stays stamp-ordered even under concurrent ingestion.
+  std::mutex ingest_mutex_;
+  bool started_ = false;                              // guarded by ingest_mutex_
+  std::uint64_t next_stamp_ = 1;                      // guarded by ingest_mutex_
+  std::vector<core::SlotRoute> route_scratch_;        // guarded by ingest_mutex_
+  std::vector<std::vector<std::uint32_t>> dispatch_scratch_;  // guarded by ingest_mutex_
+  std::vector<Pending> pending_scratch_;              // guarded by ingest_mutex_
+
+  /// Guards the merge frontier and runtime counters (poll vs ingest).
+  mutable std::mutex merge_mutex_;
+  std::deque<Pending> pending_;  // ascending stamp
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t replicated_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t instances_ = 0;
+  std::vector<core::Emission> gather_scratch_;  // guarded by merge_mutex_
+};
+
+}  // namespace stem::runtime

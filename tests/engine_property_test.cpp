@@ -162,6 +162,68 @@ TEST_P(JoinOracleTest, SingleSlotThresholdMatchesDirectEvaluation) {
   EXPECT_EQ(detected, expected);
 }
 
+TEST_P(JoinOracleTest, ObserveBatchOfStampSortedShuffleMatchesPerArrivalObserve) {
+  // Deflake guard for the batched API: every random stream is seeded
+  // explicitly from the test parameter (no ambient randomness), the
+  // arrivals are shuffled with a second explicitly-seeded stream, then
+  // stamp-sorted back into occurrence order. observe_batch over the
+  // reordered-then-sorted batch must match the per-arrival observe loop
+  // exactly — batching changes amortization, never semantics.
+  sim::Rng stream_rng(GetParam() ^ 0xba7cULL);
+  const RandomStream stream = make_stream(stream_rng, 20, seconds(1));
+
+  std::vector<Entity> arrivals;
+  for (std::size_t i = 0; i < stream.xs.size(); ++i) {
+    arrivals.push_back(stream.xs[i]);
+    arrivals.push_back(stream.ys[i]);
+  }
+  // Shuffle (Fisher–Yates with the explicit seed), then restore stamp
+  // order: the batch contract requires arrivals in time order, and a
+  // shuffled source must canonicalize to the same stream.
+  sim::Rng shuffle_rng(GetParam() ^ 0x0fffULL);
+  for (std::size_t i = arrivals.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        shuffle_rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(arrivals[i - 1], arrivals[j]);
+  }
+  std::sort(arrivals.begin(), arrivals.end(), [](const Entity& a, const Entity& b) {
+    return a.occurrence_time().end() < b.occurrence_time().end();
+  });
+  std::vector<TimePoint> nows;
+  for (const Entity& e : arrivals) nows.push_back(e.occurrence_time().end());
+
+  EventDefinition def{EventTypeId("J"),
+                      {{"x", SlotFilter::observation(SensorId("SRx"))},
+                       {"y", SlotFilter::observation(SensorId("SRy"))}},
+                      c_and({c_time(0, time_model::TemporalOp::kBefore, 1),
+                             c_distance(0, 1, RelationalOp::kLt, 10.0)}),
+                      seconds(5),
+                      {},
+                      ConsumptionMode::kUnrestricted};
+  DetectionEngine batched(ObserverId("SINK"), Layer::kCyberPhysical, {0, 0});
+  DetectionEngine looped(ObserverId("SINK"), Layer::kCyberPhysical, {0, 0});
+  batched.add_definition(def);
+  looped.add_definition(def);
+
+  const auto batch_out = batched.observe_batch(arrivals, nows);
+  std::vector<EventInstance> loop_out;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    for (EventInstance& inst : looped.observe(arrivals[i], nows[i])) {
+      loop_out.push_back(std::move(inst));
+    }
+  }
+
+  ASSERT_EQ(batch_out.size(), loop_out.size()) << "seed " << GetParam();
+  for (std::size_t k = 0; k < batch_out.size(); ++k) {
+    EXPECT_EQ(batch_out[k].key, loop_out[k].key) << "seed " << GetParam();
+    ASSERT_EQ(batch_out[k].provenance.size(), loop_out[k].provenance.size());
+    for (std::size_t p = 0; p < batch_out[k].provenance.size(); ++p) {
+      EXPECT_EQ(batch_out[k].provenance[p], loop_out[k].provenance[p]) << "seed " << GetParam();
+    }
+  }
+  EXPECT_EQ(batched.stats(), looped.stats()) << "seed " << GetParam();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, JoinOracleTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
 

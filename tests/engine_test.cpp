@@ -328,6 +328,54 @@ TEST(DetectionEngineTest, StatsCountersAdvance) {
   EXPECT_EQ(s.instances_out, 1u);
 }
 
+TEST(DetectionEngineTest, ObserveBatchStatsEqualObserveLoop) {
+  // observe_batch must be exactly the observe loop: same instances in the
+  // same order and — the shard-safe stats contract — the same counters.
+  DetectionEngine batched(ObserverId("MT1"), Layer::kSensor, {0, 0});
+  DetectionEngine looped(ObserverId("MT1"), Layer::kSensor, {0, 0});
+  for (DetectionEngine* eng : {&batched, &looped}) {
+    eng->add_definition(threshold_def());
+    eng->add_definition(s1_def());
+  }
+
+  std::vector<Entity> entities;
+  std::vector<TimePoint> nows;
+  for (int i = 0; i < 24; ++i) {
+    const auto t = TimePoint(static_cast<time_model::Tick>(10 * i));
+    const char* sensor = i % 3 == 0 ? "SRtemp" : (i % 3 == 1 ? "SRx" : "SRy");
+    const char* mote = i % 3 == 1 ? "MT1" : "MT2";
+    entities.push_back(Entity(obs(mote, sensor, static_cast<std::uint64_t>(i), t,
+                                  {static_cast<double>(i % 4), 0}, 20.0 + i)));
+    nows.push_back(t);
+  }
+
+  const auto batch_out = batched.observe_batch(entities, nows);
+  std::vector<EventInstance> loop_out;
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    for (EventInstance& inst : looped.observe(entities[i], nows[i])) {
+      loop_out.push_back(std::move(inst));
+    }
+  }
+
+  EXPECT_GT(batch_out.size(), 0u);
+  ASSERT_EQ(batch_out.size(), loop_out.size());
+  for (std::size_t k = 0; k < batch_out.size(); ++k) {
+    EXPECT_EQ(batch_out[k].key, loop_out[k].key);
+  }
+  EXPECT_EQ(batched.stats(), looped.stats());
+  EXPECT_EQ(batched.stats().instances_out, batch_out.size());
+  EXPECT_EQ(batched.stats().entities_in, entities.size());
+}
+
+TEST(DetectionEngineTest, ObserveBatchRejectsMismatchedSpans) {
+  DetectionEngine eng(ObserverId("MT1"), Layer::kSensor, {0, 0});
+  eng.add_definition(threshold_def());
+  const std::vector<Entity> entities{
+      Entity(obs("MT1", "SRtemp", 0, TimePoint(10), {0, 0}, 30.0))};
+  const std::vector<TimePoint> nows{TimePoint(10), TimePoint(20)};
+  EXPECT_THROW((void)eng.observe_batch(entities, nows), std::invalid_argument);
+}
+
 TEST(DetectionEngineTest, MultipleDefinitionsShareEngine) {
   DetectionEngine eng(ObserverId("MT1"), Layer::kSensor, {0, 0});
   eng.add_definition(threshold_def("HOT"));

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "core/engine.hpp"
 #include "net/broker.hpp"
 #include "net/network.hpp"
+#include "runtime/sharded_runtime.hpp"
 
 namespace stem::net {
 namespace {
@@ -210,6 +212,88 @@ TEST_F(BrokerFixture, ObservationTopicUsesSensorName) {
   EXPECT_EQ(Broker::topic_of(Entity(obs)), "obs:SRtemp");
   EXPECT_EQ(Broker::topic_of(Entity(make_instance("CP1"))), "CP1");
   EXPECT_EQ(Broker::command_topic(NodeId("AR2")), "cmd:AR2");
+}
+
+TEST_F(BrokerFixture, AttachedRuntimeMatchesSequentialEngine) {
+  // Entities published through the broker are ingested into the attached
+  // sharded runtime at their delivery time; the merged stream must equal a
+  // sequential engine observing the same entities at the same times. Zero
+  // latency/jitter links make delivery times equal the scheduled publish
+  // times, so the reference is exact.
+  LinkSpec instant;
+  instant.base_latency = milliseconds(0);
+  instant.jitter = milliseconds(0);
+  instant.bytes_per_ms = 0.0;  // no size-dependent term: exact delivery times
+  add_node("pub2");
+  network.connect(NodeId("pub2"), NodeId("broker"), instant);
+
+  const auto make_def = [](const char* id, const char* sensor, double threshold) {
+    return core::EventDefinition{
+        EventTypeId(id),
+        {{"x", core::SlotFilter::observation(core::SensorId(sensor))}},
+        core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt,
+                     threshold),
+        time_model::seconds(60),
+        {},
+        core::ConsumptionMode::kConsume};
+  };
+
+  runtime::RuntimeOptions options;
+  options.shards = 4;
+  runtime::ShardedEngineRuntime rt(ObserverId("CCU"), core::Layer::kCyber, {0, 0}, options);
+  core::DetectionEngine sequential(ObserverId("CCU"), core::Layer::kCyber, {0, 0});
+  for (const char* sensor : {"SRa", "SRb"}) {
+    for (int i = 0; i < 3; ++i) {
+      const std::string id = std::string("HOT_") + sensor + std::to_string(i);
+      rt.add_definition(make_def(id.c_str(), sensor, 20.0 * (i + 1)));
+      sequential.add_definition(make_def(id.c_str(), sensor, 20.0 * (i + 1)));
+    }
+  }
+  broker.attach_runtime(rt);
+
+  // Schedule publishes at known times: singles plus one EntityBatch (the
+  // WSN relay framing that topic fan-out drops but the runtime ingests).
+  std::vector<std::pair<TimePoint, Entity>> expected_feed;
+  for (int i = 0; i < 40; ++i) {
+    core::PhysicalObservation o;
+    o.mote = ObserverId("MT1");
+    o.sensor = core::SensorId(i % 2 == 0 ? "SRa" : "SRb");
+    o.seq = static_cast<std::uint64_t>(i);
+    const TimePoint at = TimePoint(0) + milliseconds(10 * (i + 1));
+    o.time = at;
+    o.location = geom::Location(geom::Point{1.0 * i, 0});
+    o.attributes.set("value", 7.0 * (i % 13));
+    expected_feed.emplace_back(at, Entity(std::move(o)));
+  }
+  for (std::size_t i = 0; i + 4 <= expected_feed.size(); i += 4) {
+    const TimePoint at = expected_feed[i + 3].first;
+    if (i % 8 == 0) {
+      EntityBatch batch;
+      for (std::size_t k = i; k < i + 4; ++k) batch.entities.push_back(expected_feed[k].second);
+      simulator.schedule_at(at, [this, batch] { broker.publish(NodeId("pub2"), batch); });
+      // The whole batch is ingested at the batch's delivery time.
+      for (std::size_t k = i; k < i + 4; ++k) expected_feed[k].first = at;
+    } else {
+      for (std::size_t k = i; k < i + 4; ++k) {
+        const Entity& e = expected_feed[k].second;
+        simulator.schedule_at(expected_feed[k].first,
+                              [this, e] { broker.publish(NodeId("pub2"), e); });
+      }
+    }
+  }
+  simulator.run();
+
+  std::vector<EventInstance> want;
+  for (const auto& [at, entity] : expected_feed) {
+    for (EventInstance& inst : sequential.observe(entity, at)) want.push_back(std::move(inst));
+  }
+  const std::vector<EventInstance> got = rt.flush();
+  ASSERT_EQ(got.size(), want.size());
+  ASSERT_GT(got.size(), 0u);
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    EXPECT_EQ(got[k].key, want[k].key);
+    EXPECT_EQ(got[k].gen_time, want[k].gen_time);
+  }
 }
 
 }  // namespace

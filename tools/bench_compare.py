@@ -3,12 +3,22 @@
 
 Usage:
   tools/bench_compare.py FRESH BASELINE [--tolerance PCT]
+      [--tolerance-for PREFIX=PCT ...]
 
 FRESH and BASELINE are either two BENCH_*.json files or two directories
 holding them (matched by file name). For every benchmark name present in
 both files, the tracked counter (items_per_second when reported, else
 inverse cpu_time) is compared; the script exits nonzero when any
 benchmark regresses by more than --tolerance percent (default 10).
+
+Wall-clock benchmark families are noisier than single-threaded CPU-time
+ones — the sharded-runtime families (BM_ShardScaling, and anything else
+measured with UseRealTime) depend on scheduler behavior and machine
+load. --tolerance-for overrides the tolerance for every benchmark whose
+name starts with PREFIX (longest matching prefix wins), e.g.:
+
+  tools/bench_compare.py fresh/ bench/baselines \
+      --tolerance-for BM_ShardScaling=25
 
 Benchmarks present on only one side are reported but never fail the
 comparison, so adding or retiring benchmarks does not break the gate.
@@ -41,7 +51,19 @@ def load_rates(path):
     return rates
 
 
-def compare_file(fresh_path, base_path, tolerance):
+def tolerance_of(name, default, overrides):
+    """Tolerance for one benchmark: the longest matching --tolerance-for
+    prefix wins, falling back to the global --tolerance."""
+    best_len = -1
+    best = default
+    for prefix, pct in overrides:
+        if name.startswith(prefix) and len(prefix) > best_len:
+            best_len = len(prefix)
+            best = pct
+    return best
+
+
+def compare_file(fresh_path, base_path, tolerance, overrides=()):
     fresh = load_rates(fresh_path)
     base = load_rates(base_path)
     failures = []
@@ -56,9 +78,10 @@ def compare_file(fresh_path, base_path, tolerance):
             continue
         if old <= 0:
             continue
+        allowed = tolerance_of(name, tolerance, overrides)
         delta = (new - old) / old * 100.0
         marker = ""
-        if delta < -tolerance:
+        if delta < -allowed:
             marker = "  <-- REGRESSION"
             failures.append((name, delta))
         print(f"  {name:<40} {old:>14.4g} -> {new:>14.4g} {unit:<10} {delta:+7.1f}%{marker}")
@@ -88,7 +111,22 @@ def main():
     parser.add_argument("baseline", help="baseline BENCH_*.json file or directory")
     parser.add_argument("--tolerance", type=float, default=10.0,
                         help="allowed regression in percent (default 10)")
+    parser.add_argument("--tolerance-for", action="append", default=[],
+                        metavar="PREFIX=PCT",
+                        help="per-family tolerance override, e.g. BM_ShardScaling=25; "
+                             "applies to every benchmark whose name starts with PREFIX "
+                             "(repeatable; longest matching prefix wins)")
     args = parser.parse_args()
+
+    overrides = []
+    for spec in args.tolerance_for:
+        prefix, sep, pct = spec.partition("=")
+        if not sep or not prefix:
+            parser.error(f"--tolerance-for expects PREFIX=PCT, got {spec!r}")
+        try:
+            overrides.append((prefix, float(pct)))
+        except ValueError:
+            parser.error(f"--tolerance-for expects a numeric PCT, got {spec!r}")
 
     if os.path.isfile(args.fresh) != os.path.isfile(args.baseline):
         parser.error("fresh and baseline must both be files or both be directories")
@@ -101,11 +139,11 @@ def main():
     failures = []
     for fresh_path, base_path in pairs:
         print(f"{os.path.basename(fresh_path)}:")
-        failures += compare_file(fresh_path, base_path, args.tolerance)
+        failures += compare_file(fresh_path, base_path, args.tolerance, overrides)
 
     if failures:
-        print(f"\n{len(failures)} benchmark(s) regressed more than "
-              f"{args.tolerance:.0f}%:", file=sys.stderr)
+        print(f"\n{len(failures)} benchmark(s) regressed beyond tolerance:",
+              file=sys.stderr)
         for name, delta in failures:
             print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
         return 1

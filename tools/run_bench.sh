@@ -98,4 +98,15 @@ print(f"engine throughput (64 defs): {fmt(rate('BENCH_e11_engine_throughput.json
 print(f"temporal op (before, i-i):   {fmt(rate('BENCH_e1_temporal_ops.json', 'BM_TemporalOp/before_ii'))} ops/s")
 print(f"allen classify:              {fmt(rate('BENCH_e1_temporal_ops.json', 'BM_AllenClassify'))} ops/s")
 print(f"spatial point-in-field (64): {fmt(spatial)} ops/s")
+
+# Sharded-runtime families (BM_ShardScaling/0 is the sequential reference
+# engine on the same 64-definition workload; /N runs N worker shards —
+# UseRealTime appends the /real_time suffix). Shard speedup is meaningful
+# only with >= as many cores as shards.
+seq = rate("BENCH_e11_engine_throughput.json", "BM_ShardScaling/0/real_time")
+for shards in (1, 2, 4, 8):
+    r = rate("BENCH_e11_engine_throughput.json", f"BM_ShardScaling/{shards}/real_time")
+    speedup = "n/a" if not (r and seq) else f"{r / seq:.2f}x vs sequential"
+    print(f"shard scaling ({shards} shard{'s' if shards > 1 else ''}):     {fmt(r)} entities/s ({speedup})")
+print(f"batched ingest (batch=256):  {fmt(rate('BENCH_e11_engine_throughput.json', 'BM_BatchSize/256'))} entities/s")
 EOF
