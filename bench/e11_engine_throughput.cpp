@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -268,6 +271,96 @@ void BM_ShardScaling(benchmark::State& state) {
       benchmark::Counter::kAvgThreads);
 }
 
+/// Entities whose sensor follows a skewed (Zipf, s = 1.2) or uniform
+/// distribution over the 8-sensor pool of the scaling workload. Under
+/// Zipf, sensor 0 draws ~45% of the arrivals, so the shard hosting its
+/// definitions saturates while the rest idle — the motivating case for
+/// adaptive rebalancing.
+std::vector<core::Entity> make_dist_entities(std::size_t n, bool zipf) {
+  sim::Rng rng(11);
+  // CDF over 8 sensors: p(k) ~ 1 / (k+1)^1.2.
+  double cdf[8];
+  double total = 0.0;
+  for (int k = 0; k < 8; ++k) total += 1.0 / std::pow(static_cast<double>(k + 1), 1.2);
+  double acc = 0.0;
+  for (int k = 0; k < 8; ++k) {
+    acc += (1.0 / std::pow(static_cast<double>(k + 1), 1.2)) / total;
+    cdf[k] = acc;
+  }
+  std::vector<core::Entity> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t sensor = i % 8;
+    if (zipf) {
+      const double u = rng.uniform();
+      sensor = 0;
+      while (sensor < 7 && u > cdf[sensor]) ++sensor;
+    }
+    core::PhysicalObservation obs;
+    obs.mote = ObserverId(numbered("MT", i % 8));
+    obs.sensor = SensorId(numbered("SR", sensor));
+    obs.seq = i;
+    obs.time = TimePoint(static_cast<time_model::Tick>(i) * 100'000);
+    obs.location = geom::Location(geom::Point{rng.uniform(0, 100), rng.uniform(0, 100)});
+    obs.attributes.set("value", rng.uniform(0, 100));
+    out.push_back(core::Entity(std::move(obs)));
+  }
+  return out;
+}
+
+/// Drives the 64-definition workload through a 4-shard runtime in 256-
+/// arrival batches. `epoch` > 0 turns on automatic rebalancing.
+void run_runtime_workload(benchmark::State& state, const std::vector<core::Entity>& entities,
+                          std::size_t epoch) {
+  constexpr std::size_t kBatch = 256;
+  std::vector<time_model::TimePoint> nows;
+  nows.reserve(entities.size());
+  for (const auto& e : entities) nows.push_back(e.occurrence_time().end());
+  runtime::RuntimeOptions options;
+  options.shards = 4;
+  options.rebalance_epoch = epoch;
+  runtime::ShardedEngineRuntime rt(ObserverId("X"), core::Layer::kSensor, {0, 0}, options);
+  for (EventDefinition& def : scaling_defs()) rt.add_definition(std::move(def));
+  std::size_t i = 0;
+  std::uint64_t produced = 0;
+  for (auto _ : state) {
+    const std::size_t at = (i * kBatch) & 4095;
+    rt.ingest_batch(std::span(entities).subspan(at, kBatch),
+                    std::span(nows).subspan(at, kBatch));
+    auto out = rt.flush();
+    produced += out.size();
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBatch));
+  const auto loads = rt.shard_arrival_loads();
+  const auto total = static_cast<double>(
+      std::accumulate(loads.begin(), loads.end(), std::uint64_t{0}));
+  const auto peak = static_cast<double>(*std::max_element(loads.begin(), loads.end()));
+  // Load-spread headline: 1.0 = perfectly even, 4.0 = one shard owns all.
+  state.counters["max/mean load"] = benchmark::Counter(
+      total > 0 ? peak / (total / static_cast<double>(loads.size())) : 0.0,
+      benchmark::Counter::kAvgThreads);
+  state.counters["migrations"] = benchmark::Counter(
+      static_cast<double>(rt.stats().migrations), benchmark::Counter::kAvgThreads);
+}
+
+/// Skewed vs uniform arrival mix through the sharded runtime with static
+/// placement: quantifies what a pinned hot shard costs end to end.
+void BM_SkewedLoad(benchmark::State& state, bool zipf) {
+  run_runtime_workload(state, make_dist_entities(4096, zipf), /*epoch=*/0);
+}
+
+/// Adaptive rebalancing on/off over the Zipf-skewed mix. On a single-core
+/// host both legs measure queue+merge overhead (see docs: the shard
+/// workers are time-sliced, so spreading load cannot buy wall-clock
+/// time); the `max/mean load` counter still shows the policy narrowing
+/// the spread — re-record on a multi-core host for the throughput delta.
+void BM_Rebalance(benchmark::State& state, bool enabled) {
+  run_runtime_workload(state, make_dist_entities(4096, /*zipf=*/true),
+                       enabled ? 1024 : 0);
+}
+
 /// Batched ingest amortization on a single engine: observe_batch over the
 /// 64-definition workload at batch sizes 1 / 16 / 256. items == entities.
 void BM_BatchSize(benchmark::State& state) {
@@ -299,5 +392,9 @@ BENCHMARK(BM_SpatialJoin)->Arg(64)->Arg(256)->Arg(1024);
 // Arg(0) = sequential reference engine; Arg(N) = N-shard runtime.
 BENCHMARK(BM_ShardScaling)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 BENCHMARK(BM_BatchSize)->Arg(1)->Arg(16)->Arg(256);
+BENCHMARK_CAPTURE(BM_SkewedLoad, uniform, false)->UseRealTime();
+BENCHMARK_CAPTURE(BM_SkewedLoad, zipf, true)->UseRealTime();
+BENCHMARK_CAPTURE(BM_Rebalance, Off, false)->UseRealTime();
+BENCHMARK_CAPTURE(BM_Rebalance, On, true)->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -12,7 +12,7 @@ DetectionEngine::DetectionEngine(ObserverId id, Layer layer, geom::Point locatio
                                  EngineOptions options)
     : id_(std::move(id)), layer_(layer), location_(location), options_(options) {}
 
-void DetectionEngine::add_definition(EventDefinition def) {
+void DetectionEngine::validate_definition(const EventDefinition& def) const {
   if (def.slots.empty()) {
     throw std::invalid_argument("DetectionEngine: definition '" + def.id.value() +
                                 "' declares no slots");
@@ -23,9 +23,20 @@ void DetectionEngine::add_definition(EventDefinition def) {
                                 "' references slot $" + std::to_string(*max) + " but only " +
                                 std::to_string(def.slots.size()) + " slots are declared");
   }
+}
 
-  const auto d = static_cast<std::uint32_t>(defs_.size());
-  DefState ds{std::move(def)};
+std::uint32_t DetectionEngine::alloc_def_slot(EventDefinition def) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t d = free_slots_.back();
+    free_slots_.pop_back();
+    defs_[d] = DefState(std::move(def));
+    return d;
+  }
+  defs_.emplace_back(std::move(def));
+  return static_cast<std::uint32_t>(defs_.size() - 1);
+}
+
+void DetectionEngine::init_def_state(DefState& ds) {
   const std::size_t n = ds.def.slots.size();
   const auto [seq_it, new_type] =
       seq_index_.try_emplace(ds.def.id.value(), static_cast<std::uint32_t>(seq_counters_.size()));
@@ -79,9 +90,129 @@ void DetectionEngine::add_definition(EventDefinition def) {
       }
     }
   }
+}
 
+std::size_t DetectionEngine::add_definition(EventDefinition def) {
+  validate_definition(def);
+  const std::uint32_t d = alloc_def_slot(std::move(def));
+  DefState& ds = defs_[d];
+  init_def_state(ds);
   routing_.add(ds.def, d);
-  defs_.push_back(std::move(ds));
+  ++active_defs_;
+  return d;
+}
+
+DefinitionState DetectionEngine::extract_definition_state(std::size_t def_index) {
+  if (def_index >= defs_.size() || !defs_[def_index].active) {
+    throw std::out_of_range("DetectionEngine: extract of unknown definition index " +
+                            std::to_string(def_index));
+  }
+  DefState& ds = defs_[def_index];
+  routing_.remove(ds.def, static_cast<std::uint32_t>(def_index));
+
+  std::vector<std::vector<DefinitionState::BufferedEntity>> buffers(ds.def.slots.size());
+  for (std::size_t s = 0; s < ds.buffers.size(); ++s) {
+    buffers[s].reserve(ds.buffers[s].size());
+    for (Buffered& b : ds.buffers[s]) {
+      buffers[s].push_back(DefinitionState::BufferedEntity{std::move(b.entity), b.stamp});
+    }
+  }
+  DefinitionState out{std::move(ds.def), seq_counters_[ds.seq_idx], ds.next_prune_at,
+                      std::move(buffers), ds.load_routed, ds.load_tried};
+
+  // Tombstone the slot: release its state but keep the index reserved (a
+  // later implant reuses it), so the indices of the other definitions —
+  // and the tags of their emissions — never shift.
+  ds.active = false;
+  ds.buffers.clear();
+  ds.guards.clear();
+  ds.spatial.clear();
+  ds.spatial_active.clear();
+  ds.cand.clear();
+  ds.next_prune_at = time_model::TimePoint::max();
+  free_slots_.push_back(static_cast<std::uint32_t>(def_index));
+  --active_defs_;
+  return out;
+}
+
+std::size_t DetectionEngine::implant_definition_state(DefinitionState state) {
+  validate_definition(state.def);
+  if (state.buffers.size() != state.def.slots.size()) {
+    throw std::invalid_argument("DetectionEngine: implant of '" + state.def.id.value() + "': " +
+                                std::to_string(state.buffers.size()) + " slot buffers but " +
+                                std::to_string(state.def.slots.size()) + " slots");
+  }
+  const std::uint32_t d = alloc_def_slot(std::move(state.def));
+  DefState& ds = defs_[d];
+  init_def_state(ds);
+  // The source engine held the event type's only live counter (co-located
+  // definitions migrate as a group), so the carried value supersedes any
+  // dormant local one.
+  seq_counters_[ds.seq_idx] = state.seq;
+  ds.load_routed = state.load_routed;
+  ds.load_tried = state.load_tried;
+  ds.next_prune_at = state.next_prune_at;
+  if (ds.next_prune_at < global_prune_at_) global_prune_at_ = ds.next_prune_at;
+
+  if (ds.buffered) {
+    // Renumber the imported stamps into this engine's stamp space. The map
+    // is monotone over the (sorted, deduplicated) old stamps, so ascending
+    // per-slot buffer order and cross-slot same-arrival identity — which
+    // the self-join dedup rule and consume() both compare by stamp — are
+    // preserved, while collisions with future local stamps are impossible.
+    std::vector<std::uint64_t> olds;
+    for (const auto& slot : state.buffers) {
+      for (const auto& b : slot) olds.push_back(b.stamp);
+    }
+    std::sort(olds.begin(), olds.end());
+    olds.erase(std::unique(olds.begin(), olds.end()), olds.end());
+    std::unordered_map<std::uint64_t, std::uint64_t> remap;
+    remap.reserve(olds.size());
+    for (const std::uint64_t old : olds) remap.emplace(old, next_stamp_++);
+    for (std::size_t s = 0; s < state.buffers.size(); ++s) {
+      auto& buf = ds.buffers[s];
+      for (auto& b : state.buffers[s]) {
+        const geom::BoundingBox box = b.entity->location().bbox();
+        buf.push_back(Buffered{std::move(b.entity), remap.at(b.stamp), box});
+      }
+      // Enforce *this* engine's buffer cap: when the source was configured
+      // with a larger max_buffer, the oldest imports are evicted (counted
+      // as evictions, like any cap overflow) — otherwise the over-cap
+      // state would be self-sustaining (insert_buffered evicts only one
+      // entry per insert).
+      while (buf.size() > options_.max_buffer) evict_front(ds, s);
+      if (ds.spatial[s] != nullptr && buf.size() >= kIndexActivate) rebuild_spatial(ds, s);
+    }
+  }
+  routing_.add(ds.def, d);
+  ++active_defs_;
+  return d;
+}
+
+void DetectionEngine::collect_definition_loads(
+    std::vector<std::pair<std::uint32_t, DefinitionLoad>>& out) const {
+  for (std::size_t d = 0; d < defs_.size(); ++d) {
+    const DefState& ds = defs_[d];
+    if (!ds.active) continue;
+    DefinitionLoad load{ds.load_routed, ds.load_tried, 0};
+    for (const auto& buf : ds.buffers) load.buffered += buf.size();
+    out.push_back({static_cast<std::uint32_t>(d), load});
+  }
+}
+
+void DetectionEngine::clear() {
+  for (DefState& ds : defs_) {
+    if (!ds.active) continue;
+    for (std::size_t s = 0; s < ds.buffers.size(); ++s) {
+      ds.buffers[s].clear();
+      if (ds.spatial[s] != nullptr && ds.spatial_active[s] != 0) {
+        ds.spatial[s]->clear();
+        ds.spatial_active[s] = 0;
+      }
+    }
+    ds.next_prune_at = time_model::TimePoint::max();
+  }
+  global_prune_at_ = time_model::TimePoint::max();
 }
 
 void DetectionEngine::evict_front(DefState& ds, std::size_t slot) {
@@ -135,6 +266,7 @@ void DetectionEngine::maybe_prune(time_model::TimePoint now) {
 void DetectionEngine::prune(time_model::TimePoint now) {
   time_model::TimePoint global = time_model::TimePoint::max();
   for (DefState& ds : defs_) {
+    if (!ds.active) continue;
     prune_def(ds, now);
     if (ds.next_prune_at < global) global = ds.next_prune_at;
   }
@@ -232,6 +364,7 @@ void DetectionEngine::observe_impl(const Entity& entity, time_model::TimePoint n
   while (i < matched_routes_.size()) {
     const std::uint32_t d = matched_routes_[i].def_idx;
     DefState& ds = defs_[d];
+    ++ds.load_routed;
     if (!ds.buffered) {  // single-slot: exactly one route, binding is {fresh}
       fire_single(ds, entity, now, sink);
       ++i;
@@ -257,6 +390,7 @@ void DetectionEngine::fire_single(DefState& ds, const Entity& entity, time_model
                                   EmitSink& sink) {
   ds.binding[0] = &entity;
   ++stats_.bindings_tried;
+  ++ds.load_tried;
   const EvalContext ctx(ds.binding.data(), 1);
   if (!eval_condition(ds.def.condition, ctx, options_.eval_mode)) return;
   ++stats_.bindings_matched;
@@ -382,6 +516,7 @@ bool DetectionEngine::emit_binding(DefState& ds, time_model::TimePoint now, Emit
   const std::size_t n = ds.def.slots.size();
   for (std::size_t j = 0; j < n; ++j) ds.binding[j] = ds.chosen[j]->entity.get();
   ++stats_.bindings_tried;
+  ++ds.load_tried;
   const EvalContext ctx(ds.binding.data(), n);
   if (!eval_condition(ds.def.condition, ctx, options_.eval_mode)) return false;
   ++stats_.bindings_matched;

@@ -59,6 +59,39 @@ struct Emission {
   EventInstance instance;
 };
 
+/// Cumulative load attributed to one definition (rebalancing input).
+/// `routed`/`tried` are counters that survive migration (they travel in
+/// DefinitionState); `buffered` is the current buffered-entity gauge.
+struct DefinitionLoad {
+  std::uint64_t routed = 0;    ///< arrivals routed to the definition
+  std::uint64_t tried = 0;     ///< candidate bindings formed for it
+  std::uint64_t buffered = 0;  ///< entities currently held in its buffers
+};
+
+/// The full dynamic state of one definition, extracted from an engine for
+/// implanting into another (live migration between shard engines). The
+/// buffered entities keep their *relative* arrival order via `stamp`;
+/// implanting renumbers them into the destination engine's stamp space so
+/// cross-slot same-arrival identity (self-join dedup, consume) and
+/// ascending buffer order are preserved exactly.
+struct DefinitionState {
+  struct BufferedEntity {
+    std::shared_ptr<const Entity> entity;
+    std::uint64_t stamp = 0;  ///< source-engine arrival stamp (order only)
+  };
+
+  EventDefinition def;
+  /// Instance sequence counter of the definition's event type at
+  /// extraction. Definitions sharing an event type share the counter, so
+  /// a co-located group must migrate together and carries one value.
+  std::uint64_t seq = 0;
+  /// Horizon watermark: earliest instant any buffered entity can expire.
+  time_model::TimePoint next_prune_at = time_model::TimePoint::max();
+  std::vector<std::vector<BufferedEntity>> buffers;  ///< per slot, ascending stamp
+  std::uint64_t load_routed = 0;  ///< cumulative DefinitionLoad::routed
+  std::uint64_t load_tried = 0;   ///< cumulative DefinitionLoad::tried
+};
+
 /// The detection engine: the concrete observer (Def. 4.3) used at every
 /// level of the hierarchy (mote, sink, CCU — Fig. 2).
 ///
@@ -87,15 +120,41 @@ class DetectionEngine : public Observer {
   DetectionEngine(ObserverId id, Layer layer, geom::Point location, EngineOptions options = {});
 
   /// Registers a definition and builds its routing/spatial index entries.
+  /// Returns the definition's index (the tag emitted with its instances).
   /// Throws std::invalid_argument if the condition references a slot index
   /// beyond the declared slots, or if the definition has no slots.
-  void add_definition(EventDefinition def);
+  std::size_t add_definition(EventDefinition def);
+
+  /// Removes the definition at `def_index` and returns its full dynamic
+  /// state (spec, buffered entities, sequence counter, horizon watermark,
+  /// load counters) for implanting into another engine. The index slot is
+  /// retired and reused by a later implant, so the indices of the other
+  /// definitions — and the tags of their emissions — never shift. Throws
+  /// std::out_of_range for an unknown or already-extracted index.
+  [[nodiscard]] DefinitionState extract_definition_state(std::size_t def_index);
+
+  /// Installs a previously extracted definition, rebuilding its routing
+  /// and spatial index entries and renumbering its buffered entities into
+  /// this engine's stamp space. The event type's sequence counter is set
+  /// to the carried value (the source held the only live copy). Returns
+  /// the definition's index in this engine.
+  std::size_t implant_definition_state(DefinitionState state);
+
+  /// Appends (definition index, cumulative load) for every registered
+  /// definition — the per-definition cost attribution a rebalancer needs.
+  void collect_definition_loads(std::vector<std::pair<std::uint32_t, DefinitionLoad>>& out) const;
+
+  /// Drops every buffered entity and resets all horizon watermarks (they
+  /// re-arm as new entities buffer). Definitions, sequence counters, and
+  /// stats are kept; dropped entities are not counted as evicted.
+  void clear();
 
   [[nodiscard]] const ObserverId& id() const override { return id_; }
   [[nodiscard]] Layer layer() const { return layer_; }
   [[nodiscard]] geom::Point location() const { return location_; }
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t definition_count() const { return defs_.size(); }
+  /// Number of currently registered (non-extracted) definitions.
+  [[nodiscard]] std::size_t definition_count() const { return active_defs_; }
 
   std::vector<EventInstance> observe(const Entity& entity, time_model::TimePoint now) override;
 
@@ -234,12 +293,29 @@ class DetectionEngine : public Observer {
     /// per try_bindings call).
     std::vector<std::uint64_t> prep_epoch;  // 64-bit: may never wrap
     std::uint64_t cur_epoch = 0;
+
+    /// Per-definition load attribution (DefinitionLoad counters; they
+    /// migrate with the definition).
+    std::uint64_t load_routed = 0;
+    std::uint64_t load_tried = 0;
+    /// False once the definition was extracted (migrated away); the slot
+    /// is a tombstone awaiting reuse by implant_definition_state, so that
+    /// live definitions keep stable indices.
+    bool active = true;
   };
 
   /// Buffer occupancy at which a retain-mode guarded slot starts (stops)
   /// maintaining its spatial index; hysteresis avoids thrash at the edge.
   static constexpr std::size_t kIndexActivate = 32;
   static constexpr std::size_t kIndexDeactivate = 8;
+
+  /// Shared add/implant validation + registration-time DefState setup
+  /// (guards, spatial backing, scratch, sequence-counter resolution).
+  void validate_definition(const EventDefinition& def) const;
+  void init_def_state(DefState& ds);
+  /// Allocates a definition slot (reusing a tombstone when available) and
+  /// move-constructs `def` into it; returns the slot index.
+  std::uint32_t alloc_def_slot(EventDefinition def);
 
   void maybe_prune(time_model::TimePoint now);
   void prune_def(DefState& ds, time_model::TimePoint now);
@@ -269,6 +345,8 @@ class DetectionEngine : public Observer {
   geom::Point location_;
   EngineOptions options_;
   std::vector<DefState> defs_;
+  std::vector<std::uint32_t> free_slots_;  ///< tombstoned indices, reused by implant
+  std::size_t active_defs_ = 0;
 
   /// Routing index over this engine's definitions (see core/routing.hpp;
   /// shared with the sharded runtime, which keys the same structure by

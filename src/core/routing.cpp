@@ -1,17 +1,42 @@
 #include "core/routing.hpp"
 
+#include <stdexcept>
+
 #include "core/condition.hpp"
 
 namespace stem::core {
 
-void RoutingIndex::insert_sorted(std::vector<SlotRoute>& routes, SlotRoute r) {
+void RoutingIndex::insert_sorted(std::vector<SlotRoute>& routes, std::vector<std::uint32_t>& refs,
+                                 SlotRoute r) {
   const auto pos = std::lower_bound(routes.begin(), routes.end(), r,
                                     [](const SlotRoute& a, const SlotRoute& b) {
                                       return a.def_idx < b.def_idx ||
                                              (a.def_idx == b.def_idx && a.slot_idx < b.slot_idx);
                                     });
-  if (pos != routes.end() && *pos == r) return;  // collapsed duplicate
+  const auto at = static_cast<std::size_t>(pos - routes.begin());
+  if (pos != routes.end() && *pos == r) {  // collapsed duplicate
+    ++refs[at];
+    return;
+  }
   routes.insert(pos, r);
+  refs.insert(refs.begin() + static_cast<std::ptrdiff_t>(at), 1);
+}
+
+void RoutingIndex::erase_sorted(std::vector<SlotRoute>& routes, std::vector<std::uint32_t>& refs,
+                                SlotRoute r) {
+  const auto pos = std::lower_bound(routes.begin(), routes.end(), r,
+                                    [](const SlotRoute& a, const SlotRoute& b) {
+                                      return a.def_idx < b.def_idx ||
+                                             (a.def_idx == b.def_idx && a.slot_idx < b.slot_idx);
+                                    });
+  if (pos == routes.end() || !(*pos == r)) {
+    throw std::logic_error("RoutingIndex: removing a route that was never registered");
+  }
+  const auto at = static_cast<std::size_t>(pos - routes.begin());
+  if (--refs[at] == 0) {
+    routes.erase(pos);
+    refs.erase(refs.begin() + static_cast<std::ptrdiff_t>(at));
+  }
 }
 
 void RoutingIndex::add(const EventDefinition& def, std::uint32_t def_idx) {
@@ -20,6 +45,14 @@ void RoutingIndex::add(const EventDefinition& def, std::uint32_t def_idx) {
 
 void RoutingIndex::add_collapsed(const EventDefinition& def, std::uint32_t def_idx) {
   add_impl(def, def_idx, /*collapse=*/true);
+}
+
+void RoutingIndex::remove(const EventDefinition& def, std::uint32_t def_idx) {
+  remove_impl(def, def_idx, /*collapse=*/false);
+}
+
+void RoutingIndex::remove_collapsed(const EventDefinition& def, std::uint32_t def_idx) {
+  remove_impl(def, def_idx, /*collapse=*/true);
 }
 
 void RoutingIndex::add_impl(const EventDefinition& def, std::uint32_t def_idx, bool collapse) {
@@ -34,10 +67,42 @@ void RoutingIndex::add_impl(const EventDefinition& def, std::uint32_t def_idx, b
         register_keyed(by_type_[sig.key], def, r);
         break;
       case FilterSignature::Kind::kAny:
-        insert_sorted(any_, r);
+        insert_sorted(any_, any_refs_, r);
         break;
       case FilterSignature::Kind::kNever:
         break;  // matches nothing: route nowhere
+    }
+  }
+}
+
+void RoutingIndex::remove_impl(const EventDefinition& def, std::uint32_t def_idx, bool collapse) {
+  for (std::uint32_t j = 0; j < def.slots.size(); ++j) {
+    const SlotRoute r{def_idx, collapse ? 0 : j};
+    const FilterSignature sig = def.slots[j].filter.signature();
+    switch (sig.kind) {
+      case FilterSignature::Kind::kSensor: {
+        const auto it = by_sensor_.find(sig.key);
+        if (it == by_sensor_.end()) {
+          throw std::logic_error("RoutingIndex: removing from an absent sensor bucket");
+        }
+        unregister_keyed(it->second, def, r);
+        if (it->second.empty()) by_sensor_.erase(it);
+        break;
+      }
+      case FilterSignature::Kind::kEventType: {
+        const auto it = by_type_.find(sig.key);
+        if (it == by_type_.end()) {
+          throw std::logic_error("RoutingIndex: removing from an absent event-type bucket");
+        }
+        unregister_keyed(it->second, def, r);
+        if (it->second.empty()) by_type_.erase(it);
+        break;
+      }
+      case FilterSignature::Kind::kAny:
+        erase_sorted(any_, any_refs_, r);
+        break;
+      case FilterSignature::Kind::kNever:
+        break;
     }
   }
 }
@@ -49,7 +114,7 @@ void RoutingIndex::register_keyed(Bucket& bucket, const EventDefinition& def, Sl
   std::optional<ThresholdSignature> sig;
   if (def.slots.size() == 1) sig = extract_threshold_signature(def.condition);
   if (!sig.has_value()) {
-    insert_sorted(bucket.generic, r);
+    insert_sorted(bucket.generic, bucket.generic_refs, r);
     return;
   }
   ThresholdGroup* group = nullptr;
@@ -60,12 +125,13 @@ void RoutingIndex::register_keyed(Bucket& bucket, const EventDefinition& def, Sl
     }
   }
   if (group == nullptr) {
-    bucket.thresholds.push_back(ThresholdGroup{sig->attribute, {}, {}, {}, {}});
+    bucket.thresholds.push_back(ThresholdGroup{sig->attribute, {}, {}, {}, {}, {}, {}});
     group = &bucket.thresholds.back();
   }
   const bool upper = sig->op == RelationalOp::kGt || sig->op == RelationalOp::kGe;
   auto& entries = upper ? group->above : group->below;
   auto& inclusive = upper ? group->above_ge : group->below_le;
+  auto& refs = upper ? group->above_refs : group->below_refs;
   const auto cmp = [upper](const std::pair<double, SlotRoute>& a, double c) {
     return upper ? a.first < c : a.first > c;  // above ascending, below descending
   };
@@ -73,13 +139,52 @@ void RoutingIndex::register_keyed(Bucket& bucket, const EventDefinition& def, Sl
   const auto at = static_cast<std::size_t>(pos - entries.begin());
   const std::uint8_t want =
       sig->op == RelationalOp::kGe || sig->op == RelationalOp::kLe ? 1 : 0;
-  // Drop exact duplicates (same constant, route, inclusiveness) — only
+  // Refcount exact duplicates (same constant, route, inclusiveness) — only
   // collapsed (shard-level) registration can produce them.
   for (std::size_t k = at; k < entries.size() && entries[k].first == sig->constant; ++k) {
-    if (entries[k].second == r && inclusive[k] == want) return;
+    if (entries[k].second == r && inclusive[k] == want) {
+      ++refs[k];
+      return;
+    }
   }
   entries.insert(pos, {sig->constant, r});
   inclusive.insert(inclusive.begin() + static_cast<std::ptrdiff_t>(at), want);
+  refs.insert(refs.begin() + static_cast<std::ptrdiff_t>(at), 1);
+}
+
+void RoutingIndex::unregister_keyed(Bucket& bucket, const EventDefinition& def, SlotRoute r) {
+  std::optional<ThresholdSignature> sig;
+  if (def.slots.size() == 1) sig = extract_threshold_signature(def.condition);
+  if (!sig.has_value()) {
+    erase_sorted(bucket.generic, bucket.generic_refs, r);
+    return;
+  }
+  for (std::size_t gi = 0; gi < bucket.thresholds.size(); ++gi) {
+    ThresholdGroup& g = bucket.thresholds[gi];
+    if (g.attribute != sig->attribute) continue;
+    const bool upper = sig->op == RelationalOp::kGt || sig->op == RelationalOp::kGe;
+    auto& entries = upper ? g.above : g.below;
+    auto& inclusive = upper ? g.above_ge : g.below_le;
+    auto& refs = upper ? g.above_refs : g.below_refs;
+    const std::uint8_t want =
+        sig->op == RelationalOp::kGe || sig->op == RelationalOp::kLe ? 1 : 0;
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      if (entries[k].first != sig->constant || !(entries[k].second == r) ||
+          inclusive[k] != want) {
+        continue;
+      }
+      if (--refs[k] == 0) {
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(k));
+        inclusive.erase(inclusive.begin() + static_cast<std::ptrdiff_t>(k));
+        refs.erase(refs.begin() + static_cast<std::ptrdiff_t>(k));
+        if (g.empty()) bucket.thresholds.erase(bucket.thresholds.begin() +
+                                               static_cast<std::ptrdiff_t>(gi));
+      }
+      return;
+    }
+    break;
+  }
+  throw std::logic_error("RoutingIndex: removing a threshold route that was never registered");
 }
 
 }  // namespace stem::core

@@ -45,12 +45,22 @@ class RoutingIndex {
   void add(const EventDefinition& def, std::uint32_t def_idx);
 
   /// Shard-level registration: like add(), but collapses every slot to
-  /// slot 0 and drops exact-duplicate routes, so a bucket holds at most
-  /// one generic route per def_idx no matter how many co-located
+  /// slot 0 and reference-counts exact-duplicate routes, so a bucket holds
+  /// at most one generic route per def_idx no matter how many co-located
   /// definitions share the key. For registrars (the sharded runtime) that
   /// only consume the def_idx of collected routes, this keeps the
   /// per-arrival collect() walk O(distinct indexes), not O(definitions).
   void add_collapsed(const EventDefinition& def, std::uint32_t def_idx);
+
+  /// Incrementally unregisters what add(def, def_idx) registered: every
+  /// route entry is reference-counted, so removing one definition leaves
+  /// routes still claimed by other registrations (collapsed co-located
+  /// definitions sharing a key) in place. Buckets and threshold groups
+  /// emptied by the removal are erased. Throws std::logic_error when a
+  /// route to remove is not present (indicates an add/remove mismatch).
+  void remove(const EventDefinition& def, std::uint32_t def_idx);
+  /// Inverse of add_collapsed (same collapsed slot-0 routes).
+  void remove_collapsed(const EventDefinition& def, std::uint32_t def_idx);
 
   /// Collects the routes that can possibly match `entity` into `out` (not
   /// cleared), in ascending (def_idx, slot_idx) order, keeping a route
@@ -140,32 +150,50 @@ class RoutingIndex {
     /// kGt/kGe entries, ascending by constant: every entry with
     /// constant < value fires; at equality only kGe does.
     std::vector<std::pair<double, SlotRoute>> above;
-    std::vector<std::uint8_t> above_ge;  // parallel: 1 = kGe
+    std::vector<std::uint8_t> above_ge;   // parallel: 1 = kGe
+    std::vector<std::uint32_t> above_refs;  // parallel: registrations
     /// kLt/kLe entries, descending by constant (mirror logic).
     std::vector<std::pair<double, SlotRoute>> below;
-    std::vector<std::uint8_t> below_le;  // parallel: 1 = kLe
+    std::vector<std::uint8_t> below_le;   // parallel: 1 = kLe
+    std::vector<std::uint32_t> below_refs;  // parallel: registrations
+
+    [[nodiscard]] bool empty() const { return above.empty() && below.empty(); }
   };
 
   /// One routing bucket (per sensor / event type): generic (def, slot)
-  /// routes plus the threshold sub-index.
+  /// routes plus the threshold sub-index. The parallel refcount vector
+  /// never participates in collect() — it only arbitrates add/remove of
+  /// collapsed duplicates.
   struct Bucket {
     std::vector<SlotRoute> generic;  // sorted by (def_idx, slot_idx)
+    std::vector<std::uint32_t> generic_refs;  // parallel: registrations
     std::vector<ThresholdGroup> thresholds;
+
+    [[nodiscard]] bool empty() const { return generic.empty() && thresholds.empty(); }
   };
 
   void add_impl(const EventDefinition& def, std::uint32_t def_idx, bool collapse);
+  void remove_impl(const EventDefinition& def, std::uint32_t def_idx, bool collapse);
 
   /// Registers a keyed route, diverting eligible single-slot threshold
   /// definitions into the bucket's threshold sub-index.
   void register_keyed(Bucket& bucket, const EventDefinition& def, SlotRoute r);
+  /// Inverse of register_keyed; returns whether the bucket became empty.
+  void unregister_keyed(Bucket& bucket, const EventDefinition& def, SlotRoute r);
 
-  /// Inserts `r` in (def_idx, slot_idx) order; exact duplicates (which
-  /// only collapsed registration can produce) are dropped.
-  static void insert_sorted(std::vector<SlotRoute>& routes, SlotRoute r);
+  /// Inserts `r` in (def_idx, slot_idx) order; an exact duplicate (which
+  /// only collapsed registration can produce) bumps its refcount instead.
+  static void insert_sorted(std::vector<SlotRoute>& routes, std::vector<std::uint32_t>& refs,
+                           SlotRoute r);
+  /// Decrements `r`'s refcount, erasing the entry at zero. Throws
+  /// std::logic_error when `r` is absent.
+  static void erase_sorted(std::vector<SlotRoute>& routes, std::vector<std::uint32_t>& refs,
+                           SlotRoute r);
 
   std::unordered_map<std::string, Bucket> by_sensor_;
   std::unordered_map<std::string, Bucket> by_type_;
   std::vector<SlotRoute> any_;  // sorted by (def_idx, slot_idx)
+  std::vector<std::uint32_t> any_refs_;  // parallel: registrations
 };
 
 }  // namespace stem::core

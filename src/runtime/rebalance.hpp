@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stem::runtime {
+
+/// Load attributed to one *definition group* — all definitions sharing an
+/// event type id, the unit of migration (they share an instance sequence
+/// counter, so splitting them would renumber the stream) — over the last
+/// rebalance epoch. Cost units: arrivals routed to the group's
+/// definitions + candidate bindings formed for them (epoch deltas of the
+/// engines' per-definition counters) + entities currently buffered.
+struct GroupLoad {
+  std::uint32_t group = 0;  ///< runtime group index (ShardedEngineRuntime::group_of)
+  std::uint32_t shard = 0;  ///< shard currently hosting the group
+  std::uint64_t cost = 0;
+  /// False while a previous migration of this group is still in flight
+  /// (its implant has not completed); such groups must not be moved.
+  bool movable = true;
+};
+
+/// One epoch's cluster view, handed to the policy. shard_load[s] is the
+/// sum of the costs of the groups hosted on shard s this epoch.
+struct RebalanceView {
+  std::span<const std::uint64_t> shard_load;
+  std::span<const GroupLoad> groups;
+};
+
+/// A policy's instruction: move `group` to shard `to`. The runtime
+/// validates orders (unknown group, out-of-range shard, unmovable group,
+/// or to == current host are ignored) before issuing the migration.
+struct MigrationOrder {
+  std::uint32_t group = 0;
+  std::uint32_t to = 0;
+};
+
+/// Decides, once per epoch, which definition groups to migrate where.
+/// Called under the runtime's ingest lock: implementations must not call
+/// back into the runtime and should be quick.
+class RebalancePolicy {
+ public:
+  virtual ~RebalancePolicy() = default;
+  virtual void decide(const RebalanceView& view, std::vector<MigrationOrder>& out) = 0;
+};
+
+/// Default policy: for every shard whose epoch load exceeds
+/// `overload_factor` x the mean shard load (hottest first), migrate the
+/// highest-cost movable group hosted there to the least-loaded shard —
+/// but only when that *strictly improves* the imbalance
+/// (dest_load + cost < src_load), so a shard that is hot because of one
+/// indivisible group is left alone instead of thrashing the group around.
+/// At most one migration per hot shard per pass; loads are updated
+/// in-place between picks so one pass stays consistent.
+class SpilloverPolicy final : public RebalancePolicy {
+ public:
+  struct Options {
+    double overload_factor = 1.5;  ///< "hot" threshold, in multiples of the mean
+    std::size_t max_migrations = 0;  ///< cap per pass; 0 = one per hot shard
+  };
+
+  SpilloverPolicy() = default;
+  explicit SpilloverPolicy(Options options) : options_(options) {}
+
+  void decide(const RebalanceView& view, std::vector<MigrationOrder>& out) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace stem::runtime

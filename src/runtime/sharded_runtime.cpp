@@ -26,15 +26,20 @@ std::string routing_key(const core::FilterSignature& sig) {
 
 ShardedEngineRuntime::ShardedEngineRuntime(core::ObserverId id, core::Layer layer,
                                            geom::Point location, RuntimeOptions options)
-    : id_(std::move(id)), layer_(layer), location_(location), options_(options) {
+    : id_(std::move(id)), layer_(layer), location_(location), options_(std::move(options)) {
   options_.shards = std::clamp<std::size_t>(options_.shards, 1, 64);
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.rebalance_policy == nullptr) {
+    options_.rebalance_policy = std::make_shared<SpilloverPolicy>();
+  }
+  publish_loads_.store(options_.rebalance_epoch != 0, std::memory_order_relaxed);
   shards_.reserve(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(id_, layer_, location_, options_.engine));
   }
   shard_keys_.resize(options_.shards);
   shard_def_count_.assign(options_.shards, 0);
+  shard_routed_.assign(options_.shards, 0);
   dispatch_scratch_.resize(options_.shards);
   for (auto& shard : shards_) {
     Shard* s = shard.get();
@@ -60,15 +65,17 @@ void ShardedEngineRuntime::add_definition(core::EventDefinition def) {
   const std::lock_guard lk(ingest_mutex_);
   if (started_) {
     throw std::logic_error(
-        "ShardedEngineRuntime: add_definition after ingestion started (placement is static)");
+        "ShardedEngineRuntime: add_definition after ingestion or migration started "
+        "(initial placement is registration-time; use migrate_definition to move groups)");
   }
 
-  // Placement. Same event type => same shard: definitions sharing a type
-  // share an instance sequence counter, and splitting them would renumber
-  // the merged stream relative to a sequential engine.
+  // Placement. Same event type => same group => same shard: definitions
+  // sharing a type share an instance sequence counter, and splitting them
+  // would renumber the merged stream relative to a sequential engine.
   std::uint32_t shard = 0;
-  if (const auto it = type_shard_.find(def.id.value()); it != type_shard_.end()) {
-    shard = it->second;
+  const auto git = type_group_.find(def.id.value());
+  if (git != type_group_.end()) {
+    shard = groups_[git->second].shard;
   } else {
     std::vector<std::string> keys;
     for (const core::SlotSpec& slot : def.slots) {
@@ -94,23 +101,35 @@ void ShardedEngineRuntime::add_definition(core::EventDefinition def) {
   }
 
   // Register with the shard engine first: it validates and may throw, and
-  // must not leave any placement state (type_shard_ included) half-updated.
+  // must not leave any placement state (groups_ included) half-updated.
   Shard& host = *shards_[shard];
-  host.engine.add_definition(def);
+  const auto local = static_cast<std::uint32_t>(host.engine.add_definition(def));
 
-  type_shard_.try_emplace(def.id.value(), shard);
   const auto global = static_cast<std::uint32_t>(def_shard_.size());
-  host.global_def.push_back(global);
+  std::uint32_t group;
+  if (git != type_group_.end()) {
+    group = git->second;
+  } else {
+    group = static_cast<std::uint32_t>(groups_.size());
+    groups_.push_back(Group{{}, shard, nullptr});
+    type_group_.emplace(def.id.value(), group);
+  }
+  groups_[group].defs.push_back(global);
+  def_group_.push_back(group);
+  if (local >= host.global_def.size()) host.global_def.resize(local + 1, 0);
+  host.global_def[local] = global;
+  host.local_of.emplace(global, local);
   def_shard_.push_back(shard);
   ++shard_def_count_[shard];
   for (const core::SlotSpec& slot : def.slots) {
     if (std::string key = routing_key(slot.filter.signature()); !key.empty()) {
-      shard_keys_[shard].insert(std::move(key));
+      ++shard_keys_[shard][std::move(key)];
     }
   }
   // Collapsed: the per-arrival collect() walk stays O(shards) per key,
   // however many co-located definitions share it.
   shard_routes_.add_collapsed(def, shard);
+  def_specs_.push_back(std::move(def));  // retained for migration routing updates
 }
 
 void ShardedEngineRuntime::ingest(const core::Entity& entity, time_model::TimePoint now) {
@@ -167,11 +186,13 @@ void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
       const auto s = static_cast<std::size_t>(std::countr_zero(m));
       dispatch_scratch_[s].push_back(static_cast<std::uint32_t>(i));
       shards_[s]->last_routed = stamp;
+      ++shard_routed_[s];
       ++deliveries;
       if (!first) ++replicated;
       first = false;
     }
   }
+  epoch_arrivals_ += pending_scratch_.size();
   {
     const std::lock_guard merge_lk(merge_mutex_);
     pending_.insert(pending_.end(), pending_scratch_.begin(), pending_scratch_.end());
@@ -195,17 +216,216 @@ void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
                shard.queued_arrivals + count <= options_.queue_capacity;
       });
       if (shard.stop) continue;
-      shard.inbox.push_back(WorkItem{frozen, std::move(dispatch_scratch_[s])});
+      shard.inbox.push_back(WorkItem{frozen, std::move(dispatch_scratch_[s]), nullptr, false});
       dispatch_scratch_[s] = {};
       shard.queued_arrivals += count;
+      if (shard.queued_arrivals > shard.max_queued) shard.max_queued = shard.queued_arrivals;
     }
     shard.work_cv.notify_one();
   }
+
+  // Epoch boundary: let the policy look at the load just attributed.
+  if (options_.rebalance_epoch != 0 && epoch_arrivals_ >= options_.rebalance_epoch) {
+    epoch_arrivals_ = 0;
+    rebalance_locked();
+  }
+}
+
+void ShardedEngineRuntime::push_control(Shard& shard, WorkItem item) {
+  {
+    const std::lock_guard lk(shard.in_mutex);
+    // Control items carry no arrivals: they bypass the capacity check
+    // (blocking here under ingest_mutex_ could stall the very workers
+    // that free the space).
+    shard.inbox.push_back(std::move(item));
+  }
+  shard.work_cv.notify_one();
+}
+
+void ShardedEngineRuntime::issue_migration_locked(std::uint32_t group, std::uint32_t to) {
+  Group& grp = groups_[group];
+  const std::uint32_t from = grp.shard;
+  auto ticket = std::make_shared<MigrationTicket>();
+  ticket->globals = grp.defs;  // ascending global order
+
+  // Flip routing and bookkeeping under the ingest lock: every arrival
+  // stamped before this point was routed to `from` (and is already, or
+  // will be, ahead of the control items in its inbox); every arrival
+  // stamped after is routed to `to` behind the implant item. That is the
+  // epoch barrier.
+  for (const std::uint32_t d : grp.defs) {
+    const core::EventDefinition& def = def_specs_[d];
+    shard_routes_.remove_collapsed(def, from);
+    shard_routes_.add_collapsed(def, to);
+    def_shard_[d] = to;
+    for (const core::SlotSpec& slot : def.slots) {
+      if (std::string key = routing_key(slot.filter.signature()); !key.empty()) {
+        auto& src_keys = shard_keys_[from];
+        if (const auto it = src_keys.find(key); it != src_keys.end() && --(it->second) == 0) {
+          src_keys.erase(it);
+        }
+        ++shard_keys_[to][std::move(key)];
+      }
+    }
+    --shard_def_count_[from];
+    ++shard_def_count_[to];
+  }
+  grp.shard = to;
+  grp.ticket = ticket;
+  ++migrations_;
+  // Placement is now dynamic; worker threads own the local index maps.
+  started_ = true;
+
+  push_control(*shards_[from], WorkItem{nullptr, {}, ticket, true});
+  push_control(*shards_[to], WorkItem{nullptr, {}, ticket, false});
+}
+
+bool ShardedEngineRuntime::migrate_definition(std::size_t def_index, std::size_t to_shard) {
+  std::unique_lock lk(ingest_mutex_);
+  if (def_index >= def_group_.size()) {
+    throw std::out_of_range("ShardedEngineRuntime: unknown definition index " +
+                            std::to_string(def_index));
+  }
+  if (to_shard >= shards_.size()) {
+    throw std::out_of_range("ShardedEngineRuntime: unknown shard " + std::to_string(to_shard));
+  }
+  const std::uint32_t group = def_group_[def_index];
+
+  // Wait out any in-flight migration of this group: its destination
+  // worker must implant before the group can move again (the worker-side
+  // index maps are only consistent at implanted boundaries). The wait
+  // holds no runtime lock, and the implant only needs the two workers to
+  // drain their inboxes, so this always terminates.
+  for (;;) {
+    const std::shared_ptr<MigrationTicket> t = groups_[group].ticket;
+    if (t == nullptr) break;
+    bool done;
+    {
+      const std::lock_guard tlk(t->m);
+      done = t->done;
+    }
+    if (done) break;
+    lk.unlock();
+    {
+      std::unique_lock tlk(t->m);
+      t->cv.wait(tlk, [&] { return t->done; });
+    }
+    lk.lock();
+  }
+
+  if (groups_[group].shard == to_shard) return false;
+  issue_migration_locked(group, static_cast<std::uint32_t>(to_shard));
+  return true;
+}
+
+std::size_t ShardedEngineRuntime::rebalance_now() {
+  // Externally paced rebalancing: from here on the workers publish
+  // per-definition loads (the first pass may still see empty snapshots —
+  // loads trail by design).
+  publish_loads_.store(true, std::memory_order_relaxed);
+  const std::lock_guard lk(ingest_mutex_);
+  epoch_arrivals_ = 0;
+  return rebalance_locked();
+}
+
+std::size_t ShardedEngineRuntime::rebalance_locked() {
+  ++rebalance_passes_;
+  if (def_specs_.empty() || shards_.size() < 2) return 0;
+
+  // Refresh the cumulative per-definition loads from the shards' latest
+  // publications. The snapshots trail in-flight work (and a mid-migration
+  // group is absent from both sides until implanted) — the counters are
+  // monotone per definition, so unattributed work simply lands in a later
+  // epoch.
+  def_load_now_.resize(def_specs_.size());
+  def_load_prev_.resize(def_specs_.size());
+  for (const auto& shard : shards_) {
+    const std::lock_guard lk(shard->out_mutex);
+    for (const auto& [global, load] : shard->published_def_loads) {
+      if (global >= def_load_now_.size()) continue;
+      // Newest wins: the counters are monotone per definition, so if two
+      // snapshots ever mention the same definition (the source's last
+      // pre-migration publication racing the destination's first), the
+      // larger cumulative total is the fresher one.
+      DefTotals& now = def_load_now_[global];
+      if (load.routed + load.tried >= now.routed + now.tried) {
+        now = DefTotals{load.routed, load.tried, load.buffered};
+      }
+    }
+  }
+
+  group_load_scratch_.clear();
+  group_load_scratch_.reserve(groups_.size());
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    const Group& grp = groups_[g];
+    bool movable = true;
+    if (grp.ticket != nullptr) {
+      const std::lock_guard tlk(grp.ticket->m);
+      movable = grp.ticket->done;
+    }
+    group_load_scratch_.push_back(GroupLoad{g, grp.shard, 0, movable});
+  }
+  // Saturating deltas: a (theoretical) stale-over-fresh snapshot must
+  // cost an epoch of attribution, never wrap to ~2^64 and stampede the
+  // policy.
+  const auto sat_delta = [](const std::uint64_t now, const std::uint64_t prev) {
+    return now >= prev ? now - prev : 0;
+  };
+  for (std::uint32_t d = 0; d < def_specs_.size(); ++d) {
+    const DefTotals& now = def_load_now_[d];
+    const DefTotals& prev = def_load_prev_[d];
+    const std::uint64_t delta = sat_delta(now.routed, prev.routed) +
+                                sat_delta(now.tried, prev.tried) + now.buffered;
+    group_load_scratch_[def_group_[d]].cost += delta;
+  }
+  def_load_prev_ = def_load_now_;
+
+  shard_load_scratch_.assign(shards_.size(), 0);
+  for (const GroupLoad& g : group_load_scratch_) shard_load_scratch_[g.shard] += g.cost;
+
+  order_scratch_.clear();
+  options_.rebalance_policy->decide(
+      RebalanceView{shard_load_scratch_, group_load_scratch_}, order_scratch_);
+
+  std::size_t issued = 0;
+  for (const MigrationOrder& order : order_scratch_) {
+    if (order.group >= groups_.size() || order.to >= shards_.size()) continue;
+    if (!group_load_scratch_[order.group].movable) continue;
+    if (groups_[order.group].shard == order.to) continue;
+    issue_migration_locked(order.group, order.to);
+    group_load_scratch_[order.group].movable = false;  // one move per pass
+    ++issued;
+  }
+  return issued;
+}
+
+void ShardedEngineRuntime::publish_work(
+    Shard& shard, std::vector<OutChunk>& chunks, std::uint64_t last_stamp,
+    std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch) {
+  // Per-definition loads are collected only when someone rebalances —
+  // the default static configuration skips this O(definitions) walk.
+  const bool loads = publish_loads_.load(std::memory_order_relaxed);
+  if (loads) {
+    load_scratch.clear();
+    shard.engine.collect_definition_loads(load_scratch);
+    for (auto& [idx, load] : load_scratch) idx = shard.global_def[idx];  // local -> global
+  }
+  {
+    const std::lock_guard lk(shard.out_mutex);
+    for (OutChunk& chunk : chunks) shard.outbox.push_back(std::move(chunk));
+    shard.published_stats = shard.engine.stats();
+    if (loads) shard.published_def_loads = load_scratch;
+    // Publish completion only after the emissions are visible in the
+    // outbox; poll() pairs this release store with an acquire load.
+    shard.watermark.store(last_stamp, std::memory_order_release);
+  }
+  shard.done_cv.notify_all();
 }
 
 void ShardedEngineRuntime::worker_loop(Shard& shard) {
   std::vector<core::Emission> emissions;
   std::vector<OutChunk> chunks;
+  std::vector<std::pair<std::uint32_t, core::DefinitionLoad>> load_scratch;
   for (;;) {
     WorkItem item;
     {
@@ -214,6 +434,67 @@ void ShardedEngineRuntime::worker_loop(Shard& shard) {
       if (shard.inbox.empty()) return;  // stop requested and drained
       item = std::move(shard.inbox.front());
       shard.inbox.pop_front();
+    }
+
+    if (item.batch == nullptr) {
+      // Migration control item, exactly at the epoch barrier of this
+      // shard's stamp-ordered inbox.
+      MigrationTicket& ticket = *item.ticket;
+      if (item.send) {
+        // Every pre-barrier arrival for the group has been processed;
+        // extract its engine state and hand it to the destination worker.
+        std::vector<core::DefinitionState> states;
+        states.reserve(ticket.globals.size());
+        for (const std::uint32_t global : ticket.globals) {
+          // at(): a missing mapping is a bookkeeping bug — fail loudly
+          // (std::terminate via the uncaught throw) over silent UB.
+          states.push_back(shard.engine.extract_definition_state(shard.local_of.at(global)));
+          shard.local_of.erase(global);
+        }
+        // Republish *before* signalling ready: once the destination can
+        // implant (and start publishing the moved definitions' loads),
+        // this shard's published snapshot must no longer list them — two
+        // live publications of one definition would let a stale value
+        // overwrite a newer one in the rebalancer's merge.
+        chunks.clear();
+        publish_work(shard, chunks, shard.watermark.load(std::memory_order_relaxed),
+                     load_scratch);
+        {
+          const std::lock_guard tlk(ticket.m);
+          ticket.states = std::move(states);
+          ticket.ready = true;
+        }
+        ticket.cv.notify_all();
+      } else {
+        // Wait for the source's extraction, then implant before touching
+        // any post-barrier arrival. The wait only depends on the source
+        // worker draining its inbox (send items never block), so chains
+        // of concurrent migrations resolve in decision order.
+        std::vector<core::DefinitionState> states;
+        {
+          std::unique_lock tlk(ticket.m);
+          ticket.cv.wait(tlk, [&] { return ticket.ready; });
+          states = std::move(ticket.states);
+        }
+        for (std::size_t i = 0; i < states.size(); ++i) {
+          const auto local =
+              static_cast<std::uint32_t>(shard.engine.implant_definition_state(std::move(states[i])));
+          if (local >= shard.global_def.size()) shard.global_def.resize(local + 1, 0);
+          shard.global_def[local] = ticket.globals[i];
+          shard.local_of[ticket.globals[i]] = local;
+        }
+        // Republish stats/loads so the rebalancer sees the new layout;
+        // the watermark is unchanged (control items carry no arrivals).
+        chunks.clear();
+        publish_work(shard, chunks, shard.watermark.load(std::memory_order_relaxed),
+                     load_scratch);
+        {
+          const std::lock_guard tlk(ticket.m);
+          ticket.done = true;
+        }
+        ticket.cv.notify_all();
+      }
+      continue;
     }
 
     chunks.clear();
@@ -225,16 +506,7 @@ void ShardedEngineRuntime::worker_loop(Shard& shard) {
       chunks.push_back(OutChunk{item.batch->stamps[i], std::move(emissions)});
       emissions = {};
     }
-    const std::uint64_t last = item.batch->stamps[item.indices.back()];
-    {
-      const std::lock_guard lk(shard.out_mutex);
-      for (OutChunk& chunk : chunks) shard.outbox.push_back(std::move(chunk));
-      shard.published_stats = shard.engine.stats();
-      // Publish completion only after the emissions are visible in the
-      // outbox; poll() pairs this release store with an acquire load.
-      shard.watermark.store(last, std::memory_order_release);
-    }
-    shard.done_cv.notify_all();
+    publish_work(shard, chunks, item.batch->stamps[item.indices.back()], load_scratch);
     {
       const std::lock_guard lk(shard.in_mutex);
       shard.queued_arrivals -= item.indices.size();
@@ -257,7 +529,6 @@ void ShardedEngineRuntime::drain_ready_locked(std::vector<core::EventInstance>& 
     if (!ready) return;  // stream order: nothing later may overtake
 
     gather_scratch_.clear();
-    int sources = 0;
     for (std::uint64_t m = p.mask; m != 0; m &= m - 1) {
       const auto s = static_cast<std::size_t>(std::countr_zero(m));
       Shard& shard = *shards_[s];
@@ -265,15 +536,15 @@ void ShardedEngineRuntime::drain_ready_locked(std::vector<core::EventInstance>& 
       if (!shard.outbox.empty() && shard.outbox.front().stamp == p.stamp) {
         OutChunk chunk = std::move(shard.outbox.front());
         shard.outbox.pop_front();
-        ++sources;
         for (core::Emission& em : chunk.emissions) gather_scratch_.push_back(std::move(em));
       }
     }
-    // Each shard's chunk is already ascending in global definition index
-    // (per-shard registration order is a subsequence of global order), so
-    // the cross-shard merge restores exactly the sequential engine's
-    // within-arrival order.
-    if (sources > 1) {
+    // Restore the sequential engine's within-arrival order: ascending
+    // global definition index, stable so one definition's multiple
+    // bindings keep their enumeration order. (A single shard's chunk is
+    // ascending in *local* registration order, which after a migration is
+    // no longer a subsequence of global order — so sort unconditionally.)
+    if (gather_scratch_.size() > 1) {
       std::stable_sort(gather_scratch_.begin(), gather_scratch_.end(),
                        [](const core::Emission& a, const core::Emission& b) {
                          return a.def < b.def;
@@ -316,6 +587,15 @@ RuntimeStats ShardedEngineRuntime::stats() const {
     const std::lock_guard lk(shard->out_mutex);
     s.engine += shard->published_stats;
   }
+  for (const auto& shard : shards_) {
+    const std::lock_guard lk(shard->in_mutex);
+    if (shard->max_queued > s.max_inbox) s.max_inbox = shard->max_queued;
+  }
+  {
+    const std::lock_guard lk(ingest_mutex_);
+    s.migrations = migrations_;
+    s.rebalance_passes = rebalance_passes_;
+  }
   const std::lock_guard lk(merge_mutex_);
   s.arrivals = arrivals_;
   s.deliveries = deliveries_;
@@ -323,6 +603,26 @@ RuntimeStats ShardedEngineRuntime::stats() const {
   s.dropped = dropped_;
   s.instances = instances_;
   return s;
+}
+
+std::vector<std::uint64_t> ShardedEngineRuntime::shard_arrival_loads() const {
+  const std::lock_guard lk(ingest_mutex_);
+  return shard_routed_;
+}
+
+std::size_t ShardedEngineRuntime::shard_of(std::size_t def_index) const {
+  const std::lock_guard lk(ingest_mutex_);
+  return def_shard_.at(def_index);
+}
+
+std::size_t ShardedEngineRuntime::group_of(std::size_t def_index) const {
+  const std::lock_guard lk(ingest_mutex_);
+  return def_group_.at(def_index);
+}
+
+std::size_t ShardedEngineRuntime::group_count() const {
+  const std::lock_guard lk(ingest_mutex_);
+  return groups_.size();
 }
 
 }  // namespace stem::runtime

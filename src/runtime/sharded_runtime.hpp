@@ -10,11 +10,11 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "core/routing.hpp"
+#include "runtime/rebalance.hpp"
 
 namespace stem::runtime {
 
@@ -26,6 +26,16 @@ struct RuntimeOptions {
   /// while a recipient shard's inbox is full, so an overwhelmed consumer
   /// throttles producers instead of growing queues without bound.
   std::size_t queue_capacity = 4096;
+  /// Arrivals between automatic rebalance-policy passes; 0 disables
+  /// adaptive rebalancing (placement then changes only via
+  /// migrate_definition()). Each pass attributes the epoch's load to
+  /// definition groups from the engines' per-definition counters and lets
+  /// the policy issue migrations.
+  std::size_t rebalance_epoch = 0;
+  /// Policy consulted each epoch; defaults to SpilloverPolicy (migrate the
+  /// highest-cost movable group off any shard above 1.5x the mean load)
+  /// when rebalancing is enabled and no policy is supplied.
+  std::shared_ptr<RebalancePolicy> rebalance_policy;
   /// Options forwarded to every shard's DetectionEngine.
   core::EngineOptions engine;
 };
@@ -42,6 +52,9 @@ struct RuntimeStats {
   std::uint64_t replicated = 0;   ///< deliveries beyond the first per arrival
   std::uint64_t dropped = 0;      ///< arrivals no shard was interested in
   std::uint64_t instances = 0;    ///< instances merged out so far
+  std::uint64_t migrations = 0;   ///< definition-group migrations issued
+  std::uint64_t rebalance_passes = 0;  ///< automatic policy passes run
+  std::uint64_t max_inbox = 0;    ///< high-water inbox depth (arrivals), any shard
 };
 
 /// Multi-core detection runtime: partitions registered definitions across
@@ -50,9 +63,10 @@ struct RuntimeStats {
 ///
 /// **Placement** (add_definition): definitions sharing an event type id
 /// are co-located (their instance sequence numbers share one counter, so
-/// splitting them would renumber the stream); everything else goes to the
-/// least-loaded shard, preferring — among equally loaded shards — one that
-/// already hosts the definition's routing key (sensor / event-type
+/// splitting them would renumber the stream) — they form a *definition
+/// group*, the unit of migration; everything else goes to the
+/// least-loaded shard, preferring — among equally loaded shards — one
+/// that already hosts the definition's routing key (sensor / event-type
 /// bucket), which caps arrival fan-out without unbalancing the shards.
 ///
 /// **Routing** (ingest): a shard-level core::RoutingIndex (the same
@@ -62,6 +76,21 @@ struct RuntimeStats {
 /// shard — in particular, a shard hosting a wildcard definition receives
 /// the full stream. Each definition lives on exactly one shard, so every
 /// instance is produced exactly once.
+///
+/// **Rebalancing** (migrate_definition / rebalance_now / automatic
+/// epochs): initial placement is load-blind, so a skewed stream can pin
+/// one shard. The runtime keeps per-definition load counters (published
+/// by the shard engines), attributes each epoch's cost to definition
+/// groups, and lets a RebalancePolicy move groups between shards *live*:
+/// the group's routing entries flip to the destination under the ingest
+/// lock (an epoch barrier in the arrival stamp order), a pair of control
+/// items flows through the two shards' stamp-ordered inboxes, the source
+/// worker extracts the group's engine state after processing every
+/// pre-barrier arrival (core::DetectionEngine::extract_definition_state),
+/// and the destination worker implants it before processing any
+/// post-barrier arrival — so no instance is dropped, duplicated, or
+/// reordered (tests/runtime_migration_test.cpp proves stream equality
+/// under forced migrations differentially).
 ///
 /// **Ordering** (poll/flush): arrivals are stamped on ingest; each shard
 /// processes its arrivals in stamp order and reports a processed-stamp
@@ -79,9 +108,10 @@ class ShardedEngineRuntime {
   ShardedEngineRuntime& operator=(const ShardedEngineRuntime&) = delete;
 
   /// Registers a definition on its shard (see placement rules above).
-  /// Registration is only allowed before the first ingest — placement is
-  /// static; throws std::logic_error afterwards. Filter/condition
-  /// validation errors propagate from DetectionEngine::add_definition.
+  /// Registration is only allowed before the first ingest — later
+  /// placement changes go through migration; throws std::logic_error
+  /// afterwards. Filter/condition validation errors propagate from
+  /// DetectionEngine::add_definition.
   void add_definition(core::EventDefinition def);
 
   /// Ingests one arrival: stamps it, replicates it to every interested
@@ -106,16 +136,35 @@ class ShardedEngineRuntime {
   /// the remainder of the merged stream.
   [[nodiscard]] std::vector<core::EventInstance> flush();
 
+  /// Moves the definition group (event type) containing the `def_index`-th
+  /// registered definition to `to_shard`, live, at an epoch barrier in the
+  /// arrival stream (see class comment). Returns false when the group
+  /// already lives there. Blocks until any previous migration of the same
+  /// group has been implanted, then issues this one asynchronously (the
+  /// workers complete it in stream order). Thread-safe; callable while
+  /// ingestion is running. Throws std::out_of_range on bad indices.
+  bool migrate_definition(std::size_t def_index, std::size_t to_shard);
+
+  /// Runs one rebalance-policy pass immediately over the load observed
+  /// since the last pass; returns the number of migrations issued. Usable
+  /// with rebalance_epoch == 0 for externally paced rebalancing.
+  std::size_t rebalance_now();
+
   /// Summed counters; exact only at quiescence (see RuntimeStats).
   [[nodiscard]] RuntimeStats stats() const;
 
+  /// Cumulative arrivals delivered to each shard's inbox — the load-
+  /// spread view (max/mean over this is the skew a rebalancer narrows).
+  [[nodiscard]] std::vector<std::uint64_t> shard_arrival_loads() const;
+
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] std::size_t definition_count() const { return def_shard_.size(); }
-  /// Shard hosting the `def_index`-th registered definition (placement
-  /// introspection for tests and load inspection).
-  [[nodiscard]] std::size_t shard_of(std::size_t def_index) const {
-    return def_shard_.at(def_index);
-  }
+  /// Shard currently hosting the `def_index`-th registered definition
+  /// (placement introspection for tests and load inspection).
+  [[nodiscard]] std::size_t shard_of(std::size_t def_index) const;
+  /// Definition group (co-located event type) of a definition.
+  [[nodiscard]] std::size_t group_of(std::size_t def_index) const;
+  [[nodiscard]] std::size_t group_count() const;
 
  private:
   /// A refcounted block of stamped arrivals, shared by all recipient
@@ -126,10 +175,29 @@ class ShardedEngineRuntime {
     std::vector<std::uint64_t> stamps;  ///< 0 = dropped (routed nowhere)
   };
 
-  /// One inbox entry: the indices of `batch` routed to this shard.
+  /// Rendezvous for one group migration: the source worker fills `states`
+  /// and flips `ready`; the destination worker waits for it, implants,
+  /// and flips `done` (migrate_definition of the same group waits on
+  /// `done` before issuing a follow-up move).
+  struct MigrationTicket {
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;  // guarded by m
+    bool done = false;   // guarded by m
+    std::vector<std::uint32_t> globals;  ///< group defs, ascending global index
+    std::vector<core::DefinitionState> states;  ///< parallel to globals
+  };
+
+  /// One inbox entry: either the indices of `batch` routed to this shard,
+  /// or (batch == nullptr) a migration control item — `send` extracts the
+  /// ticket's definitions and publishes them, `!send` waits for the
+  /// states and implants them. Control items ride the stamp-ordered inbox
+  /// so they execute exactly at the migration's epoch barrier.
   struct WorkItem {
     std::shared_ptr<const Batch> batch;
     std::vector<std::uint32_t> indices;  // ascending (stamp order)
+    std::shared_ptr<MigrationTicket> ticket;
+    bool send = false;
   };
 
   /// One processed arrival's emissions (tagged with *global* definition
@@ -146,13 +214,20 @@ class ShardedEngineRuntime {
         : engine(id, layer, location, options) {}
 
     core::DetectionEngine engine;             ///< touched only by the worker
-    std::vector<std::uint32_t> global_def;    ///< local def index -> global
+    /// local def index -> global. Written pre-start by add_definition and
+    /// by the worker at implant time; the inbox mutex hand-off orders the
+    /// pre-start writes before any worker read.
+    std::vector<std::uint32_t> global_def;
+    /// Inverse map (global -> local), worker-owned for the same reason;
+    /// consulted when a send control item extracts a group.
+    std::unordered_map<std::uint32_t, std::uint32_t> local_of;
 
     std::mutex in_mutex;                      ///< guards inbox/queued/stop
     std::condition_variable work_cv;          ///< worker waits for work
     std::condition_variable space_cv;         ///< producers wait for space
     std::deque<WorkItem> inbox;
     std::size_t queued_arrivals = 0;          ///< inbox + in-flight arrivals
+    std::uint64_t max_queued = 0;             ///< high-water queued_arrivals
     bool stop = false;
 
     std::mutex out_mutex;                     ///< guards outbox/watermark pub
@@ -163,6 +238,9 @@ class ShardedEngineRuntime {
     /// the worker may touch), so concurrent stats() is race-free — merely
     /// trailing the in-flight work until flush().
     core::EngineStats published_stats;        ///< guarded by out_mutex
+    /// Per-definition cumulative loads, keyed by *global* index, published
+    /// alongside published_stats; the rebalancer's cost attribution.
+    std::vector<std::pair<std::uint32_t, core::DefinitionLoad>> published_def_loads;
     /// Highest stamp this shard has fully processed (its arrivals are
     /// stamp-ordered, so everything routed to it up to the watermark is
     /// done). Written under out_mutex *after* the matching outbox push;
@@ -179,31 +257,76 @@ class ShardedEngineRuntime {
     std::uint64_t mask = 0;
   };
 
+  /// A definition group: the co-located definitions of one event type.
+  struct Group {
+    std::vector<std::uint32_t> defs;  ///< global indices, ascending
+    std::uint32_t shard = 0;          ///< current host (guarded by ingest_mutex_)
+    std::shared_ptr<MigrationTicket> ticket;  ///< last migration; null if none
+  };
+
+  /// Cumulative per-definition load totals (rebalance epoch deltas).
+  struct DefTotals {
+    std::uint64_t routed = 0;
+    std::uint64_t tried = 0;
+    std::uint64_t buffered = 0;  ///< gauge, not deltaed
+  };
+
   void worker_loop(Shard& shard);
+  /// Publishes outbox chunks + stats/def-load snapshots and the watermark.
+  void publish_work(Shard& shard, std::vector<OutChunk>& chunks, std::uint64_t last_stamp,
+                    std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch);
   /// Appends merged instances that are ready; merge_mutex_ must be held.
   void drain_ready_locked(std::vector<core::EventInstance>& out);
+  /// Flips routing/bookkeeping of `group` to `to` and enqueues the
+  /// extract/implant control pair; ingest_mutex_ must be held and the
+  /// group must have no migration in flight.
+  void issue_migration_locked(std::uint32_t group, std::uint32_t to);
+  /// One policy pass over the epoch's group loads; ingest_mutex_ held.
+  std::size_t rebalance_locked();
+  /// Enqueues a control item, bypassing capacity (it carries no arrivals).
+  static void push_control(Shard& shard, WorkItem item);
 
   core::ObserverId id_;
   core::Layer layer_;
   geom::Point location_;
   RuntimeOptions options_;
+  /// Whether workers publish per-definition loads with each work item.
+  /// False on the default configuration (rebalancing disabled and
+  /// rebalance_now() never called), so the hot path skips the
+  /// O(definitions) collection+copy entirely.
+  std::atomic<bool> publish_loads_{false};
   std::vector<std::unique_ptr<Shard>> shards_;
 
   /// Shard-level routing: def_idx in these routes is a *shard* index.
   core::RoutingIndex shard_routes_;
-  std::unordered_map<std::string, std::uint32_t> type_shard_;  ///< co-location
-  std::vector<std::unordered_set<std::string>> shard_keys_;    ///< hosted routing keys
+  std::unordered_map<std::string, std::uint32_t> type_group_;  ///< event type -> group
+  std::vector<Group> groups_;                    // guarded by ingest_mutex_
+  std::vector<core::EventDefinition> def_specs_;  ///< registration copies (routing updates)
+  std::vector<std::uint32_t> def_group_;  ///< global def index -> group
+  /// Routing keys hosted per shard, refcounted (placement affinity; keys
+  /// follow their definitions on migration).
+  std::vector<std::unordered_map<std::string, std::uint32_t>> shard_keys_;
   std::vector<std::size_t> shard_def_count_;
   std::vector<std::uint32_t> def_shard_;  ///< global def index -> shard
 
   /// Serializes stamp assignment + inbox dispatch so every shard's inbox
-  /// stays stamp-ordered even under concurrent ingestion.
-  std::mutex ingest_mutex_;
+  /// stays stamp-ordered even under concurrent ingestion. Also guards all
+  /// placement state (groups_, def_shard_, shard_routes_, epoch loads).
+  mutable std::mutex ingest_mutex_;
   bool started_ = false;                              // guarded by ingest_mutex_
   std::uint64_t next_stamp_ = 1;                      // guarded by ingest_mutex_
   std::vector<core::SlotRoute> route_scratch_;        // guarded by ingest_mutex_
   std::vector<std::vector<std::uint32_t>> dispatch_scratch_;  // guarded by ingest_mutex_
   std::vector<Pending> pending_scratch_;              // guarded by ingest_mutex_
+  std::vector<std::uint64_t> shard_routed_;           // guarded by ingest_mutex_
+  std::uint64_t epoch_arrivals_ = 0;                  // guarded by ingest_mutex_
+  std::uint64_t migrations_ = 0;                      // guarded by ingest_mutex_
+  std::uint64_t rebalance_passes_ = 0;                // guarded by ingest_mutex_
+  std::vector<DefTotals> def_load_now_;               // guarded by ingest_mutex_
+  std::vector<DefTotals> def_load_prev_;              // guarded by ingest_mutex_
+  std::vector<MigrationOrder> order_scratch_;         // guarded by ingest_mutex_
+  std::vector<GroupLoad> group_load_scratch_;         // guarded by ingest_mutex_
+  std::vector<std::uint64_t> shard_load_scratch_;     // guarded by ingest_mutex_
 
   /// Guards the merge frontier and runtime counters (poll vs ingest).
   mutable std::mutex merge_mutex_;

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+
+/// Horizon-watermark pruning edge cases, locking in the amortized-prune
+/// semantics: an entity is evictable strictly *after* `occurrence end +
+/// window` (arrival exactly at the horizon still binds), a zero-length
+/// window keeps only same-instant partners, and clear() resets the
+/// watermarks (no phantom evictions, and they re-arm for new entities).
+
+namespace stem::core {
+namespace {
+
+using geom::Location;
+using geom::Point;
+using time_model::Duration;
+using time_model::seconds;
+using time_model::TimePoint;
+
+PhysicalObservation obs(const char* sensor, std::uint64_t seq, TimePoint t, Point where,
+                        double value) {
+  PhysicalObservation o;
+  o.mote = ObserverId("MT1");
+  o.sensor = SensorId(sensor);
+  o.seq = seq;
+  o.time = t;
+  o.location = Location(where);
+  o.attributes.set("value", value);
+  return o;
+}
+
+/// Two-slot join over one sensor: x before y, both within `window`.
+EventDefinition pair_def(Duration window) {
+  return EventDefinition{EventTypeId("PAIR"),
+                         {{"x", SlotFilter::observation(SensorId("SR"))},
+                          {"y", SlotFilter::observation(SensorId("SR"))}},
+                         c_time(0, time_model::TemporalOp::kBefore, 1),
+                         window,
+                         {},
+                         ConsumptionMode::kUnrestricted};
+}
+
+TEST(EnginePruneTest, ArrivalExactlyAtHorizonStillBinds) {
+  DetectionEngine eng(ObserverId("OB"), Layer::kSensor, {0, 0});
+  eng.add_definition(pair_def(seconds(10)));
+
+  const TimePoint t0(1'000'000);
+  ASSERT_TRUE(eng.observe(Entity(obs("SR", 0, t0, {0, 0}, 1.0)), t0).empty());
+
+  // now == t0 + window: the horizon is exactly t0; eviction requires
+  // end < horizon, so the buffered entity is still eligible and binds.
+  const TimePoint at_horizon = t0 + seconds(10);
+  const auto hit = eng.observe(Entity(obs("SR", 1, at_horizon, {0, 0}, 2.0)), at_horizon);
+  EXPECT_EQ(hit.size(), 1u);
+  EXPECT_EQ(eng.stats().evicted, 0u);
+}
+
+TEST(EnginePruneTest, OneTickPastHorizonEvicts) {
+  DetectionEngine eng(ObserverId("OB"), Layer::kSensor, {0, 0});
+  eng.add_definition(pair_def(seconds(10)));
+
+  const TimePoint t0(1'000'000);
+  ASSERT_TRUE(eng.observe(Entity(obs("SR", 0, t0, {0, 0}, 1.0)), t0).empty());
+
+  const TimePoint past = t0 + seconds(10) + Duration(1);
+  const auto miss = eng.observe(Entity(obs("SR", 1, past, {0, 0}, 2.0)), past);
+  EXPECT_TRUE(miss.empty());
+  // Evicted from both slot buffers before the binding attempt.
+  EXPECT_EQ(eng.stats().evicted, 2u);
+}
+
+TEST(EnginePruneTest, ZeroLengthWindowKeepsOnlySameInstantPartners) {
+  DetectionEngine eng(ObserverId("OB"), Layer::kSensor, {0, 0});
+  // Window 0: horizon == now, so anything with end < now is evicted the
+  // moment pruning runs; only same-instant entities may still join.
+  EventDefinition def = pair_def(Duration::zero());
+  // Time-agnostic, but distance > 0 so the entity cannot pair with its
+  // own two-slot insertion (distance to itself is 0).
+  def.condition = c_distance(0, 1, RelationalOp::kGt, 0.0);
+  eng.add_definition(def);
+
+  const TimePoint t0(2'000'000);
+  ASSERT_TRUE(eng.observe(Entity(obs("SR", 0, t0, {1, 1}, 1.0)), t0).empty());
+
+  // Same instant: both directions of the pair bind (x=old/y=new and the
+  // self-pairing rules keep it to exactly the cross pairings).
+  const auto same = eng.observe(Entity(obs("SR", 1, t0, {2, 2}, 2.0)), t0);
+  EXPECT_EQ(same.size(), 2u);
+  EXPECT_EQ(eng.stats().evicted, 0u);
+
+  // One tick later, everything buffered at t0 is past the horizon.
+  const TimePoint t1 = t0 + Duration(1);
+  const auto later = eng.observe(Entity(obs("SR", 2, t1, {3, 3}, 3.0)), t1);
+  EXPECT_TRUE(later.empty());
+  EXPECT_EQ(eng.stats().evicted, 4u);  // two entities x two slots
+}
+
+TEST(EnginePruneTest, ClearResetsWatermarksWithoutCountingEvictions) {
+  DetectionEngine eng(ObserverId("OB"), Layer::kSensor, {0, 0});
+  eng.add_definition(pair_def(seconds(5)));
+
+  const TimePoint t0(3'000'000);
+  ASSERT_TRUE(eng.observe(Entity(obs("SR", 0, t0, {0, 0}, 1.0)), t0).empty());
+  eng.clear();
+
+  // Far past the old watermark: nothing to evict (clear dropped it and
+  // reset the watermark; the drop itself is not an eviction), and the
+  // cleared entity must not join a binding.
+  const TimePoint later = t0 + seconds(60);
+  const auto out = eng.observe(Entity(obs("SR", 1, later, {0, 0}, 2.0)), later);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(eng.stats().evicted, 0u);
+
+  // The watermark re-arms for post-clear entities: the fresh one above
+  // expires on schedule.
+  const TimePoint expire = later + seconds(5) + Duration(1);
+  const auto after = eng.observe(Entity(obs("SR", 2, expire, {0, 0}, 3.0)), expire);
+  EXPECT_TRUE(after.empty());
+  EXPECT_EQ(eng.stats().evicted, 2u);
+}
+
+TEST(EnginePruneTest, ExplicitPruneRecomputesWatermarkExactly) {
+  DetectionEngine eng(ObserverId("OB"), Layer::kSensor, {0, 0});
+  eng.add_definition(pair_def(seconds(10)));
+
+  const TimePoint t0(4'000'000);
+  const TimePoint t1 = t0 + seconds(4);
+  ASSERT_TRUE(eng.observe(Entity(obs("SR", 0, t0, {0, 0}, 1.0)), t1).empty());
+  (void)eng.observe(Entity(obs("SR", 1, t1, {0, 0}, 2.0)), t1);
+
+  // Idle-time prune at t0's horizon + 1: only the older entity expires.
+  eng.prune(t0 + seconds(10) + Duration(1));
+  EXPECT_EQ(eng.stats().evicted, 2u);  // older entity, both slots
+
+  // The younger entity still binds until *its* horizon passes.
+  const TimePoint at = t1 + seconds(10);
+  const auto hit = eng.observe(Entity(obs("SR", 2, at, {0, 0}, 3.0)), at);
+  EXPECT_EQ(hit.size(), 1u);
+}
+
+}  // namespace
+}  // namespace stem::core

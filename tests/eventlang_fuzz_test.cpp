@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eventlang/lexer.hpp"
+#include "eventlang/parser.hpp"
+#include "eventlang/printer.hpp"
+#include "sim/random.hpp"
+
+/// Eventlang front-end fuzz/property suite.
+///
+/// 1. *Generative round-trip*: a generator emits random valid definition
+///    ASTs spanning the whole grammar (all condition leaf kinds, nested
+///    and/or/not, every aggregate/op name, slot filters with producers,
+///    emit-spec variants) and asserts parse(print(ast)) == ast over >=
+///    1000 seeds. The generator only emits printable-canonical values
+///    (quarter-precision constants, tick-exact durations, rect/point
+///    location constants), since the printer's canonical form is the
+///    language's interchange format.
+/// 2. *Mutation robustness*: canonical spec texts are truncated and
+///    byte-mutated; the parser must either parse or throw ParseError —
+///    never crash, never leak another exception type.
+
+namespace stem::eventlang {
+namespace {
+
+using core::ConditionExpr;
+using core::EventDefinition;
+using core::SlotIndex;
+
+class Gen {
+ public:
+  explicit Gen(std::uint64_t seed) : rng_(seed) {}
+
+  EventDefinition definition(int tag) {
+    const auto n_slots = static_cast<std::size_t>(rng_.uniform_int(1, 4));
+    EventDefinition def{core::EventTypeId("FZ" + std::to_string(tag)),
+                        slots(n_slots),
+                        condition(n_slots, /*depth=*/0),
+                        time_model::Duration(rng_.uniform_int(1, 10'000'000)),
+                        {},
+                        rng_.chance(0.5) ? core::ConsumptionMode::kConsume
+                                         : core::ConsumptionMode::kUnrestricted};
+    def.synthesis = synthesis(n_slots);
+    return def;
+  }
+
+  ConditionExpr condition(std::size_t n_slots, int depth) {
+    // Leaves get likelier with depth; composites stay shallow (<= 3).
+    const std::int64_t kind = rng_.uniform_int(0, depth >= 3 ? 4 : 7);
+    switch (kind) {
+      case 5: {  // AND of non-AND children
+        std::vector<ConditionExpr> children;
+        const auto n = rng_.uniform_int(2, 3);
+        for (int i = 0; i < n; ++i) children.push_back(non_node(n_slots, depth + 1, /*and_child=*/true));
+        return core::c_and(std::move(children));
+      }
+      case 6: {  // OR of non-OR children
+        std::vector<ConditionExpr> children;
+        const auto n = rng_.uniform_int(2, 3);
+        for (int i = 0; i < n; ++i) children.push_back(non_node(n_slots, depth + 1, /*and_child=*/false));
+        return core::c_or(std::move(children));
+      }
+      case 7:
+        return core::c_not(condition(n_slots, depth + 1));
+      default:
+        return leaf(n_slots);
+    }
+  }
+
+  std::string text(int events) {
+    std::string out;
+    for (int i = 0; i < events; ++i) out += print_event(definition(i));
+    return out;
+  }
+
+  sim::Rng& rng() { return rng_; }
+
+ private:
+  /// A child of an AND (OR) node that is not itself an AND (OR): the
+  /// printer renders nested same-op nodes without a distinguishing form,
+  /// so they would not round-trip structurally.
+  ConditionExpr non_node(std::size_t n_slots, int depth, bool and_child) {
+    for (;;) {
+      ConditionExpr c = condition(n_slots, depth);
+      const bool is_and = std::holds_alternative<core::AndNode>(c.rep());
+      const bool is_or = std::holds_alternative<core::OrNode>(c.rep());
+      if (and_child ? !is_and : !is_or) return c;
+    }
+  }
+
+  ConditionExpr leaf(std::size_t n_slots) {
+    switch (rng_.uniform_int(0, 4)) {
+      case 0: {  // attribute condition
+        return core::c_attr(value_aggregate(), attr_name(), slot_subset(n_slots),
+                            relational_op(), quarter());
+      }
+      case 1: {  // temporal condition
+        core::TemporalCondition c;
+        c.lhs = time_expr(n_slots);
+        c.op = temporal_op();
+        if (rng_.chance(0.5)) {
+          c.rhs = time_expr(n_slots);
+        } else if (rng_.chance(0.5)) {
+          c.rhs = time_model::OccurrenceTime(
+              time_model::TimePoint(rng_.uniform_int(0, 1'000'000)));
+        } else {
+          const auto b = rng_.uniform_int(0, 500'000);
+          c.rhs = time_model::OccurrenceTime(time_model::TimeInterval(
+              time_model::TimePoint(b), time_model::TimePoint(b + rng_.uniform_int(1, 500'000))));
+        }
+        return ConditionExpr(std::move(c));
+      }
+      case 2: {  // spatial predicate
+        core::SpatialCondition c;
+        c.lhs = loc_expr(n_slots);
+        c.op = spatial_op();
+        if (rng_.chance(0.5)) {
+          c.rhs = loc_expr(n_slots);
+        } else {
+          c.rhs = loc_const();
+        }
+        return ConditionExpr(std::move(c));
+      }
+      case 3: {  // distance: single slot each side, canonical hull aggregate
+        const auto a = slot_of(n_slots);
+        if (rng_.chance(0.5)) {
+          return core::c_distance(a, slot_of(n_slots), relational_op(), quarter_pos());
+        }
+        return core::c_distance_const(a, loc_const(), relational_op(), quarter_pos());
+      }
+      default: {  // confidence condition
+        return core::c_confidence(value_aggregate(), slot_subset(n_slots), relational_op(),
+                                  quarter());
+      }
+    }
+  }
+
+  std::vector<core::SlotSpec> slots(std::size_t n) {
+    std::vector<core::SlotSpec> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      core::SlotFilter filter;
+      switch (rng_.uniform_int(0, 2)) {
+        case 0:
+          filter = core::SlotFilter::observation(core::SensorId("SR" + std::to_string(rng_.uniform_int(0, 9))));
+          break;
+        case 1:
+          filter = core::SlotFilter::instance_of(core::EventTypeId("EV" + std::to_string(rng_.uniform_int(0, 9))));
+          break;
+        default:
+          filter = core::SlotFilter::any();
+          break;
+      }
+      if (rng_.chance(0.3)) {
+        filter = filter.from(core::ObserverId("MT" + std::to_string(rng_.uniform_int(0, 9))));
+      }
+      out.push_back(core::SlotSpec{"s" + std::to_string(i), filter});
+    }
+    return out;
+  }
+
+  core::SynthesisSpec synthesis(std::size_t n_slots) {
+    core::SynthesisSpec syn;
+    syn.time = static_cast<time_model::TimeAggregate>(rng_.uniform_int(0, 3));
+    syn.location = static_cast<geom::SpatialAggregate>(rng_.uniform_int(0, 2));
+    syn.confidence = static_cast<core::ConfidencePolicy>(rng_.uniform_int(0, 2));
+    // k/16 in (0, 1]: dyadic, so the printed decimal re-parses exactly.
+    syn.observer_confidence = static_cast<double>(rng_.uniform_int(1, 16)) / 16.0;
+    const auto rules = rng_.uniform_int(0, 2);
+    for (int i = 0; i < rules; ++i) {
+      syn.attributes.push_back(core::AttributeRule{"o" + std::to_string(i), value_aggregate(),
+                                                   attr_name(), slot_subset(n_slots)});
+    }
+    return syn;
+  }
+
+  core::TimeExpr time_expr(std::size_t n_slots) {
+    core::TimeExpr e;
+    e.aggregate = static_cast<time_model::TimeAggregate>(rng_.uniform_int(0, 3));
+    e.slots = slot_subset(n_slots);
+    e.offset = rng_.chance(0.4) ? time_model::Duration(rng_.uniform_int(1, 1'000'000))
+                                : time_model::Duration::zero();
+    return e;
+  }
+
+  core::LocationExpr loc_expr(std::size_t n_slots) {
+    return core::LocationExpr{static_cast<geom::SpatialAggregate>(rng_.uniform_int(0, 2)),
+                              slot_subset(n_slots)};
+  }
+
+  geom::Location loc_const() {
+    if (rng_.chance(0.5)) return geom::Location(geom::Point{quarter(), quarter()});
+    // Strictly ordered rect corners: canonical under the printer's
+    // field-as-bounding-rect form.
+    const double x = quarter();
+    const double y = quarter();
+    return geom::Location(
+        geom::Polygon::rectangle({x, y}, {x + quarter_pos(), y + quarter_pos()}));
+  }
+
+  std::vector<SlotIndex> slot_subset(std::size_t n_slots) {
+    std::vector<SlotIndex> out;
+    for (SlotIndex i = 0; i < n_slots; ++i) {
+      if (rng_.chance(0.5)) out.push_back(i);
+    }
+    if (out.empty()) out.push_back(slot_of(n_slots));
+    return out;
+  }
+
+  SlotIndex slot_of(std::size_t n_slots) {
+    return static_cast<SlotIndex>(rng_.uniform_int(0, static_cast<std::int64_t>(n_slots) - 1));
+  }
+
+  std::string attr_name() { return "v" + std::to_string(rng_.uniform_int(0, 4)); }
+  core::ValueAggregate value_aggregate() {
+    return static_cast<core::ValueAggregate>(rng_.uniform_int(0, 4));
+  }
+  core::RelationalOp relational_op() {
+    return static_cast<core::RelationalOp>(rng_.uniform_int(0, 5));
+  }
+  time_model::TemporalOp temporal_op() {
+    return static_cast<time_model::TemporalOp>(rng_.uniform_int(0, 12));
+  }
+  geom::SpatialOp spatial_op() { return static_cast<geom::SpatialOp>(rng_.uniform_int(0, 5)); }
+
+  /// Quarter-precision decimals in [-999.75, 999.75]: dyadic and at most
+  /// six significant digits, so ostream printing re-parses exactly.
+  double quarter() { return static_cast<double>(rng_.uniform_int(-3999, 3999)) / 4.0; }
+  double quarter_pos() { return static_cast<double>(rng_.uniform_int(1, 3999)) / 4.0; }
+
+  sim::Rng rng_;
+};
+
+TEST(EventlangFuzzTest, GeneratedAstsRoundTripExactly) {
+  // >= 1000 distinct generated definitions: parse(print(ast)) == ast, and
+  // a second round trip is a fixed point (print is canonical).
+  for (std::uint64_t seed = 1; seed <= 1200; ++seed) {
+    Gen gen(seed);
+    const EventDefinition def = gen.definition(static_cast<int>(seed));
+    const std::string text = print_event(def);
+    EventDefinition reparsed = parse_event(text);
+    ASSERT_EQ(reparsed, def) << "seed " << seed << "\n" << text;
+    ASSERT_EQ(print_event(reparsed), text) << "seed " << seed;
+  }
+}
+
+TEST(EventlangFuzzTest, MultiEventSpecsRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Gen gen(seed * 977);
+    std::vector<EventDefinition> defs;
+    for (int i = 0; i < 4; ++i) defs.push_back(gen.definition(i));
+    std::string text;
+    for (const EventDefinition& d : defs) text += print_event(d);
+    const auto reparsed = parse_spec(text);
+    ASSERT_EQ(reparsed.size(), defs.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+      ASSERT_EQ(reparsed[i], defs[i]) << "seed " << seed << " event " << i;
+    }
+  }
+}
+
+/// Feeds `text` to the parser, asserting error-not-crash: success or
+/// ParseError are the only acceptable outcomes.
+void expect_parse_or_error(const std::string& text, const std::string& ctx) {
+  try {
+    (void)parse_spec(text);
+  } catch (const ParseError&) {
+    // fine: rejected with a diagnostic
+  } catch (const std::exception& e) {
+    FAIL() << ctx << ": leaked non-ParseError exception: " << e.what() << "\ninput:\n" << text;
+  }
+}
+
+TEST(EventlangFuzzTest, TruncatedSpecsErrorNotCrash) {
+  Gen gen(42);
+  const std::string text = gen.text(3);
+  // Every prefix, plus sub-token cuts around each character class change.
+  for (std::size_t cut = 0; cut < text.size(); cut += 1 + (cut % 7)) {
+    expect_parse_or_error(text.substr(0, cut), "truncate@" + std::to_string(cut));
+  }
+}
+
+TEST(EventlangFuzzTest, MutatedSpecsErrorNotCrash) {
+  static constexpr char kBytes[] =
+      "{}();=,.<>!+-*/#\"\\ \t\n\0abz019_$%&^~|?:@`'"
+      "\x01\x7f\xff";
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    Gen gen(seed * 31 + 7);
+    std::string text = gen.text(1);
+    sim::Rng& rng = gen.rng();
+    const auto mutations = rng.uniform_int(1, 6);
+    for (int m = 0; m < mutations; ++m) {
+      if (text.empty()) break;
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+      switch (rng.uniform_int(0, 3)) {
+        case 0:  // overwrite with an arbitrary byte
+          text[pos] = kBytes[rng.uniform_int(0, static_cast<std::int64_t>(sizeof(kBytes)) - 2)];
+          break;
+        case 1:  // delete
+          text.erase(pos, 1 + static_cast<std::size_t>(rng.uniform_int(0, 3)));
+          break;
+        case 2:  // duplicate a chunk
+          text.insert(pos, text.substr(pos, static_cast<std::size_t>(rng.uniform_int(1, 12))));
+          break;
+        default:  // insert an arbitrary byte
+          text.insert(text.begin() + static_cast<std::ptrdiff_t>(pos),
+                      kBytes[rng.uniform_int(0, static_cast<std::int64_t>(sizeof(kBytes)) - 2)]);
+          break;
+      }
+    }
+    expect_parse_or_error(text, "seed " + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace stem::eventlang

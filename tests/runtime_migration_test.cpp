@@ -1,0 +1,561 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/sharded_runtime.hpp"
+#include "sim/random.hpp"
+
+/// Differential *migration* suite: the sharded runtime's merged stream,
+/// with definition groups forcibly migrated between shards mid-stream,
+/// must stay byte-identical to a single sequential DetectionEngine fed
+/// the same arrivals — across shard counts {2, 4, 8} x ingest batch sizes
+/// {1, 64} x skew profiles {uniform, 90/10} x consumption modes, with >= 3
+/// migrations per run landing at different stream positions. On top of
+/// the exact-equality runs, a soak test drives the *adaptive* path: a
+/// skewed workload with automatic epoch rebalancing must narrow the
+/// per-shard arrival-load spread versus rebalancing disabled, with no
+/// instance lost, duplicated, or reordered and inbox depth bounded by the
+/// configured capacity. SpilloverPolicy's decision rules get direct units
+/// at the bottom.
+
+namespace stem::runtime {
+namespace {
+
+using core::ConsumptionMode;
+using core::DetectionEngine;
+using core::EventDefinition;
+using core::EventInstance;
+using core::EventTypeId;
+using core::ObserverId;
+using core::SensorId;
+using core::SlotFilter;
+using geom::Location;
+using geom::Point;
+using time_model::seconds;
+using time_model::TimePoint;
+
+std::string describe(const EventInstance& i) {
+  std::ostringstream os;
+  os << i.key << " layer=" << static_cast<int>(i.layer) << " gen=" << i.gen_time
+     << " t=" << i.est_time << " l=" << i.est_location << " rho=" << i.confidence
+     << " V=" << i.attributes << " from=[";
+  for (const auto& p : i.provenance) os << p << ";";
+  os << "]";
+  return os.str();
+}
+
+core::PhysicalObservation obs(int mote, const std::string& sensor, std::uint64_t seq,
+                              TimePoint t, Point p, double value) {
+  core::PhysicalObservation o;
+  o.mote = ObserverId("MT" + std::to_string(mote));
+  o.sensor = SensorId(sensor);
+  o.seq = seq;
+  o.time = t;
+  o.location = Location(p);
+  o.attributes.set("value", value);
+  return o;
+}
+
+/// The definition mix of tests/runtime_shard_test.cpp — keyed thresholds,
+/// spatial/temporal joins, a self-binding pair, two definitions *sharing
+/// an event type* (one migration group), a wildcard single-slot
+/// definition and a wildcard join slot — so migrations are exercised for
+/// every placement/routing rule, including moving the full-stream
+/// (wildcard-hosting) group and moving a retain-mode definition whose
+/// buffers are large enough to carry spatial-index state.
+std::vector<EventDefinition> migration_definitions(ConsumptionMode mode, const std::string& tag) {
+  std::vector<EventDefinition> defs;
+
+  EventDefinition hot{EventTypeId("HOT_" + tag),
+                      {{"x", SlotFilter::observation(SensorId("SRa"))}},
+                      core::c_attr(core::ValueAggregate::kAverage, "value", {0},
+                                   core::RelationalOp::kGt, 60.0),
+                      seconds(60),
+                      {},
+                      mode};
+  hot.synthesis.attributes.push_back(
+      core::AttributeRule{"value", core::ValueAggregate::kMax, "value", {0}});
+  defs.push_back(hot);
+
+  // Same event type as HOT: the pair is one co-located migration group.
+  defs.push_back(EventDefinition{EventTypeId("HOT_" + tag),
+                                 {{"x", SlotFilter::observation(SensorId("SRb"))}},
+                                 core::c_attr(core::ValueAggregate::kAverage, "value", {0},
+                                              core::RelationalOp::kGt, 40.0),
+                                 seconds(60),
+                                 {},
+                                 mode});
+
+  defs.push_back(EventDefinition{EventTypeId("NEAR_" + tag),
+                                 {{"a", SlotFilter::observation(SensorId("SRa"))},
+                                  {"b", SlotFilter::observation(SensorId("SRb"))}},
+                                 core::c_and({core::c_time(0, time_model::TemporalOp::kBefore, 1),
+                                              core::c_distance(0, 1, core::RelationalOp::kLt, 8.0)}),
+                                 seconds(4),
+                                 {},
+                                 mode});
+
+  // Self-binding pair: both slots accept the same sensor (the imported-
+  // stamp identity rule is what keeps its dedup correct post-migration).
+  defs.push_back(EventDefinition{EventTypeId("PAIR_" + tag),
+                                 {{"x", SlotFilter::observation(SensorId("SRc"))},
+                                  {"y", SlotFilter::observation(SensorId("SRc"))}},
+                                 core::c_and({core::c_time(0, time_model::TemporalOp::kBefore, 1),
+                                              core::c_distance(0, 1, core::RelationalOp::kLt, 12.0)}),
+                                 seconds(5),
+                                 {},
+                                 mode});
+
+  // Wildcard single-slot definition: its host shard receives every
+  // arrival — migrating it re-routes the full stream.
+  defs.push_back(EventDefinition{EventTypeId("WILD_" + tag),
+                                 {{"w", SlotFilter::any()}},
+                                 core::c_attr(core::ValueAggregate::kAverage, "value", {0},
+                                              core::RelationalOp::kGt, 85.0),
+                                 seconds(60),
+                                 {},
+                                 mode});
+
+  defs.push_back(EventDefinition{EventTypeId("WNEAR_" + tag),
+                                 {{"w", SlotFilter::any()},
+                                  {"b", SlotFilter::observation(SensorId("SRb"))}},
+                                 core::c_and({core::c_time(0, time_model::TemporalOp::kBefore, 1),
+                                              core::c_distance(0, 1, core::RelationalOp::kLt, 6.0)}),
+                                 seconds(3),
+                                 {},
+                                 mode});
+
+  defs.push_back(EventDefinition{
+      EventTypeId("TRIO_" + tag),
+      {{"a", SlotFilter::observation(SensorId("SRa"))},
+       {"b", SlotFilter::observation(SensorId("SRb"))},
+       {"c", SlotFilter::observation(SensorId("SRc"))}},
+      core::c_and(
+          {core::c_distance(0, 1, core::RelationalOp::kLt, 9.0),
+           core::c_or({core::c_distance(1, 2, core::RelationalOp::kLt, 6.0),
+                       core::c_attr(core::ValueAggregate::kMin, "value", {0, 1, 2},
+                                    core::RelationalOp::kGt, 75.0)})}),
+      seconds(3),
+      {},
+      mode});
+
+  return defs;
+}
+
+struct Stream {
+  std::vector<core::Entity> entities;
+  std::vector<TimePoint> nows;
+};
+
+/// skew_hot = 0: uniform over 4 sensors. Otherwise the probability that
+/// an arrival comes from the hot sensor SRa (e.g. 0.9 for 90/10).
+Stream make_stream(std::uint64_t seed, int n, double skew_hot) {
+  sim::Rng rng(seed);
+  Stream s;
+  TimePoint now = TimePoint::epoch();
+  const char* sensors[] = {"SRa", "SRb", "SRc", "SRd"};  // SRd only matches wildcards
+  for (int i = 0; i < n; ++i) {
+    now += time_model::milliseconds(100 + rng.uniform_int(0, 900));
+    const char* sensor;
+    if (skew_hot > 0.0 && rng.chance(skew_hot)) {
+      sensor = sensors[0];
+    } else {
+      sensor = sensors[rng.uniform_int(0, 3)];
+    }
+    const TimePoint t = now - time_model::milliseconds(rng.uniform_int(0, 1500));
+    s.entities.push_back(core::Entity(obs(static_cast<int>(rng.uniform_int(1, 4)), sensor,
+                                          static_cast<std::uint64_t>(i), t,
+                                          {rng.uniform(0, 24), rng.uniform(0, 24)},
+                                          rng.uniform(0, 100))));
+    s.nows.push_back(now);
+  }
+  return s;
+}
+
+/// Feeds `stream` through a sharded runtime in `batch_size` batches with
+/// `migrations` forced at deterministic seed-derived stream positions,
+/// and asserts exact stream equality against the sequential engine plus
+/// counter conservation. Every migration must actually be issued.
+void run_migration_differential(std::uint64_t seed, std::size_t shards, std::size_t batch_size,
+                                ConsumptionMode mode, double skew_hot, const std::string& tag,
+                                std::size_t migrations = 4) {
+  RuntimeOptions options;
+  options.shards = shards;
+  ShardedEngineRuntime sharded(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0}, options);
+  DetectionEngine sequential(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0});
+  const auto defs = migration_definitions(mode, tag);
+  for (const EventDefinition& def : defs) {
+    sharded.add_definition(def);
+    sequential.add_definition(def);
+  }
+
+  const Stream stream = make_stream(seed, 320, skew_hot);
+  std::vector<std::string> want;
+  for (std::size_t i = 0; i < stream.entities.size(); ++i) {
+    for (const EventInstance& inst : sequential.observe(stream.entities[i], stream.nows[i])) {
+      want.push_back(describe(inst));
+    }
+  }
+
+  // Deterministic seed-derived migration plan: >= 3 moves at distinct
+  // mid-stream positions, cycling over definitions (so every group kind —
+  // co-located pair, wildcard host, joins — migrates across runs) and
+  // over destination shards.
+  sim::Rng plan(seed ^ 0x9e3779b97f4a7c15ULL);
+  // Positions are batch boundaries so every planned migration actually
+  // lands mid-stream (the ingest loop only stops at multiples of the
+  // batch size).
+  const auto last_batch =
+      static_cast<std::int64_t>((stream.entities.size() - 1) / batch_size);
+  std::vector<std::size_t> at(migrations);
+  for (std::size_t m = 0; m < migrations; ++m) {
+    at[m] = static_cast<std::size_t>(plan.uniform_int(1, last_batch)) * batch_size;
+  }
+  std::sort(at.begin(), at.end());
+  std::size_t next_mig = 0;
+  std::uint64_t issued = 0;
+
+  std::vector<std::string> got;
+  const auto collect = [&](std::vector<EventInstance> instances) {
+    for (const EventInstance& inst : instances) got.push_back(describe(inst));
+  };
+  for (std::size_t i = 0; i < stream.entities.size(); i += batch_size) {
+    while (next_mig < at.size() && at[next_mig] <= i) {
+      const auto def = static_cast<std::size_t>(plan.uniform_int(
+          0, static_cast<std::int64_t>(sharded.definition_count()) - 1));
+      const auto to = static_cast<std::size_t>(
+          plan.uniform_int(0, static_cast<std::int64_t>(shards) - 1));
+      // Force a real move: if the group already lives on `to`, push it to
+      // the next shard instead.
+      if (!sharded.migrate_definition(def, to)) {
+        ASSERT_TRUE(sharded.migrate_definition(def, (to + 1) % shards));
+      }
+      ++issued;
+      ++next_mig;
+    }
+    const std::size_t n = std::min(batch_size, stream.entities.size() - i);
+    sharded.ingest_batch(std::span(stream.entities).subspan(i, n),
+                         std::span(stream.nows).subspan(i, n));
+    collect(sharded.poll());
+  }
+  collect(sharded.flush());
+
+  const std::string ctx = tag + " seed=" + std::to_string(seed) +
+                          " shards=" + std::to_string(shards) +
+                          " batch=" + std::to_string(batch_size) +
+                          " skew=" + std::to_string(skew_hot);
+  ASSERT_GE(issued, 3u) << ctx;
+  ASSERT_EQ(got.size(), want.size()) << ctx;
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    ASSERT_EQ(got[k], want[k]) << ctx << " instance " << k;
+  }
+
+  // Conservation at quiescence: every instance merged exactly once, every
+  // delivery observed by exactly one shard engine, migrations all issued.
+  const RuntimeStats stats = sharded.stats();
+  EXPECT_EQ(stats.instances, want.size()) << ctx;
+  EXPECT_EQ(stats.engine.instances_out, stats.instances) << ctx;
+  EXPECT_EQ(stats.engine.entities_in, stats.deliveries) << ctx;
+  EXPECT_EQ(stats.migrations, issued) << ctx;
+  EXPECT_EQ(stats.arrivals + stats.dropped, stream.entities.size()) << ctx;
+}
+
+class MigrationDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MigrationDifferentialTest, UniformStreamsMatchUnderForcedMigrations) {
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    for (const std::size_t batch : {1u, 64u}) {
+      run_migration_differential(GetParam(), shards, batch, ConsumptionMode::kUnrestricted,
+                                 0.0, "MU");
+    }
+  }
+}
+
+TEST_P(MigrationDifferentialTest, SkewedStreamsMatchUnderForcedMigrations) {
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    for (const std::size_t batch : {1u, 64u}) {
+      run_migration_differential(GetParam() ^ 0x5eedULL, shards, batch, ConsumptionMode::kConsume,
+                                 0.9, "MS");
+    }
+  }
+}
+
+TEST_P(MigrationDifferentialTest, AutomaticRebalancingKeepsStreamEqual) {
+  // The adaptive path end to end: tight epochs + a skewed stream make the
+  // default policy migrate on its own; the stream must stay exact.
+  RuntimeOptions options;
+  options.shards = 4;
+  options.rebalance_epoch = 48;
+  ShardedEngineRuntime sharded(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0}, options);
+  DetectionEngine sequential(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0});
+  for (const EventDefinition& def :
+       migration_definitions(ConsumptionMode::kUnrestricted, "AR")) {
+    sharded.add_definition(def);
+    sequential.add_definition(def);
+  }
+  const Stream stream = make_stream(GetParam() ^ 0xab1eULL, 640, 0.9);
+  std::vector<std::string> want;
+  for (std::size_t i = 0; i < stream.entities.size(); ++i) {
+    for (const EventInstance& inst : sequential.observe(stream.entities[i], stream.nows[i])) {
+      want.push_back(describe(inst));
+    }
+  }
+  std::vector<std::string> got;
+  for (std::size_t i = 0; i < stream.entities.size(); i += 16) {
+    const std::size_t n = std::min<std::size_t>(16, stream.entities.size() - i);
+    sharded.ingest_batch(std::span(stream.entities).subspan(i, n),
+                         std::span(stream.nows).subspan(i, n));
+    for (const EventInstance& inst : sharded.poll()) got.push_back(describe(inst));
+  }
+  for (const EventInstance& inst : sharded.flush()) got.push_back(describe(inst));
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t k = 0; k < got.size(); ++k) ASSERT_EQ(got[k], want[k]) << "instance " << k;
+  EXPECT_GT(sharded.stats().rebalance_passes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationDifferentialTest, ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+// ---------------------------------------------------------------------------
+// Soak: continuous adaptive rebalancing under a 90/10 skewed workload.
+// ---------------------------------------------------------------------------
+
+/// 16 single-slot threshold groups over 16 sensors. Registration order
+/// round-robins them over the shards, so the 4 hot sensors below — the
+/// sensors of definitions {0, 4, 8, 12} — all land on shard 0 and the
+/// skewed stream pins it until the rebalancer spreads them.
+std::vector<EventDefinition> soak_definitions() {
+  std::vector<EventDefinition> defs;
+  for (int i = 0; i < 16; ++i) {
+    defs.push_back(EventDefinition{
+        EventTypeId("SOAK" + std::to_string(i)),
+        {{"x", SlotFilter::observation(SensorId("SK" + std::to_string(i)))}},
+        core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt, 50.0),
+        seconds(60),
+        {},
+        ConsumptionMode::kConsume});
+  }
+  return defs;
+}
+
+Stream make_soak_stream(std::uint64_t seed, int n) {
+  sim::Rng rng(seed);
+  Stream s;
+  TimePoint now = TimePoint::epoch();
+  const int hot[] = {0, 4, 8, 12};  // initially co-located on shard 0
+  for (int i = 0; i < n; ++i) {
+    now += time_model::milliseconds(1 + rng.uniform_int(0, 9));
+    int sensor;
+    if (rng.chance(0.9)) {
+      sensor = hot[rng.uniform_int(0, 3)];
+    } else {
+      sensor = static_cast<int>(rng.uniform_int(0, 15));
+    }
+    s.entities.push_back(core::Entity(obs(1, "SK" + std::to_string(sensor),
+                                          static_cast<std::uint64_t>(i), now,
+                                          {rng.uniform(0, 24), rng.uniform(0, 24)},
+                                          rng.uniform(0, 100))));
+    s.nows.push_back(now);
+  }
+  return s;
+}
+
+struct SoakResult {
+  std::vector<std::string> stream;
+  double load_ratio = 0.0;  ///< max/mean per-shard routed arrivals
+  RuntimeStats stats;
+};
+
+SoakResult run_soak(const Stream& stream, std::size_t rebalance_epoch,
+                    std::size_t queue_capacity) {
+  RuntimeOptions options;
+  options.shards = 4;
+  options.queue_capacity = queue_capacity;
+  options.rebalance_epoch = rebalance_epoch;
+  ShardedEngineRuntime rt(ObserverId("OB"), core::Layer::kCyber, {0, 0}, options);
+  for (const EventDefinition& def : soak_definitions()) rt.add_definition(def);
+
+  SoakResult r;
+  for (std::size_t i = 0; i < stream.entities.size(); i += 64) {
+    const std::size_t n = std::min<std::size_t>(64, stream.entities.size() - i);
+    rt.ingest_batch(std::span(stream.entities).subspan(i, n),
+                    std::span(stream.nows).subspan(i, n));
+    for (const EventInstance& inst : rt.poll()) r.stream.push_back(describe(inst));
+  }
+  for (const EventInstance& inst : rt.flush()) r.stream.push_back(describe(inst));
+
+  const std::vector<std::uint64_t> loads = rt.shard_arrival_loads();
+  const auto total = static_cast<double>(
+      std::accumulate(loads.begin(), loads.end(), std::uint64_t{0}));
+  const auto peak = static_cast<double>(*std::max_element(loads.begin(), loads.end()));
+  r.load_ratio = peak / (total / static_cast<double>(loads.size()));
+  r.stats = rt.stats();
+  return r;
+}
+
+TEST(RebalanceSoakTest, SkewedLoadSpreadNarrowsWithNoLossOrDuplication) {
+  const Stream stream = make_soak_stream(7, 24'000);
+
+  // Sequential reference for exactness.
+  DetectionEngine sequential(ObserverId("OB"), core::Layer::kCyber, {0, 0});
+  for (const EventDefinition& def : soak_definitions()) sequential.add_definition(def);
+  std::vector<std::string> want;
+  for (std::size_t i = 0; i < stream.entities.size(); ++i) {
+    for (const EventInstance& inst : sequential.observe(stream.entities[i], stream.nows[i])) {
+      want.push_back(describe(inst));
+    }
+  }
+
+  constexpr std::size_t kQueue = 256;
+  const SoakResult off = run_soak(stream, /*rebalance_epoch=*/0, kQueue);
+  const SoakResult on = run_soak(stream, /*rebalance_epoch=*/1024, kQueue);
+
+  // Exactness under continuous rebalancing: nothing lost, duplicated, or
+  // reordered — byte-identical to the sequential engine (and to the
+  // static-placement run).
+  ASSERT_EQ(on.stream.size(), want.size());
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    ASSERT_EQ(on.stream[k], want[k]) << "instance " << k;
+  }
+  ASSERT_EQ(off.stream, want);
+
+  // The default policy must have migrated the hot groups off shard 0 and
+  // measurably narrowed the arrival-load spread. Static placement pins
+  // ~90% of the stream on one of 4 shards (ratio ~3.6); spreading the
+  // four hot groups brings the ratio towards 1.
+  std::cout << "[soak] max/mean arrival-load ratio: off=" << off.load_ratio
+            << " on=" << on.load_ratio << " (migrations=" << on.stats.migrations
+            << ", passes=" << on.stats.rebalance_passes << ")\n";
+  EXPECT_GT(on.stats.migrations, 0u);
+  EXPECT_GE(off.load_ratio, 3.0);
+  EXPECT_LT(on.load_ratio, 0.7 * off.load_ratio);
+
+  // Backpressure bounds inbox depth in both runs.
+  EXPECT_LE(off.stats.max_inbox, kQueue);
+  EXPECT_LE(on.stats.max_inbox, kQueue);
+}
+
+// ---------------------------------------------------------------------------
+// Migration bookkeeping units.
+// ---------------------------------------------------------------------------
+
+TEST(MigrationApiTest, GroupMovesTogetherAndBookkeepingFollows) {
+  RuntimeOptions options;
+  options.shards = 4;
+  ShardedEngineRuntime rt(ObserverId("OB"), core::Layer::kCyber, {0, 0}, options);
+  for (const EventDefinition& def :
+       migration_definitions(ConsumptionMode::kUnrestricted, "BK")) {
+    rt.add_definition(def);
+  }
+  // Definitions 0 and 1 share an event type: one group.
+  ASSERT_EQ(rt.group_of(0), rt.group_of(1));
+  ASSERT_EQ(rt.shard_of(0), rt.shard_of(1));
+
+  const std::size_t target = (rt.shard_of(0) + 1) % rt.shard_count();
+  EXPECT_TRUE(rt.migrate_definition(0, target));
+  EXPECT_EQ(rt.shard_of(0), target);
+  EXPECT_EQ(rt.shard_of(1), target);  // co-located group moved together
+  EXPECT_FALSE(rt.migrate_definition(1, target));  // already there
+  EXPECT_EQ(rt.stats().migrations, 1u);
+
+  EXPECT_THROW((void)rt.migrate_definition(99, 0), std::out_of_range);
+  EXPECT_THROW((void)rt.migrate_definition(0, 99), std::out_of_range);
+
+  // Registration is closed once placement went dynamic.
+  EXPECT_THROW(rt.add_definition(migration_definitions(ConsumptionMode::kConsume, "BK2")[0]),
+               std::logic_error);
+  EXPECT_TRUE(rt.flush().empty());
+}
+
+TEST(MigrationApiTest, MigratedDefinitionKeepsDetectingOnNewShard) {
+  RuntimeOptions options;
+  options.shards = 2;
+  ShardedEngineRuntime rt(ObserverId("OB"), core::Layer::kCyber, {0, 0}, options);
+  rt.add_definition(EventDefinition{
+      EventTypeId("D"),
+      {{"x", SlotFilter::observation(SensorId("SR"))}},
+      core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt, 50.0),
+      seconds(60),
+      {},
+      ConsumptionMode::kConsume});
+  rt.ingest(core::Entity(obs(1, "SR", 0, TimePoint(1000), {0, 0}, 80.0)), TimePoint(1000));
+  EXPECT_TRUE(rt.migrate_definition(0, 1 - rt.shard_of(0)));
+  rt.ingest(core::Entity(obs(1, "SR", 1, TimePoint(2000), {0, 0}, 90.0)), TimePoint(2000));
+  const auto out = rt.flush();
+  ASSERT_EQ(out.size(), 2u);
+  // Sequence numbers are continuous across the migration.
+  EXPECT_EQ(out[0].key.seq + 1, out[1].key.seq);
+}
+
+// ---------------------------------------------------------------------------
+// SpilloverPolicy decision units.
+// ---------------------------------------------------------------------------
+
+TEST(SpilloverPolicyTest, MigratesHighestCostGroupOffHotShard) {
+  SpilloverPolicy policy;
+  const std::vector<std::uint64_t> shard_load = {900, 50, 30, 20};
+  const std::vector<GroupLoad> groups = {
+      {0, 0, 500, true}, {1, 0, 400, true}, {2, 1, 50, true}, {3, 2, 30, true}, {4, 3, 20, true}};
+  std::vector<MigrationOrder> out;
+  policy.decide(RebalanceView{shard_load, groups}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].group, 0u);  // the 500-cost group
+  EXPECT_EQ(out[0].to, 3u);     // the least-loaded shard
+}
+
+TEST(SpilloverPolicyTest, LeavesIndivisibleHotGroupAlone) {
+  // One group is the whole hot load: moving it would just move the
+  // hotspot, so the strict-improvement rule must reject the migration.
+  SpilloverPolicy policy;
+  const std::vector<std::uint64_t> shard_load = {1000, 10, 10, 10};
+  const std::vector<GroupLoad> groups = {
+      {0, 0, 1000, true}, {1, 1, 10, true}, {2, 2, 10, true}, {3, 3, 10, true}};
+  std::vector<MigrationOrder> out;
+  policy.decide(RebalanceView{shard_load, groups}, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpilloverPolicyTest, SkipsUnmovableGroupsAndBalancedShards) {
+  SpilloverPolicy policy;
+  {
+    // Hot shard, but its big group is mid-migration: pick the next one.
+    const std::vector<std::uint64_t> shard_load = {900, 50, 30, 20};
+    const std::vector<GroupLoad> groups = {
+        {0, 0, 500, false}, {1, 0, 400, true}, {2, 1, 50, true}, {3, 2, 30, true},
+        {4, 3, 20, true}};
+    std::vector<MigrationOrder> out;
+    policy.decide(RebalanceView{shard_load, groups}, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].group, 1u);
+  }
+  {
+    // Balanced cluster: nothing above 1.5x mean, no orders.
+    const std::vector<std::uint64_t> shard_load = {100, 110, 90, 100};
+    const std::vector<GroupLoad> groups = {
+        {0, 0, 100, true}, {1, 1, 110, true}, {2, 2, 90, true}, {3, 3, 100, true}};
+    std::vector<MigrationOrder> out;
+    policy.decide(RebalanceView{shard_load, groups}, out);
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+TEST(SpilloverPolicyTest, HonorsMigrationCap) {
+  SpilloverPolicy::Options opts;
+  opts.max_migrations = 1;
+  SpilloverPolicy policy(opts);
+  const std::vector<std::uint64_t> shard_load = {900, 800, 10, 10};
+  const std::vector<GroupLoad> groups = {
+      {0, 0, 450, true}, {1, 0, 450, true}, {2, 1, 400, true}, {3, 1, 400, true},
+      {4, 2, 10, true},  {5, 3, 10, true}};
+  std::vector<MigrationOrder> out;
+  policy.decide(RebalanceView{shard_load, groups}, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+}  // namespace
+}  // namespace stem::runtime

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Runs the Google-Benchmark microbenchmarks and records one BENCH_<name>.json
 # baseline per executable. Future optimization PRs diff their numbers against
-# these files:
+# these files (wall-clock runtime families get a wider per-family gate):
 #   tools/run_bench.sh build /tmp/fresh
-#   tools/bench_compare.py /tmp/fresh bench/baselines   # fails on >10% regression
+#   tools/bench_compare.py /tmp/fresh bench/baselines \
+#       --tolerance-for BM_ShardScaling=25 --tolerance-for BM_SkewedLoad=25 \
+#       --tolerance-for BM_Rebalance=25      # fails on regression beyond gate
 #
 # Usage: tools/run_bench.sh [build-dir] [out-dir]
 #   build-dir  CMake build tree (default: build; configured+built if missing)
 #   out-dir    where BENCH_*.json land (default: bench/baselines)
+#
+# A missing benchmark executable or a benchmark exiting nonzero FAILS the
+# whole run (no silent partial baselines): a partial BENCH_*.json set would
+# make the next regression gate quietly skip the missing families.
 #
 # Env:
 #   STEM_BENCH_MIN_TIME  per-benchmark min running time in seconds (default 0.05)
@@ -39,23 +45,32 @@ fi
 
 mkdir -p "$OUT_DIR"
 
-ran=0
+# Fail loudly up front if any benchmark binary is missing: a partial
+# baseline set silently weakens every future bench_compare gate.
+missing=()
 for target in "${GBENCH_TARGETS[@]}"; do
-  exe="$BUILD_DIR/bench/$target"
-  if [[ ! -x "$exe" ]]; then
-    echo "skip: $target (not built; is Google Benchmark installed?)" >&2
-    continue
+  if [[ ! -x "$BUILD_DIR/bench/$target" ]]; then
+    missing+=("$target")
   fi
-  out="$OUT_DIR/BENCH_${target}.json"
-  echo "bench: $target -> $out" >&2
-  "$exe" --benchmark_min_time="$MIN_TIME" --benchmark_format=json >"$out"
-  ran=$((ran + 1))
 done
-
-if [[ "$ran" -eq 0 ]]; then
-  echo "error: no benchmark executables found under $BUILD_DIR/bench -- nothing was measured" >&2
+if [[ "${#missing[@]}" -gt 0 ]]; then
+  echo "error: benchmark executable(s) not built: ${missing[*]}" >&2
+  echo "       (is Google Benchmark installed? configure with -DSTEM_BUILD_BENCH=ON)" >&2
   exit 1
 fi
+
+for target in "${GBENCH_TARGETS[@]}"; do
+  exe="$BUILD_DIR/bench/$target"
+  out="$OUT_DIR/BENCH_${target}.json"
+  echo "bench: $target -> $out" >&2
+  status=0
+  "$exe" --benchmark_min_time="$MIN_TIME" --benchmark_format=json >"$out" || status=$?
+  if [[ "$status" -ne 0 ]]; then
+    rm -f "$out"  # never leave a truncated baseline behind
+    echo "error: $target exited with status $status; baseline run aborted" >&2
+    exit 1
+  fi
+done
 
 # Headline figures for CHANGES.md / PR summaries.
 python3 - "$OUT_DIR" <<'EOF'
@@ -109,4 +124,24 @@ for shards in (1, 2, 4, 8):
     speedup = "n/a" if not (r and seq) else f"{r / seq:.2f}x vs sequential"
     print(f"shard scaling ({shards} shard{'s' if shards > 1 else ''}):     {fmt(r)} entities/s ({speedup})")
 print(f"batched ingest (batch=256):  {fmt(rate('BENCH_e11_engine_throughput.json', 'BM_BatchSize/256'))} entities/s")
+
+# Adaptive rebalancing under the Zipf-skewed mix: the interesting number
+# on a single-core recorder is the load-spread counter (max/mean per-shard
+# arrivals; 1.0 = even), not wall-clock — see the bench caveat in docs.
+def counter(path, name, key):
+    try:
+        with open(os.path.join(out_dir, path)) as f:
+            data = json.load(f)
+    except OSError:
+        return None
+    for b in data.get("benchmarks", []):
+        if b["name"] == name:
+            return b.get(key)
+    return None
+
+for leg in ("Off", "On"):
+    name = f"BM_Rebalance/{leg}/real_time"
+    spread = counter("BENCH_e11_engine_throughput.json", name, "max/mean load")
+    spread_s = "n/a" if spread is None else f"{spread:.2f}"
+    print(f"rebalance {leg.lower():<3} (zipf skew):   {fmt(rate('BENCH_e11_engine_throughput.json', name))} entities/s, max/mean shard load {spread_s}")
 EOF
