@@ -361,6 +361,121 @@ void BM_Rebalance(benchmark::State& state, bool enabled) {
                        enabled ? 1024 : 0);
 }
 
+/// Per-arrival entity-copy elision (the ROADMAP lever): the same buffered
+/// 64-definition join workload driven through the reference-path observe
+/// (deep-copies each arrival into shared ownership when some slot buffers
+/// it) vs the prestored-path observe (aliases caller-owned shared storage
+/// — what the sharded runtime's workers do with the ingest batch). Arg:
+/// 0 = reference copy path, 1 = shared prestored path. Single-definition
+/// no-regression is gated separately by BM_DefinitionCount/1.
+void BM_SharedArrival(benchmark::State& state) {
+  const bool shared = state.range(0) != 0;
+  const auto entities = make_entities(4096, "SR", 64);
+  std::vector<std::shared_ptr<const core::Entity>> stored;
+  if (shared) {
+    stored.reserve(entities.size());
+    for (const auto& e : entities) stored.push_back(std::make_shared<const core::Entity>(e));
+  }
+  core::EngineOptions opts;
+  opts.max_buffer = 4;
+  core::DetectionEngine engine(ObserverId("X"), core::Layer::kSensor, {0, 0}, opts);
+  // 64 buffered two-slot joins, one per sensor, that rarely match: each
+  // arrival routes to one definition and the per-arrival cost is
+  // buffering, where the copy lives (a tight cap keeps enumeration
+  // marginal).
+  for (std::size_t i = 0; i < 64; ++i) {
+    EventDefinition def{EventTypeId(numbered("J", i)),
+                        {{"a", SlotFilter::observation(SensorId(numbered("SR", i)))},
+                         {"b", SlotFilter::observation(SensorId(numbered("SR", i)))}},
+                        core::c_and({core::c_time(0, time_model::TemporalOp::kBefore, 1),
+                                     core::c_distance(0, 1, core::RelationalOp::kLt, 0.5)}),
+                        seconds(3600),
+                        {},
+                        ConsumptionMode::kConsume};
+    engine.add_definition(std::move(def));
+  }
+  std::vector<core::Emission> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t at = i & 4095;
+    out.clear();
+    if (shared) {
+      engine.observe(stored[at], entities[at].occurrence_time().end(), out);
+    } else {
+      engine.observe(entities[at], entities[at].occurrence_time().end(), out);
+    }
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/// Hierarchical cascade end to end: a 3-layer workload (8 per-sensor HOT
+/// thresholds -> CP pair join over HOT instances -> ALM) through a
+/// 4-shard cascading runtime at depth caps 1 / 2 / 4. Depth 1 suppresses
+/// all re-ingestion (the L1-only stream), 2 adds the CP layer, 4 closes
+/// the full hierarchy. Deterministic closure serializes arrivals behind
+/// the frontier, so this family measures the coordination cost a
+/// multi-level workload pays for byte-exact merging. items == arrivals.
+void BM_CascadeDepth(benchmark::State& state) {
+  constexpr std::size_t kBatch = 256;
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const auto entities = make_entities(4096, "SR", 8);
+  std::vector<time_model::TimePoint> nows;
+  nows.reserve(entities.size());
+  for (const auto& e : entities) nows.push_back(e.occurrence_time().end());
+
+  runtime::RuntimeOptions options;
+  options.shards = 4;
+  options.cascade = true;
+  options.engine.max_cascade_depth = depth;
+  runtime::ShardedEngineRuntime rt(ObserverId("X"), core::Layer::kSensor, {0, 0}, options);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EventDefinition hot = threshold_def(numbered("HOT", i), 75.0, numbered("SR", i));
+    hot.synthesis.attributes.push_back(
+        core::AttributeRule{"value", core::ValueAggregate::kMax, "value", {0}});
+    rt.add_definition(std::move(hot));
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    EventDefinition cp{EventTypeId(numbered("CP", i)),
+                       {{"a", SlotFilter::instance_of(EventTypeId(numbered("HOT", i)))},
+                        {"b", SlotFilter::instance_of(EventTypeId(numbered("HOT", i)))}},
+                       core::c_and({core::c_time(0, time_model::TemporalOp::kBefore, 1),
+                                    core::c_distance(0, 1, core::RelationalOp::kLt, 40.0)}),
+                       seconds(30),
+                       {},
+                       ConsumptionMode::kConsume};
+    cp.synthesis.attributes.push_back(
+        core::AttributeRule{"value", core::ValueAggregate::kMax, "value", {0, 1}});
+    rt.add_definition(std::move(cp));
+    rt.add_definition(EventDefinition{
+        EventTypeId(numbered("ALM", i)),
+        {{"f", SlotFilter::instance_of(EventTypeId(numbered("CP", i)))}},
+        core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt, 75.0),
+        seconds(30),
+        {},
+        ConsumptionMode::kConsume});
+  }
+
+  std::size_t i = 0;
+  std::uint64_t produced = 0;
+  for (auto _ : state) {
+    const std::size_t at = (i * kBatch) & 4095;
+    rt.ingest_batch(std::span(entities).subspan(at, kBatch),
+                    std::span(nows).subspan(at, kBatch));
+    auto out = rt.flush();
+    produced += out.size();
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBatch));
+  state.counters["instances/op"] = benchmark::Counter(
+      static_cast<double>(produced) / static_cast<double>(state.iterations()),
+      benchmark::Counter::kAvgThreads);
+  state.counters["reingested"] = benchmark::Counter(
+      static_cast<double>(rt.stats().cascade_reingested), benchmark::Counter::kAvgThreads);
+}
+
 /// Batched ingest amortization on a single engine: observe_batch over the
 /// 64-definition workload at batch sizes 1 / 16 / 256. items == entities.
 void BM_BatchSize(benchmark::State& state) {
@@ -391,6 +506,9 @@ BENCHMARK(BM_RoutingFanout)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_SpatialJoin)->Arg(64)->Arg(256)->Arg(1024);
 // Arg(0) = sequential reference engine; Arg(N) = N-shard runtime.
 BENCHMARK(BM_ShardScaling)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+// Arg(0) = per-arrival deep copy, Arg(1) = prestored shared storage.
+BENCHMARK(BM_SharedArrival)->Arg(0)->Arg(1);
+BENCHMARK(BM_CascadeDepth)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 BENCHMARK(BM_BatchSize)->Arg(1)->Arg(16)->Arg(256);
 BENCHMARK_CAPTURE(BM_SkewedLoad, uniform, false)->UseRealTime();
 BENCHMARK_CAPTURE(BM_SkewedLoad, zipf, true)->UseRealTime();

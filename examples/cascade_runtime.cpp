@@ -1,0 +1,101 @@
+/// Hierarchical cascade through the sharded runtime: the 3-layer
+/// hotspot_cascade.stem spec (HOTSPOT -> FIRE_FRONT -> REGIONAL_ALARM) is
+/// hosted whole by a ShardedEngineRuntime with RuntimeOptions::cascade —
+/// derived instances are routed between shards as feedback items and the
+/// merged stream is exactly what a sequential cascading engine would
+/// emit. A heat wave sweeps two mote clusters; watch each layer light up.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eventlang/parser.hpp"
+#include "runtime/sharded_runtime.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+std::string load_spec(const char* name) {
+  for (const char* prefix :
+       {"examples/specs/", "../examples/specs/", "../../examples/specs/"}) {
+    std::ifstream in(std::string(prefix) + name);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      return ss.str();
+    }
+  }
+  std::cerr << "cannot open examples/specs/" << name << " (run from the repo root)\n";
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  using namespace stem;
+  using time_model::seconds;
+  using time_model::TimePoint;
+
+  core::EngineOptions engine_options;
+  engine_options.max_cascade_depth = 4;
+  runtime::RuntimeOptions options;
+  options.shards = 4;
+  options.cascade = true;
+  options.engine = engine_options;
+  runtime::ShardedEngineRuntime rt(core::ObserverId("REGION"), core::Layer::kCyber, {0, 0},
+                                   options);
+
+  const auto defs = eventlang::parse_spec(load_spec("hotspot_cascade.stem"));
+  for (const auto& def : defs) rt.add_definition(def);
+  std::cout << "hotspot_cascade.stem: " << defs.size() << " definitions over "
+            << rt.shard_count() << " shards, cascade depth cap "
+            << engine_options.max_cascade_depth << "\n\n";
+
+  // Two clusters of four motes; the heat wave crests over cluster A, then
+  // cluster B. Each crest makes HOTSPOTs, pairs of them a FIRE_FRONT, and
+  // a hot front the REGIONAL_ALARM — all inside the runtime.
+  sim::Rng rng(23);
+  std::map<std::string, std::size_t> by_type;
+  TimePoint now = TimePoint::epoch();
+  std::vector<core::Entity> batch;
+  std::vector<TimePoint> nows;
+  for (int tick = 0; tick < 40; ++tick) {
+    now += time_model::milliseconds(250);
+    batch.clear();
+    nows.clear();
+    for (int m = 0; m < 8; ++m) {
+      const bool cluster_a = m < 4;
+      const double crest = cluster_a ? 10.0 : 25.0;  // wave peak, in ticks
+      const double heat = 60.0 + 30.0 / (1.0 + 0.15 * (tick - crest) * (tick - crest));
+      core::PhysicalObservation obs;
+      obs.mote = core::ObserverId("MT" + std::to_string(m));
+      obs.sensor = core::SensorId("SRheat");
+      obs.seq = static_cast<std::uint64_t>(tick * 8 + m);
+      obs.time = now;
+      obs.location = geom::Location(geom::Point{cluster_a ? 10.0 + 3.0 * m : 60.0 + 3.0 * m,
+                                                rng.uniform(0, 10)});
+      obs.attributes.set("value", heat + rng.uniform(-2, 2));
+      batch.push_back(core::Entity(std::move(obs)));
+      nows.push_back(now);
+    }
+    rt.ingest_batch(batch, nows);
+    for (const core::EventInstance& inst : rt.poll()) ++by_type[inst.key.event.value()];
+  }
+  for (const core::EventInstance& inst : rt.flush()) ++by_type[inst.key.event.value()];
+
+  const auto stats = rt.stats();
+  std::cout << "detections per layer:\n";
+  for (const auto& [type, count] : by_type) {
+    std::cout << "  " << type << ": " << count << "\n";
+  }
+  std::cout << "\ncascade closures: " << stats.cascade_reingested
+            << " instances re-ingested across shards, " << stats.cascade_truncated
+            << " truncated at the depth cap\n";
+  std::cout << "stream: " << stats.arrivals << " arrivals -> " << stats.instances
+            << " instances (deterministic merge; identical to a sequential "
+               "observe_cascading run)\n";
+  return 0;
+}

@@ -15,18 +15,10 @@ void FlatCollector::on_message(const net::Message& msg) {
   ++received_;
   network_.simulator().schedule_after(config_.proc_delay, [this, e = *entity] {
     const time_model::TimePoint now = network_.simulator().now();
-    // Feed the entity, then cascade: detected instances are re-fed so
-    // multi-level definitions (sensor -> CP -> cyber) resolve centrally.
-    std::vector<core::EventInstance> frontier = engine_.observe(e, now);
-    while (!frontier.empty()) {
-      std::vector<core::EventInstance> next;
-      for (auto& inst : frontier) {
-        detected_.push_back(inst);
-        auto derived = engine_.observe(core::Entity(std::move(inst)), now);
-        for (auto& d : derived) next.push_back(std::move(d));
-      }
-      frontier = std::move(next);
-    }
+    // Multi-level definitions (sensor -> CP -> cyber) resolve centrally:
+    // the engine's cascading path re-observes derived instances itself.
+    auto detected = engine_.observe_cascading(e, now);
+    for (auto& inst : detected) detected_.push_back(std::move(inst));
   });
 }
 

@@ -314,6 +314,69 @@ void DetectionEngine::observe(const Entity& entity, time_model::TimePoint now,
   observe_impl(entity, now, sink);
 }
 
+void DetectionEngine::observe(const std::shared_ptr<const Entity>& entity,
+                              time_model::TimePoint now, std::vector<Emission>& out) {
+  EmitSink sink{nullptr, &out};
+  observe_impl(*entity, now, sink, &entity);
+}
+
+bool DetectionEngine::routes_anywhere(const Entity& entity) {
+  matched_routes_.clear();
+  routing_.collect(entity, matched_routes_, [](const SlotRoute&) { return true; });
+  return !matched_routes_.empty();
+}
+
+std::vector<EventInstance> DetectionEngine::observe_cascading(const Entity& entity,
+                                                             time_model::TimePoint now) {
+  std::vector<Emission> emissions;
+  observe_cascading(entity, now, emissions);
+  std::vector<EventInstance> out;
+  out.reserve(emissions.size());
+  for (Emission& em : emissions) out.push_back(std::move(em.instance));
+  return out;
+}
+
+void DetectionEngine::observe_cascading(const Entity& entity, time_model::TimePoint now,
+                                        std::vector<Emission>& out) {
+  EmitSink sink{nullptr, &out};
+  std::size_t level_begin = out.size();
+  observe_impl(entity, now, sink);
+
+  // Breadth-first over derivation levels: out[level_begin, level_end) is
+  // level `depth`; re-feeding its instances in order appends level
+  // depth+1. Indices (not iterators) — re-observing may grow `out`.
+  std::uint32_t depth = 1;
+  while (level_begin < out.size()) {
+    const std::size_t level_end = out.size();
+    for (std::size_t k = level_begin; k < level_end; ++k) {
+      out[k].depth = depth;
+      out[k].emit_index = static_cast<std::uint32_t>(k - level_begin);
+    }
+    if (depth >= options_.max_cascade_depth) {
+      // Cycle guard: the cap level is delivered but not re-ingested.
+      for (std::size_t k = level_begin; k < level_end; ++k) {
+        Entity fed(std::move(out[k].instance));
+        if (routes_anywhere(fed)) ++stats_.cascade_truncated;
+        out[k].instance = std::move(fed).extract_instance();
+      }
+      break;
+    }
+    for (std::size_t k = level_begin; k < level_end; ++k) {
+      // View the emitted instance as an entity without copying it: move it
+      // into the Entity for the re-observation, then move it back (slots
+      // that buffer it take their own shared copy inside observe_impl).
+      Entity fed(std::move(out[k].instance));
+      if (routes_anywhere(fed)) {
+        ++stats_.cascade_reingested;
+        observe_impl(fed, now, sink);
+      }
+      out[k].instance = std::move(fed).extract_instance();
+    }
+    level_begin = level_end;
+    ++depth;
+  }
+}
+
 std::vector<EventInstance> DetectionEngine::observe_batch(
     std::span<const Entity> batch, std::span<const time_model::TimePoint> nows) {
   if (batch.size() != nows.size()) {
@@ -346,7 +409,8 @@ void DetectionEngine::observe_batch(std::span<const Entity> batch,
 }
 
 void DetectionEngine::observe_impl(const Entity& entity, time_model::TimePoint now,
-                                   EmitSink& sink) {
+                                   EmitSink& sink,
+                                   const std::shared_ptr<const Entity>* prestored) {
   ++stats_.entities_in;
   maybe_prune(now);
 
@@ -370,7 +434,11 @@ void DetectionEngine::observe_impl(const Entity& entity, time_model::TimePoint n
       ++i;
       continue;
     }
-    if (shared == nullptr) shared = std::make_shared<const Entity>(entity);
+    if (shared == nullptr) {
+      // Buffering needs shared ownership that outlives this call: alias
+      // the caller's storage when it provided some, else copy once.
+      shared = prestored != nullptr ? *prestored : std::make_shared<const Entity>(entity);
+    }
     const Buffered fresh{shared, stamp, shared->location().bbox()};
     // Insert into every matching slot first, so a definition whose two
     // slots both match can bind the entity against itself only through

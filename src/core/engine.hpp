@@ -25,6 +25,13 @@ struct EngineOptions {
   /// Per-slot buffer cap; oldest entities are evicted beyond this. Bounds
   /// the join cost per arrival.
   std::size_t max_buffer = 64;
+  /// Cascade depth cap for observe_cascading(): derived instances are
+  /// re-observed until this derivation depth (direct emissions are depth
+  /// 1). Instances emitted *at* the cap are delivered but not re-ingested
+  /// — the cycle guard that terminates a definition whose output type
+  /// feeds its own input (each suppressed re-ingestion is counted in
+  /// EngineStats::cascade_truncated).
+  std::size_t max_cascade_depth = 8;
 };
 
 /// Engine throughput/selectivity counters. Each engine owns its counters
@@ -37,6 +44,15 @@ struct EngineStats {
   std::uint64_t bindings_matched = 0;
   std::uint64_t instances_out = 0;
   std::uint64_t evicted = 0;  ///< buffer-cap and window evictions
+  /// Derived instances re-observed by the cascading path (instances whose
+  /// event type routes to at least one definition slot; routeless
+  /// emissions are skipped — re-observing them is a provable no-op).
+  std::uint64_t cascade_reingested = 0;
+  /// Re-ingestions suppressed by the depth cap: instances emitted at
+  /// depth == max_cascade_depth whose type routes somewhere. Nonzero
+  /// means the cycle guard fired (or the hierarchy is deeper than the
+  /// configured cap).
+  std::uint64_t cascade_truncated = 0;
 
   EngineStats& operator+=(const EngineStats& o) {
     entities_in += o.entities_in;
@@ -44,6 +60,8 @@ struct EngineStats {
     bindings_matched += o.bindings_matched;
     instances_out += o.instances_out;
     evicted += o.evicted;
+    cascade_reingested += o.cascade_reingested;
+    cascade_truncated += o.cascade_truncated;
     return *this;
   }
 
@@ -54,8 +72,19 @@ struct EngineStats {
 /// definition that produced it. The sharded runtime merges per-shard
 /// streams back into global definition order using the tag; plain callers
 /// use the untagged observe() overloads.
+///
+/// Cascading emissions additionally carry their hierarchical *sub-stamp*
+/// within the originating arrival: `(arrival stamp, depth, emit_index)`
+/// orders the full cascade closure deterministically. The arrival stamp
+/// is the caller's (the runtime stamps on ingest; a lone engine orders by
+/// call); `depth` is the derivation distance from the raw arrival (1 =
+/// emitted directly from it); `emit_index` ranks the instance within its
+/// (arrival, depth) level in stream order. Non-cascading paths leave the
+/// defaults.
 struct Emission {
   std::uint32_t def = 0;
+  std::uint32_t depth = 1;
+  std::uint32_t emit_index = 0;
   EventInstance instance;
 };
 
@@ -163,6 +192,38 @@ class DetectionEngine : public Observer {
   /// untagged overload.
   void observe(const Entity& entity, time_model::TimePoint now, std::vector<Emission>& out);
 
+  /// Zero-copy arrival: identical to the tagged observe() above, but slots
+  /// that buffer the entity share `entity` instead of deep-copying it —
+  /// the caller's shared storage (e.g. the sharded runtime's refcounted
+  /// ingest batch) stays alive while any buffer references it. This is
+  /// the ROADMAP "per-arrival entity copy" lever: buffered multi-slot
+  /// definitions no longer cost one Entity copy per arrival.
+  void observe(const std::shared_ptr<const Entity>& entity, time_model::TimePoint now,
+               std::vector<Emission>& out);
+
+  /// Hierarchical cascade (Fig. 2 in one engine): observes `entity`, then
+  /// re-observes every derived instance breadth-first — level d+1 is
+  /// produced by re-feeding level d's instances in stream order — until a
+  /// level is empty or `EngineOptions::max_cascade_depth` is reached.
+  /// Returns all instances of the closure in stream order (level 1, then
+  /// level 2, ...): exactly the sequence the hand-rolled caller-side
+  /// re-feed loop (observe + re-observe frontier) used to produce.
+  /// Instances whose event type routes to no definition are not re-fed
+  /// (no observable difference); instances emitted at the depth cap are
+  /// delivered but never re-fed (EngineStats::cascade_truncated).
+  std::vector<EventInstance> observe_cascading(const Entity& entity, time_model::TimePoint now);
+  /// Tagged cascade: each emission carries its (depth, emit_index)
+  /// sub-stamp (see Emission). Appends to `out` (not cleared).
+  void observe_cascading(const Entity& entity, time_model::TimePoint now,
+                         std::vector<Emission>& out);
+
+  /// True iff `entity`'s discriminant routes to at least one registered
+  /// definition slot (pure index dispatch — residual filter fields are
+  /// not checked). The cascading paths use this to skip provably inert
+  /// re-ingestions; the sharded runtime's cascade coordinator applies the
+  /// same rule at shard level so the two stay comparable.
+  [[nodiscard]] bool routes_anywhere(const Entity& entity);
+
   /// Batched ingest: exactly equivalent to calling
   /// `observe(batch[i], nows[i])` for i in order and concatenating the
   /// results — same instances, same order, same stats. Throws
@@ -200,7 +261,7 @@ class DetectionEngine : public Observer {
 
     void emit(std::uint32_t def, EventInstance&& inst) {
       if (tagged != nullptr) {
-        tagged->push_back(Emission{def, std::move(inst)});
+        tagged->push_back(Emission{def, 1, 0, std::move(inst)});
       } else {
         plain->push_back(std::move(inst));
       }
@@ -326,7 +387,10 @@ class DetectionEngine : public Observer {
   /// Fills matched_routes_ with (def, slot) pairs whose filter accepts
   /// `entity`, ordered by (definition, slot) registration order.
   void route(const Entity& entity);
-  void observe_impl(const Entity& entity, time_model::TimePoint now, EmitSink& sink);
+  /// `prestored` (optional) is caller-owned shared storage for `entity`;
+  /// when set, buffering slots alias it instead of deep-copying.
+  void observe_impl(const Entity& entity, time_model::TimePoint now, EmitSink& sink,
+                    const std::shared_ptr<const Entity>* prestored = nullptr);
   void fire_single(DefState& ds, const Entity& entity, time_model::TimePoint now, EmitSink& sink);
   void try_bindings(DefState& ds, std::size_t fixed_slot, const Buffered& fresh,
                     time_model::TimePoint now, EmitSink& sink);

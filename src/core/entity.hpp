@@ -28,6 +28,14 @@ class Entity {
   }
   [[nodiscard]] const EventInstance& instance() const { return std::get<EventInstance>(rep_); }
 
+  /// Moves the wrapped instance back out (rvalue only). The cascading
+  /// observation path wraps an emitted instance for re-evaluation and
+  /// reclaims it afterwards, so viewing an instance as an entity never
+  /// deep-copies it. Precondition: is_instance().
+  [[nodiscard]] EventInstance extract_instance() && {
+    return std::get<EventInstance>(std::move(rep_));
+  }
+
   /// (Estimated) occurrence time: t^o for observations, t^eo for instances.
   [[nodiscard]] time_model::OccurrenceTime occurrence_time() const {
     if (is_observation()) return time_model::OccurrenceTime(observation().time);

@@ -24,7 +24,10 @@ void ControlUnit::on_message(const net::Message& msg) {
 
 void ControlUnit::process_entity(const core::Entity& entity) {
   const time_model::TimePoint now = network_.simulator().now();
-  auto instances = engine_.observe(entity, now);
+  // Same shared cascade machinery as the sink / flat baseline: the engine
+  // re-observes derived instances itself when cascading is configured.
+  auto instances = config_.cascade ? engine_.observe_cascading(entity, now)
+                                   : engine_.observe(entity, now);
   for (auto& inst : instances) emit(std::move(inst));
 }
 

@@ -37,6 +37,12 @@ class ControlUnit {
     net::NodeId id;
     geom::Point position;
     time_model::Duration proc_delay = time_model::milliseconds(20);
+    /// If true, multi-level cyber definitions resolve inside this CCU:
+    /// emitted instances are re-observed through the engine's cascading
+    /// path (depth-capped) before publication, instead of requiring a
+    /// second CCU subscribed to the intermediate topic. Cross-CCU chains
+    /// over the broker are unaffected.
+    bool cascade = false;
     core::EngineOptions engine_options{};
   };
 

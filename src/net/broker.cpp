@@ -56,7 +56,34 @@ void Broker::on_message(const Message& msg) {
     } else if (const auto* batch = std::get_if<EntityBatch>(&msg.payload)) {
       runtime_->ingest_batch(batch->entities, now);
     }
+    if (forward_runtime_) {
+      // Opportunistic pump: whatever the runtime has merged by now (the
+      // full cascade closure per arrival in cascade mode) fans out to
+      // subscribers with provenance intact; drain_runtime() flushes the
+      // asynchronous tail.
+      for (core::EventInstance& inst : runtime_->poll()) forward_instance(std::move(inst));
+    }
   }
+  fan_out(msg);
+}
+
+std::size_t Broker::drain_runtime() {
+  if (runtime_ == nullptr || !forward_runtime_) return 0;
+  std::size_t n = 0;
+  for (core::EventInstance& inst : runtime_->flush()) {
+    forward_instance(std::move(inst));
+    ++n;
+  }
+  return n;
+}
+
+void Broker::forward_instance(core::EventInstance inst) {
+  // From the broker itself: fan-out only — re-ingesting would double-run
+  // the cascade the runtime already resolved.
+  Message msg;
+  msg.src = id_;
+  msg.dst = id_;
+  msg.payload = core::Entity(std::move(inst));
   fan_out(msg);
 }
 

@@ -48,9 +48,30 @@ class Broker {
   /// time) instead of requiring a single subscribing engine to keep up.
   /// EntityBatch payloads — WSN-internal framing that topic fan-out
   /// drops — are forwarded through the runtime's batched ingest, so relay
-  /// aggregation feeds detection without unbatching. The runtime must
-  /// outlive the broker; collect detections with poll()/flush() on it.
-  void attach_runtime(runtime::ShardedEngineRuntime& rt) { runtime_ = &rt; }
+  /// aggregation feeds detection without unbatching.
+  ///
+  /// With `forward` set, instances the runtime merges out — the full
+  /// cascade closure when RuntimeOptions::cascade is on, provenance
+  /// intact — are fanned out to their topics' subscribers (CCUs,
+  /// db::DatabaseServer, ...) like any published entity, except they are
+  /// *not* re-ingested (the runtime already cascaded them internally).
+  /// Merging is asynchronous, so the broker forwards opportunistically on
+  /// each delivery; call drain_runtime() at quiescence for the tail.
+  /// Forwarding consumes the runtime's merged stream (the broker polls
+  /// it), so it is opt-in: with `forward` false (the default, and the
+  /// pre-existing contract) the caller collects detections via
+  /// poll()/flush() on the runtime itself. The runtime must outlive the
+  /// broker.
+  void attach_runtime(runtime::ShardedEngineRuntime& rt, bool forward = false) {
+    runtime_ = &rt;
+    forward_runtime_ = forward;
+  }
+
+  /// Blocks until the attached runtime has processed every ingested
+  /// arrival, then fans the remaining merged instances out to their
+  /// subscribers. Returns the number of instances forwarded. No-op
+  /// without an attached (forwarding) runtime.
+  std::size_t drain_runtime();
 
   [[nodiscard]] std::size_t subscriber_count(const std::string& topic) const;
   [[nodiscard]] std::uint64_t published() const { return published_; }
@@ -59,10 +80,14 @@ class Broker {
  private:
   void on_message(const Message& msg);
   void fan_out(const Message& msg);
+  /// Wraps a runtime-merged instance as an entity from the broker itself
+  /// and fans it out to subscribers (no re-ingestion).
+  void forward_instance(core::EventInstance inst);
 
   Network& network_;
   NodeId id_;
   runtime::ShardedEngineRuntime* runtime_ = nullptr;
+  bool forward_runtime_ = false;
   std::unordered_map<std::string, std::vector<NodeId>> subscribers_;
   std::uint64_t published_ = 0;
   std::uint64_t fanned_out_ = 0;

@@ -43,11 +43,25 @@ ShardedEngineRuntime::ShardedEngineRuntime(core::ObserverId id, core::Layer laye
   dispatch_scratch_.resize(options_.shards);
   for (auto& shard : shards_) {
     Shard* s = shard.get();
-    shard->worker = std::thread([this, s] { worker_loop(*s); });
+    shard->worker = std::thread([this, s] {
+      if (options_.cascade) {
+        worker_cascade_loop(*s);
+      } else {
+        worker_loop(*s);
+      }
+    });
+  }
+  if (options_.cascade) {
+    cascade_thread_ = std::thread([this] { cascade_loop(); });
   }
 }
 
 ShardedEngineRuntime::~ShardedEngineRuntime() {
+  {
+    const std::lock_guard lk(cascade_mutex_);
+    cascade_stop_ = true;
+  }
+  cascade_cv_.notify_all();
   for (auto& shard : shards_) {
     {
       const std::lock_guard lk(shard->in_mutex);
@@ -59,6 +73,7 @@ ShardedEngineRuntime::~ShardedEngineRuntime() {
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
+  if (cascade_thread_.joinable()) cascade_thread_.join();
 }
 
 void ShardedEngineRuntime::add_definition(core::EventDefinition def) {
@@ -129,6 +144,18 @@ void ShardedEngineRuntime::add_definition(core::EventDefinition def) {
   // Collapsed: the per-arrival collect() walk stays O(shards) per key,
   // however many co-located definitions share it.
   shard_routes_.add_collapsed(def, shard);
+  if (options_.cascade) {
+    // The coordinator's routing copy starts identical and diverges only
+    // at migration barriers (applied at the closure frontier).
+    cascade_routes_.add_collapsed(def, shard);
+    for (const core::SlotSpec& slot : def.slots) {
+      const auto kind = slot.filter.signature().kind;
+      if (kind == core::FilterSignature::Kind::kEventType ||
+          kind == core::FilterSignature::Kind::kAny) {
+        feedback_possible_.store(true, std::memory_order_release);
+      }
+    }
+  }
   def_specs_.push_back(std::move(def));  // retained for migration routing updates
 }
 
@@ -200,6 +227,7 @@ void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
     deliveries_ += deliveries;
     replicated_ += replicated;
     dropped_ += dropped;
+    last_stamp_assigned_ = next_stamp_ - 1;
   }
 
   const std::shared_ptr<const Batch> frozen = std::move(block);
@@ -223,6 +251,8 @@ void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
     }
     shard.work_cv.notify_one();
   }
+
+  if (options_.cascade) signal_cascade();  // new pending arrivals to close
 
   // Epoch boundary: let the policy look at the load just attributed.
   if (options_.rebalance_epoch != 0 && epoch_arrivals_ >= options_.rebalance_epoch) {
@@ -276,8 +306,21 @@ void ShardedEngineRuntime::issue_migration_locked(std::uint32_t group, std::uint
   // Placement is now dynamic; worker threads own the local index maps.
   started_ = true;
 
-  push_control(*shards_[from], WorkItem{nullptr, {}, ticket, true});
-  push_control(*shards_[to], WorkItem{nullptr, {}, ticket, false});
+  // Cascade mode: the control items act at sub-stamp (barrier-1, +inf) —
+  // after every pre-barrier closure, before any post-barrier arrival —
+  // and the coordinator's routing copy flips when the closure frontier
+  // reaches the barrier, so feedback for pre-barrier stamps still reaches
+  // the group's old shard.
+  const std::uint64_t barrier = next_stamp_;
+  if (options_.cascade) {
+    {
+      const std::lock_guard clk(cascade_mutex_);
+      reroutes_.push_back(CascadeReroute{barrier, grp.defs, from, to});
+    }
+    signal_cascade();
+  }
+  push_control(*shards_[from], WorkItem{nullptr, {}, ticket, true, barrier, 0});
+  push_control(*shards_[to], WorkItem{nullptr, {}, ticket, false, barrier, 0});
 }
 
 bool ShardedEngineRuntime::migrate_definition(std::size_t def_index, std::size_t to_shard) {
@@ -422,6 +465,65 @@ void ShardedEngineRuntime::publish_work(
   shard.done_cv.notify_all();
 }
 
+void ShardedEngineRuntime::handle_control(
+    Shard& shard, WorkItem& item,
+    std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch) {
+  // Migration control item, exactly at the epoch barrier of this shard's
+  // stamp-ordered inbox.
+  std::vector<OutChunk> chunks;
+  MigrationTicket& ticket = *item.ticket;
+  if (item.send) {
+    // Every pre-barrier arrival for the group has been processed;
+    // extract its engine state and hand it to the destination worker.
+    std::vector<core::DefinitionState> states;
+    states.reserve(ticket.globals.size());
+    for (const std::uint32_t global : ticket.globals) {
+      // at(): a missing mapping is a bookkeeping bug — fail loudly
+      // (std::terminate via the uncaught throw) over silent UB.
+      states.push_back(shard.engine.extract_definition_state(shard.local_of.at(global)));
+      shard.local_of.erase(global);
+    }
+    // Republish *before* signalling ready: once the destination can
+    // implant (and start publishing the moved definitions' loads),
+    // this shard's published snapshot must no longer list them — two
+    // live publications of one definition would let a stale value
+    // overwrite a newer one in the rebalancer's merge.
+    publish_work(shard, chunks, shard.watermark.load(std::memory_order_relaxed), load_scratch);
+    {
+      const std::lock_guard tlk(ticket.m);
+      ticket.states = std::move(states);
+      ticket.ready = true;
+    }
+    ticket.cv.notify_all();
+  } else {
+    // Wait for the source's extraction, then implant before touching
+    // any post-barrier arrival. The wait only depends on the source
+    // worker draining its inbox (send items never block), so chains
+    // of concurrent migrations resolve in decision order.
+    std::vector<core::DefinitionState> states;
+    {
+      std::unique_lock tlk(ticket.m);
+      ticket.cv.wait(tlk, [&] { return ticket.ready; });
+      states = std::move(ticket.states);
+    }
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const auto local =
+          static_cast<std::uint32_t>(shard.engine.implant_definition_state(std::move(states[i])));
+      if (local >= shard.global_def.size()) shard.global_def.resize(local + 1, 0);
+      shard.global_def[local] = ticket.globals[i];
+      shard.local_of[ticket.globals[i]] = local;
+    }
+    // Republish stats/loads so the rebalancer sees the new layout;
+    // the watermark is unchanged (control items carry no arrivals).
+    publish_work(shard, chunks, shard.watermark.load(std::memory_order_relaxed), load_scratch);
+    {
+      const std::lock_guard tlk(ticket.m);
+      ticket.done = true;
+    }
+    ticket.cv.notify_all();
+  }
+}
+
 void ShardedEngineRuntime::worker_loop(Shard& shard) {
   std::vector<core::Emission> emissions;
   std::vector<OutChunk> chunks;
@@ -437,73 +539,22 @@ void ShardedEngineRuntime::worker_loop(Shard& shard) {
     }
 
     if (item.batch == nullptr) {
-      // Migration control item, exactly at the epoch barrier of this
-      // shard's stamp-ordered inbox.
-      MigrationTicket& ticket = *item.ticket;
-      if (item.send) {
-        // Every pre-barrier arrival for the group has been processed;
-        // extract its engine state and hand it to the destination worker.
-        std::vector<core::DefinitionState> states;
-        states.reserve(ticket.globals.size());
-        for (const std::uint32_t global : ticket.globals) {
-          // at(): a missing mapping is a bookkeeping bug — fail loudly
-          // (std::terminate via the uncaught throw) over silent UB.
-          states.push_back(shard.engine.extract_definition_state(shard.local_of.at(global)));
-          shard.local_of.erase(global);
-        }
-        // Republish *before* signalling ready: once the destination can
-        // implant (and start publishing the moved definitions' loads),
-        // this shard's published snapshot must no longer list them — two
-        // live publications of one definition would let a stale value
-        // overwrite a newer one in the rebalancer's merge.
-        chunks.clear();
-        publish_work(shard, chunks, shard.watermark.load(std::memory_order_relaxed),
-                     load_scratch);
-        {
-          const std::lock_guard tlk(ticket.m);
-          ticket.states = std::move(states);
-          ticket.ready = true;
-        }
-        ticket.cv.notify_all();
-      } else {
-        // Wait for the source's extraction, then implant before touching
-        // any post-barrier arrival. The wait only depends on the source
-        // worker draining its inbox (send items never block), so chains
-        // of concurrent migrations resolve in decision order.
-        std::vector<core::DefinitionState> states;
-        {
-          std::unique_lock tlk(ticket.m);
-          ticket.cv.wait(tlk, [&] { return ticket.ready; });
-          states = std::move(ticket.states);
-        }
-        for (std::size_t i = 0; i < states.size(); ++i) {
-          const auto local =
-              static_cast<std::uint32_t>(shard.engine.implant_definition_state(std::move(states[i])));
-          if (local >= shard.global_def.size()) shard.global_def.resize(local + 1, 0);
-          shard.global_def[local] = ticket.globals[i];
-          shard.local_of[ticket.globals[i]] = local;
-        }
-        // Republish stats/loads so the rebalancer sees the new layout;
-        // the watermark is unchanged (control items carry no arrivals).
-        chunks.clear();
-        publish_work(shard, chunks, shard.watermark.load(std::memory_order_relaxed),
-                     load_scratch);
-        {
-          const std::lock_guard tlk(ticket.m);
-          ticket.done = true;
-        }
-        ticket.cv.notify_all();
-      }
+      handle_control(shard, item, load_scratch);
       continue;
     }
 
     chunks.clear();
     for (const std::uint32_t i : item.indices) {
       emissions.clear();
-      shard.engine.observe(item.batch->entities[i], item.batch->nows[i], emissions);
+      // Aliasing pointer into the refcounted batch: slots that buffer the
+      // arrival share the batch storage instead of deep-copying (the
+      // ROADMAP per-arrival-copy lever; the batch stays alive while any
+      // shard buffers any of its entities).
+      const std::shared_ptr<const core::Entity> entity(item.batch, &item.batch->entities[i]);
+      shard.engine.observe(entity, item.batch->nows[i], emissions);
       if (emissions.empty()) continue;
       for (core::Emission& em : emissions) em.def = shard.global_def[em.def];
-      chunks.push_back(OutChunk{item.batch->stamps[i], std::move(emissions)});
+      chunks.push_back(OutChunk{item.batch->stamps[i], std::move(emissions), 0, 0, {}});
       emissions = {};
     }
     publish_work(shard, chunks, item.batch->stamps[item.indices.back()], load_scratch);
@@ -512,6 +563,379 @@ void ShardedEngineRuntime::worker_loop(Shard& shard) {
       shard.queued_arrivals -= item.indices.size();
     }
     shard.space_cv.notify_all();
+  }
+}
+
+void ShardedEngineRuntime::publish_cascade(
+    Shard& shard, std::vector<OutChunk>& chunks, std::uint64_t stamp, std::uint32_t depth,
+    std::uint32_t sub, std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch) {
+  const bool loads = publish_loads_.load(std::memory_order_relaxed);
+  if (loads) {
+    load_scratch.clear();
+    shard.engine.collect_definition_loads(load_scratch);
+    for (auto& [idx, load] : load_scratch) idx = shard.global_def[idx];  // local -> global
+  }
+  {
+    const std::lock_guard lk(shard.out_mutex);
+    for (OutChunk& chunk : chunks) shard.outbox.push_back(std::move(chunk));
+    shard.published_stats = shard.engine.stats();
+    if (loads) shard.published_def_loads = load_scratch;
+    shard.ck_stamp = stamp;
+    shard.ck_depth = depth;
+    shard.ck_sub = sub;
+    if (depth == 0) shard.watermark.store(stamp, std::memory_order_release);
+  }
+  shard.done_cv.notify_all();
+  signal_cascade();
+}
+
+void ShardedEngineRuntime::worker_cascade_loop(Shard& shard) {
+  std::vector<core::Emission> emissions;
+  std::vector<OutChunk> chunks;
+  std::vector<std::pair<std::uint32_t, core::DefinitionLoad>> load_scratch;
+
+  enum class Action { kFeedback, kControl, kArrival };
+  for (;;) {
+    Action action{};
+    FeedbackItem fb;
+    WorkItem control;
+    std::shared_ptr<const Batch> batch;
+    std::uint32_t index = 0;
+    {
+      std::unique_lock lk(shard.in_mutex);
+      for (;;) {
+        if (shard.stop) {
+          // Arrivals and feedback are abandoned (the runtime is being
+          // destroyed and the coordinator is stopping too), but pending
+          // migration handshakes must still complete: a peer worker may
+          // already be blocked in its receive-side ticket wait, which
+          // only the matching send can release. Every worker drains its
+          // control items on exit, so chains still resolve in decision
+          // order exactly as they would have live.
+          std::vector<WorkItem> controls;
+          for (WorkItem& item : shard.inbox) {
+            if (item.batch == nullptr) controls.push_back(std::move(item));
+          }
+          shard.inbox.clear();
+          lk.unlock();
+          for (WorkItem& item : controls) handle_control(shard, item, load_scratch);
+          return;
+        }
+        // Pick the head item with the smaller sub-stamp key: arrivals act
+        // at (s, 0), feedback at (s, depth >= 1), control items at
+        // (barrier-1, +inf). The coordinator dispatches feedback in key
+        // order and the inbox is stamp-ordered, so comparing the two
+        // heads yields the globally next item for this shard.
+        bool have = false;
+        Action candidate{};
+        std::uint64_t key_stamp = 0;
+        std::uint32_t key_depth = 0;
+        std::uint64_t gate = 0;  // closure frontier the item waits for
+        if (!shard.inbox.empty()) {
+          const WorkItem& head = shard.inbox.front();
+          if (head.batch == nullptr) {
+            candidate = Action::kControl;
+            key_stamp = head.barrier - 1;
+            key_depth = 0xffffffffu;
+            gate = head.barrier - 1;
+          } else {
+            candidate = Action::kArrival;
+            key_stamp = head.batch->stamps[head.indices[head.next]];
+            key_depth = 0;
+            gate = key_stamp - 1;
+          }
+          have = true;
+        }
+        if (!shard.feedback.empty()) {
+          const FeedbackItem& f = shard.feedback.front();
+          if (!have || f.stamp < key_stamp ||
+              (f.stamp == key_stamp && f.depth < key_depth)) {
+            candidate = Action::kFeedback;
+            gate = 0;  // sequenced by the coordinator; always admissible
+            have = true;
+          }
+        }
+        if (have) {
+          // Arrivals and control items wait for every earlier stamp's
+          // cascade to drain — unless feedback provably cannot exist.
+          const bool admissible =
+              candidate == Action::kFeedback ||
+              !feedback_possible_.load(std::memory_order_acquire) ||
+              closed_through_.load(std::memory_order_acquire) >= gate;
+          if (admissible) {
+            if (candidate == Action::kFeedback) {
+              fb = std::move(shard.feedback.front());
+              shard.feedback.pop_front();
+            } else if (candidate == Action::kControl) {
+              control = std::move(shard.inbox.front());
+              shard.inbox.pop_front();
+            } else {
+              WorkItem& head = shard.inbox.front();
+              batch = head.batch;
+              index = head.indices[head.next];
+              if (++head.next == head.indices.size()) shard.inbox.pop_front();
+            }
+            action = candidate;
+            break;
+          }
+        }
+        shard.work_cv.wait(lk);
+      }
+    }
+
+    if (action == Action::kControl) {
+      handle_control(shard, control, load_scratch);
+      continue;
+    }
+    if (action == Action::kFeedback) {
+      emissions.clear();
+      shard.engine.observe(fb.entity, fb.now, emissions);
+      chunks.clear();
+      if (!emissions.empty()) {
+        for (core::Emission& em : emissions) em.def = shard.global_def[em.def];
+        chunks.push_back(OutChunk{fb.stamp, std::move(emissions), fb.depth, fb.sub, fb.now});
+        emissions = {};
+      }
+      publish_cascade(shard, chunks, fb.stamp, fb.depth, fb.sub, load_scratch);
+      continue;
+    }
+    // Arrival: observed one at a time — the closure frontier must be able
+    // to advance between consecutive stamps, so completion is published
+    // per arrival, not per batch item.
+    emissions.clear();
+    const std::shared_ptr<const core::Entity> entity(batch, &batch->entities[index]);
+    const std::uint64_t stamp = batch->stamps[index];
+    shard.engine.observe(entity, batch->nows[index], emissions);
+    chunks.clear();
+    if (!emissions.empty()) {
+      for (core::Emission& em : emissions) em.def = shard.global_def[em.def];
+      chunks.push_back(OutChunk{stamp, std::move(emissions), 0, 0, batch->nows[index]});
+      emissions = {};
+    }
+    publish_cascade(shard, chunks, stamp, 0, 0, load_scratch);
+    {
+      const std::lock_guard lk(shard.in_mutex);
+      --shard.queued_arrivals;
+    }
+    shard.space_cv.notify_all();
+  }
+}
+
+void ShardedEngineRuntime::signal_cascade() {
+  {
+    const std::lock_guard lk(cascade_mutex_);
+    ++cascade_signal_;
+  }
+  cascade_cv_.notify_all();
+}
+
+template <typename Pred>
+bool ShardedEngineRuntime::cascade_wait(Pred&& pred) {
+  std::uint64_t seen;
+  {
+    const std::lock_guard lk(cascade_mutex_);
+    seen = cascade_signal_;
+  }
+  for (;;) {
+    if (pred()) return true;
+    std::unique_lock lk(cascade_mutex_);
+    cascade_cv_.wait(lk, [&] { return cascade_stop_ || cascade_signal_ != seen; });
+    if (cascade_stop_) return false;
+    seen = cascade_signal_;
+  }
+}
+
+bool ShardedEngineRuntime::ck_reached_all(std::uint64_t mask, std::uint64_t stamp,
+                                          std::uint32_t depth, std::uint32_t sub) {
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    Shard& shard = *shards_[static_cast<std::size_t>(std::countr_zero(m))];
+    const std::lock_guard lk(shard.out_mutex);
+    if (shard.ck_stamp != stamp) {
+      if (shard.ck_stamp < stamp) return false;
+      continue;
+    }
+    if (shard.ck_depth != depth) {
+      if (shard.ck_depth < depth) return false;
+      continue;
+    }
+    if (shard.ck_sub < sub) return false;
+  }
+  return true;
+}
+
+void ShardedEngineRuntime::gather_level_chunks(Shard& shard, std::uint64_t stamp,
+                                               std::uint32_t depth,
+                                               std::vector<core::Emission>& out,
+                                               time_model::TimePoint& now) {
+  const std::lock_guard lk(shard.out_mutex);
+  while (!shard.outbox.empty() && shard.outbox.front().stamp == stamp &&
+         shard.outbox.front().depth == depth) {
+    OutChunk chunk = std::move(shard.outbox.front());
+    shard.outbox.pop_front();
+    now = chunk.now;
+    for (core::Emission& em : chunk.emissions) {
+      // Tag with the source item's sub so the caller can restore global
+      // level order (parent order, then definition index) before
+      // renumbering the level.
+      em.emit_index = chunk.sub;
+      out.push_back(std::move(em));
+    }
+  }
+}
+
+void ShardedEngineRuntime::apply_reroutes(std::uint64_t stamp) {
+  for (;;) {
+    CascadeReroute record;
+    {
+      const std::lock_guard lk(cascade_mutex_);
+      if (reroutes_.empty() || reroutes_.front().barrier > stamp) return;
+      record = std::move(reroutes_.front());
+      reroutes_.pop_front();
+    }
+    // def_specs_ stops growing once ingestion starts, so reading it off
+    // the coordinator thread is safe (the registration writes are ordered
+    // before the first pending arrival via the ingest/merge locks).
+    for (const std::uint32_t d : record.defs) {
+      cascade_routes_.remove_collapsed(def_specs_[d], record.from);
+      cascade_routes_.add_collapsed(def_specs_[d], record.to);
+    }
+  }
+}
+
+void ShardedEngineRuntime::cascade_loop() {
+  std::vector<core::Emission> level;
+  std::vector<core::Emission> next_level;
+  std::vector<core::Emission> closure;
+  std::vector<core::SlotRoute> routes;
+  std::vector<std::uint32_t> last_sub(shards_.size(), 0);
+  std::vector<std::uint8_t> touched(shards_.size(), 0);
+  const auto by_parent_then_def = [](const core::Emission& a, const core::Emission& b) {
+    return a.emit_index != b.emit_index ? a.emit_index < b.emit_index : a.def < b.def;
+  };
+
+  for (;;) {
+    // 1. Next open arrival, in stamp order.
+    Pending p{};
+    if (!cascade_wait([&] {
+          const std::lock_guard lk(merge_mutex_);
+          if (pending_.empty()) return false;
+          p = pending_.front();
+          return true;
+        })) {
+      return;
+    }
+    // 2. Wait until every recipient shard has observed the arrival.
+    if (!cascade_wait([&] { return ck_reached_all(p.mask, p.stamp, 0, 0); })) return;
+    // 3. Apply migration routing flips whose barrier the frontier reached.
+    apply_reroutes(p.stamp);
+
+    // 4. Drain the cascade level by level (breadth-first, exactly the
+    //    sequential observe_cascading order).
+    closure.clear();
+    level.clear();
+    time_model::TimePoint now{};
+    for (std::uint64_t m = p.mask; m != 0; m &= m - 1) {
+      gather_level_chunks(*shards_[static_cast<std::size_t>(std::countr_zero(m))], p.stamp, 0,
+                          level, now);
+    }
+    std::stable_sort(level.begin(), level.end(), by_parent_then_def);
+    std::uint32_t depth = 1;
+    std::uint64_t reingested = 0;
+    std::uint64_t truncated = 0;
+    bool aborted = false;
+    while (!level.empty()) {
+      const std::size_t base = closure.size();
+      for (std::size_t k = 0; k < level.size(); ++k) {
+        level[k].depth = depth;
+        level[k].emit_index = static_cast<std::uint32_t>(k);
+        closure.push_back(std::move(level[k]));
+      }
+      if (depth >= options_.engine.max_cascade_depth) {
+        // Cycle guard: the cap level is delivered but never re-ingested;
+        // count the suppressed re-ingestions exactly as the engine does.
+        for (std::size_t k = base; k < closure.size(); ++k) {
+          core::Entity fed(std::move(closure[k].instance));
+          routes.clear();
+          cascade_routes_.collect(fed, routes, [](const core::SlotRoute&) { return true; });
+          if (!routes.empty()) ++truncated;
+          closure[k].instance = std::move(fed).extract_instance();
+        }
+        break;
+      }
+      // Re-ingest this level as feedback, in level order.
+      std::fill(touched.begin(), touched.end(), 0);
+      bool any_dispatch = false;
+      for (std::size_t k = base; k < closure.size(); ++k) {
+        core::Emission& em = closure[k];
+        core::Entity fed(std::move(em.instance));
+        routes.clear();
+        cascade_routes_.collect(fed, routes, [](const core::SlotRoute&) { return true; });
+        if (routes.empty()) {  // inert: no shard hosts a candidate definition
+          em.instance = std::move(fed).extract_instance();
+          continue;
+        }
+        ++reingested;
+        any_dispatch = true;
+        const auto shared = std::make_shared<const core::Entity>(std::move(fed));
+        em.instance = shared->instance();  // the merged stream keeps its copy
+        std::uint64_t mask = 0;
+        for (const core::SlotRoute r : routes) mask |= std::uint64_t{1} << r.def_idx;
+        for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+          const auto s = static_cast<std::size_t>(std::countr_zero(m));
+          {
+            const std::lock_guard lk(shards_[s]->in_mutex);
+            shards_[s]->feedback.push_back(
+                FeedbackItem{p.stamp, depth, em.emit_index, shared, now});
+          }
+          shards_[s]->work_cv.notify_one();
+          touched[s] = 1;
+          last_sub[s] = em.emit_index;
+        }
+      }
+      if (!any_dispatch) break;
+      // 5. Wait for every recipient to drain the level, then gather the
+      //    children and restore global order.
+      if (!cascade_wait([&] {
+            for (std::size_t s = 0; s < shards_.size(); ++s) {
+              if (touched[s] != 0 &&
+                  !ck_reached_all(std::uint64_t{1} << s, p.stamp, depth, last_sub[s])) {
+                return false;
+              }
+            }
+            return true;
+          })) {
+        aborted = true;
+        break;
+      }
+      next_level.clear();
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (touched[s] != 0) gather_level_chunks(*shards_[s], p.stamp, depth, next_level, now);
+      }
+      std::stable_sort(next_level.begin(), next_level.end(), by_parent_then_def);
+      level.swap(next_level);
+      ++depth;
+    }
+    if (aborted) return;
+
+    // 6. Close the stamp: release the closure to the merged stream and
+    //    advance the frontier (unblocking the workers' next arrivals).
+    {
+      const std::lock_guard lk(merge_mutex_);
+      for (core::Emission& em : closure) cascade_out_.push_back(std::move(em.instance));
+      instances_ += closure.size();
+      cascade_reingested_ += reingested;
+      cascade_truncated_ += truncated;
+      pending_.pop_front();
+      closed_through_.store(pending_.empty() ? last_stamp_assigned_ : pending_.front().stamp - 1,
+                            std::memory_order_release);
+    }
+    merged_cv_.notify_all();
+    for (auto& shard : shards_) {
+      // Lock/unlock pairs the frontier store with the workers' gate check
+      // (which reads closed_through_ under in_mutex) — no missed wakeup.
+      { const std::lock_guard lk(shard->in_mutex); }
+      shard->work_cv.notify_all();
+    }
   }
 }
 
@@ -561,11 +985,26 @@ void ShardedEngineRuntime::drain_ready_locked(std::vector<core::EventInstance>& 
 std::vector<core::EventInstance> ShardedEngineRuntime::poll() {
   std::vector<core::EventInstance> out;
   const std::lock_guard lk(merge_mutex_);
+  if (options_.cascade) {
+    // The coordinator merges autonomously as closures complete; poll just
+    // takes what has been released so far.
+    out.swap(cascade_out_);
+    return out;
+  }
   drain_ready_locked(out);
   return out;
 }
 
 std::vector<core::EventInstance> ShardedEngineRuntime::flush() {
+  if (options_.cascade) {
+    // Closed stamps leave pending_ only after their full cascade closure
+    // has been merged, so an empty frontier means quiescence.
+    std::unique_lock lk(merge_mutex_);
+    merged_cv_.wait(lk, [&] { return pending_.empty(); });
+    std::vector<core::EventInstance> out;
+    out.swap(cascade_out_);
+    return out;
+  }
   std::vector<std::uint64_t> targets(shards_.size(), 0);
   {
     const std::lock_guard lk(ingest_mutex_);
@@ -602,6 +1041,8 @@ RuntimeStats ShardedEngineRuntime::stats() const {
   s.replicated = replicated_;
   s.dropped = dropped_;
   s.instances = instances_;
+  s.cascade_reingested = cascade_reingested_;
+  s.cascade_truncated = cascade_truncated_;
   return s;
 }
 

@@ -36,6 +36,15 @@ struct RuntimeOptions {
   /// highest-cost movable group off any shard above 1.5x the mean load)
   /// when rebalancing is enabled and no policy is supplied.
   std::shared_ptr<RebalancePolicy> rebalance_policy;
+  /// Enables deterministic hierarchical cascading: derived instances are
+  /// routed back through the shard-level routing index as *feedback*
+  /// items, each shard processes work in sub-stamp order behind the
+  /// cascade closure frontier, and the merged stream is exactly what a
+  /// sequential DetectionEngine::observe_cascading() fed the same
+  /// arrivals would emit (depth cap: engine.max_cascade_depth). Off by
+  /// default — the non-cascading pipeline is byte-identical to plain
+  /// observe() and pays none of the closure coordination.
+  bool cascade = false;
   /// Options forwarded to every shard's DetectionEngine.
   core::EngineOptions engine;
 };
@@ -55,6 +64,13 @@ struct RuntimeStats {
   std::uint64_t migrations = 0;   ///< definition-group migrations issued
   std::uint64_t rebalance_passes = 0;  ///< automatic policy passes run
   std::uint64_t max_inbox = 0;    ///< high-water inbox depth (arrivals), any shard
+  /// Cascade mode: derived instances re-ingested as feedback (counted
+  /// once per instance, not per recipient shard) — comparable to
+  /// EngineStats::cascade_reingested on the sequential reference.
+  std::uint64_t cascade_reingested = 0;
+  /// Cascade mode: re-ingestions suppressed by the depth cap (the cycle
+  /// guard) — comparable to EngineStats::cascade_truncated.
+  std::uint64_t cascade_truncated = 0;
 };
 
 /// Multi-core detection runtime: partitions registered definitions across
@@ -99,6 +115,27 @@ struct RuntimeStats {
 /// (arrival stamp, definition registration index) — exactly the order a
 /// single sequential DetectionEngine fed the same stream would emit
 /// (tests/runtime_shard_test.cpp proves equality differentially).
+///
+/// **Hierarchical cascade** (RuntimeOptions::cascade): instances detected
+/// at one layer become entities evaluated at the next (paper Fig. 2). A
+/// dedicated coordinator thread drives each arrival's *cascade closure*:
+/// once every recipient shard has processed the arrival, its merged
+/// emissions (level 1) are routed through a stamp-versioned copy of the
+/// shard routing index and re-ingested as *feedback items* carrying the
+/// hierarchical sub-stamp `(arrival stamp, depth, emit index)`; the
+/// recipients' level-2 emissions are gathered, merged and re-ingested in
+/// turn, until a level is empty or the depth cap is reached. Workers
+/// process work in sub-stamp order — an arrival may only be observed
+/// once every earlier stamp's closure has fully drained (the *closure
+/// frontier*), so buffer mutations interleave exactly as in a sequential
+/// cascading engine — and the merge releases a stamp only when its full
+/// closure has drained. Migrations stay exact: control items gate on the
+/// closure frontier of their barrier stamp and the coordinator flips its
+/// routing copy when the frontier reaches the barrier, so feedback for
+/// pre-barrier stamps still reaches the group's old shard
+/// (tests/runtime_cascade_test.cpp proves stream equality against
+/// DetectionEngine::observe_cascading differentially, migrations
+/// included).
 class ShardedEngineRuntime {
  public:
   ShardedEngineRuntime(core::ObserverId id, core::Layer layer, geom::Point location,
@@ -121,8 +158,13 @@ class ShardedEngineRuntime {
   void ingest(const core::Entity& entity, time_model::TimePoint now);
   /// Batched ingest: one routing pass and at most one inbox operation per
   /// shard for the whole batch, and the batch storage is shared between
-  /// recipient shards (each arrival is copied once, regardless of
-  /// replication). Equivalent to ingest(batch[i], nows[i]) for i in order.
+  /// recipient shards — workers buffer arrivals by aliasing it, so no
+  /// per-arrival entity copy is made at all. Memory tradeoff: one
+  /// buffered entity keeps its whole ingest batch alive until evicted,
+  /// so long-window definitions fed huge batches retain
+  /// O(buffered slots x batch size) entities; prefer moderate batch
+  /// sizes (hundreds) when windows are long.
+  /// Equivalent to ingest(batch[i], nows[i]) for i in order.
   void ingest_batch(std::span<const core::Entity> batch,
                     std::span<const time_model::TimePoint> nows);
   /// Batched ingest where every arrival shares one observation time.
@@ -198,14 +240,54 @@ class ShardedEngineRuntime {
     std::vector<std::uint32_t> indices;  // ascending (stamp order)
     std::shared_ptr<MigrationTicket> ticket;
     bool send = false;
+    /// Control items in cascade mode: the migration's barrier stamp. The
+    /// control acts at sub-stamp (barrier-1, +inf) — after every
+    /// pre-barrier stamp's closure, before any post-barrier arrival.
+    std::uint64_t barrier = 0;
+    /// Cascade mode: next unprocessed position in `indices` (workers
+    /// consume batch items one arrival at a time behind the closure
+    /// frontier). Guarded by in_mutex.
+    std::size_t next = 0;
+  };
+
+  /// Cascade mode: one derived instance re-ingested into a shard, keyed
+  /// by its hierarchical sub-stamp. `entity` is shared across recipient
+  /// shards (and aliased by any slot that buffers it); `now` is the
+  /// originating arrival's observation time, exactly what the sequential
+  /// cascading loop re-feeds with. Feedback carries no inbox-capacity
+  /// cost: at most one stamp's closure is in flight at a time, so the
+  /// outstanding feedback is bounded by one cascade's width.
+  struct FeedbackItem {
+    std::uint64_t stamp = 0;
+    std::uint32_t depth = 0;  ///< depth of the instance being re-fed
+    std::uint32_t sub = 0;    ///< its emit_index within (stamp, depth)
+    std::shared_ptr<const core::Entity> entity;
+    time_model::TimePoint now;
+  };
+
+  /// Cascade mode: a routing flip the coordinator applies to its own
+  /// routing copy when the closure frontier reaches `barrier` — feedback
+  /// for stamps before the barrier must still reach the group's old
+  /// shard, after it the new one.
+  struct CascadeReroute {
+    std::uint64_t barrier = 0;
+    std::vector<std::uint32_t> defs;  ///< the group's global def indices
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
   };
 
   /// One processed arrival's emissions (tagged with *global* definition
   /// indices), in a shard's outbox. Only emitting arrivals enqueue a
   /// chunk; completion of silent arrivals is conveyed by the watermark.
+  /// Cascade mode: (depth, sub) identify the source item — (0, 0) for the
+  /// arrival itself, the feedback item's sub-stamp otherwise — and `now`
+  /// carries the observation time forward for the next level's re-feeds.
   struct OutChunk {
     std::uint64_t stamp = 0;
     std::vector<core::Emission> emissions;
+    std::uint32_t depth = 0;
+    std::uint32_t sub = 0;
+    time_model::TimePoint now;
   };
 
   struct Shard {
@@ -222,10 +304,14 @@ class ShardedEngineRuntime {
     /// consulted when a send control item extracts a group.
     std::unordered_map<std::uint32_t, std::uint32_t> local_of;
 
-    std::mutex in_mutex;                      ///< guards inbox/queued/stop
+    std::mutex in_mutex;                      ///< guards inbox/feedback/queued/stop
     std::condition_variable work_cv;          ///< worker waits for work
     std::condition_variable space_cv;         ///< producers wait for space
     std::deque<WorkItem> inbox;
+    /// Cascade mode: feedback items dispatched by the coordinator, in
+    /// sub-stamp order. Drained interleaved with the inbox by sub-stamp
+    /// (the worker picks whichever head item has the smaller key).
+    std::deque<FeedbackItem> feedback;
     std::size_t queued_arrivals = 0;          ///< inbox + in-flight arrivals
     std::uint64_t max_queued = 0;             ///< high-water queued_arrivals
     bool stop = false;
@@ -246,6 +332,14 @@ class ShardedEngineRuntime {
     /// done). Written under out_mutex *after* the matching outbox push;
     /// poll() reads it lock-free with acquire ordering.
     std::atomic<std::uint64_t> watermark{0};
+    /// Cascade mode: sub-stamp of the last fully processed work item
+    /// (arrival or feedback), published under out_mutex after the
+    /// matching outbox push. The coordinator waits on it (done_cv) to
+    /// know a level has drained on this shard. Monotone: workers consume
+    /// in sub-stamp order.
+    std::uint64_t ck_stamp = 0;               ///< guarded by out_mutex
+    std::uint32_t ck_depth = 0;               ///< guarded by out_mutex
+    std::uint32_t ck_sub = 0;                 ///< guarded by out_mutex
     std::uint64_t last_routed = 0;            ///< guarded by ingest_mutex_
 
     std::thread worker;
@@ -275,6 +369,41 @@ class ShardedEngineRuntime {
   /// Publishes outbox chunks + stats/def-load snapshots and the watermark.
   void publish_work(Shard& shard, std::vector<OutChunk>& chunks, std::uint64_t last_stamp,
                     std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch);
+  /// Worker body in cascade mode: consumes inbox + feedback in sub-stamp
+  /// order, arrivals and control items gated behind the closure frontier.
+  void worker_cascade_loop(Shard& shard);
+  /// Executes a migration control item (send: extract + hand over;
+  /// receive: wait + implant) and republishes snapshots. Shared by both
+  /// worker loops.
+  void handle_control(Shard& shard, WorkItem& item,
+                      std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch);
+  /// Cascade-mode publish: chunks + snapshots + the processed sub-stamp
+  /// (and the stamp watermark when the item was an arrival).
+  void publish_cascade(Shard& shard, std::vector<OutChunk>& chunks, std::uint64_t stamp,
+                       std::uint32_t depth, std::uint32_t sub,
+                       std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch);
+  /// Coordinator body: drives each pending arrival's cascade closure and
+  /// advances the closure frontier (see class comment).
+  void cascade_loop();
+  /// Bumps the progress counter and wakes the coordinator.
+  void signal_cascade();
+  /// Blocks until pred() holds (rechecked on every progress signal);
+  /// returns false when the runtime is shutting down. pred takes the
+  /// locks it needs itself and must not touch cascade_mutex_.
+  template <typename Pred>
+  bool cascade_wait(Pred&& pred);
+  /// True once every shard in `mask` has processed sub-stamp (stamp,
+  /// depth, sub) — i.e. published a ck at or beyond it.
+  bool ck_reached_all(std::uint64_t mask, std::uint64_t stamp, std::uint32_t depth,
+                      std::uint32_t sub);
+  /// Pops this shard's outbox chunks for level (stamp, depth), tagging
+  /// each emission's emit_index with its source item's sub so the
+  /// coordinator can restore global level order.
+  void gather_level_chunks(Shard& shard, std::uint64_t stamp, std::uint32_t depth,
+                           std::vector<core::Emission>& out, time_model::TimePoint& now);
+  /// Applies queued routing flips whose barrier the closure frontier has
+  /// reached (coordinator thread only).
+  void apply_reroutes(std::uint64_t stamp);
   /// Appends merged instances that are ready; merge_mutex_ must be held.
   void drain_ready_locked(std::vector<core::EventInstance>& out);
   /// Flips routing/bookkeeping of `group` to `to` and enqueues the
@@ -337,6 +466,33 @@ class ShardedEngineRuntime {
   std::uint64_t dropped_ = 0;
   std::uint64_t instances_ = 0;
   std::vector<core::Emission> gather_scratch_;  // guarded by merge_mutex_
+
+  // --- Cascade mode (all unused unless options_.cascade) ---
+  /// The coordinator's own routing index, versioned by the closure
+  /// frontier: registration mirrors shard_routes_; after start it is
+  /// touched only by the coordinator thread, which applies queued
+  /// CascadeReroutes exactly when the frontier reaches their barrier.
+  core::RoutingIndex cascade_routes_;
+  std::thread cascade_thread_;
+  /// Guards the coordinator's wake-up state and the reroute queue.
+  mutable std::mutex cascade_mutex_;
+  std::condition_variable cascade_cv_;
+  std::uint64_t cascade_signal_ = 0;     // guarded by cascade_mutex_
+  bool cascade_stop_ = false;            // guarded by cascade_mutex_
+  std::deque<CascadeReroute> reroutes_;  // guarded by cascade_mutex_, ascending barrier
+  /// Closure frontier: every stamp <= this has fully cascaded and merged.
+  /// Workers gate arrivals (stamp s waits for s-1) and control items
+  /// (barrier b waits for b-1) on it; the coordinator advances it.
+  std::atomic<std::uint64_t> closed_through_{0};
+  /// False while no registered definition can match an event instance
+  /// (no event-type or wildcard slot): feedback then provably never
+  /// exists and workers skip the closure gate entirely.
+  std::atomic<bool> feedback_possible_{false};
+  std::condition_variable merged_cv_;  ///< with merge_mutex_: closure progress
+  std::vector<core::EventInstance> cascade_out_;  // guarded by merge_mutex_
+  std::uint64_t last_stamp_assigned_ = 0;         // guarded by merge_mutex_
+  std::uint64_t cascade_reingested_ = 0;          // guarded by merge_mutex_
+  std::uint64_t cascade_truncated_ = 0;           // guarded by merge_mutex_
 };
 
 }  // namespace stem::runtime

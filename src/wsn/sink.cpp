@@ -37,25 +37,22 @@ void SinkNode::process_entity(const core::Entity& entity) {
     if (auto located = localizer_->on_event(entity.instance(), now, config_.id,
                                             config_.position)) {
       // The location estimate is itself an entity for the sink's engine
-      // (e.g. zone-entry conditions over the estimated position).
-      auto derived = engine_.observe(core::Entity(*located), now);
-      emit(*std::move(located));
+      // (e.g. zone-entry conditions over the estimated position). Wrap it
+      // by move and reclaim it for emission — no copy.
+      core::Entity ent(*std::move(located));
+      auto derived = engine_.observe(ent, now);
+      emit(std::move(ent).extract_instance());
       for (auto& inst : derived) emit(std::move(inst));
     }
   }
 
-  std::vector<core::EventInstance> frontier = engine_.observe(entity, now);
-  while (!frontier.empty()) {
-    std::vector<core::EventInstance> next;
-    if (config_.cascade) {
-      for (const auto& inst : frontier) {
-        auto derived = engine_.observe(core::Entity(inst), now);
-        for (auto& d : derived) next.push_back(std::move(d));
-      }
-    }
-    for (auto& inst : frontier) emit(std::move(inst));
-    frontier = std::move(next);
-  }
+  // The cascading configuration re-feeds derived instances inside the
+  // engine (shared machinery with FlatCollector / the sharded runtime);
+  // emission order — level 1, then level 2, ... — is unchanged from the
+  // old caller-side frontier loop, which copied every instance.
+  auto instances = config_.cascade ? engine_.observe_cascading(entity, now)
+                                   : engine_.observe(entity, now);
+  for (auto& inst : instances) emit(std::move(inst));
 }
 
 void SinkNode::emit(core::EventInstance inst) {

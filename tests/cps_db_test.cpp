@@ -233,6 +233,102 @@ TEST(EventStoreLineageTest, FollowsProvenanceChain) {
   EXPECT_EQ(chain[2]->key.event, EventTypeId("S_HOT"));
 }
 
+TEST(EventStoreLineageTest, CascadeClosureLineageAndPrunedMidChain) {
+  // A real >=3-level cascade (obs -> HOT -> CP -> ALM) produced by the
+  // engine's cascading path, archived level by level: lineage from the
+  // regional alarm must walk the full provenance chain down to the HOT
+  // instances whose own provenance names the originating observations;
+  // prune_before dropping a mid-chain ancestor makes lineage skip it (and
+  // everything only reachable through it) without crashing.
+  auto with_value = [](core::EventDefinition def, std::vector<core::SlotIndex> slots) {
+    def.synthesis.attributes.push_back(
+        core::AttributeRule{"value", core::ValueAggregate::kMax, "value", std::move(slots)});
+    return def;
+  };
+  core::DetectionEngine engine(ObserverId("FLAT"), Layer::kCyber, {0, 0});
+  engine.add_definition(with_value(
+      core::EventDefinition{
+          EventTypeId("HOT"),
+          {{"x", core::SlotFilter::observation(core::SensorId("SRa"))}},
+          core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt,
+                       60.0),
+          seconds(60),
+          {},
+          core::ConsumptionMode::kUnrestricted},
+      {0}));
+  engine.add_definition(with_value(
+      core::EventDefinition{
+          EventTypeId("CP"),
+          {{"a", core::SlotFilter::instance_of(EventTypeId("HOT"))},
+           {"b", core::SlotFilter::instance_of(EventTypeId("HOT"))}},
+          core::c_and({core::c_time(0, time_model::TemporalOp::kBefore, 1),
+                       core::c_distance(0, 1, core::RelationalOp::kLt, 10.0)}),
+          seconds(60),
+          {},
+          core::ConsumptionMode::kUnrestricted},
+      {0, 1}));
+  engine.add_definition(with_value(
+      core::EventDefinition{
+          EventTypeId("ALM"),
+          {{"f", core::SlotFilter::instance_of(EventTypeId("CP"))}},
+          core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt,
+                       50.0),
+          seconds(60),
+          {},
+          core::ConsumptionMode::kUnrestricted},
+      {0}));
+
+  const auto observe_at = [&](std::uint64_t seq, TimePoint t, Point where, double value) {
+    core::PhysicalObservation o;
+    o.mote = ObserverId("MT" + std::to_string(seq));
+    o.sensor = core::SensorId("SRa");
+    o.seq = seq;
+    o.time = t;
+    o.location = Location(where);
+    o.attributes.set("value", value);
+    return engine.observe_cascading(core::Entity(std::move(o)), t);
+  };
+
+  db::EventStore store;
+  const TimePoint t1 = TimePoint(0) + seconds(1);
+  const TimePoint t2 = TimePoint(0) + seconds(2);
+  for (auto& inst : observe_at(0, t1, {0, 0}, 80.0)) store.insert(std::move(inst));
+  std::vector<EventInstance> second = observe_at(1, t2, {1, 1}, 90.0);
+  ASSERT_EQ(second.size(), 3u);  // HOT#1 -> CP -> ALM in one closure
+  const EventInstanceKey alarm = second.back().key;
+  ASSERT_EQ(second.back().key.event, EventTypeId("ALM"));
+  for (auto& inst : second) store.insert(std::move(inst));
+  ASSERT_EQ(store.size(), 4u);
+
+  // Full chain: ALM -> CP -> {HOT#0, HOT#1}; the HOT level's provenance
+  // names the originating observations (not stored, so the walk stops
+  // there with the keys intact).
+  const auto chain = store.lineage(alarm);
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0]->key.event, EventTypeId("ALM"));
+  EXPECT_EQ(chain[1]->key.event, EventTypeId("CP"));
+  EXPECT_EQ(chain[2]->key.event, EventTypeId("HOT"));
+  EXPECT_EQ(chain[3]->key.event, EventTypeId("HOT"));
+  for (const auto* hot : {chain[2], chain[3]}) {
+    ASSERT_EQ(hot->provenance.size(), 1u);
+    EXPECT_EQ(hot->provenance[0].event.value().substr(0, 4), "obs:");
+  }
+
+  // Retention drops the older HOT (generated at t1): lineage skips the
+  // missing mid-chain ancestor and returns the rest.
+  ASSERT_EQ(store.prune_before(t1 + seconds(1)), 1u);
+  const auto pruned = store.lineage(alarm);
+  ASSERT_EQ(pruned.size(), 3u);
+  EXPECT_EQ(pruned[0]->key.event, EventTypeId("ALM"));
+  EXPECT_EQ(pruned[1]->key.event, EventTypeId("CP"));
+  EXPECT_EQ(pruned[2]->key.event, EventTypeId("HOT"));
+
+  // Degenerate retention (the whole closure gone): lineage of the
+  // now-missing root is empty, not a crash.
+  ASSERT_EQ(store.prune_before(t2 + seconds(1)), 3u);
+  EXPECT_TRUE(store.lineage(alarm).empty());
+}
+
 TEST_F(CcuFixture, DatabaseServerArchivesPublishedInstances) {
   db::DatabaseServer dbs(network, broker, {ObserverId("DB1")});
   network.connect(ObserverId("DB1"), ObserverId("BROKER"), net::LinkSpec{});

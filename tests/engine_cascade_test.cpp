@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim/random.hpp"
+
+/// Engine-level hierarchical cascade (observe_cascading): the in-engine
+/// re-ingestion path must reproduce the hand-rolled caller-side frontier
+/// loop it replaced (FlatCollector / SinkNode / CCU), assign hierarchical
+/// sub-stamps (depth, emit_index), terminate cyclic definitions at the
+/// depth cap, and count cap truncations in EngineStats.
+
+namespace stem::core {
+namespace {
+
+using geom::Location;
+using geom::Point;
+using time_model::seconds;
+using time_model::TimePoint;
+
+std::string describe(const EventInstance& i) {
+  std::ostringstream os;
+  os << i.key << " layer=" << static_cast<int>(i.layer) << " gen=" << i.gen_time
+     << " t=" << i.est_time << " l=" << i.est_location << " rho=" << i.confidence
+     << " V=" << i.attributes << " from=[";
+  for (const auto& p : i.provenance) os << p << ";";
+  os << "]";
+  return os.str();
+}
+
+PhysicalObservation obs(int mote, const std::string& sensor, std::uint64_t seq, TimePoint t,
+                        Point p, double value) {
+  PhysicalObservation o;
+  o.mote = ObserverId("MT" + std::to_string(mote));
+  o.sensor = SensorId(sensor);
+  o.seq = seq;
+  o.time = t;
+  o.location = Location(p);
+  o.attributes.set("value", value);
+  return o;
+}
+
+EventDefinition with_value_attr(EventDefinition def, std::vector<SlotIndex> slots) {
+  def.synthesis.attributes.push_back(
+      AttributeRule{"value", ValueAggregate::kMax, "value", std::move(slots)});
+  return def;
+}
+
+/// Acyclic three-level chain: obs(SRa|SRb) -> HOT -> CP (pair join over
+/// HOT instances) -> ALM. Matches the paper's mote -> sink -> CCU fan-in,
+/// hosted by one engine.
+std::vector<EventDefinition> chain_definitions(ConsumptionMode mode) {
+  std::vector<EventDefinition> defs;
+  defs.push_back(with_value_attr(
+      EventDefinition{EventTypeId("HOT"),
+                      {{"x", SlotFilter::observation(SensorId("SRa"))}},
+                      c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 60.0),
+                      seconds(60),
+                      {},
+                      mode},
+      {0}));
+  // Same event type, different sensor: shares HOT's sequence counter.
+  defs.push_back(with_value_attr(
+      EventDefinition{EventTypeId("HOT"),
+                      {{"x", SlotFilter::observation(SensorId("SRb"))}},
+                      c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 40.0),
+                      seconds(60),
+                      {},
+                      mode},
+      {0}));
+  defs.push_back(with_value_attr(
+      EventDefinition{EventTypeId("CP"),
+                      {{"a", SlotFilter::instance_of(EventTypeId("HOT"))},
+                       {"b", SlotFilter::instance_of(EventTypeId("HOT"))}},
+                      c_and({c_time(0, time_model::TemporalOp::kBefore, 1),
+                             c_distance(0, 1, RelationalOp::kLt, 10.0)}),
+                      seconds(5),
+                      {},
+                      mode},
+      {0, 1}));
+  defs.push_back(with_value_attr(
+      EventDefinition{EventTypeId("ALM"),
+                      {{"f", SlotFilter::instance_of(EventTypeId("CP"))}},
+                      c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 50.0),
+                      seconds(10),
+                      {},
+                      mode},
+      {0}));
+  return defs;
+}
+
+/// The caller-side re-feed loop this PR deleted from the node classes,
+/// kept here as the reference semantics (no depth cap — callers must use
+/// acyclic definitions).
+std::vector<EventInstance> reference_cascade(DetectionEngine& engine, const Entity& entity,
+                                             TimePoint now) {
+  std::vector<EventInstance> out;
+  std::vector<EventInstance> frontier = engine.observe(entity, now);
+  while (!frontier.empty()) {
+    std::vector<EventInstance> next;
+    for (auto& inst : frontier) {
+      out.push_back(inst);
+      auto derived = engine.observe(Entity(std::move(inst)), now);
+      for (auto& d : derived) next.push_back(std::move(d));
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+Entity random_obs(sim::Rng& rng, std::uint64_t seq, TimePoint t) {
+  const char* sensors[] = {"SRa", "SRb", "SRc"};  // SRc routes nowhere
+  return Entity(obs(static_cast<int>(rng.uniform_int(1, 4)), sensors[rng.uniform_int(0, 2)], seq,
+                    t, {rng.uniform(0, 16), rng.uniform(0, 16)}, rng.uniform(0, 100)));
+}
+
+TEST(EngineCascade, MatchesHandRolledFrontierLoop) {
+  for (const ConsumptionMode mode : {ConsumptionMode::kUnrestricted, ConsumptionMode::kConsume}) {
+    for (const std::uint64_t seed : {1u, 7u, 42u}) {
+      DetectionEngine cascading(ObserverId("OB"), Layer::kCyber, {0, 0});
+      DetectionEngine reference(ObserverId("OB"), Layer::kCyber, {0, 0});
+      for (const EventDefinition& def : chain_definitions(mode)) {
+        cascading.add_definition(def);
+        reference.add_definition(def);
+      }
+      sim::Rng rng(seed);
+      TimePoint now = TimePoint::epoch();
+      for (int i = 0; i < 400; ++i) {
+        now += time_model::milliseconds(100 + rng.uniform_int(0, 400));
+        sim::Rng fork(seed * 1000 + static_cast<std::uint64_t>(i));
+        const Entity e = random_obs(fork, static_cast<std::uint64_t>(i), now);
+        const auto got = cascading.observe_cascading(e, now);
+        const auto want = reference_cascade(reference, e, now);
+        ASSERT_EQ(got.size(), want.size()) << "mode=" << static_cast<int>(mode)
+                                           << " seed=" << seed << " arrival " << i;
+        for (std::size_t k = 0; k < got.size(); ++k) {
+          ASSERT_EQ(describe(got[k]), describe(want[k]))
+              << "mode=" << static_cast<int>(mode) << " seed=" << seed << " arrival " << i
+              << " instance " << k;
+        }
+      }
+      // Same emissions and matching work counters (entities_in differs:
+      // the cascading path skips provably inert re-ingestions).
+      EXPECT_EQ(cascading.stats().instances_out, reference.stats().instances_out);
+      EXPECT_EQ(cascading.stats().bindings_matched, reference.stats().bindings_matched);
+      EXPECT_EQ(cascading.stats().cascade_truncated, 0u);
+    }
+  }
+}
+
+TEST(EngineCascade, SubStampsOrderTheClosure) {
+  DetectionEngine engine(ObserverId("OB"), Layer::kCyber, {0, 0});
+  for (const EventDefinition& def : chain_definitions(ConsumptionMode::kUnrestricted)) {
+    engine.add_definition(def);
+  }
+  std::vector<Emission> out;
+  const TimePoint t0 = TimePoint::epoch() + seconds(1);
+  engine.observe_cascading(Entity(obs(1, "SRa", 0, t0, {0, 0}, 80.0)), t0, out);
+  ASSERT_EQ(out.size(), 1u);  // one HOT, nothing to pair with yet
+  EXPECT_EQ(out[0].depth, 1u);
+  EXPECT_EQ(out[0].emit_index, 0u);
+
+  out.clear();
+  const TimePoint t1 = t0 + seconds(1);
+  engine.observe_cascading(Entity(obs(2, "SRb", 1, t1, {1, 1}, 90.0)), t1, out);
+  // HOT#1 (depth 1) -> CP (depth 2) -> ALM (depth 3).
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].instance.key.event, EventTypeId("HOT"));
+  EXPECT_EQ(out[1].instance.key.event, EventTypeId("CP"));
+  EXPECT_EQ(out[2].instance.key.event, EventTypeId("ALM"));
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(out[k].depth, k + 1) << k;
+    EXPECT_EQ(out[k].emit_index, 0u) << k;
+  }
+  // Provenance stays intact through the cascade: ALM <- CP <- HOT pair.
+  ASSERT_EQ(out[2].instance.provenance.size(), 1u);
+  EXPECT_EQ(out[2].instance.provenance[0], out[1].instance.key);
+  ASSERT_EQ(out[1].instance.provenance.size(), 2u);
+  EXPECT_EQ(out[1].instance.provenance[1], out[0].instance.key);
+  EXPECT_EQ(engine.stats().cascade_reingested, 3u);  // HOT#0, HOT#1, CP (ALM is routeless)
+}
+
+/// A definition whose output type feeds its own input: HOT -> HOT with the
+/// value attribute preserved, so each level re-fires. The depth cap is the
+/// cycle guard.
+TEST(EngineCascade, CycleTerminatesAtDepthCap) {
+  EngineOptions options;
+  options.max_cascade_depth = 4;
+  DetectionEngine engine(ObserverId("OB"), Layer::kCyber, {0, 0}, options);
+  engine.add_definition(with_value_attr(
+      EventDefinition{EventTypeId("HOT"),
+                      {{"x", SlotFilter::observation(SensorId("SRa"))}},
+                      c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 60.0),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kConsume},
+      {0}));
+  engine.add_definition(with_value_attr(
+      EventDefinition{EventTypeId("HOT"),
+                      {{"h", SlotFilter::instance_of(EventTypeId("HOT"))}},
+                      c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 60.0),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kConsume},
+      {0}));
+
+  const TimePoint t = TimePoint::epoch() + seconds(1);
+  const auto out = engine.observe_cascading(Entity(obs(1, "SRa", 0, t, {0, 0}, 99.0)), t);
+  // One HOT per level, levels 1..4; the level-4 instance is suppressed.
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    EXPECT_EQ(out[k].key.event, EventTypeId("HOT")) << k;
+    EXPECT_EQ(out[k].key.seq, k) << k;  // one shared sequence counter
+  }
+  EXPECT_EQ(engine.stats().cascade_truncated, 1u);
+  EXPECT_EQ(engine.stats().cascade_reingested, 3u);
+
+  // Depth cap 1: deliver direct emissions only, count the suppression.
+  EngineOptions shallow;
+  shallow.max_cascade_depth = 1;
+  DetectionEngine engine1(ObserverId("OB"), Layer::kCyber, {0, 0}, shallow);
+  engine1.add_definition(with_value_attr(
+      EventDefinition{EventTypeId("HOT"),
+                      {{"x", SlotFilter::observation(SensorId("SRa"))}},
+                      c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 60.0),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kConsume},
+      {0}));
+  engine1.add_definition(with_value_attr(
+      EventDefinition{EventTypeId("HOT"),
+                      {{"h", SlotFilter::instance_of(EventTypeId("HOT"))}},
+                      c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 60.0),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kConsume},
+      {0}));
+  EXPECT_EQ(engine1.observe_cascading(Entity(obs(1, "SRa", 0, t, {0, 0}, 99.0)), t).size(), 1u);
+  EXPECT_EQ(engine1.stats().cascade_truncated, 1u);
+  EXPECT_EQ(engine1.stats().cascade_reingested, 0u);
+}
+
+TEST(EngineCascade, RoutelessEmissionsAreNotReingested) {
+  DetectionEngine engine(ObserverId("OB"), Layer::kCyber, {0, 0});
+  engine.add_definition(
+      EventDefinition{EventTypeId("HOT"),
+                      {{"x", SlotFilter::observation(SensorId("SRa"))}},
+                      c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt, 60.0),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kConsume});
+  const TimePoint t = TimePoint::epoch() + seconds(1);
+  const auto out = engine.observe_cascading(Entity(obs(1, "SRa", 0, t, {0, 0}, 99.0)), t);
+  EXPECT_EQ(out.size(), 1u);
+  // Nothing consumes HOT instances: no re-ingestion, no truncation, and
+  // entities_in counts only the raw arrival.
+  EXPECT_EQ(engine.stats().cascade_reingested, 0u);
+  EXPECT_EQ(engine.stats().cascade_truncated, 0u);
+  EXPECT_EQ(engine.stats().entities_in, 1u);
+}
+
+TEST(EngineCascade, PrestoredObserveAliasesSharedStorage) {
+  // Two-slot join buffers its arrivals; the prestored path must alias the
+  // caller's shared entity instead of deep-copying it.
+  DetectionEngine engine(ObserverId("OB"), Layer::kSensor, {0, 0});
+  engine.add_definition(
+      EventDefinition{EventTypeId("PAIR"),
+                      {{"a", SlotFilter::observation(SensorId("SR"))},
+                       {"b", SlotFilter::observation(SensorId("SR"))}},
+                      c_and({c_time(0, time_model::TemporalOp::kBefore, 1),
+                             c_distance(0, 1, RelationalOp::kLt, 5.0)}),
+                      seconds(60),
+                      {},
+                      ConsumptionMode::kUnrestricted});
+  const TimePoint t = TimePoint::epoch() + seconds(1);
+  const auto shared =
+      std::make_shared<const Entity>(Entity(obs(1, "SR", 0, t, {0, 0}, 10.0)));
+  std::vector<Emission> out;
+  engine.observe(shared, t, out);
+  EXPECT_TRUE(out.empty());
+  // Buffered by aliasing the caller's storage: no copy was made.
+  EXPECT_GT(shared.use_count(), 1);
+
+  // A second arrival (plain reference path) joins against the buffered
+  // aliased entity exactly as against a deep copy.
+  const Entity second(obs(2, "SR", 1, t + seconds(1), {1, 1}, 11.0));
+  out.clear();
+  engine.observe(second, t + seconds(1), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].instance.key.event, EventTypeId("PAIR"));
+}
+
+}  // namespace
+}  // namespace stem::core

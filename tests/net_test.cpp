@@ -249,6 +249,8 @@ TEST_F(BrokerFixture, AttachedRuntimeMatchesSequentialEngine) {
       sequential.add_definition(make_def(id.c_str(), sensor, 20.0 * (i + 1)));
     }
   }
+  // Default (no forwarding): this test reads the merged stream off the
+  // runtime directly (forwarding to subscribers is covered below).
   broker.attach_runtime(rt);
 
   // Schedule publishes at known times: singles plus one EntityBatch (the
@@ -294,6 +296,72 @@ TEST_F(BrokerFixture, AttachedRuntimeMatchesSequentialEngine) {
     EXPECT_EQ(got[k].key, want[k].key);
     EXPECT_EQ(got[k].gen_time, want[k].gen_time);
   }
+}
+
+TEST_F(BrokerFixture, ForwardsCascadedRuntimeInstancesToSubscribers) {
+  // Cascading runtime behind the broker: raw observations published into
+  // the broker become HOT (level 1) and ESC (level 2, derived from HOT)
+  // instances, and *both* levels fan out to their topics' subscribers
+  // with provenance intact — without being re-ingested (no duplicate
+  // detections from the forwarding loop).
+  core::EngineOptions engine_options;
+  engine_options.max_cascade_depth = 4;
+  runtime::RuntimeOptions options;
+  options.shards = 2;
+  options.cascade = true;
+  options.engine = engine_options;
+  runtime::ShardedEngineRuntime rt(ObserverId("CCU"), core::Layer::kCyber, {0, 0}, options);
+  rt.add_definition(core::EventDefinition{
+      EventTypeId("HOT"),
+      {{"x", core::SlotFilter::observation(core::SensorId("SRa"))}},
+      core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt, 50.0),
+      time_model::seconds(60),
+      {},
+      core::ConsumptionMode::kConsume});
+  rt.add_definition(core::EventDefinition{
+      EventTypeId("ESC"),
+      {{"h", core::SlotFilter::instance_of(EventTypeId("HOT"))}},
+      core::c_confidence(core::ValueAggregate::kMin, {0}, core::RelationalOp::kGe, 0.0),
+      time_model::seconds(60),
+      {},
+      core::ConsumptionMode::kConsume});
+  broker.attach_runtime(rt, /*forward=*/true);
+  broker.subscribe("HOT", NodeId("sub1"));
+  broker.subscribe("ESC", NodeId("sub2"));
+
+  core::PhysicalObservation o;
+  o.mote = ObserverId("MT1");
+  o.sensor = core::SensorId("SRa");
+  o.seq = 0;
+  o.time = TimePoint(1000);
+  o.location = geom::Location(geom::Point{2, 3});
+  o.attributes.set("value", 80.0);
+  broker.publish(NodeId("pub"), Entity(std::move(o)));
+  simulator.run();
+  // The merge is asynchronous: drain the tail, then deliver the fan-out.
+  EXPECT_EQ(broker.drain_runtime() + received.size(), 2u);
+  simulator.run();
+
+  ASSERT_EQ(received.size(), 2u);
+  const auto find = [&](const std::string& node) -> const EventInstance& {
+    for (const auto& [name, msg] : received) {
+      if (name == node) return std::get<Entity>(msg.payload).instance();
+    }
+    ADD_FAILURE() << "no message delivered to " << node;
+    static const EventInstance none{};
+    return none;
+  };
+  const EventInstance& hot = find("sub1");
+  EXPECT_EQ(hot.key.event, EventTypeId("HOT"));
+  const EventInstance& esc = find("sub2");
+  EXPECT_EQ(esc.key.event, EventTypeId("ESC"));
+  // Provenance intact through the cascade and the forwarding hop.
+  ASSERT_EQ(esc.provenance.size(), 1u);
+  EXPECT_EQ(esc.provenance[0], hot.key);
+  // Exactly one HOT and one ESC were ever produced: forwarded instances
+  // were not re-ingested.
+  EXPECT_EQ(rt.stats().instances, 2u);
+  EXPECT_EQ(rt.stats().cascade_reingested, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/sharded_runtime.hpp"
+#include "sim/random.hpp"
+
+/// Differential cascade suite: with RuntimeOptions::cascade enabled, the
+/// sharded runtime's merged stream must be *exactly* equal — same
+/// instances, same order, same sequence numbers — to a single sequential
+/// DetectionEngine driven through observe_cascading() on the same
+/// arrivals, across shard counts {1, 2, 4, 8} x ingest batch sizes
+/// {1, 64} x cascade depth caps {1, 2, 4} x seeds, both consumption
+/// modes, with wildcard definitions that re-match their own output (the
+/// cycle guard) and with forced mid-stream migrations of instance-typed
+/// definition groups. Mirrors tests/runtime_shard_test.cpp, with the
+/// engine's cascading path — itself differentially verified against the
+/// hand-rolled frontier loop in tests/engine_cascade_test.cpp — as the
+/// reference.
+
+namespace stem::runtime {
+namespace {
+
+using core::ConsumptionMode;
+using core::DetectionEngine;
+using core::EventDefinition;
+using core::EventInstance;
+using core::EventTypeId;
+using core::ObserverId;
+using core::SensorId;
+using core::SlotFilter;
+using geom::Location;
+using geom::Point;
+using time_model::seconds;
+using time_model::TimePoint;
+
+std::string describe(const EventInstance& i) {
+  std::ostringstream os;
+  os << i.key << " layer=" << static_cast<int>(i.layer) << " gen=" << i.gen_time
+     << " t=" << i.est_time << " l=" << i.est_location << " rho=" << i.confidence
+     << " V=" << i.attributes << " from=[";
+  for (const auto& p : i.provenance) os << p << ";";
+  os << "]";
+  return os.str();
+}
+
+core::PhysicalObservation obs(int mote, const std::string& sensor, std::uint64_t seq,
+                              TimePoint t, Point p, double value) {
+  core::PhysicalObservation o;
+  o.mote = ObserverId("MT" + std::to_string(mote));
+  o.sensor = SensorId(sensor);
+  o.seq = seq;
+  o.time = t;
+  o.location = Location(p);
+  o.attributes.set("value", value);
+  return o;
+}
+
+EventDefinition with_value_attr(EventDefinition def, std::vector<core::SlotIndex> slots) {
+  def.synthesis.attributes.push_back(
+      core::AttributeRule{"value", core::ValueAggregate::kMax, "value", std::move(slots)});
+  return def;
+}
+
+/// A multi-level mix that stresses every cascade rule: a co-located L1
+/// group (two defs sharing type HOT), an L2 self-join over HOT instances
+/// (CP — the *instance-typed* group the migration test moves), an L3
+/// alarm over CP, a wildcard auditor that re-matches its own output above
+/// 90 (terminates via the depth cap), and a wildcard+keyed join whose
+/// feedback slot interleaves instances with raw arrivals.
+std::vector<EventDefinition> cascade_definitions(ConsumptionMode mode, const std::string& tag) {
+  std::vector<EventDefinition> defs;
+  defs.push_back(with_value_attr(
+      EventDefinition{EventTypeId("HOT_" + tag),
+                      {{"x", SlotFilter::observation(SensorId("SRa"))}},
+                      core::c_attr(core::ValueAggregate::kAverage, "value", {0},
+                                   core::RelationalOp::kGt, 60.0),
+                      seconds(60),
+                      {},
+                      mode},
+      {0}));
+  defs.push_back(with_value_attr(
+      EventDefinition{EventTypeId("HOT_" + tag),
+                      {{"x", SlotFilter::observation(SensorId("SRb"))}},
+                      core::c_attr(core::ValueAggregate::kAverage, "value", {0},
+                                   core::RelationalOp::kGt, 40.0),
+                      seconds(60),
+                      {},
+                      mode},
+      {0}));
+  defs.push_back(with_value_attr(
+      EventDefinition{EventTypeId("CP_" + tag),
+                      {{"a", SlotFilter::instance_of(EventTypeId("HOT_" + tag))},
+                       {"b", SlotFilter::instance_of(EventTypeId("HOT_" + tag))}},
+                      core::c_and({core::c_time(0, time_model::TemporalOp::kBefore, 1),
+                                   core::c_distance(0, 1, core::RelationalOp::kLt, 10.0)}),
+                      seconds(5),
+                      {},
+                      mode},
+      {0, 1}));
+  defs.push_back(with_value_attr(
+      EventDefinition{EventTypeId("ALM_" + tag),
+                      {{"f", SlotFilter::instance_of(EventTypeId("CP_" + tag))}},
+                      core::c_attr(core::ValueAggregate::kAverage, "value", {0},
+                                   core::RelationalOp::kGt, 50.0),
+                      seconds(10),
+                      {},
+                      mode},
+      {0}));
+  defs.push_back(with_value_attr(
+      EventDefinition{EventTypeId("WILD_" + tag),
+                      {{"w", SlotFilter::any()}},
+                      core::c_attr(core::ValueAggregate::kAverage, "value", {0},
+                                   core::RelationalOp::kGt, 90.0),
+                      seconds(60),
+                      {},
+                      mode},
+      {0}));
+  defs.push_back(with_value_attr(
+      EventDefinition{EventTypeId("WJ_" + tag),
+                      {{"w", SlotFilter::any()},
+                       {"b", SlotFilter::observation(SensorId("SRb"))}},
+                      core::c_and({core::c_time(0, time_model::TemporalOp::kBefore, 1),
+                                   core::c_distance(0, 1, core::RelationalOp::kLt, 6.0)}),
+                      seconds(3),
+                      {},
+                      mode},
+      {0, 1}));
+  return defs;
+}
+
+struct Stream {
+  std::vector<core::Entity> entities;
+  std::vector<TimePoint> nows;
+};
+
+Stream make_stream(std::uint64_t seed, int n, bool skewed = false) {
+  sim::Rng rng(seed);
+  Stream s;
+  TimePoint now = TimePoint::epoch();
+  const char* sensors[] = {"SRa", "SRb", "SRc"};
+  for (int i = 0; i < n; ++i) {
+    now += time_model::milliseconds(100 + rng.uniform_int(0, 900));
+    // Skewed: 90% of arrivals hit SRa (pins the HOT group's shard).
+    const auto* sensor = skewed ? (rng.uniform() < 0.9 ? "SRa" : sensors[rng.uniform_int(1, 2)])
+                                : sensors[rng.uniform_int(0, 2)];
+    const TimePoint t = now - time_model::milliseconds(rng.uniform_int(0, 1500));
+    s.entities.push_back(core::Entity(obs(static_cast<int>(rng.uniform_int(1, 4)), sensor,
+                                          static_cast<std::uint64_t>(i), t,
+                                          {rng.uniform(0, 16), rng.uniform(0, 16)},
+                                          rng.uniform(0, 100))));
+    s.nows.push_back(now);
+  }
+  return s;
+}
+
+/// One forced migration: after `at` arrivals, move the group of
+/// definition `def` to the shard `hop` places clockwise from its host.
+struct Migration {
+  std::size_t at = 0;
+  std::size_t def = 0;
+  std::size_t hop = 1;
+};
+
+void run_differential(std::uint64_t seed, std::size_t shards, std::size_t batch_size,
+                      std::size_t depth, ConsumptionMode mode, const std::string& tag,
+                      int arrivals = 192, bool skewed = false,
+                      const std::vector<Migration>& migrations = {},
+                      std::size_t rebalance_epoch = 0) {
+  core::EngineOptions engine_options;
+  engine_options.max_cascade_depth = depth;
+
+  RuntimeOptions options;
+  options.shards = shards;
+  options.cascade = true;
+  options.engine = engine_options;
+  options.rebalance_epoch = rebalance_epoch;
+  ShardedEngineRuntime sharded(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0}, options);
+  DetectionEngine sequential(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0},
+                             engine_options);
+  for (const EventDefinition& def : cascade_definitions(mode, tag)) {
+    sharded.add_definition(def);
+    sequential.add_definition(def);
+  }
+
+  const Stream stream = make_stream(seed, arrivals, skewed);
+  std::vector<std::string> want;
+  for (std::size_t i = 0; i < stream.entities.size(); ++i) {
+    for (const EventInstance& inst :
+         sequential.observe_cascading(stream.entities[i], stream.nows[i])) {
+      want.push_back(describe(inst));
+    }
+  }
+
+  std::vector<std::string> got;
+  const auto collect = [&](std::vector<EventInstance> instances) {
+    for (const EventInstance& inst : instances) got.push_back(describe(inst));
+  };
+  std::size_t next_migration = 0;
+  std::size_t forced = 0;
+  for (std::size_t i = 0; i < stream.entities.size(); i += batch_size) {
+    while (next_migration < migrations.size() && migrations[next_migration].at <= i) {
+      const Migration& mig = migrations[next_migration++];
+      const std::size_t to = (sharded.shard_of(mig.def) + mig.hop) % sharded.shard_count();
+      if (sharded.migrate_definition(mig.def, to)) ++forced;
+    }
+    const std::size_t n = std::min(batch_size, stream.entities.size() - i);
+    sharded.ingest_batch(std::span(stream.entities).subspan(i, n),
+                         std::span(stream.nows).subspan(i, n));
+    collect(sharded.poll());
+  }
+  collect(sharded.flush());
+
+  const std::string ctx = tag + " seed=" + std::to_string(seed) +
+                          " shards=" + std::to_string(shards) +
+                          " batch=" + std::to_string(batch_size) +
+                          " depth=" + std::to_string(depth);
+  ASSERT_EQ(got.size(), want.size()) << ctx;
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    ASSERT_EQ(got[k], want[k]) << ctx << " instance " << k;
+  }
+
+  // Cascade accounting matches the sequential reference exactly: the
+  // coordinator re-ingests (and cap-truncates) precisely the instances
+  // the engine's own cascading path would.
+  const RuntimeStats stats = sharded.stats();
+  EXPECT_EQ(stats.instances, want.size()) << ctx;
+  EXPECT_EQ(stats.cascade_reingested, sequential.stats().cascade_reingested) << ctx;
+  EXPECT_EQ(stats.cascade_truncated, sequential.stats().cascade_truncated) << ctx;
+  EXPECT_EQ(stats.migrations >= forced, true) << ctx;
+}
+
+class CascadeVsSequentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CascadeVsSequentialTest, UnrestrictedStreamsMatch) {
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t batch : {1u, 64u}) {
+      for (const std::size_t depth : {1u, 2u, 4u}) {
+        run_differential(GetParam(), shards, batch, depth, ConsumptionMode::kUnrestricted, "U");
+      }
+    }
+  }
+}
+
+TEST_P(CascadeVsSequentialTest, ConsumeStreamsMatch) {
+  for (const std::size_t shards : {2u, 8u}) {
+    for (const std::size_t batch : {1u, 64u}) {
+      for (const std::size_t depth : {2u, 4u}) {
+        run_differential(GetParam() ^ 0x5eedULL, shards, batch, depth, ConsumptionMode::kConsume,
+                         "C");
+      }
+    }
+  }
+}
+
+TEST_P(CascadeVsSequentialTest, TightQueueBackpressureStreamsMatch) {
+  // Deep cascade + an 8-arrival inbox: ingest blocks on the workers while
+  // closures drain through the same shards. Ordering must survive.
+  core::EngineOptions engine_options;
+  engine_options.max_cascade_depth = 4;
+  RuntimeOptions options;
+  options.shards = 4;
+  options.cascade = true;
+  options.queue_capacity = 8;
+  options.engine = engine_options;
+  ShardedEngineRuntime sharded(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0}, options);
+  DetectionEngine sequential(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0},
+                             engine_options);
+  for (const EventDefinition& def :
+       cascade_definitions(ConsumptionMode::kUnrestricted, "Q")) {
+    sharded.add_definition(def);
+    sequential.add_definition(def);
+  }
+  const Stream stream = make_stream(GetParam() ^ 0xbacULL, 192);
+  std::vector<std::string> want;
+  for (std::size_t i = 0; i < stream.entities.size(); ++i) {
+    for (const EventInstance& inst :
+         sequential.observe_cascading(stream.entities[i], stream.nows[i])) {
+      want.push_back(describe(inst));
+    }
+  }
+  for (std::size_t i = 0; i < stream.entities.size(); i += 64) {
+    const std::size_t n = std::min<std::size_t>(64, stream.entities.size() - i);
+    sharded.ingest_batch(std::span(stream.entities).subspan(i, n),
+                         std::span(stream.nows).subspan(i, n));
+  }
+  std::vector<std::string> got;
+  for (EventInstance& inst : sharded.flush()) got.push_back(describe(inst));
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t k = 0; k < got.size(); ++k) ASSERT_EQ(got[k], want[k]) << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CascadeVsSequentialTest, ::testing::Values(1u, 2u, 3u));
+
+/// Forced mid-stream migrations of instance-typed definition groups (the
+/// CP self-join consumes HOT *instances*; its group moves twice, the HOT
+/// group once) while cascades are in flight: the stream must stay
+/// byte-identical — feedback for pre-barrier stamps reaches the group's
+/// old shard, post-barrier feedback its new one.
+TEST(CascadeMigration, InstanceTypedGroupsMoveMidStream) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    run_differential(seed, 4, 16, 4, ConsumptionMode::kUnrestricted, "M", 256,
+                     /*skewed=*/true,
+                     {{64, 2, 1}, {128, 0, 2}, {192, 2, 3}});
+    run_differential(seed ^ 0x77ULL, 4, 16, 4, ConsumptionMode::kConsume, "MC", 256,
+                     /*skewed=*/true,
+                     {{64, 2, 1}, {128, 0, 2}, {192, 2, 3}});
+  }
+}
+
+/// Automatic rebalancing stays exact in cascade mode: the policy may move
+/// any group — instance-typed ones included — at epoch barriers while the
+/// skewed stream cascades.
+TEST(CascadeMigration, AutomaticRebalancingStaysExact) {
+  run_differential(21u, 4, 16, 4, ConsumptionMode::kUnrestricted, "R", 256, /*skewed=*/true, {},
+                   /*rebalance_epoch=*/48);
+}
+
+/// Destroying the runtime right after issuing a migration (no flush) must
+/// not deadlock: the destination worker may already be blocked in its
+/// receive-side ticket wait, so exiting workers complete the handshake
+/// (send controls are drained on stop). Several rounds to catch the race
+/// window between issue and worker pickup.
+TEST(CascadeMigration, DestructionCompletesInFlightHandshakes) {
+  for (std::uint64_t round = 0; round < 24; ++round) {
+    core::EngineOptions engine_options;
+    engine_options.max_cascade_depth = 4;
+    RuntimeOptions options;
+    options.shards = 4;
+    options.cascade = true;
+    options.engine = engine_options;
+    ShardedEngineRuntime rt(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0}, options);
+    for (const EventDefinition& def :
+         cascade_definitions(ConsumptionMode::kUnrestricted, "D")) {
+      rt.add_definition(def);
+    }
+    const Stream stream = make_stream(round + 100, 8);
+    rt.ingest_batch(stream.entities, stream.nows);
+    rt.migrate_definition(2, (rt.shard_of(2) + 1 + round % 3) % rt.shard_count());
+    // No flush: the runtime is torn down with the control pair possibly
+    // still queued behind gated arrivals.
+  }
+}
+
+}  // namespace
+}  // namespace stem::runtime

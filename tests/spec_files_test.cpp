@@ -61,7 +61,7 @@ TEST_P(SpecFileTest, RoundTripsThroughPrinter) {
 
 INSTANTIATE_TEST_SUITE_P(ShippedSpecs, SpecFileTest,
                          ::testing::Values("smart_building.stem", "forest_fire.stem",
-                                           "showcase.stem"));
+                                           "showcase.stem", "hotspot_cascade.stem"));
 
 }  // namespace
 }  // namespace stem::eventlang

@@ -51,6 +51,17 @@ def load_rates(path):
     return rates
 
 
+# Wall-clock (UseRealTime) runtime families are scheduler-sensitive, so
+# they always get a wider gate even when no --tolerance-for flag names
+# them. CLI overrides take precedence (they are matched first on ties).
+DEFAULT_FAMILY_TOLERANCES = [
+    ("BM_ShardScaling", 25.0),
+    ("BM_SkewedLoad", 25.0),
+    ("BM_Rebalance", 25.0),
+    ("BM_CascadeDepth", 25.0),
+]
+
+
 def tolerance_of(name, default, overrides):
     """Tolerance for one benchmark: the longest matching --tolerance-for
     prefix wins, falling back to the global --tolerance."""
@@ -127,6 +138,7 @@ def main():
             overrides.append((prefix, float(pct)))
         except ValueError:
             parser.error(f"--tolerance-for expects a numeric PCT, got {spec!r}")
+    overrides += DEFAULT_FAMILY_TOLERANCES  # CLI entries win ties (matched first)
 
     if os.path.isfile(args.fresh) != os.path.isfile(args.baseline):
         parser.error("fresh and baseline must both be files or both be directories")

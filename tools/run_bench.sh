@@ -3,9 +3,10 @@
 # baseline per executable. Future optimization PRs diff their numbers against
 # these files (wall-clock runtime families get a wider per-family gate):
 #   tools/run_bench.sh build /tmp/fresh
-#   tools/bench_compare.py /tmp/fresh bench/baselines \
-#       --tolerance-for BM_ShardScaling=25 --tolerance-for BM_SkewedLoad=25 \
-#       --tolerance-for BM_Rebalance=25      # fails on regression beyond gate
+#   tools/bench_compare.py /tmp/fresh bench/baselines
+# (fails on regression beyond the gate; the wall-clock runtime families —
+# BM_ShardScaling, BM_SkewedLoad, BM_Rebalance, BM_CascadeDepth — carry a
+# built-in 25% gate, overridable with --tolerance-for PREFIX=PCT)
 #
 # Usage: tools/run_bench.sh [build-dir] [out-dir]
 #   build-dir  CMake build tree (default: build; configured+built if missing)
@@ -144,4 +145,20 @@ for leg in ("Off", "On"):
     spread = counter("BENCH_e11_engine_throughput.json", name, "max/mean load")
     spread_s = "n/a" if spread is None else f"{spread:.2f}"
     print(f"rebalance {leg.lower():<3} (zipf skew):   {fmt(rate('BENCH_e11_engine_throughput.json', name))} entities/s, max/mean shard load {spread_s}")
+
+# Hierarchical cascade through the 4-shard runtime: arrivals/s by depth
+# cap (1 = no re-ingestion, 4 = the full 3-layer closure), plus how many
+# derived instances the coordinator re-ingested across shards.
+for d in (1, 2, 4):
+    name = f"BM_CascadeDepth/{d}/real_time"
+    re_in = counter("BENCH_e11_engine_throughput.json", name, "reingested")
+    re_s = "n/a" if re_in is None else f"{re_in:.0f}"
+    print(f"cascade depth {d}:             {fmt(rate('BENCH_e11_engine_throughput.json', name))} arrivals/s ({re_s} reingested)")
+
+# The per-arrival entity-copy lever: reference deep-copy observe vs the
+# prestored shared-storage path the sharded runtime workers use.
+ref = rate("BENCH_e11_engine_throughput.json", "BM_SharedArrival/0")
+pre = rate("BENCH_e11_engine_throughput.json", "BM_SharedArrival/1")
+win = "n/a" if not (ref and pre) else f"{(pre / ref - 1) * 100:+.1f}%"
+print(f"shared-arrival (64 buffered): {fmt(ref)} -> {fmt(pre)} entities/s ({win} vs deep copy)")
 EOF
