@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -28,6 +29,15 @@ using core::SensorId;
 using core::SlotFilter;
 using time_model::seconds;
 using time_model::TimePoint;
+
+// STEM_BENCH_PIN=1 opts the sharded-runtime benches into per-shard CPU
+// pinning; tools/run_bench.sh records the setting (and the logical-core
+// count) in each baseline's JSON context. Leave off on hosts with fewer
+// cores than shards — pinning stacked workers only adds scheduler latency.
+bool bench_pin_shards() {
+  const char* v = std::getenv("STEM_BENCH_PIN");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 
 // Builds "<prefix><i>" without the temporary-heavy operator+ chain (which
 // also trips a GCC 12 -Wrestrict false positive when inlined under -O2).
@@ -249,6 +259,7 @@ void BM_ShardScaling(benchmark::State& state) {
   } else {
     runtime::RuntimeOptions options;
     options.shards = shards;
+    options.pin_shards = bench_pin_shards();
     runtime::ShardedEngineRuntime rt(ObserverId("X"), core::Layer::kSensor, {0, 0}, options);
     for (EventDefinition& def : scaling_defs()) rt.add_definition(std::move(def));
     std::size_t i = 0;
@@ -318,6 +329,7 @@ void run_runtime_workload(benchmark::State& state, const std::vector<core::Entit
   for (const auto& e : entities) nows.push_back(e.occurrence_time().end());
   runtime::RuntimeOptions options;
   options.shards = 4;
+  options.pin_shards = bench_pin_shards();
   options.rebalance_epoch = epoch;
   runtime::ShardedEngineRuntime rt(ObserverId("X"), core::Layer::kSensor, {0, 0}, options);
   for (EventDefinition& def : scaling_defs()) rt.add_definition(std::move(def));
@@ -427,6 +439,7 @@ void BM_CascadeDepth(benchmark::State& state) {
 
   runtime::RuntimeOptions options;
   options.shards = 4;
+  options.pin_shards = bench_pin_shards();
   options.cascade = true;
   options.engine.max_cascade_depth = depth;
   runtime::ShardedEngineRuntime rt(ObserverId("X"), core::Layer::kSensor, {0, 0}, options);

@@ -1,0 +1,64 @@
+#include "runtime/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace stem::runtime {
+
+#if defined(__linux__)
+
+bool affinity_supported() noexcept { return true; }
+
+std::size_t logical_cpu_count() noexcept {
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int n = CPU_COUNT(&mask);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+bool pin_current_thread(std::size_t slot) noexcept {
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return false;
+  const int n = CPU_COUNT(&allowed);
+  if (n <= 0) return false;
+  // Map `slot` (mod n) onto the slot-th *set* bit: the allowed mask need
+  // not be contiguous (cgroup cpusets rarely are).
+  int want = static_cast<int>(slot % static_cast<std::size_t>(n));
+  int cpu = -1;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (!CPU_ISSET(c, &allowed)) continue;
+    if (want-- == 0) {
+      cpu = c;
+      break;
+    }
+  }
+  if (cpu < 0) return false;
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(cpu, &one);
+  return pthread_setaffinity_np(pthread_self(), sizeof(one), &one) == 0;
+}
+
+#else  // portable no-op fallback
+
+bool affinity_supported() noexcept { return false; }
+
+std::size_t logical_cpu_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+bool pin_current_thread(std::size_t) noexcept { return false; }
+
+#endif
+
+}  // namespace stem::runtime

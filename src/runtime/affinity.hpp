@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+
+namespace stem::runtime {
+
+/// True when this build can pin threads to CPUs (Linux). Everywhere else
+/// the functions below are portable no-ops so callers never need #ifdefs.
+bool affinity_supported() noexcept;
+
+/// Number of logical CPUs this *process* may run on — affinity-mask aware
+/// on Linux (a container restricted to 1 core reports 1 even on a 64-core
+/// host), falling back to std::thread::hardware_concurrency elsewhere.
+/// Never returns 0.
+std::size_t logical_cpu_count() noexcept;
+
+/// Pins the calling thread to the `slot`-th CPU of the process's allowed
+/// set (wrapping modulo logical_cpu_count(), so callers can pass a shard
+/// index directly). Returns false — without side effects — when pinning is
+/// unsupported or the kernel rejects the mask.
+bool pin_current_thread(std::size_t slot) noexcept;
+
+}  // namespace stem::runtime

@@ -4,9 +4,23 @@
 #include <bit>
 #include <stdexcept>
 
+#include "runtime/affinity.hpp"
+
 namespace stem::runtime {
 
 namespace {
+
+/// Cap on arrivals a worker drains per outbox/watermark publication: the
+/// out_mutex handshake is amortized over a run of ring items, but a run
+/// must end often enough that poll()/flush() see progress under sustained
+/// load.
+constexpr std::uint64_t kPublishBatch = 256;
+
+/// Ring-slot headroom beyond queue_capacity: capacity is enforced in
+/// *arrivals* by Shard::queued_arrivals, so arrival items can never occupy
+/// more than queue_capacity slots (+1 oversized batch); the headroom keeps
+/// capacity-exempt migration control items from contending for slots.
+constexpr std::size_t kControlSlotHeadroom = 64;
 
 /// Kind-prefixed routing key of a keyed slot signature, or empty.
 std::string routing_key(const core::FilterSignature& sig) {
@@ -33,9 +47,12 @@ ShardedEngineRuntime::ShardedEngineRuntime(core::ObserverId id, core::Layer laye
     options_.rebalance_policy = std::make_shared<SpilloverPolicy>();
   }
   publish_loads_.store(options_.rebalance_epoch != 0, std::memory_order_relaxed);
+  const std::size_t inbox_slots = options_.queue_capacity + kControlSlotHeadroom;
   shards_.reserve(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(id_, layer_, location_, options_.engine));
+    auto shard = std::make_unique<Shard>(id_, layer_, location_, options_.engine, inbox_slots);
+    shard->index = s;
+    shards_.push_back(std::move(shard));
   }
   shard_keys_.resize(options_.shards);
   shard_def_count_.assign(options_.shards, 0);
@@ -44,6 +61,7 @@ ShardedEngineRuntime::ShardedEngineRuntime(core::ObserverId id, core::Layer laye
   for (auto& shard : shards_) {
     Shard* s = shard.get();
     shard->worker = std::thread([this, s] {
+      if (options_.pin_shards) pin_current_thread(s->index);
       if (options_.cascade) {
         worker_cascade_loop(*s);
       } else {
@@ -56,24 +74,34 @@ ShardedEngineRuntime::ShardedEngineRuntime(core::ObserverId id, core::Layer laye
   }
 }
 
-ShardedEngineRuntime::~ShardedEngineRuntime() {
+ShardedEngineRuntime::~ShardedEngineRuntime() { shutdown(); }
+
+void ShardedEngineRuntime::shutdown() noexcept {
+  if (shutdown_.exchange(true, std::memory_order_seq_cst)) return;
   {
     const std::lock_guard lk(cascade_mutex_);
     cascade_stop_ = true;
   }
   cascade_cv_.notify_all();
   for (auto& shard : shards_) {
-    {
-      const std::lock_guard lk(shard->in_mutex);
-      shard->stop = true;
-    }
-    shard->work_cv.notify_all();
-    shard->space_cv.notify_all();
+    shard->stop.store(true, std::memory_order_seq_cst);
+    shard->inbox.close();          // wakes the worker and ring-parked producers
+    shard->space_ec.notify_all();  // wakes capacity-parked producers
+    shard->work_ec.notify_all();   // wakes a cascade worker off its gate
   }
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
   if (cascade_thread_.joinable()) cascade_thread_.join();
+  // Release any flush() parked on progress that will now never come (its
+  // predicates are stop-aware). The empty lock/unlock pairs the notify
+  // with the waiter's predicate evaluation.
+  for (auto& shard : shards_) {
+    { const std::lock_guard lk(shard->out_mutex); }
+    shard->done_cv.notify_all();
+  }
+  { const std::lock_guard lk(merge_mutex_); }
+  merged_cv_.notify_all();
 }
 
 void ShardedEngineRuntime::add_definition(core::EventDefinition def) {
@@ -185,6 +213,7 @@ void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
   block->stamps.assign(batch.size(), 0);
 
   const std::lock_guard ingest_lk(ingest_mutex_);
+  if (shutdown_.load(std::memory_order_acquire)) return;  // stopped: drop
   started_ = true;
 
   // Route + stamp the whole batch into ingest-local scratch; merge_mutex_
@@ -234,22 +263,45 @@ void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (dispatch_scratch_[s].empty()) continue;
     Shard& shard = *shards_[s];
-    const std::size_t count = dispatch_scratch_[s].size();
-    {
-      std::unique_lock lk(shard.in_mutex);
-      // Backpressure: wait for inbox space. Oversized batches are admitted
-      // into an empty inbox so they cannot block forever.
-      shard.space_cv.wait(lk, [&] {
-        return shard.stop || shard.queued_arrivals == 0 ||
-               shard.queued_arrivals + count <= options_.queue_capacity;
-      });
-      if (shard.stop) continue;
-      shard.inbox.push_back(WorkItem{frozen, std::move(dispatch_scratch_[s]), nullptr, false});
-      dispatch_scratch_[s] = {};
-      shard.queued_arrivals += count;
-      if (shard.queued_arrivals > shard.max_queued) shard.max_queued = shard.queued_arrivals;
+    const std::uint64_t count = dispatch_scratch_[s].size();
+    // Backpressure: park until the shard has arrival-capacity for `count`
+    // more. Oversized batches are admitted into an empty inbox so they
+    // cannot block forever. The seq_cst loads pair with the worker's
+    // decrement + space_ec fences, so the park never misses a wakeup.
+    bool stopped = false;
+    for (;;) {
+      const std::uint64_t q = shard.queued_arrivals.load(std::memory_order_seq_cst);
+      if (shard.stop.load(std::memory_order_seq_cst)) {
+        stopped = true;
+        break;
+      }
+      if (q == 0 || q + count <= options_.queue_capacity) break;
+      const std::uint32_t ticket = shard.space_ec.prepare_wait();
+      const std::uint64_t q2 = shard.queued_arrivals.load(std::memory_order_seq_cst);
+      if (shard.stop.load(std::memory_order_seq_cst) || q2 == 0 ||
+          q2 + count <= options_.queue_capacity) {
+        shard.space_ec.cancel_wait();
+        continue;
+      }
+      shard.space_ec.wait(ticket);
     }
-    shard.work_cv.notify_one();
+    if (stopped) continue;
+    const std::uint64_t q =
+        shard.queued_arrivals.fetch_add(count, std::memory_order_seq_cst) + count;
+    // Producers are serialized by ingest_mutex_, so this read-modify-write
+    // high-water update is exact despite the relaxed ordering.
+    if (q > shard.max_queued.load(std::memory_order_relaxed)) {
+      shard.max_queued.store(q, std::memory_order_relaxed);
+    }
+    if (shard.inbox.push(WorkItem{frozen, std::move(dispatch_scratch_[s]), nullptr, false})) {
+      if (options_.cascade) shard.work_ec.notify_all();
+    } else {
+      // Ring closed mid-shutdown: the item was discarded — undo the
+      // admission so the counters stay consistent for late observers.
+      shard.queued_arrivals.fetch_sub(count, std::memory_order_seq_cst);
+      shard.space_ec.notify_all();
+    }
+    dispatch_scratch_[s] = {};
   }
 
   if (options_.cascade) signal_cascade();  // new pending arrivals to close
@@ -262,14 +314,12 @@ void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
 }
 
 void ShardedEngineRuntime::push_control(Shard& shard, WorkItem item) {
-  {
-    const std::lock_guard lk(shard.in_mutex);
-    // Control items carry no arrivals: they bypass the capacity check
-    // (blocking here under ingest_mutex_ could stall the very workers
-    // that free the space).
-    shard.inbox.push_back(std::move(item));
-  }
-  shard.work_cv.notify_one();
+  // Control items carry no arrivals: they bypass the arrival-capacity
+  // check (blocking on it under ingest_mutex_ could stall the very
+  // workers that free the space). The ring keeps slot headroom for them;
+  // a full ring parks on the worker's drain, which always progresses.
+  shard.inbox.push(std::move(item));
+  shard.work_ec.notify_all();
 }
 
 void ShardedEngineRuntime::issue_migration_locked(std::uint32_t group, std::uint32_t to) {
@@ -325,6 +375,7 @@ void ShardedEngineRuntime::issue_migration_locked(std::uint32_t group, std::uint
 
 bool ShardedEngineRuntime::migrate_definition(std::size_t def_index, std::size_t to_shard) {
   std::unique_lock lk(ingest_mutex_);
+  if (shutdown_.load(std::memory_order_acquire)) return false;  // stopped: no-op
   if (def_index >= def_group_.size()) {
     throw std::out_of_range("ShardedEngineRuntime: unknown definition index " +
                             std::to_string(def_index));
@@ -372,6 +423,7 @@ std::size_t ShardedEngineRuntime::rebalance_now() {
 }
 
 std::size_t ShardedEngineRuntime::rebalance_locked() {
+  if (shutdown_.load(std::memory_order_acquire)) return 0;  // stopped: no-op
   ++rebalance_passes_;
   if (def_specs_.empty() || shards_.size() < 2) return 0;
 
@@ -528,41 +580,56 @@ void ShardedEngineRuntime::worker_loop(Shard& shard) {
   std::vector<core::Emission> emissions;
   std::vector<OutChunk> chunks;
   std::vector<std::pair<std::uint32_t, core::DefinitionLoad>> load_scratch;
+  WorkItem item;
   for (;;) {
-    WorkItem item;
-    {
-      std::unique_lock lk(shard.in_mutex);
-      shard.work_cv.wait(lk, [&] { return shard.stop || !shard.inbox.empty(); });
-      if (shard.inbox.empty()) return;  // stop requested and drained
-      item = std::move(shard.inbox.front());
-      shard.inbox.pop_front();
-    }
+    // Spin-then-park consume; false only once the ring is closed *and*
+    // fully drained, so every admitted item (controls included) is
+    // processed before exit.
+    if (!shard.inbox.pop(item)) return;
+    if (options_.stall_hook) options_.stall_hook(shard.index);
 
     if (item.batch == nullptr) {
       handle_control(shard, item, load_scratch);
+      item = WorkItem{};
       continue;
     }
 
+    // Drain a run of consecutive arrival items and publish once: the
+    // out_mutex handshake (outbox append + stats snapshot + watermark
+    // store + done_cv notify) is amortized over the run instead of paid
+    // per item. The run ends when the ring goes empty, a control item
+    // surfaces (it must see the pre-barrier watermark published), or
+    // kPublishBatch arrivals have accumulated (bounds merge latency).
     chunks.clear();
-    for (const std::uint32_t i : item.indices) {
-      emissions.clear();
-      // Aliasing pointer into the refcounted batch: slots that buffer the
-      // arrival share the batch storage instead of deep-copying (the
-      // ROADMAP per-arrival-copy lever; the batch stays alive while any
-      // shard buffers any of its entities).
-      const std::shared_ptr<const core::Entity> entity(item.batch, &item.batch->entities[i]);
-      shard.engine.observe(entity, item.batch->nows[i], emissions);
-      if (emissions.empty()) continue;
-      for (core::Emission& em : emissions) em.def = shard.global_def[em.def];
-      chunks.push_back(OutChunk{item.batch->stamps[i], std::move(emissions), 0, 0, {}});
-      emissions = {};
+    std::uint64_t run_arrivals = 0;
+    std::uint64_t last_stamp = 0;
+    for (;;) {
+      for (const std::uint32_t i : item.indices) {
+        emissions.clear();
+        // Aliasing pointer into the refcounted batch: slots that buffer
+        // the arrival share the batch storage instead of deep-copying
+        // (the ROADMAP per-arrival-copy lever; the batch stays alive
+        // while any shard buffers any of its entities).
+        const std::shared_ptr<const core::Entity> entity(item.batch, &item.batch->entities[i]);
+        shard.engine.observe(entity, item.batch->nows[i], emissions);
+        if (emissions.empty()) continue;
+        for (core::Emission& em : emissions) em.def = shard.global_def[em.def];
+        chunks.push_back(OutChunk{item.batch->stamps[i], std::move(emissions), 0, 0, {}});
+        emissions = {};
+      }
+      last_stamp = item.batch->stamps[item.indices.back()];
+      run_arrivals += item.indices.size();
+      item = WorkItem{};  // drop the batch reference before publishing
+      if (run_arrivals >= kPublishBatch) break;
+      WorkItem* next = shard.inbox.front();  // never waits: runs only extend
+      if (next == nullptr || next->batch == nullptr) break;
+      item = std::move(*next);
+      shard.inbox.pop_front();
+      if (options_.stall_hook) options_.stall_hook(shard.index);
     }
-    publish_work(shard, chunks, item.batch->stamps[item.indices.back()], load_scratch);
-    {
-      const std::lock_guard lk(shard.in_mutex);
-      shard.queued_arrivals -= item.indices.size();
-    }
-    shard.space_cv.notify_all();
+    publish_work(shard, chunks, last_stamp, load_scratch);
+    shard.queued_arrivals.fetch_sub(run_arrivals, std::memory_order_seq_cst);
+    shard.space_ec.notify_all();
   }
 }
 
@@ -601,87 +668,106 @@ void ShardedEngineRuntime::worker_cascade_loop(Shard& shard) {
     WorkItem control;
     std::shared_ptr<const Batch> batch;
     std::uint32_t index = 0;
-    {
-      std::unique_lock lk(shard.in_mutex);
-      for (;;) {
-        if (shard.stop) {
-          // Arrivals and feedback are abandoned (the runtime is being
-          // destroyed and the coordinator is stopping too), but pending
-          // migration handshakes must still complete: a peer worker may
-          // already be blocked in its receive-side ticket wait, which
-          // only the matching send can release. Every worker drains its
-          // control items on exit, so chains still resolve in decision
-          // order exactly as they would have live.
-          std::vector<WorkItem> controls;
-          for (WorkItem& item : shard.inbox) {
-            if (item.batch == nullptr) controls.push_back(std::move(item));
-          }
-          shard.inbox.clear();
-          lk.unlock();
-          for (WorkItem& item : controls) handle_control(shard, item, load_scratch);
-          return;
+
+    // Claims the next admissible item across the two work sources, or
+    // returns false (park on work_ec). Picks the head item with the
+    // smaller sub-stamp key: arrivals act at (s, 0), feedback at
+    // (s, depth >= 1), control items at (barrier-1, +inf). The coordinator
+    // dispatches feedback in key order and the inbox is stamp-ordered, so
+    // comparing the two heads yields the globally next item for this
+    // shard. Arrivals are consumed one at a time through the ring's
+    // consumer peek (the head item's `next` cursor advances in place).
+    const auto try_claim = [&]() -> bool {
+      bool have = false;
+      Action candidate{};
+      std::uint64_t key_stamp = 0;
+      std::uint32_t key_depth = 0;
+      std::uint64_t gate = 0;  // closure frontier the item waits for
+      WorkItem* head = shard.inbox.front();
+      if (head != nullptr) {
+        if (head->batch == nullptr) {
+          candidate = Action::kControl;
+          key_stamp = head->barrier - 1;
+          key_depth = 0xffffffffu;
+          gate = head->barrier - 1;
+        } else {
+          candidate = Action::kArrival;
+          key_stamp = head->batch->stamps[head->indices[head->next]];
+          key_depth = 0;
+          gate = key_stamp - 1;
         }
-        // Pick the head item with the smaller sub-stamp key: arrivals act
-        // at (s, 0), feedback at (s, depth >= 1), control items at
-        // (barrier-1, +inf). The coordinator dispatches feedback in key
-        // order and the inbox is stamp-ordered, so comparing the two
-        // heads yields the globally next item for this shard.
-        bool have = false;
-        Action candidate{};
-        std::uint64_t key_stamp = 0;
-        std::uint32_t key_depth = 0;
-        std::uint64_t gate = 0;  // closure frontier the item waits for
-        if (!shard.inbox.empty()) {
-          const WorkItem& head = shard.inbox.front();
-          if (head.batch == nullptr) {
-            candidate = Action::kControl;
-            key_stamp = head.barrier - 1;
-            key_depth = 0xffffffffu;
-            gate = head.barrier - 1;
-          } else {
-            candidate = Action::kArrival;
-            key_stamp = head.batch->stamps[head.indices[head.next]];
-            key_depth = 0;
-            gate = key_stamp - 1;
-          }
-          have = true;
-        }
+        have = true;
+      }
+      {
+        const std::lock_guard flk(shard.fb_mutex);
         if (!shard.feedback.empty()) {
           const FeedbackItem& f = shard.feedback.front();
           if (!have || f.stamp < key_stamp ||
               (f.stamp == key_stamp && f.depth < key_depth)) {
-            candidate = Action::kFeedback;
-            gate = 0;  // sequenced by the coordinator; always admissible
-            have = true;
+            // Sequenced by the coordinator; always admissible.
+            fb = std::move(shard.feedback.front());
+            shard.feedback.pop_front();
+            action = Action::kFeedback;
+            return true;
           }
         }
-        if (have) {
-          // Arrivals and control items wait for every earlier stamp's
-          // cascade to drain — unless feedback provably cannot exist.
-          const bool admissible =
-              candidate == Action::kFeedback ||
-              !feedback_possible_.load(std::memory_order_acquire) ||
-              closed_through_.load(std::memory_order_acquire) >= gate;
-          if (admissible) {
-            if (candidate == Action::kFeedback) {
-              fb = std::move(shard.feedback.front());
-              shard.feedback.pop_front();
-            } else if (candidate == Action::kControl) {
-              control = std::move(shard.inbox.front());
-              shard.inbox.pop_front();
-            } else {
-              WorkItem& head = shard.inbox.front();
-              batch = head.batch;
-              index = head.indices[head.next];
-              if (++head.next == head.indices.size()) shard.inbox.pop_front();
-            }
-            action = candidate;
-            break;
-          }
-        }
-        shard.work_cv.wait(lk);
       }
+      if (!have) return false;
+      // Arrivals and control items wait for every earlier stamp's
+      // cascade to drain — unless feedback provably cannot exist. The
+      // seq_cst load pairs with the coordinator's frontier store through
+      // work_ec's fences, so parking never misses an advance.
+      if (feedback_possible_.load(std::memory_order_seq_cst) &&
+          closed_through_.load(std::memory_order_seq_cst) < gate) {
+        return false;
+      }
+      if (candidate == Action::kControl) {
+        control = std::move(*head);
+        shard.inbox.pop_front();
+      } else {
+        batch = head->batch;
+        index = head->indices[head->next];
+        if (++head->next == head->indices.size()) shard.inbox.pop_front();
+      }
+      action = candidate;
+      return true;
+    };
+
+    bool stopping = false;
+    for (;;) {
+      if (shard.stop.load(std::memory_order_seq_cst)) {
+        stopping = true;
+        break;
+      }
+      if (try_claim()) break;
+      const std::uint32_t ticket = shard.work_ec.prepare_wait();
+      if (shard.stop.load(std::memory_order_seq_cst)) {
+        shard.work_ec.cancel_wait();
+        stopping = true;
+        break;
+      }
+      if (try_claim()) {
+        shard.work_ec.cancel_wait();
+        break;
+      }
+      shard.work_ec.wait(ticket);
     }
+    if (stopping) {
+      // Arrivals and feedback are abandoned (the runtime is being
+      // destroyed and the coordinator is stopping too), but pending
+      // migration handshakes must still complete: a peer worker may
+      // already be blocked in its receive-side ticket wait, which
+      // only the matching send can release. Every worker drains its
+      // control items on exit, so chains still resolve in decision
+      // order exactly as they would have live.
+      WorkItem leftover;
+      while (shard.inbox.try_pop(leftover)) {
+        if (leftover.batch == nullptr) handle_control(shard, leftover, load_scratch);
+        leftover = WorkItem{};
+      }
+      return;
+    }
+    if (options_.stall_hook) options_.stall_hook(shard.index);
 
     if (action == Action::kControl) {
       handle_control(shard, control, load_scratch);
@@ -713,11 +799,8 @@ void ShardedEngineRuntime::worker_cascade_loop(Shard& shard) {
       emissions = {};
     }
     publish_cascade(shard, chunks, stamp, 0, 0, load_scratch);
-    {
-      const std::lock_guard lk(shard.in_mutex);
-      --shard.queued_arrivals;
-    }
-    shard.space_cv.notify_all();
+    shard.queued_arrivals.fetch_sub(1, std::memory_order_seq_cst);
+    shard.space_ec.notify_all();
   }
 }
 
@@ -883,11 +966,11 @@ void ShardedEngineRuntime::cascade_loop() {
         for (std::uint64_t m = mask; m != 0; m &= m - 1) {
           const auto s = static_cast<std::size_t>(std::countr_zero(m));
           {
-            const std::lock_guard lk(shards_[s]->in_mutex);
+            const std::lock_guard lk(shards_[s]->fb_mutex);
             shards_[s]->feedback.push_back(
                 FeedbackItem{p.stamp, depth, em.emit_index, shared, now});
           }
-          shards_[s]->work_cv.notify_one();
+          shards_[s]->work_ec.notify_all();
           touched[s] = 1;
           last_sub[s] = em.emit_index;
         }
@@ -927,15 +1010,12 @@ void ShardedEngineRuntime::cascade_loop() {
       cascade_truncated_ += truncated;
       pending_.pop_front();
       closed_through_.store(pending_.empty() ? last_stamp_assigned_ : pending_.front().stamp - 1,
-                            std::memory_order_release);
+                            std::memory_order_seq_cst);
     }
     merged_cv_.notify_all();
-    for (auto& shard : shards_) {
-      // Lock/unlock pairs the frontier store with the workers' gate check
-      // (which reads closed_through_ under in_mutex) — no missed wakeup.
-      { const std::lock_guard lk(shard->in_mutex); }
-      shard->work_cv.notify_all();
-    }
+    // The seq_cst frontier store pairs with the workers' gate load through
+    // work_ec's registration/probe fences — no missed wakeup.
+    for (auto& shard : shards_) shard->work_ec.notify_all();
   }
 }
 
@@ -998,9 +1078,12 @@ std::vector<core::EventInstance> ShardedEngineRuntime::poll() {
 std::vector<core::EventInstance> ShardedEngineRuntime::flush() {
   if (options_.cascade) {
     // Closed stamps leave pending_ only after their full cascade closure
-    // has been merged, so an empty frontier means quiescence.
+    // has been merged, so an empty frontier means quiescence. A stopped
+    // runtime abandons unclosed stamps — return what was merged.
     std::unique_lock lk(merge_mutex_);
-    merged_cv_.wait(lk, [&] { return pending_.empty(); });
+    merged_cv_.wait(lk, [&] {
+      return pending_.empty() || shutdown_.load(std::memory_order_acquire);
+    });
     std::vector<core::EventInstance> out;
     out.swap(cascade_out_);
     return out;
@@ -1013,8 +1096,11 @@ std::vector<core::EventInstance> ShardedEngineRuntime::flush() {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
     std::unique_lock lk(shard.out_mutex);
+    // Stop-aware: a shut-down runtime abandons unpushed work, so the
+    // watermark may never reach a stamp that was routed but dropped.
     shard.done_cv.wait(lk, [&] {
-      return shard.watermark.load(std::memory_order_acquire) >= targets[s];
+      return shard.stop.load(std::memory_order_acquire) ||
+             shard.watermark.load(std::memory_order_acquire) >= targets[s];
     });
   }
   return poll();
@@ -1027,8 +1113,8 @@ RuntimeStats ShardedEngineRuntime::stats() const {
     s.engine += shard->published_stats;
   }
   for (const auto& shard : shards_) {
-    const std::lock_guard lk(shard->in_mutex);
-    if (shard->max_queued > s.max_inbox) s.max_inbox = shard->max_queued;
+    const std::uint64_t mq = shard->max_queued.load(std::memory_order_relaxed);
+    if (mq > s.max_inbox) s.max_inbox = mq;
   }
   {
     const std::lock_guard lk(ingest_mutex_);

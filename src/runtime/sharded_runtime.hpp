@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -14,6 +15,7 @@
 
 #include "core/engine.hpp"
 #include "core/routing.hpp"
+#include "runtime/mpsc_ring.hpp"
 #include "runtime/rebalance.hpp"
 
 namespace stem::runtime {
@@ -45,6 +47,19 @@ struct RuntimeOptions {
   /// default — the non-cascading pipeline is byte-identical to plain
   /// observe() and pays none of the closure coordination.
   bool cascade = false;
+  /// Pin each shard worker thread to a distinct logical CPU (shard index
+  /// modulo the process's allowed-CPU count; see runtime/affinity.hpp).
+  /// Off by default: pinning helps on dedicated multi-core hosts (stable
+  /// cache/NUMA placement for the per-shard engines) and hurts when the
+  /// process shares cores with other work. No-op on platforms without
+  /// affinity support and on failure — never fatal.
+  bool pin_shards = false;
+  /// Test-only fault-injection hook: when set, every shard worker invokes
+  /// it (with its shard index) before processing each work item — the
+  /// stress suite uses it to stall a consumer shard at random so wrap,
+  /// backpressure, and shutdown paths are exercised under contention. Must
+  /// be thread-safe; never called after the runtime's destructor returns.
+  std::function<void(std::size_t)> stall_hook;
   /// Options forwarded to every shard's DetectionEngine.
   core::EngineOptions engine;
 };
@@ -92,6 +107,18 @@ struct RuntimeStats {
 /// shard — in particular, a shard hosting a wildcard definition receives
 /// the full stream. Each definition lives on exactly one shard, so every
 /// instance is produced exactly once.
+///
+/// **Ingest path** (hot): each shard's inbox is a bounded lock-free MPSC
+/// ring (runtime/mpsc_ring.hpp) — producers claim slots with a CAS
+/// sequence protocol, the worker consumes spin-then-park, and no mutex or
+/// condvar sits between an arrival and its shard. queue_capacity is
+/// enforced in *arrivals* by an atomic counter + eventcount (blocking
+/// backpressure, oversized batches admitted into an empty inbox), control
+/// items are capacity-exempt exactly as before. Workers drain runs of
+/// items and publish outbox/watermark/stats once per drained run (capped
+/// at kPublishBatch arrivals), so the out_mutex handshake is amortized
+/// instead of per-item. RuntimeOptions::pin_shards optionally pins each
+/// worker to a CPU.
 ///
 /// **Rebalancing** (migrate_definition / rebalance_now / automatic
 /// epochs): initial placement is load-blind, so a skewed stream can pin
@@ -192,6 +219,18 @@ class ShardedEngineRuntime {
   /// with rebalance_epoch == 0 for externally paced rebalancing.
   std::size_t rebalance_now();
 
+  /// Stops the runtime: wakes every producer parked in ingest backpressure
+  /// (their ingest calls return without enqueuing more work), closes the
+  /// shard rings, lets workers drain — in-flight migration handshakes
+  /// still complete in decision order — and joins every thread. Idempotent;
+  /// the destructor calls it. Afterwards ingest is a no-op, poll() returns
+  /// whatever was merged, and flush() returns immediately instead of
+  /// waiting for work that was abandoned mid-shutdown. Safe to call from
+  /// one thread while others are blocked in ingest (they are released
+  /// before shutdown returns); do not destroy the runtime until those
+  /// ingest calls have returned.
+  void shutdown() noexcept;
+
   /// Summed counters; exact only at quiescence (see RuntimeStats).
   [[nodiscard]] RuntimeStats stats() const;
 
@@ -246,7 +285,8 @@ class ShardedEngineRuntime {
     std::uint64_t barrier = 0;
     /// Cascade mode: next unprocessed position in `indices` (workers
     /// consume batch items one arrival at a time behind the closure
-    /// frontier). Guarded by in_mutex.
+    /// frontier, mutating the head item in place through the ring's
+    /// consumer peek — worker-owned, like the rest of the head cell).
     std::size_t next = 0;
   };
 
@@ -292,29 +332,47 @@ class ShardedEngineRuntime {
 
   struct Shard {
     Shard(const core::ObserverId& id, core::Layer layer, geom::Point location,
-          const core::EngineOptions& options)
-        : engine(id, layer, location, options) {}
+          const core::EngineOptions& options, std::size_t inbox_slots)
+        : engine(id, layer, location, options), inbox(inbox_slots) {}
 
     core::DetectionEngine engine;             ///< touched only by the worker
     /// local def index -> global. Written pre-start by add_definition and
-    /// by the worker at implant time; the inbox mutex hand-off orders the
-    /// pre-start writes before any worker read.
+    /// by the worker at implant time; the ring's release/acquire slot
+    /// hand-off orders the pre-start writes before any worker read.
     std::vector<std::uint32_t> global_def;
     /// Inverse map (global -> local), worker-owned for the same reason;
     /// consulted when a send control item extracts a group.
     std::unordered_map<std::uint32_t, std::uint32_t> local_of;
 
-    std::mutex in_mutex;                      ///< guards inbox/feedback/queued/stop
-    std::condition_variable work_cv;          ///< worker waits for work
-    std::condition_variable space_cv;         ///< producers wait for space
-    std::deque<WorkItem> inbox;
+    std::size_t index = 0;  ///< position in shards_ (pinning/stall hook)
+
+    /// Lock-free stamp-ordered inbox. Producers (ingest + migration
+    /// control) claim slots with the ring's CAS sequence protocol; the
+    /// worker is the only consumer. Slot-capacity is queue_capacity plus
+    /// headroom for capacity-exempt control items — the *arrival*-denominated
+    /// queue_capacity contract is enforced by queued_arrivals below, not
+    /// by ring fullness.
+    MpscRing<WorkItem> inbox;
+    /// Arrivals admitted but not yet fully processed (ring + in flight).
+    /// Producers block (space_ec) while an admission would overflow
+    /// queue_capacity — unless the inbox is empty, so oversized batches
+    /// cannot block forever. The worker decrements as it finishes items.
+    std::atomic<std::uint64_t> queued_arrivals{0};
+    std::atomic<std::uint64_t> max_queued{0};  ///< high-water queued_arrivals
+    std::atomic<bool> stop{false};
+    EventCount space_ec;  ///< producers park for arrival-capacity space
+    /// Cascade mode: the worker parks here (its wake sources — ring push,
+    /// feedback push, closure-frontier advance, stop — are more than the
+    /// ring alone can signal). Unused otherwise: the non-cascade worker
+    /// parks inside MpscRing::pop.
+    EventCount work_ec;
+
     /// Cascade mode: feedback items dispatched by the coordinator, in
-    /// sub-stamp order. Drained interleaved with the inbox by sub-stamp
-    /// (the worker picks whichever head item has the smaller key).
+    /// sub-stamp order, guarded by fb_mutex. Drained interleaved with the
+    /// inbox by sub-stamp (the worker picks whichever head item has the
+    /// smaller key). Not capacity-accounted (bounded by one closure).
+    std::mutex fb_mutex;
     std::deque<FeedbackItem> feedback;
-    std::size_t queued_arrivals = 0;          ///< inbox + in-flight arrivals
-    std::uint64_t max_queued = 0;             ///< high-water queued_arrivals
-    bool stop = false;
 
     std::mutex out_mutex;                     ///< guards outbox/watermark pub
     std::condition_variable done_cv;          ///< flush waits for watermark
@@ -419,6 +477,7 @@ class ShardedEngineRuntime {
   core::Layer layer_;
   geom::Point location_;
   RuntimeOptions options_;
+  std::atomic<bool> shutdown_{false};  ///< set once by shutdown()
   /// Whether workers publish per-definition loads with each work item.
   /// False on the default configuration (rebalancing disabled and
   /// rebalance_now() never called), so the hot path skips the

@@ -168,7 +168,7 @@ void run_differential(std::uint64_t seed, std::size_t shards, std::size_t batch_
                       std::size_t depth, ConsumptionMode mode, const std::string& tag,
                       int arrivals = 192, bool skewed = false,
                       const std::vector<Migration>& migrations = {},
-                      std::size_t rebalance_epoch = 0) {
+                      std::size_t rebalance_epoch = 0, std::size_t queue_capacity = 4096) {
   core::EngineOptions engine_options;
   engine_options.max_cascade_depth = depth;
 
@@ -177,6 +177,7 @@ void run_differential(std::uint64_t seed, std::size_t shards, std::size_t batch_
   options.cascade = true;
   options.engine = engine_options;
   options.rebalance_epoch = rebalance_epoch;
+  options.queue_capacity = queue_capacity;
   ShardedEngineRuntime sharded(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0}, options);
   DetectionEngine sequential(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0},
                              engine_options);
@@ -290,6 +291,21 @@ TEST_P(CascadeVsSequentialTest, TightQueueBackpressureStreamsMatch) {
   for (EventInstance& inst : sharded.flush()) got.push_back(describe(inst));
   ASSERT_EQ(got.size(), want.size());
   for (std::size_t k = 0; k < got.size(); ++k) ASSERT_EQ(got[k], want[k]) << k;
+}
+
+TEST_P(CascadeVsSequentialTest, TinyCapacityConstantWrapStreamsMatch) {
+  // capacity {1,2} with cascading: arrivals, feedback, and the closure
+  // frontier all contend while the ring wraps on every push and producers
+  // sit in permanent backpressure. Migrations ride along so control items
+  // are exercised under the same pressure.
+  for (const std::size_t capacity : {1u, 2u}) {
+    run_differential(GetParam() ^ 0x71c0ULL, 4, 1, 4, ConsumptionMode::kUnrestricted,
+                     "T" + std::to_string(capacity), 128, /*skewed=*/true,
+                     {{32, 2, 1}, {64, 0, 2}}, 0, capacity);
+    run_differential(GetParam() ^ 0x71c1ULL, 2, 16, 2, ConsumptionMode::kConsume,
+                     "T" + std::to_string(capacity) + "b", 128, /*skewed=*/false, {}, 0,
+                     capacity);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CascadeVsSequentialTest, ::testing::Values(1u, 2u, 3u));

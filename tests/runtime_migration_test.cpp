@@ -183,9 +183,10 @@ Stream make_stream(std::uint64_t seed, int n, double skew_hot) {
 /// counter conservation. Every migration must actually be issued.
 void run_migration_differential(std::uint64_t seed, std::size_t shards, std::size_t batch_size,
                                 ConsumptionMode mode, double skew_hot, const std::string& tag,
-                                std::size_t migrations = 4) {
+                                std::size_t migrations = 4, std::size_t queue_capacity = 4096) {
   RuntimeOptions options;
   options.shards = shards;
+  options.queue_capacity = queue_capacity;
   ShardedEngineRuntime sharded(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0}, options);
   DetectionEngine sequential(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0});
   const auto defs = migration_definitions(mode, tag);
@@ -317,6 +318,18 @@ TEST_P(MigrationDifferentialTest, AutomaticRebalancingKeepsStreamEqual) {
   ASSERT_EQ(got.size(), want.size());
   for (std::size_t k = 0; k < got.size(); ++k) ASSERT_EQ(got[k], want[k]) << "instance " << k;
   EXPECT_GT(sharded.stats().rebalance_passes, 0u);
+}
+
+TEST_P(MigrationDifferentialTest, TinyCapacityStreamsMatchUnderForcedMigrations) {
+  // capacity {1,2}: the migration control pair must interleave exactly at
+  // its barrier while the ring wraps on every push and producers sit in
+  // permanent backpressure (capacity-exempt controls included).
+  for (const std::size_t capacity : {1u, 2u}) {
+    run_migration_differential(GetParam() ^ 0x2f9ULL, 4, 1, ConsumptionMode::kUnrestricted,
+                               0.0, "MT" + std::to_string(capacity), 4, capacity);
+    run_migration_differential(GetParam() ^ 0x2faULL, 2, 64, ConsumptionMode::kConsume,
+                               0.9, "MT" + std::to_string(capacity) + "b", 4, capacity);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MigrationDifferentialTest, ::testing::Values(1u, 2u, 3u, 5u, 8u));

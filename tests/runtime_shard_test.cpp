@@ -241,6 +241,19 @@ TEST_P(ShardedVsSequentialTest, TightQueueBackpressureStreamsMatch) {
   run_differential(GetParam() ^ 0xbac2ULL, 8, 256, ConsumptionMode::kConsume, "Q2", 8);
 }
 
+TEST_P(ShardedVsSequentialTest, TinyCapacityConstantWrapStreamsMatch) {
+  // capacity {1,2}: the ring wraps on (almost) every push, producers park
+  // and wake constantly, and batches larger than the capacity take the
+  // oversized-batch admission path — the ordering contract must hold
+  // under permanent backpressure.
+  for (const std::size_t capacity : {1u, 2u}) {
+    run_differential(GetParam() ^ 0x71c0ULL, 4, 1, ConsumptionMode::kUnrestricted,
+                     "T" + std::to_string(capacity), capacity);
+    run_differential(GetParam() ^ 0x71c1ULL, 2, 16, ConsumptionMode::kConsume,
+                     "T" + std::to_string(capacity) + "b", capacity);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardedVsSequentialTest, ::testing::Values(1u, 2u, 3u, 5u, 8u));
 
 TEST(ShardPlacement, SameEventTypeCoLocated) {
