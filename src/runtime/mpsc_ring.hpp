@@ -100,6 +100,12 @@ class EventCount {
 /// ring is full (bounded-queue backpressure); pop() spins briefly, then
 /// parks while the ring is empty. close() wakes all sleepers: subsequent
 /// pushes fail, pops drain the remaining items and then report exhaustion.
+/// The close/drain handoff is exact: every push that returned true is
+/// popped before pop() reports exhaustion, and a claim that races close()
+/// and loses publishes a consumer-invisible tombstone instead of an item
+/// (its push returns false). The drain therefore treats "cursors
+/// disagree" — not "no visible item" — as the not-yet-drained condition,
+/// so a claimed-but-unpublished cell can never be abandoned.
 ///
 /// The consumer additionally gets peek access (front()/pop_front()) so a
 /// caller can interleave this ring with other work sources and consume an
@@ -136,8 +142,13 @@ class MpscRing {
                                       head_.load(std::memory_order_acquire));
   }
 
-  /// Non-blocking push; false when the ring is full. Any thread.
-  bool try_push(T&& value) { return try_push_ref(value); }
+  /// Non-blocking push; false when the ring is full or closed. Any
+  /// thread. Wakes a parked consumer on success, same as push().
+  bool try_push(T&& value) {
+    if (!try_push_ref(value)) return false;
+    items_.notify_all();
+    return true;
+  }
 
   /// Blocking push: parks while full, returns false (value discarded) once
   /// the ring is closed. Any thread.
@@ -166,11 +177,17 @@ class MpscRing {
   /// Peeks the head item without consuming it; nullptr when empty.
   /// Consumer thread only. The pointer stays valid until pop_front().
   [[nodiscard]] T* front() noexcept {
-    const std::uint32_t pos = head_.load(std::memory_order_relaxed);
-    Cell& cell = cells_[pos & mask_];
-    const std::uint32_t seq = cell.seq.load(std::memory_order_acquire);
-    if (static_cast<std::int32_t>(seq - (pos + 1)) < 0) return nullptr;  // empty
-    return &cell.value;
+    for (;;) {
+      const std::uint32_t pos = head_.load(std::memory_order_relaxed);
+      Cell& cell = cells_[pos & mask_];
+      const std::uint32_t seq = cell.seq.load(std::memory_order_acquire);
+      if (static_cast<std::int32_t>(seq - (pos + 1)) < 0) return nullptr;  // empty
+      if (!cell.poisoned) return &cell.value;
+      // Tombstone: a push claimed this slot, then observed close() and
+      // published a poisoned cell instead of an item (see try_push_ref).
+      // Never surfaced to callers — release the slot and look again.
+      release_slot(pos, cell);
+    }
   }
 
   /// Releases the head slot (must follow a non-null front()). Consumer
@@ -178,11 +195,7 @@ class MpscRing {
   /// resources held by the item (e.g. refcounted batches) free promptly.
   void pop_front() noexcept {
     const std::uint32_t pos = head_.load(std::memory_order_relaxed);
-    Cell& cell = cells_[pos & mask_];
-    cell.value = T{};
-    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
-    head_.store(pos + 1, std::memory_order_release);
-    space_.notify_all();
+    release_slot(pos, cells_[pos & mask_]);
   }
 
   /// Non-blocking pop; false when empty. Consumer thread only.
@@ -199,7 +212,7 @@ class MpscRing {
   bool pop(T& out) {
     for (int spin = 0; spin < kSpinPops; ++spin) {
       if (try_pop(out)) return true;
-      if (closed_.load(std::memory_order_acquire)) return try_pop(out);
+      if (closed_.load(std::memory_order_acquire)) return pop_closed(out);
       cpu_relax();
     }
     for (;;) {
@@ -210,7 +223,7 @@ class MpscRing {
       }
       if (closed_.load(std::memory_order_seq_cst)) {
         items_.cancel_wait();
-        return try_pop(out);
+        return pop_closed(out);
       }
       items_.wait(ticket);
     }
@@ -236,9 +249,43 @@ class MpscRing {
   struct Cell {
     std::atomic<std::uint32_t> seq{0};
     T value{};
+    /// Claim-raced-close tombstone: published instead of an item when the
+    /// producer observed closed_ only after winning the tail CAS. Written
+    /// before (and read after) seq's release/acquire hand-off.
+    bool poisoned = false;
   };
 
   static constexpr int kSpinPops = 128;
+
+  /// Hands the head slot back for the next lap (consumer thread only).
+  void release_slot(std::uint32_t pos, Cell& cell) noexcept {
+    cell.value = T{};
+    cell.poisoned = false;
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_release);
+    space_.notify_all();
+  }
+
+  /// Closed-path drain (consumer thread only): "no visible item" is not
+  /// "fully drained" — a producer may have won the tail CAS without yet
+  /// publishing its cell, and returning false then would silently lose an
+  /// admitted item. Only tail_ == head_ proves exhaustion; while the
+  /// cursors disagree the outstanding claim is a few stores from
+  /// visibility, so spin (publication never blocks). Soundness of the
+  /// cursor check: the claim CAS, close()'s store, and this tail_ load
+  /// are all seq_cst, so a claim this load cannot see was made after its
+  /// producer could see closed_ — and such claims publish tombstones
+  /// (never items) per try_push_ref's post-claim check.
+  bool pop_closed(T& out) {
+    for (;;) {
+      if (try_pop(out)) return true;
+      if (tail_.load(std::memory_order_seq_cst) ==
+          head_.load(std::memory_order_relaxed)) {
+        return false;
+      }
+      cpu_relax();
+    }
+  }
 
   bool try_push_ref(T& value) {
     std::uint32_t pos = tail_.load(std::memory_order_relaxed);
@@ -256,7 +303,22 @@ class MpscRing {
       const std::uint32_t seq = cell.seq.load(std::memory_order_acquire);
       const std::int32_t diff = static_cast<std::int32_t>(seq - pos);
       if (diff == 0) {
-        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+        // seq_cst success ordering: the claim must take a place in the
+        // total order against close()'s store and the drain's cursor
+        // check (pop_closed) — on x86 the lock-prefixed CAS is
+        // sequentially consistent anyway, so the hot path pays nothing.
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+          if (closed_.load(std::memory_order_seq_cst)) {
+            // The claim raced close() and lost: the consumer's drain may
+            // already have judged the ring exhausted up to this claim, so
+            // an item published here could be abandoned. Publish a
+            // tombstone instead (front() skips and releases it) and
+            // report failure — the item is not admitted.
+            cell.poisoned = true;
+            cell.seq.store(pos + 1, std::memory_order_release);
+            return false;
+          }
           cell.value = std::move(value);
           cell.seq.store(pos + 1, std::memory_order_release);
           return true;

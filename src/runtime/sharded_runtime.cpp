@@ -79,15 +79,27 @@ ShardedEngineRuntime::~ShardedEngineRuntime() { shutdown(); }
 void ShardedEngineRuntime::shutdown() noexcept {
   if (shutdown_.exchange(true, std::memory_order_seq_cst)) return;
   {
-    const std::lock_guard lk(cascade_mutex_);
-    cascade_stop_ = true;
-  }
-  cascade_cv_.notify_all();
-  for (auto& shard : shards_) {
-    shard->stop.store(true, std::memory_order_seq_cst);
-    shard->inbox.close();          // wakes the worker and ring-parked producers
-    shard->space_ec.notify_all();  // wakes capacity-parked producers
-    shard->work_ec.notify_all();   // wakes a cascade worker off its gate
+    // Serialize with producers and migration issuance: control items are
+    // pushed in send/implant *pairs* under ingest_mutex_, so closing the
+    // rings mid-pair could drop one side on a closed ring while admitting
+    // the other — the receive-side worker would then wait forever on a
+    // ready flag nobody sets. Holding ingest_mutex_ here makes the close
+    // atomic with respect to every inbox push. Liveness: nothing is
+    // stopped until the flags below are set, so whoever holds the lock —
+    // including an ingest parked on backpressure or a cascade-gated
+    // worker it depends on — keeps progressing, and the wait terminates.
+    const std::lock_guard ingest_lk(ingest_mutex_);
+    {
+      const std::lock_guard lk(cascade_mutex_);
+      cascade_stop_ = true;
+    }
+    cascade_cv_.notify_all();
+    for (auto& shard : shards_) {
+      shard->stop.store(true, std::memory_order_seq_cst);
+      shard->inbox.close();          // wakes the worker and ring-parked producers
+      shard->space_ec.notify_all();  // wakes capacity-parked producers
+      shard->work_ec.notify_all();   // wakes a cascade worker off its gate
+    }
   }
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
@@ -318,7 +330,22 @@ void ShardedEngineRuntime::push_control(Shard& shard, WorkItem item) {
   // check (blocking on it under ingest_mutex_ could stall the very
   // workers that free the space). The ring keeps slot headroom for them;
   // a full ring parks on the worker's drain, which always progresses.
-  shard.inbox.push(std::move(item));
+  const std::shared_ptr<MigrationTicket> ticket = item.ticket;
+  if (!shard.inbox.push(std::move(item))) {
+    // Closed ring: shutdown() won the race before this pair was issued
+    // (issuance and ring close both hold ingest_mutex_, so a pair is
+    // never split — both pushes fail together). Complete the handshake
+    // so anyone waiting on this ticket (a worker in handle_control's
+    // receive wait, or migrate_definition's done wait) is released; the
+    // state transfer is abandoned with the rest of the in-flight work.
+    {
+      const std::lock_guard tlk(ticket->m);
+      ticket->ready = true;
+      ticket->done = true;
+    }
+    ticket->cv.notify_all();
+    return;
+  }
   shard.work_ec.notify_all();
 }
 
@@ -406,6 +433,9 @@ bool ShardedEngineRuntime::migrate_definition(std::size_t def_index, std::size_t
     }
     lk.lock();
   }
+  // The wait above releases ingest_mutex_, so a shutdown may have slipped
+  // in; issuing now would push the control pair onto closed rings.
+  if (shutdown_.load(std::memory_order_acquire)) return false;  // stopped: no-op
 
   if (groups_[group].shard == to_shard) return false;
   issue_migration_locked(group, static_cast<std::uint32_t>(to_shard));

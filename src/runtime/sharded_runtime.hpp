@@ -222,7 +222,12 @@ class ShardedEngineRuntime {
   /// Stops the runtime: wakes every producer parked in ingest backpressure
   /// (their ingest calls return without enqueuing more work), closes the
   /// shard rings, lets workers drain — in-flight migration handshakes
-  /// still complete in decision order — and joins every thread. Idempotent;
+  /// still complete in decision order — and joins every thread. The ring
+  /// close is serialized with ingestion and migration issuance (both hold
+  /// the ingest lock), so a migration's control-item pair is never split
+  /// across the close: either both sides are admitted and the workers
+  /// finish the handshake, or neither is and its ticket is completed
+  /// unblocked. Idempotent;
   /// the destructor calls it. Afterwards ingest is a no-op, poll() returns
   /// whatever was merged, and flush() returns immediately instead of
   /// waiting for work that was abandoned mid-shutdown. Safe to call from

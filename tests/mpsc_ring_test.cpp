@@ -226,6 +226,23 @@ TEST(MpscRingBlockingTest, PushParksWhenFullAndWakesOnPop) {
   EXPECT_TRUE(pushed.load(std::memory_order_seq_cst));
 }
 
+TEST(MpscRingBlockingTest, TryPushWakesParkedConsumer) {
+  // Regression: try_push used to skip the items_ notification, so a
+  // consumer parked inside pop() was never woken by a try_push producer —
+  // this test then hung in consumer.join().
+  MpscRing<int> ring(4);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] {
+    int out = -1;
+    ASSERT_TRUE(ring.pop(out));  // spins out, then parks on the empty ring
+    got.store(out, std::memory_order_seq_cst);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(ring.try_push(9));
+  consumer.join();
+  EXPECT_EQ(got.load(std::memory_order_seq_cst), 9);
+}
+
 TEST(MpscRingBlockingTest, PopParksWhenEmptyAndWakesOnPush) {
   MpscRing<int> ring(4);
   std::atomic<int> got{-1};
@@ -238,6 +255,50 @@ TEST(MpscRingBlockingTest, PopParksWhenEmptyAndWakesOnPush) {
   ASSERT_TRUE(ring.push(7));
   consumer.join();
   EXPECT_EQ(got.load(std::memory_order_seq_cst), 7);
+}
+
+TEST(MpscRingTortureTest, CloseLosesNoAdmittedItems) {
+  // Races close() against producers mid-claim, many rounds. The exactness
+  // contract under test: every push() that returned true is popped before
+  // the drain reports exhaustion, and a claim that races the close and
+  // loses reports false (its tombstone stays invisible). The regression
+  // this pins down: a producer that had won the tail CAS but not yet
+  // published its cell was invisible to the drain, which then returned
+  // "exhausted" while that push went on to return true — a lost item.
+#if defined(STEM_RING_TSAN)
+  constexpr int kRounds = 60;
+#else
+  constexpr int kRounds = 250;
+#endif
+  for (int round = 0; round < kRounds; ++round) {
+    MpscRing<std::uint64_t> ring(8);
+    std::atomic<std::uint64_t> admitted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&] {
+        std::uint64_t v = 1;
+        while (ring.push(v)) {  // false once closed
+          admitted.fetch_add(1, std::memory_order_relaxed);
+          ++v;
+        }
+      });
+    }
+    std::atomic<std::uint64_t> popped{0};
+    std::thread consumer([&] {
+      std::uint64_t out = 0;
+      while (ring.pop(out)) popped.fetch_add(1, std::memory_order_relaxed);
+    });
+    // Let traffic build, then slam the door mid-flight (vary the timing a
+    // little so the close lands in different phases of the claim protocol).
+    std::this_thread::sleep_for(std::chrono::microseconds(20 + 13 * (round % 11)));
+    ring.close();
+    for (auto& t : producers) t.join();
+    consumer.join();
+    EXPECT_EQ(popped.load(std::memory_order_seq_cst),
+              admitted.load(std::memory_order_seq_cst))
+        << "round " << round;
+    EXPECT_EQ(ring.size(), 0u) << "round " << round;
+  }
 }
 
 TEST(MpscRingBlockingTest, CloseWakesParkedProducerAndConsumer) {

@@ -319,5 +319,56 @@ TEST(RuntimeStressTest, CleanShutdownMidBackpressure) {
   }
 }
 
+TEST(RuntimeStressTest, ShutdownRacesMigrationIssuance) {
+  // Regression: shutdown() used to close the shard rings without holding
+  // the ingest lock, so it could interleave inside a migration issuance
+  // and drop one half of the extract/implant control pair on a closed
+  // ring while admitting the other — the receive-side worker then waited
+  // forever on a ready flag nobody would set, and shutdown()'s join hung.
+  // Race ingestion, explicit migrations, auto-rebalancing, and shutdown
+  // hard across both runtime modes; a regression shows up as a hang (the
+  // ctest timeout), not an assertion.
+  for (const bool cascade : {false, true}) {
+    for (int round = 0; round < 8; ++round) {
+      RuntimeOptions options;
+      options.shards = 4;
+      options.queue_capacity = 8;
+      options.cascade = cascade;
+      options.rebalance_epoch = 64;  // migrations also issue inside ingest_batch
+      ShardedEngineRuntime rt(ObserverId("OB"), core::Layer::kCyber, {0, 0}, options);
+      for (const EventDefinition& def : stress_definitions("SM")) rt.add_definition(def);
+
+      const Stream stream = make_stream(3000 + round, 3'000);
+      std::thread producer([&] {
+        std::size_t i = 0;
+        while (i < stream.entities.size()) {
+          const std::size_t n = std::min<std::size_t>(32, stream.entities.size() - i);
+          rt.ingest_batch(std::span(stream.entities).subspan(i, n),
+                          std::span(stream.nows).subspan(i, n));
+          i += n;
+        }
+      });
+      std::atomic<bool> stop_migrator{false};
+      std::thread migrator([&] {
+        // Ping-pong the wildcard group (def 0 sees the full stream, so
+        // its handshakes always land mid-traffic) until shutdown; the
+        // calls degrade to no-ops once the runtime stops.
+        std::size_t to = 0;
+        while (!stop_migrator.load(std::memory_order_relaxed)) {
+          rt.migrate_definition(0, to);
+          to = (to + 1) % options.shards;
+        }
+      });
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 + round % 4));
+      rt.shutdown();
+      stop_migrator.store(true, std::memory_order_relaxed);
+      producer.join();
+      migrator.join();
+      (void)rt.poll();  // post-shutdown API stays usable
+      (void)rt.stats();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace stem::runtime
