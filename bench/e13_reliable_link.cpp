@@ -1,0 +1,94 @@
+/// E13 — Reliable-session overhead: entities/s through a ReliableEndpoint
+/// pair as the FaultPlan's link loss climbs from 0% to 20%. The 0% leg
+/// prices the protocol itself (framing, acks, timer churn) against the
+/// fire-and-forget baseline; the lossy legs price the retransmission
+/// machinery that buys exactly-once delivery.
+
+#include <benchmark/benchmark.h>
+
+#include "net/fault.hpp"
+#include "net/reliable.hpp"
+
+namespace {
+
+using namespace stem;
+
+core::PhysicalObservation make_obs(std::uint64_t seq) {
+  core::PhysicalObservation o;
+  o.mote = core::ObserverId("MT1");
+  o.sensor = core::SensorId("SR");
+  o.seq = seq;
+  o.time = time_model::TimePoint(static_cast<time_model::Tick>(seq));
+  o.location = geom::Location(geom::Point{1, 2});
+  o.attributes.set("value", 50.0);
+  return o;
+}
+
+net::LinkSpec fast_link() {
+  net::LinkSpec fast;
+  fast.base_latency = time_model::microseconds(10);
+  fast.jitter = time_model::Duration::zero();
+  fast.bytes_per_ms = 0.0;
+  return fast;
+}
+
+/// One send + full simulator drain per iteration (delivery, acks, and any
+/// retransmission rounds the loss forced). range(0) is the loss percent.
+void BM_ReliableLink(benchmark::State& state) {
+  const double loss = static_cast<double>(state.range(0)) / 100.0;
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(5));
+  net::FaultPlan plan(0xe13ULL);
+  if (loss > 0.0) {
+    net::LinkFault fault;
+    fault.drop_prob = loss;
+    plan.on_link(net::NodeId("a"), net::NodeId("b"), fault);  // data only; acks stay clean
+    network.set_fault_plan(&plan);
+  }
+
+  std::uint64_t delivered = 0;
+  net::ReliableEndpoint b(network, net::NodeId("b"),
+                          [&delivered](const net::Message&) { ++delivered; });
+  net::ReliableEndpoint a(network, net::NodeId("a"), [](const net::Message&) {});
+  network.connect(net::NodeId("a"), net::NodeId("b"), fast_link());
+
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    a.send(net::NodeId("b"), core::Entity(make_obs(seq++)));
+    simulator.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.counters["retransmits_per_send"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(a.stats().retransmits) / static_cast<double>(state.iterations());
+}
+
+/// Fire-and-forget reference on the identical link: what the session
+/// layer's guarantees cost relative to a bare Network::send.
+void BM_ReliableLink_PlainBaseline(benchmark::State& state) {
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(5));
+  std::uint64_t delivered = 0;
+  network.register_node(net::NodeId("a"), [](const net::Message&) {});
+  network.register_node(net::NodeId("b"), [&delivered](const net::Message&) { ++delivered; });
+  network.connect(net::NodeId("a"), net::NodeId("b"), fast_link());
+
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    net::Message msg;
+    msg.src = net::NodeId("a");
+    msg.dst = net::NodeId("b");
+    msg.payload = core::Entity(make_obs(seq++));
+    network.send(std::move(msg));
+    simulator.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReliableLink)->Arg(0)->Arg(5)->Arg(20);
+BENCHMARK(BM_ReliableLink_PlainBaseline);
+
+BENCHMARK_MAIN();

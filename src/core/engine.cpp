@@ -135,6 +135,23 @@ DefinitionState DetectionEngine::extract_definition_state(std::size_t def_index)
   return out;
 }
 
+DefinitionState DetectionEngine::snapshot_definition_state(std::size_t def_index) const {
+  if (def_index >= defs_.size() || !defs_[def_index].active) {
+    throw std::out_of_range("DetectionEngine: snapshot of unknown definition index " +
+                            std::to_string(def_index));
+  }
+  const DefState& ds = defs_[def_index];
+  std::vector<std::vector<DefinitionState::BufferedEntity>> buffers(ds.def.slots.size());
+  for (std::size_t s = 0; s < ds.buffers.size(); ++s) {
+    buffers[s].reserve(ds.buffers[s].size());
+    for (const Buffered& b : ds.buffers[s]) {
+      buffers[s].push_back(DefinitionState::BufferedEntity{b.entity, b.stamp});
+    }
+  }
+  return DefinitionState{ds.def, seq_counters_[ds.seq_idx], ds.next_prune_at,
+                         std::move(buffers), ds.load_routed, ds.load_tried};
+}
+
 std::size_t DetectionEngine::implant_definition_state(DefinitionState state) {
   validate_definition(state.def);
   if (state.buffers.size() != state.def.slots.size()) {

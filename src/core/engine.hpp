@@ -162,6 +162,13 @@ class DetectionEngine : public Observer {
   /// std::out_of_range for an unknown or already-extracted index.
   [[nodiscard]] DefinitionState extract_definition_state(std::size_t def_index);
 
+  /// Non-destructive variant of extract_definition_state: copies the
+  /// definition's full dynamic state (buffered entities by shared_ptr)
+  /// without retiring the slot — the engine keeps running untouched.
+  /// Shard checkpoints are built from these. Throws std::out_of_range for
+  /// an unknown or extracted index.
+  [[nodiscard]] DefinitionState snapshot_definition_state(std::size_t def_index) const;
+
   /// Installs a previously extracted definition, rebuilding its routing
   /// and spatial index entries and renumbering its buffered entities into
   /// this engine's stamp space. The event type's sequence counter is set

@@ -179,7 +179,30 @@ class Reader {
     return value;
   }
 
-  std::int64_t read_int() { return static_cast<std::int64_t>(std::llround(read_number())); }
+  /// Integer-exact: a pure-integer token (no '.', exponent, or other
+  /// trailing cruft) parses via from_chars<int64>, so tick counts beyond
+  /// 2^53 round-trip without double-precision loss. Anything else falls
+  /// back to the rounded double path.
+  std::int64_t read_int() {
+    skip_ws();
+    std::size_t p = pos_;
+    if (p < s_.size() && s_[p] == '-') ++p;
+    const std::size_t digits_begin = p;
+    while (p < s_.size() && std::isdigit(static_cast<unsigned char>(s_[p])) != 0) ++p;
+    const bool pure_integer =
+        p > digits_begin &&
+        (p >= s_.size() || (s_[p] != '.' && s_[p] != 'e' && s_[p] != 'E' && s_[p] != '+'));
+    if (!pure_integer) return static_cast<std::int64_t>(std::llround(read_number()));
+    std::int64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(s_.data() + pos_, s_.data() + p, value);
+    if (ec != std::errc()) {
+      failed_ = true;
+      return 0;
+    }
+    (void)ptr;
+    pos_ = p;
+    return value;
+  }
 
   bool read_bool() {
     skip_ws();
@@ -307,6 +330,79 @@ std::optional<Layer> layer_from_string(std::string_view s) {
   return std::nullopt;
 }
 
+/// Reads one instance object (from '{' through its '}') out of `r`,
+/// leaving the reader positioned after the closing brace. Shared by
+/// decode_instance and the tagged entity frame.
+std::optional<EventInstance> read_instance_body(Reader& r) {
+  EventInstance inst;
+  if (!r.consume('{')) return std::nullopt;
+  do {
+    const std::string field = r.read_string();
+    if (!r.consume(':')) return std::nullopt;
+    if (field == "observer") {
+      inst.key.observer = ObserverId(r.read_string());
+    } else if (field == "event") {
+      inst.key.event = EventTypeId(r.read_string());
+    } else if (field == "seq") {
+      inst.key.seq = static_cast<std::uint64_t>(r.read_int());
+    } else if (field == "layer") {
+      const auto layer = layer_from_string(r.read_string());
+      if (!layer.has_value()) return std::nullopt;
+      inst.layer = *layer;
+    } else if (field == "gen_time") {
+      inst.gen_time = time_model::TimePoint(r.read_int());
+    } else if (field == "gen_location") {
+      inst.gen_location = read_point(r);
+    } else if (field == "est_time") {
+      inst.est_time = read_occurrence(r);
+    } else if (field == "est_location") {
+      inst.est_location = read_location(r);
+    } else if (field == "attributes") {
+      inst.attributes = read_attributes(r);
+    } else if (field == "confidence") {
+      inst.confidence = r.read_number();
+    } else if (field == "provenance") {
+      if (!r.consume('[')) return std::nullopt;
+      if (!r.try_consume(']')) {
+        do {
+          inst.provenance.push_back(read_key(r));
+        } while (r.try_consume(','));
+        if (!r.consume(']')) return std::nullopt;
+      }
+    } else {
+      return std::nullopt;  // unknown field
+    }
+  } while (r.try_consume(','));
+  if (!r.consume('}') || r.fail()) return std::nullopt;
+  return inst;
+}
+
+std::optional<PhysicalObservation> read_observation_body(Reader& r) {
+  PhysicalObservation obs;
+  if (!r.consume('{')) return std::nullopt;
+  do {
+    const std::string field = r.read_string();
+    if (!r.consume(':')) return std::nullopt;
+    if (field == "mote") {
+      obs.mote = ObserverId(r.read_string());
+    } else if (field == "sensor") {
+      obs.sensor = SensorId(r.read_string());
+    } else if (field == "seq") {
+      obs.seq = static_cast<std::uint64_t>(r.read_int());
+    } else if (field == "time") {
+      obs.time = time_model::TimePoint(r.read_int());
+    } else if (field == "location") {
+      obs.location = read_location(r);
+    } else if (field == "attributes") {
+      obs.attributes = read_attributes(r);
+    } else {
+      return std::nullopt;
+    }
+  } while (r.try_consume(','));
+  if (!r.consume('}') || r.fail()) return std::nullopt;
+  return obs;
+}
+
 }  // namespace
 
 std::string encode(const EventInstance& inst) {
@@ -362,76 +458,44 @@ std::string encode(const PhysicalObservation& obs) {
   return out;
 }
 
+std::string encode(const Entity& entity) {
+  if (entity.is_observation()) {
+    return "{\"observation\":" + encode(entity.observation()) + "}";
+  }
+  return "{\"instance\":" + encode(entity.instance()) + "}";
+}
+
 std::optional<EventInstance> decode_instance(std::string_view json) {
   Reader r(json);
-  EventInstance inst;
-  if (!r.consume('{')) return std::nullopt;
-  do {
-    const std::string field = r.read_string();
-    if (!r.consume(':')) return std::nullopt;
-    if (field == "observer") {
-      inst.key.observer = ObserverId(r.read_string());
-    } else if (field == "event") {
-      inst.key.event = EventTypeId(r.read_string());
-    } else if (field == "seq") {
-      inst.key.seq = static_cast<std::uint64_t>(r.read_int());
-    } else if (field == "layer") {
-      const auto layer = layer_from_string(r.read_string());
-      if (!layer.has_value()) return std::nullopt;
-      inst.layer = *layer;
-    } else if (field == "gen_time") {
-      inst.gen_time = time_model::TimePoint(r.read_int());
-    } else if (field == "gen_location") {
-      inst.gen_location = read_point(r);
-    } else if (field == "est_time") {
-      inst.est_time = read_occurrence(r);
-    } else if (field == "est_location") {
-      inst.est_location = read_location(r);
-    } else if (field == "attributes") {
-      inst.attributes = read_attributes(r);
-    } else if (field == "confidence") {
-      inst.confidence = r.read_number();
-    } else if (field == "provenance") {
-      if (!r.consume('[')) return std::nullopt;
-      if (!r.try_consume(']')) {
-        do {
-          inst.provenance.push_back(read_key(r));
-        } while (r.try_consume(','));
-        if (!r.consume(']')) return std::nullopt;
-      }
-    } else {
-      return std::nullopt;  // unknown field
-    }
-  } while (r.try_consume(','));
-  if (!r.consume('}') || !r.at_end() || r.fail()) return std::nullopt;
+  auto inst = read_instance_body(r);
+  if (!inst.has_value() || !r.at_end() || r.fail()) return std::nullopt;
   return inst;
 }
 
 std::optional<PhysicalObservation> decode_observation(std::string_view json) {
   Reader r(json);
-  PhysicalObservation obs;
-  if (!r.consume('{')) return std::nullopt;
-  do {
-    const std::string field = r.read_string();
-    if (!r.consume(':')) return std::nullopt;
-    if (field == "mote") {
-      obs.mote = ObserverId(r.read_string());
-    } else if (field == "sensor") {
-      obs.sensor = SensorId(r.read_string());
-    } else if (field == "seq") {
-      obs.seq = static_cast<std::uint64_t>(r.read_int());
-    } else if (field == "time") {
-      obs.time = time_model::TimePoint(r.read_int());
-    } else if (field == "location") {
-      obs.location = read_location(r);
-    } else if (field == "attributes") {
-      obs.attributes = read_attributes(r);
-    } else {
-      return std::nullopt;
-    }
-  } while (r.try_consume(','));
-  if (!r.consume('}') || !r.at_end() || r.fail()) return std::nullopt;
+  auto obs = read_observation_body(r);
+  if (!obs.has_value() || !r.at_end() || r.fail()) return std::nullopt;
   return obs;
+}
+
+std::optional<Entity> decode_entity(std::string_view json) {
+  Reader r(json);
+  if (!r.consume('{')) return std::nullopt;
+  const std::string tag = r.read_string();
+  if (!r.consume(':')) return std::nullopt;
+  std::optional<Entity> entity;
+  if (tag == "observation") {
+    auto obs = read_observation_body(r);
+    if (obs.has_value()) entity.emplace(*std::move(obs));
+  } else if (tag == "instance") {
+    auto inst = read_instance_body(r);
+    if (inst.has_value()) entity.emplace(*std::move(inst));
+  } else {
+    return std::nullopt;
+  }
+  if (!entity.has_value() || !r.consume('}') || !r.at_end() || r.fail()) return std::nullopt;
+  return entity;
 }
 
 }  // namespace stem::core

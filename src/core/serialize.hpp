@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/entity.hpp"
 #include "core/instance.hpp"
 
 namespace stem::core {
@@ -29,8 +30,13 @@ namespace stem::core {
 /// }
 [[nodiscard]] std::string encode(const EventInstance& inst);
 [[nodiscard]] std::string encode(const PhysicalObservation& obs);
+/// Tagged entity frame: {"observation": {...}} or {"instance": {...}}.
+/// Shard checkpoints (runtime/checkpoint.cpp) persist buffered entities
+/// through this wrapper so either kind round-trips through one function.
+[[nodiscard]] std::string encode(const Entity& entity);
 
 [[nodiscard]] std::optional<EventInstance> decode_instance(std::string_view json);
 [[nodiscard]] std::optional<PhysicalObservation> decode_observation(std::string_view json);
+[[nodiscard]] std::optional<Entity> decode_entity(std::string_view json);
 
 }  // namespace stem::core

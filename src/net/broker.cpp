@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <stdexcept>
 
 #include "runtime/sharded_runtime.hpp"
 
@@ -12,15 +13,25 @@ std::ostream& operator<<(std::ostream& os, const Command& cmd) {
             << cmd.cause << "}";
 }
 
-Broker::Broker(Network& network, NodeId id) : network_(network), id_(std::move(id)) {
-  network_.register_node(id_, [this](const Message& msg) { on_message(msg); });
+Broker::Broker(Network& network, NodeId id, Options options)
+    : network_(network), id_(std::move(id)) {
+  if (options.reliable) {
+    endpoint_ = std::make_unique<ReliableEndpoint>(
+        network_, id_, [this](const Message& msg) { on_message(msg); }, options.session,
+        options.seed);
+  } else {
+    network_.register_node(id_, [this](const Message& msg) { on_message(msg); });
+  }
 }
 
-void Broker::subscribe(const std::string& topic, const NodeId& subscriber) {
-  auto& subs = subscribers_[topic];
-  if (std::find(subs.begin(), subs.end(), subscriber) == subs.end()) {
-    subs.push_back(subscriber);
+void Broker::subscribe(const std::string& topic, const NodeId& subscriber, bool reliable) {
+  if (reliable && endpoint_ == nullptr) {
+    throw std::logic_error("Broker: reliable subscription requires Options::reliable");
   }
+  auto& subs = subscribers_[topic];
+  const auto it = std::find_if(subs.begin(), subs.end(),
+                               [&](const Subscription& s) { return s.node == subscriber; });
+  if (it == subs.end()) subs.push_back(Subscription{subscriber, reliable});
 }
 
 std::string Broker::topic_of(const core::Entity& entity) {
@@ -102,14 +113,18 @@ void Broker::fan_out(const Message& msg) {
   }
   const auto it = subscribers_.find(topic);
   if (it == subscribers_.end()) return;
-  for (const NodeId& sub : it->second) {
-    if (sub == msg.src) continue;  // don't echo to the publisher
-    Message out;
-    out.src = id_;
-    out.dst = sub;
-    out.payload = msg.payload;
-    out.hops = msg.hops + 1;
-    network_.send(std::move(out));
+  for (const Subscription& sub : it->second) {
+    if (sub.node == msg.src) continue;  // don't echo to the publisher
+    if (sub.reliable) {
+      endpoint_->send(sub.node, msg.payload);
+    } else {
+      Message out;
+      out.src = id_;
+      out.dst = sub.node;
+      out.payload = msg.payload;
+      out.hops = msg.hops + 1;
+      network_.send(std::move(out));
+    }
     ++fanned_out_;
   }
 }

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/network.hpp"
+#include "net/reliable.hpp"
 
 namespace stem::runtime {
 class ShardedEngineRuntime;
@@ -22,15 +24,29 @@ namespace stem::net {
 /// ids for entities and "cmd:<actor>" for commands.
 class Broker {
  public:
+  /// Opt-in reliable relay: the broker registers through a
+  /// ReliableEndpoint, so reliable publishers get exactly-once delivery
+  /// into the broker (plain publishers interoperate unchanged), and
+  /// subscriptions marked reliable are fanned out over acked sessions.
+  struct Options {
+    bool reliable = false;
+    ReliableEndpoint::Options session;
+    std::uint64_t seed = 0xb40c;
+  };
+
   /// Registers the broker as node `id` on `network`. Every node that will
   /// publish or subscribe must later be linked to the broker.
-  Broker(Network& network, NodeId id);
+  Broker(Network& network, NodeId id, Options options);
+  Broker(Network& network, NodeId id) : Broker(network, std::move(id), Options{}) {}
 
   [[nodiscard]] const NodeId& id() const { return id_; }
 
   /// Subscribes a node to a topic (local call; the Subscribe payload also
-  /// arrives via the network when remote nodes send it).
-  void subscribe(const std::string& topic, const NodeId& subscriber);
+  /// arrives via the network when remote nodes send it). A reliable
+  /// subscription fans out over the broker's acked session — the
+  /// subscriber must itself be a ReliableEndpoint, and the broker must
+  /// have been constructed with Options::reliable (throws otherwise).
+  void subscribe(const std::string& topic, const NodeId& subscriber, bool reliable = false);
 
   /// Topic of an entity: its event type (observations use "obs:<sensor>").
   [[nodiscard]] static std::string topic_of(const core::Entity& entity);
@@ -84,11 +100,17 @@ class Broker {
   /// and fans it out to subscribers (no re-ingestion).
   void forward_instance(core::EventInstance inst);
 
+  struct Subscription {
+    NodeId node;
+    bool reliable = false;
+  };
+
   Network& network_;
   NodeId id_;
+  std::unique_ptr<ReliableEndpoint> endpoint_;  ///< set iff Options::reliable
   runtime::ShardedEngineRuntime* runtime_ = nullptr;
   bool forward_runtime_ = false;
-  std::unordered_map<std::string, std::vector<NodeId>> subscribers_;
+  std::unordered_map<std::string, std::vector<Subscription>> subscribers_;
   std::uint64_t published_ = 0;
   std::uint64_t fanned_out_ = 0;
 };

@@ -1,0 +1,42 @@
+#include "net/fault.hpp"
+
+namespace stem::net {
+
+FaultPlan::Decision FaultPlan::decide(const NodeId& from, const NodeId& to,
+                                      time_model::TimePoint now) {
+  Decision d;
+  const auto it = find_link(from, to);
+  if (it == faults_.end()) return d;
+  LinkState& state = it->second;
+  const LinkFault& fault = state.fault;
+  ++state.sends;
+
+  for (const auto& window : fault.partitions) {
+    if (now >= window.from && now < window.until) {
+      d.drop = true;
+      return d;
+    }
+  }
+  if (fault.drop_every_n > 0 && state.sends % fault.drop_every_n == 0) {
+    d.drop = true;
+    return d;
+  }
+  if (fault.drop_prob > 0.0 && rng_.chance(fault.drop_prob)) {
+    d.drop = true;
+    return d;
+  }
+  if (fault.duplicate_prob > 0.0 && rng_.chance(fault.duplicate_prob)) d.duplicate = true;
+  if (fault.reorder_jitter > time_model::Duration::zero()) {
+    d.extra_delay = time_model::Duration(static_cast<time_model::Tick>(
+        rng_.uniform(0.0, static_cast<double>(fault.reorder_jitter.ticks()))));
+  }
+  return d;
+}
+
+bool FaultPlan::node_down(const NodeId& id, time_model::TimePoint now) const {
+  const auto it = node_faults_.find(id.value());
+  if (it == node_faults_.end()) return false;
+  return now >= it->second.crash_at && now < it->second.heal_at;
+}
+
+}  // namespace stem::net

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/random.hpp"
+#include "time/time_point.hpp"
+
+namespace stem::net {
+
+/// Deterministic per-link fault programming. Every knob composes: a send
+/// first consults the partition windows and the counted drop, then the
+/// seeded probabilistic drop, then duplication and reordering jitter.
+struct LinkFault {
+  /// Drop every Nth message on the link (1-based count; 0 disables).
+  /// Deterministic: the plan counts sends per link.
+  std::uint32_t drop_every_n = 0;
+  /// Probabilistic drop, rolled on the plan's own seeded stream (the
+  /// link's `loss_prob` still applies independently in Network).
+  double drop_prob = 0.0;
+  /// Probability a delivered message is duplicated (delivered twice).
+  double duplicate_prob = 0.0;
+  /// Extra uniform delay U(0, reorder_jitter) added per delivery; large
+  /// values relative to the link latency reorder messages.
+  time_model::Duration reorder_jitter = time_model::Duration::zero();
+  /// Hard partition windows: sends during [from, until) are dropped.
+  struct Window {
+    time_model::TimePoint from;
+    time_model::TimePoint until;
+  };
+  std::vector<Window> partitions;
+};
+
+/// Deterministic node faults: a crashed node neither sends nor receives
+/// until (optionally) healed.
+struct NodeFault {
+  time_model::TimePoint crash_at = time_model::TimePoint::max();
+  time_model::TimePoint heal_at = time_model::TimePoint::max();
+};
+
+/// A seeded, reproducible failure scenario. Attach to a Network with
+/// `Network::set_fault_plan`; every decision (counted drops, probabilistic
+/// drops, duplicates, reorder jitter) is a pure function of the seed and
+/// the simulator-ordered sequence of sends, so any failure run replays
+/// exactly.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
+
+  FaultPlan& on_link(const NodeId& from, const NodeId& to, LinkFault fault) {
+    faults_[key(from, to)].fault = std::move(fault);
+    return *this;
+  }
+  /// Applies the fault in both directions.
+  FaultPlan& on_link_both(const NodeId& a, const NodeId& b, const LinkFault& fault) {
+    on_link(a, b, fault);
+    return on_link(b, a, fault);
+  }
+  FaultPlan& on_node(const NodeId& id, NodeFault fault) {
+    node_faults_[id.value()] = fault;
+    return *this;
+  }
+
+  /// The plan's verdict for one send attempt.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    time_model::Duration extra_delay = time_model::Duration::zero();
+  };
+
+  /// Consulted by Network::send for each message on a link (mutates the
+  /// plan's per-link counters and RNG stream; call order defines the
+  /// deterministic schedule).
+  Decision decide(const NodeId& from, const NodeId& to, time_model::TimePoint now);
+
+  /// True if `id` is crashed (and not yet healed) at `now`. Checked at
+  /// both send and delivery time.
+  [[nodiscard]] bool node_down(const NodeId& id, time_model::TimePoint now) const;
+
+ private:
+  static std::string key(const NodeId& from, const NodeId& to) {
+    return from.value() + "\x1f" + to.value();
+  }
+
+  struct LinkState {
+    LinkFault fault;
+    std::uint64_t sends = 0;
+  };
+
+  sim::Rng rng_;
+  std::unordered_map<std::string, LinkState> faults_;
+  std::unordered_map<std::string, NodeFault> node_faults_;
+
+  std::unordered_map<std::string, LinkState>::iterator find_link(const NodeId& from,
+                                                                 const NodeId& to) {
+    return faults_.find(key(from, to));
+  }
+};
+
+}  // namespace stem::net

@@ -52,14 +52,23 @@ struct EntityBatch {
 
 using Payload = std::variant<Subscribe, Command, core::Entity, EntityBatch>;
 
+/// Reliable-session framing (stem::net::ReliableEndpoint). Plain messages
+/// keep kind == kPlain and ride the network exactly as before; data frames
+/// carry a per-(src,dst) sequence number, ack frames a cumulative ack.
+enum class FrameKind : std::uint8_t { kPlain, kData, kAck };
+
 /// A network message. `bytes` is the estimated wire size used for the
-/// traffic accounting of experiment E5.
+/// traffic accounting of experiment E5. `kind`/`seq`/`ack` belong to the
+/// reliable-session layer and are zero/kPlain for unreliable traffic.
 struct Message {
   NodeId src;
   NodeId dst;
   Payload payload;
   std::size_t bytes = 0;
   std::uint32_t hops = 0;  ///< incremented per relay
+  FrameKind kind = FrameKind::kPlain;
+  std::uint64_t seq = 0;  ///< data frame sequence number (1-based)
+  std::uint64_t ack = 0;  ///< cumulative ack: all seq <= ack received
 };
 
 /// Estimated wire size of a payload: a fixed header plus per-attribute and

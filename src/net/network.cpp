@@ -86,32 +86,73 @@ bool Network::send(Message msg) {
   if (msg.bytes == 0) msg.bytes = estimate_size(msg.payload);
 
   const LinkSpec& link = link_it->second;
+  LinkCounters& lc = counters(msg.src, msg.dst);
   ++stats_.sent;
+  ++lc.sent;
   stats_.bytes_sent += msg.bytes;
 
+  const time_model::TimePoint now = sim_.now();
+  FaultPlan::Decision verdict;
+  if (fault_plan_ != nullptr) {
+    if (fault_plan_->node_down(msg.src, now) || fault_plan_->node_down(msg.dst, now)) {
+      ++stats_.dropped;
+      ++lc.dropped;
+      return false;
+    }
+    verdict = fault_plan_->decide(msg.src, msg.dst, now);
+    if (verdict.drop) {
+      ++stats_.dropped;
+      ++lc.dropped;
+      return false;
+    }
+  }
   if (link.loss_prob > 0.0 && rng_.chance(link.loss_prob)) {
     ++stats_.dropped;
+    ++lc.dropped;
     return false;
   }
 
-  time_model::Duration delay = link.base_latency;
-  if (link.jitter > time_model::Duration::zero()) {
-    delay += time_model::Duration(static_cast<time_model::Tick>(
-        rng_.uniform(0.0, static_cast<double>(link.jitter.ticks()))));
+  // Each delivered copy (the original, plus an injected duplicate) rolls
+  // its own jitter, so duplicates can arrive in either order.
+  const int copies = verdict.duplicate ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    time_model::Duration delay = link.base_latency + verdict.extra_delay;
+    if (link.jitter > time_model::Duration::zero()) {
+      delay += time_model::Duration(static_cast<time_model::Tick>(
+          rng_.uniform(0.0, static_cast<double>(link.jitter.ticks()))));
+    }
+    if (link.bytes_per_ms > 0.0) {
+      delay += time_model::Duration(static_cast<time_model::Tick>(
+          static_cast<double>(msg.bytes) / link.bytes_per_ms * 1000.0));
+    }
+    sim_.schedule_after(delay, [this, m = msg]() mutable { deliver(m); });
   }
-  if (link.bytes_per_ms > 0.0) {
-    delay += time_model::Duration(static_cast<time_model::Tick>(
-        static_cast<double>(msg.bytes) / link.bytes_per_ms * 1000.0));
-  }
-
-  // Handler lookup is deferred to delivery time; the node must still exist.
-  sim_.schedule_after(delay, [this, m = std::move(msg)]() mutable {
-    const auto it = handlers_.find(m.dst);
-    if (it == handlers_.end()) return;
-    ++stats_.delivered;
-    it->second(m);
-  });
   return true;
+}
+
+void Network::deliver(const Message& m) {
+  // A node that crashed while the message was in flight receives nothing.
+  if (fault_plan_ != nullptr && fault_plan_->node_down(m.dst, sim_.now())) {
+    ++stats_.dropped;
+    ++counters(m.src, m.dst).dropped;
+    return;
+  }
+  // Handler lookup is deferred to delivery time; the node must still exist.
+  const auto it = handlers_.find(m.dst);
+  if (it == handlers_.end()) return;
+  ++stats_.delivered;
+  ++counters(m.src, m.dst).delivered;
+  it->second(m);
+}
+
+void Network::note_retransmit(const NodeId& from, const NodeId& to) {
+  ++stats_.retransmitted;
+  ++counters(from, to).retransmitted;
+}
+
+void Network::note_duplicate_suppressed(const NodeId& from, const NodeId& to) {
+  ++stats_.duplicates_suppressed;
+  ++counters(from, to).duplicates_suppressed;
 }
 
 }  // namespace stem::net

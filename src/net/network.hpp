@@ -1,10 +1,14 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/message.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -22,12 +26,53 @@ struct LinkSpec {
   double bytes_per_ms = 250.0;
 };
 
-/// Aggregate traffic counters (experiment E5 reads these).
+namespace detail {
+/// Directed link identity. Exposed (with its hash) so tests can assert the
+/// combiner does not collide on trivial permutations.
+struct LinkKey {
+  std::string from, to;
+  bool operator==(const LinkKey&) const = default;
+};
+struct LinkKeyHash {
+  /// Boost-style hash_combine: mixes the incoming hash through the golden
+  /// ratio so that (a,b) and (b,a) — or any multiplier-absorbing pair —
+  /// land in different buckets.
+  static std::size_t combine(std::size_t seed, std::size_t v) {
+    return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+  }
+  std::size_t operator()(const LinkKey& k) const {
+    return combine(std::hash<std::string>{}(k.from), std::hash<std::string>{}(k.to));
+  }
+};
+}  // namespace detail
+
+/// Per-link delivery counters: failure tests assert on causes (which link
+/// dropped, who retransmitted) rather than aggregate totals.
+struct LinkCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t retransmitted = 0;
+  std::uint64_t duplicates_suppressed = 0;
+};
+
+/// Aggregate traffic counters (experiment E5 reads the totals; the
+/// fault-tolerance suites read `per_link`).
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t retransmitted = 0;            ///< reported by ReliableEndpoint
+  std::uint64_t duplicates_suppressed = 0;    ///< reported by ReliableEndpoint
+  std::map<std::pair<std::string, std::string>, LinkCounters> per_link;
+
+  /// Counters for the directed link from -> to (zeros if never used).
+  [[nodiscard]] const LinkCounters& link(const NodeId& from, const NodeId& to) const {
+    static const LinkCounters kZero{};
+    const auto it = per_link.find({from.value(), to.value()});
+    return it == per_link.end() ? kZero : it->second;
+  }
 };
 
 /// The CPS network of Fig. 1: connects motes, sinks, dispatch nodes, CCUs,
@@ -62,29 +107,38 @@ class Network {
   /// Sends `msg` from msg.src to msg.dst across their direct link. If
   /// msg.bytes is 0 it is filled from estimate_size(). Throws
   /// std::invalid_argument if no link exists. Returns false if the message
-  /// was dropped by the loss model (callers cannot know this in a real
-  /// deployment; the return value exists for tests).
+  /// was dropped by the loss model or the fault plan (callers cannot know
+  /// this in a real deployment; the return value exists for tests —
+  /// ReliableEndpoint exists precisely because senders can't see drops).
   bool send(Message msg);
+
+  /// Attaches a deterministic failure scenario (non-owning; the plan must
+  /// outlive the network or be cleared with nullptr). Consulted on every
+  /// send and delivery.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
+  /// Reliable-layer accounting hooks (totals + per-link).
+  void note_retransmit(const NodeId& from, const NodeId& to);
+  void note_duplicate_suppressed(const NodeId& from, const NodeId& to);
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
-  struct LinkKey {
-    std::string from, to;
-    bool operator==(const LinkKey&) const = default;
-  };
-  struct LinkKeyHash {
-    std::size_t operator()(const LinkKey& k) const {
-      return std::hash<std::string>{}(k.from) * 31 ^ std::hash<std::string>{}(k.to);
-    }
-  };
+  using LinkKey = detail::LinkKey;
+  using LinkKeyHash = detail::LinkKeyHash;
+
+  LinkCounters& counters(const NodeId& from, const NodeId& to) {
+    return stats_.per_link[{from.value(), to.value()}];
+  }
+  void deliver(const Message& m);
 
   sim::Simulator& sim_;
   sim::Rng rng_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::unordered_map<LinkKey, LinkSpec, LinkKeyHash> links_;
   NetworkStats stats_;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace stem::net

@@ -1,0 +1,151 @@
+#include "net/reliable.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace stem::net {
+
+ReliableEndpoint::ReliableEndpoint(Network& network, NodeId id, Network::Handler upper,
+                                   Options options, std::uint64_t seed)
+    : network_(network),
+      id_(std::move(id)),
+      upper_(std::move(upper)),
+      options_(options),
+      rng_(seed) {
+  network_.register_node(id_, [this](const Message& msg) { on_message(msg); });
+}
+
+ReliableEndpoint::~ReliableEndpoint() {
+  for (auto& [dst, session] : send_sessions_) {
+    if (session.timer_armed) network_.simulator().cancel(session.timer);
+  }
+}
+
+void ReliableEndpoint::send(const NodeId& dst, Payload payload, std::size_t bytes) {
+  SendSession& session = send_sessions_[dst.value()];
+  if (session.unacked.empty() && !session.timer_armed) session.rto = options_.initial_rto;
+
+  Message frame;
+  frame.src = id_;
+  frame.dst = dst;
+  frame.payload = std::move(payload);
+  frame.bytes = bytes != 0 ? bytes : estimate_size(frame.payload);
+  frame.kind = FrameKind::kData;
+  frame.seq = session.next_seq++;
+
+  session.unacked.emplace(frame.seq, frame);
+  ++stats_.data_sent;
+  network_.send(std::move(frame));
+  if (!session.timer_armed) arm_timer(dst, session);
+}
+
+std::uint64_t ReliableEndpoint::in_flight() const {
+  std::uint64_t n = 0;
+  for (const auto& [dst, session] : send_sessions_) n += session.unacked.size();
+  return n;
+}
+
+void ReliableEndpoint::on_message(const Message& msg) {
+  switch (msg.kind) {
+    case FrameKind::kData:
+      on_data(msg);
+      break;
+    case FrameKind::kAck:
+      on_ack(msg);
+      break;
+    case FrameKind::kPlain:
+      if (upper_) upper_(msg);
+      break;
+  }
+}
+
+void ReliableEndpoint::on_data(const Message& msg) {
+  RecvSession& session = recv_sessions_[msg.src.value()];
+  const bool duplicate =
+      msg.seq < session.next_expected || session.out_of_order.contains(msg.seq);
+  if (duplicate) {
+    ++stats_.duplicates_suppressed;
+    network_.note_duplicate_suppressed(msg.src, id_);
+  } else {
+    session.out_of_order.emplace(msg.seq, msg);
+    auto next = session.out_of_order.find(session.next_expected);
+    while (next != session.out_of_order.end()) {
+      ++session.next_expected;
+      ++stats_.delivered;
+      if (upper_) upper_(next->second);
+      session.out_of_order.erase(next);
+      next = session.out_of_order.find(session.next_expected);
+    }
+  }
+  // Every data frame — duplicate or not — is (re-)acked cumulatively, so a
+  // lost ack is repaired by the retransmission it provokes.
+  send_ack(msg.src, session.next_expected - 1);
+}
+
+void ReliableEndpoint::on_ack(const Message& msg) {
+  const auto it = send_sessions_.find(msg.src.value());
+  if (it == send_sessions_.end()) return;
+  SendSession& session = it->second;
+  const auto first_unacked = session.unacked.begin();
+  const bool progress =
+      first_unacked != session.unacked.end() && first_unacked->first <= msg.ack;
+  if (!progress) return;
+  session.unacked.erase(session.unacked.begin(), session.unacked.upper_bound(msg.ack));
+  session.rto = options_.initial_rto;
+  session.timeouts = 0;
+  if (session.timer_armed) {
+    network_.simulator().cancel(session.timer);
+    session.timer_armed = false;
+  }
+  if (!session.unacked.empty()) arm_timer(msg.src, session);
+}
+
+void ReliableEndpoint::arm_timer(const NodeId& dst, SendSession& session) {
+  time_model::Duration wait = session.rto;
+  if (options_.rto_jitter > time_model::Duration::zero()) {
+    wait += time_model::Duration(static_cast<time_model::Tick>(
+        rng_.uniform(0.0, static_cast<double>(options_.rto_jitter.ticks()))));
+  }
+  session.timer = network_.simulator().schedule_after(
+      wait, [this, dst_name = dst.value()] { on_timeout(NodeId(dst_name)); });
+  session.timer_armed = true;
+}
+
+void ReliableEndpoint::on_timeout(const NodeId& dst) {
+  SendSession& session = send_sessions_[dst.value()];
+  session.timer_armed = false;
+  if (session.unacked.empty()) return;
+
+  ++session.timeouts;
+  if (options_.max_retries > 0 && session.timeouts > options_.max_retries) {
+    // Permanent partition (as far as this sender can tell): degrade
+    // observably instead of retrying forever.
+    stats_.gave_up += session.unacked.size();
+    session.unacked.clear();
+    return;
+  }
+
+  for (const auto& [seq, frame] : session.unacked) {
+    ++stats_.retransmits;
+    network_.note_retransmit(id_, dst);
+    network_.send(frame);
+  }
+  session.rto = std::min(
+      time_model::Duration(static_cast<time_model::Tick>(
+          static_cast<double>(session.rto.ticks()) * options_.backoff)),
+      options_.max_rto);
+  arm_timer(dst, session);
+}
+
+void ReliableEndpoint::send_ack(const NodeId& to, std::uint64_t ack) {
+  Message frame;
+  frame.src = id_;
+  frame.dst = to;
+  frame.payload = Subscribe{};  // smallest payload; ignored by the receiver
+  frame.kind = FrameKind::kAck;
+  frame.ack = ack;
+  ++stats_.acks_sent;
+  network_.send(std::move(frame));
+}
+
+}  // namespace stem::net

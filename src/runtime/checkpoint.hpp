@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/engine.hpp"
+
+namespace stem::runtime {
+
+/// Checkpoint frame codec for one definition's dynamic engine state.
+///
+/// A shard checkpoint is a list of (global definition index, frame) pairs
+/// taken at an epoch barrier in the shard's stamp-ordered inbox; recovery
+/// rebuilds a fresh DetectionEngine by implanting the decoded states and
+/// replaying the bounded post-checkpoint log. Only *dynamic* state is
+/// framed — the definition spec itself is immutable after registration
+/// and is re-supplied from the runtime's registration copy at decode
+/// time, so condition trees never cross the wire.
+///
+/// Frame layout (line-oriented; entities ride the tagged JSON entity
+/// frames of core/serialize.cpp):
+///   state <seq> <next_prune_ticks> <load_routed> <load_tried> <nslots>
+///   slot <count>                       (nslots times)
+///   <stamp> <entity-json>              (count times per slot)
+[[nodiscard]] std::string encode_definition_state(const core::DefinitionState& state);
+
+/// Decodes a frame produced by encode_definition_state, adopting `def` as
+/// the definition spec. Returns nullopt on any malformed input (truncated
+/// frame, bad counts, undecodable entity) — never throws, never reads out
+/// of bounds, so a corrupted checkpoint fails recovery loudly instead of
+/// resurrecting a shard with silently wrong state.
+[[nodiscard]] std::optional<core::DefinitionState> decode_definition_state(
+    std::string_view frame, core::EventDefinition def);
+
+}  // namespace stem::runtime

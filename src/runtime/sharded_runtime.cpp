@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <stdexcept>
 
 #include "runtime/affinity.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace stem::runtime {
 
@@ -43,6 +45,15 @@ ShardedEngineRuntime::ShardedEngineRuntime(core::ObserverId id, core::Layer laye
     : id_(std::move(id)), layer_(layer), location_(location), options_(std::move(options)) {
   options_.shards = std::clamp<std::size_t>(options_.shards, 1, 64);
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.checkpoint_epoch != 0 && options_.cascade) {
+    throw std::invalid_argument(
+        "ShardedEngineRuntime: checkpoint_epoch is not supported in cascade mode");
+  }
+  if (options_.crash_hook && options_.checkpoint_epoch == 0) {
+    throw std::invalid_argument(
+        "ShardedEngineRuntime: crash_hook requires checkpoint_epoch != 0 (recovery rebuilds "
+        "a dead shard from its checkpoint plus the replay log)");
+  }
   if (options_.rebalance_policy == nullptr) {
     options_.rebalance_policy = std::make_shared<SpilloverPolicy>();
   }
@@ -72,6 +83,9 @@ ShardedEngineRuntime::ShardedEngineRuntime(core::ObserverId id, core::Layer laye
   if (options_.cascade) {
     cascade_thread_ = std::thread([this] { cascade_loop(); });
   }
+  if (options_.crash_hook) {
+    supervisor_thread_ = std::thread([this] { supervisor_loop(); });
+  }
 }
 
 ShardedEngineRuntime::~ShardedEngineRuntime() { shutdown(); }
@@ -99,6 +113,38 @@ void ShardedEngineRuntime::shutdown() noexcept {
       shard->inbox.close();          // wakes the worker and ring-parked producers
       shard->space_ec.notify_all();  // wakes capacity-parked producers
       shard->work_ec.notify_all();   // wakes a cascade worker off its gate
+    }
+  }
+  // Crash-recovery teardown, in dependency order: stop the supervisor (so
+  // no more replacement workers are spawned and shard.worker is stable),
+  // then force-complete every migration ticket still in a replay log — a
+  // dead or mid-recovery shard can no longer run its send side, and a
+  // live peer may be parked in handle_control's receive wait that only
+  // the ticket can release — and only then join the workers. Completing a
+  // ticket a live worker also drains genuinely is benign: both sides set
+  // the same flags under the ticket lock, and the state transfer is
+  // abandoned with the rest of the in-flight work either way.
+  if (supervisor_thread_.joinable()) {
+    {
+      const std::lock_guard lk(supervisor_mutex_);
+      supervisor_stop_ = true;
+    }
+    supervisor_cv_.notify_all();
+    supervisor_thread_.join();
+  }
+  if (options_.checkpoint_epoch != 0) {
+    for (auto& shard : shards_) {
+      const std::lock_guard lk(shard->log_mutex);
+      const std::uint64_t consumed = shard->consumed_seq.load(std::memory_order_relaxed);
+      for (const WorkItem& e : shard->replay_log) {
+        if (e.push_seq <= consumed || e.ticket == nullptr) continue;
+        {
+          const std::lock_guard tlk(e.ticket->m);
+          e.ticket->ready = true;
+          e.ticket->done = true;
+        }
+        e.ticket->cv.notify_all();
+      }
     }
   }
   for (auto& shard : shards_) {
@@ -158,7 +204,7 @@ void ShardedEngineRuntime::add_definition(core::EventDefinition def) {
   // Register with the shard engine first: it validates and may throw, and
   // must not leave any placement state (groups_ included) half-updated.
   Shard& host = *shards_[shard];
-  const auto local = static_cast<std::uint32_t>(host.engine.add_definition(def));
+  const auto local = static_cast<std::uint32_t>(host.engine->add_definition(def));
 
   const auto global = static_cast<std::uint32_t>(def_shard_.size());
   std::uint32_t group;
@@ -174,6 +220,9 @@ void ShardedEngineRuntime::add_definition(core::EventDefinition def) {
   if (local >= host.global_def.size()) host.global_def.resize(local + 1, 0);
   host.global_def[local] = global;
   host.local_of.emplace(global, local);
+  // Pre-first-checkpoint recovery rebuilds the engine from the initial
+  // placement (then replays any migration controls from the log).
+  if (options_.checkpoint_epoch != 0) host.initial_defs.emplace_back(global, def);
   def_shard_.push_back(shard);
   ++shard_def_count_[shard];
   for (const core::SlotSpec& slot : def.slots) {
@@ -305,15 +354,39 @@ void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
     if (q > shard.max_queued.load(std::memory_order_relaxed)) {
       shard.max_queued.store(q, std::memory_order_relaxed);
     }
-    if (shard.inbox.push(WorkItem{frozen, std::move(dispatch_scratch_[s]), nullptr, false})) {
+    WorkItem work{frozen, std::move(dispatch_scratch_[s]), nullptr, false};
+    if (options_.checkpoint_epoch != 0) log_push_locked(shard, work);
+    if (shard.inbox.push(std::move(work))) {
       if (options_.cascade) shard.work_ec.notify_all();
     } else {
       // Ring closed mid-shutdown: the item was discarded — undo the
-      // admission so the counters stay consistent for late observers.
+      // admission (and its never-pushed log copy) so the counters stay
+      // consistent for late observers.
+      if (options_.checkpoint_epoch != 0) {
+        --shard.push_seq_next;
+        const std::lock_guard llk(shard.log_mutex);
+        shard.replay_log.pop_back();
+      }
       shard.queued_arrivals.fetch_sub(count, std::memory_order_seq_cst);
       shard.space_ec.notify_all();
     }
     dispatch_scratch_[s] = {};
+  }
+
+  // Checkpoint epoch boundary: one checkpoint control item per shard,
+  // pushed under the same ingest lock that stamped this batch — an epoch
+  // barrier in every shard's stamp-ordered inbox.
+  if (options_.checkpoint_epoch != 0) {
+    ckpt_arrivals_ += pending_scratch_.size();
+    if (ckpt_arrivals_ >= options_.checkpoint_epoch) {
+      ckpt_arrivals_ = 0;
+      const std::uint64_t id = ++ckpt_seq_;
+      for (auto& sp : shards_) {
+        WorkItem item;
+        item.ckpt = id;
+        push_control(*sp, std::move(item));
+      }
+    }
   }
 
   if (options_.cascade) signal_cascade();  // new pending arrivals to close
@@ -325,13 +398,26 @@ void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
   }
 }
 
+void ShardedEngineRuntime::log_push_locked(Shard& shard, WorkItem& item) {
+  item.push_seq = ++shard.push_seq_next;
+  const std::lock_guard lk(shard.log_mutex);
+  shard.replay_log.push_back(item);  // copy: batch/ticket references are shared
+}
+
 void ShardedEngineRuntime::push_control(Shard& shard, WorkItem item) {
   // Control items carry no arrivals: they bypass the arrival-capacity
   // check (blocking on it under ingest_mutex_ could stall the very
   // workers that free the space). The ring keeps slot headroom for them;
   // a full ring parks on the worker's drain, which always progresses.
   const std::shared_ptr<MigrationTicket> ticket = item.ticket;
+  if (options_.checkpoint_epoch != 0) log_push_locked(shard, item);
   if (!shard.inbox.push(std::move(item))) {
+    if (options_.checkpoint_epoch != 0) {
+      --shard.push_seq_next;
+      const std::lock_guard llk(shard.log_mutex);
+      shard.replay_log.pop_back();
+    }
+    if (ticket == nullptr) return;  // checkpoint item: nothing to release
     // Closed ring: shutdown() won the race before this pair was issued
     // (issuance and ring close both hold ingest_mutex_, so a pair is
     // never split — both pushes fail together). Complete the handshake
@@ -532,13 +618,17 @@ void ShardedEngineRuntime::publish_work(
   const bool loads = publish_loads_.load(std::memory_order_relaxed);
   if (loads) {
     load_scratch.clear();
-    shard.engine.collect_definition_loads(load_scratch);
+    shard.engine->collect_definition_loads(load_scratch);
     for (auto& [idx, load] : load_scratch) idx = shard.global_def[idx];  // local -> global
   }
+  // A recovered engine only counts post-checkpoint work; stats_base
+  // carries the checkpoint's cumulative counters (zero before any crash).
+  core::EngineStats stats = shard.stats_base;
+  stats += shard.engine->stats();
   {
     const std::lock_guard lk(shard.out_mutex);
     for (OutChunk& chunk : chunks) shard.outbox.push_back(std::move(chunk));
-    shard.published_stats = shard.engine.stats();
+    shard.published_stats = stats;
     if (loads) shard.published_def_loads = load_scratch;
     // Publish completion only after the emissions are visible in the
     // outbox; poll() pairs this release store with an acquire load.
@@ -562,7 +652,7 @@ void ShardedEngineRuntime::handle_control(
     for (const std::uint32_t global : ticket.globals) {
       // at(): a missing mapping is a bookkeeping bug — fail loudly
       // (std::terminate via the uncaught throw) over silent UB.
-      states.push_back(shard.engine.extract_definition_state(shard.local_of.at(global)));
+      states.push_back(shard.engine->extract_definition_state(shard.local_of.at(global)));
       shard.local_of.erase(global);
     }
     // Republish *before* signalling ready: once the destination can
@@ -573,8 +663,13 @@ void ShardedEngineRuntime::handle_control(
     publish_work(shard, chunks, shard.watermark.load(std::memory_order_relaxed), load_scratch);
     {
       const std::lock_guard tlk(ticket.m);
-      ticket.states = std::move(states);
-      ticket.ready = true;
+      // Already ready: the shutdown ticket sweep (or a crash-recovery
+      // replay) force-completed this handshake first — the extraction
+      // stands (the group has left this engine) but the hand-off is void.
+      if (!ticket.ready) {
+        ticket.states = std::move(states);
+        ticket.ready = true;
+      }
     }
     ticket.cv.notify_all();
   } else {
@@ -586,11 +681,18 @@ void ShardedEngineRuntime::handle_control(
     {
       std::unique_lock tlk(ticket.m);
       ticket.cv.wait(tlk, [&] { return ticket.ready; });
-      states = std::move(ticket.states);
+      if (options_.checkpoint_epoch != 0) {
+        // Keep the ticket's copy: if this shard later crashes and its
+        // checkpoint predates this control, the recovery replay implants
+        // from the ticket again.
+        states = ticket.states;
+      } else {
+        states = std::move(ticket.states);
+      }
     }
     for (std::size_t i = 0; i < states.size(); ++i) {
       const auto local =
-          static_cast<std::uint32_t>(shard.engine.implant_definition_state(std::move(states[i])));
+          static_cast<std::uint32_t>(shard.engine->implant_definition_state(std::move(states[i])));
       if (local >= shard.global_def.size()) shard.global_def.resize(local + 1, 0);
       shard.global_def[local] = ticket.globals[i];
       shard.local_of[ticket.globals[i]] = local;
@@ -610,16 +712,31 @@ void ShardedEngineRuntime::worker_loop(Shard& shard) {
   std::vector<core::Emission> emissions;
   std::vector<OutChunk> chunks;
   std::vector<std::pair<std::uint32_t, core::DefinitionLoad>> load_scratch;
+  const bool ckpt_on = options_.checkpoint_epoch != 0;
   WorkItem item;
   for (;;) {
     // Spin-then-park consume; false only once the ring is closed *and*
     // fully drained, so every admitted item (controls included) is
     // processed before exit.
     if (!shard.inbox.pop(item)) return;
+    if (ckpt_on) shard.popped_seq = item.push_seq;
+    if (options_.crash_hook && options_.crash_hook(shard.index)) {
+      // Injected crash: abandon the in-hand item (its log copy survives;
+      // recovery replays it) and die. Only fires at item boundaries, so
+      // consumed_seq exactly bounds what the merge has seen.
+      item = WorkItem{};
+      die(shard);
+      return;
+    }
     if (options_.stall_hook) options_.stall_hook(shard.index);
 
     if (item.batch == nullptr) {
-      handle_control(shard, item, load_scratch);
+      if (item.ckpt != 0) {
+        take_checkpoint(shard, item);
+      } else {
+        handle_control(shard, item, load_scratch);
+        if (ckpt_on) shard.consumed_seq.store(item.push_seq, std::memory_order_relaxed);
+      }
       item = WorkItem{};
       continue;
     }
@@ -633,6 +750,8 @@ void ShardedEngineRuntime::worker_loop(Shard& shard) {
     chunks.clear();
     std::uint64_t run_arrivals = 0;
     std::uint64_t last_stamp = 0;
+    std::uint64_t last_seq = 0;
+    bool crashed = false;
     for (;;) {
       for (const std::uint32_t i : item.indices) {
         emissions.clear();
@@ -641,7 +760,7 @@ void ShardedEngineRuntime::worker_loop(Shard& shard) {
         // (the ROADMAP per-arrival-copy lever; the batch stays alive
         // while any shard buffers any of its entities).
         const std::shared_ptr<const core::Entity> entity(item.batch, &item.batch->entities[i]);
-        shard.engine.observe(entity, item.batch->nows[i], emissions);
+        shard.engine->observe(entity, item.batch->nows[i], emissions);
         if (emissions.empty()) continue;
         for (core::Emission& em : emissions) em.def = shard.global_def[em.def];
         chunks.push_back(OutChunk{item.batch->stamps[i], std::move(emissions), 0, 0, {}});
@@ -649,18 +768,278 @@ void ShardedEngineRuntime::worker_loop(Shard& shard) {
       }
       last_stamp = item.batch->stamps[item.indices.back()];
       run_arrivals += item.indices.size();
+      last_seq = item.push_seq;
       item = WorkItem{};  // drop the batch reference before publishing
       if (run_arrivals >= kPublishBatch) break;
       WorkItem* next = shard.inbox.front();  // never waits: runs only extend
       if (next == nullptr || next->batch == nullptr) break;
       item = std::move(*next);
       shard.inbox.pop_front();
+      if (ckpt_on) shard.popped_seq = item.push_seq;
+      if (options_.crash_hook && options_.crash_hook(shard.index)) {
+        // Mid-run crash: the whole unpublished run dies with the engine —
+        // nothing of it reached the merge, so recovery replays it from
+        // the log and regenerates the identical emissions.
+        crashed = true;
+        item = WorkItem{};
+        break;
+      }
       if (options_.stall_hook) options_.stall_hook(shard.index);
     }
+    if (crashed) {
+      die(shard);
+      return;
+    }
     publish_work(shard, chunks, last_stamp, load_scratch);
+    if (ckpt_on) shard.consumed_seq.store(last_seq, std::memory_order_relaxed);
     shard.queued_arrivals.fetch_sub(run_arrivals, std::memory_order_seq_cst);
     shard.space_ec.notify_all();
   }
+}
+
+void ShardedEngineRuntime::take_checkpoint(Shard& shard, const WorkItem& item) {
+  ShardCheckpoint ck;
+  ck.push_seq = item.push_seq;
+  ck.stats = shard.stats_base;
+  ck.stats += shard.engine->stats();
+  // Snapshot hosted definitions in ascending local order: implanting in
+  // frame order on recovery then reproduces a dense local index space.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> locals;  // (local, global)
+  locals.reserve(shard.local_of.size());
+  for (const auto& [global, local] : shard.local_of) locals.emplace_back(local, global);
+  std::sort(locals.begin(), locals.end());
+  ck.frames.reserve(locals.size());
+  for (const auto& [local, global] : locals) {
+    ck.frames.emplace_back(
+        global, encode_definition_state(shard.engine->snapshot_definition_state(local)));
+  }
+  {
+    const std::lock_guard lk(shard.log_mutex);
+    shard.checkpoint = std::move(ck);
+    // The frames cover every logged item up to the barrier — truncate.
+    while (!shard.replay_log.empty() && shard.replay_log.front().push_seq <= item.push_seq) {
+      shard.replay_log.pop_front();
+    }
+  }
+  shard.consumed_seq.store(item.push_seq, std::memory_order_relaxed);
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedEngineRuntime::die(Shard& shard) {
+  shard.dead.store(true, std::memory_order_seq_cst);
+  // Empty lock/unlock pairs the notify with the supervisor's predicate.
+  { const std::lock_guard lk(supervisor_mutex_); }
+  supervisor_cv_.notify_all();
+}
+
+void ShardedEngineRuntime::supervisor_loop() {
+  for (;;) {
+    {
+      std::unique_lock lk(supervisor_mutex_);
+      supervisor_cv_.wait(lk, [&] {
+        if (supervisor_stop_) return true;
+        for (const auto& shard : shards_) {
+          if (shard->dead.load(std::memory_order_seq_cst)) return true;
+        }
+        return false;
+      });
+      if (supervisor_stop_) return;
+    }
+    for (auto& sp : shards_) {
+      Shard& shard = *sp;
+      if (!shard.dead.load(std::memory_order_seq_cst)) continue;
+      // The dying worker returned right after setting the flag; the join
+      // orders every worker-owned field for the replacement thread.
+      if (shard.worker.joinable()) shard.worker.join();
+      shard.dead.store(false, std::memory_order_seq_cst);
+      if (shutdown_.load(std::memory_order_acquire)) continue;  // shutdown sweeps the leftovers
+      crashes_.fetch_add(1, std::memory_order_relaxed);
+      Shard* s = &shard;
+      shard.worker = std::thread([this, s] {
+        if (options_.pin_shards) pin_current_thread(s->index);
+        if (recover_shard(*s)) worker_loop(*s);
+      });
+    }
+  }
+}
+
+bool ShardedEngineRuntime::recover_shard(Shard& shard) {
+  // Runs on the shard's replacement worker thread, after the supervisor
+  // joined the dead one (the join orders every plain-field read below).
+  const std::uint64_t consumed_at_crash = shard.consumed_seq.load(std::memory_order_relaxed);
+  const std::uint64_t popped_at_crash = shard.popped_seq;
+
+  // 1. Fresh engine from the last checkpoint, or the initial placement
+  //    when the shard died before its first checkpoint barrier.
+  auto engine = std::make_unique<core::DetectionEngine>(id_, layer_, location_, options_.engine);
+  shard.global_def.clear();
+  shard.local_of.clear();
+  const auto adopt = [&](const std::uint32_t global, const std::uint32_t local) {
+    if (local >= shard.global_def.size()) shard.global_def.resize(local + 1, 0);
+    shard.global_def[local] = global;
+    shard.local_of[global] = local;
+  };
+  std::optional<ShardCheckpoint> ck;
+  {
+    const std::lock_guard lk(shard.log_mutex);
+    ck = shard.checkpoint;  // copy: the stored one must survive this recovery
+  }
+  if (ck.has_value()) {
+    shard.stats_base = ck->stats;
+    for (const auto& [global, frame] : ck->frames) {
+      // def_specs_ stops growing once ingestion starts (and a crash
+      // implies ingestion), so reading it off-thread is safe.
+      std::optional<core::DefinitionState> state =
+          decode_definition_state(frame, def_specs_[global]);
+      if (!state.has_value()) {
+        // A checkpoint this runtime wrote always decodes; failing loudly
+        // beats resurrecting a shard with silently missing definitions.
+        throw std::runtime_error("ShardedEngineRuntime: corrupt shard checkpoint frame");
+      }
+      adopt(global,
+            static_cast<std::uint32_t>(engine->implant_definition_state(std::move(*state))));
+    }
+  } else {
+    shard.stats_base = core::EngineStats{};
+    for (const auto& [global, def] : shard.initial_defs) {
+      adopt(global, static_cast<std::uint32_t>(engine->add_definition(def)));
+    }
+  }
+  shard.engine = std::move(engine);
+
+  // 2. Replay the log in push order, strictly up to the last entry the
+  //    dead worker popped — everything later is still sitting in the ring
+  //    and belongs to the resumed live loop (replaying past that point
+  //    would chase the log tail forever while producers keep appending,
+  //    and would bypass the stall/crash hooks for the rest of the run).
+  //    Entries the dead worker had already published
+  //    (push_seq <= consumed_at_crash) only rebuild engine state — their
+  //    emissions are in the merge and their capacity was released. The
+  //    remainder (consumed < push_seq <= popped) was popped but never
+  //    published: processed for real, published, capacity-released.
+  std::vector<std::pair<std::uint32_t, core::DefinitionLoad>> load_scratch;
+  std::vector<core::Emission> emissions;
+  std::vector<OutChunk> chunks;
+  std::uint64_t done_seq = ck.has_value() ? ck->push_seq : 0;
+  std::uint64_t replayed = 0;
+  for (;;) {
+    if (shard.stop.load(std::memory_order_seq_cst)) {
+      shard.dead.store(true, std::memory_order_seq_cst);
+      return false;
+    }
+    WorkItem entry;
+    bool have = false;
+    {
+      const std::lock_guard lk(shard.log_mutex);
+      for (const WorkItem& e : shard.replay_log) {
+        if (e.push_seq > done_seq && e.push_seq <= popped_at_crash) {
+          entry = e;  // copy: the log keeps its own for a future crash
+          have = true;
+          break;
+        }
+      }
+    }
+    if (!have) break;  // popped prefix replayed — hand over to the live loop
+
+    const bool suppress = entry.push_seq <= consumed_at_crash;
+    if (entry.batch == nullptr) {
+      if (entry.ckpt != 0) {
+        // Re-taking the checkpoint here reproduces the original barrier
+        // exactly (same prefix of the log has been applied).
+        take_checkpoint(shard, entry);
+      } else {
+        if (!replay_control(shard, entry, suppress, load_scratch)) {
+          shard.dead.store(true, std::memory_order_seq_cst);
+          return false;
+        }
+        if (!suppress) shard.consumed_seq.store(entry.push_seq, std::memory_order_relaxed);
+      }
+    } else {
+      chunks.clear();
+      for (const std::uint32_t i : entry.indices) {
+        emissions.clear();
+        const std::shared_ptr<const core::Entity> entity(entry.batch, &entry.batch->entities[i]);
+        shard.engine->observe(entity, entry.batch->nows[i], emissions);
+        ++replayed;
+        if (emissions.empty() || suppress) continue;  // suppressed: already merged pre-crash
+        for (core::Emission& em : emissions) em.def = shard.global_def[em.def];
+        chunks.push_back(OutChunk{entry.batch->stamps[i], std::move(emissions), 0, 0, {}});
+        emissions = {};
+      }
+      if (!suppress) {
+        publish_work(shard, chunks, entry.batch->stamps[entry.indices.back()], load_scratch);
+        shard.consumed_seq.store(entry.push_seq, std::memory_order_relaxed);
+        shard.queued_arrivals.fetch_sub(entry.indices.size(), std::memory_order_seq_cst);
+        shard.space_ec.notify_all();
+      }
+    }
+    done_seq = entry.push_seq;
+  }
+  replayed_.fetch_add(replayed, std::memory_order_relaxed);
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ShardedEngineRuntime::replay_control(
+    Shard& shard, WorkItem& item, bool suppress,
+    std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch) {
+  MigrationTicket& ticket = *item.ticket;
+  std::vector<OutChunk> chunks;
+  if (item.send) {
+    // Re-extract: the rebuilt engine holds the group (restored from a
+    // pre-barrier checkpoint or implanted by an earlier replayed
+    // receive) and it must leave again either way. The extracted state
+    // is only handed over if the original hand-off never happened;
+    // otherwise the destination already owns a copy and this one drops.
+    std::vector<core::DefinitionState> states;
+    states.reserve(ticket.globals.size());
+    for (const std::uint32_t global : ticket.globals) {
+      states.push_back(shard.engine->extract_definition_state(shard.local_of.at(global)));
+      shard.local_of.erase(global);
+    }
+    if (!suppress) {
+      publish_work(shard, chunks, shard.watermark.load(std::memory_order_relaxed), load_scratch);
+    }
+    {
+      const std::lock_guard tlk(ticket.m);
+      if (!ticket.ready) {
+        ticket.states = std::move(states);
+        ticket.ready = true;
+      }
+    }
+    ticket.cv.notify_all();
+  } else {
+    // Wait for the states (the source may itself be mid-recovery). The
+    // wait polls so shutdown can interrupt it; the live receive path
+    // keeps the ticket's copy (see handle_control), so a replayed
+    // implant always finds the states still there.
+    std::vector<core::DefinitionState> states;
+    {
+      std::unique_lock tlk(ticket.m);
+      for (;;) {
+        if (ticket.ready) break;
+        if (shard.stop.load(std::memory_order_seq_cst)) return false;
+        ticket.cv.wait_for(tlk, std::chrono::milliseconds(1));
+      }
+      states = ticket.states;  // copy: a later recovery may need it again
+    }
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const auto local =
+          static_cast<std::uint32_t>(shard.engine->implant_definition_state(std::move(states[i])));
+      if (local >= shard.global_def.size()) shard.global_def.resize(local + 1, 0);
+      shard.global_def[local] = ticket.globals[i];
+      shard.local_of[ticket.globals[i]] = local;
+    }
+    if (!suppress) {
+      publish_work(shard, chunks, shard.watermark.load(std::memory_order_relaxed), load_scratch);
+    }
+    {
+      const std::lock_guard tlk(ticket.m);
+      ticket.done = true;
+    }
+    ticket.cv.notify_all();
+  }
+  return true;
 }
 
 void ShardedEngineRuntime::publish_cascade(
@@ -669,13 +1048,13 @@ void ShardedEngineRuntime::publish_cascade(
   const bool loads = publish_loads_.load(std::memory_order_relaxed);
   if (loads) {
     load_scratch.clear();
-    shard.engine.collect_definition_loads(load_scratch);
+    shard.engine->collect_definition_loads(load_scratch);
     for (auto& [idx, load] : load_scratch) idx = shard.global_def[idx];  // local -> global
   }
   {
     const std::lock_guard lk(shard.out_mutex);
     for (OutChunk& chunk : chunks) shard.outbox.push_back(std::move(chunk));
-    shard.published_stats = shard.engine.stats();
+    shard.published_stats = shard.engine->stats();
     if (loads) shard.published_def_loads = load_scratch;
     shard.ck_stamp = stamp;
     shard.ck_depth = depth;
@@ -805,7 +1184,7 @@ void ShardedEngineRuntime::worker_cascade_loop(Shard& shard) {
     }
     if (action == Action::kFeedback) {
       emissions.clear();
-      shard.engine.observe(fb.entity, fb.now, emissions);
+      shard.engine->observe(fb.entity, fb.now, emissions);
       chunks.clear();
       if (!emissions.empty()) {
         for (core::Emission& em : emissions) em.def = shard.global_def[em.def];
@@ -821,7 +1200,7 @@ void ShardedEngineRuntime::worker_cascade_loop(Shard& shard) {
     emissions.clear();
     const std::shared_ptr<const core::Entity> entity(batch, &batch->entities[index]);
     const std::uint64_t stamp = batch->stamps[index];
-    shard.engine.observe(entity, batch->nows[index], emissions);
+    shard.engine->observe(entity, batch->nows[index], emissions);
     chunks.clear();
     if (!emissions.empty()) {
       for (core::Emission& em : emissions) em.def = shard.global_def[em.def];
@@ -1151,6 +1530,10 @@ RuntimeStats ShardedEngineRuntime::stats() const {
     s.migrations = migrations_;
     s.rebalance_passes = rebalance_passes_;
   }
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.crashes = crashes_.load(std::memory_order_relaxed);
+  s.recoveries = recoveries_.load(std::memory_order_relaxed);
+  s.replayed = replayed_.load(std::memory_order_relaxed);
   const std::lock_guard lk(merge_mutex_);
   s.arrivals = arrivals_;
   s.deliveries = deliveries_;

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -60,6 +61,25 @@ struct RuntimeOptions {
   /// backpressure, and shutdown paths are exercised under contention. Must
   /// be thread-safe; never called after the runtime's destructor returns.
   std::function<void(std::size_t)> stall_hook;
+  /// Arrivals between epoch-barrier checkpoints of every shard's engine
+  /// state; 0 disables checkpointing. Each boundary pushes a checkpoint
+  /// control item through every shard's stamp-ordered inbox: the worker
+  /// serializes its definitions' dynamic state (runtime/checkpoint.hpp)
+  /// and truncates its replay log, so a crashed shard can be rebuilt from
+  /// the last checkpoint plus the bounded post-checkpoint log. Not
+  /// supported together with cascade (the constructor throws).
+  std::size_t checkpoint_epoch = 0;
+  /// Test-only crash-injection hook: polled by every shard worker (with
+  /// its shard index) at work-item boundaries; returning true makes the
+  /// worker die in place, abandoning the item it holds and any
+  /// unpublished run — exactly the state an OS-level crash would lose. A
+  /// supervisor thread reaps the dead worker and reincarnates the shard
+  /// from its last checkpoint plus the replay log; the merged stream
+  /// stays byte-identical to the sequential reference. Requires
+  /// checkpoint_epoch != 0 (the constructor throws otherwise). Must be
+  /// thread-safe, and must stop firing eventually — a hook that always
+  /// returns true crash-loops the shard.
+  std::function<bool(std::size_t)> crash_hook;
   /// Options forwarded to every shard's DetectionEngine.
   core::EngineOptions engine;
 };
@@ -86,6 +106,10 @@ struct RuntimeStats {
   /// Cascade mode: re-ingestions suppressed by the depth cap (the cycle
   /// guard) — comparable to EngineStats::cascade_truncated.
   std::uint64_t cascade_truncated = 0;
+  std::uint64_t checkpoints = 0;  ///< shard checkpoints taken
+  std::uint64_t crashes = 0;      ///< injected worker deaths reaped
+  std::uint64_t recoveries = 0;   ///< shards rebuilt from checkpoint + log
+  std::uint64_t replayed = 0;     ///< log arrivals re-fed during recoveries
 };
 
 /// Multi-core detection runtime: partitions registered definitions across
@@ -293,6 +317,14 @@ class ShardedEngineRuntime {
     /// frontier, mutating the head item in place through the ring's
     /// consumer peek — worker-owned, like the rest of the head cell).
     std::size_t next = 0;
+    /// Checkpoint control item (batch and ticket both null): nonzero
+    /// checkpoint id. The worker snapshots its engine state and truncates
+    /// its replay log through this item.
+    std::uint64_t ckpt = 0;
+    /// Per-shard monotone push sequence, assigned under ingest_mutex_
+    /// when checkpointing is on (0 otherwise): pairs ring items with
+    /// their replay-log copies during recovery.
+    std::uint64_t push_seq = 0;
   };
 
   /// Cascade mode: one derived instance re-ingested into a shard, keyed
@@ -335,12 +367,26 @@ class ShardedEngineRuntime {
     time_model::TimePoint now;
   };
 
+  /// A shard's serialized engine state at a checkpoint barrier: one frame
+  /// per hosted definition (runtime/checkpoint.hpp, ascending local
+  /// index), the cumulative stats to date, and the barrier's push
+  /// sequence — log entries at or before it are covered by the frames.
+  struct ShardCheckpoint {
+    std::uint64_t push_seq = 0;
+    core::EngineStats stats;
+    std::vector<std::pair<std::uint32_t, std::string>> frames;  ///< (global, frame)
+  };
+
   struct Shard {
     Shard(const core::ObserverId& id, core::Layer layer, geom::Point location,
           const core::EngineOptions& options, std::size_t inbox_slots)
-        : engine(id, layer, location, options), inbox(inbox_slots) {}
+        : engine(std::make_unique<core::DetectionEngine>(id, layer, location, options)),
+          inbox(inbox_slots) {}
 
-    core::DetectionEngine engine;             ///< touched only by the worker
+    /// Touched only by the worker; a pointer so crash recovery can swap
+    /// in a fresh engine rebuilt from checkpoint + replay (the join of
+    /// the dead worker orders the hand-off).
+    std::unique_ptr<core::DetectionEngine> engine;
     /// local def index -> global. Written pre-start by add_definition and
     /// by the worker at implant time; the ring's release/acquire slot
     /// hand-off orders the pre-start writes before any worker read.
@@ -404,6 +450,39 @@ class ShardedEngineRuntime {
     std::uint32_t ck_depth = 0;               ///< guarded by out_mutex
     std::uint32_t ck_sub = 0;                 ///< guarded by out_mutex
     std::uint64_t last_routed = 0;            ///< guarded by ingest_mutex_
+
+    // --- Crash recovery (all unused unless checkpoint_epoch != 0) ---
+    /// Initial placement (global index, spec) in registration order:
+    /// recovery before the first checkpoint rebuilds the engine from
+    /// these. Written pre-start by add_definition only.
+    std::vector<std::pair<std::uint32_t, core::EventDefinition>> initial_defs;
+    /// Guards replay_log and checkpoint (producers append, the worker
+    /// truncates at checkpoints, recovery and shutdown read).
+    std::mutex log_mutex;
+    /// Copies of every work item pushed since the last checkpoint, in
+    /// push_seq order: appended right before the matching ring push
+    /// (under ingest_mutex_), truncated by the worker at each
+    /// checkpoint — the bounded replay window.
+    std::deque<WorkItem> replay_log;
+    std::optional<ShardCheckpoint> checkpoint;  ///< guarded by log_mutex
+    /// Baseline added to the live engine's counters when publishing
+    /// stats: a recovered engine only counts post-checkpoint work, so
+    /// the checkpoint's cumulative stats carry over here. Worker-owned.
+    core::EngineStats stats_base;
+    /// push_seq of the last item whose effects were fully published;
+    /// recovery replays log entries beyond it (earlier entries only
+    /// rebuild engine state — their emissions already merged). Written
+    /// by the worker, read by recovery and the shutdown ticket sweep.
+    std::atomic<std::uint64_t> consumed_seq{0};
+    /// push_seq of the last item popped off the ring: entries at or
+    /// before it are replayed from the log alone, later ones also pop
+    /// their ring copy. Worker-owned; the supervisor's join orders the
+    /// hand-off to the replacement worker.
+    std::uint64_t popped_seq = 0;
+    std::uint64_t push_seq_next = 0;  ///< guarded by ingest_mutex_
+    /// Set by a dying worker (crash_hook) or an interrupted recovery;
+    /// the supervisor reaps and respawns, shutdown sweeps leftovers.
+    std::atomic<bool> dead{false};
 
     std::thread worker;
   };
@@ -476,7 +555,30 @@ class ShardedEngineRuntime {
   /// One policy pass over the epoch's group loads; ingest_mutex_ held.
   std::size_t rebalance_locked();
   /// Enqueues a control item, bypassing capacity (it carries no arrivals).
-  static void push_control(Shard& shard, WorkItem item);
+  void push_control(Shard& shard, WorkItem item);
+  /// Assigns the item's push_seq and appends a copy to the shard's replay
+  /// log; ingest_mutex_ must be held (checkpointing on only).
+  void log_push_locked(Shard& shard, WorkItem& item);
+  /// Worker handler for a checkpoint control item: serializes the hosted
+  /// definitions' state, publishes the checkpoint, truncates the log.
+  void take_checkpoint(Shard& shard, const WorkItem& item);
+  /// Marks the worker dead and wakes the supervisor (worker thread only).
+  void die(Shard& shard);
+  /// Supervisor body: reaps dead workers and respawns them through
+  /// recover_shard (runs only when crash_hook is set).
+  void supervisor_loop();
+  /// Rebuilds a dead shard on its replacement worker thread: fresh engine
+  /// from the last checkpoint (or the initial placement), then replays
+  /// the log — entries published before the crash only rebuild engine
+  /// state, later ones publish normally and pop their ring copies so
+  /// ring and log stay in lockstep. Returns false when shutdown
+  /// interrupted the rebuild (the shard is re-marked dead).
+  bool recover_shard(Shard& shard);
+  /// Executes one replayed migration control item; `suppress` marks a
+  /// control whose original handling was already published pre-crash.
+  /// Returns false when shutdown interrupted the receive wait.
+  bool replay_control(Shard& shard, WorkItem& item, bool suppress,
+                      std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch);
 
   core::ObserverId id_;
   core::Layer layer_;
@@ -520,6 +622,18 @@ class ShardedEngineRuntime {
   std::vector<MigrationOrder> order_scratch_;         // guarded by ingest_mutex_
   std::vector<GroupLoad> group_load_scratch_;         // guarded by ingest_mutex_
   std::vector<std::uint64_t> shard_load_scratch_;     // guarded by ingest_mutex_
+  std::uint64_t ckpt_arrivals_ = 0;                   // guarded by ingest_mutex_
+  std::uint64_t ckpt_seq_ = 0;                        // guarded by ingest_mutex_
+
+  // --- Crash recovery (active only with crash_hook / checkpoint_epoch) ---
+  std::thread supervisor_thread_;  ///< spawned iff crash_hook is set
+  mutable std::mutex supervisor_mutex_;
+  std::condition_variable supervisor_cv_;
+  bool supervisor_stop_ = false;  // guarded by supervisor_mutex_
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> replayed_{0};
 
   /// Guards the merge frontier and runtime counters (poll vs ingest).
   mutable std::mutex merge_mutex_;

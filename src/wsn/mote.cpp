@@ -10,7 +10,13 @@ SensorMote::SensorMote(net::Network& network, Config config, sim::Rng rng)
       rng_(std::move(rng)),
       engine_(config_.id, core::Layer::kSensor, config_.position, config_.engine_options),
       energy_(config_.energy_model) {
-  network_.register_node(config_.id, [this](const Message& msg) { on_message(msg); });
+  if (config_.reliable_uplink) {
+    endpoint_ = std::make_unique<net::ReliableEndpoint>(
+        network_, config_.id, [this](const Message& msg) { on_message(msg); },
+        config_.reliable_options, config_.reliable_seed);
+  } else {
+    network_.register_node(config_.id, [this](const Message& msg) { on_message(msg); });
+  }
 }
 
 void SensorMote::add_sensor(std::shared_ptr<const sensing::Sensor> sensor) {
@@ -90,15 +96,21 @@ void SensorMote::flush_batch() {
     pending_batch_.clear();
     return;
   }
+  net::Payload payload = net::EntityBatch{std::move(pending_batch_)};
+  pending_batch_.clear();
+  const std::size_t bytes = net::estimate_size(payload);
+  ++stats_.sent_up;
+  energy_.charge_tx(bytes);
+  if (endpoint_ != nullptr) {
+    endpoint_->send(*parent_, std::move(payload), bytes);
+    return;
+  }
   Message msg;
   msg.src = config_.id;
   msg.dst = *parent_;
-  msg.payload = net::EntityBatch{std::move(pending_batch_)};
-  pending_batch_.clear();
-  msg.bytes = net::estimate_size(msg.payload);
+  msg.payload = std::move(payload);
+  msg.bytes = bytes;
   msg.hops = 1;
-  ++stats_.sent_up;
-  energy_.charge_tx(msg.bytes);
   network_.send(std::move(msg));
 }
 
@@ -114,14 +126,19 @@ void SensorMote::send_up(net::Payload payload, std::uint32_t hops) {
       return;
     }
   }
+  const std::size_t bytes = net::estimate_size(payload);
+  ++stats_.sent_up;
+  energy_.charge_tx(bytes);
+  if (endpoint_ != nullptr) {
+    endpoint_->send(*parent_, std::move(payload), bytes);
+    return;
+  }
   Message msg;
   msg.src = config_.id;
   msg.dst = *parent_;
   msg.payload = std::move(payload);
-  msg.bytes = net::estimate_size(msg.payload);
+  msg.bytes = bytes;
   msg.hops = hops + 1;
-  ++stats_.sent_up;
-  energy_.charge_tx(msg.bytes);
   network_.send(std::move(msg));
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/engine.hpp"
 #include "net/network.hpp"
+#include "net/reliable.hpp"
 #include "sensing/sensor.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -55,6 +56,15 @@ class SensorMote {
     /// skew corrupts cross-mote temporal conditions.
     time_model::Duration clock_offset = time_model::Duration::zero();
     double clock_drift_ppm = 0.0;
+    /// Opt-in reliable uplink: upstream sends ride an acked session
+    /// (net::ReliableEndpoint) instead of fire-and-forget. The parent must
+    /// also be a reliable endpoint (it has to ack), and the radio link must
+    /// be bidirectional. Energy is charged for the first transmission only;
+    /// retransmissions are the session's business (the per-link
+    /// `retransmitted` counter still exposes them).
+    bool reliable_uplink = false;
+    net::ReliableEndpoint::Options reliable_options{};
+    std::uint64_t reliable_seed = 0x4073;
   };
 
   /// The mote's local clock reading at true time `t`.
@@ -99,6 +109,7 @@ class SensorMote {
   net::Network& network_;
   Config config_;
   sim::Rng rng_;
+  std::unique_ptr<net::ReliableEndpoint> endpoint_;  ///< set iff reliable_uplink
   core::DetectionEngine engine_;
   std::vector<std::shared_ptr<const sensing::Sensor>> sensors_;
   std::vector<std::uint64_t> next_seq_;  // per sensor

@@ -8,7 +8,13 @@ SinkNode::SinkNode(net::Network& network, net::Broker* broker, Config config)
       config_(std::move(config)),
       engine_(config_.id, core::Layer::kCyberPhysical, config_.position,
               config_.engine_options) {
-  network_.register_node(config_.id, [this](const net::Message& msg) { on_message(msg); });
+  if (config_.reliable) {
+    endpoint_ = std::make_unique<net::ReliableEndpoint>(
+        network_, config_.id, [this](const net::Message& msg) { on_message(msg); },
+        config_.reliable_options, config_.reliable_seed);
+  } else {
+    network_.register_node(config_.id, [this](const net::Message& msg) { on_message(msg); });
+  }
 }
 
 void SinkNode::enable_localization(Localizer::Config lconfig) {
@@ -61,7 +67,11 @@ void SinkNode::emit(core::EventInstance inst) {
   emitted_.push_back(inst);
   if (broker_ != nullptr && network_.linked(config_.id, broker_->id())) {
     ++stats_.published;
-    broker_->publish(config_.id, core::Entity(std::move(inst)));
+    if (endpoint_ != nullptr) {
+      endpoint_->send(broker_->id(), core::Entity(std::move(inst)));
+    } else {
+      broker_->publish(config_.id, core::Entity(std::move(inst)));
+    }
   }
 }
 

@@ -34,6 +34,14 @@ class SinkNode {
     /// configuration of experiments E5/E8).
     bool cascade = false;
     core::EngineOptions engine_options{};
+    /// Opt-in reliable reception and publication: the sink registers
+    /// through a net::ReliableEndpoint, so reliable-uplink motes get
+    /// exactly-once delivery into the sink, and instances published to the
+    /// broker ride an acked session (the broker must then be reliable too).
+    /// Plain senders interoperate unchanged.
+    bool reliable = false;
+    net::ReliableEndpoint::Options reliable_options{};
+    std::uint64_t reliable_seed = 0x5117;
   };
 
   /// `broker` may be null for closed-world tests; instances are then only
@@ -67,6 +75,7 @@ class SinkNode {
   net::Network& network_;
   net::Broker* broker_;
   Config config_;
+  std::unique_ptr<net::ReliableEndpoint> endpoint_;  ///< set iff Config::reliable
   core::DetectionEngine engine_;
   std::unique_ptr<Localizer> localizer_;
   std::vector<std::function<void(const core::EventInstance&)>> callbacks_;

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "net/fault.hpp"
+#include "net/reliable.hpp"
 #include "scenario/forest_fire.hpp"
 #include "scenario/smart_building.hpp"
+#include "wsn/mote.hpp"
 
 namespace stem::scenario {
 namespace {
@@ -121,6 +126,113 @@ TEST(FailureInjectionTest, FailedMoteStopsRelaying) {
 
   EXPECT_EQ(a.stats().events_emitted, 10u);  // the source kept detecting
   EXPECT_EQ(received, 5u);                   // only pre-failure events arrived
+}
+
+core::EventDefinition always_fires() {
+  return core::EventDefinition{
+      core::EventTypeId("E"),
+      {{"x", core::SlotFilter::observation(core::SensorId("SR"))}},
+      core::c_attr(core::ValueAggregate::kAverage, "value", {0}, core::RelationalOp::kGt, 0.0),
+      time_model::seconds(60),
+      {},
+      core::ConsumptionMode::kConsume};
+}
+
+TEST(FailureInjectionTest, DeadRepeaterWithReliableUplinkDegradesButNeverFabricates) {
+  // A --reliable--> R --reliable--> SINK, and the FaultPlan kills R (the
+  // node, not the mote object: every send and delivery through it drops,
+  // exactly an OS-level crash) halfway through. The session layer must
+  // surface the outage as retransmissions and then bounded give-up —
+  // never as fabricated or duplicated deliveries at the sink.
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(9));
+  net::FaultPlan plan(0xdeadULL);
+  network.set_fault_plan(&plan);
+
+  wsn::SensorMote::Config a_cfg;
+  a_cfg.id = net::NodeId("A");
+  a_cfg.position = {0, 0};
+  a_cfg.reliable_uplink = true;
+  a_cfg.reliable_options.max_retries = 6;  // bounded work under the outage
+  wsn::SensorMote a(network, a_cfg, sim::Rng(1));
+  a.add_sensor(std::make_shared<sensing::ScalarFieldSensor>(
+      core::SensorId("SR"), std::make_shared<sensing::UniformField>(99.0), 0.0));
+  a.add_definition(always_fires());
+
+  wsn::SensorMote::Config relay_cfg;
+  relay_cfg.id = net::NodeId("R");
+  relay_cfg.position = {10, 0};
+  relay_cfg.reliable_uplink = true;  // acks A, forwards reliably to SINK
+  wsn::SensorMote relay(network, relay_cfg, sim::Rng(2));
+
+  std::size_t received = 0;
+  net::ReliableEndpoint sink(network, net::NodeId("SINK"),
+                             [&](const net::Message&) { ++received; });
+  net::LinkSpec link;
+  link.jitter = time_model::Duration::zero();
+  network.connect(net::NodeId("A"), net::NodeId("R"), link);
+  network.connect(net::NodeId("R"), net::NodeId("SINK"), link);
+  a.set_parent(net::NodeId("R"));
+  relay.set_parent(net::NodeId("SINK"));
+
+  plan.on_node(net::NodeId("R"),
+               net::NodeFault{time_model::TimePoint::epoch() + time_model::milliseconds(5'500),
+                              time_model::TimePoint::max()});
+  a.start(time_model::TimePoint::epoch() + time_model::seconds(10));
+  simulator.run();
+
+  EXPECT_EQ(a.stats().events_emitted, 10u);  // the source kept detecting
+  EXPECT_EQ(received, 5u);                   // only pre-crash events got through
+  // The degradation is observable, not silent: the A->R link carried
+  // retransmissions and dropped the in-outage traffic.
+  const net::LinkCounters& ar = network.stats().link(net::NodeId("A"), net::NodeId("R"));
+  EXPECT_GT(ar.retransmitted, 0u);
+  EXPECT_GT(ar.dropped, 0u);
+  EXPECT_GT(network.stats().retransmitted, 0u);
+}
+
+TEST(FailureInjectionTest, TimedPartitionHealsAndReliableUplinkRecovers) {
+  // Hard partition of the mote's uplink for [3s, 6s): events emitted in
+  // the window are repaired by retransmission after the heal — the sink
+  // ends with all ten events, exactly once each, in order.
+  sim::Simulator simulator;
+  net::Network network(simulator, sim::Rng(9));
+  net::FaultPlan plan(0x9ea1ULL);
+  network.set_fault_plan(&plan);
+
+  wsn::SensorMote::Config a_cfg;
+  a_cfg.id = net::NodeId("A");
+  a_cfg.position = {0, 0};
+  a_cfg.reliable_uplink = true;  // retry forever: the partition heals
+  wsn::SensorMote a(network, a_cfg, sim::Rng(1));
+  a.add_sensor(std::make_shared<sensing::ScalarFieldSensor>(
+      core::SensorId("SR"), std::make_shared<sensing::UniformField>(99.0), 0.0));
+  a.add_definition(always_fires());
+
+  std::vector<std::uint64_t> seqs;
+  net::ReliableEndpoint sink(network, net::NodeId("SINK"), [&](const net::Message& msg) {
+    seqs.push_back(std::get<core::Entity>(msg.payload).instance().key.seq);
+  });
+  net::LinkSpec link;
+  link.jitter = time_model::Duration::zero();
+  network.connect(net::NodeId("A"), net::NodeId("SINK"), link);
+  a.set_parent(net::NodeId("SINK"));
+
+  net::LinkFault window;
+  window.partitions.push_back({time_model::TimePoint::epoch() + time_model::seconds(3),
+                               time_model::TimePoint::epoch() + time_model::seconds(6)});
+  plan.on_link_both(net::NodeId("A"), net::NodeId("SINK"), window);
+
+  a.start(time_model::TimePoint::epoch() + time_model::seconds(10));
+  simulator.run();
+
+  EXPECT_EQ(a.stats().events_emitted, 10u);
+  ASSERT_EQ(seqs.size(), 10u);  // every event arrived after the heal...
+  EXPECT_EQ(std::set<std::uint64_t>(seqs.begin(), seqs.end()).size(), 10u);  // ...once...
+  EXPECT_TRUE(std::is_sorted(seqs.begin(), seqs.end()));                     // ...in order
+  const net::LinkCounters& as = network.stats().link(net::NodeId("A"), net::NodeId("SINK"));
+  EXPECT_GT(as.dropped, 0u);        // the partition really bit
+  EXPECT_GT(as.retransmitted, 0u);  // and retransmission repaired it
 }
 
 }  // namespace

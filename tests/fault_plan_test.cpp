@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "net/fault.hpp"
+#include "net/network.hpp"
+
+/// FaultPlan suite: every injected failure — counted drops, probabilistic
+/// drops, duplication, reordering, partitions, node crashes — must be a
+/// pure function of the seed and the send sequence, so a failing run
+/// replays decision-for-decision. The network-level legs check the plan's
+/// verdicts actually shape delivery and show up in per-link counters.
+
+namespace stem::net {
+namespace {
+
+using time_model::milliseconds;
+using time_model::TimePoint;
+
+core::PhysicalObservation obs(std::uint64_t seq) {
+  core::PhysicalObservation o;
+  o.mote = core::ObserverId("MT1");
+  o.sensor = core::SensorId("SR");
+  o.seq = seq;
+  o.time = TimePoint::epoch();
+  o.location = geom::Location(geom::Point{0, 0});
+  o.attributes.set("value", 1.0);
+  return o;
+}
+
+std::string fingerprint(FaultPlan& plan, int sends) {
+  std::string fp;
+  TimePoint now = TimePoint::epoch();
+  for (int i = 0; i < sends; ++i) {
+    now += milliseconds(7);
+    const FaultPlan::Decision d = plan.decide(NodeId("a"), NodeId("b"), now);
+    fp += d.drop ? 'D' : '.';
+    fp += d.duplicate ? '2' : '.';
+    fp += std::to_string(d.extra_delay.ticks());
+    fp += '|';
+  }
+  return fp;
+}
+
+TEST(FaultPlan, SameSeedSameConfigSameDecisions) {
+  LinkFault fault;
+  fault.drop_prob = 0.3;
+  fault.duplicate_prob = 0.2;
+  fault.reorder_jitter = milliseconds(40);
+  FaultPlan p1(0x5eedULL);
+  FaultPlan p2(0x5eedULL);
+  p1.on_link(NodeId("a"), NodeId("b"), fault);
+  p2.on_link(NodeId("a"), NodeId("b"), fault);
+  const std::string fp = fingerprint(p1, 500);
+  EXPECT_EQ(fp, fingerprint(p2, 500));
+  // ...and the stream is not degenerate: some drops, some passes.
+  EXPECT_NE(fp.find('D'), std::string::npos);
+  EXPECT_NE(fp.find("|."), std::string::npos);  // at least one pass (not all dropped)
+  FaultPlan p3(0x5eedULL + 1);
+  p3.on_link(NodeId("a"), NodeId("b"), fault);
+  EXPECT_NE(fp, fingerprint(p3, 500));
+}
+
+TEST(FaultPlan, CountedDropHitsExactlyEveryNth) {
+  LinkFault fault;
+  fault.drop_every_n = 3;
+  FaultPlan plan(1);
+  plan.on_link(NodeId("a"), NodeId("b"), fault);
+  for (int i = 1; i <= 30; ++i) {
+    const FaultPlan::Decision d = plan.decide(NodeId("a"), NodeId("b"), TimePoint::epoch());
+    EXPECT_EQ(d.drop, i % 3 == 0) << "send " << i;
+  }
+  // Unconfigured links are untouched.
+  const FaultPlan::Decision other = plan.decide(NodeId("x"), NodeId("y"), TimePoint::epoch());
+  EXPECT_FALSE(other.drop);
+}
+
+TEST(FaultPlan, PartitionWindowsDropExactlyInside) {
+  LinkFault fault;
+  fault.partitions.push_back({TimePoint::epoch() + milliseconds(100),
+                              TimePoint::epoch() + milliseconds(200)});
+  fault.partitions.push_back({TimePoint::epoch() + milliseconds(400),
+                              TimePoint::epoch() + milliseconds(500)});
+  FaultPlan plan(1);
+  plan.on_link(NodeId("a"), NodeId("b"), fault);
+  const auto drops_at = [&](std::int64_t ms) {
+    return plan.decide(NodeId("a"), NodeId("b"), TimePoint::epoch() + milliseconds(ms)).drop;
+  };
+  EXPECT_FALSE(drops_at(99));
+  EXPECT_TRUE(drops_at(100));  // inclusive start
+  EXPECT_TRUE(drops_at(150));
+  EXPECT_FALSE(drops_at(200));  // exclusive end
+  EXPECT_FALSE(drops_at(300));
+  EXPECT_TRUE(drops_at(450));
+  EXPECT_FALSE(drops_at(500));
+}
+
+TEST(FaultPlan, NodeCrashAndHealWindows) {
+  FaultPlan plan(1);
+  plan.on_node(NodeId("m"), NodeFault{TimePoint::epoch() + milliseconds(100),
+                                      TimePoint::epoch() + milliseconds(300)});
+  plan.on_node(NodeId("forever"), NodeFault{TimePoint::epoch() + milliseconds(50),
+                                            TimePoint::max()});
+  EXPECT_FALSE(plan.node_down(NodeId("m"), TimePoint::epoch() + milliseconds(99)));
+  EXPECT_TRUE(plan.node_down(NodeId("m"), TimePoint::epoch() + milliseconds(100)));
+  EXPECT_TRUE(plan.node_down(NodeId("m"), TimePoint::epoch() + milliseconds(299)));
+  EXPECT_FALSE(plan.node_down(NodeId("m"), TimePoint::epoch() + milliseconds(300)));
+  EXPECT_TRUE(plan.node_down(NodeId("forever"), TimePoint::epoch() + milliseconds(60)));
+  EXPECT_FALSE(plan.node_down(NodeId("unknown"), TimePoint::epoch()));
+}
+
+/// Network-level: the plan's verdicts shape actual delivery and land in
+/// the per-link counters.
+struct FaultNetFixture : ::testing::Test {
+  FaultNetFixture() : network(simulator, sim::Rng(7)), plan(0xabcULL) {
+    network.register_node(NodeId("a"), [](const Message&) {});
+    network.register_node(NodeId("b"), [this](const Message&) { ++received; });
+    network.connect(NodeId("a"), NodeId("b"),
+                    LinkSpec{milliseconds(2), milliseconds(0), 0.0, 0.0});
+    network.set_fault_plan(&plan);
+  }
+
+  void send_n(int n, std::int64_t spacing_ms = 10) {
+    for (int i = 0; i < n; ++i) {
+      simulator.schedule_at(TimePoint::epoch() + milliseconds(spacing_ms * (i + 1)), [this, i] {
+        Message msg;
+        msg.src = NodeId("a");
+        msg.dst = NodeId("b");
+        msg.payload = core::Entity(obs(static_cast<std::uint64_t>(i)));
+        network.send(std::move(msg));
+      });
+    }
+    simulator.run();
+  }
+
+  sim::Simulator simulator;
+  Network network;
+  FaultPlan plan;
+  int received = 0;
+  std::vector<std::uint64_t> order;
+};
+
+TEST_F(FaultNetFixture, CountedDropShapesDelivery) {
+  LinkFault fault;
+  fault.drop_every_n = 4;
+  plan.on_link(NodeId("a"), NodeId("b"), fault);
+  send_n(100);
+  EXPECT_EQ(received, 75);
+  const LinkCounters& ab = network.stats().link(NodeId("a"), NodeId("b"));
+  EXPECT_EQ(ab.sent, 100u);
+  EXPECT_EQ(ab.delivered, 75u);
+  EXPECT_EQ(ab.dropped, 25u);
+}
+
+TEST_F(FaultNetFixture, DuplicationDeliversTwice) {
+  LinkFault fault;
+  fault.duplicate_prob = 1.0;
+  plan.on_link(NodeId("a"), NodeId("b"), fault);
+  send_n(20);
+  EXPECT_EQ(received, 40);
+  const LinkCounters& ab = network.stats().link(NodeId("a"), NodeId("b"));
+  EXPECT_EQ(ab.sent, 20u);
+  EXPECT_EQ(ab.delivered, 40u);
+}
+
+TEST_F(FaultNetFixture, CrashedNodeNeitherSendsNorReceives) {
+  // b crashes at 150ms and heals at 450ms: messages sent in the window
+  // vanish (delivery-time check included), the rest arrive.
+  plan.on_node(NodeId("b"), NodeFault{TimePoint::epoch() + milliseconds(150),
+                                      TimePoint::epoch() + milliseconds(450)});
+  send_n(50);  // sends at 10ms..500ms
+  // Sends at 150..440ms inclusive are inside the window (29 of 50); the
+  // 150ms boundary and delivery-time edge cases leave a small tolerance.
+  EXPECT_LT(received, 25);
+  EXPECT_GT(received, 15);
+  const LinkCounters& ab = network.stats().link(NodeId("a"), NodeId("b"));
+  EXPECT_EQ(ab.delivered + ab.dropped, ab.sent);
+  EXPECT_GT(ab.dropped, 0u);
+}
+
+TEST_F(FaultNetFixture, ReorderJitterScramblesArrivalOrder) {
+  network.register_node(NodeId("c"), [this](const Message& msg) {
+    order.push_back(std::get<core::Entity>(msg.payload).observation().seq);
+  });
+  network.connect(NodeId("a"), NodeId("c"),
+                  LinkSpec{milliseconds(2), milliseconds(0), 0.0, 0.0});
+  LinkFault fault;
+  fault.reorder_jitter = milliseconds(200);
+  plan.on_link(NodeId("a"), NodeId("c"), fault);
+  for (int i = 0; i < 50; ++i) {
+    simulator.schedule_at(TimePoint::epoch() + milliseconds(5 * (i + 1)), [this, i] {
+      Message msg;
+      msg.src = NodeId("a");
+      msg.dst = NodeId("c");
+      msg.payload = core::Entity(obs(static_cast<std::uint64_t>(i)));
+      network.send(std::move(msg));
+    });
+  }
+  simulator.run();
+  ASSERT_EQ(order.size(), 50u);
+  bool sorted = true;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) sorted = false;
+  }
+  EXPECT_FALSE(sorted) << "200ms jitter over 5ms spacing must reorder something";
+}
+
+}  // namespace
+}  // namespace stem::net

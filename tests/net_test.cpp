@@ -364,5 +364,59 @@ TEST_F(BrokerFixture, ForwardsCascadedRuntimeInstancesToSubscribers) {
   EXPECT_EQ(rt.stats().cascade_reingested, 1u);
 }
 
+TEST(LinkKeyHash, TrivialPermutationsDoNotCollide) {
+  const detail::LinkKeyHash h;
+  // A symmetric combiner (plain XOR of the two string hashes) collapses
+  // every one of these pairs; the boost-style combine must not.
+  EXPECT_NE(h({"a", "b"}), h({"b", "a"}));
+  EXPECT_NE(h({"mote1", "sink"}), h({"sink", "mote1"}));
+  EXPECT_NE(h({"ab", ""}), h({"", "ab"}));
+  EXPECT_NE(h({"x", "x"}), h({"", ""}));  // XOR of equal hashes is always 0
+  EXPECT_EQ(h({"a", "b"}), h({"a", "b"}));  // still deterministic
+  // The raw combiner keeps argument order significant too.
+  EXPECT_NE(detail::LinkKeyHash::combine(1, 2), detail::LinkKeyHash::combine(2, 1));
+  EXPECT_NE(detail::LinkKeyHash::combine(0, 0), detail::LinkKeyHash::combine(1, 1));
+}
+
+TEST_F(NetFixture, PerLinkCountersTrackEachDirectionSeparately) {
+  add_node("a");
+  add_node("b");
+  add_node("c");
+  network.connect(NodeId("a"), NodeId("b"), LinkSpec{milliseconds(2), milliseconds(0), 0.0, 0.0});
+  // a -> c loses everything: drops are attributed to that link alone.
+  network.connect(NodeId("a"), NodeId("c"), LinkSpec{milliseconds(2), milliseconds(0), 1.0, 0.0});
+
+  const auto send = [&](const char* from, const char* to) {
+    Message msg;
+    msg.src = NodeId(from);
+    msg.dst = NodeId(to);
+    msg.payload = Entity(make_instance("X"));
+    network.send(std::move(msg));
+  };
+  send("a", "b");
+  send("a", "b");
+  send("b", "a");
+  send("a", "c");
+  send("a", "c");
+  send("a", "c");
+  simulator.run();
+
+  const NetworkStats& stats = network.stats();
+  EXPECT_EQ(stats.link(NodeId("a"), NodeId("b")).sent, 2u);
+  EXPECT_EQ(stats.link(NodeId("a"), NodeId("b")).delivered, 2u);
+  EXPECT_EQ(stats.link(NodeId("a"), NodeId("b")).dropped, 0u);
+  EXPECT_EQ(stats.link(NodeId("b"), NodeId("a")).sent, 1u);
+  EXPECT_EQ(stats.link(NodeId("b"), NodeId("a")).delivered, 1u);
+  EXPECT_EQ(stats.link(NodeId("a"), NodeId("c")).sent, 3u);
+  EXPECT_EQ(stats.link(NodeId("a"), NodeId("c")).delivered, 0u);
+  EXPECT_EQ(stats.link(NodeId("a"), NodeId("c")).dropped, 3u);
+  // Never-used direction reads as zeros without materializing an entry.
+  EXPECT_EQ(stats.link(NodeId("c"), NodeId("a")).sent, 0u);
+  // Totals remain the sum over links.
+  EXPECT_EQ(stats.sent, 6u);
+  EXPECT_EQ(stats.delivered, 3u);
+  EXPECT_EQ(stats.dropped, 3u);
+}
+
 }  // namespace
 }  // namespace stem::net

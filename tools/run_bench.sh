@@ -45,6 +45,7 @@ GBENCH_TARGETS=(
   e9_eventlang
   e10_pubsub
   e11_engine_throughput
+  e13_reliable_link
 )
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
@@ -171,4 +172,14 @@ ref = rate("BENCH_e11_engine_throughput.json", "BM_SharedArrival/0")
 pre = rate("BENCH_e11_engine_throughput.json", "BM_SharedArrival/1")
 win = "n/a" if not (ref and pre) else f"{(pre / ref - 1) * 100:+.1f}%"
 print(f"shared-arrival (64 buffered): {fmt(ref)} -> {fmt(pre)} entities/s ({win} vs deep copy)")
+
+# Reliable sessions (PR 7): exactly-once delivery rate as link loss climbs,
+# with the retransmission cost beside it; the plain leg is the
+# fire-and-forget reference on the identical link.
+for loss in (0, 5, 20):
+    name = f"BM_ReliableLink/{loss}"
+    rtx = counter("BENCH_e13_reliable_link.json", name, "retransmits_per_send")
+    rtx_s = "n/a" if rtx is None else f"{rtx:.3f}"
+    print(f"reliable link ({loss:>2}% loss):    {fmt(rate('BENCH_e13_reliable_link.json', name))} entities/s ({rtx_s} retransmits/send)")
+print(f"plain link (reference):      {fmt(rate('BENCH_e13_reliable_link.json', 'BM_ReliableLink_PlainBaseline'))} entities/s")
 EOF
