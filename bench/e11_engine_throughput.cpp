@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -110,6 +112,50 @@ void BM_DefinitionCount(benchmark::State& state) {
     ++i;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/// Resident-set size in KiB from /proc/self/status, or 0 when the file is
+/// unavailable (non-Linux hosts record rss_mb = 0 rather than failing).
+long read_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  long kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %ld kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+/// Registration-path scaling: time (and resident memory) to register a
+/// near-duplicate definition family, up to a million single-slot
+/// threshold rules on one sensor with constants cycling a small set —
+/// the shape the shared-plan compiler and the routing index's pending
+/// segment lists are built for. One iteration per arg keeps the RSS
+/// delta meaningful (later iterations would reuse allocator pools).
+void BM_RegistrationScale(benchmark::State& state) {
+  const auto defs = static_cast<std::size_t>(state.range(0));
+  double rss_mb = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = std::make_unique<core::DetectionEngine>(ObserverId("X"), core::Layer::kSensor,
+                                                          geom::Point{0, 0});
+    const long before = read_rss_kb();
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < defs; ++i) {
+      engine->add_definition(
+          threshold_def(numbered("D", i), 50.0 + static_cast<double>(i % 512)));
+    }
+    benchmark::DoNotOptimize(engine->definition_count());
+    state.PauseTiming();
+    rss_mb = std::max(rss_mb, static_cast<double>(read_rss_kb() - before) / 1024.0);
+    engine.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(defs));
+  state.counters["rss_mb"] = rss_mb;
 }
 
 void BM_JoinArity(benchmark::State& state) {
@@ -511,7 +557,12 @@ void BM_BatchSize(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_DefinitionCount)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_DefinitionCount)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+// One iteration per arg: the RSS delta is only meaningful on a cold
+// allocator, and a million registrations are seconds-scale anyway.
+BENCHMARK(BM_RegistrationScale)
+    ->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20)->Unit(benchmark::kMillisecond)->Iterations(1);
 BENCHMARK(BM_JoinArity)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 BENCHMARK(BM_BufferCap)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_WindowLength)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);

@@ -43,53 +43,100 @@ void DetectionEngine::init_def_state(DefState& ds) {
   if (new_type) seq_counters_.push_back(0);
   ds.seq_idx = seq_it->second;
   ds.buffered = n > 1;
-  if (ds.buffered) ds.buffers.resize(n);
-  ds.guards.resize(n);
-  ds.spatial.resize(n);
-  ds.spatial_active.assign(n, 0);
-  ds.chosen.resize(n);
-  ds.binding.resize(n);
-  ds.order.reserve(n);
-  ds.cursor.resize(n);
-  ds.cand.resize(n);
-  ds.source.assign(n, 0);
-  ds.qbox.resize(n);
-  ds.prep_epoch.assign(n, 0);
+  scratch_.fit(n);
+  if (!ds.buffered) return;
 
-  if (ds.buffered) {
-    for (const SpatialGuard& g : extract_spatial_guards(ds.def.condition)) {
-      if (g.slot >= n) continue;  // condition slots were validated above
-      Guard guard;
-      guard.radius = g.radius;
-      if (g.partner.has_value()) {
-        if (*g.partner >= n) continue;
-        guard.partner = *g.partner;
-      } else if (g.region.has_value()) {
-        guard.region = g.region->bbox().inflated(g.radius);
-      } else {
-        continue;
-      }
-      ds.guards[g.slot].push_back(guard);
+  ds.guards.resize(n);
+  for (const SpatialGuard& g : extract_spatial_guards(ds.def.condition)) {
+    if (g.slot >= n) continue;  // condition slots were validated above
+    Guard guard;
+    guard.radius = g.radius;
+    if (g.partner.has_value()) {
+      if (*g.partner >= n) continue;
+      guard.partner = *g.partner;
+    } else if (g.region.has_value()) {
+      guard.region = g.region->bbox().inflated(g.radius);
+    } else {
+      continue;
     }
-    // Only retain-mode definitions back guarded slots with a spatial
-    // index: they enumerate the full candidate set, so querying the index
-    // beats scanning once the buffer is large. Consume-mode definitions
-    // stop at the first match; for them the enumerator prechecks the
-    // guard box inline, which is cheaper than eager index queries.
-    if (ds.def.consumption == ConsumptionMode::kUnrestricted) {
-      for (std::size_t j = 0; j < n; ++j) {
-        if (ds.guards[j].empty()) continue;
-        // A metric guard's radius is the natural grid cell size; purely
-        // topological guards have no length scale, so use the R-tree.
-        double cell = 0.0;
-        for (const Guard& g : ds.guards[j]) {
-          if (g.radius > 0.0 && (cell == 0.0 || g.radius < cell)) cell = g.radius;
-        }
-        ds.spatial[j] =
-            cell > 0.0 ? std::make_unique<SlotSpatial>(cell) : std::make_unique<SlotSpatial>();
-      }
-    }
+    ds.guards[g.slot].push_back(guard);
   }
+  // Retain-mode definitions are stream-backed: their slot buffers (and
+  // spatial indexes, once attached for guarded slots) live in shared plan
+  // nodes joined by every definition with the same (filter, window) key.
+  // Consume-mode definitions keep private buffers — consumption retires
+  // entities mid-buffer, which co-subscribers must not see — and use the
+  // enumerator's inline guard precheck instead of an index.
+  if (ds.def.consumption == ConsumptionMode::kUnrestricted) {
+    ds.stream_backed = true;
+  } else {
+    ds.buffers.resize(n);
+  }
+}
+
+std::string DetectionEngine::stream_key_for(const DefState& ds, std::size_t slot) {
+  std::string key = ds.def.slots[slot].filter.stream_key();
+  key += '|';
+  key += std::to_string(ds.def.window.ticks());
+  return key;
+}
+
+std::uint32_t DetectionEngine::create_stream(std::string key, time_model::Duration window) {
+  std::uint32_t id;
+  if (!free_streams_.empty()) {
+    id = free_streams_.back();
+    free_streams_.pop_back();
+    streams_[id] = std::make_unique<StreamNode>();
+  } else {
+    streams_.push_back(std::make_unique<StreamNode>());
+    id = static_cast<std::uint32_t>(streams_.size() - 1);
+  }
+  StreamNode& sn = *streams_[id];
+  sn.window = window;
+  sn.subscribers = 1;
+  if (!key.empty()) {
+    sn.canonical = true;
+    canonical_streams_.emplace(key, id);
+    sn.key = std::move(key);
+  }
+  return id;
+}
+
+std::uint32_t DetectionEngine::subscribe_stream(std::string key, time_model::Duration window) {
+  if (const auto it = canonical_streams_.find(key); it != canonical_streams_.end()) {
+    StreamNode& sn = *streams_[it->second];
+    if (sn.buf.empty()) {
+      ++sn.subscribers;
+      return it->second;
+    }
+    // The canonical stream already buffers entities the new subscriber
+    // must never see (they predate its registration), so it gets a
+    // private stream instead — exactness over sharing.
+    return create_stream(std::string(), window);
+  }
+  return create_stream(std::move(key), window);
+}
+
+void DetectionEngine::unsubscribe_stream(std::uint32_t stream_id) {
+  StreamNode& sn = *streams_[stream_id];
+  if (--sn.subscribers > 0) return;
+  if (sn.canonical) canonical_streams_.erase(sn.key);
+  streams_[stream_id].reset();
+  free_streams_.push_back(stream_id);
+}
+
+void DetectionEngine::attach_stream_spatial(StreamNode& sn, const std::vector<Guard>& guards) {
+  if (sn.spatial != nullptr) return;  // the first guarded subscriber's choice sticks
+  // A metric guard's radius is the natural grid cell size; purely
+  // topological guards have no length scale, so use the R-tree. (The cell
+  // size only affects query cost, never the result set, so sharing one
+  // index among subscribers with different radii is exact.)
+  double cell = 0.0;
+  for (const Guard& g : guards) {
+    if (g.radius > 0.0 && (cell == 0.0 || g.radius < cell)) cell = g.radius;
+  }
+  sn.spatial = cell > 0.0 ? std::make_unique<SlotSpatial>(cell) : std::make_unique<SlotSpatial>();
+  if (sn.buf.size() >= kIndexActivate) rebuild_stream_spatial(sn);
 }
 
 std::size_t DetectionEngine::add_definition(EventDefinition def) {
@@ -97,6 +144,18 @@ std::size_t DetectionEngine::add_definition(EventDefinition def) {
   const std::uint32_t d = alloc_def_slot(std::move(def));
   DefState& ds = defs_[d];
   init_def_state(ds);
+  if (ds.stream_backed) {
+    const std::size_t n = ds.def.slots.size();
+    ds.streams.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      ds.streams[j] = subscribe_stream(stream_key_for(ds, j), ds.def.window);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!ds.guards[j].empty()) attach_stream_spatial(*streams_[ds.streams[j]], ds.guards[j]);
+    }
+  } else if (ds.buffered) {
+    private_buffered_.push_back(d);
+  }
   routing_.add(ds.def, d);
   ++active_defs_;
   return d;
@@ -110,25 +169,45 @@ DefinitionState DetectionEngine::extract_definition_state(std::size_t def_index)
   DefState& ds = defs_[def_index];
   routing_.remove(ds.def, static_cast<std::uint32_t>(def_index));
 
+  // A stream-backed definition takes a *copy* of each subscribed stream's
+  // buffer (co-subscribers keep theirs untouched) and then drops its
+  // subscriptions; private buffers are moved out wholesale. Either way the
+  // carried per-slot buffers are exactly what an unshared engine would
+  // have held, so the checkpoint/migration codec sees no difference.
   std::vector<std::vector<DefinitionState::BufferedEntity>> buffers(ds.def.slots.size());
-  for (std::size_t s = 0; s < ds.buffers.size(); ++s) {
-    buffers[s].reserve(ds.buffers[s].size());
-    for (Buffered& b : ds.buffers[s]) {
-      buffers[s].push_back(DefinitionState::BufferedEntity{std::move(b.entity), b.stamp});
+  time_model::TimePoint carried_prune = ds.next_prune_at;
+  if (ds.stream_backed) {
+    carried_prune = time_model::TimePoint::max();
+    for (std::size_t s = 0; s < ds.streams.size(); ++s) {
+      const StreamNode& sn = *streams_[ds.streams[s]];
+      buffers[s].reserve(sn.buf.size());
+      for (const Buffered& b : sn.buf) {
+        buffers[s].push_back(DefinitionState::BufferedEntity{b.entity, b.stamp});
+      }
+      if (sn.next_prune_at < carried_prune) carried_prune = sn.next_prune_at;
     }
+    for (const std::uint32_t id : ds.streams) unsubscribe_stream(id);
+  } else {
+    for (std::size_t s = 0; s < ds.buffers.size(); ++s) {
+      buffers[s].reserve(ds.buffers[s].size());
+      for (Buffered& b : ds.buffers[s]) {
+        buffers[s].push_back(DefinitionState::BufferedEntity{std::move(b.entity), b.stamp});
+      }
+    }
+    if (ds.buffered) std::erase(private_buffered_, static_cast<std::uint32_t>(def_index));
   }
-  DefinitionState out{std::move(ds.def), seq_counters_[ds.seq_idx], ds.next_prune_at,
+  DefinitionState out{std::move(ds.def), seq_counters_[ds.seq_idx], carried_prune,
                       std::move(buffers), ds.load_routed, ds.load_tried};
 
   // Tombstone the slot: release its state but keep the index reserved (a
   // later implant reuses it), so the indices of the other definitions —
   // and the tags of their emissions — never shift.
   ds.active = false;
+  ds.buffered = false;
+  ds.stream_backed = false;
   ds.buffers.clear();
+  ds.streams.clear();
   ds.guards.clear();
-  ds.spatial.clear();
-  ds.spatial_active.clear();
-  ds.cand.clear();
   ds.next_prune_at = time_model::TimePoint::max();
   free_slots_.push_back(static_cast<std::uint32_t>(def_index));
   --active_defs_;
@@ -142,13 +221,26 @@ DefinitionState DetectionEngine::snapshot_definition_state(std::size_t def_index
   }
   const DefState& ds = defs_[def_index];
   std::vector<std::vector<DefinitionState::BufferedEntity>> buffers(ds.def.slots.size());
-  for (std::size_t s = 0; s < ds.buffers.size(); ++s) {
-    buffers[s].reserve(ds.buffers[s].size());
-    for (const Buffered& b : ds.buffers[s]) {
-      buffers[s].push_back(DefinitionState::BufferedEntity{b.entity, b.stamp});
+  time_model::TimePoint carried_prune = ds.next_prune_at;
+  if (ds.stream_backed) {
+    carried_prune = time_model::TimePoint::max();
+    for (std::size_t s = 0; s < ds.streams.size(); ++s) {
+      const StreamNode& sn = *streams_[ds.streams[s]];
+      buffers[s].reserve(sn.buf.size());
+      for (const Buffered& b : sn.buf) {
+        buffers[s].push_back(DefinitionState::BufferedEntity{b.entity, b.stamp});
+      }
+      if (sn.next_prune_at < carried_prune) carried_prune = sn.next_prune_at;
+    }
+  } else {
+    for (std::size_t s = 0; s < ds.buffers.size(); ++s) {
+      buffers[s].reserve(ds.buffers[s].size());
+      for (const Buffered& b : ds.buffers[s]) {
+        buffers[s].push_back(DefinitionState::BufferedEntity{b.entity, b.stamp});
+      }
     }
   }
-  return DefinitionState{ds.def, seq_counters_[ds.seq_idx], ds.next_prune_at,
+  return DefinitionState{ds.def, seq_counters_[ds.seq_idx], carried_prune,
                          std::move(buffers), ds.load_routed, ds.load_tried};
 }
 
@@ -168,8 +260,6 @@ std::size_t DetectionEngine::implant_definition_state(DefinitionState state) {
   seq_counters_[ds.seq_idx] = state.seq;
   ds.load_routed = state.load_routed;
   ds.load_tried = state.load_tried;
-  ds.next_prune_at = state.next_prune_at;
-  if (ds.next_prune_at < global_prune_at_) global_prune_at_ = ds.next_prune_at;
 
   if (ds.buffered) {
     // Renumber the imported stamps into this engine's stamp space. The map
@@ -186,19 +276,51 @@ std::size_t DetectionEngine::implant_definition_state(DefinitionState state) {
     std::unordered_map<std::uint64_t, std::uint64_t> remap;
     remap.reserve(olds.size());
     for (const std::uint64_t old : olds) remap.emplace(old, next_stamp_++);
-    for (std::size_t s = 0; s < state.buffers.size(); ++s) {
-      auto& buf = ds.buffers[s];
-      for (auto& b : state.buffers[s]) {
-        const geom::BoundingBox box = b.entity->location().bbox();
-        buf.push_back(Buffered{std::move(b.entity), remap.at(b.stamp), box});
+    const std::size_t n = state.buffers.size();
+    if (!ds.stream_backed) {
+      ds.next_prune_at = state.next_prune_at;
+      if (ds.next_prune_at < global_prune_at_) global_prune_at_ = ds.next_prune_at;
+      for (std::size_t s = 0; s < n; ++s) {
+        auto& buf = ds.buffers[s];
+        for (auto& b : state.buffers[s]) {
+          const geom::BoundingBox box = b.entity->location().bbox();
+          buf.push_back(Buffered{std::move(b.entity), remap.at(b.stamp), box});
+        }
+        // Enforce *this* engine's buffer cap: when the source was
+        // configured with a larger max_buffer, the oldest imports are
+        // evicted (counted as evictions, like any cap overflow) —
+        // otherwise the over-cap state would be self-sustaining
+        // (insert_buffered evicts only one entry per insert).
+        while (buf.size() > options_.max_buffer) evict_front(ds, s);
       }
-      // Enforce *this* engine's buffer cap: when the source was configured
-      // with a larger max_buffer, the oldest imports are evicted (counted
-      // as evictions, like any cap overflow) — otherwise the over-cap
-      // state would be self-sustaining (insert_buffered evicts only one
-      // entry per insert).
-      while (buf.size() > options_.max_buffer) evict_front(ds, s);
-      if (ds.spatial[s] != nullptr && buf.size() >= kIndexActivate) rebuild_spatial(ds, s);
+      private_buffered_.push_back(d);
+    } else {
+      // A slot whose carried buffer is empty subscribes normally (it may
+      // join a canonical stream). A non-empty carried buffer must not be
+      // injected into co-subscribers' views, so it lands in a private
+      // stream — migration pessimizes sharing for the moved definition,
+      // never for the definitions around it.
+      ds.streams.resize(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        if (state.buffers[s].empty()) {
+          ds.streams[s] = subscribe_stream(stream_key_for(ds, s), ds.def.window);
+          continue;
+        }
+        const std::uint32_t id = create_stream(std::string(), ds.def.window);
+        ds.streams[s] = id;
+        StreamNode& sn = *streams_[id];
+        for (auto& b : state.buffers[s]) {
+          const geom::BoundingBox box = b.entity->location().bbox();
+          sn.buf.push_back(Buffered{std::move(b.entity), remap.at(b.stamp), box});
+        }
+        sn.last_stamp = sn.buf.back().stamp;
+        while (sn.buf.size() > options_.max_buffer) evict_stream_front(sn);
+        sn.next_prune_at = state.next_prune_at;
+        if (sn.next_prune_at < global_prune_at_) global_prune_at_ = sn.next_prune_at;
+      }
+      for (std::size_t s = 0; s < n; ++s) {
+        if (!ds.guards[s].empty()) attach_stream_spatial(*streams_[ds.streams[s]], ds.guards[s]);
+      }
     }
   }
   routing_.add(ds.def, d);
@@ -208,48 +330,65 @@ std::size_t DetectionEngine::implant_definition_state(DefinitionState state) {
 
 void DetectionEngine::collect_definition_loads(
     std::vector<std::pair<std::uint32_t, DefinitionLoad>>& out) const {
+  // One up-front reserve keeps steady-state publication allocation-free:
+  // the caller's reused buffer reaches definition-count capacity once and
+  // every later call appends into it without growth.
+  out.reserve(out.size() + active_defs_);
   for (std::size_t d = 0; d < defs_.size(); ++d) {
     const DefState& ds = defs_[d];
     if (!ds.active) continue;
     DefinitionLoad load{ds.load_routed, ds.load_tried, 0};
-    for (const auto& buf : ds.buffers) load.buffered += buf.size();
+    if (ds.stream_backed) {
+      for (const std::uint32_t id : ds.streams) load.buffered += streams_[id]->buf.size();
+    } else {
+      for (const auto& buf : ds.buffers) load.buffered += buf.size();
+    }
     out.push_back({static_cast<std::uint32_t>(d), load});
   }
 }
 
 void DetectionEngine::clear() {
-  for (DefState& ds : defs_) {
-    if (!ds.active) continue;
-    for (std::size_t s = 0; s < ds.buffers.size(); ++s) {
-      ds.buffers[s].clear();
-      if (ds.spatial[s] != nullptr && ds.spatial_active[s] != 0) {
-        ds.spatial[s]->clear();
-        ds.spatial_active[s] = 0;
-      }
+  for (const auto& up : streams_) {
+    if (up == nullptr) continue;
+    up->buf.clear();
+    if (up->spatial_active) {
+      up->spatial->clear();
+      up->spatial_active = false;
     }
+    up->next_prune_at = time_model::TimePoint::max();
+  }
+  for (const std::uint32_t d : private_buffered_) {
+    DefState& ds = defs_[d];
+    for (auto& buf : ds.buffers) buf.clear();
     ds.next_prune_at = time_model::TimePoint::max();
   }
   global_prune_at_ = time_model::TimePoint::max();
 }
 
 void DetectionEngine::evict_front(DefState& ds, std::size_t slot) {
-  auto& buf = ds.buffers[slot];
-  const Buffered& front = buf.front();
-  if (ds.spatial_active[slot] != 0) {
-    ds.spatial[slot]->erase(front.box, front.stamp);
-    if (buf.size() - 1 <= kIndexDeactivate) {
-      ds.spatial[slot]->clear();
-      ds.spatial_active[slot] = 0;
-    }
-  }
-  buf.pop_front();
+  ds.buffers[slot].pop_front();
   ++stats_.evicted;
 }
 
-void DetectionEngine::rebuild_spatial(DefState& ds, std::size_t slot) {
-  ds.spatial[slot]->clear();
-  for (const Buffered& b : ds.buffers[slot]) ds.spatial[slot]->insert(b.box, b.stamp);
-  ds.spatial_active[slot] = 1;
+void DetectionEngine::evict_stream_front(StreamNode& sn) {
+  const Buffered& front = sn.buf.front();
+  if (sn.spatial_active) {
+    sn.spatial->erase(front.box, front.stamp);
+    if (sn.buf.size() - 1 <= kIndexDeactivate) {
+      sn.spatial->clear();
+      sn.spatial_active = false;
+    }
+  }
+  sn.buf.pop_front();
+  // Every subscribing (definition, slot) loses the entry, so the eviction
+  // counter advances exactly as per-definition buffers would have.
+  stats_.evicted += sn.subscribers;
+}
+
+void DetectionEngine::rebuild_stream_spatial(StreamNode& sn) {
+  sn.spatial->clear();
+  for (const Buffered& b : sn.buf) sn.spatial->insert(b.box, b.stamp);
+  sn.spatial_active = true;
 }
 
 void DetectionEngine::prune_def(DefState& ds, time_model::TimePoint now) {
@@ -268,12 +407,30 @@ void DetectionEngine::prune_def(DefState& ds, time_model::TimePoint now) {
   ds.next_prune_at = next;
 }
 
+void DetectionEngine::prune_stream(StreamNode& sn, time_model::TimePoint now) {
+  const time_model::TimePoint horizon = now - sn.window;
+  while (!sn.buf.empty() && sn.buf.front().entity->occurrence_time().end() < horizon) {
+    evict_stream_front(sn);
+  }
+  sn.next_prune_at = sn.buf.empty()
+                         ? time_model::TimePoint::max()
+                         : sn.buf.front().entity->occurrence_time().end() + sn.window;
+}
+
 void DetectionEngine::maybe_prune(time_model::TimePoint now) {
   // An entity is evictable once now > its occurrence end + window, so
-  // nothing can expire while now has not passed the global watermark.
+  // nothing can expire while now has not passed the global watermark. The
+  // walk below visits only structures that buffer (streams + private
+  // consume buffers), never the full definition table.
   if (global_prune_at_ >= now) return;
   time_model::TimePoint global = time_model::TimePoint::max();
-  for (DefState& ds : defs_) {
+  for (const auto& up : streams_) {
+    if (up == nullptr) continue;
+    if (up->next_prune_at < now) prune_stream(*up, now);
+    if (up->next_prune_at < global) global = up->next_prune_at;
+  }
+  for (const std::uint32_t d : private_buffered_) {
+    DefState& ds = defs_[d];
     if (ds.next_prune_at < now) prune_def(ds, now);
     if (ds.next_prune_at < global) global = ds.next_prune_at;
   }
@@ -282,8 +439,13 @@ void DetectionEngine::maybe_prune(time_model::TimePoint now) {
 
 void DetectionEngine::prune(time_model::TimePoint now) {
   time_model::TimePoint global = time_model::TimePoint::max();
-  for (DefState& ds : defs_) {
-    if (!ds.active) continue;
+  for (const auto& up : streams_) {
+    if (up == nullptr) continue;
+    prune_stream(*up, now);
+    if (up->next_prune_at < global) global = up->next_prune_at;
+  }
+  for (const std::uint32_t d : private_buffered_) {
+    DefState& ds = defs_[d];
     prune_def(ds, now);
     if (ds.next_prune_at < global) global = ds.next_prune_at;
   }
@@ -302,18 +464,27 @@ void DetectionEngine::route(const Entity& entity) {
 void DetectionEngine::insert_buffered(DefState& ds, std::size_t slot, const Buffered& fresh) {
   auto& buf = ds.buffers[slot];
   buf.push_back(fresh);
-  if (ds.spatial[slot] != nullptr) {
-    if (ds.spatial_active[slot] != 0) {
-      ds.spatial[slot]->insert(fresh.box, fresh.stamp);
-    } else if (buf.size() >= kIndexActivate) {
-      rebuild_spatial(ds, slot);
-    }
-  }
   if (buf.size() > options_.max_buffer) evict_front(ds, slot);
   // Lower (never raise) the prune watermarks: stale-low only costs a
   // spurious check, stale-high would let expired entities join bindings.
   const time_model::TimePoint at = fresh.entity->occurrence_time().end() + ds.def.window;
   if (at < ds.next_prune_at) ds.next_prune_at = at;
+  if (at < global_prune_at_) global_prune_at_ = at;
+}
+
+void DetectionEngine::insert_stream(StreamNode& sn, const Buffered& fresh) {
+  sn.buf.push_back(fresh);
+  sn.last_stamp = fresh.stamp;
+  if (sn.spatial != nullptr) {
+    if (sn.spatial_active) {
+      sn.spatial->insert(fresh.box, fresh.stamp);
+    } else if (sn.buf.size() >= kIndexActivate) {
+      rebuild_stream_spatial(sn);
+    }
+  }
+  if (sn.buf.size() > options_.max_buffer) evict_stream_front(sn);
+  const time_model::TimePoint at = fresh.entity->occurrence_time().end() + sn.window;
+  if (at < sn.next_prune_at) sn.next_prune_at = at;
   if (at < global_prune_at_) global_prune_at_ = at;
 }
 
@@ -459,10 +630,19 @@ void DetectionEngine::observe_impl(const Entity& entity, time_model::TimePoint n
     const Buffered fresh{shared, stamp, shared->location().bbox()};
     // Insert into every matching slot first, so a definition whose two
     // slots both match can bind the entity against itself only through
-    // distinct buffer positions.
+    // distinct buffer positions. A shared stream receives the arrival
+    // once no matter how many subscribed routes land on it (its
+    // co-subscribers' runs see last_stamp already current).
     const std::size_t run_begin = i;
-    for (; i < matched_routes_.size() && matched_routes_[i].def_idx == d; ++i) {
-      insert_buffered(ds, matched_routes_[i].slot_idx, fresh);
+    if (ds.stream_backed) {
+      for (; i < matched_routes_.size() && matched_routes_[i].def_idx == d; ++i) {
+        StreamNode& sn = *streams_[ds.streams[matched_routes_[i].slot_idx]];
+        if (sn.last_stamp != stamp) insert_stream(sn, fresh);
+      }
+    } else {
+      for (; i < matched_routes_.size() && matched_routes_[i].def_idx == d; ++i) {
+        insert_buffered(ds, matched_routes_[i].slot_idx, fresh);
+      }
     }
     for (std::size_t r = run_begin; r < i; ++r) {
       try_bindings(ds, matched_routes_[r].slot_idx, fresh, now, sink);
@@ -473,19 +653,19 @@ void DetectionEngine::observe_impl(const Entity& entity, time_model::TimePoint n
 
 void DetectionEngine::fire_single(DefState& ds, const Entity& entity, time_model::TimePoint now,
                                   EmitSink& sink) {
-  ds.binding[0] = &entity;
+  scratch_.binding[0] = &entity;
   ++stats_.bindings_tried;
   ++ds.load_tried;
-  const EvalContext ctx(ds.binding.data(), 1);
+  const EvalContext ctx(scratch_.binding.data(), 1);
   if (!eval_condition(ds.def.condition, ctx, options_.eval_mode)) return;
   ++stats_.bindings_matched;
   const auto d = static_cast<std::uint32_t>(&ds - defs_.data());
-  sink.emit(d, synthesize(ds, ds.binding, now));
+  sink.emit(d, synthesize(ds, scratch_.binding.data(), 1, now));
 }
 
 void DetectionEngine::prepare_candidates(DefState& ds, std::uint32_t slot) {
   if (ds.guards[slot].empty()) {
-    ds.source[slot] = 0;
+    scratch_.source[slot] = 0;
     return;
   }
   // Pick the applicable guard with the smallest query footprint. Guards
@@ -498,8 +678,8 @@ void DetectionEngine::prepare_candidates(DefState& ds, std::uint32_t slot) {
     geom::BoundingBox q;
     if (g.partner == Guard::kNoPartner) {
       q = g.region;
-    } else if (ds.chosen[g.partner] != nullptr) {
-      q = ds.chosen[g.partner]->box.inflated(g.radius);
+    } else if (scratch_.chosen[g.partner] != nullptr) {
+      q = scratch_.chosen[g.partner]->box.inflated(g.radius);
       partner_bound = true;
     } else {
       continue;
@@ -513,24 +693,25 @@ void DetectionEngine::prepare_candidates(DefState& ds, std::uint32_t slot) {
   if (!partner_bound) {
     // Constant-region-only (or nothing applicable): identical on every
     // re-descent within this try_bindings call — prepare only once.
-    if (ds.prep_epoch[slot] == ds.cur_epoch) return;
-    ds.prep_epoch[slot] = ds.cur_epoch;
+    if (scratch_.prep_epoch[slot] == scratch_.cur_epoch) return;
+    scratch_.prep_epoch[slot] = scratch_.cur_epoch;
   }
-  ds.source[slot] = 0;
+  scratch_.source[slot] = 0;
   if (!have) return;
-  if (ds.spatial_active[slot] == 0) {
+  StreamNode* const sn = slot_stream(ds, slot);
+  if (sn == nullptr || !sn->spatial_active) {
     // Scan the buffer, prechecking each candidate against the guard box.
-    ds.qbox[slot] = query;
-    ds.source[slot] = 1;
+    scratch_.qbox[slot] = query;
+    scratch_.source[slot] = 1;
     return;
   }
-  auto& stamps = ds.stamp_scratch;
+  auto& stamps = scratch_.stamp_scratch;
   stamps.clear();
-  ds.spatial[slot]->query(query, stamps);
+  sn->spatial->query(query, stamps);
   std::sort(stamps.begin(), stamps.end());  // restore arrival order
-  auto& cand = ds.cand[slot];
+  auto& cand = scratch_.cand[slot];
   cand.clear();
-  auto& buf = ds.buffers[slot];
+  auto& buf = sn->buf;
   for (const std::uint64_t stamp : stamps) {
     // Buffers are deques in ascending stamp order; map each hit back to
     // its buffered entry (stale index hits simply miss and are skipped).
@@ -539,18 +720,18 @@ void DetectionEngine::prepare_candidates(DefState& ds, std::uint32_t slot) {
                          [](const Buffered& b, std::uint64_t s) { return b.stamp < s; });
     if (it != buf.end() && it->stamp == stamp) cand.push_back(&*it);
   }
-  ds.source[slot] = 2;
+  scratch_.source[slot] = 2;
 }
 
 void DetectionEngine::try_bindings(DefState& ds, std::size_t fixed_slot, const Buffered& fresh,
                                    time_model::TimePoint now, EmitSink& sink) {
   const std::size_t n = ds.def.slots.size();
-  auto& chosen = ds.chosen;
+  auto& chosen = scratch_.chosen;
   chosen.assign(n, nullptr);
   chosen[fixed_slot] = &fresh;
-  ++ds.cur_epoch;  // invalidates cached constant-region preparations
+  ++scratch_.cur_epoch;  // invalidates cached constant-region preparations
 
-  auto& order = ds.order;
+  auto& order = scratch_.order;
   order.clear();
   for (std::uint32_t j = 0; j < n; ++j) {
     if (j != fixed_slot) order.push_back(j);
@@ -558,18 +739,21 @@ void DetectionEngine::try_bindings(DefState& ds, std::size_t fixed_slot, const B
   const std::size_t m = order.size();
 
   // Iterative depth-first enumeration over the non-fixed slots. All state
-  // lives in preallocated DefState scratch; nothing allocates here.
+  // lives in the engine-level scratch (the enumerator never re-enters);
+  // nothing allocates here.
   std::size_t depth = 0;
-  ds.cursor[0] = 0;
+  scratch_.cursor[0] = 0;
   prepare_candidates(ds, order[0]);
   while (true) {
     const std::uint32_t slot = order[depth];
     const Buffered* cand = nullptr;
-    if (ds.source[slot] == 2) {
-      if (ds.cursor[depth] < ds.cand[slot].size()) cand = ds.cand[slot][ds.cursor[depth]++];
+    if (scratch_.source[slot] == 2) {
+      if (scratch_.cursor[depth] < scratch_.cand[slot].size()) {
+        cand = scratch_.cand[slot][scratch_.cursor[depth]++];
+      }
     } else {
-      const auto& buf = ds.buffers[slot];
-      if (ds.cursor[depth] < buf.size()) cand = &buf[ds.cursor[depth]++];
+      const auto& buf = slot_buffer(ds, slot);
+      if (scratch_.cursor[depth] < buf.size()) cand = &buf[scratch_.cursor[depth]++];
     }
     if (cand == nullptr) {  // exhausted: backtrack
       chosen[slot] = nullptr;
@@ -580,7 +764,7 @@ void DetectionEngine::try_bindings(DefState& ds, std::size_t fixed_slot, const B
     // Guard precheck: a candidate outside the guard box cannot satisfy
     // the (conjunctively implied) spatial constraint — skip it without
     // evaluating or descending.
-    if (ds.source[slot] == 1 && !cand->box.intersects(ds.qbox[slot])) continue;
+    if (scratch_.source[slot] == 1 && !cand->box.intersects(scratch_.qbox[slot])) continue;
     // Slots below `fixed_slot` must not pick the fresh entity: the binding
     // with the fresh entity in that earlier slot is (or was) enumerated
     // when that slot was the fixed one, so this rule prevents duplicate
@@ -591,7 +775,7 @@ void DetectionEngine::try_bindings(DefState& ds, std::size_t fixed_slot, const B
       if (emit_binding(ds, now, sink)) return;  // participants were consumed
     } else {
       ++depth;
-      ds.cursor[depth] = 0;
+      scratch_.cursor[depth] = 0;
       prepare_candidates(ds, order[depth]);
     }
   }
@@ -599,44 +783,40 @@ void DetectionEngine::try_bindings(DefState& ds, std::size_t fixed_slot, const B
 
 bool DetectionEngine::emit_binding(DefState& ds, time_model::TimePoint now, EmitSink& sink) {
   const std::size_t n = ds.def.slots.size();
-  for (std::size_t j = 0; j < n; ++j) ds.binding[j] = ds.chosen[j]->entity.get();
+  for (std::size_t j = 0; j < n; ++j) scratch_.binding[j] = scratch_.chosen[j]->entity.get();
   ++stats_.bindings_tried;
   ++ds.load_tried;
-  const EvalContext ctx(ds.binding.data(), n);
+  const EvalContext ctx(scratch_.binding.data(), n);
   if (!eval_condition(ds.def.condition, ctx, options_.eval_mode)) return false;
   ++stats_.bindings_matched;
   const auto d = static_cast<std::uint32_t>(&ds - defs_.data());
-  sink.emit(d, synthesize(ds, ds.binding, now));
+  sink.emit(d, synthesize(ds, scratch_.binding.data(), n, now));
   if (ds.def.consumption != ConsumptionMode::kConsume) return false;
   consume_participants(ds);
   return true;
 }
 
 void DetectionEngine::consume_participants(DefState& ds) {
-  // Retire every participant from every slot buffer (and spatial index).
+  // Retire every participant from every slot buffer. Only consume-mode
+  // definitions reach here, and those keep private buffers — never shared
+  // streams, never spatial indexes — so nothing else can observe the
+  // mid-buffer removal.
   const std::size_t n = ds.def.slots.size();
-  auto& stamps = ds.stamp_scratch;  // enumeration stopped; scratch is free
+  auto& stamps = scratch_.stamp_scratch;  // enumeration stopped; scratch is free
   stamps.clear();
-  for (std::size_t j = 0; j < n; ++j) stamps.push_back(ds.chosen[j]->stamp);
+  for (std::size_t j = 0; j < n; ++j) stamps.push_back(scratch_.chosen[j]->stamp);
   const auto dead = [&stamps](const std::uint64_t s) {
     return std::find(stamps.begin(), stamps.end(), s) != stamps.end();
   };
-  for (std::size_t s = 0; s < ds.buffers.size(); ++s) {
-    auto& buf = ds.buffers[s];
-    if (ds.spatial_active[s] != 0) {  // only retain-mode slots index; kept for safety
-      for (const Buffered& b : buf) {
-        if (dead(b.stamp)) ds.spatial[s]->erase(b.box, b.stamp);
-      }
-    }
+  for (auto& buf : ds.buffers) {
     std::erase_if(buf, [&dead](const Buffered& b) { return dead(b.stamp); });
   }
 }
 
-EventInstance DetectionEngine::synthesize(DefState& ds,
-                                          const std::vector<const Entity*>& binding,
-                                          time_model::TimePoint now) {
+EventInstance DetectionEngine::synthesize(DefState& ds, const Entity* const* binding,
+                                          std::size_t n, time_model::TimePoint now) {
   const EventDefinition& def = ds.def;
-  const std::size_t n = binding.size();
+  const std::span<const Entity* const> bound(binding, n);
 
   EventInstance inst;
   inst.key = EventInstanceKey{id_, def.id, seq_counters_[ds.seq_idx]++};
@@ -647,7 +827,7 @@ EventInstance DetectionEngine::synthesize(DefState& ds,
   // t^eo: aggregate constituent occurrence times.
   std::vector<time_model::OccurrenceTime> times;
   times.reserve(n);
-  for (const Entity* e : binding) times.push_back(e->occurrence_time());
+  for (const Entity* e : bound) times.push_back(e->occurrence_time());
   inst.est_time = time_model::aggregate_times(def.synthesis.time, times.data(), times.size());
 
   // l^eo: aggregate constituent locations (identity for a single slot).
@@ -656,7 +836,7 @@ EventInstance DetectionEngine::synthesize(DefState& ds,
   } else {
     std::vector<geom::Location> locs;
     locs.reserve(n);
-    for (const Entity* e : binding) locs.push_back(e->location());
+    for (const Entity* e : bound) locs.push_back(e->location());
     inst.est_location =
         geom::aggregate_locations(def.synthesis.location, locs.data(), locs.size());
   }
@@ -685,16 +865,16 @@ EventInstance DetectionEngine::synthesize(DefState& ds,
   switch (def.synthesis.confidence) {
     case ConfidencePolicy::kMin: {
       rho = 1.0;
-      for (const Entity* e : binding) rho = std::min(rho, e->confidence());
+      for (const Entity* e : bound) rho = std::min(rho, e->confidence());
       break;
     }
     case ConfidencePolicy::kProduct: {
       rho = 1.0;
-      for (const Entity* e : binding) rho *= e->confidence();
+      for (const Entity* e : bound) rho *= e->confidence();
       break;
     }
     case ConfidencePolicy::kMean: {
-      for (const Entity* e : binding) rho += e->confidence();
+      for (const Entity* e : bound) rho += e->confidence();
       rho /= static_cast<double>(n);
       break;
     }
@@ -702,7 +882,7 @@ EventInstance DetectionEngine::synthesize(DefState& ds,
   inst.confidence = rho * def.synthesis.observer_confidence;
 
   inst.provenance.reserve(n);
-  for (const Entity* e : binding) inst.provenance.push_back(e->provenance_key());
+  for (const Entity* e : bound) inst.provenance.push_back(e->provenance_key());
   return inst;
 }
 

@@ -315,35 +315,80 @@ class DetectionEngine : public Observer {
     double radius = 0.0;
   };
 
+  /// One shared plan node: the buffered entity stream of one
+  /// (filter, window) key, fanned out to every subscribing
+  /// (definition, slot). Definitions with equal filters accept exactly the
+  /// same entities under the same expiry policy, so their slot buffers are
+  /// views of one deque — and one spatial index — instead of per-
+  /// definition copies (the multi-query sharing this engine's plans are
+  /// built on). Only retain-mode (kUnrestricted) definitions subscribe:
+  /// consume-mode retires matched entities mid-buffer, which would be
+  /// observable by co-subscribers.
+  struct StreamNode {
+    std::deque<Buffered> buf;  ///< ascending stamp
+    /// Shared spatial backing, created when any subscriber guards this
+    /// stream's slot; same activation hysteresis as before sharing.
+    std::unique_ptr<SlotSpatial> spatial;
+    bool spatial_active = false;
+    /// Registered in canonical_streams_ under `key`; new same-key
+    /// subscriptions join it (only while it is empty — a late subscriber
+    /// must not see entities buffered before it registered).
+    bool canonical = false;
+    /// Subscribing (definition, slot) count; evictions count once per
+    /// subscriber so EngineStats::evicted matches unshared buffers.
+    std::uint32_t subscribers = 0;
+    /// Stamp of the last arrival inserted; dedups insertion when several
+    /// subscribed routes of one arrival land on the same stream.
+    std::uint64_t last_stamp = 0;
+    time_model::Duration window{};
+    /// Earliest instant the front entity can expire; stale-low only costs
+    /// a spurious check, never stale-high.
+    time_model::TimePoint next_prune_at = time_model::TimePoint::max();
+    std::string key;  ///< canonical registry key; empty for private streams
+  };
+
   struct DefState {
     explicit DefState(EventDefinition d) : def(std::move(d)) {}
 
     EventDefinition def;
+    /// Consume-mode multi-slot definitions keep private per-slot buffers
+    /// (consumption mutates mid-buffer); retain-mode ones subscribe their
+    /// slots to shared streams instead.
     std::vector<std::deque<Buffered>> buffers;  // one per slot; ascending stamp
+    std::vector<std::uint32_t> streams;         // per slot: stream id (stream_backed)
+    std::vector<std::vector<Guard>> guards;     // per slot (multi-slot only)
     /// Single-slot definitions never read their buffer (bindings only ever
     /// contain the fresh arrival), so they skip buffering entirely.
     bool buffered = false;
+    /// True when the slot buffers live in shared StreamNodes (buffered
+    /// retain-mode definitions).
+    bool stream_backed = false;
     /// Index into seq_counters_, resolved at add_definition() time.
     /// Definitions sharing an event type share a counter, keeping
     /// EventInstanceKey unique without per-instance string hashing.
     std::uint32_t seq_idx = 0;
-    /// Earliest instant any buffered entity may fall out of the window;
-    /// may be stale-low (spurious check) but never stale-high.
+    /// Earliest instant any privately buffered entity may fall out of the
+    /// window (shared streams carry their own watermark); may be stale-low
+    /// (spurious check) but never stale-high.
     time_model::TimePoint next_prune_at = time_model::TimePoint::max();
 
-    std::vector<std::vector<Guard>> guards;             // per slot
-    /// Spatial index backing a guarded slot's buffer. Only retain-mode
-    /// (kUnrestricted) definitions get one: they enumerate every
-    /// candidate, so an index query pays off; consume-mode stops at the
-    /// first match and uses the inline guard precheck instead.
-    std::vector<std::unique_ptr<SlotSpatial>> spatial;  // per slot; null = none
-    /// Whether the slot's index is live. Maintenance activates (with a
-    /// rebuild) once the buffer outgrows kIndexActivate and deactivates
-    /// below kIndexDeactivate, so small buffers pay nothing.
-    std::vector<std::uint8_t> spatial_active;
+    /// Per-definition load attribution (DefinitionLoad counters; they
+    /// migrate with the definition).
+    std::uint64_t load_routed = 0;
+    std::uint64_t load_tried = 0;
+    /// False once the definition was extracted (migrated away); the slot
+    /// is a tombstone awaiting reuse by implant_definition_state, so that
+    /// live definitions keep stable indices.
+    bool active = true;
+  };
 
-    // Enumeration scratch, preallocated at add_definition() so the hot
-    // path performs no steady-state allocations.
+  /// Binding-enumeration scratch, engine-level and sized to the widest
+  /// registered definition: the enumerator never re-enters (cascades
+  /// re-feed after observe_impl returns), so one set serves every
+  /// definition — registration no longer allocates per-definition scratch,
+  /// which is what lets 10^6 near-duplicate definitions register in
+  /// seconds.
+  struct EnumScratch {
     std::vector<const Buffered*> chosen;
     std::vector<const Entity*> binding;
     std::vector<std::uint32_t> order;                // slots except the fixed one
@@ -358,18 +403,24 @@ class DetectionEngine : public Observer {
     /// when a slot's applicable guards are all constant-region (no bound
     /// partner), its prepared candidates are identical each time, so
     /// preparation is skipped while prep_epoch matches cur_epoch (bumped
-    /// per try_bindings call).
+    /// per try_bindings call — cross-definition reuse is impossible since
+    /// the epoch strictly increases).
     std::vector<std::uint64_t> prep_epoch;  // 64-bit: may never wrap
     std::uint64_t cur_epoch = 0;
 
-    /// Per-definition load attribution (DefinitionLoad counters; they
-    /// migrate with the definition).
-    std::uint64_t load_routed = 0;
-    std::uint64_t load_tried = 0;
-    /// False once the definition was extracted (migrated away); the slot
-    /// is a tombstone awaiting reuse by implant_definition_state, so that
-    /// live definitions keep stable indices.
-    bool active = true;
+    /// Grows every per-slot array to at least `n` slots. `binding` tracks
+    /// the high-water mark (it is never shrunk by the enumerator).
+    void fit(std::size_t n) {
+      if (n <= binding.size()) return;
+      chosen.resize(n);
+      binding.resize(n);
+      cursor.resize(n);
+      cand.resize(n);
+      source.resize(n, 0);
+      qbox.resize(n);
+      prep_epoch.resize(n, 0);
+      order.reserve(n);
+    }
   };
 
   /// Buffer occupancy at which a retain-mode guarded slot starts (stops)
@@ -378,19 +429,53 @@ class DetectionEngine : public Observer {
   static constexpr std::size_t kIndexDeactivate = 8;
 
   /// Shared add/implant validation + registration-time DefState setup
-  /// (guards, spatial backing, scratch, sequence-counter resolution).
+  /// (guards, buffering mode, sequence-counter resolution). Stream
+  /// subscription is the caller's step: add_definition subscribes every
+  /// slot fresh; implant_definition_state must place carried non-empty
+  /// buffers in private streams first.
   void validate_definition(const EventDefinition& def) const;
   void init_def_state(DefState& ds);
   /// Allocates a definition slot (reusing a tombstone when available) and
   /// move-constructs `def` into it; returns the slot index.
   std::uint32_t alloc_def_slot(EventDefinition def);
 
+  /// Canonical plan key of one slot subscription: full filter encoding
+  /// plus the definition window (both must match for two slots to share a
+  /// buffered stream).
+  [[nodiscard]] static std::string stream_key_for(const DefState& ds, std::size_t slot);
+  /// Subscribes one slot to the canonical stream of `key` — joining it
+  /// only while its buffer is empty, so the subscriber never sees entities
+  /// older than its registration — or to a fresh stream otherwise (which
+  /// becomes the canonical one when the key had none). Returns the stream
+  /// id; the subscriber count is already bumped.
+  std::uint32_t subscribe_stream(std::string key, time_model::Duration window);
+  /// Allocates a stream (reusing a free id); empty `key` = private.
+  std::uint32_t create_stream(std::string key, time_model::Duration window);
+  /// Drops one subscription; the stream is destroyed (and deregistered
+  /// from the canonical map) when the last subscriber leaves.
+  void unsubscribe_stream(std::uint32_t stream_id);
+  /// Attaches (or keeps) shared spatial backing on a guarded slot's
+  /// stream, rebuilding immediately when the buffer is already past the
+  /// activation threshold (implanted state).
+  void attach_stream_spatial(StreamNode& sn, const std::vector<Guard>& guards);
+
   void maybe_prune(time_model::TimePoint now);
   void prune_def(DefState& ds, time_model::TimePoint now);
+  void prune_stream(StreamNode& sn, time_model::TimePoint now);
   void evict_front(DefState& ds, std::size_t slot);
+  void evict_stream_front(StreamNode& sn);
   void insert_buffered(DefState& ds, std::size_t slot, const Buffered& fresh);
-  /// (Re)indexes every buffered entry of `slot` (index activation).
-  void rebuild_spatial(DefState& ds, std::size_t slot);
+  void insert_stream(StreamNode& sn, const Buffered& fresh);
+  /// (Re)indexes every buffered entry of the stream (index activation).
+  void rebuild_stream_spatial(StreamNode& sn);
+  /// The slot's buffer view: the shared stream's deque for stream-backed
+  /// definitions, the private one otherwise.
+  [[nodiscard]] std::deque<Buffered>& slot_buffer(DefState& ds, std::size_t slot) {
+    return ds.stream_backed ? streams_[ds.streams[slot]]->buf : ds.buffers[slot];
+  }
+  [[nodiscard]] StreamNode* slot_stream(DefState& ds, std::size_t slot) {
+    return ds.stream_backed ? streams_[ds.streams[slot]].get() : nullptr;
+  }
   /// Fills matched_routes_ with (def, slot) pairs whose filter accepts
   /// `entity`, ordered by (definition, slot) registration order.
   void route(const Entity& entity);
@@ -408,7 +493,9 @@ class DetectionEngine : public Observer {
   /// participants were consumed (enumeration must stop).
   bool emit_binding(DefState& ds, time_model::TimePoint now, EmitSink& sink);
   void consume_participants(DefState& ds);
-  EventInstance synthesize(DefState& ds, const std::vector<const Entity*>& binding,
+  /// `binding` points at `n` bound entities (a prefix of the shared
+  /// scratch, which is sized to the widest registered definition).
+  EventInstance synthesize(DefState& ds, const Entity* const* binding, std::size_t n,
                            time_model::TimePoint now);
 
   ObserverId id_;
@@ -419,14 +506,27 @@ class DetectionEngine : public Observer {
   std::vector<std::uint32_t> free_slots_;  ///< tombstoned indices, reused by implant
   std::size_t active_defs_ = 0;
 
+  /// Shared plan nodes (slot streams); null entries are retired ids on
+  /// free_streams_. canonical_streams_ maps a plan key to the stream new
+  /// same-key subscriptions try to join.
+  std::vector<std::unique_ptr<StreamNode>> streams_;
+  std::vector<std::uint32_t> free_streams_;
+  std::unordered_map<std::string, std::uint32_t> canonical_streams_;
+  /// Active definitions with *private* buffers (consume-mode multi-slot):
+  /// with streams pruned directly, the prune walks touch only structures
+  /// that actually buffer — never the full definition table.
+  std::vector<std::uint32_t> private_buffered_;
+
+  EnumScratch scratch_;
+
   /// Routing index over this engine's definitions (see core/routing.hpp;
   /// shared with the sharded runtime, which keys the same structure by
   /// shard index for placement).
   RoutingIndex routing_;
   std::vector<SlotRoute> matched_routes_;  // per-observe scratch
 
-  /// min over defs_ of next_prune_at; observe() skips pruning entirely
-  /// while `now` has not reached it.
+  /// min over streams/private buffers of next_prune_at; observe() skips
+  /// pruning entirely while `now` has not reached it.
   time_model::TimePoint global_prune_at_ = time_model::TimePoint::max();
 
   /// Instance sequence counters, one per distinct event type; definitions

@@ -33,6 +33,24 @@ FilterSignature SlotFilter::signature() const {
   return {FilterSignature::Kind::kAny, {}};
 }
 
+std::string SlotFilter::stream_key() const {
+  std::string key;
+  const auto put = [&key](char tag, const std::string& v) {
+    key += tag;
+    key += std::to_string(v.size());
+    key += ':';
+    key += v;
+  };
+  if (event_type.has_value()) put('t', event_type->value());
+  if (sensor.has_value()) put('s', sensor->value());
+  if (producer.has_value()) put('p', producer->value());
+  if (layer.has_value()) {
+    key += 'l';
+    key += std::to_string(static_cast<int>(*layer));
+  }
+  return key;
+}
+
 SlotFilter SlotFilter::observation(SensorId sensor_id) {
   SlotFilter f;
   f.sensor = std::move(sensor_id);

@@ -38,6 +38,14 @@ struct SlotFilter {
   /// fields (producer, layer).
   [[nodiscard]] FilterSignature signature() const;
 
+  /// Plan-sharing key: a stable, unambiguous string encoding of *every*
+  /// filter field (not just the routing discriminant). Two filters with
+  /// equal stream_key() accept exactly the same entities, so an engine can
+  /// back their slot buffers with one shared stream (see DetectionEngine's
+  /// shared evaluation plans). Field values are length-prefixed so distinct
+  /// filters can never collide.
+  [[nodiscard]] std::string stream_key() const;
+
   // -- Fluent factories --------------------------------------------------
   /// Matches observations from a specific sensor type.
   [[nodiscard]] static SlotFilter observation(SensorId sensor);

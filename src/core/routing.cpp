@@ -107,8 +107,155 @@ void RoutingIndex::remove_impl(const EventDefinition& def, std::uint32_t def_idx
   }
 }
 
+namespace {
+
+/// Node / pending ordering of one threshold side: ascending constants for
+/// the upper side, descending for the lower, inclusive boundary first at
+/// ties, then ascending (def, slot) so a node's route range stays sorted.
+bool entry_less(bool upper, double c1, std::uint8_t i1, SlotRoute r1, double c2, std::uint8_t i2,
+                SlotRoute r2) {
+  if (c1 != c2) return upper ? c1 < c2 : c1 > c2;
+  if (i1 != i2) return i1 > i2;
+  return r1.def_idx < r2.def_idx || (r1.def_idx == r2.def_idx && r1.slot_idx < r2.slot_idx);
+}
+
+/// Pending stays bounded by a constant plus a fraction of the compacted
+/// live size: bulk loads compact once (O(N log N) total), interleaved
+/// add/dispatch compacts geometrically (O(1) amortized per add), and the
+/// unsorted-scan work a dispatch can spend on pending stays proportional
+/// to the structure it will be merged into.
+constexpr std::size_t kPendingBase = 64;
+
+}  // namespace
+
+void RoutingIndex::ThresholdSide::add(bool upper, double c, bool inclusive_bound, SlotRoute r) {
+  const std::uint8_t want = inclusive_bound ? 1 : 0;
+  // Exact duplicate in the compacted nodes (same constant, inclusiveness,
+  // route — only collapsed shard-level registration produces them): bump
+  // the refcount, resurrecting a dead entry if need be.
+  const std::size_t nodes = constant.size();
+  std::size_t lo = 0;
+  std::size_t hi = nodes;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (entry_less(upper, constant[mid], inclusive[mid], SlotRoute{0, 0}, c, want,
+                   SlotRoute{0, 0})) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < nodes && constant[lo] == c && inclusive[lo] == want) {
+    const auto first = routes.begin() + node_begin[lo];
+    const auto last = routes.begin() + node_begin[lo + 1];
+    const auto pos = std::lower_bound(first, last, r, [](const SlotRoute& a, const SlotRoute& b) {
+      return a.def_idx < b.def_idx || (a.def_idx == b.def_idx && a.slot_idx < b.slot_idx);
+    });
+    if (pos != last && *pos == r) {
+      const auto at = static_cast<std::size_t>(pos - routes.begin());
+      if (refs[at] == 0) --dead;
+      ++refs[at];
+      return;
+    }
+  }
+  // No duplicate scan over pending: a repeated registration (collapsed
+  // shard-level routes) simply appends another entry — compact() sums the
+  // refs of equal entries, and collect()'s final sort+unique keeps
+  // dispatch exactly-once in the meantime. This is what makes add O(1)
+  // amortized instead of O(pending).
+  if (!pending.empty() &&
+      entry_less(upper, c, want, r, pending.back().constant, pending.back().inclusive,
+                 pending.back().route)) {
+    pending_dirty = true;
+  }
+  pending.push_back(Pending{c, want, r, 1});
+}
+
+bool RoutingIndex::ThresholdSide::remove(bool upper, double c, bool inclusive_bound, SlotRoute r) {
+  const std::uint8_t want = inclusive_bound ? 1 : 0;
+  const std::size_t nodes = constant.size();
+  for (std::size_t k = 0; k < nodes; ++k) {
+    if (constant[k] != c || inclusive[k] != want) continue;
+    for (std::uint32_t i = node_begin[k]; i < node_begin[k + 1]; ++i) {
+      if (!(routes[i] == r) || refs[i] == 0) continue;
+      if (--refs[i] == 0) ++dead;
+      if (dead * 2 > routes.size()) compact(upper);
+      return true;
+    }
+    break;
+  }
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    Pending& p = pending[k];
+    if (p.constant != c || p.inclusive != want || !(p.route == r)) continue;
+    if (--p.refs == 0) {
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(k));  // keeps sort order
+    }
+    return true;
+  }
+  return false;
+}
+
+void RoutingIndex::ThresholdSide::ensure_dispatchable(bool upper) {
+  if (pending.empty()) return;
+  if (pending_dirty) {
+    std::sort(pending.begin(), pending.end(), [upper](const Pending& a, const Pending& b) {
+      return entry_less(upper, a.constant, a.inclusive, a.route, b.constant, b.inclusive, b.route);
+    });
+    pending_dirty = false;
+  }
+  if (pending.size() > kPendingBase + live() / 8) compact(upper);
+}
+
+void RoutingIndex::ThresholdSide::compact(bool upper) {
+  if (pending_dirty) {
+    std::sort(pending.begin(), pending.end(), [upper](const Pending& a, const Pending& b) {
+      return entry_less(upper, a.constant, a.inclusive, a.route, b.constant, b.inclusive, b.route);
+    });
+    pending_dirty = false;
+  }
+  // Flatten the live compacted entries, merge the (sorted) pending run in,
+  // then rebuild the node/CSR arrays.
+  std::vector<Pending> all;
+  all.reserve(live() + pending.size());
+  const std::size_t nodes = constant.size();
+  for (std::size_t k = 0; k < nodes; ++k) {
+    for (std::uint32_t i = node_begin[k]; i < node_begin[k + 1]; ++i) {
+      if (refs[i] != 0) all.push_back(Pending{constant[k], inclusive[k], routes[i], refs[i]});
+    }
+  }
+  const auto mid = all.size();
+  all.insert(all.end(), pending.begin(), pending.end());
+  std::inplace_merge(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(mid), all.end(),
+                     [upper](const Pending& a, const Pending& b) {
+                       return entry_less(upper, a.constant, a.inclusive, a.route, b.constant,
+                                         b.inclusive, b.route);
+                     });
+  constant.clear();
+  inclusive.clear();
+  node_begin.clear();
+  routes.clear();
+  refs.clear();
+  dead = 0;
+  pending.clear();
+  for (const Pending& p : all) {
+    if (constant.empty() || constant.back() != p.constant || inclusive.back() != p.inclusive) {
+      constant.push_back(p.constant);
+      inclusive.push_back(p.inclusive);
+      node_begin.push_back(static_cast<std::uint32_t>(routes.size()));
+    } else if (node_begin.back() < routes.size() && routes.back() == p.route) {
+      // Equal entries of one node (duplicate pending appends of a
+      // collapsed route): fold into one refcounted entry.
+      refs.back() += p.refs;
+      continue;
+    }
+    routes.push_back(p.route);
+    refs.push_back(p.refs);
+  }
+  node_begin.push_back(static_cast<std::uint32_t>(routes.size()));
+}
+
 void RoutingIndex::register_keyed(Bucket& bucket, const EventDefinition& def, SlotRoute r) {
-  // Single-slot order thresholds go to the sorted per-attribute sub-index
+  // Single-slot order thresholds go to the per-attribute segment sub-index
   // so arrivals pay only for the rules their value satisfies; everything
   // else is probed generically.
   std::optional<ThresholdSignature> sig;
@@ -125,31 +272,13 @@ void RoutingIndex::register_keyed(Bucket& bucket, const EventDefinition& def, Sl
     }
   }
   if (group == nullptr) {
-    bucket.thresholds.push_back(ThresholdGroup{sig->attribute, {}, {}, {}, {}, {}, {}});
+    bucket.thresholds.push_back(ThresholdGroup{sig->attribute, {}, {}});
     group = &bucket.thresholds.back();
   }
   const bool upper = sig->op == RelationalOp::kGt || sig->op == RelationalOp::kGe;
-  auto& entries = upper ? group->above : group->below;
-  auto& inclusive = upper ? group->above_ge : group->below_le;
-  auto& refs = upper ? group->above_refs : group->below_refs;
-  const auto cmp = [upper](const std::pair<double, SlotRoute>& a, double c) {
-    return upper ? a.first < c : a.first > c;  // above ascending, below descending
-  };
-  const auto pos = std::lower_bound(entries.begin(), entries.end(), sig->constant, cmp);
-  const auto at = static_cast<std::size_t>(pos - entries.begin());
-  const std::uint8_t want =
-      sig->op == RelationalOp::kGe || sig->op == RelationalOp::kLe ? 1 : 0;
-  // Refcount exact duplicates (same constant, route, inclusiveness) — only
-  // collapsed (shard-level) registration can produce them.
-  for (std::size_t k = at; k < entries.size() && entries[k].first == sig->constant; ++k) {
-    if (entries[k].second == r && inclusive[k] == want) {
-      ++refs[k];
-      return;
-    }
-  }
-  entries.insert(pos, {sig->constant, r});
-  inclusive.insert(inclusive.begin() + static_cast<std::ptrdiff_t>(at), want);
-  refs.insert(refs.begin() + static_cast<std::ptrdiff_t>(at), 1);
+  const bool inclusive = sig->op == RelationalOp::kGe || sig->op == RelationalOp::kLe;
+  ThresholdSide& side = upper ? group->above : group->below;
+  side.add(upper, sig->constant, inclusive, r);
 }
 
 void RoutingIndex::unregister_keyed(Bucket& bucket, const EventDefinition& def, SlotRoute r) {
@@ -163,22 +292,11 @@ void RoutingIndex::unregister_keyed(Bucket& bucket, const EventDefinition& def, 
     ThresholdGroup& g = bucket.thresholds[gi];
     if (g.attribute != sig->attribute) continue;
     const bool upper = sig->op == RelationalOp::kGt || sig->op == RelationalOp::kGe;
-    auto& entries = upper ? g.above : g.below;
-    auto& inclusive = upper ? g.above_ge : g.below_le;
-    auto& refs = upper ? g.above_refs : g.below_refs;
-    const std::uint8_t want =
-        sig->op == RelationalOp::kGe || sig->op == RelationalOp::kLe ? 1 : 0;
-    for (std::size_t k = 0; k < entries.size(); ++k) {
-      if (entries[k].first != sig->constant || !(entries[k].second == r) ||
-          inclusive[k] != want) {
-        continue;
-      }
-      if (--refs[k] == 0) {
-        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(k));
-        inclusive.erase(inclusive.begin() + static_cast<std::ptrdiff_t>(k));
-        refs.erase(refs.begin() + static_cast<std::ptrdiff_t>(k));
-        if (g.empty()) bucket.thresholds.erase(bucket.thresholds.begin() +
-                                               static_cast<std::ptrdiff_t>(gi));
+    const bool inclusive = sig->op == RelationalOp::kGe || sig->op == RelationalOp::kLe;
+    ThresholdSide& side = upper ? g.above : g.below;
+    if (side.remove(upper, sig->constant, inclusive, r)) {
+      if (g.empty()) {
+        bucket.thresholds.erase(bucket.thresholds.begin() + static_cast<std::ptrdiff_t>(gi));
       }
       return;
     }

@@ -64,12 +64,21 @@ class RoutingIndex {
 
   /// Collects the routes that can possibly match `entity` into `out` (not
   /// cleared), in ascending (def_idx, slot_idx) order, keeping a route
-  /// only when `accept(route)` returns true. `accept` must verify the
-  /// residual filter fields (producer, layer) — the index only dispatches
-  /// on the discriminant key and, for threshold rules, the constant.
+  /// only when `accept(route)` returns true, with every surviving route
+  /// appearing exactly once per call even when several index structures
+  /// (keyed bucket, wildcard list, duplicate threshold constants under
+  /// collapsed registration) claim it. `accept` must verify the residual
+  /// filter fields (producer, layer) — the index only dispatches on the
+  /// discriminant key and, for threshold rules, the constant.
+  ///
+  /// Non-const: threshold registrations land in small per-side pending
+  /// lists (keeping add O(1) amortized) and are folded into the segment
+  /// nodes lazily on dispatch. Callers already serialize collect() with
+  /// add()/remove() (the engine is single-threaded; the runtime guards its
+  /// shard/cascade indexes with the registration locks).
   template <typename Accept>
-  void collect(const Entity& entity, std::vector<SlotRoute>& out, Accept&& accept) const {
-    const Bucket* bucket = nullptr;
+  void collect(const Entity& entity, std::vector<SlotRoute>& out, Accept&& accept) {
+    Bucket* bucket = nullptr;
     if (entity.is_observation()) {
       if (const auto it = by_sensor_.find(entity.observation().sensor.value());
           it != by_sensor_.end()) {
@@ -84,8 +93,10 @@ class RoutingIndex {
     const auto push = [&](const SlotRoute r) {
       if (accept(r)) out.push_back(r);
     };
-    // Merge the keyed bucket's generic routes with the wildcard list
-    // (both sorted by construction).
+    const std::size_t entry_size = out.size();
+    // Merge the keyed bucket's generic routes with the wildcard list (both
+    // sorted by construction). An equal pair — one registration reached
+    // through both structures — is pushed once.
     std::size_t a = 0;
     std::size_t b = 0;
     const std::size_t an = bucket != nullptr ? bucket->generic.size() : 0;
@@ -93,7 +104,12 @@ class RoutingIndex {
     while (a < an && b < bn) {
       const SlotRoute ra = bucket->generic[a];
       const SlotRoute rb = any_[b];
-      if (ra.def_idx < rb.def_idx || (ra.def_idx == rb.def_idx && ra.slot_idx < rb.slot_idx)) {
+      if (ra == rb) {
+        push(ra);
+        ++a;
+        ++b;
+      } else if (ra.def_idx < rb.def_idx ||
+                 (ra.def_idx == rb.def_idx && ra.slot_idx < rb.slot_idx)) {
         push(ra);
         ++a;
       } else {
@@ -104,61 +120,115 @@ class RoutingIndex {
     for (; a < an; ++a) push(bucket->generic[a]);
     for (; b < bn; ++b) push(any_[b]);
 
-    // Threshold sub-index: walk only the rules the arriving value
-    // satisfies. Entries are sorted by constant, so the walk stops at the
-    // first rule the value cannot fire (output-sensitive selection). The
-    // selected definitions still evaluate their full condition downstream;
-    // this is purely a routing pre-filter.
+    // Threshold sub-index: dispatch whole segment nodes. Nodes are sorted
+    // by constant, so the walk covers exactly the prefix of nodes the
+    // arriving value fires and stops at the first it cannot (output-
+    // sensitive selection); each fired node contributes its full route
+    // range. The selected definitions still evaluate their full condition
+    // downstream; this is purely a routing pre-filter.
     if (bucket == nullptr || bucket->thresholds.empty()) return;
     const std::size_t generic_end = out.size();
-    for (const ThresholdGroup& g : bucket->thresholds) {
+    for (ThresholdGroup& g : bucket->thresholds) {
       const std::optional<double> value = entity.attributes().number(g.attribute);
       // A missing (or non-numeric) attribute fails every threshold; NaN
       // fails every order comparison.
       if (!value.has_value() || std::isnan(*value)) continue;
       const double v = *value;
-      for (std::size_t k = 0; k < g.above.size(); ++k) {
-        if (g.above[k].first < v || (g.above[k].first == v && g.above_ge[k] != 0)) {
-          push(g.above[k].second);
-        } else if (g.above[k].first > v) {
-          break;
-        }
-      }
-      for (std::size_t k = 0; k < g.below.size(); ++k) {
-        if (g.below[k].first > v || (g.below[k].first == v && g.below_le[k] != 0)) {
-          push(g.below[k].second);
-        } else if (g.below[k].first < v) {
-          break;
-        }
-      }
+      dispatch_side(g.above, /*upper=*/true, v, push);
+      dispatch_side(g.below, /*upper=*/false, v, push);
     }
     if (out.size() > generic_end) {
       // Restore global (def_idx, slot_idx) order across the generic and
-      // threshold-selected routes.
-      std::sort(out.begin(), out.end(), [](const SlotRoute& x, const SlotRoute& y) {
+      // threshold-selected routes, and drop duplicates a route collapsed
+      // onto several threshold constants could produce.
+      const auto begin = out.begin() + static_cast<std::ptrdiff_t>(entry_size);
+      std::sort(begin, out.end(), [](const SlotRoute& x, const SlotRoute& y) {
         return x.def_idx < y.def_idx || (x.def_idx == y.def_idx && x.slot_idx < y.slot_idx);
       });
+      out.erase(std::unique(begin, out.end()), out.end());
     }
   }
 
  private:
-  /// Single-slot `attr OP C` definitions, grouped per attribute with the
-  /// entries sorted by constant, so selection walks only the rules the
-  /// arriving value actually satisfies (output-sensitive in rule count).
+  /// One direction of a per-attribute threshold sub-index: the single-slot
+  /// `attr > C` / `attr >= C` rules (`upper` = true) or their `<` / `<=`
+  /// mirrors, merged into *segment nodes*. A node is one distinct
+  /// (constant, inclusiveness) boundary carrying the contiguous range of
+  /// routes registered at it (CSR layout), so an arriving value dispatches
+  /// ranges of rules — the node walk is output-sensitive in fired nodes,
+  /// not registered rules.
+  ///
+  /// Registration appends to `pending` in O(1) amortized (the fix for the
+  /// superlinear add_definition cost the sorted-insert scheme had) and is
+  /// folded into the node arrays lazily: dispatch compacts once pending
+  /// outgrows a constant-plus-fraction-of-live bound, so a bulk load of N
+  /// rules costs one O(N log N) compaction on the first dispatch instead
+  /// of O(N^2) sorted inserts.
+  struct ThresholdSide {
+    // Compacted segment nodes, ordered ascending by constant for the upper
+    // side / descending for the lower, inclusive boundary first at ties.
+    std::vector<double> constant;
+    std::vector<std::uint8_t> inclusive;     // parallel to nodes; 1 = fires at equality
+    std::vector<std::uint32_t> node_begin;   // CSR into routes/refs; size = nodes + 1
+    std::vector<SlotRoute> routes;           // per node, ascending (def, slot)
+    std::vector<std::uint32_t> refs;         // parallel to routes; 0 = dead (lazily purged)
+    std::uint32_t dead = 0;                  // zero-ref route entries awaiting compaction
+
+    /// Not-yet-compacted registrations. Kept sorted in the node order
+    /// above whenever that is free (monotone registration patterns);
+    /// otherwise re-sorted on the next dispatch.
+    struct Pending {
+      double constant;
+      std::uint8_t inclusive;
+      SlotRoute route;
+      std::uint32_t refs;
+    };
+    std::vector<Pending> pending;
+    bool pending_dirty = false;
+
+    [[nodiscard]] bool empty() const { return live() == 0 && pending.empty(); }
+    [[nodiscard]] std::size_t live() const { return routes.size() - dead; }
+
+    void add(bool upper, double c, bool inclusive_bound, SlotRoute r);
+    [[nodiscard]] bool remove(bool upper, double c, bool inclusive_bound, SlotRoute r);
+    /// Sorts pending if dirty and compacts it into the node arrays once it
+    /// outgrows its bound; called by dispatch before walking.
+    void ensure_dispatchable(bool upper);
+    /// Rebuilds the node arrays from live compacted entries + pending.
+    void compact(bool upper);
+  };
+
+  /// Single-slot `attr OP C` definitions of one bucket, grouped per
+  /// attribute (see ThresholdSide for the segment-node layout).
   struct ThresholdGroup {
     std::string attribute;
-    /// kGt/kGe entries, ascending by constant: every entry with
-    /// constant < value fires; at equality only kGe does.
-    std::vector<std::pair<double, SlotRoute>> above;
-    std::vector<std::uint8_t> above_ge;   // parallel: 1 = kGe
-    std::vector<std::uint32_t> above_refs;  // parallel: registrations
-    /// kLt/kLe entries, descending by constant (mirror logic).
-    std::vector<std::pair<double, SlotRoute>> below;
-    std::vector<std::uint8_t> below_le;   // parallel: 1 = kLe
-    std::vector<std::uint32_t> below_refs;  // parallel: registrations
+    ThresholdSide above;  ///< kGt/kGe: every node with constant < value fires
+    ThresholdSide below;  ///< kLt/kLe mirror (descending constants)
 
     [[nodiscard]] bool empty() const { return above.empty() && below.empty(); }
   };
+
+  /// Walks one threshold side: compacts pending if due, then pushes the
+  /// route ranges of every node the value fires, stopping at the first
+  /// non-firing constant (plus the ≤ bounded pending tail, same order).
+  template <typename Push>
+  static void dispatch_side(ThresholdSide& side, bool upper, double v, Push&& push) {
+    side.ensure_dispatchable(upper);
+    const std::size_t nodes = side.constant.size();
+    for (std::size_t k = 0; k < nodes; ++k) {
+      const double c = side.constant[k];
+      if (upper ? c > v : c < v) break;
+      if (c == v && side.inclusive[k] == 0) continue;
+      for (std::uint32_t i = side.node_begin[k]; i < side.node_begin[k + 1]; ++i) {
+        if (side.refs[i] != 0) push(side.routes[i]);
+      }
+    }
+    for (const ThresholdSide::Pending& p : side.pending) {
+      if (upper ? p.constant > v : p.constant < v) break;
+      if (p.constant == v && p.inclusive == 0) continue;
+      push(p.route);
+    }
+  }
 
   /// One routing bucket (per sensor / event type): generic (def, slot)
   /// routes plus the threshold sub-index. The parallel refcount vector

@@ -367,5 +367,60 @@ TEST_P(IndexedVsNaiveTest, ActiveSpatialIndexStreamsMatch) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IndexedVsNaiveTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 42u));
 
+/// Shared-plan differential at scale: 4100 near-duplicate definitions —
+/// a 3500-strong single-slot threshold family full of duplicate
+/// constants (the routing index collapses them into segment nodes) and a
+/// 600-strong two-slot join family with identical filters and windows
+/// (the engine collapses their buffers into shared stream nodes, long
+/// windows pushing the shared buffers past the spatial-index activation
+/// threshold). The emission stream must stay byte-identical to the naive
+/// per-definition reference.
+TEST(NearDuplicateFamilyTest, FourThousandNearDuplicatesMatchNaive) {
+  DetectionEngine indexed(ObserverId("OB"), Layer::kCyberPhysical, {0, 0});
+  NaiveEngine naive(ObserverId("OB"), Layer::kCyberPhysical, {0, 0});
+
+  for (int i = 0; i < 3500; ++i) {
+    EventDefinition def{EventTypeId("NT" + std::to_string(i)),
+                        {{"x", SlotFilter::observation(SensorId("SRa"))}},
+                        c_attr(ValueAggregate::kAverage, "value", {0}, RelationalOp::kGt,
+                               50.0 + 5.0 * static_cast<double>(i % 10)),
+                        seconds(60),
+                        {},
+                        ConsumptionMode::kUnrestricted};
+    indexed.add_definition(def);
+    naive.add_definition(def);
+  }
+  for (int i = 0; i < 600; ++i) {
+    EventDefinition def{EventTypeId("NJ" + std::to_string(i)),
+                        {{"a", SlotFilter::observation(SensorId("SRa"))},
+                         {"b", SlotFilter::observation(SensorId("SRb"))}},
+                        c_distance(0, 1, RelationalOp::kLt,
+                                   0.5 + 0.5 * static_cast<double>(i % 4)),
+                        seconds(120),
+                        {},
+                        ConsumptionMode::kUnrestricted};
+    indexed.add_definition(def);
+    naive.add_definition(def);
+  }
+
+  sim::Rng rng(7);
+  TimePoint now = TimePoint::epoch();
+  const char* sensors[] = {"SRa", "SRb", "SRc"};  // SRc matches nothing
+  for (int i = 0; i < 96; ++i) {
+    now += time_model::milliseconds(100 + rng.uniform_int(0, 900));
+    const auto* sensor = sensors[rng.uniform_int(0, 2)];
+    const TimePoint t = now - time_model::milliseconds(rng.uniform_int(0, 1500));
+    const Entity e(obs(static_cast<int>(rng.uniform_int(1, 4)), sensor,
+                       static_cast<std::uint64_t>(i), t,
+                       {rng.uniform(0, 24), rng.uniform(0, 24)}, rng.uniform(0, 100)));
+    const auto got = indexed.observe(e, now);
+    const auto want = naive.observe(e, now);
+    ASSERT_EQ(got.size(), want.size()) << "arrival " << i;
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      ASSERT_EQ(describe(got[k]), describe(want[k])) << "arrival " << i << " instance " << k;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace stem::core

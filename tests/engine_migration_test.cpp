@@ -285,7 +285,7 @@ TEST(EngineMigrationTest, ImplantEnforcesDestinationBufferCap) {
 // RoutingIndex incremental removal.
 // ---------------------------------------------------------------------------
 
-std::vector<SlotRoute> collect_all(const RoutingIndex& idx, const Entity& e) {
+std::vector<SlotRoute> collect_all(RoutingIndex& idx, const Entity& e) {
   std::vector<SlotRoute> out;
   idx.collect(e, out, [](const SlotRoute&) { return true; });
   return out;

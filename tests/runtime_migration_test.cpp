@@ -183,13 +183,30 @@ Stream make_stream(std::uint64_t seed, int n, double skew_hot) {
 /// counter conservation. Every migration must actually be issued.
 void run_migration_differential(std::uint64_t seed, std::size_t shards, std::size_t batch_size,
                                 ConsumptionMode mode, double skew_hot, const std::string& tag,
-                                std::size_t migrations = 4, std::size_t queue_capacity = 4096) {
+                                std::size_t migrations = 4, std::size_t queue_capacity = 4096,
+                                std::size_t near_dups = 0) {
   RuntimeOptions options;
   options.shards = shards;
   options.queue_capacity = queue_capacity;
   ShardedEngineRuntime sharded(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0}, options);
   DetectionEngine sequential(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0});
-  const auto defs = migration_definitions(mode, tag);
+  auto defs = migration_definitions(mode, tag);
+  const std::size_t base_defs = defs.size();
+  // Near-duplicate family: identical filters and windows (each shard
+  // engine collapses co-located members into shared plan nodes), varying
+  // only the radius and output type. Forced migrations below target this
+  // range, so a subscription regularly moves out of a shared stream while
+  // co-subscribers keep theirs.
+  for (std::size_t i = 0; i < near_dups; ++i) {
+    defs.push_back(EventDefinition{
+        EventTypeId("DUP" + std::to_string(i) + "_" + tag),
+        {{"a", SlotFilter::observation(SensorId("SRa"))},
+         {"b", SlotFilter::observation(SensorId("SRb"))}},
+        core::c_distance(0, 1, core::RelationalOp::kLt, 3.0 + static_cast<double>(i % 5)),
+        seconds(30),
+        {},
+        mode});
+  }
   for (const EventDefinition& def : defs) {
     sharded.add_definition(def);
     sequential.add_definition(def);
@@ -227,8 +244,14 @@ void run_migration_differential(std::uint64_t seed, std::size_t shards, std::siz
   };
   for (std::size_t i = 0; i < stream.entities.size(); i += batch_size) {
     while (next_mig < at.size() && at[next_mig] <= i) {
-      const auto def = static_cast<std::size_t>(plan.uniform_int(
-          0, static_cast<std::int64_t>(sharded.definition_count()) - 1));
+      // With a near-duplicate family present, move its members: the point
+      // is migrating subscriptions out of shared plan nodes mid-stream.
+      const auto def =
+          near_dups > 0
+              ? base_defs + static_cast<std::size_t>(plan.uniform_int(
+                                0, static_cast<std::int64_t>(near_dups) - 1))
+              : static_cast<std::size_t>(plan.uniform_int(
+                    0, static_cast<std::int64_t>(sharded.definition_count()) - 1));
       const auto to = static_cast<std::size_t>(
           plan.uniform_int(0, static_cast<std::int64_t>(shards) - 1));
       // Force a real move: if the group already lives on `to`, push it to
@@ -273,6 +296,20 @@ TEST_P(MigrationDifferentialTest, UniformStreamsMatchUnderForcedMigrations) {
     for (const std::size_t batch : {1u, 64u}) {
       run_migration_differential(GetParam(), shards, batch, ConsumptionMode::kUnrestricted,
                                  0.0, "MU");
+    }
+  }
+}
+
+TEST_P(MigrationDifferentialTest, SharedPlanMembersMigrateWithoutDisturbingCoSubscribers) {
+  // A 12-strong near-duplicate family shares slot streams inside each
+  // shard engine; every forced migration extracts one member (private
+  // carried buffers, co-subscribers untouched) and implants it elsewhere
+  // (possibly joining another shard's family). The merged stream must
+  // stay byte-identical throughout.
+  for (const std::size_t shards : {2u, 4u}) {
+    for (const std::size_t batch : {1u, 64u}) {
+      run_migration_differential(GetParam() ^ 0xd0bULL, shards, batch,
+                                 ConsumptionMode::kUnrestricted, 0.0, "NP", 6, 4096, 12);
     }
   }
 }

@@ -60,6 +60,9 @@ DEFAULT_FAMILY_TOLERANCES = [
     ("BM_Rebalance", 25.0),
     ("BM_CascadeDepth", 25.0),
     ("BM_ReliableLink", 25.0),
+    # Single timed iteration per leg (registration + RSS accounting), so
+    # run-to-run variance is higher than the steady-state loops.
+    ("BM_RegistrationScale", 30.0),
 ]
 
 

@@ -84,6 +84,24 @@ for target in "${GBENCH_TARGETS[@]}"; do
   fi
 done
 
+# e12 is a self-driving study (plain-text table, no --benchmark_format):
+# record its output verbatim so the aggregation trade-off numbers have a
+# baseline file too. Its internal monotonicity checks make it exit nonzero
+# on nonsense results, which aborts the baseline run like the JSON ones.
+e12="$BUILD_DIR/bench/e12_aggregation"
+if [[ ! -x "$e12" ]]; then
+  echo "error: benchmark executable not built: e12_aggregation" >&2
+  exit 1
+fi
+echo "bench: e12_aggregation -> $OUT_DIR/BENCH_e12_aggregation.txt" >&2
+status=0
+"$e12" >"$OUT_DIR/BENCH_e12_aggregation.txt" || status=$?
+if [[ "$status" -ne 0 ]]; then
+  rm -f "$OUT_DIR/BENCH_e12_aggregation.txt"
+  echo "error: e12_aggregation exited with status $status; baseline run aborted" >&2
+  exit 1
+fi
+
 # Headline figures for CHANGES.md / PR summaries.
 python3 - "$OUT_DIR" <<'EOF'
 import json, os, sys
@@ -122,6 +140,15 @@ spatial = None if spatial_ns is None else 1e9 / spatial_ns
 print("-- baseline headline figures --")
 print(f"engine throughput (1 def):   {fmt(rate('BENCH_e11_engine_throughput.json', 'BM_DefinitionCount/1'))} entities/s")
 print(f"engine throughput (64 defs): {fmt(rate('BENCH_e11_engine_throughput.json', 'BM_DefinitionCount/64'))} entities/s")
+
+# Definition-count scaling: with the segment-node threshold index an
+# arrival's dispatch cost is output-sensitive, so the 4096- and 16384-
+# definition legs should hold within ~2x of the 64-definition one.
+d64 = rate("BENCH_e11_engine_throughput.json", "BM_DefinitionCount/64")
+for n in (4096, 16384):
+    r = rate("BENCH_e11_engine_throughput.json", f"BM_DefinitionCount/{n}")
+    ratio = "n/a" if not (r and d64) else f"{d64 / r:.2f}x the 64-def cost"
+    print(f"engine throughput ({n} defs): {fmt(r)} entities/s ({ratio})")
 print(f"temporal op (before, i-i):   {fmt(rate('BENCH_e1_temporal_ops.json', 'BM_TemporalOp/before_ii'))} ops/s")
 print(f"allen classify:              {fmt(rate('BENCH_e1_temporal_ops.json', 'BM_AllenClassify'))} ops/s")
 print(f"spatial point-in-field (64): {fmt(spatial)} ops/s")
@@ -150,6 +177,17 @@ def counter(path, name, key):
         if b["name"] == name:
             return b.get(key)
     return None
+
+# Registration-path scaling (one timed iteration per leg; the name
+# carries the /iterations:1 suffix): a million near-duplicate threshold
+# definitions must register in seconds, with resident memory beside it.
+for n in (16384, 131072, 1048576):
+    name = f"BM_RegistrationScale/{n}/iterations:1"
+    r = rate("BENCH_e11_engine_throughput.json", name)
+    rss = counter("BENCH_e11_engine_throughput.json", name, "rss_mb")
+    secs = "n/a" if not r else f"{n / r:.2f}s"
+    rss_s = "n/a" if rss is None else f"{rss:.0f} MB"
+    print(f"registration ({n:>7} defs): {fmt(r)} defs/s ({secs}, {rss_s} resident)")
 
 for leg in ("Off", "On"):
     name = f"BM_Rebalance/{leg}/real_time"
