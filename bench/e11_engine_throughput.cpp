@@ -368,7 +368,8 @@ std::vector<core::Entity> make_dist_entities(std::size_t n, bool zipf) {
 /// Drives the 64-definition workload through a 4-shard runtime in 256-
 /// arrival batches. `epoch` > 0 turns on automatic rebalancing.
 void run_runtime_workload(benchmark::State& state, const std::vector<core::Entity>& entities,
-                          std::size_t epoch) {
+                          std::size_t epoch,
+                          runtime::OrderingTier tier = runtime::OrderingTier::kGlobalTotalOrder) {
   constexpr std::size_t kBatch = 256;
   std::vector<time_model::TimePoint> nows;
   nows.reserve(entities.size());
@@ -377,6 +378,7 @@ void run_runtime_workload(benchmark::State& state, const std::vector<core::Entit
   options.shards = 4;
   options.pin_shards = bench_pin_shards();
   options.rebalance_epoch = epoch;
+  options.ordering = tier;
   runtime::ShardedEngineRuntime rt(ObserverId("X"), core::Layer::kSensor, {0, 0}, options);
   for (EventDefinition& def : scaling_defs()) rt.add_definition(std::move(def));
   std::size_t i = 0;
@@ -417,6 +419,15 @@ void BM_SkewedLoad(benchmark::State& state, bool zipf) {
 void BM_Rebalance(benchmark::State& state, bool enabled) {
   run_runtime_workload(state, make_dist_entities(4096, /*zipf=*/true),
                        enabled ? 1024 : 0);
+}
+
+/// What each delivery-ordering tier costs on the Zipf-skewed mix: the
+/// byte-exact global merge serializes release behind the slowest shard;
+/// per-definition order frees cross-definition interleaving but pays for
+/// release-hold bookkeeping; unordered releases chunks as produced and
+/// only maintains the low watermark.
+void BM_OrderingTier(benchmark::State& state, runtime::OrderingTier tier) {
+  run_runtime_workload(state, make_dist_entities(4096, /*zipf=*/true), /*epoch=*/0, tier);
 }
 
 /// Per-arrival entity-copy elision (the ROADMAP lever): the same buffered
@@ -578,5 +589,11 @@ BENCHMARK_CAPTURE(BM_SkewedLoad, uniform, false)->UseRealTime();
 BENCHMARK_CAPTURE(BM_SkewedLoad, zipf, true)->UseRealTime();
 BENCHMARK_CAPTURE(BM_Rebalance, Off, false)->UseRealTime();
 BENCHMARK_CAPTURE(BM_Rebalance, On, true)->UseRealTime();
+BENCHMARK_CAPTURE(BM_OrderingTier, global, runtime::OrderingTier::kGlobalTotalOrder)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_OrderingTier, perdef, runtime::OrderingTier::kPerDefinitionOrder)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_OrderingTier, unordered, runtime::OrderingTier::kUnorderedWatermarked)
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

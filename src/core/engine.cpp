@@ -254,10 +254,12 @@ std::size_t DetectionEngine::implant_definition_state(DefinitionState state) {
   const std::uint32_t d = alloc_def_slot(std::move(state.def));
   DefState& ds = defs_[d];
   init_def_state(ds);
-  // The source engine held the event type's only live counter (co-located
-  // definitions migrate as a group), so the carried value supersedes any
-  // dormant local one.
-  seq_counters_[ds.seq_idx] = state.seq;
+  // Sequence counters only move forward: when a whole group migrates the
+  // carried value supersedes the dormant local one (the source engine held
+  // the type's only live counter), but when a *split* group's partitions
+  // reunite on one engine, numbering must continue past both partitions'
+  // high-water marks — never rewind a live counter.
+  seq_counters_[ds.seq_idx] = std::max(seq_counters_[ds.seq_idx], state.seq);
   ds.load_routed = state.load_routed;
   ds.load_tried = state.load_tried;
 

@@ -2,6 +2,21 @@
 
 #include <stdexcept>
 
+namespace stem::core {
+
+std::uint64_t routing_key_hash(std::string_view key) noexcept {
+  // FNV-1a, 64-bit: stable across platforms and process restarts, which a
+  // split/merge protocol replayed from a checkpoint log depends on.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace stem::core
+
 #include "core/condition.hpp"
 
 namespace stem::core {

@@ -43,11 +43,35 @@ void SpilloverPolicy::decide(const RebalanceView& view, std::vector<MigrationOrd
       if (load[dst] + g.cost >= load[src]) continue;
       if (pick == nullptr || g.cost > pick->cost) pick = &g;
     }
-    if (pick == nullptr) continue;
+    if (pick != nullptr) {
+      out.push_back(MigrationOrder{pick->group, dst});
+      load[src] -= pick->cost;
+      load[dst] += pick->cost;
+      ++issued;
+      continue;
+    }
 
-    out.push_back(MigrationOrder{pick->group, dst});
-    load[src] -= pick->cost;
-    load[dst] += pick->cost;
+    // No whole-group move strictly improves — the shard is hot because of
+    // an indivisible group. Split the highest-cost splittable one by
+    // sensor-key range instead, planning on roughly half its cost moving
+    // (the runtime partitions by key hash, so the exact share depends on
+    // the key skew). Acceptance mirrors the whole-move rule: the
+    // destination must stay below the source's pre-split load, so the
+    // cluster's peak strictly drops even when the group *is* the whole
+    // hot load. Otherwise record the skip.
+    const GroupLoad* cut = nullptr;
+    for (const GroupLoad& g : view.groups) {
+      if (g.shard != src || !g.movable || !g.splittable || g.cost == 0) continue;
+      if (load[dst] + g.cost / 2 >= load[src]) continue;
+      if (cut == nullptr || g.cost > cut->cost) cut = &g;
+    }
+    if (cut == nullptr) {
+      if (view.skipped_indivisible != nullptr) ++*view.skipped_indivisible;
+      continue;
+    }
+    out.push_back(MigrationOrder{cut->group, dst, true});
+    load[src] -= cut->cost / 2;
+    load[dst] += cut->cost / 2;
     ++issued;
   }
 }

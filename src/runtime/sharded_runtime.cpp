@@ -25,6 +25,26 @@ constexpr std::uint64_t kPublishBatch = 256;
 /// capacity-exempt migration control items from contending for slots.
 constexpr std::size_t kControlSlotHeadroom = 64;
 
+/// Cascade mode: how far past the closure frontier a feedback-unreachable
+/// shard may run ahead. Such a shard never receives feedback, so it need
+/// not wait for earlier stamps' closures at all — but an unbounded lead
+/// would grow its outbox without limit while the coordinator trails.
+constexpr std::uint64_t kCascadeRunahead = 256;
+
+/// Hash of the definition's first sensor routing key, or nullopt when it
+/// has none (wildcard / event-type slots only). This is the basis of
+/// key-range group splitting: a definition belongs to the high sub-group
+/// iff this hash lands at or above the group's split point.
+std::optional<std::uint64_t> def_sensor_hash(const core::EventDefinition& def) {
+  for (const core::SlotSpec& slot : def.slots) {
+    const core::FilterSignature sig = slot.filter.signature();
+    if (sig.kind == core::FilterSignature::Kind::kSensor) {
+      return core::routing_key_hash(sig.key);
+    }
+  }
+  return std::nullopt;
+}
+
 /// Kind-prefixed routing key of a keyed slot signature, or empty.
 std::string routing_key(const core::FilterSignature& sig) {
   switch (sig.kind) {
@@ -70,6 +90,7 @@ ShardedEngineRuntime::ShardedEngineRuntime(core::ObserverId id, core::Layer laye
   shard_def_count_.assign(options_.shards, 0);
   shard_routed_.assign(options_.shards, 0);
   dispatch_scratch_.resize(options_.shards);
+  shard_holds_.resize(options_.shards);
   for (auto& shard : shards_) {
     Shard* s = shard.get();
     shard->worker = std::thread([this, s] {
@@ -213,11 +234,25 @@ void ShardedEngineRuntime::add_definition(core::EventDefinition def) {
     group = git->second;
   } else {
     group = static_cast<std::uint32_t>(groups_.size());
-    groups_.push_back(Group{{}, shard, nullptr});
+    Group fresh;
+    fresh.shard = shard;
+    groups_.push_back(std::move(fresh));
     type_group_.emplace(def.id.value(), group);
   }
   groups_[group].defs.push_back(global);
   def_group_.push_back(group);
+  def_high_.push_back(0);
+  // Splittability bookkeeping: the group becomes key-range splittable the
+  // moment its definitions span two distinct sensor-key hashes.
+  if (const std::optional<std::uint64_t> h = def_sensor_hash(def)) {
+    Group& grp = groups_[group];
+    if (!grp.has_key) {
+      grp.has_key = true;
+      grp.first_key_hash = *h;
+    } else if (*h != grp.first_key_hash) {
+      grp.multi_key = true;
+    }
+  }
   if (local >= host.global_def.size()) host.global_def.resize(local + 1, 0);
   host.global_def[local] = global;
   host.local_of.emplace(global, local);
@@ -243,6 +278,9 @@ void ShardedEngineRuntime::add_definition(core::EventDefinition def) {
       if (kind == core::FilterSignature::Kind::kEventType ||
           kind == core::FilterSignature::Kind::kAny) {
         feedback_possible_.store(true, std::memory_order_release);
+        // This shard can now receive feedback: it must honor the closure
+        // frontier gate strictly (no run-ahead).
+        host.cascade_reachable.store(true, std::memory_order_seq_cst);
       }
     }
   }
@@ -434,20 +472,32 @@ void ShardedEngineRuntime::push_control(Shard& shard, WorkItem item) {
     return;
   }
   shard.work_ec.notify_all();
+  // Admitted: flush()'s control-completion wait counts it (all callers
+  // hold ingest_mutex_). Failed pushes above are never counted — their
+  // handshake completes here, not on the worker.
+  ++shard.ctl_pushed;
 }
 
 void ShardedEngineRuntime::issue_migration_locked(std::uint32_t group, std::uint32_t to) {
   Group& grp = groups_[group];
   const std::uint32_t from = grp.shard;
+  issue_subset_locked(group, grp.defs, from, to);
+  grp.shard = to;
+}
+
+void ShardedEngineRuntime::issue_subset_locked(std::uint32_t group,
+                                               std::vector<std::uint32_t> defs,
+                                               std::uint32_t from, std::uint32_t to) {
+  Group& grp = groups_[group];
   auto ticket = std::make_shared<MigrationTicket>();
-  ticket->globals = grp.defs;  // ascending global order
+  ticket->globals = std::move(defs);  // ascending global order
 
   // Flip routing and bookkeeping under the ingest lock: every arrival
   // stamped before this point was routed to `from` (and is already, or
   // will be, ahead of the control items in its inbox); every arrival
   // stamped after is routed to `to` behind the implant item. That is the
   // epoch barrier.
-  for (const std::uint32_t d : grp.defs) {
+  for (const std::uint32_t d : ticket->globals) {
     const core::EventDefinition& def = def_specs_[d];
     shard_routes_.remove_collapsed(def, from);
     shard_routes_.add_collapsed(def, to);
@@ -464,7 +514,6 @@ void ShardedEngineRuntime::issue_migration_locked(std::uint32_t group, std::uint
     --shard_def_count_[from];
     ++shard_def_count_[to];
   }
-  grp.shard = to;
   grp.ticket = ticket;
   ++migrations_;
   // Placement is now dynamic; worker threads own the local index maps.
@@ -477,11 +526,31 @@ void ShardedEngineRuntime::issue_migration_locked(std::uint32_t group, std::uint
   // the group's old shard.
   const std::uint64_t barrier = next_stamp_;
   if (options_.cascade) {
+    // The destination may now host a feedback-reachable definition; flip
+    // its gate *before* the control pair is visible so its worker never
+    // runs a post-barrier arrival ahead of the closure frontier.
+    for (const std::uint32_t d : ticket->globals) {
+      for (const core::SlotSpec& slot : def_specs_[d].slots) {
+        const auto kind = slot.filter.signature().kind;
+        if (kind == core::FilterSignature::Kind::kEventType ||
+            kind == core::FilterSignature::Kind::kAny) {
+          shards_[to]->cascade_reachable.store(true, std::memory_order_seq_cst);
+        }
+      }
+    }
     {
       const std::lock_guard clk(cascade_mutex_);
-      reroutes_.push_back(CascadeReroute{barrier, grp.defs, from, to});
+      reroutes_.push_back(CascadeReroute{barrier, ticket->globals, from, to});
     }
     signal_cascade();
+  } else if (options_.ordering == OrderingTier::kPerDefinitionOrder) {
+    // Per-definition order: the destination's post-barrier chunks must not
+    // be released before the source has drained up to the barrier, or a
+    // migrated definition's later emissions could overtake its earlier
+    // ones. The hold is registered before either control item exists, so
+    // no post-barrier chunk can possibly be published yet.
+    const std::lock_guard merge_lk(merge_mutex_);
+    shard_holds_[to].push_back(ReleaseHold{barrier, from});
   }
   push_control(*shards_[from], WorkItem{nullptr, {}, ticket, true, barrier, 0});
   push_control(*shards_[to], WorkItem{nullptr, {}, ticket, false, barrier, 0});
@@ -498,7 +567,31 @@ bool ShardedEngineRuntime::migrate_definition(std::size_t def_index, std::size_t
     throw std::out_of_range("ShardedEngineRuntime: unknown shard " + std::to_string(to_shard));
   }
   const std::uint32_t group = def_group_[def_index];
+  if (!wait_group_ticket(lk, group)) return false;  // stopped: no-op
 
+  Group& grp = groups_[group];
+  const auto to = static_cast<std::uint32_t>(to_shard);
+  if (!grp.split) {
+    if (grp.shard == to) return false;
+    issue_migration_locked(group, to);
+    return true;
+  }
+  // Split group: the named definition's *sub-group* is the migration unit
+  // (the two sides move independently; merge_group reunifies them).
+  const bool high = def_high_[def_index] != 0;
+  const std::uint32_t from = high ? grp.high_shard : grp.shard;
+  if (from == to) return false;
+  std::vector<std::uint32_t> defs;
+  for (const std::uint32_t d : grp.defs) {
+    if ((def_high_[d] != 0) == high) defs.push_back(d);
+  }
+  issue_subset_locked(group, std::move(defs), from, to);
+  (high ? grp.high_shard : grp.shard) = to;
+  return true;
+}
+
+bool ShardedEngineRuntime::wait_group_ticket(std::unique_lock<std::mutex>& lk,
+                                             std::uint32_t group) {
   // Wait out any in-flight migration of this group: its destination
   // worker must implant before the group can move again (the worker-side
   // index maps are only consistent at implanted boundaries). The wait
@@ -521,12 +614,98 @@ bool ShardedEngineRuntime::migrate_definition(std::size_t def_index, std::size_t
     lk.lock();
   }
   // The wait above releases ingest_mutex_, so a shutdown may have slipped
-  // in; issuing now would push the control pair onto closed rings.
-  if (shutdown_.load(std::memory_order_acquire)) return false;  // stopped: no-op
+  // in; issuing now would push a control pair onto closed rings.
+  return !shutdown_.load(std::memory_order_acquire);
+}
 
-  if (groups_[group].shard == to_shard) return false;
-  issue_migration_locked(group, static_cast<std::uint32_t>(to_shard));
+bool ShardedEngineRuntime::split_group(std::size_t def_index, std::size_t to_shard) {
+  std::unique_lock lk(ingest_mutex_);
+  if (shutdown_.load(std::memory_order_acquire)) return false;  // stopped: no-op
+  if (def_index >= def_group_.size()) {
+    throw std::out_of_range("ShardedEngineRuntime: unknown definition index " +
+                            std::to_string(def_index));
+  }
+  if (to_shard >= shards_.size()) {
+    throw std::out_of_range("ShardedEngineRuntime: unknown shard " + std::to_string(to_shard));
+  }
+  if (options_.cascade) {
+    throw std::logic_error(
+        "ShardedEngineRuntime: split_group is not supported in cascade mode (the closure "
+        "coordinator routes feedback by whole-group placement)");
+  }
+  const std::uint32_t group = def_group_[def_index];
+  if (!wait_group_ticket(lk, group)) return false;
+  return issue_split_locked(group, static_cast<std::uint32_t>(to_shard));
+}
+
+bool ShardedEngineRuntime::issue_split_locked(std::uint32_t group, std::uint32_t to) {
+  Group& grp = groups_[group];
+  if (grp.split || !grp.multi_key || to == grp.shard) return false;
+  if (grp.ticket != nullptr) {
+    // Callers either waited the ticket out or (rebalance) marked the
+    // group unmovable; re-check non-blockingly for safety.
+    const std::lock_guard tlk(grp.ticket->m);
+    if (!grp.ticket->done) return false;
+  }
+  // Partition around the median distinct sensor-key hash: hash >= point
+  // goes high, everything else (lower hashes, keyless, wildcard) stays
+  // low. Both sides are non-empty by construction (>= 2 distinct hashes).
+  std::vector<std::uint64_t> hashes;
+  for (const std::uint32_t d : grp.defs) {
+    if (const std::optional<std::uint64_t> h = def_sensor_hash(def_specs_[d])) {
+      hashes.push_back(*h);
+    }
+  }
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  if (hashes.size() < 2) return false;  // unreachable given multi_key
+  const std::uint64_t point = hashes[hashes.size() / 2];
+  std::vector<std::uint32_t> high;
+  for (const std::uint32_t d : grp.defs) {
+    const std::optional<std::uint64_t> h = def_sensor_hash(def_specs_[d]);
+    if (h.has_value() && *h >= point) {
+      high.push_back(d);
+      def_high_[d] = 1;
+    }
+  }
+  issue_subset_locked(group, high, grp.shard, to);
+  grp.split = true;
+  grp.high_shard = to;
+  grp.split_point = point;
+  grp.high_defs = std::move(high);
+  ++splits_;
   return true;
+}
+
+bool ShardedEngineRuntime::merge_group(std::size_t def_index) {
+  std::unique_lock lk(ingest_mutex_);
+  if (shutdown_.load(std::memory_order_acquire)) return false;  // stopped: no-op
+  if (def_index >= def_group_.size()) {
+    throw std::out_of_range("ShardedEngineRuntime: unknown definition index " +
+                            std::to_string(def_index));
+  }
+  const std::uint32_t group = def_group_[def_index];
+  if (!wait_group_ticket(lk, group)) return false;
+  Group& grp = groups_[group];
+  if (!grp.split) return false;
+  if (grp.high_shard != grp.shard) {
+    // Reunify on the low side's shard. The engine's implant keeps the max
+    // of the live and implanted sequence counters, so the rejoined group
+    // resumes a single gap-free per-type numbering going forward.
+    issue_subset_locked(group, grp.high_defs, grp.high_shard, grp.shard);
+  }
+  for (const std::uint32_t d : grp.high_defs) def_high_[d] = 0;
+  grp.split = false;
+  grp.high_shard = grp.shard;
+  grp.split_point = 0;
+  grp.high_defs.clear();
+  ++group_merges_;
+  return true;
+}
+
+bool ShardedEngineRuntime::group_split(std::size_t def_index) const {
+  const std::lock_guard lk(ingest_mutex_);
+  return groups_[def_group_.at(def_index)].split;
 }
 
 std::size_t ShardedEngineRuntime::rebalance_now() {
@@ -568,14 +747,25 @@ std::size_t ShardedEngineRuntime::rebalance_locked() {
 
   group_load_scratch_.clear();
   group_load_scratch_.reserve(groups_.size());
+  high_row_scratch_.assign(groups_.size(), 0xffffffffu);
   for (std::uint32_t g = 0; g < groups_.size(); ++g) {
     const Group& grp = groups_[g];
-    bool movable = true;
+    bool settled = true;
     if (grp.ticket != nullptr) {
       const std::lock_guard tlk(grp.ticket->m);
-      movable = grp.ticket->done;
+      settled = grp.ticket->done;
     }
-    group_load_scratch_.push_back(GroupLoad{g, grp.shard, 0, movable});
+    // A split group's sides are pinned for the policy (rejoin via
+    // merge_group, not rebalancing) but its load still lands on the right
+    // shards via the extra high row below.
+    const bool movable = settled && !grp.split;
+    const bool splittable = movable && grp.multi_key && !options_.cascade;
+    group_load_scratch_.push_back(GroupLoad{g, grp.shard, 0, movable, splittable});
+  }
+  for (std::uint32_t g = 0; g < static_cast<std::uint32_t>(groups_.size()); ++g) {
+    if (!groups_[g].split) continue;
+    high_row_scratch_[g] = static_cast<std::uint32_t>(group_load_scratch_.size());
+    group_load_scratch_.push_back(GroupLoad{g, groups_[g].high_shard, 0, false, false});
   }
   // Saturating deltas: a (theoretical) stale-over-fresh snapshot must
   // cost an epoch of attribution, never wrap to ~2^64 and stampede the
@@ -588,7 +778,10 @@ std::size_t ShardedEngineRuntime::rebalance_locked() {
     const DefTotals& prev = def_load_prev_[d];
     const std::uint64_t delta = sat_delta(now.routed, prev.routed) +
                                 sat_delta(now.tried, prev.tried) + now.buffered;
-    group_load_scratch_[def_group_[d]].cost += delta;
+    const std::uint32_t g = def_group_[d];
+    const std::uint32_t row =
+        (def_high_[d] != 0 && high_row_scratch_[g] != 0xffffffffu) ? high_row_scratch_[g] : g;
+    group_load_scratch_[row].cost += delta;
   }
   def_load_prev_ = def_load_now_;
 
@@ -597,12 +790,22 @@ std::size_t ShardedEngineRuntime::rebalance_locked() {
 
   order_scratch_.clear();
   options_.rebalance_policy->decide(
-      RebalanceView{shard_load_scratch_, group_load_scratch_}, order_scratch_);
+      RebalanceView{shard_load_scratch_, group_load_scratch_, &spillover_skipped_},
+      order_scratch_);
 
   std::size_t issued = 0;
   for (const MigrationOrder& order : order_scratch_) {
     if (order.group >= groups_.size() || order.to >= shards_.size()) continue;
     if (!group_load_scratch_[order.group].movable) continue;
+    if (order.split) {
+      if (issue_split_locked(order.group, order.to)) {
+        group_load_scratch_[order.group].movable = false;  // one move per pass
+        ++issued;
+      } else {
+        ++spillover_skipped_;  // invalid split order: the hot shard stays put
+      }
+      continue;
+    }
     if (groups_[order.group].shard == order.to) continue;
     issue_migration_locked(order.group, order.to);
     group_load_scratch_[order.group].movable = false;  // one move per pass
@@ -665,6 +868,12 @@ void ShardedEngineRuntime::handle_control(
     // live publications of one definition would let a stale value
     // overwrite a newer one in the rebalancer's merge.
     publish_work(shard, chunks, shard.watermark.load(std::memory_order_relaxed), load_scratch);
+    // The barrier's pre-epoch is fully drained: chunks below `barrier` are
+    // all published. Monotone max — barriers surface in stamp order per
+    // shard, but a recovery replay may revisit an older one.
+    if (item.barrier > shard.sent_through.load(std::memory_order_seq_cst)) {
+      shard.sent_through.store(item.barrier, std::memory_order_seq_cst);
+    }
     {
       const std::lock_guard tlk(ticket.m);
       // Already ready: the shutdown ticket sweep (or a crash-recovery
@@ -710,6 +919,11 @@ void ShardedEngineRuntime::handle_control(
     }
     ticket.cv.notify_all();
   }
+  // Control completion, for flush()'s per-definition-order wait. The
+  // empty lock/unlock pairs the notify with the waiter's predicate.
+  shard.ctl_done.fetch_add(1, std::memory_order_seq_cst);
+  { const std::lock_guard lk(shard.out_mutex); }
+  shard.done_cv.notify_all();
 }
 
 void ShardedEngineRuntime::worker_loop(Shard& shard) {
@@ -827,6 +1041,9 @@ void ShardedEngineRuntime::take_checkpoint(Shard& shard, const WorkItem& item) {
   }
   shard.consumed_seq.store(item.push_seq, std::memory_order_relaxed);
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  shard.ctl_done.fetch_add(1, std::memory_order_seq_cst);
+  { const std::lock_guard lk(shard.out_mutex); }
+  shard.done_cv.notify_all();
 }
 
 void ShardedEngineRuntime::die(Shard& shard) {
@@ -1004,6 +1221,9 @@ bool ShardedEngineRuntime::replay_control(
     if (!suppress) {
       publish_work(shard, chunks, shard.watermark.load(std::memory_order_relaxed), load_scratch);
     }
+    if (item.barrier > shard.sent_through.load(std::memory_order_seq_cst)) {
+      shard.sent_through.store(item.barrier, std::memory_order_seq_cst);
+    }
     {
       const std::lock_guard tlk(ticket.m);
       if (!ticket.ready) {
@@ -1043,6 +1263,11 @@ bool ShardedEngineRuntime::replay_control(
     }
     ticket.cv.notify_all();
   }
+  // May recount a control the dead worker already completed — ctl_done
+  // legitimately overcounts across recoveries (flush waits with >=).
+  shard.ctl_done.fetch_add(1, std::memory_order_seq_cst);
+  { const std::lock_guard lk(shard.out_mutex); }
+  shard.done_cv.notify_all();
   return true;
 }
 
@@ -1127,12 +1352,19 @@ void ShardedEngineRuntime::worker_cascade_loop(Shard& shard) {
       }
       if (!have) return false;
       // Arrivals and control items wait for every earlier stamp's
-      // cascade to drain — unless feedback provably cannot exist. The
-      // seq_cst load pairs with the coordinator's frontier store through
-      // work_ec's fences, so parking never misses an advance.
-      if (feedback_possible_.load(std::memory_order_seq_cst) &&
-          closed_through_.load(std::memory_order_seq_cst) < gate) {
-        return false;
+      // cascade to drain — unless feedback provably cannot exist. A shard
+      // hosting no feedback-reachable definition (cascade_reachable
+      // false) never receives feedback items, so it may run ahead of the
+      // closure frontier — but only by kCascadeRunahead stamps, bounding
+      // its outbox while the coordinator trails. The seq_cst loads pair
+      // with the coordinator's frontier store through work_ec's fences,
+      // so parking never misses an advance.
+      if (feedback_possible_.load(std::memory_order_seq_cst)) {
+        const std::uint64_t closed = closed_through_.load(std::memory_order_seq_cst);
+        if (closed < gate && (shard.cascade_reachable.load(std::memory_order_seq_cst) ||
+                              gate > closed + kCascadeRunahead)) {
+          return false;
+        }
       }
       if (candidate == Action::kControl) {
         control = std::move(*head);
@@ -1417,13 +1649,19 @@ void ShardedEngineRuntime::cascade_loop() {
     //    advance the frontier (unblocking the workers' next arrivals).
     {
       const std::lock_guard lk(merge_mutex_);
-      for (core::Emission& em : closure) cascade_out_.push_back(std::move(em.instance));
+      for (core::Emission& em : closure) {
+        cascade_out_.push_back(TaggedInstance{p.stamp, em.def, std::move(em.instance)});
+      }
       instances_ += closure.size();
       cascade_reingested_ += reingested;
       cascade_truncated_ += truncated;
       pending_.pop_front();
-      closed_through_.store(pending_.empty() ? last_stamp_assigned_ : pending_.front().stamp - 1,
-                            std::memory_order_seq_cst);
+      const std::uint64_t closed =
+          pending_.empty() ? last_stamp_assigned_ : pending_.front().stamp - 1;
+      // Cascade releases whole closures in stamp order, so the closure
+      // frontier *is* the low watermark.
+      low_watermark_ = closed;
+      closed_through_.store(closed, std::memory_order_seq_cst);
     }
     merged_cv_.notify_all();
     // The seq_cst frontier store pairs with the workers' gate load through
@@ -1432,7 +1670,18 @@ void ShardedEngineRuntime::cascade_loop() {
   }
 }
 
-void ShardedEngineRuntime::drain_ready_locked(std::vector<core::EventInstance>& out) {
+void ShardedEngineRuntime::emit_to(std::vector<core::EventInstance>* plain,
+                                   std::vector<TaggedInstance>* tagged, std::uint64_t stamp,
+                                   core::Emission&& em) {
+  if (tagged != nullptr) {
+    tagged->push_back(TaggedInstance{stamp, em.def, std::move(em.instance)});
+  } else {
+    plain->push_back(std::move(em.instance));
+  }
+}
+
+void ShardedEngineRuntime::drain_ready_locked(std::vector<core::EventInstance>* plain,
+                                              std::vector<TaggedInstance>* tagged) {
   while (!pending_.empty()) {
     const Pending p = pending_.front();
     bool ready = true;
@@ -1468,27 +1717,151 @@ void ShardedEngineRuntime::drain_ready_locked(std::vector<core::EventInstance>& 
                        });
     }
     for (core::Emission& em : gather_scratch_) {
-      out.push_back(std::move(em.instance));
+      // Renumber each instance with a merge-side per-group (= per event
+      // type) counter. With the group unsplit this is the identity: the
+      // release order above *is* the engine's emission order for the
+      // type, so the engine-assigned seq already equals this counter.
+      // With the group split across shards it restores exactly the
+      // sequence a single engine would have assigned, keeping the global
+      // tier byte-identical to the sequential reference across splits.
+      const std::uint32_t g = def_group_[em.def];
+      if (g >= group_seq_.size()) group_seq_.resize(g + 1, 0);
+      em.instance.key.seq = group_seq_[g]++;
+      emit_to(plain, tagged, p.stamp, std::move(em));
       ++instances_;
     }
+    low_watermark_ = p.stamp;
     pending_.pop_front();
   }
 }
 
-std::vector<core::EventInstance> ShardedEngineRuntime::poll() {
-  std::vector<core::EventInstance> out;
+void ShardedEngineRuntime::drain_relaxed_locked(std::vector<core::EventInstance>* plain,
+                                                std::vector<TaggedInstance>* tagged) {
+  const bool perdef = options_.ordering == OrderingTier::kPerDefinitionOrder;
+  // Sweep every shard's outbox to a fixpoint. Per-definition order gates
+  // a migration destination's post-barrier chunks on release holds; a
+  // hold clears once the source worker has drained past the barrier
+  // (sent_through) *and* everything it published before the barrier has
+  // been released here (outbox front empty or past the barrier). The
+  // clearing inputs are snapshotted once per pass — sent_through strictly
+  // before the outbox front, so a front that moved past the barrier after
+  // its sent_through was read can only make the check conservatively
+  // *hold* longer, never release early. Each pass that releases anything
+  // may unblock another shard's hold, hence the fixpoint; it terminates
+  // because holds only clear monotonically and outboxes only shrink while
+  // merge_mutex_ is held (workers still publish, but every published
+  // chunk is also releasable in a later poll).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    if (perdef) {
+      sent_snap_scratch_.resize(shards_.size());
+      front_snap_scratch_.resize(shards_.size());
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        sent_snap_scratch_[s] = shards_[s]->sent_through.load(std::memory_order_seq_cst);
+        const std::lock_guard lk(shards_[s]->out_mutex);
+        front_snap_scratch_[s] =
+            shards_[s]->outbox.empty() ? 0 : shards_[s]->outbox.front().stamp;
+      }
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      std::deque<ReleaseHold>& holds = shard_holds_[s];
+      for (;;) {
+        OutChunk chunk;
+        {
+          const std::lock_guard lk(shard.out_mutex);
+          if (shard.outbox.empty()) break;
+          const std::uint64_t t = shard.outbox.front().stamp;
+          bool held = false;
+          while (perdef && !holds.empty() && t >= holds.front().barrier) {
+            const ReleaseHold h = holds.front();
+            if (sent_snap_scratch_[h.from] >= h.barrier &&
+                (front_snap_scratch_[h.from] == 0 ||
+                 front_snap_scratch_[h.from] >= h.barrier)) {
+              holds.pop_front();  // the source's pre-barrier stream is out
+              continue;
+            }
+            held = true;
+            break;
+          }
+          if (held) break;
+          chunk = std::move(shard.outbox.front());
+          shard.outbox.pop_front();
+        }
+        for (core::Emission& em : chunk.emissions) {
+          emit_to(plain, tagged, chunk.stamp, std::move(em));
+          ++instances_;
+        }
+        progress = true;
+      }
+    }
+  }
+
+  // Advance the low watermark. The pending frontier (stamps every
+  // recipient shard's watermark has passed) is computed *after* the
+  // sweep and clamped below any chunk still unreleased — one published
+  // after its shard was swept, or fenced by a hold. Reading a shard's
+  // watermark and its remaining outbox front under one out_mutex section
+  // makes the clamp sound: chunks are pushed before the watermark store
+  // (publish_work), so a stamp counted into the frontier either has its
+  // chunks already released or still visible in the front we clamp by.
+  std::uint64_t clamp = ~std::uint64_t{0};
+  front_snap_scratch_.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    const std::lock_guard lk(shard.out_mutex);
+    front_snap_scratch_[s] = shard.watermark.load(std::memory_order_acquire);
+    if (!shard.outbox.empty() && shard.outbox.front().stamp != 0) {
+      clamp = std::min(clamp, shard.outbox.front().stamp - 1);
+    }
+  }
+  while (!pending_.empty()) {
+    const Pending p = pending_.front();
+    bool done = true;
+    for (std::uint64_t m = p.mask; m != 0; m &= m - 1) {
+      if (front_snap_scratch_[static_cast<std::size_t>(std::countr_zero(m))] < p.stamp) {
+        done = false;
+        break;
+      }
+    }
+    if (!done) break;
+    relaxed_frontier_ = p.stamp;
+    pending_.pop_front();
+  }
+  low_watermark_ = std::max(low_watermark_, std::min(relaxed_frontier_, clamp));
+}
+
+void ShardedEngineRuntime::poll_into(std::vector<core::EventInstance>* plain,
+                                     std::vector<TaggedInstance>* tagged) {
   const std::lock_guard lk(merge_mutex_);
   if (options_.cascade) {
     // The coordinator merges autonomously as closures complete; poll just
     // takes what has been released so far.
-    out.swap(cascade_out_);
-    return out;
+    if (tagged != nullptr) {
+      if (tagged->empty()) {
+        tagged->swap(cascade_out_);
+      } else {
+        tagged->insert(tagged->end(), std::make_move_iterator(cascade_out_.begin()),
+                       std::make_move_iterator(cascade_out_.end()));
+        cascade_out_.clear();
+      }
+    } else {
+      plain->reserve(plain->size() + cascade_out_.size());
+      for (TaggedInstance& t : cascade_out_) plain->push_back(std::move(t.instance));
+      cascade_out_.clear();
+    }
+    return;
   }
-  drain_ready_locked(out);
-  return out;
+  if (options_.ordering == OrderingTier::kGlobalTotalOrder) {
+    drain_ready_locked(plain, tagged);
+  } else {
+    drain_relaxed_locked(plain, tagged);
+  }
 }
 
-std::vector<core::EventInstance> ShardedEngineRuntime::flush() {
+void ShardedEngineRuntime::flush_into(std::vector<core::EventInstance>* plain,
+                                      std::vector<TaggedInstance>* tagged) {
   if (options_.cascade) {
     // Closed stamps leave pending_ only after their full cascade closure
     // has been merged, so an empty frontier means quiescence. A stopped
@@ -1497,14 +1870,22 @@ std::vector<core::EventInstance> ShardedEngineRuntime::flush() {
     merged_cv_.wait(lk, [&] {
       return pending_.empty() || shutdown_.load(std::memory_order_acquire);
     });
-    std::vector<core::EventInstance> out;
-    out.swap(cascade_out_);
-    return out;
+    lk.unlock();
+    poll_into(plain, tagged);
+    return;
   }
   std::vector<std::uint64_t> targets(shards_.size(), 0);
+  std::vector<std::uint64_t> ctl_targets(shards_.size(), 0);
+  // Per-definition order: trailing migration controls must finish too —
+  // an unprocessed send leaves its destination's chunks fenced behind a
+  // hold that only the send's sent_through store can clear.
+  const bool wait_ctl = options_.ordering == OrderingTier::kPerDefinitionOrder;
   {
     const std::lock_guard lk(ingest_mutex_);
-    for (std::size_t s = 0; s < shards_.size(); ++s) targets[s] = shards_[s]->last_routed;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      targets[s] = shards_[s]->last_routed;
+      ctl_targets[s] = shards_[s]->ctl_pushed;
+    }
   }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
@@ -1512,11 +1893,42 @@ std::vector<core::EventInstance> ShardedEngineRuntime::flush() {
     // Stop-aware: a shut-down runtime abandons unpushed work, so the
     // watermark may never reach a stamp that was routed but dropped.
     shard.done_cv.wait(lk, [&] {
-      return shard.stop.load(std::memory_order_acquire) ||
-             shard.watermark.load(std::memory_order_acquire) >= targets[s];
+      if (shard.stop.load(std::memory_order_acquire)) return true;
+      if (shard.watermark.load(std::memory_order_acquire) < targets[s]) return false;
+      // >=: recovery replays can complete one control more than once.
+      return !wait_ctl || shard.ctl_done.load(std::memory_order_seq_cst) >= ctl_targets[s];
     });
   }
-  return poll();
+  poll_into(plain, tagged);
+}
+
+std::vector<core::EventInstance> ShardedEngineRuntime::poll() {
+  std::vector<core::EventInstance> out;
+  poll_into(&out, nullptr);
+  return out;
+}
+
+std::vector<TaggedInstance> ShardedEngineRuntime::poll_tagged() {
+  std::vector<TaggedInstance> out;
+  poll_into(nullptr, &out);
+  return out;
+}
+
+std::vector<core::EventInstance> ShardedEngineRuntime::flush() {
+  std::vector<core::EventInstance> out;
+  flush_into(&out, nullptr);
+  return out;
+}
+
+std::vector<TaggedInstance> ShardedEngineRuntime::flush_tagged() {
+  std::vector<TaggedInstance> out;
+  flush_into(nullptr, &out);
+  return out;
+}
+
+std::uint64_t ShardedEngineRuntime::low_watermark() const {
+  const std::lock_guard lk(merge_mutex_);
+  return low_watermark_;
 }
 
 RuntimeStats ShardedEngineRuntime::stats() const {
@@ -1533,6 +1945,9 @@ RuntimeStats ShardedEngineRuntime::stats() const {
     const std::lock_guard lk(ingest_mutex_);
     s.migrations = migrations_;
     s.rebalance_passes = rebalance_passes_;
+    s.splits = splits_;
+    s.group_merges = group_merges_;
+    s.spillover_skipped_indivisible = spillover_skipped_;
   }
   s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   s.crashes = crashes_.load(std::memory_order_relaxed);

@@ -21,6 +21,32 @@
 
 namespace stem::runtime {
 
+/// Ordering contract of the merged output stream (RuntimeOptions::ordering).
+/// Every tier delivers the same emission *multiset* — exactly once, nothing
+/// lost — they differ only in how much cross-shard serialization the merge
+/// pays to order it.
+enum class OrderingTier {
+  /// Byte-exact sequential order (the default): emissions are released in
+  /// (arrival stamp, definition index) order once *every* recipient shard
+  /// has passed the stamp — the merged stream is byte-identical to a
+  /// single sequential DetectionEngine fed the same arrivals, instance
+  /// sequence numbers included (the merge renumbers per event type at
+  /// release, which also keeps split groups stream-exact).
+  kGlobalTotalOrder,
+  /// Each definition's emissions arrive in stamp order; interleaving
+  /// *across* definitions is unspecified. The merge gates per shard
+  /// outbox (one definition's emissions all flow through its host shard,
+  /// in stamp order) instead of waiting on the globally slowest shard;
+  /// migration hand-offs are fenced by per-destination release holds so a
+  /// moved definition's stream stays in stamp order across the barrier.
+  kPerDefinitionOrder,
+  /// Emissions flow as produced (per-shard outbox order, cross-shard
+  /// free), tagged with a monotone low watermark: low_watermark() = W
+  /// guarantees every emission with stamp <= W has already been released,
+  /// so consumers can window/reorder externally.
+  kUnorderedWatermarked,
+};
+
 /// Sharded-runtime tuning knobs.
 struct RuntimeOptions {
   /// Worker shard count; clamped to [1, 64] (recipient sets are bitmasks).
@@ -82,6 +108,12 @@ struct RuntimeOptions {
   std::function<bool(std::size_t)> crash_hook;
   /// Options forwarded to every shard's DetectionEngine.
   core::EngineOptions engine;
+  /// Ordering contract of the merged stream (see OrderingTier). Cascade
+  /// mode always releases in closure order regardless of this setting (the
+  /// coordinator's closure drive *is* the merge there); the relaxed tiers
+  /// then still expose their tagged/watermark API, with the watermark
+  /// tracking the closure frontier.
+  OrderingTier ordering = OrderingTier::kGlobalTotalOrder;
 };
 
 /// Aggregate runtime counters. Engine counters are owned per shard (each
@@ -110,6 +142,27 @@ struct RuntimeStats {
   std::uint64_t crashes = 0;      ///< injected worker deaths reaped
   std::uint64_t recoveries = 0;   ///< shards rebuilt from checkpoint + log
   std::uint64_t replayed = 0;     ///< log arrivals re-fed during recoveries
+  /// Key-range group splits issued (split_group + policy split orders).
+  std::uint64_t splits = 0;
+  /// Split groups reunified onto their primary shard (merge_group).
+  std::uint64_t group_merges = 0;
+  /// Hot shards the rebalancer had to leave alone: no whole-group move
+  /// strictly improved the imbalance and no hosted group was splittable
+  /// (plus any split order the runtime had to reject). Persistently
+  /// nonzero under skew means the workload's hot keys collapse onto too
+  /// few sensor routing keys for key-range splitting to help.
+  std::uint64_t spillover_skipped_indivisible = 0;
+};
+
+/// One merged emission with its provenance tags: the arrival stamp it was
+/// derived from and the *global* registration index of the definition that
+/// produced it. The relaxed ordering tiers' consumer-facing unit —
+/// per-definition subsequences and watermark windows are reconstructed
+/// from these tags (poll_tagged/flush_tagged).
+struct TaggedInstance {
+  std::uint64_t stamp = 0;
+  std::uint32_t def = 0;
+  core::EventInstance instance;
 };
 
 /// Multi-core detection runtime: partitions registered definitions across
@@ -228,6 +281,42 @@ class ShardedEngineRuntime {
   /// Waits until every ingested arrival has been processed, then returns
   /// the remainder of the merged stream.
   [[nodiscard]] std::vector<core::EventInstance> flush();
+
+  /// poll()/flush() with (stamp, definition) provenance tags on every
+  /// instance — the natural consumption shape for the relaxed ordering
+  /// tiers (available in every tier).
+  [[nodiscard]] std::vector<TaggedInstance> poll_tagged();
+  [[nodiscard]] std::vector<TaggedInstance> flush_tagged();
+  /// Monotone low watermark of the released stream: every emission whose
+  /// arrival stamp is <= the returned value has already been handed out by
+  /// a previous poll/flush, and no later release will carry a stamp at or
+  /// below it. Stamps are assigned densely from 1 in arrival order, so
+  /// after flush() the watermark equals the number of routed arrivals.
+  [[nodiscard]] std::uint64_t low_watermark() const;
+
+  /// Splits the definition group containing `def_index` by sensor-key
+  /// range: its sensor-keyed definitions are partitioned by key hash
+  /// around the median (core::routing_key_hash — keyless/wildcard
+  /// definitions stay with the low sub-group) and the high sub-group
+  /// migrates to `to_shard` at an epoch barrier, exactly like a group
+  /// migration. Afterwards the two sub-groups rebalance independently
+  /// (migrate_definition moves the sub-group containing the definition).
+  /// Instance sequence numbers are partitioned by key range; the
+  /// global_total_order merge renumbers them back to the sequential
+  /// stream's values, so splitting is invisible there — the relaxed tiers
+  /// surface the partitioned counters (each definition's sequence stays
+  /// strictly increasing). Returns false when the group is already split,
+  /// spans fewer than two distinct sensor keys, or already lives on
+  /// `to_shard`; throws std::logic_error in cascade mode and
+  /// std::out_of_range on bad indices. Thread-safe, callable mid-stream.
+  bool split_group(std::size_t def_index, std::size_t to_shard);
+  /// Reunifies a split group: the high sub-group migrates back to the
+  /// primary shard (epoch barrier again) and the partition dissolves —
+  /// the engine-side sequence counter resumes past both partitions' high
+  /// water marks. Returns false when the group is not split. Thread-safe.
+  bool merge_group(std::size_t def_index);
+  /// True while the group containing `def_index` is split (introspection).
+  [[nodiscard]] bool group_split(std::size_t def_index) const;
 
   /// Moves the definition group (event type) containing the `def_index`-th
   /// registered definition to `to_shard`, live, at an epoch barrier in the
@@ -450,6 +539,27 @@ class ShardedEngineRuntime {
     std::uint32_t ck_depth = 0;               ///< guarded by out_mutex
     std::uint32_t ck_sub = 0;                 ///< guarded by out_mutex
     std::uint64_t last_routed = 0;            ///< guarded by ingest_mutex_
+    /// Control items admitted to this shard's inbox (migration sides and
+    /// checkpoints), vs. fully handled. The per-definition-order flush
+    /// waits for the two to meet so every send-side `sent_through` store
+    /// is final before the last hold-fenced sweep. ctl_done may overcount
+    /// across crash-recovery replays (a control can be re-handled), hence
+    /// the >= comparison there.
+    std::uint64_t ctl_pushed = 0;  ///< guarded by ingest_mutex_
+    std::atomic<std::uint64_t> ctl_done{0};
+    /// Highest migration barrier whose send side this shard has completed:
+    /// every pre-barrier arrival routed here has been processed and its
+    /// chunks published. The merge's release holds read it (seq_cst store
+    /// after the send-side publish) to decide when a migration
+    /// destination may release post-barrier chunks.
+    std::atomic<std::uint64_t> sent_through{0};
+    /// Cascade mode: true once this shard hosts (or was ever the
+    /// destination of) a definition with an event-type or wildcard slot —
+    /// i.e. it can receive feedback, so its arrivals must gate on the
+    /// closure frontier. Monotone; shards that stay false run ahead of
+    /// the frontier (bounded by kCascadeRunahead) since feedback provably
+    /// never reaches them.
+    std::atomic<bool> cascade_reachable{false};
 
     // --- Crash recovery (all unused unless checkpoint_epoch != 0) ---
     /// Initial placement (global index, spec) in registration order:
@@ -494,10 +604,25 @@ class ShardedEngineRuntime {
   };
 
   /// A definition group: the co-located definitions of one event type.
+  /// When split, the group is two independently placed sub-groups: the
+  /// *low* side (sensor keys hashing below split_point, plus every
+  /// keyless/wildcard definition) stays on `shard`, the *high* side
+  /// ([split_point, 2^64-1] — see core::KeyRange) lives on `high_shard`.
+  /// All fields are guarded by ingest_mutex_; `ticket` serializes every
+  /// move/split/merge of the group (one in flight at a time).
   struct Group {
     std::vector<std::uint32_t> defs;  ///< global indices, ascending
-    std::uint32_t shard = 0;          ///< current host (guarded by ingest_mutex_)
+    std::uint32_t shard = 0;          ///< current host (low sub-group when split)
     std::shared_ptr<MigrationTicket> ticket;  ///< last migration; null if none
+    bool split = false;
+    std::uint32_t high_shard = 0;          ///< host of the high sub-group
+    std::uint64_t split_point = 0;         ///< key-hash boundary (high: hash >= point)
+    std::vector<std::uint32_t> high_defs;  ///< high sub-group, ascending
+    // Splittability, maintained incrementally at registration: a group is
+    // splittable iff its definitions span >= 2 distinct sensor-key hashes.
+    bool has_key = false;
+    bool multi_key = false;
+    std::uint64_t first_key_hash = 0;
   };
 
   /// Cumulative per-definition load totals (rebalance epoch deltas).
@@ -546,12 +671,45 @@ class ShardedEngineRuntime {
   /// Applies queued routing flips whose barrier the closure frontier has
   /// reached (coordinator thread only).
   void apply_reroutes(std::uint64_t stamp);
-  /// Appends merged instances that are ready; merge_mutex_ must be held.
-  void drain_ready_locked(std::vector<core::EventInstance>& out);
+  /// Appends merged instances that are ready into exactly one of the two
+  /// sinks; merge_mutex_ must be held. Global-total-order release: stamp
+  /// frontier gating + within-stamp definition sort + per-event-type
+  /// sequence renumbering (non-cascade).
+  void drain_ready_locked(std::vector<core::EventInstance>* plain,
+                          std::vector<TaggedInstance>* tagged);
+  /// Relaxed-tier release (per-definition / unordered): sweeps every
+  /// shard's outbox to a fixpoint — per-definition order additionally
+  /// fences migration destinations behind release holds — then advances
+  /// the low watermark from the pending frontier, clamped by any chunk
+  /// still unreleased. merge_mutex_ must be held.
+  void drain_relaxed_locked(std::vector<core::EventInstance>* plain,
+                            std::vector<TaggedInstance>* tagged);
+  /// Tier- and mode-dispatching bodies of poll/flush (+_tagged).
+  void poll_into(std::vector<core::EventInstance>* plain, std::vector<TaggedInstance>* tagged);
+  void flush_into(std::vector<core::EventInstance>* plain, std::vector<TaggedInstance>* tagged);
+  /// Appends one released emission to whichever sink is non-null.
+  static void emit_to(std::vector<core::EventInstance>* plain,
+                      std::vector<TaggedInstance>* tagged, std::uint64_t stamp,
+                      core::Emission&& em);
   /// Flips routing/bookkeeping of `group` to `to` and enqueues the
   /// extract/implant control pair; ingest_mutex_ must be held and the
   /// group must have no migration in flight.
   void issue_migration_locked(std::uint32_t group, std::uint32_t to);
+  /// Shared issuance core: flips routing/def_shard_/key bookkeeping for
+  /// the `defs` subset of `group` (a whole group, or one side of a split)
+  /// from `from` to `to`, installs the group ticket, registers the
+  /// per-definition-order release hold, and pushes the control pair.
+  /// Callers update Group host fields. ingest_mutex_ must be held.
+  void issue_subset_locked(std::uint32_t group, std::vector<std::uint32_t> defs,
+                           std::uint32_t from, std::uint32_t to);
+  /// Computes the key-range partition of an unsplit `group` and issues the
+  /// high sub-group's migration to `to`; returns false (no state changed)
+  /// when the group cannot be split or already lives on `to`.
+  /// ingest_mutex_ must be held; not supported in cascade mode.
+  bool issue_split_locked(std::uint32_t group, std::uint32_t to);
+  /// Blocks until `group`'s in-flight migration (if any) has implanted,
+  /// releasing `lk` while waiting; false when shutdown interrupted.
+  bool wait_group_ticket(std::unique_lock<std::mutex>& lk, std::uint32_t group);
   /// One policy pass over the epoch's group loads; ingest_mutex_ held.
   std::size_t rebalance_locked();
   /// Enqueues a control item, bypassing capacity (it carries no arrivals).
@@ -603,6 +761,9 @@ class ShardedEngineRuntime {
   std::vector<std::unordered_map<std::string, std::uint32_t>> shard_keys_;
   std::vector<std::size_t> shard_def_count_;
   std::vector<std::uint32_t> def_shard_;  ///< global def index -> shard
+  /// 1 when the definition belongs to its group's high sub-group (guarded
+  /// by ingest_mutex_; all zero while the group is unsplit).
+  std::vector<std::uint8_t> def_high_;
 
   /// Serializes stamp assignment + inbox dispatch so every shard's inbox
   /// stays stamp-ordered even under concurrent ingestion. Also guards all
@@ -622,8 +783,12 @@ class ShardedEngineRuntime {
   std::vector<MigrationOrder> order_scratch_;         // guarded by ingest_mutex_
   std::vector<GroupLoad> group_load_scratch_;         // guarded by ingest_mutex_
   std::vector<std::uint64_t> shard_load_scratch_;     // guarded by ingest_mutex_
+  std::vector<std::uint32_t> high_row_scratch_;       // guarded by ingest_mutex_
   std::uint64_t ckpt_arrivals_ = 0;                   // guarded by ingest_mutex_
   std::uint64_t ckpt_seq_ = 0;                        // guarded by ingest_mutex_
+  std::uint64_t splits_ = 0;                          // guarded by ingest_mutex_
+  std::uint64_t group_merges_ = 0;                    // guarded by ingest_mutex_
+  std::uint64_t spillover_skipped_ = 0;               // guarded by ingest_mutex_
 
   // --- Crash recovery (active only with crash_hook / checkpoint_epoch) ---
   std::thread supervisor_thread_;  ///< spawned iff crash_hook is set
@@ -644,6 +809,34 @@ class ShardedEngineRuntime {
   std::uint64_t dropped_ = 0;
   std::uint64_t instances_ = 0;
   std::vector<core::Emission> gather_scratch_;  // guarded by merge_mutex_
+  /// Released-stream low watermark (see low_watermark()); advanced by the
+  /// tier-specific drains (and the cascade coordinator at closure).
+  std::uint64_t low_watermark_ = 0;  // guarded by merge_mutex_
+  /// Global-total-order, non-cascade: per-group (= per event type)
+  /// released-instance counters — the merge assigns each released
+  /// emission its sequential sequence number, which is the identity while
+  /// the group is whole and restores stream exactness when it is split.
+  /// Indexed by group; grown lazily (def_group_ is registration-frozen
+  /// before the first pending arrival exists).
+  std::vector<std::uint64_t> group_seq_;  // guarded by merge_mutex_
+  /// Per-definition-order tier: release fences installed at migration
+  /// issuance, one deque per *destination* shard in ascending barrier
+  /// order. The destination may not release a chunk with stamp >= the
+  /// front hold's barrier until the source shard has completed the send
+  /// side (sent_through >= barrier) and released everything it published
+  /// below the barrier — exactly the stamp-order hand-off a moved
+  /// definition's stream needs.
+  struct ReleaseHold {
+    std::uint64_t barrier = 0;
+    std::uint32_t from = 0;
+  };
+  std::vector<std::deque<ReleaseHold>> shard_holds_;   // guarded by merge_mutex_
+  std::vector<std::uint64_t> sent_snap_scratch_;       // guarded by merge_mutex_
+  std::vector<std::uint64_t> front_snap_scratch_;      // guarded by merge_mutex_
+  /// Relaxed tiers: highest stamp every recipient shard has passed
+  /// (pending_ is popped up to here; monotone). The published watermark
+  /// is this frontier clamped below any still-unreleased chunk.
+  std::uint64_t relaxed_frontier_ = 0;  // guarded by merge_mutex_
 
   // --- Cascade mode (all unused unless options_.cascade) ---
   /// The coordinator's own routing index, versioned by the closure
@@ -667,7 +860,7 @@ class ShardedEngineRuntime {
   /// exists and workers skip the closure gate entirely.
   std::atomic<bool> feedback_possible_{false};
   std::condition_variable merged_cv_;  ///< with merge_mutex_: closure progress
-  std::vector<core::EventInstance> cascade_out_;  // guarded by merge_mutex_
+  std::vector<TaggedInstance> cascade_out_;       // guarded by merge_mutex_
   std::uint64_t last_stamp_assigned_ = 0;         // guarded by merge_mutex_
   std::uint64_t cascade_reingested_ = 0;          // guarded by merge_mutex_
   std::uint64_t cascade_truncated_ = 0;           // guarded by merge_mutex_

@@ -1,0 +1,202 @@
+#pragma once
+
+/// Permutation-differential oracle for the relaxed ordering tiers
+/// (RuntimeOptions::ordering). A sequential DetectionEngine fed the same
+/// arrivals is the reference; the sharded runtime's tagged stream is the
+/// subject. Three checks compose per tier:
+///
+///  - check_equal       — byte-exact (stamp, def, description) sequence
+///                        equality: the global_total_order contract.
+///  - check_per_def     — for every definition, the subject's emission
+///                        subsequence (in release order) equals the
+///                        reference's, stamps included: the
+///                        per_definition_order contract. Implies multiset
+///                        equality when paired with an overall size check
+///                        (done inside).
+///  - check_multiset    — (stamp, def, description) multiset equality:
+///                        the unordered_watermarked floor.
+///
+/// Watermark soundness is checked incrementally while consuming (see
+/// WatermarkAudit): low_watermark() must be monotone, must never release
+/// an emission at or below a previously returned watermark, and at
+/// quiescence must equal the last assigned stamp.
+///
+/// `canonicalize_seq` supports split groups in the relaxed tiers: there
+/// the two partitioned engine counters interleave per event type, so the
+/// engine-assigned EventInstanceKey::seq legitimately diverges from the
+/// sequential numbering; the oracle zeroes it before comparing and
+/// separately asserts per-definition seq monotonicity.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "runtime/sharded_runtime.hpp"
+
+namespace stem::runtime::oracle {
+
+/// One emission, reduced to comparable form. For the reference stream,
+/// `stamp` is the 1-based arrival index (valid whenever every arrival
+/// routes to at least one shard — keep a wildcard definition registered).
+struct Ref {
+  std::uint64_t stamp = 0;
+  std::uint32_t def = 0;
+  std::string text;
+  std::uint64_t seq = 0;  ///< engine-assigned EventInstanceKey::seq
+
+  friend bool operator==(const Ref&, const Ref&) = default;
+  friend auto operator<=>(const Ref&, const Ref&) = default;
+};
+
+inline std::string describe(const core::EventInstance& i, bool canonicalize_seq) {
+  std::ostringstream os;
+  core::EventInstanceKey key = i.key;
+  if (canonicalize_seq) key.seq = 0;
+  os << key << " layer=" << static_cast<int>(i.layer) << " gen=" << i.gen_time
+     << " t=" << i.est_time << " l=" << i.est_location << " rho=" << i.confidence
+     << " V=" << i.attributes << " from=[";
+  for (const auto& p : i.provenance) os << p << ";";
+  os << "]";
+  return os.str();
+}
+
+inline Ref make_ref(std::uint64_t stamp, std::uint32_t def, const core::EventInstance& inst,
+                    bool canonicalize_seq) {
+  return Ref{stamp, def, describe(inst, canonicalize_seq), inst.key.seq};
+}
+
+/// Sequential reference: feeds the arrivals one at a time and records the
+/// tagged emissions with their 1-based arrival stamps.
+inline std::vector<Ref> sequential_reference(core::DetectionEngine& engine,
+                                             std::span<const core::Entity> entities,
+                                             std::span<const time_model::TimePoint> nows,
+                                             bool cascade, bool canonicalize_seq) {
+  std::vector<Ref> out;
+  std::vector<core::Emission> emissions;
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    emissions.clear();
+    if (cascade) {
+      engine.observe_cascading(entities[i], nows[i], emissions);
+    } else {
+      engine.observe(entities[i], nows[i], emissions);
+    }
+    for (const core::Emission& em : emissions) {
+      out.push_back(make_ref(i + 1, em.def, em.instance, canonicalize_seq));
+    }
+  }
+  return out;
+}
+
+inline std::vector<Ref> to_refs(const std::vector<TaggedInstance>& tagged,
+                                bool canonicalize_seq) {
+  std::vector<Ref> out;
+  out.reserve(tagged.size());
+  for (const TaggedInstance& t : tagged) {
+    out.push_back(make_ref(t.stamp, t.def, t.instance, canonicalize_seq));
+  }
+  return out;
+}
+
+inline void check_equal(const std::vector<Ref>& got, const std::vector<Ref>& want,
+                        const std::string& ctx) {
+  ASSERT_EQ(got.size(), want.size()) << ctx;
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    ASSERT_EQ(got[k].stamp, want[k].stamp) << ctx << " instance " << k;
+    ASSERT_EQ(got[k].def, want[k].def) << ctx << " instance " << k;
+    ASSERT_EQ(got[k].text, want[k].text) << ctx << " instance " << k;
+  }
+}
+
+inline void check_multiset(std::vector<Ref> got, std::vector<Ref> want,
+                           const std::string& ctx) {
+  ASSERT_EQ(got.size(), want.size()) << ctx;
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    ASSERT_EQ(got[k].stamp, want[k].stamp) << ctx << " sorted instance " << k;
+    ASSERT_EQ(got[k].def, want[k].def) << ctx << " sorted instance " << k;
+    ASSERT_EQ(got[k].text, want[k].text) << ctx << " sorted instance " << k;
+  }
+}
+
+/// Per-definition order: project both streams onto each definition and
+/// require byte equality of the projections — each definition's emissions
+/// released in reference (stamp) order, whatever the interleaving.
+inline void check_per_def(const std::vector<Ref>& got, const std::vector<Ref>& want,
+                          const std::string& ctx) {
+  ASSERT_EQ(got.size(), want.size()) << ctx;
+  std::map<std::uint32_t, std::vector<const Ref*>> got_by, want_by;
+  for (const Ref& r : got) got_by[r.def].push_back(&r);
+  for (const Ref& r : want) want_by[r.def].push_back(&r);
+  ASSERT_EQ(got_by.size(), want_by.size()) << ctx;
+  for (const auto& [def, seq] : want_by) {
+    const auto it = got_by.find(def);
+    ASSERT_NE(it, got_by.end()) << ctx << " def " << def << " missing entirely";
+    ASSERT_EQ(it->second.size(), seq.size()) << ctx << " def " << def;
+    for (std::size_t k = 0; k < seq.size(); ++k) {
+      ASSERT_EQ(it->second[k]->stamp, seq[k]->stamp)
+          << ctx << " def " << def << " emission " << k;
+      ASSERT_EQ(it->second[k]->text, seq[k]->text)
+          << ctx << " def " << def << " emission " << k;
+    }
+  }
+}
+
+/// Per-definition engine-seq monotonicity — the canonicalized relaxed
+/// split runs still promise strictly increasing counters per definition.
+inline void check_per_def_seq_monotone(const std::vector<Ref>& got, const std::string& ctx) {
+  std::map<std::uint32_t, std::pair<bool, std::uint64_t>> last;  // def -> (seen, seq)
+  for (const Ref& r : got) {
+    auto& [seen, prev] = last[r.def];
+    if (seen) {
+      ASSERT_GT(r.seq, prev) << ctx << " def " << r.def << " seq not increasing";
+    }
+    seen = true;
+    prev = r.seq;
+  }
+}
+
+/// Incremental watermark soundness audit, for the non-cascade runtime
+/// where the watermark only advances inside poll()/flush(). Usage per
+/// consumption step, in this order:
+///   auto got = rt.poll_tagged();               // or flush_tagged()
+///   audit.observe(got);                        // vs the *previous* poll's W
+///   audit.after_poll(rt.low_watermark());
+/// and at quiescence: audit.at_quiescence(rt.low_watermark(), last_stamp).
+/// (In cascade mode the coordinator advances the watermark between polls,
+/// so only after_poll's monotonicity and at_quiescence apply.)
+class WatermarkAudit {
+ public:
+  explicit WatermarkAudit(std::string ctx) : ctx_(std::move(ctx)) {}
+
+  /// Every emission released after low_watermark() returned W must carry
+  /// a stamp strictly above W — W promised those stamps were already out.
+  void observe(const std::vector<TaggedInstance>& released) {
+    for (const TaggedInstance& t : released) {
+      EXPECT_GT(t.stamp, last_) << ctx_ << " released stamp " << t.stamp
+                                << " at or below promised watermark " << last_;
+    }
+  }
+
+  void after_poll(std::uint64_t watermark) {
+    EXPECT_GE(watermark, last_) << ctx_ << " watermark regressed";
+    last_ = std::max(last_, watermark);
+  }
+
+  void at_quiescence(std::uint64_t watermark, std::uint64_t last_stamp) {
+    EXPECT_GE(watermark, last_) << ctx_;
+    EXPECT_EQ(watermark, last_stamp) << ctx_ << " final watermark short of the stream";
+  }
+
+ private:
+  std::string ctx_;
+  std::uint64_t last_ = 0;
+};
+
+}  // namespace stem::runtime::oracle

@@ -5,8 +5,9 @@
 #   tools/run_bench.sh build /tmp/fresh
 #   tools/bench_compare.py /tmp/fresh bench/baselines
 # (fails on regression beyond the gate; the wall-clock runtime families —
-# BM_ShardScaling, BM_SkewedLoad, BM_Rebalance, BM_CascadeDepth — carry a
-# built-in 25% gate, overridable with --tolerance-for PREFIX=PCT)
+# BM_ShardScaling, BM_SkewedLoad, BM_Rebalance, BM_CascadeDepth,
+# BM_OrderingTier — carry a built-in 25% gate, overridable with
+# --tolerance-for PREFIX=PCT)
 #
 # Usage: tools/run_bench.sh [build-dir] [out-dir]
 #   build-dir  CMake build tree (default: build; configured+built if missing)
@@ -203,6 +204,12 @@ for d in (1, 2, 4):
     re_in = counter("BENCH_e11_engine_throughput.json", name, "reingested")
     re_s = "n/a" if re_in is None else f"{re_in:.0f}"
     print(f"cascade depth {d}:             {fmt(rate('BENCH_e11_engine_throughput.json', name))} arrivals/s ({re_s} reingested)")
+
+# Delivery-ordering tiers on the Zipf-skewed mix: what the byte-exact
+# global merge costs vs per-definition order vs unordered-with-watermark.
+for tier in ("global", "perdef", "unordered"):
+    name = f"BM_OrderingTier/{tier}/real_time"
+    print(f"ordering tier ({tier:<9}):   {fmt(rate('BENCH_e11_engine_throughput.json', name))} entities/s")
 
 # The per-arrival entity-copy lever: reference deep-copy observe vs the
 # prestored shared-storage path the sharded runtime workers use.
