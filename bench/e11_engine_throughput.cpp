@@ -14,6 +14,7 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -486,20 +487,7 @@ void BM_SharedArrival(benchmark::State& state) {
 /// the full hierarchy. Deterministic closure serializes arrivals behind
 /// the frontier, so this family measures the coordination cost a
 /// multi-level workload pays for byte-exact merging. items == arrivals.
-void BM_CascadeDepth(benchmark::State& state) {
-  constexpr std::size_t kBatch = 256;
-  const auto depth = static_cast<std::size_t>(state.range(0));
-  const auto entities = make_entities(4096, "SR", 8);
-  std::vector<time_model::TimePoint> nows;
-  nows.reserve(entities.size());
-  for (const auto& e : entities) nows.push_back(e.occurrence_time().end());
-
-  runtime::RuntimeOptions options;
-  options.shards = 4;
-  options.pin_shards = bench_pin_shards();
-  options.cascade = true;
-  options.engine.max_cascade_depth = depth;
-  runtime::ShardedEngineRuntime rt(ObserverId("X"), core::Layer::kSensor, {0, 0}, options);
+void add_cascade_hierarchy(runtime::ShardedEngineRuntime& rt) {
   for (std::size_t i = 0; i < 8; ++i) {
     EventDefinition hot = threshold_def(numbered("HOT", i), 75.0, numbered("SR", i));
     hot.synthesis.attributes.push_back(
@@ -526,6 +514,24 @@ void BM_CascadeDepth(benchmark::State& state) {
         {},
         ConsumptionMode::kConsume});
   }
+}
+
+void BM_CascadeDepth(benchmark::State& state) {
+  constexpr std::size_t kBatch = 256;
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const auto entities = make_entities(4096, "SR", 8);
+  std::vector<time_model::TimePoint> nows;
+  nows.reserve(entities.size());
+  for (const auto& e : entities) nows.push_back(e.occurrence_time().end());
+
+  runtime::RuntimeOptions options;
+  options.shards = 4;
+  options.pin_shards = bench_pin_shards();
+  options.cascade = true;
+  options.cascade_pipeline = 4;
+  options.engine.max_cascade_depth = depth;
+  runtime::ShardedEngineRuntime rt(ObserverId("X"), core::Layer::kSensor, {0, 0}, options);
+  add_cascade_hierarchy(rt);
 
   std::size_t i = 0;
   std::uint64_t produced = 0;
@@ -544,6 +550,71 @@ void BM_CascadeDepth(benchmark::State& state) {
       benchmark::Counter::kAvgThreads);
   state.counters["reingested"] = benchmark::Counter(
       static_cast<double>(rt.stats().cascade_reingested), benchmark::Counter::kAvgThreads);
+}
+
+/// Cascade delivery latency per ordering tier: time from ingesting a
+/// 256-arrival batch to the *first* released emission of that batch, with
+/// four pipelined closures (cascade_pipeline = 4); the full drain between
+/// iterations is untimed. The global tier must merge the batch's oldest
+/// whole closure before anything leaves, so its first-release cost grows
+/// with the depth cap; the relaxed tiers stream a closure's levels as
+/// they are renumbered (per-definition: from the oldest open closure;
+/// unordered: from any), so depth ~1 ties global and depth 4 beats it —
+/// the tier headroom BM_OrderingTier shows, now reachable by cascades.
+/// Arg: cascade depth cap.
+void BM_CascadeTier(benchmark::State& state, runtime::OrderingTier tier) {
+  constexpr std::size_t kBatch = 256;
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const auto entities = make_entities(4096, "SR", 8);
+  std::vector<time_model::TimePoint> nows;
+  nows.reserve(entities.size());
+  for (const auto& e : entities) nows.push_back(e.occurrence_time().end());
+
+  runtime::RuntimeOptions options;
+  options.shards = 4;
+  options.pin_shards = bench_pin_shards();
+  options.cascade = true;
+  options.cascade_pipeline = 4;
+  options.ordering = tier;
+  options.engine.max_cascade_depth = depth;
+  runtime::ShardedEngineRuntime rt(ObserverId("X"), core::Layer::kSensor, {0, 0}, options);
+  add_cascade_hierarchy(rt);
+
+  std::size_t i = 0;
+  std::uint64_t produced = 0;
+  std::uint64_t assigned = 0;
+  for (auto _ : state) {
+    const std::size_t at = (i * kBatch) & 4095;
+    const std::uint64_t base = assigned;  // stamps assigned before this batch
+    rt.ingest_batch(std::span(entities).subspan(at, kBatch),
+                    std::span(nows).subspan(at, kBatch));
+    // Unroutable arrivals (sensor readings under every HOT threshold
+    // segment) are dropped unstamped, so the stamp frontier advances by
+    // the *routed* count, not kBatch.
+    assigned = rt.stats().arrivals;
+    bool seen = false;
+    while (!seen) {
+      for (const runtime::TaggedInstance& t : rt.poll_tagged()) {
+        ++produced;
+        if (t.stamp > base) seen = true;
+      }
+      // No emission can come (the whole batch closed silent): stop waiting.
+      if (!seen && rt.low_watermark() >= assigned) break;
+      // Polling must not starve the coordinator/workers of the core(s)
+      // they need to produce the release we are waiting for.
+      if (!seen) std::this_thread::yield();
+    }
+    state.PauseTiming();
+    produced += rt.flush_tagged().size();
+    state.ResumeTiming();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBatch));
+  state.counters["instances/op"] = benchmark::Counter(
+      static_cast<double>(produced) / static_cast<double>(state.iterations()),
+      benchmark::Counter::kAvgThreads);
+  state.counters["closures_max"] = benchmark::Counter(
+      static_cast<double>(rt.stats().closures_in_flight_max), benchmark::Counter::kAvgThreads);
 }
 
 /// Batched ingest amortization on a single engine: observe_batch over the
@@ -584,6 +655,18 @@ BENCHMARK(BM_ShardScaling)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime(
 // Arg(0) = per-arrival deep copy, Arg(1) = prestored shared storage.
 BENCHMARK(BM_SharedArrival)->Arg(0)->Arg(1);
 BENCHMARK(BM_CascadeDepth)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK_CAPTURE(BM_CascadeTier, global, runtime::OrderingTier::kGlobalTotalOrder)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_CascadeTier, perdef, runtime::OrderingTier::kPerDefinitionOrder)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_CascadeTier, unordered, runtime::OrderingTier::kUnorderedWatermarked)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime();
 BENCHMARK(BM_BatchSize)->Arg(1)->Arg(16)->Arg(256);
 BENCHMARK_CAPTURE(BM_SkewedLoad, uniform, false)->UseRealTime();
 BENCHMARK_CAPTURE(BM_SkewedLoad, zipf, true)->UseRealTime();

@@ -125,11 +125,8 @@ void ShardedEngineRuntime::shutdown() noexcept {
     // including an ingest parked on backpressure or a cascade-gated
     // worker it depends on — keeps progressing, and the wait terminates.
     const std::lock_guard ingest_lk(ingest_mutex_);
-    {
-      const std::lock_guard lk(cascade_mutex_);
-      cascade_stop_ = true;
-    }
-    cascade_cv_.notify_all();
+    cascade_stop_.store(true, std::memory_order_seq_cst);
+    signal_cascade();
     for (auto& shard : shards_) {
       shard->stop.store(true, std::memory_order_seq_cst);
       shard->inbox.close();          // wakes the worker and ring-parked producers
@@ -270,9 +267,15 @@ void ShardedEngineRuntime::add_definition(core::EventDefinition def) {
   // however many co-located definitions share it.
   shard_routes_.add_collapsed(def, shard);
   if (options_.cascade) {
-    // The coordinator's routing copy starts identical and diverges only
-    // at migration barriers (applied at the closure frontier).
-    cascade_routes_.add_collapsed(def, shard);
+    // The coordinator's stamp-versioned view starts identical to the
+    // shard routing and diverges only through placement versions
+    // published at migration barriers. Definition-granular registration:
+    // the view maps matched definitions to shards per closure stamp.
+    cascade_routes_.add(def, global, shard);
+    cascade_ingest_routes_.add_collapsed(def, global);
+    // A new definition changes the type graph's reach: recompute the
+    // per-definition downstream masks on the next ingest.
+    cascade_graph_built_ = false;
     for (const core::SlotSpec& slot : def.slots) {
       const auto kind = slot.filter.signature().kind;
       if (kind == core::FilterSignature::Kind::kEventType ||
@@ -315,6 +318,7 @@ void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
   const std::lock_guard ingest_lk(ingest_mutex_);
   if (shutdown_.load(std::memory_order_acquire)) return;  // stopped: drop
   started_ = true;
+  if (options_.cascade && !cascade_graph_built_) build_cascade_graph();
 
   // Route + stamp the whole batch into ingest-local scratch; merge_mutex_
   // is taken only for the bulk pending_/counter append below, so a large
@@ -325,18 +329,38 @@ void ShardedEngineRuntime::ingest_batch(std::span<const core::Entity> batch,
   std::uint64_t deliveries = 0;
   std::uint64_t replicated = 0;
   for (std::size_t i = 0; i < block->entities.size(); ++i) {
-    route_scratch_.clear();
-    shard_routes_.collect(block->entities[i], route_scratch_,
-                          [](const core::SlotRoute&) { return true; });
     std::uint64_t mask = 0;
-    for (const core::SlotRoute r : route_scratch_) mask |= std::uint64_t{1} << r.def_idx;
+    std::uint64_t future = 0;
+    route_scratch_.clear();
+    if (options_.cascade && !cascade_conservative_) {
+      // One def-granular routing pass yields both the delivery mask (via
+      // each matched definition's host shard) and the closure's
+      // downstream reach — the union of the matched definitions'
+      // transitive feedback targets; shards outside it may run later
+      // arrivals while the closure is still in flight. Exact only while
+      // no subset has ever moved (def_shard_ then tells the whole
+      // placement story); the first migration/split flips
+      // cascade_conservative_ and the collapsed fallback below takes
+      // over for good.
+      cascade_ingest_routes_.collect(block->entities[i], route_scratch_,
+                                     [](const core::SlotRoute&) { return true; });
+      for (const core::SlotRoute r : route_scratch_) {
+        mask |= std::uint64_t{1} << def_shard_[r.def_idx];
+        future |= cascade_future_[r.def_idx];
+      }
+    } else {
+      shard_routes_.collect(block->entities[i], route_scratch_,
+                            [](const core::SlotRoute&) { return true; });
+      for (const core::SlotRoute r : route_scratch_) mask |= std::uint64_t{1} << r.def_idx;
+      if (options_.cascade) future = ~std::uint64_t{0};
+    }
     if (mask == 0) {
       ++dropped;
       continue;  // no shard hosts a possibly-matching definition
     }
     const std::uint64_t stamp = next_stamp_++;
     block->stamps[i] = stamp;
-    pending_scratch_.push_back(Pending{stamp, mask});
+    pending_scratch_.push_back(Pending{stamp, mask, future});
     bool first = true;
     for (std::uint64_t m = mask; m != 0; m &= m - 1) {
       const auto s = static_cast<std::size_t>(std::countr_zero(m));
@@ -526,6 +550,12 @@ void ShardedEngineRuntime::issue_subset_locked(std::uint32_t group,
   // the group's old shard.
   const std::uint64_t barrier = next_stamp_;
   if (options_.cascade) {
+    // The reachability table was computed against the pre-flip placement,
+    // so post-barrier arrivals can no longer trust it: they carry an
+    // all-ones downstream reach from here on (pre-barrier closures keep
+    // their refined masks — the placement at their stamps is the one the
+    // table was built from). Ordered with ingest by ingest_mutex_.
+    cascade_conservative_ = true;
     // The destination may now host a feedback-reachable definition; flip
     // its gate *before* the control pair is visible so its worker never
     // runs a post-barrier arrival ahead of the closure frontier.
@@ -541,6 +571,7 @@ void ShardedEngineRuntime::issue_subset_locked(std::uint32_t group,
     {
       const std::lock_guard clk(cascade_mutex_);
       reroutes_.push_back(CascadeReroute{barrier, ticket->globals, from, to});
+      reroutes_pending_.fetch_add(1, std::memory_order_release);
     }
     signal_cascade();
   } else if (options_.ordering == OrderingTier::kPerDefinitionOrder) {
@@ -628,11 +659,11 @@ bool ShardedEngineRuntime::split_group(std::size_t def_index, std::size_t to_sha
   if (to_shard >= shards_.size()) {
     throw std::out_of_range("ShardedEngineRuntime: unknown shard " + std::to_string(to_shard));
   }
-  if (options_.cascade) {
-    throw std::logic_error(
-        "ShardedEngineRuntime: split_group is not supported in cascade mode (the closure "
-        "coordinator routes feedback by whole-group placement)");
-  }
+  // Legal in cascade mode too: the split is issued as a subset migration,
+  // whose control pair acts at sub-stamp granularity (after every
+  // pre-barrier closure, before any post-barrier arrival), and the
+  // coordinator renumbers per-group sequences at dispatch time, restoring
+  // the single numbering the two sub-engines can no longer agree on.
   const std::uint32_t group = def_group_[def_index];
   if (!wait_group_ticket(lk, group)) return false;
   return issue_split_locked(group, static_cast<std::uint32_t>(to_shard));
@@ -759,7 +790,7 @@ std::size_t ShardedEngineRuntime::rebalance_locked() {
     // merge_group, not rebalancing) but its load still lands on the right
     // shards via the extra high row below.
     const bool movable = settled && !grp.split;
-    const bool splittable = movable && grp.multi_key && !options_.cascade;
+    const bool splittable = movable && grp.multi_key;
     group_load_scratch_.push_back(GroupLoad{g, grp.shard, 0, movable, splittable});
   }
   for (std::uint32_t g = 0; g < static_cast<std::uint32_t>(groups_.size()); ++g) {
@@ -831,6 +862,7 @@ void ShardedEngineRuntime::publish_work(
   stats += shard.engine->stats();
   {
     const std::lock_guard lk(shard.out_mutex);
+    if (!chunks.empty()) shard.out_dirty.store(true, std::memory_order_relaxed);
     for (OutChunk& chunk : chunks) shard.outbox.push_back(std::move(chunk));
     shard.published_stats = stats;
     // Swap, don't copy: the retired publication becomes the next
@@ -1273,7 +1305,8 @@ bool ShardedEngineRuntime::replay_control(
 
 void ShardedEngineRuntime::publish_cascade(
     Shard& shard, std::vector<OutChunk>& chunks, std::uint64_t stamp, std::uint32_t depth,
-    std::uint32_t sub, std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch) {
+    std::uint32_t sub, std::uint64_t watermark,
+    std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch) {
   const bool loads = publish_loads_.load(std::memory_order_relaxed);
   if (loads) {
     load_scratch.clear();
@@ -1282,13 +1315,16 @@ void ShardedEngineRuntime::publish_cascade(
   }
   {
     const std::lock_guard lk(shard.out_mutex);
+    if (!chunks.empty()) shard.out_dirty.store(true, std::memory_order_relaxed);
     for (OutChunk& chunk : chunks) shard.outbox.push_back(std::move(chunk));
     shard.published_stats = shard.engine->stats();
     if (loads) std::swap(shard.published_def_loads, load_scratch);
     shard.ck_stamp = stamp;
     shard.ck_depth = depth;
     shard.ck_sub = sub;
-    if (depth == 0) shard.watermark.store(stamp, std::memory_order_release);
+    // The run's newest fully-consumed arrival, which may precede the final
+    // completion key when the run ended on a feedback item.
+    if (watermark != 0) shard.watermark.store(watermark, std::memory_order_release);
   }
   shard.done_cv.notify_all();
   signal_cascade();
@@ -1296,8 +1332,24 @@ void ShardedEngineRuntime::publish_cascade(
 
 void ShardedEngineRuntime::worker_cascade_loop(Shard& shard) {
   std::vector<core::Emission> emissions;
-  std::vector<OutChunk> chunks;
+  std::vector<OutChunk> chunks;  // accumulated, unpublished run output
   std::vector<std::pair<std::uint32_t, core::DefinitionLoad>> load_scratch;
+  // Completion state withheld while a run of admissible items is in
+  // progress: one publish + one coordinator wake per run instead of per
+  // item. Flushed whenever the worker is about to block (park, control
+  // handshake, stop) so no one ever waits on a withheld completion.
+  bool ck_dirty = false;
+  std::uint64_t ck_stamp = 0;
+  std::uint32_t ck_depth = 0;
+  std::uint32_t ck_sub = 0;
+  std::uint64_t wm_run = 0;  // newest arrival stamp consumed in the run
+  const auto flush_run = [&] {
+    if (!ck_dirty) return;
+    publish_cascade(shard, chunks, ck_stamp, ck_depth, ck_sub, wm_run, load_scratch);
+    chunks.clear();
+    ck_dirty = false;
+    wm_run = 0;
+  };
 
   enum class Action { kFeedback, kControl, kArrival };
   for (;;) {
@@ -1315,7 +1367,9 @@ void ShardedEngineRuntime::worker_cascade_loop(Shard& shard) {
     // comparing the two heads yields the globally next item for this
     // shard. Arrivals are consumed one at a time through the ring's
     // consumer peek (the head item's `next` cursor advances in place).
+    std::uint64_t blocked_gate = ~std::uint64_t{0};  // set by a gate-refused claim
     const auto try_claim = [&]() -> bool {
+      blocked_gate = ~std::uint64_t{0};
       bool have = false;
       Action candidate{};
       std::uint64_t key_stamp = 0;
@@ -1351,18 +1405,28 @@ void ShardedEngineRuntime::worker_cascade_loop(Shard& shard) {
         }
       }
       if (!have) return false;
-      // Arrivals and control items wait for every earlier stamp's
-      // cascade to drain — unless feedback provably cannot exist. A shard
-      // hosting no feedback-reachable definition (cascade_reachable
-      // false) never receives feedback items, so it may run ahead of the
-      // closure frontier — but only by kCascadeRunahead stamps, bounding
-      // its outbox while the coordinator trails. The seq_cst loads pair
-      // with the coordinator's frontier store through work_ec's fences,
-      // so parking never misses an advance.
+      // Arrivals and control items wait on this shard's admission
+      // frontier: every in-flight closure below theirs either finished
+      // dispatching feedback or provably cannot reach this shard, so
+      // nothing with a smaller sub-stamp can enter its queues anymore —
+      // items already queued are ordered by the head comparison above.
+      // (Gating is not needed when feedback provably cannot exist.) A
+      // shard hosting no feedback-reachable definition never receives
+      // feedback items, so it runs ahead of the *global* frontier — but
+      // only by kCascadeRunahead stamps, bounding its outbox while the
+      // coordinator trails. The seq_cst loads pair with the
+      // coordinator's frontier stores through work_ec's fences, so
+      // parking never misses an advance.
       if (feedback_possible_.load(std::memory_order_seq_cst)) {
-        const std::uint64_t closed = closed_through_.load(std::memory_order_seq_cst);
-        if (closed < gate && (shard.cascade_reachable.load(std::memory_order_seq_cst) ||
-                              gate > closed + kCascadeRunahead)) {
+        if (shard.cascade_reachable.load(std::memory_order_seq_cst)) {
+          if (gate > shard.admitted.load(std::memory_order_seq_cst)) {
+            blocked_gate = gate;  // frontier value that would admit the head
+            return false;
+          }
+        } else if (gate > admitted_through_.load(std::memory_order_seq_cst) +
+                              kCascadeRunahead) {
+          // Global-frontier advances wake unreachable shards directly;
+          // leave blocked_gate unset so per-shard stores skip the futex.
           return false;
         }
       }
@@ -1385,6 +1449,14 @@ void ShardedEngineRuntime::worker_cascade_loop(Shard& shard) {
         break;
       }
       if (try_claim()) break;
+      // Out of admissible work: make the run's completions visible before
+      // parking — the coordinator (or a peer) may be waiting on them, and
+      // the resulting frontier advance may itself admit the next item.
+      flush_run();
+      // Publish what would unblock us before the pre-park recheck: the
+      // coordinator's frontier store / parked_gate probe pair is the
+      // mirror of this store / claim recheck, so a wake is never lost.
+      shard.parked_gate.store(blocked_gate, std::memory_order_seq_cst);
       const std::uint32_t ticket = shard.work_ec.prepare_wait();
       if (shard.stop.load(std::memory_order_seq_cst)) {
         shard.work_ec.cancel_wait();
@@ -1398,6 +1470,7 @@ void ShardedEngineRuntime::worker_cascade_loop(Shard& shard) {
       shard.work_ec.wait(ticket);
     }
     if (stopping) {
+      flush_run();
       // Arrivals and feedback are abandoned (the runtime is being
       // destroyed and the coordinator is stopping too), but pending
       // migration handshakes must still complete: a peer worker may
@@ -1415,62 +1488,51 @@ void ShardedEngineRuntime::worker_cascade_loop(Shard& shard) {
     if (options_.stall_hook) options_.stall_hook(shard.index);
 
     if (action == Action::kControl) {
+      // Control handshakes block on a peer and peers may block on this
+      // run's completions: publish before entering.
+      flush_run();
       handle_control(shard, control, load_scratch);
       continue;
     }
     if (action == Action::kFeedback) {
       emissions.clear();
       shard.engine->observe(fb.entity, fb.now, emissions);
-      chunks.clear();
       if (!emissions.empty()) {
         for (core::Emission& em : emissions) em.def = shard.global_def[em.def];
         chunks.push_back(OutChunk{fb.stamp, std::move(emissions), fb.depth, fb.sub, fb.now});
         emissions = {};
       }
-      publish_cascade(shard, chunks, fb.stamp, fb.depth, fb.sub, load_scratch);
+      ck_stamp = fb.stamp;
+      ck_depth = fb.depth;
+      ck_sub = fb.sub;
+      ck_dirty = true;
       continue;
     }
-    // Arrival: observed one at a time — the closure frontier must be able
-    // to advance between consecutive stamps, so completion is published
-    // per arrival, not per batch item.
+    // Arrival: observed one at a time so the completion key can advance
+    // between consecutive stamps; the publish itself is deferred to the
+    // end of the admissible run.
     emissions.clear();
     const std::shared_ptr<const core::Entity> entity(batch, &batch->entities[index]);
     const std::uint64_t stamp = batch->stamps[index];
     shard.engine->observe(entity, batch->nows[index], emissions);
-    chunks.clear();
     if (!emissions.empty()) {
       for (core::Emission& em : emissions) em.def = shard.global_def[em.def];
       chunks.push_back(OutChunk{stamp, std::move(emissions), 0, 0, batch->nows[index]});
       emissions = {};
     }
-    publish_cascade(shard, chunks, stamp, 0, 0, load_scratch);
+    ck_stamp = stamp;
+    ck_depth = 0;
+    ck_sub = 0;
+    ck_dirty = true;
+    wm_run = stamp;
     shard.queued_arrivals.fetch_sub(1, std::memory_order_seq_cst);
     shard.space_ec.notify_all();
   }
 }
 
 void ShardedEngineRuntime::signal_cascade() {
-  {
-    const std::lock_guard lk(cascade_mutex_);
-    ++cascade_signal_;
-  }
-  cascade_cv_.notify_all();
-}
-
-template <typename Pred>
-bool ShardedEngineRuntime::cascade_wait(Pred&& pred) {
-  std::uint64_t seen;
-  {
-    const std::lock_guard lk(cascade_mutex_);
-    seen = cascade_signal_;
-  }
-  for (;;) {
-    if (pred()) return true;
-    std::unique_lock lk(cascade_mutex_);
-    cascade_cv_.wait(lk, [&] { return cascade_stop_ || cascade_signal_ != seen; });
-    if (cascade_stop_) return false;
-    seen = cascade_signal_;
-  }
+  cascade_signal_.fetch_add(1, std::memory_order_seq_cst);
+  cascade_ec_.notify_all();
 }
 
 bool ShardedEngineRuntime::ck_reached_all(std::uint64_t mask, std::uint64_t stamp,
@@ -1491,182 +1553,454 @@ bool ShardedEngineRuntime::ck_reached_all(std::uint64_t mask, std::uint64_t stam
   return true;
 }
 
-void ShardedEngineRuntime::gather_level_chunks(Shard& shard, std::uint64_t stamp,
-                                               std::uint32_t depth,
-                                               std::vector<core::Emission>& out,
-                                               time_model::TimePoint& now) {
-  const std::lock_guard lk(shard.out_mutex);
-  while (!shard.outbox.empty() && shard.outbox.front().stamp == stamp &&
-         shard.outbox.front().depth == depth) {
-    OutChunk chunk = std::move(shard.outbox.front());
-    shard.outbox.pop_front();
-    now = chunk.now;
-    for (core::Emission& em : chunk.emissions) {
-      // Tag with the source item's sub so the caller can restore global
-      // level order (parent order, then definition index) before
-      // renumbering the level.
-      em.emit_index = chunk.sub;
-      out.push_back(std::move(em));
+void ShardedEngineRuntime::build_cascade_graph() {
+  cascade_graph_built_ = true;
+  const auto defs = static_cast<std::uint32_t>(def_specs_.size());
+  // Type-level consumption edges: definition d consumes a group's output
+  // type when one of its slots filters on instances of that type (or on
+  // anything). Producers are groups — one event type each — so reach is
+  // computed per group and shared by the group's definitions.
+  std::vector<std::vector<std::uint32_t>> consumers(groups_.size());
+  std::vector<std::uint32_t> wildcard;  // defs with kAny slots: consume every type
+  for (std::uint32_t d = 0; d < defs; ++d) {
+    for (const core::SlotSpec& slot : def_specs_[d].slots) {
+      const core::FilterSignature sig = slot.filter.signature();
+      if (sig.kind == core::FilterSignature::Kind::kEventType) {
+        if (const auto it = type_group_.find(sig.key); it != type_group_.end()) {
+          consumers[it->second].push_back(d);
+        }
+      } else if (sig.kind == core::FilterSignature::Kind::kAny) {
+        wildcard.push_back(d);
+      }
     }
   }
-}
-
-void ShardedEngineRuntime::apply_reroutes(std::uint64_t stamp) {
-  for (;;) {
-    CascadeReroute record;
-    {
-      const std::lock_guard lk(cascade_mutex_);
-      if (reroutes_.empty() || reroutes_.front().barrier > stamp) return;
-      record = std::move(reroutes_.front());
-      reroutes_.pop_front();
-    }
-    // def_specs_ stops growing once ingestion starts, so reading it off
-    // the coordinator thread is safe (the registration writes are ordered
-    // before the first pending arrival via the ingest/merge locks).
-    for (const std::uint32_t d : record.defs) {
-      cascade_routes_.remove_collapsed(def_specs_[d], record.from);
-      cascade_routes_.add_collapsed(def_specs_[d], record.to);
+  // reach[g]: shards hosting any definition reachable from the group's
+  // output type in one or more cascade steps. Fixed-point iteration
+  // handles cascade cycles (the engine's depth cap bounds those at run
+  // time, not here); it terminates because masks only ever grow.
+  std::vector<std::uint64_t> reach(groups_.size(), 0);
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+      std::uint64_t m = reach[g];
+      for (const std::uint32_t d : consumers[g]) {
+        m |= std::uint64_t{1} << def_shard_[d];
+        m |= reach[def_group_[d]];
+      }
+      for (const std::uint32_t d : wildcard) {
+        m |= std::uint64_t{1} << def_shard_[d];
+        m |= reach[def_group_[d]];
+      }
+      if (m != reach[g]) {
+        reach[g] = m;
+        changed = true;
+      }
     }
   }
+  cascade_future_.assign(defs, 0);
+  for (std::uint32_t d = 0; d < defs; ++d) cascade_future_[d] = reach[def_group_[d]];
 }
 
 void ShardedEngineRuntime::cascade_loop() {
-  std::vector<core::Emission> level;
-  std::vector<core::Emission> next_level;
-  std::vector<core::Emission> closure;
+  const std::size_t pipeline = std::max<std::uint32_t>(1, options_.cascade_pipeline);
+  const bool hold_whole = options_.ordering == OrderingTier::kGlobalTotalOrder;
+  const bool per_def = options_.ordering == OrderingTier::kPerDefinitionOrder;
+
+  // One in-flight closure. Lifecycle: activated (awaiting its arrival
+  // chunks) -> alternating [renumber+dispatch a level / await its
+  // consumption] -> finished (the terminal level was renumbered in the
+  // same pass that learned no further dispatch happens, so "finished
+  // dispatching" and "closure complete" coincide; the admission
+  // frontiers may pass it) -> merged in stamp order. `level` buffers
+  // gathered child emissions tagged with their parent's sub; `closure`
+  // holds renumbered emissions not yet released to the merged stream.
+  struct Active {
+    Pending p{};
+    std::uint32_t depth = 0;       ///< dispatched level awaiting consumption
+    std::uint32_t next_level = 1;  ///< closure level the gathered children form
+    bool awaiting_arrival = true;
+    bool finished = false;
+    std::uint64_t remaining = 0;  ///< shards future feedback could still reach
+    std::uint64_t reingested = 0;
+    std::uint64_t truncated = 0;
+    std::vector<std::uint8_t> touched;    ///< shards the awaited level went to
+    std::vector<std::uint32_t> last_sub;  ///< last sub dispatched per shard
+    std::vector<core::Emission> level;
+    std::vector<core::Emission> closure;
+    time_model::TimePoint now{};
+  };
+  std::deque<Active> active;  // stamp order; mirrors pending_'s prefix
   std::vector<core::SlotRoute> routes;
-  std::vector<std::uint32_t> last_sub(shards_.size(), 0);
-  std::vector<std::uint8_t> touched(shards_.size(), 0);
+  std::vector<std::vector<FeedbackItem>> fb_batch(shards_.size());
+  std::vector<std::uint64_t> cascade_seq;  // coordinator-owned per-group counters
+  std::vector<std::uint64_t> adm(shards_.size(), 0);
   const auto by_parent_then_def = [](const core::Emission& a, const core::Emission& b) {
     return a.emit_index != b.emit_index ? a.emit_index < b.emit_index : a.def < b.def;
   };
 
-  for (;;) {
-    // 1. Next open arrival, in stamp order.
-    Pending p{};
-    if (!cascade_wait([&] {
-          const std::lock_guard lk(merge_mutex_);
-          if (pending_.empty()) return false;
-          p = pending_.front();
-          return true;
-        })) {
-      return;
+  const auto find_active = [&](std::uint64_t stamp) -> Active* {
+    for (Active& a : active) {
+      if (a.p.stamp == stamp) return &a;
     }
-    // 2. Wait until every recipient shard has observed the arrival.
-    if (!cascade_wait([&] { return ck_reached_all(p.mask, p.stamp, 0, 0); })) return;
-    // 3. Apply migration routing flips whose barrier the frontier reached.
-    apply_reroutes(p.stamp);
+    return nullptr;
+  };
 
-    // 4. Drain the cascade level by level (breadth-first, exactly the
-    //    sequential observe_cascading order).
-    closure.clear();
-    level.clear();
-    time_model::TimePoint now{};
-    for (std::uint64_t m = p.mask; m != 0; m &= m - 1) {
-      gather_level_chunks(*shards_[static_cast<std::size_t>(std::countr_zero(m))], p.stamp, 0,
-                          level, now);
+  // Pops every outbox chunk belonging to an in-flight closure into that
+  // closure's level buffer. Per-shard outboxes are sub-stamp ordered, so
+  // stopping at the first chunk of a not-yet-activated stamp preserves
+  // order — that chunk is picked up after its closure activates.
+  const auto sweep_shard = [&](Shard& shard) {
+    // Quiet-shard fast path: nothing published since the last drain, so
+    // skip the mutex. The flag only clears when the outbox empties —
+    // chunks held back for a not-yet-activated stamp keep it set, since
+    // a later activate() (not a publish) is what makes them consumable.
+    if (!shard.out_dirty.load(std::memory_order_relaxed)) return;
+    const std::lock_guard lk(shard.out_mutex);
+    while (!shard.outbox.empty()) {
+      OutChunk& front = shard.outbox.front();
+      Active* a = find_active(front.stamp);
+      if (a == nullptr) break;
+      a->now = front.now;
+      for (core::Emission& em : front.emissions) {
+        // Tag with the source item's sub so level order (parent order,
+        // then definition) can be restored before renumbering.
+        em.emit_index = front.sub;
+        a->level.push_back(std::move(em));
+      }
+      shard.outbox.pop_front();
     }
-    std::stable_sort(level.begin(), level.end(), by_parent_then_def);
-    std::uint32_t depth = 1;
-    std::uint64_t reingested = 0;
-    std::uint64_t truncated = 0;
-    bool aborted = false;
-    while (!level.empty()) {
-      const std::size_t base = closure.size();
-      for (std::size_t k = 0; k < level.size(); ++k) {
-        level[k].depth = depth;
-        level[k].emit_index = static_cast<std::uint32_t>(k);
-        closure.push_back(std::move(level[k]));
-      }
-      if (depth >= options_.engine.max_cascade_depth) {
-        // Cycle guard: the cap level is delivered but never re-ingested;
-        // count the suppressed re-ingestions exactly as the engine does.
-        for (std::size_t k = base; k < closure.size(); ++k) {
-          core::Entity fed(std::move(closure[k].instance));
-          routes.clear();
-          cascade_routes_.collect(fed, routes, [](const core::SlotRoute&) { return true; });
-          if (!routes.empty()) ++truncated;
-          closure[k].instance = std::move(fed).extract_instance();
-        }
-        break;
-      }
-      // Re-ingest this level as feedback, in level order.
-      std::fill(touched.begin(), touched.end(), 0);
-      bool any_dispatch = false;
-      for (std::size_t k = base; k < closure.size(); ++k) {
-        core::Emission& em = closure[k];
-        core::Entity fed(std::move(em.instance));
-        routes.clear();
-        cascade_routes_.collect(fed, routes, [](const core::SlotRoute&) { return true; });
-        if (routes.empty()) {  // inert: no shard hosts a candidate definition
-          em.instance = std::move(fed).extract_instance();
-          continue;
-        }
-        ++reingested;
-        any_dispatch = true;
-        const auto shared = std::make_shared<const core::Entity>(std::move(fed));
-        em.instance = shared->instance();  // the merged stream keeps its copy
-        std::uint64_t mask = 0;
-        for (const core::SlotRoute r : routes) mask |= std::uint64_t{1} << r.def_idx;
-        for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-          const auto s = static_cast<std::size_t>(std::countr_zero(m));
-          {
-            const std::lock_guard lk(shards_[s]->fb_mutex);
-            shards_[s]->feedback.push_back(
-                FeedbackItem{p.stamp, depth, em.emit_index, shared, now});
-          }
-          shards_[s]->work_ec.notify_all();
-          touched[s] = 1;
-          last_sub[s] = em.emit_index;
-        }
-      }
-      if (!any_dispatch) break;
-      // 5. Wait for every recipient to drain the level, then gather the
-      //    children and restore global order.
-      if (!cascade_wait([&] {
-            for (std::size_t s = 0; s < shards_.size(); ++s) {
-              if (touched[s] != 0 &&
-                  !ck_reached_all(std::uint64_t{1} << s, p.stamp, depth, last_sub[s])) {
-                return false;
-              }
-            }
-            return true;
-          })) {
-        aborted = true;
-        break;
-      }
-      next_level.clear();
-      for (std::size_t s = 0; s < shards_.size(); ++s) {
-        if (touched[s] != 0) gather_level_chunks(*shards_[s], p.stamp, depth, next_level, now);
-      }
-      std::stable_sort(next_level.begin(), next_level.end(), by_parent_then_def);
-      level.swap(next_level);
-      ++depth;
-    }
-    if (aborted) return;
+    if (shard.outbox.empty()) shard.out_dirty.store(false, std::memory_order_relaxed);
+  };
 
-    // 6. Close the stamp: release the closure to the merged stream and
-    //    advance the frontier (unblocking the workers' next arrivals).
+  const auto activate = [&]() -> bool {
+    // Steady-state fast path: a full window cannot activate anything, so
+    // skip the merge_mutex_ section (the common case on idle wakes).
+    if (active.size() >= pipeline) return false;
+    bool any = false;
     {
       const std::lock_guard lk(merge_mutex_);
-      for (core::Emission& em : closure) {
-        cascade_out_.push_back(TaggedInstance{p.stamp, em.def, std::move(em.instance)});
+      while (active.size() < pipeline && active.size() < pending_.size()) {
+        Active a;
+        a.p = pending_[active.size()];
+        a.remaining = a.p.future;
+        a.touched.assign(shards_.size(), 0);
+        a.last_sub.assign(shards_.size(), 0);
+        active.push_back(std::move(a));
+        any = true;
       }
-      instances_ += closure.size();
-      cascade_reingested_ += reingested;
-      cascade_truncated_ += truncated;
-      pending_.pop_front();
-      const std::uint64_t closed =
-          pending_.empty() ? last_stamp_assigned_ : pending_.front().stamp - 1;
-      // Cascade releases whole closures in stamp order, so the closure
-      // frontier *is* the low watermark.
-      low_watermark_ = closed;
-      closed_through_.store(closed, std::memory_order_seq_cst);
     }
-    merged_cv_.notify_all();
-    // The seq_cst frontier store pairs with the workers' gate load through
-    // work_ec's registration/probe fences — no missed wakeup.
-    for (auto& shard : shards_) shard->work_ec.notify_all();
+    if (active.size() > closures_in_flight_max_.load(std::memory_order_relaxed)) {
+      closures_in_flight_max_.store(active.size(), std::memory_order_relaxed);
+    }
+    return any;
+  };
+
+  // Tier-relaxed release: stream `a`'s renumbered emissions from `from`
+  // on without waiting for the whole closure. Unordered releases from any
+  // in-flight closure as produced; per-definition order only from the
+  // oldest (younger closures buffer until they reach the front at merge,
+  // keeping each definition's stream stamp- and seq-ordered). The
+  // watermark stays clamped below the oldest in-flight closure, so early
+  // releases always carry stamps above it.
+  const auto release_tail = [&](Active& a, std::size_t from) {
+    if (hold_whole) return;
+    if (per_def && &a != &active.front()) return;
+    if (from >= a.closure.size()) return;
+    {
+      const std::lock_guard lk(merge_mutex_);
+      for (std::size_t k = from; k < a.closure.size(); ++k) {
+        cascade_out_.push_back(
+            TaggedInstance{a.p.stamp, a.closure[k].def, std::move(a.closure[k].instance)});
+      }
+      instances_ += a.closure.size() - from;
+    }
+    a.closure.resize(from);
+  };
+
+  // Consumes `a`'s fully-gathered level: restore global level order,
+  // renumber, and either finish the closure (empty / inert / depth-capped
+  // level) or dispatch it as per-shard feedback batches.
+  const auto advance = [&](Active& a) {
+    std::stable_sort(a.level.begin(), a.level.end(), by_parent_then_def);
+    const std::uint32_t depth = a.next_level;
+    const std::size_t base = a.closure.size();
+    for (std::size_t k = 0; k < a.level.size(); ++k) {
+      core::Emission& em = a.level[k];
+      em.depth = depth;
+      em.emit_index = static_cast<std::uint32_t>(k);
+      // Renumber the instance key's sequence from coordinator-owned
+      // per-group counters, in closure order, *before* dispatch (children
+      // observe the renumbered parent). Identity while a group lives on
+      // one shard — each group's engine numbers its own emissions in this
+      // exact order — and with a split group it restores the sequential
+      // numbering the two sub-engines can no longer agree on, which is
+      // what makes split_group legal in cascade mode.
+      const std::uint32_t g = def_group_[em.def];
+      if (g >= cascade_seq.size()) cascade_seq.resize(g + 1, 0);
+      em.instance.key.seq = cascade_seq[g]++;
+      a.closure.push_back(std::move(em));
+    }
+    a.level.clear();
+    a.awaiting_arrival = false;
+    if (base == a.closure.size()) {  // empty level: closure complete
+      a.remaining = 0;
+      a.finished = true;
+      return;
+    }
+    if (depth >= options_.engine.max_cascade_depth) {
+      // Cycle guard: the cap level is delivered but never re-ingested;
+      // count the suppressed re-ingestions exactly as the engine does.
+      // Known without another roundtrip, so the closure finishes here.
+      for (std::size_t k = base; k < a.closure.size(); ++k) {
+        core::Entity fed(std::move(a.closure[k].instance));
+        if (cascade_routes_.target_mask(fed, a.p.stamp, routes) != 0) ++a.truncated;
+        a.closure[k].instance = std::move(fed).extract_instance();
+      }
+      a.remaining = 0;
+      a.finished = true;
+      release_tail(a, base);
+      return;
+    }
+    // Re-ingest the level as feedback, batched per shard (one queue splice
+    // + one wake per recipient, not per instance), and shrink the
+    // closure's downstream reach to what the dispatched types can still
+    // produce — shards outside it may admit younger arrivals immediately.
+    std::fill(a.touched.begin(), a.touched.end(), 0);
+    std::uint64_t next_remaining = 0;
+    bool any_dispatch = false;
+    for (std::size_t k = base; k < a.closure.size(); ++k) {
+      core::Emission& em = a.closure[k];
+      core::Entity fed(std::move(em.instance));
+      const std::uint64_t mask = cascade_routes_.target_mask(fed, a.p.stamp, routes);
+      if (mask == 0) {  // inert: no shard hosts a candidate definition
+        em.instance = std::move(fed).extract_instance();
+        continue;
+      }
+      ++a.reingested;
+      any_dispatch = true;
+      if (a.p.future == ~std::uint64_t{0}) {
+        next_remaining = ~std::uint64_t{0};  // post-migration: the table is stale
+      } else {
+        next_remaining |= cascade_future_[em.def];
+      }
+      const auto shared = std::make_shared<const core::Entity>(std::move(fed));
+      em.instance = shared->instance();  // the merged stream keeps its copy
+      for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+        const auto s = static_cast<std::size_t>(std::countr_zero(m));
+        fb_batch[s].push_back(FeedbackItem{a.p.stamp, depth, em.emit_index, shared, a.now});
+        a.touched[s] = 1;
+        a.last_sub[s] = em.emit_index;
+      }
+    }
+    if (!any_dispatch) {  // whole level inert: no roundtrip, closure complete
+      a.remaining = 0;
+      a.finished = true;
+      release_tail(a, base);
+      return;
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (fb_batch[s].empty()) continue;
+      {
+        const std::lock_guard lk(shards_[s]->fb_mutex);
+        for (FeedbackItem& item : fb_batch[s]) {
+          shards_[s]->feedback.push_back(std::move(item));
+        }
+      }
+      fb_batch[s].clear();
+      shards_[s]->work_ec.notify_all();
+      cascade_feedback_batches_.fetch_add(1, std::memory_order_relaxed);
+    }
+    a.remaining = next_remaining;
+    a.depth = depth;
+    a.next_level = depth + 1;
+    release_tail(a, base);
+  };
+
+  // Steps `a` once if its awaited level has been fully consumed: check
+  // the recipients' consumption clocks, re-sweep exactly those shards'
+  // outboxes (the level's children are complete once the clocks passed),
+  // then advance. A shard whose clock ran ahead to a younger admitted
+  // stamp counts as passed (ck_reached_all is lexicographic).
+  const auto try_step = [&](Active& a) -> bool {
+    if (a.finished) return false;
+    if (a.awaiting_arrival) {
+      if (!ck_reached_all(a.p.mask, a.p.stamp, 0, 0)) return false;
+      for (std::uint64_t m = a.p.mask; m != 0; m &= m - 1) {
+        sweep_shard(*shards_[static_cast<std::size_t>(std::countr_zero(m))]);
+      }
+    } else {
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (a.touched[s] != 0 &&
+            !ck_reached_all(std::uint64_t{1} << s, a.p.stamp, a.depth, a.last_sub[s])) {
+          return false;
+        }
+      }
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (a.touched[s] != 0) sweep_shard(*shards_[s]);
+      }
+    }
+    advance(a);
+    return true;
+  };
+
+  // Merges the oldest closure once finished: whole closures always leave
+  // in stamp order (the relaxed tiers released their emissions earlier,
+  // so only the withheld tail moves here), the watermark advances to just
+  // below the new oldest unclosed stamp, and routing versions nothing
+  // in flight can need are retired.
+  const auto merge_front = [&]() -> bool {
+    if (active.empty() || !active.front().finished) return false;
+    Active a = std::move(active.front());
+    active.pop_front();
+    bool drained = false;
+    {
+      const std::lock_guard lk(merge_mutex_);
+      for (core::Emission& em : a.closure) {
+        cascade_out_.push_back(TaggedInstance{a.p.stamp, em.def, std::move(em.instance)});
+      }
+      instances_ += a.closure.size();
+      cascade_reingested_ += a.reingested;
+      cascade_truncated_ += a.truncated;
+      pending_.pop_front();
+      if (per_def && !active.empty()) {
+        // The new oldest closure may stream from here on: flush what it
+        // withheld while it was not the front.
+        Active& nf = active.front();
+        for (core::Emission& em : nf.closure) {
+          cascade_out_.push_back(TaggedInstance{nf.p.stamp, em.def, std::move(em.instance)});
+        }
+        instances_ += nf.closure.size();
+        nf.closure.clear();
+      }
+      low_watermark_ = pending_.empty() ? last_stamp_assigned_ : pending_.front().stamp - 1;
+      drained = pending_.empty();
+    }
+    // flush() parks on merged_cv_ until the pending frontier empties;
+    // notifying on every merge would wake it once per closure just to
+    // re-check a predicate that can only pass at quiescence.
+    if (drained) merged_cv_.notify_all();
+    cascade_routes_.retire_below(a.p.stamp + 1);
+    return true;
+  };
+
+  // Recomputes the admission frontiers from the in-flight set. Base: the
+  // stamp just below the first not-yet-activated arrival (everything
+  // activated and finished imposes no constraint). Global frontier: below
+  // the first unfinished closure — the gate for shards outside the
+  // cascade graph, which run ahead of it by kCascadeRunahead. Per-shard
+  // frontier: below the first unfinished closure whose remaining
+  // downstream reach includes the shard — reachable shards outside every
+  // in-flight closure's reach admit younger arrivals immediately, which
+  // is where the closure overlap comes from.
+  const auto publish_frontiers = [&] {
+    std::uint64_t base;
+    {
+      const std::lock_guard lk(merge_mutex_);
+      base = active.size() < pending_.size() ? pending_[active.size()].stamp - 1
+                                             : last_stamp_assigned_;
+    }
+    std::uint64_t global = base;
+    for (const Active& a : active) {
+      if (!a.finished) {
+        global = a.p.stamp - 1;
+        break;
+      }
+    }
+    bool global_advanced = false;
+    if (global > admitted_through_.load(std::memory_order_relaxed)) {
+      // The seq_cst frontier store pairs with the workers' gate load
+      // through work_ec's registration/probe fences — no missed wakeup.
+      admitted_through_.store(global, std::memory_order_seq_cst);
+      global_advanced = true;
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) adm[s] = base;
+    for (const Active& a : active) {
+      if (a.finished) continue;
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if ((a.remaining >> s) & 1 && a.p.stamp - 1 < adm[s]) adm[s] = a.p.stamp - 1;
+      }
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      if (adm[s] > shard.admitted.load(std::memory_order_relaxed)) {
+        shard.admitted.store(adm[s], std::memory_order_seq_cst);
+        // Skip the futex unless this advance reaches the gate the worker
+        // parked on (most closure finishes admit exactly one arrival,
+        // on one shard — waking the other workers just burns switches).
+        if (adm[s] >= shard.parked_gate.load(std::memory_order_seq_cst)) {
+          shard.work_ec.notify_all();
+        }
+      }
+    }
+    // The global frontier only gates cascade-unreachable shards (the
+    // reachable ones gate on their per-shard store above) — waking every
+    // worker here would cost a futex round per parked worker per closure.
+    if (global_advanced) {
+      for (auto& sp : shards_) {
+        if (!sp->cascade_reachable.load(std::memory_order_seq_cst)) {
+          sp->work_ec.notify_all();
+        }
+      }
+    }
+  };
+
+  std::vector<CascadeReroute> reroute_scratch;
+  for (;;) {
+    if (cascade_stop_.load(std::memory_order_seq_cst)) return;
+    // Snapshot before the pass: anything published after this load bumps
+    // the counter past `seen`, so a no-progress pass either observes it
+    // or skips the park below.
+    const std::uint64_t seen = cascade_signal_.load(std::memory_order_seq_cst);
+    if (reroutes_pending_.load(std::memory_order_acquire) != 0) {
+      reroute_scratch.clear();
+      {
+        const std::lock_guard lk(cascade_mutex_);
+        while (!reroutes_.empty()) {
+          reroute_scratch.push_back(std::move(reroutes_.front()));
+          reroutes_.pop_front();
+        }
+        reroutes_pending_.store(0, std::memory_order_relaxed);
+      }
+      // Eager: each version is effective from its barrier stamp onward, so
+      // in-flight pre-barrier closures keep resolving through the older
+      // placement and the flip needs no frontier rendezvous.
+      for (const CascadeReroute& r : reroute_scratch) {
+        cascade_routes_.publish(r.barrier, r.defs, r.to);
+      }
+    }
+    bool progressed = activate();
+    for (auto& sp : shards_) sweep_shard(*sp);
+    // Renumber+dispatch strictly in stamp order: step the oldest
+    // unfinished closure as far as it goes; younger closures only have
+    // their chunks swept and buffered until the prefix ahead of them has
+    // finished, which keeps per-group sequence numbering — and therefore
+    // the global tier's merged stream — byte-identical to the sequential
+    // engine. The overlap is in the *shards*: while this closure waits on
+    // its recipients, shards outside its remaining reach are already
+    // consuming younger arrivals (see publish_frontiers), whose chunks
+    // land here ready to renumber without further roundtrips.
+    for (Active& a : active) {
+      if (a.finished) continue;
+      while (try_step(a)) progressed = true;
+      if (!a.finished) break;
+    }
+    while (merge_front()) progressed = true;
+    // The frontiers are pure functions of the in-flight set: a pass that
+    // made no progress cannot have moved them, so an idle wake skips the
+    // merge_mutex_ section and the store/notify sweep entirely.
+    if (progressed) {
+      publish_frontiers();
+      continue;
+    }
+    // Idle: park on the event count unless something signalled since the
+    // snapshot (the registration/probe fences make the recheck sound).
+    const std::uint32_t ticket = cascade_ec_.prepare_wait();
+    if (cascade_stop_.load(std::memory_order_seq_cst) ||
+        cascade_signal_.load(std::memory_order_seq_cst) != seen) {
+      cascade_ec_.cancel_wait();
+      continue;
+    }
+    cascade_ec_.wait(ticket);
   }
 }
 
@@ -1953,6 +2287,8 @@ RuntimeStats ShardedEngineRuntime::stats() const {
   s.crashes = crashes_.load(std::memory_order_relaxed);
   s.recoveries = recoveries_.load(std::memory_order_relaxed);
   s.replayed = replayed_.load(std::memory_order_relaxed);
+  s.closures_in_flight_max = closures_in_flight_max_.load(std::memory_order_relaxed);
+  s.cascade_feedback_batches = cascade_feedback_batches_.load(std::memory_order_relaxed);
   const std::lock_guard lk(merge_mutex_);
   s.arrivals = arrivals_;
   s.deliveries = deliveries_;

@@ -74,6 +74,17 @@ struct RuntimeOptions {
   /// default — the non-cascading pipeline is byte-identical to plain
   /// observe() and pays none of the closure coordination.
   bool cascade = false;
+  /// Cascade mode: maximum number of stamps' closures the coordinator
+  /// drives concurrently (clamped to >= 1). At the default 1 exactly one
+  /// closure is in flight at a time. Higher depths overlap independent
+  /// stamps: a shard may observe arrival s as soon as every closure below
+  /// s has finished *dispatching* feedback and this shard has consumed
+  /// the sub-stamps that targeted it — it no longer waits for other
+  /// shards to finish processing or for the closure to merge. Every
+  /// depth preserves the tier contract (the global tier stays
+  /// byte-identical to the sequential cascade at any setting); deeper
+  /// pipelines buffer proportionally more in-flight closure state.
+  std::uint32_t cascade_pipeline = 1;
   /// Pin each shard worker thread to a distinct logical CPU (shard index
   /// modulo the process's allowed-CPU count; see runtime/affinity.hpp).
   /// Off by default: pinning helps on dedicated multi-core hosts (stable
@@ -109,10 +120,14 @@ struct RuntimeOptions {
   /// Options forwarded to every shard's DetectionEngine.
   core::EngineOptions engine;
   /// Ordering contract of the merged stream (see OrderingTier). Cascade
-  /// mode always releases in closure order regardless of this setting (the
-  /// coordinator's closure drive *is* the merge there); the relaxed tiers
-  /// then still expose their tagged/watermark API, with the watermark
-  /// tracking the closure frontier.
+  /// mode honors it too: the global tier releases whole closures in stamp
+  /// order (byte-identical to the sequential cascade); under
+  /// kPerDefinitionOrder the oldest in-flight closure streams its levels
+  /// out as they complete (per-definition sequence order is preserved by
+  /// construction — levels release in closure order per stamp, stamps in
+  /// order per definition); under kUnorderedWatermarked every closure's
+  /// levels release as produced and the low watermark clamps below the
+  /// oldest in-flight closure.
   OrderingTier ordering = OrderingTier::kGlobalTotalOrder;
 };
 
@@ -138,6 +153,14 @@ struct RuntimeStats {
   /// Cascade mode: re-ingestions suppressed by the depth cap (the cycle
   /// guard) — comparable to EngineStats::cascade_truncated.
   std::uint64_t cascade_truncated = 0;
+  /// Cascade mode: high-water count of closures the coordinator drove
+  /// concurrently (bounded by RuntimeOptions::cascade_pipeline; 1 means
+  /// the pipeline never overlapped two stamps).
+  std::uint64_t closures_in_flight_max = 0;
+  /// Cascade mode: feedback batches dispatched — one per (shard, level)
+  /// that received any feedback, i.e. one queue push + one wake each,
+  /// however many instances the batch carried.
+  std::uint64_t cascade_feedback_batches = 0;
   std::uint64_t checkpoints = 0;  ///< shard checkpoints taken
   std::uint64_t crashes = 0;      ///< injected worker deaths reaped
   std::uint64_t recoveries = 0;   ///< shards rebuilt from checkpoint + log
@@ -224,22 +247,35 @@ struct TaggedInstance {
 /// at one layer become entities evaluated at the next (paper Fig. 2). A
 /// dedicated coordinator thread drives each arrival's *cascade closure*:
 /// once every recipient shard has processed the arrival, its merged
-/// emissions (level 1) are routed through a stamp-versioned copy of the
-/// shard routing index and re-ingested as *feedback items* carrying the
-/// hierarchical sub-stamp `(arrival stamp, depth, emit index)`; the
+/// emissions (level 1) are routed through a stamp-versioned copy-on-write
+/// view of the routing index (core::VersionedRouting) and re-ingested as
+/// *feedback items* carrying the hierarchical sub-stamp
+/// `(arrival stamp, depth, emit index)`, batched per (shard, level); the
 /// recipients' level-2 emissions are gathered, merged and re-ingested in
 /// turn, until a level is empty or the depth cap is reached. Workers
-/// process work in sub-stamp order — an arrival may only be observed
-/// once every earlier stamp's closure has fully drained (the *closure
-/// frontier*), so buffer mutations interleave exactly as in a sequential
-/// cascading engine — and the merge releases a stamp only when its full
-/// closure has drained. Migrations stay exact: control items gate on the
-/// closure frontier of their barrier stamp and the coordinator flips its
-/// routing copy when the frontier reaches the barrier, so feedback for
+/// process work in sub-stamp order: each consumes the smaller of its
+/// inbox head and feedback head, and an arrival is gated on the
+/// *admission frontier* — the highest stamp below which every closure
+/// has finished dispatching feedback. Up to
+/// RuntimeOptions::cascade_pipeline closures are in flight concurrently;
+/// because dispatch completion is serialized in stamp order, each
+/// shard's feedback queue stays sub-stamp-ordered and buffer mutations
+/// interleave exactly as in a sequential cascading engine at any
+/// pipeline depth. The coordinator renumbers each closure level's
+/// instance sequence numbers from per-group counters in closure order
+/// (the identity while a group is unsplit; with a group split across
+/// shards it restores the sequential assignment, which is what makes
+/// split_group legal in cascade mode). Release honors the ordering tier:
+/// the global tier merges whole closures in stamp order (byte-identical
+/// to the sequential cascade), the relaxed tiers stream completed levels
+/// out earlier (see RuntimeOptions::ordering). Migrations stay exact:
+/// control items gate on the admission frontier of their barrier stamp,
+/// and routing flips are published as new placement versions that each
+/// in-flight closure resolves by its own stamp, so feedback for
 /// pre-barrier stamps still reaches the group's old shard
 /// (tests/runtime_cascade_test.cpp proves stream equality against
 /// DetectionEngine::observe_cascading differentially, migrations
-/// included).
+/// included, at several pipeline depths).
 class ShardedEngineRuntime {
  public:
   ShardedEngineRuntime(core::ObserverId id, core::Layer layer, geom::Point location,
@@ -305,9 +341,13 @@ class ShardedEngineRuntime {
   /// global_total_order merge renumbers them back to the sequential
   /// stream's values, so splitting is invisible there — the relaxed tiers
   /// surface the partitioned counters (each definition's sequence stays
-  /// strictly increasing). Returns false when the group is already split,
-  /// spans fewer than two distinct sensor keys, or already lives on
-  /// `to_shard`; throws std::logic_error in cascade mode and
+  /// strictly increasing). In cascade mode the split barrier acts at
+  /// sub-stamp granularity (after every pre-barrier closure item on the
+  /// affected shards) and the coordinator renumbers sequences in closure
+  /// order, so the cascade stream too is unchanged by a split — the
+  /// SpilloverPolicy may therefore relieve cascade-hot groups. Returns
+  /// false when the group is already split, spans fewer than two distinct
+  /// sensor keys, or already lives on `to_shard`; throws
   /// std::out_of_range on bad indices. Thread-safe, callable mid-stream.
   bool split_group(std::size_t def_index, std::size_t to_shard);
   /// Reunifies a split group: the high sub-group migrates back to the
@@ -420,9 +460,12 @@ class ShardedEngineRuntime {
   /// by its hierarchical sub-stamp. `entity` is shared across recipient
   /// shards (and aliased by any slot that buffers it); `now` is the
   /// originating arrival's observation time, exactly what the sequential
-  /// cascading loop re-feeds with. Feedback carries no inbox-capacity
-  /// cost: at most one stamp's closure is in flight at a time, so the
-  /// outstanding feedback is bounded by one cascade's width.
+  /// cascading loop re-feeds with. The coordinator appends feedback in
+  /// one batch per (shard, level) — a single queue splice and wake
+  /// however many instances the level routed here. Feedback carries no
+  /// inbox-capacity cost: at most cascade_pipeline closures are in
+  /// flight, so the outstanding feedback is bounded by that many
+  /// cascades' width.
   struct FeedbackItem {
     std::uint64_t stamp = 0;
     std::uint32_t depth = 0;  ///< depth of the instance being re-fed
@@ -431,10 +474,11 @@ class ShardedEngineRuntime {
     time_model::TimePoint now;
   };
 
-  /// Cascade mode: a routing flip the coordinator applies to its own
-  /// routing copy when the closure frontier reaches `barrier` — feedback
-  /// for stamps before the barrier must still reach the group's old
-  /// shard, after it the new one.
+  /// Cascade mode: a routing flip the coordinator publishes into its
+  /// stamp-versioned routing view as a placement version effective from
+  /// `barrier` — feedback for stamps before the barrier still resolves
+  /// through the older version to the group's old shard, concurrent
+  /// post-barrier closures through the new one.
   struct CascadeReroute {
     std::uint64_t barrier = 0;
     std::vector<std::uint32_t> defs;  ///< the group's global def indices
@@ -510,13 +554,20 @@ class ShardedEngineRuntime {
     /// Cascade mode: feedback items dispatched by the coordinator, in
     /// sub-stamp order, guarded by fb_mutex. Drained interleaved with the
     /// inbox by sub-stamp (the worker picks whichever head item has the
-    /// smaller key). Not capacity-accounted (bounded by one closure).
+    /// smaller key). Not capacity-accounted (bounded by cascade_pipeline
+    /// closures).
     std::mutex fb_mutex;
     std::deque<FeedbackItem> feedback;
 
     std::mutex out_mutex;                     ///< guards outbox/watermark pub
     std::condition_variable done_cv;          ///< flush waits for watermark
     std::deque<OutChunk> outbox;              ///< ascending stamp
+    /// Set (under out_mutex) whenever a publish touches the outbox or the
+    /// completion key; cleared by the coordinator's sweep. The pump polls
+    /// it relaxed to skip out_mutex for shards with nothing new — the
+    /// publisher's signal bump (a release the pump's snapshot acquires)
+    /// orders the store, so a skipped shard is re-polled on the next pass.
+    std::atomic<bool> out_dirty{false};
     /// Snapshot of engine.stats() published by the worker after each work
     /// item. stats() reads this (not the live engine counters, which only
     /// the worker may touch), so concurrent stats() is race-free — merely
@@ -556,10 +607,24 @@ class ShardedEngineRuntime {
     /// Cascade mode: true once this shard hosts (or was ever the
     /// destination of) a definition with an event-type or wildcard slot —
     /// i.e. it can receive feedback, so its arrivals must gate on the
-    /// closure frontier. Monotone; shards that stay false run ahead of
+    /// admission frontier. Monotone; shards that stay false run ahead of
     /// the frontier (bounded by kCascadeRunahead) since feedback provably
     /// never reaches them.
     std::atomic<bool> cascade_reachable{false};
+    /// Cascade mode: this shard's admission frontier — the coordinator
+    /// stores the largest stamp V such that no in-flight (or not yet
+    /// activated) closure with stamp <= V can still dispatch feedback to
+    /// this shard. The worker admits an item exactly when its gate is
+    /// <= this frontier, so a shard outside every in-flight closure's
+    /// reach overlaps later arrivals with those closures' roundtrips.
+    std::atomic<std::uint64_t> admitted{0};
+    /// Cascade mode: the frontier value the parked worker is waiting for,
+    /// ~0 when it is not gate-blocked. Stored (seq_cst) before the
+    /// worker's pre-park claim recheck; the coordinator's frontier store
+    /// (also seq_cst) is followed by a load of this word, so either the
+    /// worker re-checks the new frontier or the coordinator sees the
+    /// parked gate and wakes it — advances below the gate skip the futex.
+    std::atomic<std::uint64_t> parked_gate{~std::uint64_t{0}};
 
     // --- Crash recovery (all unused unless checkpoint_epoch != 0) ---
     /// Initial placement (global index, spec) in registration order:
@@ -598,9 +663,15 @@ class ShardedEngineRuntime {
   };
 
   /// One not-yet-merged arrival: its stamp and recipient-shard bitmask.
+  /// In cascade mode `future` is the bitmask of shards its closure could
+  /// ever dispatch feedback to (the union of the matched definitions'
+  /// downstream reach under the placement at ingest, or all-ones once a
+  /// migration has made the reachability table conservative): a shard
+  /// outside it may run later arrivals while this closure is in flight.
   struct Pending {
     std::uint64_t stamp = 0;
     std::uint64_t mask = 0;
+    std::uint64_t future = 0;
   };
 
   /// A definition group: the co-located definitions of one event type.
@@ -637,40 +708,40 @@ class ShardedEngineRuntime {
   void publish_work(Shard& shard, std::vector<OutChunk>& chunks, std::uint64_t last_stamp,
                     std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch);
   /// Worker body in cascade mode: consumes inbox + feedback in sub-stamp
-  /// order, arrivals and control items gated behind the closure frontier.
+  /// order, arrivals and control items gated behind the admission
+  /// frontier.
   void worker_cascade_loop(Shard& shard);
   /// Executes a migration control item (send: extract + hand over;
   /// receive: wait + implant) and republishes snapshots. Shared by both
   /// worker loops.
   void handle_control(Shard& shard, WorkItem& item,
                       std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch);
-  /// Cascade-mode publish: chunks + snapshots + the processed sub-stamp
-  /// (and the stamp watermark when the item was an arrival).
+  /// Cascade-mode publish: chunks + snapshots + the completion key of the
+  /// last processed item, covering a whole run of items consumed since the
+  /// previous publish (workers batch: one publish + one coordinator wake
+  /// per admissible run, not per item). `watermark` is the run's newest
+  /// fully-consumed arrival stamp (0 = the run had no arrivals).
   void publish_cascade(Shard& shard, std::vector<OutChunk>& chunks, std::uint64_t stamp,
-                       std::uint32_t depth, std::uint32_t sub,
+                       std::uint32_t depth, std::uint32_t sub, std::uint64_t watermark,
                        std::vector<std::pair<std::uint32_t, core::DefinitionLoad>>& load_scratch);
-  /// Coordinator body: drives each pending arrival's cascade closure and
-  /// advances the closure frontier (see class comment).
+  /// Coordinator body: drives up to cascade_pipeline pending arrivals'
+  /// cascade closures concurrently as non-blocking state machines,
+  /// advancing the admission frontier as each closure finishes
+  /// dispatching and merging closures in stamp order (see class comment).
   void cascade_loop();
   /// Bumps the progress counter and wakes the coordinator.
   void signal_cascade();
-  /// Blocks until pred() holds (rechecked on every progress signal);
-  /// returns false when the runtime is shutting down. pred takes the
-  /// locks it needs itself and must not touch cascade_mutex_.
-  template <typename Pred>
-  bool cascade_wait(Pred&& pred);
+  /// Builds the definition-reachability table (cascade_future_): for each
+  /// definition, the bitmask of shards hosting any definition reachable
+  /// from its output type in one or more cascade steps. Called once under
+  /// ingest_mutex_ before the first arrival is stamped; placements are
+  /// the registration-time ones (migrations flip the table to all-ones,
+  /// see issue_subset_locked).
+  void build_cascade_graph();
   /// True once every shard in `mask` has processed sub-stamp (stamp,
   /// depth, sub) — i.e. published a ck at or beyond it.
   bool ck_reached_all(std::uint64_t mask, std::uint64_t stamp, std::uint32_t depth,
                       std::uint32_t sub);
-  /// Pops this shard's outbox chunks for level (stamp, depth), tagging
-  /// each emission's emit_index with its source item's sub so the
-  /// coordinator can restore global level order.
-  void gather_level_chunks(Shard& shard, std::uint64_t stamp, std::uint32_t depth,
-                           std::vector<core::Emission>& out, time_model::TimePoint& now);
-  /// Applies queued routing flips whose barrier the closure frontier has
-  /// reached (coordinator thread only).
-  void apply_reroutes(std::uint64_t stamp);
   /// Appends merged instances that are ready into exactly one of the two
   /// sinks; merge_mutex_ must be held. Global-total-order release: stamp
   /// frontier gating + within-stamp definition sort + per-event-type
@@ -839,22 +910,59 @@ class ShardedEngineRuntime {
   std::uint64_t relaxed_frontier_ = 0;  // guarded by merge_mutex_
 
   // --- Cascade mode (all unused unless options_.cascade) ---
-  /// The coordinator's own routing index, versioned by the closure
-  /// frontier: registration mirrors shard_routes_; after start it is
-  /// touched only by the coordinator thread, which applies queued
-  /// CascadeReroutes exactly when the frontier reaches their barrier.
-  core::RoutingIndex cascade_routes_;
+  /// The coordinator's stamp-versioned copy-on-write routing view:
+  /// registration mirrors shard_routes_ at definition granularity; after
+  /// start it is touched only by the coordinator thread, which publishes
+  /// queued CascadeReroutes as placement versions effective from their
+  /// barrier and resolves each in-flight closure through the version at
+  /// its own stamp.
+  core::VersionedRouting cascade_routes_;
+  /// Ingest-side twin of the coordinator's definition index (collect() is
+  /// lazily self-compacting, so the two threads cannot share one): maps
+  /// an arrival to its matched definitions so ingest can stamp each
+  /// Pending with its closure's downstream-reach shard mask.
+  core::RoutingIndex cascade_ingest_routes_;
+  /// Per definition: bitmask of shards hosting any definition reachable
+  /// from its output type (1+ cascade steps) under registration-time
+  /// placement. Built once by build_cascade_graph() under ingest_mutex_
+  /// before the first stamp; immutable afterwards (the coordinator reads
+  /// it concurrently). Migrations make it stale, so the first one flips
+  /// cascade_conservative_ and new arrivals carry an all-ones reach.
+  std::vector<std::uint64_t> cascade_future_;
+  bool cascade_graph_built_ = false;   // guarded by ingest_mutex_
+  bool cascade_conservative_ = false;  // guarded by ingest_mutex_
   std::thread cascade_thread_;
   /// Guards the coordinator's wake-up state and the reroute queue.
+  /// Coordinator wake protocol: publishers bump cascade_signal_ (seq_cst
+  /// RMW, a release) and notify cascade_ec_ — one fenced load when the
+  /// coordinator is awake, no mutex on the publish fast path. The
+  /// coordinator snapshots the counter before a pass and parks only if it
+  /// is unchanged after a no-progress pass (EventCount's Dekker pair makes
+  /// the sleep race-free). cascade_mutex_ now guards only reroutes_.
   mutable std::mutex cascade_mutex_;
-  std::condition_variable cascade_cv_;
-  std::uint64_t cascade_signal_ = 0;     // guarded by cascade_mutex_
-  bool cascade_stop_ = false;            // guarded by cascade_mutex_
+  EventCount cascade_ec_;
+  std::atomic<std::uint64_t> cascade_signal_{0};
+  std::atomic<bool> cascade_stop_{false};
   std::deque<CascadeReroute> reroutes_;  // guarded by cascade_mutex_, ascending barrier
-  /// Closure frontier: every stamp <= this has fully cascaded and merged.
-  /// Workers gate arrivals (stamp s waits for s-1) and control items
-  /// (barrier b waits for b-1) on it; the coordinator advances it.
-  std::atomic<std::uint64_t> closed_through_{0};
+  /// Nonzero when reroutes_ has entries; lets the pump skip the mutex on
+  /// the (overwhelmingly common) reroute-free pass. Bumped under
+  /// cascade_mutex_ before the signal, cleared under it by the drain.
+  std::atomic<std::uint32_t> reroutes_pending_{0};
+  /// Global admission frontier: the stamp immediately below the first
+  /// in-flight closure that has not finished dispatching feedback. Every
+  /// per-shard frontier (Shard::admitted, the reachability-refined gate
+  /// feedback-reachable shards use) is at least this; shards that can
+  /// never receive feedback run ahead of it by up to kCascadeRunahead,
+  /// which bounds coordinator-side buffering. An item with gate g
+  /// (arrival stamp s gates on s-1, control barrier b on b-1) is
+  /// admissible at a shard once g <= that shard's frontier: no smaller
+  /// sub-stamp can ever reach the shard's queues again, and the
+  /// per-shard inbox/feedback merge orders what is already there.
+  std::atomic<std::uint64_t> admitted_through_{0};
+  /// High-water concurrent closures and per-(shard, level) feedback
+  /// batches (RuntimeStats mirrors; written by the coordinator).
+  std::atomic<std::uint64_t> closures_in_flight_max_{0};
+  std::atomic<std::uint64_t> cascade_feedback_batches_{0};
   /// False while no registered definition can match an event instance
   /// (no event-type or wildcard slot): feedback then provably never
   /// exists and workers skip the closure gate entirely.

@@ -162,15 +162,24 @@ inline void check_per_def_seq_monotone(const std::vector<Ref>& got, const std::s
   }
 }
 
-/// Incremental watermark soundness audit, for the non-cascade runtime
-/// where the watermark only advances inside poll()/flush(). Usage per
-/// consumption step, in this order:
+/// Incremental watermark soundness audit. Usage per consumption step, in
+/// this order:
 ///   auto got = rt.poll_tagged();               // or flush_tagged()
 ///   audit.observe(got);                        // vs the *previous* poll's W
 ///   audit.after_poll(rt.low_watermark());
 /// and at quiescence: audit.at_quiescence(rt.low_watermark(), last_stamp).
-/// (In cascade mode the coordinator advances the watermark between polls,
-/// so only after_poll's monotonicity and at_quiescence apply.)
+///
+/// Valid in cascade mode too, sub-stamped emissions included: the runtime
+/// clamps low_watermark() strictly below the oldest in-flight (unclosed)
+/// closure, so even the relaxed tiers' early releases — fragments of a
+/// stamp's closure streamed across several polls while that closure is
+/// still open, possibly interleaved from several pipelined closures — must
+/// carry stamps above every previously promised watermark. observe()
+/// audits exactly that: a watermark that passed a stamp while part of its
+/// closure was still unreleased shows up as a later release at or below
+/// the promise. (The coordinator does advance the watermark *between*
+/// polls, so the audit checks each release against the last watermark the
+/// consumer actually saw — the consumer-facing contract.)
 class WatermarkAudit {
  public:
   explicit WatermarkAudit(std::string ctx) : ctx_(std::move(ctx)) {}
@@ -181,6 +190,7 @@ class WatermarkAudit {
     for (const TaggedInstance& t : released) {
       EXPECT_GT(t.stamp, last_) << ctx_ << " released stamp " << t.stamp
                                 << " at or below promised watermark " << last_;
+      released_max_ = std::max(released_max_, t.stamp);
     }
   }
 
@@ -192,11 +202,16 @@ class WatermarkAudit {
   void at_quiescence(std::uint64_t watermark, std::uint64_t last_stamp) {
     EXPECT_GE(watermark, last_) << ctx_;
     EXPECT_EQ(watermark, last_stamp) << ctx_ << " final watermark short of the stream";
+    // Every sub-stamped release is covered by the final promise: nothing
+    // left the runtime with a stamp the watermark never reached.
+    EXPECT_GE(watermark, released_max_)
+        << ctx_ << " released stamps outrun the final watermark";
   }
 
  private:
   std::string ctx_;
   std::uint64_t last_ = 0;
+  std::uint64_t released_max_ = 0;  ///< largest stamp seen in any release
 };
 
 }  // namespace stem::runtime::oracle

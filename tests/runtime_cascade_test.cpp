@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "ordering_oracle.hpp"
 #include "runtime/sharded_runtime.hpp"
 #include "sim/random.hpp"
 
@@ -168,7 +169,8 @@ void run_differential(std::uint64_t seed, std::size_t shards, std::size_t batch_
                       std::size_t depth, ConsumptionMode mode, const std::string& tag,
                       int arrivals = 192, bool skewed = false,
                       const std::vector<Migration>& migrations = {},
-                      std::size_t rebalance_epoch = 0, std::size_t queue_capacity = 4096) {
+                      std::size_t rebalance_epoch = 0, std::size_t queue_capacity = 4096,
+                      std::uint32_t pipeline = 1) {
   core::EngineOptions engine_options;
   engine_options.max_cascade_depth = depth;
 
@@ -178,6 +180,7 @@ void run_differential(std::uint64_t seed, std::size_t shards, std::size_t batch_
   options.engine = engine_options;
   options.rebalance_epoch = rebalance_epoch;
   options.queue_capacity = queue_capacity;
+  options.cascade_pipeline = pipeline;
   ShardedEngineRuntime sharded(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0}, options);
   DetectionEngine sequential(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0},
                              engine_options);
@@ -217,7 +220,8 @@ void run_differential(std::uint64_t seed, std::size_t shards, std::size_t batch_
   const std::string ctx = tag + " seed=" + std::to_string(seed) +
                           " shards=" + std::to_string(shards) +
                           " batch=" + std::to_string(batch_size) +
-                          " depth=" + std::to_string(depth);
+                          " depth=" + std::to_string(depth) +
+                          " pipeline=" + std::to_string(pipeline);
   ASSERT_EQ(got.size(), want.size()) << ctx;
   for (std::size_t k = 0; k < got.size(); ++k) {
     ASSERT_EQ(got[k], want[k]) << ctx << " instance " << k;
@@ -231,6 +235,17 @@ void run_differential(std::uint64_t seed, std::size_t shards, std::size_t batch_
   EXPECT_EQ(stats.cascade_reingested, sequential.stats().cascade_reingested) << ctx;
   EXPECT_EQ(stats.cascade_truncated, sequential.stats().cascade_truncated) << ctx;
   EXPECT_EQ(stats.migrations >= forced, true) << ctx;
+  // The knob is honored in both directions: K=1 never overlaps closures;
+  // K>1 with batched ingest does overlap them (activation only needs a
+  // deep-enough pending window, not any worker progress).
+  if (pipeline > 1 && batch_size >= 16) {
+    EXPECT_GT(stats.closures_in_flight_max, 1u) << ctx;
+  } else if (pipeline <= 1) {
+    EXPECT_LE(stats.closures_in_flight_max, 1u) << ctx;
+  }
+  if (stats.cascade_reingested > 0) {
+    EXPECT_GT(stats.cascade_feedback_batches, 0u) << ctx;
+  }
 }
 
 class CascadeVsSequentialTest : public ::testing::TestWithParam<std::uint64_t> {};
@@ -333,6 +348,119 @@ TEST(CascadeMigration, AutomaticRebalancingStaysExact) {
   run_differential(21u, 4, 16, 4, ConsumptionMode::kUnrestricted, "R", 256, /*skewed=*/true, {},
                    /*rebalance_epoch=*/48);
 }
+
+// ---------------------------------------------------------------------------
+// Pipelined closures: cascade x ordering tier x pipeline depth.
+// ---------------------------------------------------------------------------
+
+/// Relaxed-tier cascade leg: the merged stream is checked against the
+/// sequential cascading engine through the ordering oracle's per-tier
+/// projection (byte-exact / per-definition / multiset), with the
+/// watermark audited per poll — sub-stamped early releases from still
+/// in-flight closures must stay above every promised watermark.
+void run_tier_matrix(std::uint64_t seed, OrderingTier tier, std::uint32_t pipeline,
+                     std::size_t depth, const std::string& tag) {
+  core::EngineOptions engine_options;
+  engine_options.max_cascade_depth = depth;
+
+  RuntimeOptions options;
+  options.shards = 4;
+  options.cascade = true;
+  options.engine = engine_options;
+  options.ordering = tier;
+  options.cascade_pipeline = pipeline;
+  ShardedEngineRuntime sharded(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0}, options);
+  DetectionEngine sequential(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0},
+                             engine_options);
+  for (const EventDefinition& def :
+       cascade_definitions(ConsumptionMode::kUnrestricted, tag)) {
+    sharded.add_definition(def);
+    sequential.add_definition(def);
+  }
+
+  const Stream stream = make_stream(seed, 192);
+  const std::vector<oracle::Ref> want = oracle::sequential_reference(
+      sequential, stream.entities, stream.nows, /*cascade=*/true, /*canonicalize_seq=*/false);
+
+  const std::string ctx = tag + " seed=" + std::to_string(seed) +
+                          " tier=" + std::to_string(static_cast<int>(tier)) +
+                          " pipeline=" + std::to_string(pipeline) +
+                          " depth=" + std::to_string(depth);
+  oracle::WatermarkAudit audit(ctx);
+  std::vector<TaggedInstance> got_tagged;
+  for (std::size_t i = 0; i < stream.entities.size(); i += 16) {
+    const std::size_t n = std::min<std::size_t>(16, stream.entities.size() - i);
+    sharded.ingest_batch(std::span(stream.entities).subspan(i, n),
+                         std::span(stream.nows).subspan(i, n));
+    std::vector<TaggedInstance> released = sharded.poll_tagged();
+    audit.observe(released);
+    audit.after_poll(sharded.low_watermark());
+    got_tagged.insert(got_tagged.end(), std::make_move_iterator(released.begin()),
+                      std::make_move_iterator(released.end()));
+  }
+  std::vector<TaggedInstance> released = sharded.flush_tagged();
+  audit.observe(released);
+  audit.after_poll(sharded.low_watermark());
+  got_tagged.insert(got_tagged.end(), std::make_move_iterator(released.begin()),
+                    std::make_move_iterator(released.end()));
+  audit.at_quiescence(sharded.low_watermark(), sharded.stats().arrivals);
+
+  const std::vector<oracle::Ref> got = oracle::to_refs(got_tagged, /*canonicalize_seq=*/false);
+  switch (tier) {
+    case OrderingTier::kGlobalTotalOrder:
+      oracle::check_equal(got, want, ctx);
+      break;
+    case OrderingTier::kPerDefinitionOrder:
+      oracle::check_per_def(got, want, ctx);
+      break;
+    case OrderingTier::kUnorderedWatermarked:
+      oracle::check_multiset(got, want, ctx);
+      break;
+  }
+}
+
+class CascadePipelineTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CascadePipelineTest, GlobalTierStaysByteExactAtEveryPipelineDepth) {
+  for (const std::uint32_t pipeline : {2u, 4u, 8u}) {
+    for (const std::size_t depth : {1u, 2u, 4u}) {
+      run_differential(GetParam(), 4, 16, depth, ConsumptionMode::kUnrestricted,
+                       "P" + std::to_string(pipeline), 192, /*skewed=*/false, {}, 0, 4096,
+                       pipeline);
+    }
+  }
+}
+
+TEST_P(CascadePipelineTest, PipelinedConsumeAndBackpressureStayExact) {
+  run_differential(GetParam() ^ 0x9e1ULL, 4, 16, 4, ConsumptionMode::kConsume, "PC", 192,
+                   /*skewed=*/false, {}, 0, 4096, 4);
+  // Tiny inboxes under overlap: admitted-ahead arrivals and feedback
+  // contend for the same slots while several closures are open.
+  run_differential(GetParam() ^ 0x9e2ULL, 4, 16, 4, ConsumptionMode::kUnrestricted, "PQ", 128,
+                   /*skewed=*/true, {}, 0, /*queue_capacity=*/2, 4);
+}
+
+TEST_P(CascadePipelineTest, PipelinedMigrationsStayExact) {
+  // Mid-stream migrations while up to four closures overlap: post-barrier
+  // arrivals fall back to conservative admission, pre-barrier closures
+  // keep routing through their stamp's placement version.
+  run_differential(GetParam() ^ 0xa11ULL, 4, 16, 4, ConsumptionMode::kUnrestricted, "PM", 256,
+                   /*skewed=*/true, {{64, 2, 1}, {128, 0, 2}, {192, 2, 3}}, 0, 4096, 4);
+}
+
+TEST_P(CascadePipelineTest, TierMatrixHoldsUnderPipelining) {
+  for (const OrderingTier tier :
+       {OrderingTier::kGlobalTotalOrder, OrderingTier::kPerDefinitionOrder,
+        OrderingTier::kUnorderedWatermarked}) {
+    for (const std::uint32_t pipeline : {1u, 4u}) {
+      for (const std::size_t depth : {1u, 4u}) {
+        run_tier_matrix(GetParam(), tier, pipeline, depth, "TM");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CascadePipelineTest, ::testing::Values(31u, 32u, 33u));
 
 /// Destroying the runtime right after issuing a migration (no flush) must
 /// not deadlock: the destination worker may already be blocked in its

@@ -440,13 +440,16 @@ INSTANTIATE_TEST_SUITE_P(Seeds, OrderingCascadeTest, ::testing::Values(21u, 22u,
 // API units.
 // ---------------------------------------------------------------------------
 
-TEST(OrderingApiTest, SplitGroupIsRejectedInCascadeMode) {
+TEST(OrderingApiTest, SplitGroupIsAcceptedInCascadeMode) {
+  // Split under cascade is legal since the coordinator renumbers per-group
+  // sequences at dispatch time; an unsplittable (single-key) group is
+  // still refused with `false`, not a throw.
   RuntimeOptions options;
   options.shards = 2;
   options.cascade = true;
   ShardedEngineRuntime rt(ObserverId("OB"), core::Layer::kCyber, {0, 0}, options);
   for (const EventDefinition& def : cascade_tier_definitions("CX")) rt.add_definition(def);
-  EXPECT_THROW((void)rt.split_group(0, 1), std::logic_error);
+  EXPECT_NO_THROW((void)rt.split_group(0, 1));
 }
 
 TEST(OrderingApiTest, WatermarkStartsAtZeroAndBoundsChecksThrow) {

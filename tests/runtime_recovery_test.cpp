@@ -213,8 +213,11 @@ void run_crash_differential(std::uint64_t seed, std::size_t shards, std::size_t 
   // quiescence before the supervisor has counted the death. The stream is
   // already proven exact above; give the supervisor a bounded moment to
   // finish the bookkeeping.
+  // recoveries lags crashes by the reincarnation itself, so wait for both.
   RuntimeStats stats = sharded.stats();
-  for (int spin = 0; spin < 2000 && stats.crashes < schedule.at.size(); ++spin) {
+  for (int spin = 0; spin < 2000 && (stats.crashes < schedule.at.size() ||
+                                     stats.recoveries < stats.crashes);
+       ++spin) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     stats = sharded.stats();
   }
@@ -289,7 +292,14 @@ TEST(CrashRecovery, NoCrashesStillCheckpointsExactly) {
   std::vector<std::string> got;
   for (const EventInstance& inst : sharded.flush()) got.push_back(describe(inst));
   ASSERT_EQ(got, want);
-  const RuntimeStats stats = sharded.stats();
+  // flush() waits on the arrival watermark only; the trailing checkpoint
+  // control item may still be in the inbox. Give the workers a bounded
+  // moment to consume it.
+  RuntimeStats stats = sharded.stats();
+  for (int spin = 0; spin < 2000 && stats.checkpoints == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = sharded.stats();
+  }
   EXPECT_GT(stats.checkpoints, 0u);
   EXPECT_EQ(stats.crashes, 0u);
   EXPECT_EQ(stats.recoveries, 0u);

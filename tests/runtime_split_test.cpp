@@ -137,10 +137,13 @@ std::string tier_name(OrderingTier tier) {
 /// Forces split -> sub-group migration -> merge at quarter points of the
 /// stream and applies the tier's oracle contract end to end.
 void run_split_differential(std::uint64_t seed, std::size_t shards, std::size_t batch_size,
-                            ConsumptionMode mode, OrderingTier tier, const std::string& tag) {
+                            ConsumptionMode mode, OrderingTier tier, const std::string& tag,
+                            bool cascade = false, std::uint32_t pipeline = 1) {
   RuntimeOptions options;
   options.shards = shards;
   options.ordering = tier;
+  options.cascade = cascade;
+  options.cascade_pipeline = pipeline;
   ShardedEngineRuntime sharded(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0}, options);
   DetectionEngine sequential(ObserverId("OB"), core::Layer::kCyberPhysical, {0, 0});
   for (const EventDefinition& def : split_definitions(mode, tag)) {
@@ -150,16 +153,20 @@ void run_split_differential(std::uint64_t seed, std::size_t shards, std::size_t 
 
   // Relaxed tiers surface the partitioned per-side sequence counters, so
   // the oracle compares with EventInstanceKey::seq canonicalized; the
-  // global tier's merge renumbers and must stay byte-exact.
-  const bool canonical = tier != OrderingTier::kGlobalTotalOrder;
+  // global tier's merge renumbers and must stay byte-exact. Cascade mode
+  // is stricter still: the coordinator renumbers per-group sequences at
+  // dispatch time in *every* tier, so even the relaxed cascade legs must
+  // reproduce the sequential numbering exactly.
+  const bool canonical = !cascade && tier != OrderingTier::kGlobalTotalOrder;
 
   const Stream stream = make_stream(seed, 320);
   const std::vector<Ref> want = oracle::sequential_reference(
-      sequential, stream.entities, stream.nows, /*cascade=*/false, canonical);
+      sequential, stream.entities, stream.nows, cascade, canonical);
 
   const std::string ctx = tag + "/" + tier_name(tier) + " seed=" + std::to_string(seed) +
                           " shards=" + std::to_string(shards) +
-                          " batch=" + std::to_string(batch_size);
+                          " batch=" + std::to_string(batch_size) +
+                          (cascade ? " cascade pipeline=" + std::to_string(pipeline) : "");
   WatermarkAudit audit(ctx);
   std::vector<TaggedInstance> got_tagged;
   const auto collect = [&](std::vector<TaggedInstance> released) {
@@ -247,6 +254,22 @@ TEST_P(SplitDifferentialTest, RelaxedTiersKeepTheirContractsThroughSplitMoveMerg
         run_split_differential(GetParam() ^ 0x317ULL, shards, batch, ConsumptionMode::kConsume,
                                tier, "SRC");
       }
+    }
+  }
+}
+
+TEST_P(SplitDifferentialTest, CascadeModeSplitMoveMergeStaysExactAcrossTiers) {
+  // split_group under cascade (new in the pipelined coordinator): the
+  // split/merge barrier acts at sub-stamp granularity via the shared
+  // subset-migration control pair, and the coordinator's dispatch-time
+  // renumbering keeps every tier's stream exactly sequential — seq
+  // included — even while the hot group is cut in two.
+  for (const OrderingTier tier :
+       {OrderingTier::kGlobalTotalOrder, OrderingTier::kPerDefinitionOrder,
+        OrderingTier::kUnorderedWatermarked}) {
+    for (const std::uint32_t pipeline : {1u, 4u}) {
+      run_split_differential(GetParam() ^ 0xca5ULL, 4, 16, ConsumptionMode::kUnrestricted,
+                             tier, "SCA", /*cascade=*/true, pipeline);
     }
   }
 }

@@ -59,6 +59,7 @@ DEFAULT_FAMILY_TOLERANCES = [
     ("BM_SkewedLoad", 25.0),
     ("BM_Rebalance", 25.0),
     ("BM_CascadeDepth", 25.0),
+    ("BM_CascadeTier", 25.0),
     ("BM_OrderingTier", 25.0),
     ("BM_ReliableLink", 25.0),
     # Single timed iteration per leg (registration + RSS accounting), so

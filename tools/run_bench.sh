@@ -6,7 +6,7 @@
 #   tools/bench_compare.py /tmp/fresh bench/baselines
 # (fails on regression beyond the gate; the wall-clock runtime families —
 # BM_ShardScaling, BM_SkewedLoad, BM_Rebalance, BM_CascadeDepth,
-# BM_OrderingTier — carry a built-in 25% gate, overridable with
+# BM_CascadeTier, BM_OrderingTier — carry a built-in 25% gate, overridable with
 # --tolerance-for PREFIX=PCT)
 #
 # Usage: tools/run_bench.sh [build-dir] [out-dir]
@@ -210,6 +210,14 @@ for d in (1, 2, 4):
 for tier in ("global", "perdef", "unordered"):
     name = f"BM_OrderingTier/{tier}/real_time"
     print(f"ordering tier ({tier:<9}):   {fmt(rate('BENCH_e11_engine_throughput.json', name))} entities/s")
+
+# Cascade x ordering tier at pipeline depth 4: tier-relaxed closure
+# release lets perdef/unordered stream emissions while closures are in
+# flight, vs the global tier's stamp-ordered whole-closure merge.
+for tier in ("global", "perdef", "unordered"):
+    for pipe in (1, 4):
+        name = f"BM_CascadeTier/{tier}/{pipe}/real_time"
+        print(f"cascade tier {tier:<9} K={pipe}:  {fmt(rate('BENCH_e11_engine_throughput.json', name))} arrivals/s")
 
 # The per-arrival entity-copy lever: reference deep-copy observe vs the
 # prestored shared-storage path the sharded runtime workers use.
